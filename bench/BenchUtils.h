@@ -1,0 +1,81 @@
+//===- bench/BenchUtils.h - Shared bench harness helpers --------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/figure benchmark binaries: scale
+/// selection (CG_BENCH_SCALE=smoke|full), latency tables in the paper's
+/// p50/p99/mean format, and PASS/FAIL shape checks. Every binary prints
+/// the rows of its paper table (or the series of its figure) and finishes
+/// with qualitative checks of the expected *shape* — who wins, by roughly
+/// what factor — as EXPERIMENTS.md documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_BENCH_BENCHUTILS_H
+#define COMPILER_GYM_BENCH_BENCHUTILS_H
+
+#include "util/Stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace bench {
+
+/// True when CG_BENCH_SCALE=full (paper-scale trajectory counts).
+inline bool fullScale() {
+  const char *Env = std::getenv("CG_BENCH_SCALE");
+  return Env && std::strcmp(Env, "full") == 0;
+}
+
+/// Picks a workload size by scale.
+inline int scaled(int Smoke, int Full) { return fullScale() ? Full : Smoke; }
+
+/// Prints the standard header for a bench binary.
+inline void banner(const char *Id, const char *Title) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s: %s\n", Id, Title);
+  std::printf("scale: %s (set CG_BENCH_SCALE=full for paper-scale runs)\n",
+              fullScale() ? "full" : "smoke");
+  std::printf("==============================================================="
+              "=\n");
+}
+
+/// Prints one latency row in the paper's Table II/III format.
+inline void latencyRow(const std::string &Name,
+                       const std::vector<double> &SamplesMs) {
+  LatencySummary S = summarizeLatencies(SamplesMs);
+  std::printf("%-28s p50=%9.3fms  p99=%9.3fms  mean=%9.3fms  (n=%zu)\n",
+              Name.c_str(), S.P50, S.P99, S.Mean, S.Count);
+}
+
+/// Records shape-check outcomes and prints the final verdict.
+class ShapeChecks {
+public:
+  void check(bool Ok, const std::string &Description) {
+    std::printf("[%s] %s\n", Ok ? "PASS" : "FAIL", Description.c_str());
+    Failures += Ok ? 0 : 1;
+  }
+
+  /// Process exit code: 0 when every shape check held.
+  int verdict() const {
+    std::printf("%s: %d shape check failure(s)\n",
+                Failures ? "RESULT: FAIL" : "RESULT: PASS", Failures);
+    return Failures ? 1 : 0;
+  }
+
+private:
+  int Failures = 0;
+};
+
+} // namespace bench
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_BENCH_BENCHUTILS_H

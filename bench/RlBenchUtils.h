@@ -1,0 +1,131 @@
+//===- bench/RlBenchUtils.h - Shared RL experiment plumbing -----*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experimental setup shared by Tables VI/VII and Fig 9, replicating
+/// §VII-G: episodes fixed to 45 steps (TimeLimit), observation = feature
+/// vector concatenated with a histogram of the agent's previous actions
+/// (ObservationHistogram), a 42-action subset of the pass space, code-size
+/// reward scaled against -Oz, training benchmarks cycled per reset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_BENCH_RLBENCHUTILS_H
+#define COMPILER_GYM_BENCH_RLBENCHUTILS_H
+
+#include "core/Registry.h"
+#include "core/Wrappers.h"
+#include "rl/Agent.h"
+#include "util/Stats.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace bench {
+
+/// The experiment's environment configuration.
+struct RlSetup {
+  std::string ObservationSpace = "Autophase";
+  bool WithHistogram = true;
+  size_t EpisodeSteps = 45;
+  size_t ActionSubsetSize = 42; ///< Of the full pass list, as in §VII-G.
+  std::string RewardSpace = "IrInstructionCountOz";
+};
+
+/// Deterministic 42-action subset: every k-th action of the sorted list.
+inline std::vector<int> actionSubset(size_t Total, size_t Want) {
+  std::vector<int> Subset;
+  if (Want >= Total) {
+    for (size_t I = 0; I < Total; ++I)
+      Subset.push_back(static_cast<int>(I));
+    return Subset;
+  }
+  for (size_t I = 0; I < Want; ++I)
+    Subset.push_back(static_cast<int>(I * Total / Want));
+  return Subset;
+}
+
+/// Builds the §VII-G environment over training benchmarks cycled per
+/// reset. Returns the wrapper chain and the observation dimensionality.
+inline StatusOr<std::unique_ptr<core::Env>>
+makeRlEnv(const RlSetup &Setup, const std::vector<std::string> &Benchmarks,
+          size_t &ObsDimOut, size_t &NumActionsOut) {
+  core::MakeOptions Opts;
+  Opts.Benchmark = Benchmarks.front();
+  Opts.ObservationSpace = Setup.ObservationSpace;
+  Opts.RewardSpace = Setup.RewardSpace;
+  CG_ASSIGN_OR_RETURN(std::unique_ptr<core::CompilerEnv> Base,
+                      core::make("llvm-v0", Opts));
+  size_t BaseDim = Setup.ObservationSpace == "Autophase" ? 56 : 70;
+  size_t TotalActions = 0;
+  {
+    CG_ASSIGN_OR_RETURN(service::Observation Init, Base->reset());
+    (void)Init;
+    TotalActions = Base->actionSpace().size();
+  }
+  std::vector<int> Subset =
+      actionSubset(TotalActions, Setup.ActionSubsetSize);
+  NumActionsOut = Subset.size();
+
+  std::unique_ptr<core::Env> Chain = std::make_unique<core::CycleOverBenchmarks>(
+      std::move(Base), Benchmarks, [](core::Env &E, const std::string &Uri) {
+        static_cast<core::CompilerEnv &>(E).setBenchmark(Uri);
+      });
+  Chain = std::make_unique<core::ActionSubset>(std::move(Chain), Subset);
+  if (Setup.WithHistogram) {
+    Chain = std::make_unique<core::ObservationHistogram>(std::move(Chain));
+    ObsDimOut = BaseDim + NumActionsOut;
+  } else {
+    ObsDimOut = BaseDim;
+  }
+  Chain = std::make_unique<core::TimeLimit>(std::move(Chain),
+                                            Setup.EpisodeSteps);
+  return Chain;
+}
+
+/// Evaluates a trained agent on \p Benchmarks: geomean of
+/// oz_size / achieved_size per benchmark (>1 = beats -Oz), the metric of
+/// Tables VI/VII.
+inline StatusOr<double>
+evaluateCodeSizeVsOz(rl::Agent &Agent, const RlSetup &Setup,
+                     const std::vector<std::string> &Benchmarks) {
+  std::vector<double> Ratios;
+  for (const std::string &Uri : Benchmarks) {
+    size_t ObsDim = 0, NumActions = 0;
+    CG_ASSIGN_OR_RETURN(std::unique_ptr<core::Env> Env,
+                        makeRlEnv(Setup, {Uri}, ObsDim, NumActions));
+    CG_ASSIGN_OR_RETURN(double Reward,
+                        rl::evaluateEpisode(*Env, Agent,
+                                            Setup.EpisodeSteps));
+    (void)Reward;
+    // Final achieved size vs the -Oz baseline.
+    auto Achieved = Env->observe("IrInstructionCount");
+    auto Baseline = Env->observe("IrInstructionCountOz");
+    if (!Achieved.isOk() || !Baseline.isOk() || Achieved->IntValue <= 0)
+      continue;
+    Ratios.push_back(static_cast<double>(Baseline->IntValue) /
+                     static_cast<double>(Achieved->IntValue));
+  }
+  if (Ratios.empty())
+    return internalError("no benchmarks evaluated");
+  return geomean(Ratios);
+}
+
+/// Training benchmark URI lists per dataset.
+inline std::vector<std::string> uriRange(const std::string &Dataset, int N,
+                                         int Offset = 0) {
+  std::vector<std::string> Out;
+  for (int I = 0; I < N; ++I)
+    Out.push_back(Dataset + "/" + std::to_string(Offset + I));
+  return Out;
+}
+
+} // namespace bench
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_BENCH_RLBENCHUTILS_H

@@ -1,0 +1,108 @@
+//===- bench/fig6_step_cdf.cpp - Fig 6 reproduction -------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Fig 6: the cumulative distribution of environment step times
+/// for each of the 23 programs in cBench. The paper's headline is the wide
+/// spread: a 560x difference between the median step time of the fastest
+/// program (crc32) and the slowest (ghostscript). We print per-program
+/// decile series (the CDF lines) and check the spread is large.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+
+#include "core/Registry.h"
+#include "datasets/DatasetRegistry.h"
+#include "passes/PassRegistry.h"
+#include "util/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::bench;
+
+int main() {
+  banner("fig6_step_cdf", "CDF of step times across the cBench programs");
+
+  const int StepsPerProgram = scaled(60, 1000);
+  const auto *Cbench =
+      datasets::DatasetRegistry::instance().dataset("benchmark://cbench-v1");
+  if (!Cbench) {
+    std::fprintf(stderr, "cbench dataset missing\n");
+    return 1;
+  }
+  size_t NumActions =
+      passes::PassRegistry::instance().defaultActionNames().size();
+
+  std::map<std::string, std::vector<double>> StepTimes;
+  Rng Gen(0xF16);
+  for (const std::string &Name : Cbench->benchmarkNames(23)) {
+    core::MakeOptions Opts;
+    Opts.Benchmark = "benchmark://cbench-v1/" + Name;
+    Opts.ObservationSpace = "Autophase";
+    Opts.RewardSpace = "IrInstructionCount";
+    auto Env = core::make("llvm-v0", Opts);
+    if (!Env.isOk() || !(*Env)->reset().isOk())
+      continue;
+    std::vector<double> &Times = StepTimes[Name];
+    for (int S = 0; S < StepsPerProgram; ++S) {
+      // Periodic reset keeps programs from degenerating to empty modules.
+      if (S % 50 == 49 && !(*Env)->reset().isOk())
+        break;
+      int Action = static_cast<int>(Gen.bounded(NumActions));
+      Stopwatch Watch;
+      if (!(*Env)->step(Action).isOk())
+        break;
+      Times.push_back(Watch.elapsedMs());
+    }
+  }
+
+  // CDF series: per-program deciles (x = step time ms, y = P).
+  std::printf("\n-- Fig 6 series: step-time deciles per program (ms) --\n");
+  std::printf("%-14s", "program");
+  for (int D = 10; D <= 90; D += 20)
+    std::printf("    p%02d", D);
+  std::printf("    p50\n");
+  double MinMedian = 1e300, MaxMedian = 0;
+  std::string Fastest, Slowest;
+  for (auto &[Name, Times] : StepTimes) {
+    if (Times.empty())
+      continue;
+    std::printf("%-14s", Name.c_str());
+    for (int D = 10; D <= 90; D += 20)
+      std::printf(" %6.3f", percentile(Times, D));
+    double Median = percentile(Times, 50);
+    std::printf(" %6.3f\n", Median);
+    if (Median < MinMedian) {
+      MinMedian = Median;
+      Fastest = Name;
+    }
+    if (Median > MaxMedian) {
+      MaxMedian = Median;
+      Slowest = Name;
+    }
+  }
+
+  double Spread = MaxMedian / std::max(MinMedian, 1e-9);
+  std::printf("\nmedian step-time spread: %.1fx between %s (%.3fms) and %s "
+              "(%.3fms); paper: 560x between crc32 and ghostscript\n",
+              Spread, Fastest.c_str(), MinMedian, Slowest.c_str(),
+              MaxMedian);
+
+  ShapeChecks Checks;
+  Checks.check(StepTimes.size() == 23, "all 23 cBench programs measured");
+  Checks.check(Spread > 10.0,
+               "median step time spans >=10x across programs");
+  Checks.check(Fastest == "crc32" || Fastest == "stringsearch" ||
+                   Fastest == "bitcount",
+               "fastest program is one of the tiny kernels (paper: crc32)");
+  Checks.check(Slowest == "ghostscript",
+               "slowest program is ghostscript (as in the paper)");
+  return Checks.verdict();
+}

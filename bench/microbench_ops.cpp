@@ -1,0 +1,151 @@
+//===- bench/microbench_ops.cpp - google-benchmark micro suite --*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the primitives underneath the
+/// Table II/III numbers: parse, clone, print, hash, per-pass application,
+/// feature extraction, graph construction, and the RPC round trip. Useful
+/// for profiling regressions in the substrate itself; the table benches
+/// measure the end-to-end paper quantities.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Autophase.h"
+#include "analysis/InstCount.h"
+#include "analysis/ProGraML.h"
+#include "core/Registry.h"
+#include "datasets/DatasetRegistry.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "passes/PassManager.h"
+#include "service/Serialization.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace compiler_gym;
+
+namespace {
+
+const std::string &benchmarkText() {
+  static const std::string Text = [] {
+    auto B = datasets::DatasetRegistry::instance().resolve(
+        "benchmark://cbench-v1/susan");
+    return B.isOk() ? B->IrText : std::string();
+  }();
+  return Text;
+}
+
+const ir::Module &benchmarkModule() {
+  static const std::unique_ptr<ir::Module> M = [] {
+    auto Parsed = ir::parseModule(benchmarkText());
+    return Parsed.isOk() ? Parsed.takeValue() : nullptr;
+  }();
+  return *M;
+}
+
+void BM_ParseModule(benchmark::State &State) {
+  for (auto _ : State) {
+    auto M = ir::parseModule(benchmarkText());
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_ParseModule);
+
+void BM_PrintModule(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ir::printModule(benchmarkModule()));
+}
+BENCHMARK(BM_PrintModule);
+
+void BM_CloneModule(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(benchmarkModule().clone());
+}
+BENCHMARK(BM_CloneModule);
+
+void BM_HashModule(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(benchmarkModule().hash());
+}
+BENCHMARK(BM_HashModule);
+
+void BM_Autophase(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analysis::autophase(benchmarkModule()));
+}
+BENCHMARK(BM_Autophase);
+
+void BM_InstCount(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analysis::instCount(benchmarkModule()));
+}
+BENCHMARK(BM_InstCount);
+
+void BM_ProGraMLGraph(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        analysis::buildProgramGraph(benchmarkModule()));
+}
+BENCHMARK(BM_ProGraMLGraph);
+
+void BM_SinglePass(benchmark::State &State, const char *PassName) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = benchmarkModule().clone();
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(passes::runPass(*M, PassName));
+  }
+}
+BENCHMARK_CAPTURE(BM_SinglePass, mem2reg, "mem2reg");
+BENCHMARK_CAPTURE(BM_SinglePass, dce, "dce");
+BENCHMARK_CAPTURE(BM_SinglePass, gvn, "gvn");
+BENCHMARK_CAPTURE(BM_SinglePass, simplifycfg, "simplifycfg");
+BENCHMARK_CAPTURE(BM_SinglePass, instcombine, "instcombine");
+
+void BM_MessageRoundTrip(benchmark::State &State) {
+  service::RequestEnvelope Req;
+  Req.Kind = service::RequestKind::Step;
+  Req.Step.SessionId = 1;
+  service::Action A;
+  A.Index = 3;
+  Req.Step.Actions = {A};
+  Req.Step.ObservationSpaces = {"Autophase"};
+  for (auto _ : State) {
+    std::string Bytes = service::encodeRequest(Req);
+    auto Decoded = service::decodeRequest(Bytes);
+    benchmark::DoNotOptimize(Decoded);
+  }
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+void BM_EnvStepRpc(benchmark::State &State) {
+  core::MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/crc32";
+  Opts.ObservationSpace = "Autophase";
+  Opts.RewardSpace = "IrInstructionCount";
+  auto Env = core::make("llvm-v0", Opts);
+  if (!Env.isOk() || !(*Env)->reset().isOk()) {
+    State.SkipWithError("env setup failed");
+    return;
+  }
+  Rng Gen(1);
+  size_t NumActions = (*Env)->actionSpace().size();
+  size_t Steps = 0;
+  for (auto _ : State) {
+    if (++Steps % 40 == 0) {
+      State.PauseTiming();
+      (void)(*Env)->reset();
+      State.ResumeTiming();
+    }
+    auto R = (*Env)->step(static_cast<int>(Gen.bounded(NumActions)));
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_EnvStepRpc);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+//===- bench/table3_observation_costs.cpp - Table III -----------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table III: wall-time costs of the LLVM environment's
+/// observation and reward spaces over random trajectories. Shape targets:
+/// a wide (>=20x) range across observation spaces with the graph/embedding
+/// spaces (Programl, Inst2vec) the most expensive and the scalar count
+/// spaces the cheapest; reward spaces spanning deterministic instruction
+/// counting up to nondeterministic runtime measurement (paper: 192x and
+/// 4727x ranges respectively).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+
+#include "core/Registry.h"
+#include "passes/PassRegistry.h"
+#include "util/Timer.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::bench;
+
+int main() {
+  banner("table3_observation_costs",
+         "Computational cost of LLVM observation and reward spaces");
+
+  const int Trajectories = scaled(4, 60);
+  const int StepsPerTrajectory = scaled(12, 60);
+  const char *ObservationSpaces[] = {"Ir",        "InstCount", "Autophase",
+                                     "Inst2vec",  "Programl"};
+  const char *RewardMetrics[] = {"IrInstructionCount", "ObjectTextSizeBytes",
+                                 "Runtime"};
+  const char *Benchmarks[] = {
+      "benchmark://cbench-v1/crc32", "benchmark://cbench-v1/susan",
+      "benchmark://csmith-v0/11",    "benchmark://npb-v0/2",
+  };
+
+  std::map<std::string, std::vector<double>> Costs;
+  size_t NumActions =
+      passes::PassRegistry::instance().defaultActionNames().size();
+  Rng Gen(0x0B5);
+
+  for (int T = 0; T < Trajectories; ++T) {
+    core::MakeOptions Opts;
+    Opts.Benchmark = Benchmarks[T % std::size(Benchmarks)];
+    Opts.ObservationSpace = "none";
+    Opts.RewardSpace = "none";
+    auto Env = core::make("llvm-v0", Opts);
+    if (!Env.isOk() || !(*Env)->reset().isOk())
+      continue;
+    bool Runnable = Opts.Benchmark.find("cbench") != std::string::npos ||
+                    Opts.Benchmark.find("csmith") != std::string::npos;
+    for (int S = 0; S < StepsPerTrajectory; ++S) {
+      if (!(*Env)->step(static_cast<int>(Gen.bounded(NumActions))).isOk())
+        break;
+      for (const char *Space : ObservationSpaces) {
+        Stopwatch Watch;
+        if ((*Env)->observe(Space).isOk())
+          Costs[Space].push_back(Watch.elapsedMs());
+      }
+      for (const char *Metric : RewardMetrics) {
+        if (std::string(Metric) == "Runtime" && !Runnable)
+          continue;
+        Stopwatch Watch;
+        if ((*Env)->observe(Metric).isOk())
+          Costs[Metric].push_back(Watch.elapsedMs());
+      }
+    }
+  }
+
+  std::printf("\n-- Table III: observation spaces --\n");
+  for (const char *Space : ObservationSpaces)
+    latencyRow(Space, Costs[Space]);
+  std::printf("-- Table III: reward spaces --\n");
+  for (const char *Metric : RewardMetrics)
+    latencyRow(Metric, Costs[Metric]);
+
+  auto meanOf = [&](const char *Name) { return mean(Costs[Name]); };
+  double CheapObs = std::min({meanOf("InstCount"), meanOf("Autophase")});
+  double DearObs = std::max({meanOf("Inst2vec"), meanOf("Programl")});
+  double CheapReward = meanOf("IrInstructionCount");
+  double DearReward = meanOf("Runtime");
+  std::printf("\nobservation-space cost range: %.1fx (paper: 192x)\n",
+              DearObs / CheapObs);
+  std::printf("reward-space cost range: %.1fx (paper: 4727x)\n",
+              DearReward / CheapReward);
+
+  ShapeChecks Checks;
+  Checks.check(DearObs / CheapObs > 20.0,
+               "observation spaces span a >=20x cost range");
+  Checks.check(meanOf("Programl") > meanOf("Autophase"),
+               "graph observations cost more than feature vectors");
+  Checks.check(meanOf("Inst2vec") > meanOf("InstCount"),
+               "embedding observations cost more than counters");
+  Checks.check(DearReward / CheapReward > 20.0,
+               "reward spaces span a >=20x cost range");
+  Checks.check(meanOf("Runtime") > meanOf("ObjectTextSizeBytes"),
+               "runtime reward costs more than binary size");
+  Checks.check(meanOf("ObjectTextSizeBytes") > meanOf("IrInstructionCount"),
+               "binary size costs more than IR instruction count");
+  return Checks.verdict();
+}

@@ -1,0 +1,163 @@
+//===- bench/table6_rl_generalization.cpp - Table VI ------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table VI: four RL algorithms (A2C, APEX-DQN, IMPALA, PPO)
+/// trained on csmith programs (100k episodes in the paper; scaled down
+/// here), then evaluated as geomean code-size reduction vs -Oz on held-out
+/// programs from every dataset. Shape targets: in-domain (csmith)
+/// performance is the strongest column for the better agents; cross-domain
+/// transfer is much weaker (most cells < 1.0); PPO is competitive on its
+/// training domain (paper: 1.245x on csmith).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+#include "bench/RlBenchUtils.h"
+
+#include "rl/A2c.h"
+#include "rl/Dqn.h"
+#include "rl/Impala.h"
+#include "rl/Ppo.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::bench;
+using namespace compiler_gym::rl;
+
+int main() {
+  banner("table6_rl_generalization",
+         "RL algorithms trained on csmith, evaluated across datasets");
+
+  const int TrainEpisodes = scaled(160, 4000);
+  const int EvalPerDataset = scaled(4, 50);
+  RlSetup Setup;
+
+  // Held-out test sets: training uses csmith seeds [0, 64); testing uses a
+  // disjoint range plus the other domains.
+  const std::vector<std::pair<std::string, std::vector<std::string>>>
+      TestSets = {
+          {"csmith", uriRange("benchmark://csmith-v0", EvalPerDataset, 500)},
+          {"cbench",
+           {"benchmark://cbench-v1/crc32", "benchmark://cbench-v1/sha",
+            "benchmark://cbench-v1/dijkstra",
+            "benchmark://cbench-v1/bitcount"}},
+          {"chstone",
+           {"benchmark://chstone-v0/adpcm", "benchmark://chstone-v0/aes",
+            "benchmark://chstone-v0/sha", "benchmark://chstone-v0/gsm"}},
+          {"github", uriRange("benchmark://github-v0", EvalPerDataset)},
+          {"linux", uriRange("benchmark://linux-v0", EvalPerDataset)},
+          {"npb", uriRange("benchmark://npb-v0", EvalPerDataset)},
+          {"blas", uriRange("benchmark://blas-v0", EvalPerDataset)},
+          {"tensorflow",
+           uriRange("benchmark://tensorflow-v0", EvalPerDataset)},
+          {"llvm-stress",
+           uriRange("benchmark://llvm-stress-v0", EvalPerDataset)},
+          {"poj104", uriRange("benchmark://poj104-v1", EvalPerDataset)},
+      };
+  std::vector<std::string> TrainSet =
+      uriRange("benchmark://csmith-v0", scaled(16, 64));
+
+  size_t ObsDim = 0, NumActions = 0;
+  {
+    // Probe dimensions once.
+    auto Probe = makeRlEnv(Setup, TrainSet, ObsDim, NumActions);
+    if (!Probe.isOk()) {
+      std::fprintf(stderr, "env setup failed: %s\n",
+                   Probe.status().toString().c_str());
+      return 1;
+    }
+  }
+  std::printf("setup: obs dim %zu, %zu actions (42-of-%zu subset), %d "
+              "training episodes\n\n",
+              ObsDim, NumActions, NumActions, TrainEpisodes);
+
+  std::vector<std::unique_ptr<Agent>> Agents;
+  {
+    A2cConfig C;
+    C.ObsDim = ObsDim;
+    C.NumActions = NumActions;
+    Agents.push_back(std::make_unique<A2cAgent>(C));
+  }
+  {
+    DqnConfig C;
+    C.ObsDim = ObsDim;
+    C.NumActions = NumActions;
+    Agents.push_back(std::make_unique<DqnAgent>(C));
+  }
+  {
+    ImpalaConfig C;
+    C.ObsDim = ObsDim;
+    C.NumActions = NumActions;
+    Agents.push_back(std::make_unique<ImpalaAgent>(C));
+  }
+  {
+    PpoConfig C;
+    C.ObsDim = ObsDim;
+    C.NumActions = NumActions;
+    Agents.push_back(std::make_unique<PpoAgent>(C));
+  }
+
+  std::map<std::string, std::map<std::string, double>> Table;
+  for (auto &Agent : Agents) {
+    size_t Dim = 0, Actions = 0;
+    auto Env = makeRlEnv(Setup, TrainSet, Dim, Actions);
+    if (!Env.isOk())
+      continue;
+    std::printf("training %s...\n", Agent->name().c_str());
+    if (Status S = Agent->train(**Env, TrainEpisodes); !S.isOk()) {
+      std::fprintf(stderr, "  training failed: %s\n", S.toString().c_str());
+      continue;
+    }
+    for (const auto &[Name, Uris] : TestSets) {
+      auto Score = evaluateCodeSizeVsOz(*Agent, Setup, Uris);
+      Table[Agent->name()][Name] = Score.isOk() ? *Score : 0.0;
+    }
+  }
+
+  std::printf("\n-- Table VI: geomean code size reduction vs -Oz --\n");
+  std::printf("%-14s", "dataset");
+  for (auto &Agent : Agents)
+    std::printf(" %10s", Agent->name().c_str());
+  std::printf("\n");
+  for (const auto &[Name, Uris] : TestSets) {
+    std::printf("%-14s", Name.c_str());
+    for (auto &Agent : Agents)
+      std::printf(" %9.3fx", Table[Agent->name()][Name]);
+    std::printf("\n");
+  }
+  std::printf("\npaper (100k episodes): PPO csmith 1.245x; 3 of 4 agents "
+              "positive in-domain; transfer mostly < 1.0x\n");
+
+  ShapeChecks Checks;
+  // Smoke scale trains ~3 orders of magnitude fewer episodes than the
+  // paper's 100k; the absolute bar scales accordingly (an untrained policy
+  // scores ~0.3 on this metric, so 0.5+ demonstrates real learning).
+  double InDomainBar = fullScale() ? 0.9 : 0.5;
+  double PpoCsmith = Table["PPO"]["csmith"];
+  Checks.check(PpoCsmith > InDomainBar,
+               "PPO clearly learns on its training domain");
+  int InDomainPositive = 0;
+  for (auto &Agent : Agents)
+    InDomainPositive += Table[Agent->name()]["csmith"] > InDomainBar * 0.9;
+  Checks.check(InDomainPositive >= 2,
+               "at least half the agents do well in-domain");
+  // Generalization gap: average cross-domain score below in-domain for PPO.
+  double CrossSum = 0;
+  int CrossCount = 0;
+  for (const auto &[Name, Uris] : TestSets) {
+    if (Name == "csmith")
+      continue;
+    CrossSum += Table["PPO"][Name];
+    ++CrossCount;
+  }
+  Checks.check(CrossSum / CrossCount < PpoCsmith,
+               "cross-domain transfer is weaker than in-domain (the "
+               "generalization challenge)");
+  return Checks.verdict();
+}

@@ -1,0 +1,122 @@
+//===- bench/table7_rl_crossval.cpp - Table VII -----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table VII: cross-validation of a PPO agent over training /
+/// test dataset pairs (csmith, github, tensorflow). Shape target: the
+/// diagonal dominates its column — each agent does best (or near-best) on
+/// benchmarks from its own training domain, the paper's argument for
+/// training on a wide range of program domains.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+#include "bench/RlBenchUtils.h"
+
+#include "rl/Ppo.h"
+#include "util/Hash.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::bench;
+using namespace compiler_gym::rl;
+
+int main() {
+  banner("table7_rl_crossval",
+         "PPO generalization: training set x test set cross-validation");
+
+  const int TrainEpisodes = scaled(140, 4000);
+  const int TrainBenchmarks = scaled(12, 64);
+  const int EvalBenchmarks = scaled(4, 50);
+  const char *Domains[] = {"benchmark://csmith-v0", "benchmark://github-v0",
+                           "benchmark://tensorflow-v0"};
+  RlSetup Setup;
+
+  std::map<std::string, std::map<std::string, double>> Table;
+  for (const char *TrainDomain : Domains) {
+    std::vector<std::string> TrainSet =
+        uriRange(TrainDomain, TrainBenchmarks);
+    size_t ObsDim = 0, NumActions = 0;
+    auto Env = makeRlEnv(Setup, TrainSet, ObsDim, NumActions);
+    if (!Env.isOk()) {
+      std::fprintf(stderr, "env setup failed\n");
+      return 1;
+    }
+    PpoConfig C;
+    C.ObsDim = ObsDim;
+    C.NumActions = NumActions;
+    C.Seed = fnv1a(TrainDomain);
+    PpoAgent Agent(C);
+    std::printf("training PPO on %s...\n", TrainDomain);
+    if (Status S = Agent.train(**Env, TrainEpisodes); !S.isOk()) {
+      std::fprintf(stderr, "training failed: %s\n", S.toString().c_str());
+      return 1;
+    }
+    for (const char *TestDomain : Domains) {
+      // Held-out benchmark range (disjoint from training seeds).
+      auto Score = evaluateCodeSizeVsOz(
+          Agent, Setup, uriRange(TestDomain, EvalBenchmarks, 700));
+      Table[TrainDomain][TestDomain] = Score.isOk() ? *Score : 0.0;
+    }
+  }
+
+  std::printf("\n-- Table VII: rows = training set, columns = test set "
+              "(geomean vs -Oz) --\n");
+  std::printf("%-26s", "train \\ test");
+  for (const char *TestDomain : Domains)
+    std::printf(" %12s", TestDomain + std::string("benchmark://").size());
+  std::printf("\n");
+  for (const char *TrainDomain : Domains) {
+    std::printf("%-26s", TrainDomain + std::string("benchmark://").size());
+    for (const char *TestDomain : Domains)
+      std::printf(" %11.3fx", Table[TrainDomain][TestDomain]);
+    std::printf("\n");
+  }
+  std::printf("\npaper: csmith->csmith 1.245x dominates its column; each "
+              "domain's best test score comes from in-domain training\n");
+
+  ShapeChecks Checks;
+  if (fullScale()) {
+    // Column-dominance check, with slack: the diagonal entry should be
+    // the best or within 5% of the best in its column. (Note the paper's
+    // own github column is only within ~1% of dominance, not dominant.)
+    for (const char *TestDomain : Domains) {
+      double Diag = Table[TestDomain][TestDomain];
+      double Best = 0;
+      for (const char *TrainDomain : Domains)
+        Best = std::max(Best, Table[TrainDomain][TestDomain]);
+      Checks.check(Diag >= Best * 0.95,
+                   std::string("in-domain training is best (or within 5%) "
+                               "for test set ") +
+                       TestDomain);
+    }
+  } else {
+    // Smoke scale cannot train each domain agent to saturation; check the
+    // structural claims that survive: the headline csmith column is
+    // diagonal-dominant, and the choice of training set materially
+    // changes every test column (the paper's actual argument).
+    double CsmithDiag = Table[Domains[0]][Domains[0]];
+    double CsmithBest = 0;
+    for (const char *TrainDomain : Domains)
+      CsmithBest = std::max(CsmithBest, Table[TrainDomain][Domains[0]]);
+    Checks.check(CsmithDiag >= CsmithBest * 0.95,
+                 "in-domain training is best for the csmith test column");
+    for (const char *TestDomain : Domains) {
+      double Best = 0, Worst = 1e300;
+      for (const char *TrainDomain : Domains) {
+        Best = std::max(Best, Table[TrainDomain][TestDomain]);
+        Worst = std::min(Worst, Table[TrainDomain][TestDomain]);
+      }
+      Checks.check(Best > Worst * 1.10,
+                   std::string("training-set choice materially changes "
+                               "results on ") +
+                       TestDomain);
+    }
+  }
+  return Checks.verdict();
+}

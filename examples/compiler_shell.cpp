@@ -1,0 +1,212 @@
+//===- examples/compiler_shell.cpp - Interactive CLI shell ------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's interactive command-line shell (§III-D): explore compiler
+/// optimization environments without writing any code. Reads commands from
+/// stdin (pipe-friendly for scripting):
+///
+///   help                      this text
+///   envs                      list environment ids
+///   datasets                  list benchmark datasets
+///   make <env-id>             create an environment
+///   benchmark <uri>           select a benchmark (takes effect on reset)
+///   reset                     start an episode
+///   actions [filter]          list actions (optionally filtered)
+///   step <action-name-or-#>   apply an action
+///   observe <space>           compute an observation
+///   state                     show the serialized episode state
+///   fork                      save a fork to return to later
+///   restore                   switch to the most recent fork
+///   quit
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Registry.h"
+#include "datasets/DatasetRegistry.h"
+#include "util/StringUtils.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+
+namespace {
+
+void printHelp() {
+  std::printf(
+      "commands: envs | datasets | make <env-id> | benchmark <uri> | reset\n"
+      "          actions [filter] | step <name-or-#> | observe <space>\n"
+      "          state | fork | restore | help | quit\n");
+}
+
+void printObservation(const service::Observation &Obs) {
+  switch (Obs.Type) {
+  case service::ObservationType::Int64List: {
+    std::printf("[");
+    for (size_t I = 0; I < Obs.Ints.size(); ++I)
+      std::printf("%s%lld", I ? ", " : "",
+                  static_cast<long long>(Obs.Ints[I]));
+    std::printf("]\n");
+    break;
+  }
+  case service::ObservationType::DoubleList:
+    std::printf("<%zu doubles>\n", Obs.Doubles.size());
+    break;
+  case service::ObservationType::String:
+    std::printf("%s\n", Obs.Str.c_str());
+    break;
+  case service::ObservationType::Binary:
+    std::printf("<%zu bytes>\n", Obs.Str.size());
+    break;
+  case service::ObservationType::Int64Value:
+    std::printf("%lld\n", static_cast<long long>(Obs.IntValue));
+    break;
+  case service::ObservationType::DoubleValue:
+    std::printf("%g\n", Obs.DoubleValue);
+    break;
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("CompilerGym-C++ shell. Type 'help' for commands.\n");
+  std::unique_ptr<CompilerEnv> Env;
+  std::unique_ptr<CompilerEnv> Fork;
+
+  std::string Line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, Line)) {
+    std::istringstream Words(Line);
+    std::string Cmd, Arg;
+    Words >> Cmd;
+    std::getline(Words, Arg);
+    Arg = std::string(trimString(Arg));
+
+    if (Cmd.empty())
+      continue;
+    if (Cmd == "quit" || Cmd == "exit")
+      break;
+    if (Cmd == "help") {
+      printHelp();
+      continue;
+    }
+    if (Cmd == "envs") {
+      for (const std::string &Id : registeredEnvironments())
+        std::printf("  %s\n", Id.c_str());
+      continue;
+    }
+    if (Cmd == "datasets") {
+      for (const auto &D : datasets::DatasetRegistry::instance().datasets())
+        std::printf("  %-32s %10llu benchmarks  %s\n", D->name().c_str(),
+                    static_cast<unsigned long long>(D->size()),
+                    D->description().c_str());
+      continue;
+    }
+    if (Cmd == "make") {
+      auto Made = make(Arg.empty() ? "llvm-v0" : Arg);
+      if (!Made.isOk()) {
+        std::printf("error: %s\n", Made.status().toString().c_str());
+        continue;
+      }
+      Env = Made.takeValue();
+      std::printf("created %s (benchmark %s); 'reset' to begin\n",
+                  Arg.empty() ? "llvm-v0" : Arg.c_str(),
+                  Env->benchmark().c_str());
+      continue;
+    }
+    if (!Env) {
+      std::printf("no environment; use: make llvm-v0\n");
+      continue;
+    }
+    if (Cmd == "benchmark") {
+      Env->setBenchmark(Arg);
+      std::printf("benchmark set to %s (takes effect on reset)\n",
+                  Arg.c_str());
+      continue;
+    }
+    if (Cmd == "reset") {
+      auto Obs = Env->reset();
+      if (!Obs.isOk()) {
+        std::printf("error: %s\n", Obs.status().toString().c_str());
+        continue;
+      }
+      std::printf("episode started; %zu actions available\n",
+                  Env->actionSpace().size());
+      continue;
+    }
+    if (Cmd == "actions") {
+      const auto &Names = Env->actionSpace().ActionNames;
+      for (size_t I = 0; I < Names.size(); ++I)
+        if (Arg.empty() || Names[I].find(Arg) != std::string::npos)
+          std::printf("  [%3zu] %s\n", I, Names[I].c_str());
+      continue;
+    }
+    if (Cmd == "step") {
+      const auto &Names = Env->actionSpace().ActionNames;
+      int Action = -1;
+      if (!Arg.empty() && isdigit(static_cast<unsigned char>(Arg[0]))) {
+        Action = std::atoi(Arg.c_str());
+      } else {
+        for (size_t I = 0; I < Names.size(); ++I)
+          if (Names[I] == Arg)
+            Action = static_cast<int>(I);
+      }
+      if (Action < 0 || static_cast<size_t>(Action) >= Names.size()) {
+        std::printf("unknown action '%s'\n", Arg.c_str());
+        continue;
+      }
+      auto R = Env->step(Action);
+      if (!R.isOk()) {
+        std::printf("error: %s\n", R.status().toString().c_str());
+        continue;
+      }
+      std::printf("%s: reward %+g, cumulative %+g%s\n",
+                  Names[Action].c_str(), R->Reward, Env->episodeReward(),
+                  R->Done ? " [episode done]" : "");
+      continue;
+    }
+    if (Cmd == "observe") {
+      auto Obs = Env->observe(Arg);
+      if (!Obs.isOk()) {
+        std::printf("error: %s\n", Obs.status().toString().c_str());
+        continue;
+      }
+      printObservation(*Obs);
+      continue;
+    }
+    if (Cmd == "state") {
+      std::printf("%s\n", Env->state().serialize().c_str());
+      continue;
+    }
+    if (Cmd == "fork") {
+      auto Forked = Env->fork();
+      if (!Forked.isOk()) {
+        std::printf("error: %s\n", Forked.status().toString().c_str());
+        continue;
+      }
+      Fork = Forked.takeValue();
+      std::printf("forked at %zu actions; 'restore' to return here\n",
+                  Fork->episodeLength());
+      continue;
+    }
+    if (Cmd == "restore") {
+      if (!Fork) {
+        std::printf("nothing forked\n");
+        continue;
+      }
+      Env = std::move(Fork);
+      std::printf("restored fork at %zu actions\n", Env->episodeLength());
+      continue;
+    }
+    std::printf("unknown command '%s'; try 'help'\n", Cmd.c_str());
+  }
+  return 0;
+}

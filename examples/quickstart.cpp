@@ -1,0 +1,86 @@
+//===- examples/quickstart.cpp - The Listing 1 interaction loop -*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Listing 1, in C++: create an LLVM phase-ordering
+/// environment on cbench/qsort with Autophase observations and
+/// instruction-count rewards, take random actions, print progress, and
+/// save the optimized program to disk.
+///
+/// Usage: quickstart [benchmark-uri] [num-steps]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Registry.h"
+#include "util/Rng.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace compiler_gym;
+
+int main(int argc, char **argv) {
+  const std::string Benchmark =
+      argc > 1 ? argv[1] : "benchmark://cbench-v1/qsort";
+  const int Steps = argc > 2 ? std::atoi(argv[2]) : 100;
+
+  // Create a new environment, selecting the compiler to use, the program
+  // to compile, the observation space, and the optimization target.
+  core::MakeOptions Opts;
+  Opts.Benchmark = Benchmark;
+  Opts.ObservationSpace = "Autophase";
+  Opts.RewardSpace = "IrInstructionCount";
+  auto Env = core::make("llvm-v0", Opts);
+  if (!Env.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Env.status().toString().c_str());
+    return 1;
+  }
+
+  // Start a new compilation session.
+  auto Observation = (*Env)->reset();
+  if (!Observation.isOk()) {
+    std::fprintf(stderr, "reset failed: %s\n",
+                 Observation.status().toString().c_str());
+    return 1;
+  }
+  std::printf("benchmark:    %s\n", Benchmark.c_str());
+  std::printf("action space: %zu passes\n", (*Env)->actionSpace().size());
+  std::printf("observation:  %zu-dimensional Autophase vector\n",
+              Observation->Ints.size());
+
+  // Run random optimizations. Each step produces a new observation and a
+  // reward (the change in IR instruction count).
+  Rng Gen(0xC0DE);
+  double Cumulative = 0.0;
+  for (int I = 0; I < Steps; ++I) {
+    int Action = static_cast<int>(Gen.bounded((*Env)->actionSpace().size()));
+    auto Result = (*Env)->step(Action);
+    if (!Result.isOk()) {
+      std::fprintf(stderr, "step failed: %s\n",
+                   Result.status().toString().c_str());
+      return 1;
+    }
+    Cumulative += Result->Reward;
+    if (Result->Reward != 0.0)
+      std::printf("step %3d: %-24s reward %+6.0f (cumulative %+.0f)\n", I,
+                  (*Env)->actionSpace().ActionNames[Action].c_str(),
+                  Result->Reward, Cumulative);
+    if (Result->Done) {
+      if (!(*Env)->reset().isOk())
+        return 1;
+    }
+  }
+
+  // Save the optimized program.
+  const char *OutPath = "/tmp/quickstart_output.ir";
+  if (Status S = (*Env)->writeIr(OutPath); !S.isOk()) {
+    std::fprintf(stderr, "writeIr failed: %s\n", S.toString().c_str());
+    return 1;
+  }
+  std::printf("\ntotal instruction-count reduction: %.0f\n", Cumulative);
+  std::printf("optimized program written to %s\n", OutPath);
+  return 0;
+}

@@ -1,0 +1,40 @@
+//===- analysis/Autophase.h - 56-D structural features ----------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Autophase observation space: a 56-dimensional int64 vector of
+/// structural program features, following Haj-Ali et al. (MLSys'20) as
+/// shipped in CompilerGym (Table III row 3). Unlike InstCount's flat
+/// opcode histogram, Autophase encodes CFG shape (edge/predecessor
+/// structure, phi density, critical edges), which is why the paper's Fig 9
+/// finds it the stronger representation for RL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ANALYSIS_AUTOPHASE_H
+#define COMPILER_GYM_ANALYSIS_AUTOPHASE_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace analysis {
+
+constexpr int AutophaseDims = 56;
+
+/// Computes the Autophase feature vector for \p M.
+std::vector<int64_t> autophase(const ir::Module &M);
+
+/// Human-readable name of feature \p Dim (for the explorer tools).
+const char *autophaseFeatureName(int Dim);
+
+} // namespace analysis
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ANALYSIS_AUTOPHASE_H

@@ -1,0 +1,91 @@
+//===- analysis/Inst2vec.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inst2vec.h"
+
+#include "util/Hash.h"
+#include "util/Rng.h"
+
+#include <mutex>
+#include <unordered_map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::analysis;
+using namespace compiler_gym::ir;
+
+std::string analysis::inst2vecStatement(const Instruction &I) {
+  // Canonicalization mirrors inst2vec preprocessing: identifiers are
+  // abstracted away, structure is kept.
+  std::string S = opcodeName(I.opcode());
+  S += ' ';
+  S += typeName(I.type());
+  if (I.opcode() == Opcode::ICmp || I.opcode() == Opcode::FCmp) {
+    S += ' ';
+    S += predName(I.pred());
+  }
+  for (const Value *Op : I.operands()) {
+    S += ' ';
+    if (const auto *C = dyn_cast<Constant>(Op)) {
+      S += "<const:";
+      S += typeName(C->type());
+      S += '>';
+    } else if (isa<GlobalVariable>(Op)) {
+      S += "<global>";
+    } else if (isa<FunctionRef>(Op)) {
+      S += "<func>";
+    } else if (isa<BasicBlock>(Op)) {
+      S += "<label>";
+    } else {
+      S += "<id:";
+      S += typeName(Op->type());
+      S += '>';
+    }
+  }
+  return S;
+}
+
+namespace {
+
+/// Embedding table: lazily materialized per vocabulary key, deterministic
+/// across processes (seeded by the key's hash). Shared by all modules,
+/// like a pretrained vocabulary would be.
+class EmbeddingTable {
+public:
+  const std::vector<float> &lookup(const std::string &Statement) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Table.find(Statement);
+    if (It != Table.end())
+      return It->second;
+    Rng Gen(fnv1a(Statement));
+    std::vector<float> Embedding(Inst2vecDims);
+    for (float &X : Embedding)
+      X = static_cast<float>(Gen.gaussian() * 0.1);
+    return Table.emplace(Statement, std::move(Embedding)).first->second;
+  }
+
+private:
+  std::mutex Mutex;
+  std::unordered_map<std::string, std::vector<float>> Table;
+};
+
+EmbeddingTable &embeddingTable() {
+  static EmbeddingTable Table;
+  return Table;
+}
+
+} // namespace
+
+std::vector<float> analysis::inst2vec(const Module &M) {
+  std::vector<float> Out;
+  for (const auto &F : M.functions()) {
+    F->forEachInstruction([&](BasicBlock &, Instruction &I) {
+      const std::vector<float> &E =
+          embeddingTable().lookup(inst2vecStatement(I));
+      Out.insert(Out.end(), E.begin(), E.end());
+    });
+  }
+  return Out;
+}

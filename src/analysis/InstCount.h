@@ -1,0 +1,46 @@
+//===- analysis/InstCount.h - 70-D counter features --------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The InstCount observation space: a 70-dimensional int64 vector of static
+/// program counters, mirroring the paper's LLVM InstCount space (Table III
+/// row 2). Layout:
+///   [0]      total instructions
+///   [1]      total basic blocks
+///   [2]      total functions
+///   [3..37]  static count per opcode (NumOpcodes = 35 opcodes)
+///   [38..42] instruction results by type: i1, i32, i64, f64, ptr
+///   [43]     CFG edges
+///   [44]     function arguments
+///   [45]     globals
+///   [46]     constant operand references
+///   [47]     total phi incoming arcs
+///   [48]     total call arguments
+///   [49]     maximum block size
+///   [50..69] reserved (zero), keeping the 70-D contract
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ANALYSIS_INSTCOUNT_H
+#define COMPILER_GYM_ANALYSIS_INSTCOUNT_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace compiler_gym {
+namespace analysis {
+
+constexpr int InstCountDims = 70;
+
+/// Computes the InstCount feature vector for \p M.
+std::vector<int64_t> instCount(const ir::Module &M);
+
+} // namespace analysis
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ANALYSIS_INSTCOUNT_H

@@ -1,0 +1,185 @@
+//===- analysis/ProGraML.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProGraML.h"
+
+#include <cstring>
+#include <unordered_map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::analysis;
+using namespace compiler_gym::ir;
+
+ProgramGraph analysis::buildProgramGraph(const Module &M) {
+  ProgramGraph G;
+  std::unordered_map<const Value *, int32_t> NodeOf;
+
+  auto addNode = [&](ProgramGraph::NodeKind Kind, std::string Text,
+                     int32_t Feature) {
+    G.Nodes.push_back({Kind, std::move(Text), Feature});
+    return static_cast<int32_t>(G.Nodes.size() - 1);
+  };
+  auto addEdge = [&](int32_t Src, int32_t Dst, ProgramGraph::EdgeFlow Flow,
+                     int32_t Pos) {
+    G.Edges.push_back({Src, Dst, Flow, Pos});
+  };
+
+  // Function nodes first (call edges reference them).
+  std::unordered_map<const Function *, int32_t> FnNode;
+  for (const auto &F : M.functions())
+    FnNode[F.get()] = addNode(ProgramGraph::NodeKind::Function, F->name(), 0);
+
+  // Variable nodes for globals and arguments.
+  for (const auto &Gl : M.globals())
+    NodeOf[Gl.get()] = addNode(ProgramGraph::NodeKind::Variable, "global",
+                               static_cast<int32_t>(Type::Ptr));
+  for (const auto &F : M.functions())
+    for (size_t A = 0; A < F->numArgs(); ++A)
+      NodeOf[F->arg(A)] =
+          addNode(ProgramGraph::NodeKind::Variable, "arg",
+                  static_cast<int32_t>(F->arg(A)->type()));
+
+  // Instruction nodes.
+  for (const auto &F : M.functions()) {
+    F->forEachInstruction([&](BasicBlock &, Instruction &I) {
+      NodeOf[&I] = addNode(ProgramGraph::NodeKind::Instruction,
+                           opcodeName(I.opcode()),
+                           static_cast<int32_t>(I.opcode()));
+    });
+  }
+
+  // Control edges: within a block consecutive instructions; terminator to
+  // the first instruction of each successor. Entry gets a call edge from
+  // the function node.
+  for (const auto &F : M.functions()) {
+    if (!F->empty() && !F->entry()->empty())
+      addEdge(FnNode[F.get()], NodeOf.at(F->entry()->front()),
+              ProgramGraph::EdgeFlow::Call, 0);
+    for (const auto &BB : F->blocks()) {
+      for (size_t I = 0; I + 1 < BB->size(); ++I)
+        addEdge(NodeOf.at(BB->instructions()[I].get()),
+                NodeOf.at(BB->instructions()[I + 1].get()),
+                ProgramGraph::EdgeFlow::Control, 0);
+      Instruction *Term = BB->terminator();
+      if (!Term)
+        continue;
+      int32_t Pos = 0;
+      for (BasicBlock *Succ : BB->successors())
+        if (!Succ->empty())
+          addEdge(NodeOf.at(Term), NodeOf.at(Succ->front()),
+                  ProgramGraph::EdgeFlow::Control, Pos++);
+    }
+  }
+
+  // Data edges: operand values to the consuming instruction, with operand
+  // position. Constants materialize nodes on first use. Call edges connect
+  // call sites to callee function nodes and back.
+  std::unordered_map<const Value *, int32_t> ConstNode;
+  for (const auto &F : M.functions()) {
+    F->forEachInstruction([&](BasicBlock &, Instruction &I) {
+      int32_t Me = NodeOf.at(&I);
+      for (size_t Op = 0; Op < I.numOperands(); ++Op) {
+        const Value *V = I.operand(Op);
+        if (const auto *C = dyn_cast<Constant>(V)) {
+          auto It = ConstNode.find(C);
+          int32_t CN;
+          if (It != ConstNode.end()) {
+            CN = It->second;
+          } else {
+            CN = addNode(ProgramGraph::NodeKind::Constant, typeName(C->type()),
+                         static_cast<int32_t>(C->type()));
+            ConstNode[C] = CN;
+          }
+          addEdge(CN, Me, ProgramGraph::EdgeFlow::Data,
+                  static_cast<int32_t>(Op));
+          continue;
+        }
+        if (const auto *FR = dyn_cast<FunctionRef>(V)) {
+          addEdge(Me, FnNode.at(FR->function()), ProgramGraph::EdgeFlow::Call,
+                  0);
+          continue;
+        }
+        if (isa<BasicBlock>(V))
+          continue; // Control already modeled.
+        auto It = NodeOf.find(V);
+        if (It != NodeOf.end())
+          addEdge(It->second, Me, ProgramGraph::EdgeFlow::Data,
+                  static_cast<int32_t>(Op));
+      }
+    });
+  }
+  return G;
+}
+
+namespace {
+
+void appendI32(std::string &Out, int32_t V) {
+  char Buf[4];
+  std::memcpy(Buf, &V, 4);
+  Out.append(Buf, 4);
+}
+
+bool readI32(const std::string &In, size_t &Cursor, int32_t &V) {
+  if (Cursor + 4 > In.size())
+    return false;
+  std::memcpy(&V, In.data() + Cursor, 4);
+  Cursor += 4;
+  return true;
+}
+
+} // namespace
+
+std::string analysis::serializeGraph(const ProgramGraph &G) {
+  std::string Out;
+  appendI32(Out, static_cast<int32_t>(G.Nodes.size()));
+  appendI32(Out, static_cast<int32_t>(G.Edges.size()));
+  for (const auto &N : G.Nodes) {
+    appendI32(Out, static_cast<int32_t>(N.Kind));
+    appendI32(Out, N.Feature);
+    appendI32(Out, static_cast<int32_t>(N.Text.size()));
+    Out += N.Text;
+  }
+  for (const auto &E : G.Edges) {
+    appendI32(Out, E.Source);
+    appendI32(Out, E.Target);
+    appendI32(Out, static_cast<int32_t>(E.Flow));
+    appendI32(Out, E.Position);
+  }
+  return Out;
+}
+
+bool analysis::deserializeGraph(const std::string &Bytes, ProgramGraph &Out) {
+  Out.Nodes.clear();
+  Out.Edges.clear();
+  size_t Cursor = 0;
+  int32_t NumNodes, NumEdges;
+  if (!readI32(Bytes, Cursor, NumNodes) || !readI32(Bytes, Cursor, NumEdges))
+    return false;
+  if (NumNodes < 0 || NumEdges < 0)
+    return false;
+  Out.Nodes.reserve(NumNodes);
+  for (int32_t I = 0; I < NumNodes; ++I) {
+    int32_t Kind, Feature, Len;
+    if (!readI32(Bytes, Cursor, Kind) || !readI32(Bytes, Cursor, Feature) ||
+        !readI32(Bytes, Cursor, Len))
+      return false;
+    if (Len < 0 || Cursor + static_cast<size_t>(Len) > Bytes.size())
+      return false;
+    Out.Nodes.push_back({static_cast<ProgramGraph::NodeKind>(Kind),
+                         Bytes.substr(Cursor, Len), Feature});
+    Cursor += Len;
+  }
+  Out.Edges.reserve(NumEdges);
+  for (int32_t I = 0; I < NumEdges; ++I) {
+    int32_t Src, Dst, Flow, Pos;
+    if (!readI32(Bytes, Cursor, Src) || !readI32(Bytes, Cursor, Dst) ||
+        !readI32(Bytes, Cursor, Flow) || !readI32(Bytes, Cursor, Pos))
+      return false;
+    Out.Edges.push_back({Src, Dst, static_cast<ProgramGraph::EdgeFlow>(Flow),
+                         Pos});
+  }
+  return true;
+}

@@ -1,0 +1,62 @@
+//===- analysis/ProGraML.h - Graph program representation -------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ProGraML observation space (Cummins et al., ICML'21): a directed
+/// multigraph over instructions, values and functions with typed,
+/// positional edges for control flow, data flow and calls. This is the
+/// most expensive observation space (Table III) and the input to the
+/// GGNN cost model of Fig 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ANALYSIS_PROGRAML_H
+#define COMPILER_GYM_ANALYSIS_PROGRAML_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace analysis {
+
+/// A ProGraML-style program graph.
+struct ProgramGraph {
+  enum class NodeKind { Instruction, Variable, Constant, Function };
+  enum class EdgeFlow { Control, Data, Call };
+
+  struct Node {
+    NodeKind Kind;
+    std::string Text;  ///< Canonical token (opcode, type, or symbol).
+    int32_t Feature;   ///< Small integer feature (opcode or type index).
+  };
+  struct Edge {
+    int32_t Source;
+    int32_t Target;
+    EdgeFlow Flow;
+    int32_t Position; ///< Operand position for data edges, else 0.
+  };
+
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numEdges() const { return Edges.size(); }
+};
+
+/// Builds the graph for \p M.
+ProgramGraph buildProgramGraph(const ir::Module &M);
+
+/// Compact serialization (for the transition database and RPC transport).
+std::string serializeGraph(const ProgramGraph &G);
+bool deserializeGraph(const std::string &Bytes, ProgramGraph &Out);
+
+} // namespace analysis
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ANALYSIS_PROGRAML_H

@@ -1,0 +1,79 @@
+//===- autotune/GreedySearch.cpp - Fork-based greedy search -----*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy search (Table IV): "at each step evaluates all possible actions
+/// and selects the action which provides the greatest reward, terminating
+/// once no positive reward can be achieved". Implemented exactly as §III-B6
+/// describes the fork() use case: n forks of the environment, one action
+/// each, keep the winner.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Search.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::autotune;
+
+namespace {
+
+class GreedySearch : public Search {
+public:
+  std::string name() const override { return "Greedy Search"; }
+
+  StatusOr<SearchResult> run(core::CompilerEnv &E,
+                             const SearchBudget &Budget) override {
+    BudgetTracker Tracker(Budget);
+    SearchResult Result;
+    CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+    (void)Obs;
+    Tracker.addCompilation();
+    size_t NumActions = E.actionSpace().size();
+
+    // With a warm start the greedy refinement begins from the seeded
+    // sequence's state instead of the unoptimized program.
+    if (!WarmStart.empty()) {
+      CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(WarmStart));
+      (void)R;
+      Tracker.addSteps(WarmStart.size());
+      Result.BestActions = WarmStart;
+      Result.BestReward = E.episodeReward();
+    }
+
+    while (!Tracker.exhausted()) {
+      int BestAction = -1;
+      double BestReward = 0.0;
+      for (size_t A = 0; A < NumActions && !Tracker.exhausted(); ++A) {
+        CG_ASSIGN_OR_RETURN(std::unique_ptr<core::CompilerEnv> Fork,
+                            E.fork());
+        CG_ASSIGN_OR_RETURN(core::StepResult R,
+                            Fork->step(static_cast<int>(A)));
+        Tracker.addSteps(1);
+        if (R.Reward > BestReward) {
+          BestReward = R.Reward;
+          BestAction = static_cast<int>(A);
+        }
+      }
+      if (BestAction < 0)
+        break; // No action yields positive reward: local optimum reached.
+      CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(BestAction));
+      (void)R;
+      Tracker.addSteps(1);
+      Result.BestActions.push_back(BestAction);
+      Result.BestReward = E.episodeReward();
+    }
+    Result.StepsUsed = Tracker.steps();
+    Result.CompilationsUsed = Tracker.compilations();
+    Result.WallSeconds = Tracker.wallSeconds();
+    return Result;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Search> autotune::createGreedySearch() {
+  return std::make_unique<GreedySearch>();
+}

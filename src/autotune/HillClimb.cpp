@@ -1,0 +1,81 @@
+//===- autotune/HillClimb.cpp - GCC hill climbing ---------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hill climbing for the GCC flag space (Table V): "at each step a small
+/// number of random changes are made to the current choices. If this
+/// improves the objective then the current state is accepted and future
+/// steps modify from there."
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Search.h"
+
+#include "envs/gcc/GccSession.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::autotune;
+
+namespace {
+
+class GccHillClimb : public Search {
+public:
+  GccHillClimb(uint64_t Seed, size_t MutationsPerStep)
+      : Gen(Seed), MutationsPerStep(MutationsPerStep) {}
+
+  std::string name() const override { return "Hill Climbing"; }
+
+  StatusOr<SearchResult> run(core::CompilerEnv &E,
+                             const SearchBudget &Budget) override {
+    const envs::GccOptionSpace &Spec = envs::GccSession::optionSpace();
+    BudgetTracker Tracker(Budget);
+    SearchResult Result;
+    CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+    (void)Obs;
+
+    std::vector<int64_t> Current = Spec.defaultChoices();
+    double CurrentReward = 0.0; // Reward of the default configuration.
+    Result.BestActions.assign(Current.begin(), Current.end());
+
+    while (!Tracker.exhausted()) {
+      std::vector<int64_t> Candidate = Current;
+      size_t NumMutations = 1 + Gen.bounded(MutationsPerStep);
+      for (size_t M = 0; M < NumMutations; ++M) {
+        size_t Opt = Gen.bounded(Candidate.size());
+        Candidate[Opt] = static_cast<int64_t>(Gen.bounded(
+            static_cast<uint64_t>(Spec.options()[Opt].Cardinality)));
+      }
+      CG_ASSIGN_OR_RETURN(core::StepResult R, E.stepDirect(Candidate));
+      (void)R;
+      Tracker.addCompilation();
+      Tracker.addSteps(1);
+      double Reward = E.episodeReward();
+      if (Reward > CurrentReward) {
+        Current = Candidate;
+        CurrentReward = Reward;
+        if (Reward > Result.BestReward) {
+          Result.BestReward = Reward;
+          Result.BestActions.assign(Current.begin(), Current.end());
+        }
+      }
+    }
+    Result.StepsUsed = Tracker.steps();
+    Result.CompilationsUsed = Tracker.compilations();
+    Result.WallSeconds = Tracker.wallSeconds();
+    return Result;
+  }
+
+private:
+  Rng Gen;
+  size_t MutationsPerStep;
+};
+
+} // namespace
+
+std::unique_ptr<Search> autotune::createGccHillClimb(uint64_t Seed,
+                                                     size_t MutationsPerStep) {
+  return std::make_unique<GccHillClimb>(Seed, MutationsPerStep);
+}

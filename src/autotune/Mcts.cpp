@@ -1,0 +1,164 @@
+//===- autotune/Mcts.cpp - LaMCTS-style tree search -------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monte Carlo tree search over pass sequences with latent-action space
+/// partitioning in the spirit of LaMCTS (Wang et al., NeurIPS'20): sampled
+/// rewards per first-action cluster split the action space into promising /
+/// unpromising regions on the fly, and UCT search is biased into the
+/// winning region. (The original partitions a continuous space with
+/// learned classifiers; over a discrete pass space, reward-ranked action
+/// bisection plays that role.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+using namespace compiler_gym;
+using namespace compiler_gym::autotune;
+
+namespace {
+
+struct TreeNode {
+  std::map<int, std::unique_ptr<TreeNode>> Children;
+  double TotalReward = 0.0;
+  size_t Visits = 0;
+};
+
+class LaMctsSearch : public Search {
+public:
+  explicit LaMctsSearch(uint64_t Seed) : Gen(Seed) {}
+
+  std::string name() const override { return "LaMCTS"; }
+
+  StatusOr<SearchResult> run(core::CompilerEnv &E,
+                             const SearchBudget &Budget) override {
+    BudgetTracker Tracker(Budget);
+    SearchResult Result;
+    CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+    (void)Obs;
+    size_t NumActions = E.actionSpace().size();
+
+    if (!WarmStart.empty()) {
+      CG_ASSIGN_OR_RETURN(double Reward,
+                          evaluateSequence(E, WarmStart, Tracker));
+      if (Reward > Result.BestReward) {
+        Result.BestReward = Reward;
+        Result.BestActions = WarmStart;
+      }
+    }
+
+    // Phase 1 (space partitioning): sample each action once from the root
+    // to rank regions of the space.
+    std::vector<double> ActionMean(NumActions, 0.0);
+    for (size_t A = 0; A < NumActions && !Tracker.exhausted(); ++A) {
+      CG_ASSIGN_OR_RETURN(double Reward,
+                          evaluateSequence(E, {static_cast<int>(A)},
+                                           Tracker));
+      ActionMean[A] = Reward;
+      if (Reward > Result.BestReward) {
+        Result.BestReward = Reward;
+        Result.BestActions = {static_cast<int>(A)};
+      }
+    }
+    // Promising region: the top half of actions by sampled reward.
+    std::vector<int> Ranked(NumActions);
+    for (size_t A = 0; A < NumActions; ++A)
+      Ranked[A] = static_cast<int>(A);
+    std::sort(Ranked.begin(), Ranked.end(), [&](int A, int B) {
+      return ActionMean[A] > ActionMean[B];
+    });
+    std::vector<int> GoodRegion(
+        Ranked.begin(), Ranked.begin() + std::max<size_t>(4, NumActions / 2));
+
+    // Phase 2: UCT over sequences drawn mostly from the good region.
+    TreeNode Root;
+    const size_t MaxDepth = 24;
+    const double ExploreC = 0.6;
+    while (!Tracker.exhausted()) {
+      // Selection + expansion down the tree.
+      std::vector<int> Sequence;
+      TreeNode *Node = &Root;
+      while (Sequence.size() < MaxDepth) {
+        // Progressive widening: only consider a few children per node.
+        size_t WidthCap = 2 + static_cast<size_t>(
+                                  std::sqrt(static_cast<double>(Node->Visits)));
+        int Action;
+        if (Node->Children.size() < WidthCap) {
+          // Expand with a fresh action, biased into the good region.
+          const std::vector<int> &Pool =
+              Gen.chance(0.8) ? GoodRegion : Ranked;
+          Action = Pool[Gen.bounded(Pool.size())];
+        } else {
+          // UCT over existing children.
+          double BestScore = -1e300;
+          Action = Node->Children.begin()->first;
+          for (auto &[A, Child] : Node->Children) {
+            double Mean = Child->Visits
+                              ? Child->TotalReward /
+                                    static_cast<double>(Child->Visits)
+                              : 0.0;
+            double Score = Mean + ExploreC *
+                                      std::sqrt(std::log(1.0 + Node->Visits) /
+                                                (1.0 + Child->Visits));
+            if (Score > BestScore) {
+              BestScore = Score;
+              Action = A;
+            }
+          }
+        }
+        Sequence.push_back(Action);
+        auto &Slot = Node->Children[Action];
+        if (!Slot) {
+          Slot = std::make_unique<TreeNode>();
+          Node = Slot.get();
+          break; // Expanded a new leaf; stop selection.
+        }
+        Node = Slot.get();
+        if (Gen.chance(0.15))
+          break; // Occasional early cutoff diversifies sequence lengths.
+      }
+
+      CG_ASSIGN_OR_RETURN(double Reward,
+                          evaluateSequence(E, Sequence, Tracker));
+      if (Reward > Result.BestReward) {
+        Result.BestReward = Reward;
+        Result.BestActions = Sequence;
+      }
+      // Backpropagate along the path.
+      TreeNode *Cur = &Root;
+      Cur->Visits++;
+      Cur->TotalReward += Reward;
+      for (int A : Sequence) {
+        auto It = Cur->Children.find(A);
+        if (It == Cur->Children.end())
+          break;
+        Cur = It->second.get();
+        Cur->Visits++;
+        Cur->TotalReward += Reward;
+      }
+    }
+
+    Result.StepsUsed = Tracker.steps();
+    Result.CompilationsUsed = Tracker.compilations();
+    Result.WallSeconds = Tracker.wallSeconds();
+    return Result;
+  }
+
+private:
+  Rng Gen;
+};
+
+} // namespace
+
+std::unique_ptr<Search> autotune::createLaMctsSearch(uint64_t Seed) {
+  return std::make_unique<LaMctsSearch>(Seed);
+}

@@ -1,0 +1,158 @@
+//===- autotune/NevergradLite.cpp - Black-box ensemble ----------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Nevergrad-flavoured gradient-free optimizer over fixed-length pass
+/// sequences (Table IV): a portfolio of (1+1) evolution with adaptive
+/// mutation rate, differential evolution, and pure random sampling, with a
+/// softmax bandit allocating the evaluation budget across them — the
+/// "ensemble of techniques" design of Rapin & Teytaud's library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Search.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::autotune;
+
+namespace {
+
+class NevergradLite : public Search {
+public:
+  NevergradLite(uint64_t Seed, size_t SequenceLength)
+      : Gen(Seed), Length(SequenceLength) {}
+
+  std::string name() const override { return "Nevergrad"; }
+
+  StatusOr<SearchResult> run(core::CompilerEnv &E,
+                             const SearchBudget &Budget) override {
+    BudgetTracker Tracker(Budget);
+    SearchResult Result;
+    CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+    (void)Obs;
+    NumActions = E.actionSpace().size();
+
+    // A warm start becomes the (1+1)-ES starting point; the sequence
+    // length follows it so mutation and DE recombination stay aligned.
+    if (!WarmStart.empty())
+      Length = WarmStart.size();
+
+    // Shared archive for DE and the (1+1)-ES incumbent.
+    std::vector<std::pair<std::vector<int>, double>> Archive;
+    std::vector<int> Incumbent =
+        WarmStart.empty() ? randomSequence() : WarmStart;
+    CG_ASSIGN_OR_RETURN(double IncumbentReward,
+                        evaluateSequence(E, Incumbent, Tracker));
+    Archive.emplace_back(Incumbent, IncumbentReward);
+    updateBest(Result, Incumbent, IncumbentReward);
+    double MutationRate = 0.25;
+
+    // Bandit over the three techniques.
+    double TechniqueScore[3] = {0.0, 0.0, 0.0};
+    size_t TechniqueUses[3] = {1, 1, 1};
+
+    while (!Tracker.exhausted()) {
+      int Technique = pickTechnique(TechniqueScore, TechniqueUses);
+      std::vector<int> Candidate;
+      switch (Technique) {
+      case 0: { // (1+1)-ES mutation of the incumbent.
+        Candidate = Incumbent;
+        for (int &A : Candidate)
+          if (Gen.chance(MutationRate))
+            A = static_cast<int>(Gen.bounded(NumActions));
+        break;
+      }
+      case 1: { // Differential evolution: recombine three archive members.
+        if (Archive.size() < 3) {
+          Candidate = randomSequence();
+          break;
+        }
+        const auto &X = Archive[Gen.bounded(Archive.size())].first;
+        const auto &Y = Archive[Gen.bounded(Archive.size())].first;
+        const auto &Z = Archive[Gen.bounded(Archive.size())].first;
+        Candidate.resize(Length);
+        for (size_t I = 0; I < Length; ++I) {
+          int Base = X[I];
+          if (Gen.chance(0.5))
+            Base = Y[I] != Z[I] ? Y[I] : Base; // Discrete differential.
+          Candidate[I] = Gen.chance(0.1)
+                             ? static_cast<int>(Gen.bounded(NumActions))
+                             : Base;
+        }
+        break;
+      }
+      default:
+        Candidate = randomSequence();
+        break;
+      }
+
+      CG_ASSIGN_OR_RETURN(double Reward,
+                          evaluateSequence(E, Candidate, Tracker));
+      Archive.emplace_back(Candidate, Reward);
+      if (Archive.size() > 64)
+        Archive.erase(Archive.begin());
+      bool Improved = Reward > IncumbentReward;
+      if (Technique == 0) {
+        // 1/5th-rule adaptation.
+        MutationRate = std::clamp(Improved ? MutationRate * 1.5
+                                           : MutationRate * 0.95,
+                                  0.02, 0.6);
+      }
+      if (Improved) {
+        Incumbent = Candidate;
+        IncumbentReward = Reward;
+      }
+      TechniqueScore[Technique] =
+          0.9 * TechniqueScore[Technique] + (Improved ? 1.0 : 0.0);
+      ++TechniqueUses[Technique];
+      updateBest(Result, Candidate, Reward);
+    }
+
+    Result.StepsUsed = Tracker.steps();
+    Result.CompilationsUsed = Tracker.compilations();
+    Result.WallSeconds = Tracker.wallSeconds();
+    return Result;
+  }
+
+private:
+  std::vector<int> randomSequence() {
+    std::vector<int> Out(Length);
+    for (int &A : Out)
+      A = static_cast<int>(Gen.bounded(NumActions));
+    return Out;
+  }
+
+  int pickTechnique(const double Score[3], const size_t Uses[3]) {
+    // Softmax over score-per-use plus exploration noise.
+    std::vector<double> Weights(3);
+    for (int T = 0; T < 3; ++T)
+      Weights[T] =
+          std::exp(2.0 * Score[T] / static_cast<double>(Uses[T])) + 0.2;
+    return static_cast<int>(Gen.weightedIndex(Weights));
+  }
+
+  void updateBest(SearchResult &Result, const std::vector<int> &Seq,
+                  double Reward) {
+    if (Reward > Result.BestReward) {
+      Result.BestReward = Reward;
+      Result.BestActions = Seq;
+    }
+  }
+
+  Rng Gen;
+  size_t Length;
+  size_t NumActions = 1;
+};
+
+} // namespace
+
+std::unique_ptr<Search>
+autotune::createNevergradSearch(uint64_t Seed, size_t SequenceLength) {
+  return std::make_unique<NevergradLite>(Seed, SequenceLength);
+}

@@ -1,0 +1,57 @@
+//===- autotune/Search.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Search.h"
+
+#include "passes/PassRegistry.h"
+#include "passes/Pipelines.h"
+
+#include <unordered_map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::autotune;
+
+Search::~Search() = default;
+
+StatusOr<double> autotune::evaluateSequence(core::CompilerEnv &E,
+                                            const std::vector<int> &Actions,
+                                            BudgetTracker &Tracker) {
+  CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+  (void)Obs;
+  Tracker.addCompilation();
+  if (Actions.empty())
+    return 0.0;
+  CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(Actions));
+  (void)R;
+  Tracker.addSteps(Actions.size());
+  return E.episodeReward();
+}
+
+std::vector<int> autotune::pipelineActions(const core::CompilerEnv &E,
+                                           const std::string &Level) {
+  std::vector<int> Out;
+  StatusOr<std::vector<std::string>> Passes =
+      passes::pipelineForLevel(Level);
+  if (!Passes.isOk())
+    return Out;
+  // Gym envs populate their action space on the first reset(); before
+  // that the LLVM env's space is known statically to be the registry's
+  // default action list, so fall back to it rather than silently mapping
+  // nothing.
+  const std::vector<std::string> &Names =
+      E.actionSpace().size() > 0
+          ? E.actionSpace().ActionNames
+          : passes::PassRegistry::instance().defaultActionNames();
+  std::unordered_map<std::string, int> Index;
+  for (size_t I = 0; I < Names.size(); ++I)
+    Index.emplace(Names[I], static_cast<int>(I));
+  for (const std::string &Pass : *Passes) {
+    auto It = Index.find(Pass);
+    if (It != Index.end())
+      Out.push_back(It->second);
+  }
+  return Out;
+}

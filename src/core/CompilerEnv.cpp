@@ -1,0 +1,321 @@
+//===- core/CompilerEnv.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompilerEnv.h"
+
+#include "datasets/DatasetRegistry.h"
+#include "util/Logging.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+using namespace compiler_gym::service;
+
+CompilerEnv::CompilerEnv(CompilerEnvOptions Opts,
+                         std::shared_ptr<CompilerService> Service,
+                         std::shared_ptr<ServiceClient> Client)
+    : Opts(std::move(Opts)), Service(std::move(Service)),
+      Client(std::move(Client)) {}
+
+CompilerEnv::~CompilerEnv() {
+  if (SessionLive)
+    (void)Client->endSession(SessionId);
+}
+
+StatusOr<std::unique_ptr<CompilerEnv>>
+CompilerEnv::create(const CompilerEnvOptions &Opts) {
+  auto Service = std::make_shared<CompilerService>(Opts.Faults);
+  std::shared_ptr<ServiceClient> Client;
+  if (Opts.UseFlakyTransport) {
+    auto Base = std::make_shared<QueueTransport>(
+        [Service](const std::string &Bytes) { return Service->handle(Bytes); });
+    auto Flaky = std::make_shared<FlakyTransport>(Base,
+                                                  Opts.TransportFaultPlan);
+    Client = std::make_shared<ServiceClient>(Service, Flaky, Opts.Client);
+  } else {
+    Client = std::make_shared<ServiceClient>(Service, Opts.Client);
+  }
+  std::unique_ptr<CompilerEnv> Env(
+      new CompilerEnv(Opts, std::move(Service), std::move(Client)));
+  if (!Opts.RewardSpace.empty()) {
+    CG_ASSIGN_OR_RETURN(RewardSpec Spec,
+                        rewardSpec(Opts.CompilerName, Opts.RewardSpace));
+    Env->Reward = Spec;
+  }
+  Env->State.EnvId = Opts.EnvId;
+  Env->State.RewardSpace = Opts.RewardSpace;
+  return Env;
+}
+
+Status CompilerEnv::setRewardSpace(const std::string &Name) {
+  if (Name.empty()) {
+    Reward.reset();
+    State.RewardSpace.clear();
+    return Status::ok();
+  }
+  CG_ASSIGN_OR_RETURN(RewardSpec Spec, rewardSpec(Opts.CompilerName, Name));
+  Reward = Spec;
+  Opts.RewardSpace = Name;
+  State.RewardSpace = Name;
+  return Status::ok();
+}
+
+Status CompilerEnv::startSession() {
+  // Benchmark resolution can be expensive (generator-backed datasets build
+  // the whole program); cache it so repeated resets stay O(1).
+  if (!CachedBenchmark || CachedBenchmark->Uri != Opts.BenchmarkUri) {
+    CG_ASSIGN_OR_RETURN(
+        datasets::Benchmark Bench,
+        datasets::DatasetRegistry::instance().resolve(Opts.BenchmarkUri));
+    // Dataset-only URIs resolve to their first member; key the cache by
+    // the resolved URI only when it matches the request.
+    CachedBenchmark = std::move(Bench);
+    if (CachedBenchmark->Uri != Opts.BenchmarkUri)
+      CachedBenchmark->Uri = Opts.BenchmarkUri;
+  }
+  StartSessionRequest Req;
+  Req.CompilerName = Opts.CompilerName;
+  Req.Bench = *CachedBenchmark;
+  Req.ActionSpaceName = Opts.ActionSpaceName;
+  CG_ASSIGN_OR_RETURN(StartSessionReply Reply, Client->startSession(Req));
+  SessionId = Reply.SessionId;
+  SessionLive = true;
+  Space = Reply.Space;
+  ObsSpaces = Reply.ObservationSpaces;
+  return Status::ok();
+}
+
+StatusOr<StepReply>
+CompilerEnv::stepRpc(const std::vector<Action> &Actions) {
+  StepRequest Req;
+  Req.SessionId = SessionId;
+  Req.Actions = Actions;
+  if (!Opts.ObservationSpace.empty())
+    Req.ObservationSpaces.push_back(Opts.ObservationSpace);
+  if (Reward) {
+    Req.ObservationSpaces.push_back(Reward->MetricObservation);
+    if (!Reward->BaselineObservation.empty() && !HaveBaseline)
+      Req.ObservationSpaces.push_back(Reward->BaselineObservation);
+  }
+  return Client->step(Req);
+}
+
+StatusOr<Observation> CompilerEnv::reset() {
+  if (SessionLive) {
+    (void)Client->endSession(SessionId);
+    SessionLive = false;
+  }
+  State.Actions.clear();
+  State.CumulativeReward = 0.0;
+  State.BenchmarkUri = Opts.BenchmarkUri;
+  DirectHistory.clear();
+  HaveBaseline = false;
+
+  CG_RETURN_IF_ERROR(startSession());
+
+  // Observation-only step fetches the initial observation and seeds the
+  // reward bookkeeping.
+  CG_ASSIGN_OR_RETURN(StepReply Reply, stepRpc({}));
+  size_t Cursor = 0;
+  Observation InitialObs;
+  if (!Opts.ObservationSpace.empty() && Cursor < Reply.Observations.size())
+    InitialObs = Reply.Observations[Cursor++];
+  if (Reward) {
+    if (Cursor >= Reply.Observations.size())
+      return internalError("reset reply missing reward metric observation");
+    const Observation &Metric = Reply.Observations[Cursor++];
+    PreviousMetric = Metric.Type == ObservationType::DoubleValue
+                         ? Metric.DoubleValue
+                         : static_cast<double>(Metric.IntValue);
+    InitialMetric = PreviousMetric;
+    if (!Reward->BaselineObservation.empty()) {
+      if (Cursor >= Reply.Observations.size())
+        return internalError("reset reply missing baseline observation");
+      const Observation &Baseline = Reply.Observations[Cursor++];
+      BaselineMetric = Baseline.Type == ObservationType::DoubleValue
+                           ? Baseline.DoubleValue
+                           : static_cast<double>(Baseline.IntValue);
+      HaveBaseline = true;
+    }
+  }
+  return InitialObs;
+}
+
+double CompilerEnv::rewardFromMetrics(double MetricValue) {
+  if (!Reward)
+    return 0.0;
+  if (!Reward->Delta) {
+    PreviousMetric = MetricValue;
+    return MetricValue; // Absolute signal (loop_tool FLOPs).
+  }
+  double Delta = PreviousMetric - MetricValue;
+  PreviousMetric = MetricValue;
+  if (!Reward->BaselineObservation.empty()) {
+    double TotalGain = InitialMetric - BaselineMetric;
+    if (TotalGain <= 0.0)
+      TotalGain = std::max(1.0, std::abs(BaselineMetric) * 0.01);
+    return Delta / TotalGain;
+  }
+  return Delta;
+}
+
+Status CompilerEnv::recover() {
+  ++Recoveries;
+  CG_LOG_INFO << "backend failure detected; restarting service and "
+                 "replaying " << State.Actions.size() << " actions";
+  Client->restartService();
+  CG_RETURN_IF_ERROR(startSession());
+  // Replay the whole episode in one batched, observation-free request.
+  std::vector<Action> Replay;
+  if (!DirectHistory.empty()) {
+    Replay = DirectHistory;
+  } else {
+    Replay.reserve(State.Actions.size());
+    for (int A : State.Actions) {
+      Action Act;
+      Act.Index = A;
+      Replay.push_back(Act);
+    }
+  }
+  if (Replay.empty())
+    return Status::ok();
+  StepRequest Req;
+  Req.SessionId = SessionId;
+  Req.Actions = std::move(Replay);
+  CG_ASSIGN_OR_RETURN(StepReply Reply, Client->step(Req));
+  (void)Reply;
+  return Status::ok();
+}
+
+StatusOr<StepResult>
+CompilerEnv::stepWithRecovery(const std::vector<Action> &Actions) {
+  StatusOr<StepReply> Reply = stepRpc(Actions);
+  if (!Reply.isOk()) {
+    StatusCode Code = Reply.status().code();
+    if (Code != StatusCode::Aborted && Code != StatusCode::DeadlineExceeded &&
+        Code != StatusCode::Unavailable)
+      return Reply.status();
+    // Backend died or hung: restart, replay, retry once.
+    CG_RETURN_IF_ERROR(recover());
+    Reply = stepRpc(Actions);
+    if (!Reply.isOk())
+      return Reply.status();
+  }
+
+  StepResult Out;
+  Out.Done = Reply->EndOfSession;
+  if (Reply->ActionSpaceChanged)
+    Space = Reply->NewSpace;
+  size_t Cursor = 0;
+  if (!Opts.ObservationSpace.empty() &&
+      Cursor < Reply->Observations.size())
+    Out.Obs = Reply->Observations[Cursor++];
+  if (Reward) {
+    if (Cursor >= Reply->Observations.size())
+      return internalError("step reply missing reward metric observation");
+    const Observation &Metric = Reply->Observations[Cursor++];
+    double MetricValue = Metric.Type == ObservationType::DoubleValue
+                             ? Metric.DoubleValue
+                             : static_cast<double>(Metric.IntValue);
+    if (!Reward->BaselineObservation.empty() && !HaveBaseline &&
+        Cursor < Reply->Observations.size()) {
+      const Observation &Baseline = Reply->Observations[Cursor++];
+      BaselineMetric = Baseline.Type == ObservationType::DoubleValue
+                           ? Baseline.DoubleValue
+                           : static_cast<double>(Baseline.IntValue);
+      HaveBaseline = true;
+    }
+    Out.Reward = rewardFromMetrics(MetricValue);
+    State.CumulativeReward += Out.Reward;
+  }
+  return Out;
+}
+
+StatusOr<StepResult> CompilerEnv::step(const std::vector<int> &Actions) {
+  if (!SessionLive)
+    return failedPrecondition("call reset() before step()");
+  std::vector<Action> Acts;
+  Acts.reserve(Actions.size());
+  for (int A : Actions) {
+    Action Act;
+    Act.Index = A;
+    Acts.push_back(Act);
+  }
+  StatusOr<StepResult> Result = stepWithRecovery(Acts);
+  if (Result.isOk())
+    State.Actions.insert(State.Actions.end(), Actions.begin(), Actions.end());
+  return Result;
+}
+
+StatusOr<StepResult>
+CompilerEnv::stepDirect(const std::vector<int64_t> &Choices) {
+  if (!SessionLive)
+    return failedPrecondition("call reset() before step()");
+  Action Act;
+  Act.Index = 0;
+  Act.Values = Choices;
+  StatusOr<StepResult> Result = stepWithRecovery({Act});
+  if (Result.isOk()) {
+    State.Actions.push_back(0);
+    DirectHistory.push_back(Act);
+  }
+  return Result;
+}
+
+StatusOr<Observation> CompilerEnv::observe(const std::string &SpaceName) {
+  if (!SessionLive)
+    return failedPrecondition("call reset() before observe()");
+  StepRequest Req;
+  Req.SessionId = SessionId;
+  Req.ObservationSpaces.push_back(SpaceName);
+  StatusOr<StepReply> Reply = Client->step(Req);
+  if (!Reply.isOk()) {
+    StatusCode Code = Reply.status().code();
+    if (Code != StatusCode::Aborted && Code != StatusCode::DeadlineExceeded &&
+        Code != StatusCode::Unavailable)
+      return Reply.status();
+    CG_RETURN_IF_ERROR(recover());
+    Req.SessionId = SessionId; // Recovery created a fresh session.
+    Reply = Client->step(Req);
+    if (!Reply.isOk())
+      return Reply.status();
+  }
+  if (Reply->Observations.empty())
+    return internalError("observe reply carried no observation");
+  return Reply->Observations.front();
+}
+
+StatusOr<std::unique_ptr<CompilerEnv>> CompilerEnv::fork() {
+  if (!SessionLive)
+    return failedPrecondition("call reset() before fork()");
+  CG_ASSIGN_OR_RETURN(uint64_t NewSession, Client->fork(SessionId));
+  std::unique_ptr<CompilerEnv> Clone(
+      new CompilerEnv(Opts, Service, Client));
+  Clone->Space = Space;
+  Clone->ObsSpaces = ObsSpaces;
+  Clone->Reward = Reward;
+  Clone->SessionId = NewSession;
+  Clone->SessionLive = true;
+  Clone->State = State;
+  Clone->InitialMetric = InitialMetric;
+  Clone->PreviousMetric = PreviousMetric;
+  Clone->BaselineMetric = BaselineMetric;
+  Clone->HaveBaseline = HaveBaseline;
+  Clone->DirectHistory = DirectHistory;
+  return Clone;
+}
+
+Status CompilerEnv::writeIr(const std::string &Path) {
+  CG_ASSIGN_OR_RETURN(Observation Ir, observe("Ir"));
+  std::ofstream Out(Path);
+  if (!Out)
+    return internalError("cannot open '" + Path + "' for writing");
+  Out << Ir.Str;
+  return Status::ok();
+}

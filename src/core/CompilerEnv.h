@@ -1,0 +1,134 @@
+//===- core/CompilerEnv.h - The client-side environment ---------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CompilerEnv: the frontend environment over a compiler service — the
+/// C++ analogue of the paper's Listing 1 object. It owns the RPC client,
+/// computes rewards from backend observations, tracks episode state, and
+/// implements the runtime's fault-tolerance contract: when the backend
+/// crashes or hangs, the env restarts the service and replays its action
+/// history transparently (§IV-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_CORE_COMPILERENV_H
+#define COMPILER_GYM_CORE_COMPILERENV_H
+
+#include "core/Env.h"
+#include "core/EnvState.h"
+#include "core/Space.h"
+#include "service/ServiceClient.h"
+
+#include <memory>
+#include <optional>
+
+namespace compiler_gym {
+namespace core {
+
+/// Construction options (the keyword arguments of make()).
+struct CompilerEnvOptions {
+  std::string CompilerName = "llvm";  ///< Backend service name.
+  std::string EnvId = "llvm-v0";      ///< Frontend identifier.
+  std::string BenchmarkUri = "benchmark://cbench-v1/qsort";
+  std::string ObservationSpace = "Autophase"; ///< Default obs; "" = none.
+  std::string RewardSpace = "IrInstructionCount"; ///< "" = no reward.
+  std::string ActionSpaceName;        ///< "" = backend default.
+  service::FaultPlan Faults;          ///< Backend fault injection (tests).
+  service::ClientOptions Client;
+  service::TransportFaults TransportFaultPlan; ///< Channel fault injection.
+  bool UseFlakyTransport = false;
+};
+
+/// The concrete Gym environment over a compiler service.
+class CompilerEnv : public Env {
+public:
+  /// Creates an env with a dedicated backend service (one "process").
+  static StatusOr<std::unique_ptr<CompilerEnv>>
+  create(const CompilerEnvOptions &Opts);
+
+  ~CompilerEnv() override;
+
+  // -- Env interface ---------------------------------------------------------
+  using Env::step;
+  StatusOr<service::Observation> reset() override;
+  StatusOr<StepResult> step(const std::vector<int> &Actions) override;
+  const service::ActionSpace &actionSpace() const override { return Space; }
+  StatusOr<service::Observation> observe(const std::string &Space) override;
+  size_t episodeLength() const override { return State.Actions.size(); }
+  double episodeReward() const override { return State.CumulativeReward; }
+
+  // -- CompilerGym extensions -------------------------------------------------
+  /// Switches benchmark for the next reset().
+  void setBenchmark(const std::string &Uri) { Opts.BenchmarkUri = Uri; }
+  const std::string &benchmark() const { return Opts.BenchmarkUri; }
+
+  /// Switches the reward space (takes effect immediately).
+  Status setRewardSpace(const std::string &Name);
+
+  /// Lightweight deep copy (§III-B6): the backend forks the session; the
+  /// clone shares the service but owns independent state.
+  StatusOr<std::unique_ptr<CompilerEnv>> fork();
+
+  /// Steps the GCC-style direct action space: one action carrying a full
+  /// choice vector.
+  StatusOr<StepResult> stepDirect(const std::vector<int64_t> &Choices);
+
+  /// Current serializable episode state.
+  const EnvState &state() const { return State; }
+
+  /// Writes the current IR ("Ir" observation) to \p Path, the analogue of
+  /// env.write_bitcode() in Listing 1.
+  Status writeIr(const std::string &Path);
+
+  /// Fault-tolerance telemetry.
+  uint64_t serviceRecoveries() const { return Recoveries; }
+  service::ServiceClient &client() { return *Client; }
+
+private:
+  CompilerEnv(CompilerEnvOptions Opts,
+              std::shared_ptr<service::CompilerService> Service,
+              std::shared_ptr<service::ServiceClient> Client);
+
+  /// Starts a fresh backend session for the current benchmark.
+  Status startSession();
+
+  /// Restarts the crashed/hung service and replays the episode.
+  Status recover();
+
+  /// One step RPC (no recovery). Empty action list = observation only.
+  StatusOr<service::StepReply>
+  stepRpc(const std::vector<service::Action> &Actions);
+
+  /// Issues a step with recovery-and-retry on backend death.
+  StatusOr<StepResult>
+  stepWithRecovery(const std::vector<service::Action> &Actions);
+
+  /// Computes the reward from a step reply's trailing observations.
+  double rewardFromMetrics(double MetricValue);
+
+  CompilerEnvOptions Opts;
+  std::shared_ptr<service::CompilerService> Service;
+  std::shared_ptr<service::ServiceClient> Client;
+  service::ActionSpace Space;
+  std::vector<service::ObservationSpaceInfo> ObsSpaces;
+  std::optional<RewardSpec> Reward;
+  uint64_t SessionId = 0;
+  bool SessionLive = false;
+  EnvState State;
+  // Reward bookkeeping.
+  double InitialMetric = 0.0;
+  double PreviousMetric = 0.0;
+  double BaselineMetric = 0.0;
+  bool HaveBaseline = false;
+  uint64_t Recoveries = 0;
+  std::vector<service::Action> DirectHistory; ///< For replay (direct space).
+  std::optional<datasets::Benchmark> CachedBenchmark; ///< Resolve cache.
+};
+
+} // namespace core
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_CORE_COMPILERENV_H

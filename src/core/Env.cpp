@@ -1,0 +1,12 @@
+//===- core/Env.cpp -------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Env.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+
+Env::~Env() = default;

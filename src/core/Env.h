@@ -1,0 +1,69 @@
+//===- core/Env.h - The Gym environment interface ---------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gym.Env-equivalent interface (§III-A): reset / step / spaces, with
+/// the CompilerGym extensions — multi-action (batched) steps and lazily
+/// selected observation spaces (§III-B5). Wrappers (Wrappers.h) compose
+/// over this interface just like gym.Wrapper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_CORE_ENV_H
+#define COMPILER_GYM_CORE_ENV_H
+
+#include "service/Message.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace core {
+
+/// Result of one (possibly batched) step.
+struct StepResult {
+  service::Observation Obs; ///< The env's default observation space value.
+  double Reward = 0.0;
+  bool Done = false;
+  std::string Info;
+};
+
+/// Abstract Gym-style environment.
+class Env {
+public:
+  virtual ~Env();
+
+  /// Starts a new episode; returns the initial observation.
+  virtual StatusOr<service::Observation> reset() = 0;
+
+  /// Applies the actions (one RPC for the whole batch) and returns the new
+  /// observation/reward/done.
+  virtual StatusOr<StepResult> step(const std::vector<int> &Actions) = 0;
+
+  /// Single-action convenience.
+  StatusOr<StepResult> step(int Action) {
+    return step(std::vector<int>{Action});
+  }
+
+  /// The current action space.
+  virtual const service::ActionSpace &actionSpace() const = 0;
+
+  /// Computes an arbitrary observation of the current state (lazy
+  /// observation selection).
+  virtual StatusOr<service::Observation> observe(const std::string &Space) = 0;
+
+  /// Number of actions taken this episode.
+  virtual size_t episodeLength() const = 0;
+
+  /// Cumulative reward this episode.
+  virtual double episodeReward() const = 0;
+};
+
+} // namespace core
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_CORE_ENV_H

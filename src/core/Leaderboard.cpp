@@ -1,0 +1,69 @@
+//===- core/Leaderboard.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Leaderboard.h"
+
+#include "util/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+
+Status Leaderboard::submit(const LeaderboardEntry &Entry) {
+  std::ofstream Out(Path, std::ios::app);
+  if (!Out)
+    return internalError("cannot open leaderboard '" + Path + "'");
+  char WalltimeBuf[32];
+  std::snprintf(WalltimeBuf, sizeof(WalltimeBuf), "%.6f",
+                Entry.WalltimeSeconds);
+  // The EnvState serialization uses '|'; the leaderboard row uses ';'.
+  Out << Entry.Technique << ';' << WalltimeBuf << ';'
+      << (Entry.Validated ? 1 : 0) << ';' << Entry.State.serialize() << '\n';
+  return Status::ok();
+}
+
+StatusOr<std::vector<LeaderboardEntry>> Leaderboard::entries() const {
+  std::ifstream In(Path);
+  if (!In)
+    return std::vector<LeaderboardEntry>{}; // No submissions yet.
+  std::vector<LeaderboardEntry> Out;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::vector<std::string> Fields = splitString(Line, ';');
+    if (Fields.size() != 4)
+      continue;
+    LeaderboardEntry Entry;
+    Entry.Technique = Fields[0];
+    Entry.WalltimeSeconds = std::strtod(Fields[1].c_str(), nullptr);
+    Entry.Validated = Fields[2] == "1";
+    StatusOr<EnvState> State = EnvState::deserialize(Fields[3]);
+    if (!State.isOk())
+      continue;
+    Entry.State = State.takeValue();
+    Out.push_back(std::move(Entry));
+  }
+  return Out;
+}
+
+StatusOr<std::vector<LeaderboardEntry>>
+Leaderboard::ranking(const std::string &BenchmarkUri) const {
+  CG_ASSIGN_OR_RETURN(std::vector<LeaderboardEntry> All, entries());
+  std::vector<LeaderboardEntry> Filtered;
+  for (LeaderboardEntry &E : All)
+    if (E.State.BenchmarkUri == BenchmarkUri)
+      Filtered.push_back(std::move(E));
+  std::stable_sort(Filtered.begin(), Filtered.end(),
+                   [](const LeaderboardEntry &A, const LeaderboardEntry &B) {
+                     return A.State.CumulativeReward >
+                            B.State.CumulativeReward;
+                   });
+  return Filtered;
+}

@@ -1,0 +1,56 @@
+//===- core/Leaderboard.h - Result aggregation ------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A file-backed leaderboard for aggregating and ranking results, the
+/// offline analogue of the paper's public leaderboards: submissions carry
+/// a technique name, the serialized EnvState that produced the result, and
+/// the wall time spent. Submissions replay-validate before ranking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_CORE_LEADERBOARD_H
+#define COMPILER_GYM_CORE_LEADERBOARD_H
+
+#include "core/EnvState.h"
+
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace core {
+
+/// One leaderboard entry.
+struct LeaderboardEntry {
+  std::string Technique;
+  EnvState State;
+  double WalltimeSeconds = 0.0;
+  bool Validated = false;
+};
+
+/// CSV-file-backed leaderboard.
+class Leaderboard {
+public:
+  explicit Leaderboard(std::string Path) : Path(std::move(Path)) {}
+
+  /// Appends a submission.
+  Status submit(const LeaderboardEntry &Entry);
+
+  /// Loads all entries.
+  StatusOr<std::vector<LeaderboardEntry>> entries() const;
+
+  /// Entries for one benchmark, best (highest cumulative reward) first.
+  StatusOr<std::vector<LeaderboardEntry>>
+  ranking(const std::string &BenchmarkUri) const;
+
+private:
+  std::string Path;
+};
+
+} // namespace core
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_CORE_LEADERBOARD_H

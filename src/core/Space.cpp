@@ -1,0 +1,47 @@
+//===- core/Space.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Space.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+
+std::vector<RewardSpec> core::rewardSpecsFor(const std::string &CompilerName) {
+  if (CompilerName == "llvm") {
+    return {
+        {"IrInstructionCount", "IrInstructionCount", "", true},
+        {"IrInstructionCountOz", "IrInstructionCount",
+         "IrInstructionCountOz", true},
+        {"ObjectTextSizeBytes", "ObjectTextSizeBytes", "", true},
+        {"ObjectTextSizeOz", "ObjectTextSizeBytes", "ObjectTextSizeOz",
+         true},
+        {"Runtime", "Runtime", "", true},
+        {"RuntimeO3", "Runtime", "RuntimeO3", true},
+    };
+  }
+  if (CompilerName == "gcc") {
+    return {
+        {"AsmSizeBytes", "AsmSizeBytes", "", true},
+        {"ObjSizeBytes", "ObjSizeBytes", "", true},
+        {"ObjSizeOs", "ObjSizeBytes", "ObjSizeOs", true},
+    };
+  }
+  if (CompilerName == "loop_tool") {
+    return {
+        {"flops", "flops", "", false},
+    };
+  }
+  return {};
+}
+
+StatusOr<RewardSpec> core::rewardSpec(const std::string &CompilerName,
+                                      const std::string &RewardName) {
+  for (const RewardSpec &Spec : rewardSpecsFor(CompilerName))
+    if (Spec.Name == RewardName)
+      return Spec;
+  return notFound("no reward space '" + RewardName + "' for compiler '" +
+                  CompilerName + "'");
+}

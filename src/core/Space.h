@@ -1,0 +1,51 @@
+//===- core/Space.h - Frontend space & reward descriptors -------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frontend-side descriptors: the reward-space table mapping reward names
+/// to the backend observations they are computed from. Rewards are deltas
+/// of a metric observation between consecutive states (optionally scaled
+/// by the gains of the compiler's default pipeline), or raw measurements
+/// (loop_tool FLOPs) — exactly the three reward styles of §V.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_CORE_SPACE_H
+#define COMPILER_GYM_CORE_SPACE_H
+
+#include "util/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace core {
+
+/// How a reward is derived from backend observations.
+struct RewardSpec {
+  std::string Name;
+  /// Observation supplying the per-step metric value.
+  std::string MetricObservation;
+  /// Optional observation supplying the default-pipeline baseline used for
+  /// scaling (e.g. "IrInstructionCountOz"); empty = unscaled.
+  std::string BaselineObservation;
+  /// Delta rewards pay (previous - current); absolute rewards pay the raw
+  /// metric (higher is better), used by loop_tool's FLOPs signal.
+  bool Delta = true;
+};
+
+/// Reward specs available for an environment family ("llvm", "gcc",
+/// "loop_tool").
+std::vector<RewardSpec> rewardSpecsFor(const std::string &CompilerName);
+
+/// Finds a reward spec by name; NotFound if the family lacks it.
+StatusOr<RewardSpec> rewardSpec(const std::string &CompilerName,
+                                const std::string &RewardName);
+
+} // namespace core
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_CORE_SPACE_H

@@ -1,0 +1,50 @@
+//===- core/Validation.h - Result validation --------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two validation layers of §III-B:
+///  * replay validation (§III-B3) — re-executes a serialized EnvState on a
+///    fresh environment and checks that rewards and final-state hashes
+///    reproduce. This is the machinery that detects nondeterministic
+///    compiler passes (gvn-sink);
+///  * semantics validation (§III-B4) — differential-tests the optimized
+///    program against the unoptimized benchmark in the IR interpreter
+///    (LLVM environments only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_CORE_VALIDATION_H
+#define COMPILER_GYM_CORE_VALIDATION_H
+
+#include "core/EnvState.h"
+#include "core/Registry.h"
+
+namespace compiler_gym {
+namespace core {
+
+/// Outcome of validating one EnvState.
+struct StateValidationResult {
+  bool RewardValidated = false;
+  bool HashValidated = false;     ///< Same final IR hash on both replays.
+  bool SemanticsValidated = false;
+  bool SemanticsChecked = false;  ///< False when the env has no IR.
+  std::string Error;
+
+  bool ok() const {
+    return RewardValidated && HashValidated &&
+           (!SemanticsChecked || SemanticsValidated);
+  }
+};
+
+/// Replays \p State twice on fresh environments and cross-checks rewards,
+/// final state hashes, and (for LLVM envs) program semantics.
+StatusOr<StateValidationResult> validateState(const EnvState &State,
+                                              double RewardTolerance = 1e-9);
+
+} // namespace core
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_CORE_VALIDATION_H

@@ -1,0 +1,22 @@
+//===- core/Wrappers.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Wrappers.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+
+void ActionSubset::rebuildSpace() {
+  const service::ActionSpace &InnerSpace = Inner->actionSpace();
+  Space.Name = InnerSpace.Name + "-subset";
+  Space.ActionNames.clear();
+  for (int Idx : Subset) {
+    if (Idx >= 0 && static_cast<size_t>(Idx) < InnerSpace.ActionNames.size())
+      Space.ActionNames.push_back(InnerSpace.ActionNames[Idx]);
+    else
+      Space.ActionNames.push_back("<invalid>");
+  }
+}

@@ -1,0 +1,187 @@
+//===- core/Wrappers.h - Environment wrappers -------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composable environment wrappers (§III-C), mirroring gym.Wrapper and the
+/// CompilerGym wrapper suite:
+///  * TimeLimit            — caps episode length (Listing 2);
+///  * CycleOverBenchmarks  — iterates a benchmark list across resets
+///                           (Listing 2);
+///  * ActionSubset         — restricts the action space to a subset (the
+///                           paper's RL setup uses 42 of the 124 actions);
+///  * ObservationHistogram — concatenates the observation with a histogram
+///                           of the agent's previous actions (the
+///                           "w. hist" variants of Fig 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_CORE_WRAPPERS_H
+#define COMPILER_GYM_CORE_WRAPPERS_H
+
+#include "core/Env.h"
+
+#include <functional>
+#include <memory>
+
+namespace compiler_gym {
+namespace core {
+
+/// Base wrapper: forwards everything to the wrapped env.
+class EnvWrapper : public Env {
+public:
+  using Env::step;
+
+  explicit EnvWrapper(std::unique_ptr<Env> Inner) : Inner(std::move(Inner)) {}
+
+  StatusOr<service::Observation> reset() override { return Inner->reset(); }
+  StatusOr<StepResult> step(const std::vector<int> &Actions) override {
+    return Inner->step(Actions);
+  }
+  const service::ActionSpace &actionSpace() const override {
+    return Inner->actionSpace();
+  }
+  StatusOr<service::Observation> observe(const std::string &Space) override {
+    return Inner->observe(Space);
+  }
+  size_t episodeLength() const override { return Inner->episodeLength(); }
+  double episodeReward() const override { return Inner->episodeReward(); }
+
+  Env &inner() { return *Inner; }
+
+protected:
+  std::unique_ptr<Env> Inner;
+};
+
+/// Ends the episode after a fixed number of steps.
+class TimeLimit : public EnvWrapper {
+public:
+  using Env::step;
+
+  TimeLimit(std::unique_ptr<Env> Inner, size_t MaxSteps)
+      : EnvWrapper(std::move(Inner)), MaxSteps(MaxSteps) {}
+
+  StatusOr<service::Observation> reset() override {
+    Steps = 0;
+    return Inner->reset();
+  }
+
+  StatusOr<StepResult> step(const std::vector<int> &Actions) override {
+    CG_ASSIGN_OR_RETURN(StepResult R, Inner->step(Actions));
+    Steps += Actions.size();
+    if (Steps >= MaxSteps)
+      R.Done = true;
+    return R;
+  }
+
+private:
+  size_t MaxSteps;
+  size_t Steps = 0;
+};
+
+/// Cycles through a list of benchmark URIs, one per reset. Requires the
+/// inner env to be a CompilerEnv (or a wrapper chain over one exposing
+/// setBenchmark through resetToBenchmark).
+class CycleOverBenchmarks : public EnvWrapper {
+public:
+  CycleOverBenchmarks(std::unique_ptr<Env> Inner,
+                      std::vector<std::string> Uris,
+                      std::function<void(Env &, const std::string &)>
+                          SetBenchmark)
+      : EnvWrapper(std::move(Inner)), Uris(std::move(Uris)),
+        SetBenchmark(std::move(SetBenchmark)) {}
+
+  StatusOr<service::Observation> reset() override {
+    if (!Uris.empty()) {
+      SetBenchmark(*Inner, Uris[Next]);
+      Next = (Next + 1) % Uris.size();
+    }
+    return Inner->reset();
+  }
+
+private:
+  std::vector<std::string> Uris;
+  std::function<void(Env &, const std::string &)> SetBenchmark;
+  size_t Next = 0;
+};
+
+/// Exposes a subset of the wrapped env's actions as a dense [0, n) space.
+class ActionSubset : public EnvWrapper {
+public:
+  using Env::step;
+
+  ActionSubset(std::unique_ptr<Env> Inner, std::vector<int> Subset)
+      : EnvWrapper(std::move(Inner)), Subset(std::move(Subset)) {
+    rebuildSpace();
+  }
+
+  StatusOr<StepResult> step(const std::vector<int> &Actions) override {
+    std::vector<int> Mapped;
+    Mapped.reserve(Actions.size());
+    for (int A : Actions) {
+      if (A < 0 || static_cast<size_t>(A) >= Subset.size())
+        return outOfRange("subset action " + std::to_string(A) +
+                          " out of range");
+      Mapped.push_back(Subset[A]);
+    }
+    return Inner->step(Mapped);
+  }
+
+  const service::ActionSpace &actionSpace() const override { return Space; }
+
+private:
+  void rebuildSpace();
+
+  std::vector<int> Subset;
+  service::ActionSpace Space;
+};
+
+/// Appends a (normalized) histogram of previous actions to Int64List
+/// observations, the Fig 9 "w. hist" feature. The histogram is scaled by
+/// HistScale to stay in integer range.
+class ObservationHistogram : public EnvWrapper {
+public:
+  using Env::step;
+
+  explicit ObservationHistogram(std::unique_ptr<Env> Inner,
+                                int64_t HistScale = 100)
+      : EnvWrapper(std::move(Inner)), HistScale(HistScale) {}
+
+  StatusOr<service::Observation> reset() override {
+    Histogram.assign(Inner->actionSpace().size(), 0);
+    TotalActions = 0;
+    CG_ASSIGN_OR_RETURN(service::Observation Obs, Inner->reset());
+    appendHistogram(Obs);
+    return Obs;
+  }
+
+  StatusOr<StepResult> step(const std::vector<int> &Actions) override {
+    CG_ASSIGN_OR_RETURN(StepResult R, Inner->step(Actions));
+    for (int A : Actions) {
+      if (A >= 0 && static_cast<size_t>(A) < Histogram.size())
+        ++Histogram[A];
+      ++TotalActions;
+    }
+    appendHistogram(R.Obs);
+    return R;
+  }
+
+private:
+  void appendHistogram(service::Observation &Obs) const {
+    for (int64_t Count : Histogram)
+      Obs.Ints.push_back(TotalActions == 0
+                             ? 0
+                             : Count * HistScale / TotalActions);
+  }
+
+  std::vector<int64_t> Histogram;
+  int64_t TotalActions = 0;
+  int64_t HistScale;
+};
+
+} // namespace core
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_CORE_WRAPPERS_H

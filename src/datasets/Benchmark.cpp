@@ -1,0 +1,28 @@
+//===- datasets/Benchmark.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Benchmark.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::datasets;
+
+Status datasets::parseBenchmarkUri(const std::string &Uri,
+                                   std::string &DatasetOut,
+                                   std::string &NameOut) {
+  const std::string Scheme = "benchmark://";
+  if (Uri.rfind(Scheme, 0) != 0)
+    return invalidArgument("benchmark URI must start with 'benchmark://': " +
+                           Uri);
+  size_t Slash = Uri.find('/', Scheme.size());
+  if (Slash == std::string::npos) {
+    DatasetOut = Uri;
+    NameOut.clear();
+    return Status::ok();
+  }
+  DatasetOut = Uri.substr(0, Slash);
+  NameOut = Uri.substr(Slash + 1);
+  return Status::ok();
+}

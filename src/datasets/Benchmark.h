@@ -1,0 +1,44 @@
+//===- datasets/Benchmark.h - A program to optimize -------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Benchmark is one program plus the metadata needed to run it: the URI
+/// ("benchmark://cbench-v1/qsort"), the IR text, whether it is runnable
+/// (per the paper, only cBench and csmith support the runtime target), and
+/// the inputs for the entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_DATASETS_BENCHMARK_H
+#define COMPILER_GYM_DATASETS_BENCHMARK_H
+
+#include "util/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace datasets {
+
+/// One program plus run configuration.
+struct Benchmark {
+  std::string Uri;
+  std::string IrText;
+  bool Runnable = false;
+  std::vector<int64_t> Inputs; ///< Arguments for @main.
+};
+
+/// Splits "benchmark://cbench-v1/qsort" into dataset
+/// ("benchmark://cbench-v1") and benchmark name ("qsort"). The benchmark
+/// part may be empty (dataset-only URI).
+Status parseBenchmarkUri(const std::string &Uri, std::string &DatasetOut,
+                         std::string &NameOut);
+
+} // namespace datasets
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_DATASETS_BENCHMARK_H

@@ -1,0 +1,363 @@
+//===- datasets/CsmithGenerator.cpp ---------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/CsmithGenerator.h"
+
+#include "ir/IRBuilder.h"
+
+#include <algorithm>
+
+using namespace compiler_gym;
+using namespace compiler_gym::datasets;
+using namespace compiler_gym::ir;
+
+namespace {
+
+/// Builder state for one generated function.
+class FunctionGenerator {
+public:
+  FunctionGenerator(Module &M, Function &F, Rng &Gen,
+                    const ProgramStyle &Style,
+                    const std::vector<Function *> &Callees)
+      : M(M), F(F), Gen(Gen), Style(Style), Callees(Callees) {}
+
+  void run() {
+    BasicBlock *Entry = F.createBlock("entry");
+    B.setInsertPoint(Entry);
+
+    // Locals as stack slots, -O0 style.
+    int NumLocals = std::max(2, Style.LocalVars);
+    for (int I = 0; I < NumLocals; ++I) {
+      // Guarantee at least one i64 local, and one f64 local when the style
+      // uses floats at all, so operand selection never crosses types.
+      bool IsFloat = I == 1 ? Style.FloatFrac > 0.0
+                            : (I == 0 ? false
+                                      : Gen.uniform() < Style.FloatFrac);
+      Type Ty = IsFloat ? Type::F64 : Type::I64;
+      Instruction *Slot = B.createAlloca(1);
+      Slot->setName("l" + std::to_string(I) + ".addr");
+      Locals.push_back({Slot, Ty});
+    }
+    // Initialize locals from constants and arguments.
+    for (size_t I = 0; I < Locals.size(); ++I) {
+      Value *Init;
+      if (I < F.numArgs() && F.arg(I)->type() == Locals[I].Ty) {
+        Init = F.arg(I);
+      } else if (Locals[I].Ty == Type::F64) {
+        Init = M.getConstFloat(Gen.uniform(-8.0, 8.0));
+      } else {
+        Init = M.getConstInt(Type::I64, Gen.range(-32, 96));
+      }
+      B.createStore(Init, Locals[I].Slot);
+    }
+
+    int Segments = std::max(1, Style.Segments * Style.SizeScale);
+    for (int S = 0; S < Segments; ++S)
+      emitSegment(Style.MaxLoopDepth, Style.MaxIfDepth);
+
+    emitReturn();
+  }
+
+private:
+  struct Local {
+    Instruction *Slot;
+    Type Ty;
+  };
+
+  Value *loadLocal(const Local &L) { return B.createLoad(L.Ty, L.Slot); }
+
+  const Local &randomLocal(Type Ty) {
+    // Find a local of the requested type; fall back to any.
+    for (int Attempt = 0; Attempt < 8; ++Attempt) {
+      const Local &L = Locals[Gen.bounded(Locals.size())];
+      if (L.Ty == Ty)
+        return L;
+    }
+    for (const Local &L : Locals)
+      if (L.Ty == Ty)
+        return L;
+    return Locals[0];
+  }
+
+  /// A random i64 operand: local load or constant.
+  Value *intOperand() {
+    if (Gen.chance(0.25))
+      return M.getConstInt(Type::I64, Gen.range(-16, 64));
+    return loadLocal(randomLocal(Type::I64));
+  }
+
+  Value *floatOperand() {
+    if (Gen.chance(0.25))
+      return M.getConstFloat(Gen.uniform(-4.0, 4.0));
+    return loadLocal(randomLocal(Type::F64));
+  }
+
+  /// One straight-line statement: compute something, store it to a local.
+  void emitStatement() {
+    double Roll = Gen.uniform();
+    if (Roll < Style.CallDensity && !Callees.empty()) {
+      emitCall();
+      return;
+    }
+    if (Roll < Style.CallDensity + Style.MemDensity &&
+        !F.parent()->globals().empty()) {
+      emitGlobalAccess();
+      return;
+    }
+    const Local &Dst = Locals[Gen.bounded(Locals.size())];
+    Value *Result = Dst.Ty == Type::F64 ? emitFloatExpr() : emitIntExpr();
+    B.createStore(Result, Dst.Slot);
+  }
+
+  Value *emitIntExpr() {
+    Value *A = intOperand();
+    Value *B1 = intOperand();
+    if (Gen.uniform() < Style.SelectFrac) {
+      Value *Cond = B.createICmp(randomPred(), A, intOperand());
+      return B.createSelect(Cond, A, B1);
+    }
+    static const Opcode IntOps[] = {Opcode::Add, Opcode::Add, Opcode::Sub,
+                                    Opcode::Mul, Opcode::And, Opcode::Or,
+                                    Opcode::Xor, Opcode::Shl, Opcode::AShr,
+                                    Opcode::SDiv, Opcode::SRem};
+    Opcode Op = IntOps[Gen.bounded(std::size(IntOps))];
+    if (Op == Opcode::Shl || Op == Opcode::AShr) {
+      // Bounded shift amounts keep results tame.
+      B1 = M.getConstInt(Type::I64, Gen.range(1, 7));
+    } else if (Op == Opcode::SDiv || Op == Opcode::SRem) {
+      // Non-zero constant divisors: no trap, still foldable.
+      B1 = M.getConstInt(Type::I64, Gen.range(2, 9));
+    }
+    return B.createBinary(Op, A, B1);
+  }
+
+  Value *emitFloatExpr() {
+    Value *A = floatOperand();
+    Value *B1 = floatOperand();
+    static const Opcode FloatOps[] = {Opcode::FAdd, Opcode::FSub,
+                                      Opcode::FMul, Opcode::FDiv};
+    return B.createBinary(FloatOps[Gen.bounded(std::size(FloatOps))], A, B1);
+  }
+
+  Pred randomPred() {
+    static const Pred Preds[] = {Pred::EQ, Pred::NE, Pred::LT,
+                                 Pred::LE, Pred::GT, Pred::GE};
+    return Preds[Gen.bounded(std::size(Preds))];
+  }
+
+  void emitCall() {
+    Function *Callee = Callees[Gen.bounded(Callees.size())];
+    bool BoundedArg = Callee->name().rfind("rec", 0) == 0;
+    std::vector<Value *> Args;
+    for (size_t A = 0; A < Callee->numArgs(); ++A) {
+      if (Callee->arg(A)->type() == Type::F64) {
+        Args.push_back(floatOperand());
+        continue;
+      }
+      Value *Arg = intOperand();
+      if (BoundedArg) // Keep recursion depth small and non-negative.
+        Arg = B.createBinary(Opcode::And, Arg,
+                             M.getConstInt(Type::I64, 15));
+      Args.push_back(Arg);
+    }
+    Instruction *R = B.createCall(Callee, std::move(Args));
+    if (R->type() == Type::I64)
+      B.createStore(R, randomLocal(Type::I64).Slot);
+    else if (R->type() == Type::F64)
+      B.createStore(R, randomLocal(Type::F64).Slot);
+  }
+
+  void emitGlobalAccess() {
+    const auto &Globals = F.parent()->globals();
+    GlobalVariable *G = Globals[Gen.bounded(Globals.size())].get();
+    // Mask-aligned index: always in bounds.
+    Value *Idx = B.createBinary(
+        Opcode::And, intOperand(),
+        M.getConstInt(Type::I64, static_cast<int64_t>(G->sizeWords()) - 1));
+    Instruction *Ptr = B.createGep(G, Idx);
+    if (Gen.chance(0.5)) {
+      B.createStore(intOperand(), Ptr);
+    } else {
+      Instruction *L = B.createLoad(Type::I64, Ptr);
+      B.createStore(L, randomLocal(Type::I64).Slot);
+    }
+  }
+
+  /// One code segment: a loop nest, an if/else region, or a run of
+  /// straight-line statements.
+  void emitSegment(int LoopBudget, int IfBudget) {
+    double Roll = Gen.uniform();
+    if (LoopBudget > 0 && Roll < Style.LoopDensity) {
+      emitLoop(LoopBudget, IfBudget);
+      return;
+    }
+    if (IfBudget > 0 && Roll < Style.LoopDensity + Style.BranchDensity) {
+      emitIfElse(LoopBudget, IfBudget);
+      return;
+    }
+    int N = 1 + static_cast<int>(Gen.bounded(
+                    static_cast<uint64_t>(Style.StmtsPerRun)));
+    for (int I = 0; I < N; ++I)
+      emitStatement();
+  }
+
+  /// Counted do-while loop (rotated form — the shape loop-unroll handles):
+  ///   i = 0; do { body; i += 1 } while (i < N)
+  void emitLoop(int LoopBudget, int IfBudget) {
+    int64_t Trip = Gen.range(2, std::max(2, Style.MaxLoopTrip));
+    Instruction *IVar = B.createAlloca(1);
+    IVar->setName("i.addr");
+    B.createStore(M.getConstInt(Type::I64, 0), IVar);
+
+    BasicBlock *Body = F.createBlock("loop.body");
+    BasicBlock *Exit = F.createBlock("loop.exit");
+    B.createBr(Body);
+
+    B.setInsertPoint(Body);
+    int N = 1 + static_cast<int>(Gen.bounded(
+                    static_cast<uint64_t>(Style.StmtsPerRun)));
+    for (int I = 0; I < N; ++I) {
+      // Inner control flow nests by recursion on the body.
+      if (LoopBudget > 1 && Gen.chance(0.25)) {
+        emitLoop(LoopBudget - 1, IfBudget);
+      } else if (IfBudget > 0 && Gen.chance(0.2)) {
+        emitIfElse(0, IfBudget - 1); // No loops inside branchy subregions.
+      } else {
+        emitStatement();
+      }
+    }
+    // Induction update + latch.
+    Instruction *IVal = B.createLoad(Type::I64, IVar);
+    Instruction *Next =
+        B.createBinary(Opcode::Add, IVal, M.getConstInt(Type::I64, 1));
+    B.createStore(Next, IVar);
+    Instruction *Cond =
+        B.createICmp(Pred::LT, Next, M.getConstInt(Type::I64, Trip));
+    // Latch must target the loop body's *header*, which is the block the
+    // loop began in; after nested regions the insert point moved, so the
+    // backedge goes to Body only when the body is a single block. With
+    // nested regions the backedge targets Body and the intermediate
+    // blocks flow naturally into the latch.
+    B.createCondBr(Cond, Body, Exit);
+    B.setInsertPoint(Exit);
+  }
+
+  void emitIfElse(int LoopBudget, int IfBudget) {
+    Value *Cond = B.createICmp(randomPred(), intOperand(), intOperand());
+    BasicBlock *ThenBB = F.createBlock("if.then");
+    BasicBlock *ElseBB = F.createBlock("if.else");
+    BasicBlock *MergeBB = F.createBlock("if.end");
+    B.createCondBr(Cond, ThenBB, ElseBB);
+
+    B.setInsertPoint(ThenBB);
+    emitSegment(LoopBudget, IfBudget - 1);
+    B.createBr(MergeBB);
+
+    B.setInsertPoint(ElseBB);
+    if (Gen.chance(0.6))
+      emitSegment(LoopBudget, IfBudget - 1);
+    B.createBr(MergeBB);
+
+    B.setInsertPoint(MergeBB);
+  }
+
+  void emitReturn() {
+    if (F.returnType() == Type::Void) {
+      B.createRet();
+      return;
+    }
+    if (F.returnType() == Type::F64) {
+      Value *Acc = floatOperand();
+      Acc = B.createBinary(Opcode::FAdd, Acc, floatOperand());
+      B.createRet(Acc);
+      return;
+    }
+    Value *Acc = intOperand();
+    for (int I = 0; I < 2; ++I)
+      Acc = B.createBinary(Opcode::Add, Acc, intOperand());
+    B.createRet(Acc);
+  }
+
+  Module &M;
+  Function &F;
+  Rng &Gen;
+  const ProgramStyle &Style;
+  const std::vector<Function *> &Callees;
+  IRBuilder B;
+  std::vector<Local> Locals;
+};
+
+/// Emits a depth-bounded recursive function:
+///   f(n): if (n <= 0) return seed; return f(n-1) * a + b
+Function *emitRecursiveFunction(Module &M, Rng &Gen, int Index) {
+  Function *F = M.createFunction("rec" + std::to_string(Index), Type::I64);
+  Argument *N = F->addArgument(Type::I64, "n");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Base = F->createBlock("base");
+  BasicBlock *Rec = F->createBlock("rec");
+  IRBuilder B(Entry);
+  Instruction *IsBase =
+      B.createICmp(Pred::LE, N, M.getConstInt(Type::I64, 0));
+  B.createCondBr(IsBase, Base, Rec);
+  B.setInsertPoint(Base);
+  B.createRet(M.getConstInt(Type::I64, Gen.range(1, 9)));
+  B.setInsertPoint(Rec);
+  Instruction *Dec =
+      B.createBinary(Opcode::Sub, N, M.getConstInt(Type::I64, 1));
+  Instruction *Call = B.createCall(F, {Dec});
+  Instruction *Scaled = B.createBinary(
+      Opcode::Mul, Call, M.getConstInt(Type::I64, Gen.range(2, 5)));
+  Instruction *Out = B.createBinary(Opcode::Add, Scaled,
+                                    M.getConstInt(Type::I64, Gen.range(0, 7)));
+  B.createRet(Out);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+datasets::generateProgram(uint64_t Seed, const ProgramStyle &Style,
+                          const std::string &ModuleName) {
+  Rng Gen(Seed ^ 0xC0FFEE123456789ull);
+  auto M = std::make_unique<Module>(ModuleName);
+
+  for (int G = 0; G < Style.NumGlobals; ++G)
+    M->createGlobal("g" + std::to_string(G),
+                    1u << std::clamp(Style.GlobalSizeLog2, 1, 12));
+
+  // Leaf functions (pure-ish arithmetic helpers).
+  std::vector<Function *> Callees;
+  int NumFns = static_cast<int>(
+      Gen.range(Style.MinFunctions, std::max(Style.MinFunctions,
+                                             Style.MaxFunctions)));
+  for (int I = 0; I < NumFns; ++I) {
+    bool Float = Gen.uniform() < Style.FloatFrac;
+    Function *F = M->createFunction("leaf" + std::to_string(I),
+                                    Float ? Type::F64 : Type::I64);
+    int Arity = static_cast<int>(Gen.range(1, 3));
+    for (int A = 0; A < Arity; ++A)
+      F->addArgument(Float ? Type::F64 : Type::I64,
+                     "a" + std::to_string(A));
+    ProgramStyle LeafStyle = Style;
+    LeafStyle.Segments = 2;
+    LeafStyle.SizeScale = 1;
+    LeafStyle.MaxLoopDepth = std::min(Style.MaxLoopDepth, 1);
+    LeafStyle.CallDensity = 0.0; // Leaves call nothing: no cycles.
+    LeafStyle.LocalVars = 4;
+    FunctionGenerator(*M, *F, Gen, LeafStyle, {}).run();
+    Callees.push_back(F);
+  }
+
+  if (Style.Recursive)
+    Callees.push_back(emitRecursiveFunction(*M, Gen, 0));
+
+  // Main.
+  Function *Main = M->createFunction("main", Type::I64);
+  Main->addArgument(Type::I64, "argn");
+  FunctionGenerator(*M, *Main, Gen, Style, Callees).run();
+
+  return M;
+}

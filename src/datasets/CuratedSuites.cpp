@@ -1,0 +1,162 @@
+//===- datasets/CuratedSuites.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/CuratedSuites.h"
+
+#include "ir/Printer.h"
+#include "util/Hash.h"
+
+#include <algorithm>
+
+using namespace compiler_gym;
+using namespace compiler_gym::datasets;
+
+std::vector<std::string> GeneratedDataset::benchmarkNames(size_t Limit) const {
+  size_t N = static_cast<size_t>(std::min<uint64_t>(Limit, size()));
+  std::vector<std::string> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(std::to_string(I));
+  return Out;
+}
+
+StatusOr<Benchmark> GeneratedDataset::benchmark(
+    const std::string &BmName) const {
+  char *End = nullptr;
+  uint64_t Index = std::strtoull(BmName.c_str(), &End, 10);
+  if (BmName.empty() || End != BmName.c_str() + BmName.size() ||
+      Index >= size())
+    return notFound("no benchmark '" + BmName + "' in " + name());
+  std::unique_ptr<ir::Module> M = Generate(Index, BmName);
+  Benchmark Out;
+  Out.Uri = name() + "/" + BmName;
+  Out.IrText = ir::printModule(*M);
+  Out.Runnable = runnable();
+  Out.Inputs = {static_cast<int64_t>(Index % 13) + 1};
+  return Out;
+}
+
+std::vector<std::string> CuratedDataset::benchmarkNames(size_t Limit) const {
+  std::vector<std::string> Out;
+  for (size_t I = 0; I < Members.size() && I < Limit; ++I)
+    Out.push_back(Members[I].Name);
+  return Out;
+}
+
+StatusOr<Benchmark> CuratedDataset::benchmark(const std::string &BmName) const {
+  auto It = std::find_if(Members.begin(), Members.end(),
+                         [&](const Member &M) { return M.Name == BmName; });
+  if (It == Members.end())
+    return notFound("no benchmark '" + BmName + "' in " + name());
+  std::unique_ptr<ir::Module> M =
+      generateProgram(It->Seed, It->Style, It->Name);
+  Benchmark Out;
+  Out.Uri = name() + "/" + BmName;
+  Out.IrText = ir::printModule(*M);
+  Out.Runnable = runnable();
+  Out.Inputs = {static_cast<int64_t>(fnv1a(BmName) % 11) + 1};
+  return Out;
+}
+
+ProgramStyle datasets::styleForDataset(const std::string &DatasetName) {
+  ProgramStyle S;
+  if (DatasetName.find("csmith") != std::string::npos) {
+    // Balanced synthetic C: the canonical training distribution.
+    S.Segments = 5;
+    S.LoopDensity = 0.4;
+    S.BranchDensity = 0.3;
+    S.CallDensity = 0.2;
+    S.FloatFrac = 0.15;
+  } else if (DatasetName.find("anghabench") != std::string::npos) {
+    // Small single functions mined from C repos: little control flow.
+    S.MinFunctions = 0;
+    S.MaxFunctions = 1;
+    S.Segments = 3;
+    S.LoopDensity = 0.25;
+    S.BranchDensity = 0.45;
+    S.CallDensity = 0.05;
+  } else if (DatasetName.find("blas") != std::string::npos) {
+    // Dense float loop nests.
+    S.FloatFrac = 0.7;
+    S.LoopDensity = 0.8;
+    S.MaxLoopDepth = 3;
+    S.MaxLoopTrip = 24;
+    S.BranchDensity = 0.05;
+    S.MemDensity = 0.5;
+    S.Segments = 3;
+  } else if (DatasetName.find("npb") != std::string::npos) {
+    // NAS parallel benchmarks: big float loop nests with branches.
+    S.FloatFrac = 0.6;
+    S.LoopDensity = 0.7;
+    S.MaxLoopDepth = 3;
+    S.MaxLoopTrip = 16;
+    S.MemDensity = 0.45;
+    S.Segments = 6;
+    S.SizeScale = 2;
+  } else if (DatasetName.find("chstone") != std::string::npos) {
+    // Hardware-synthesis kernels: bit-twiddling heavy.
+    S.FloatFrac = 0.02;
+    S.LoopDensity = 0.5;
+    S.MemDensity = 0.35;
+    S.StmtsPerRun = 8;
+    S.Segments = 6;
+    S.SizeScale = 2;
+  } else if (DatasetName.find("clgen") != std::string::npos) {
+    // Short synthetic OpenCL-ish kernels.
+    S.MinFunctions = 0;
+    S.MaxFunctions = 1;
+    S.Segments = 2;
+    S.LoopDensity = 0.6;
+    S.MaxLoopDepth = 1;
+    S.MemDensity = 0.5;
+    S.FloatFrac = 0.5;
+  } else if (DatasetName.find("github") != std::string::npos) {
+    // Many small functions, call-dense, branchy.
+    S.MinFunctions = 3;
+    S.MaxFunctions = 8;
+    S.CallDensity = 0.35;
+    S.BranchDensity = 0.45;
+    S.LoopDensity = 0.2;
+    S.Segments = 3;
+  } else if (DatasetName.find("linux") != std::string::npos) {
+    // Kernel code: branch mazes, integer only, moderate size.
+    S.FloatFrac = 0.0;
+    S.BranchDensity = 0.6;
+    S.MaxIfDepth = 3;
+    S.LoopDensity = 0.2;
+    S.Segments = 5;
+    S.SizeScale = 2;
+  } else if (DatasetName.find("mibench") != std::string::npos) {
+    // Embedded benchmarks: small, integer, loopy.
+    S.FloatFrac = 0.05;
+    S.LoopDensity = 0.55;
+    S.Segments = 4;
+  } else if (DatasetName.find("opencv") != std::string::npos) {
+    // Image kernels: loop nests + float mixes, larger.
+    S.FloatFrac = 0.4;
+    S.LoopDensity = 0.65;
+    S.MaxLoopDepth = 3;
+    S.MemDensity = 0.5;
+    S.Segments = 5;
+    S.SizeScale = 3;
+  } else if (DatasetName.find("poj104") != std::string::npos) {
+    // Student solutions: small, branchy, recursive.
+    S.Recursive = true;
+    S.Segments = 3;
+    S.BranchDensity = 0.4;
+    S.LoopDensity = 0.35;
+  } else if (DatasetName.find("tensorflow") != std::string::npos) {
+    // Large flat arithmetic with deep call graphs.
+    S.MinFunctions = 4;
+    S.MaxFunctions = 10;
+    S.CallDensity = 0.3;
+    S.FloatFrac = 0.55;
+    S.Segments = 6;
+    S.SizeScale = 4;
+    S.LoopDensity = 0.35;
+  }
+  return S;
+}

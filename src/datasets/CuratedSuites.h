@@ -1,0 +1,76 @@
+//===- datasets/CuratedSuites.h - Table I dataset definitions ---*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete Dataset implementations: generator-backed suites with
+/// per-dataset program styles, and the curated named suites (cbench-v1,
+/// chstone-v0) whose members have individually tuned size/shape parameters
+/// (crc32 is tiny, ghostscript is huge — Fig 6 depends on this spread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_DATASETS_CURATEDSUITES_H
+#define COMPILER_GYM_DATASETS_CURATEDSUITES_H
+
+#include "datasets/CsmithGenerator.h"
+#include "datasets/Dataset.h"
+
+#include <functional>
+#include <memory>
+
+namespace compiler_gym {
+namespace datasets {
+
+/// A dataset whose benchmarks are seeds of a program generator.
+class GeneratedDataset : public Dataset {
+public:
+  using GenerateFn = std::function<std::unique_ptr<ir::Module>(
+      uint64_t Seed, const std::string &ModuleName)>;
+
+  GeneratedDataset(std::string Name, std::string Description, bool Runnable,
+                   uint64_t Count, GenerateFn Generate)
+      : Dataset(std::move(Name), std::move(Description), Runnable),
+        Count(Count), Generate(std::move(Generate)) {}
+
+  uint64_t size() const override { return Count; }
+  std::vector<std::string> benchmarkNames(size_t Limit) const override;
+  StatusOr<Benchmark> benchmark(const std::string &BmName) const override;
+
+private:
+  uint64_t Count;
+  GenerateFn Generate;
+};
+
+/// A dataset with a fixed list of named members, each with its own
+/// generator configuration.
+class CuratedDataset : public Dataset {
+public:
+  struct Member {
+    std::string Name;
+    uint64_t Seed;
+    ProgramStyle Style;
+  };
+
+  CuratedDataset(std::string Name, std::string Description, bool Runnable,
+                 std::vector<Member> Members)
+      : Dataset(std::move(Name), std::move(Description), Runnable),
+        Members(std::move(Members)) {}
+
+  uint64_t size() const override { return Members.size(); }
+  std::vector<std::string> benchmarkNames(size_t Limit) const override;
+  StatusOr<Benchmark> benchmark(const std::string &BmName) const override;
+
+private:
+  std::vector<Member> Members;
+};
+
+/// The per-dataset style presets (exposed for tests and docs).
+ProgramStyle styleForDataset(const std::string &DatasetName);
+
+} // namespace datasets
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_DATASETS_CURATEDSUITES_H

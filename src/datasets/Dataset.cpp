@@ -1,0 +1,27 @@
+//===- datasets/Dataset.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Dataset.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::datasets;
+
+Dataset::~Dataset() = default;
+
+StatusOr<Benchmark> Dataset::randomBenchmark(Rng &Gen) const {
+  uint64_t N = size();
+  if (N == 0)
+    return notFound("dataset '" + name() + "' is empty");
+  // Enumerating millions of names just to pick one would defeat the lazy
+  // design; sample an index and fetch by position within a bounded window.
+  uint64_t Index = Gen.bounded(N);
+  std::vector<std::string> Names =
+      benchmarkNames(static_cast<size_t>(std::min<uint64_t>(N, Index + 1)));
+  if (Names.empty())
+    return notFound("dataset '" + name() + "' yielded no names");
+  return benchmark(Names[std::min<size_t>(Names.size() - 1,
+                                          static_cast<size_t>(Index))]);
+}

@@ -1,0 +1,66 @@
+//===- datasets/Dataset.h - Benchmark collections ---------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dataset: a named collection of benchmarks that can be enumerated,
+/// random-sampled, and fetched by name — the §III-B1 dataset API. Datasets
+/// here are backed by deterministic program generators (see DESIGN.md's
+/// substitution notes), so "millions of benchmarks" enumerate lazily with
+/// no storage cost, like the paper's generator-backed datasets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_DATASETS_DATASET_H
+#define COMPILER_GYM_DATASETS_DATASET_H
+
+#include "datasets/Benchmark.h"
+#include "util/Rng.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace datasets {
+
+/// Abstract collection of benchmarks.
+class Dataset {
+public:
+  Dataset(std::string Name, std::string Description, bool Runnable)
+      : Name(std::move(Name)), Description(std::move(Description)),
+        Runnable(Runnable) {}
+  virtual ~Dataset();
+
+  /// Dataset URI, e.g. "benchmark://cbench-v1".
+  const std::string &name() const { return Name; }
+  const std::string &description() const { return Description; }
+
+  /// Whether benchmarks support the runtime reward (paper: only cBench and
+  /// csmith do).
+  bool runnable() const { return Runnable; }
+
+  /// Number of benchmarks in the dataset.
+  virtual uint64_t size() const = 0;
+
+  /// Up to \p Limit benchmark names, in a stable order.
+  virtual std::vector<std::string> benchmarkNames(size_t Limit) const = 0;
+
+  /// Fetches one benchmark by name.
+  virtual StatusOr<Benchmark> benchmark(const std::string &BmName) const = 0;
+
+  /// A uniformly random benchmark.
+  StatusOr<Benchmark> randomBenchmark(Rng &Gen) const;
+
+private:
+  std::string Name;
+  std::string Description;
+  bool Runnable;
+};
+
+} // namespace datasets
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_DATASETS_DATASET_H

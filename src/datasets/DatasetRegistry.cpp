@@ -1,0 +1,199 @@
+//===- datasets/DatasetRegistry.cpp ---------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/DatasetRegistry.h"
+
+#include "datasets/CuratedSuites.h"
+#include "datasets/StressGenerator.h"
+#include "util/Hash.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::datasets;
+
+namespace {
+
+/// Builds a generator-backed dataset with the style preset for its name.
+std::unique_ptr<Dataset> makeStyled(const std::string &Name,
+                                    const std::string &Description,
+                                    bool Runnable, uint64_t Count,
+                                    int SizeScaleJitter = 0) {
+  ProgramStyle Style = styleForDataset(Name);
+  return std::make_unique<GeneratedDataset>(
+      Name, Description, Runnable, Count,
+      [Style, Name, SizeScaleJitter](uint64_t Seed,
+                                     const std::string &ModuleName) {
+        ProgramStyle S = Style;
+        if (SizeScaleJitter > 0)
+          S.SizeScale +=
+              static_cast<int>(hashCombine(fnv1a(Name), Seed) %
+                               static_cast<uint64_t>(SizeScaleJitter));
+        return generateProgram(hashCombine(fnv1a(Name), Seed), S, ModuleName);
+      });
+}
+
+/// Problem sizes for the loop_tool environment: benchmarks are pointwise
+/// additions of the named element count (no IR payload).
+class LoopToolDataset : public Dataset {
+public:
+  LoopToolDataset()
+      : Dataset("benchmark://loop_tool-v0",
+                "Pointwise CUDA loop-nest tuning problems",
+                /*Runnable=*/true) {}
+
+  uint64_t size() const override { return Sizes.size(); }
+
+  std::vector<std::string> benchmarkNames(size_t Limit) const override {
+    std::vector<std::string> Out;
+    for (size_t I = 0; I < Sizes.size() && I < Limit; ++I)
+      Out.push_back(std::to_string(Sizes[I]));
+    return Out;
+  }
+
+  StatusOr<Benchmark> benchmark(const std::string &BmName) const override {
+    char *End = nullptr;
+    int64_t N = std::strtoll(BmName.c_str(), &End, 10);
+    if (BmName.empty() || End != BmName.c_str() + BmName.size() || N <= 0)
+      return notFound("no benchmark '" + BmName + "' in " + name());
+    Benchmark Out;
+    Out.Uri = name() + "/" + BmName;
+    Out.Runnable = true;
+    Out.Inputs = {N};
+    return Out;
+  }
+
+private:
+  std::vector<int64_t> Sizes = {1 << 10, 1 << 14, 1 << 17, 1 << 20,
+                                1 << 22, 1 << 24};
+};
+
+/// cBench members, with per-program size/shape tuned so that step-time
+/// spread matches the paper's Fig 6 (crc32 tiny ... ghostscript huge).
+std::vector<CuratedDataset::Member> cbenchMembers() {
+  auto mk = [](const std::string &Name, int SizeScale,
+               double LoopDensity, double FloatFrac,
+               bool Recursive = false) {
+    CuratedDataset::Member M;
+    M.Name = Name;
+    M.Seed = fnv1a("cbench/" + Name);
+    M.Style = styleForDataset("benchmark://mibench-v1"); // Embedded-ish base.
+    M.Style.SizeScale = SizeScale;
+    M.Style.LoopDensity = LoopDensity;
+    M.Style.FloatFrac = FloatFrac;
+    M.Style.Recursive = Recursive;
+    M.Style.MaxFunctions = 3 + SizeScale / 2;
+    return M;
+  };
+  return {
+      mk("adpcm", 2, 0.6, 0.0),        mk("bitcount", 1, 0.7, 0.0),
+      mk("blowfish", 4, 0.5, 0.0),     mk("bzip2", 10, 0.5, 0.0),
+      mk("crc32", 1, 0.8, 0.0),        mk("dijkstra", 2, 0.7, 0.0),
+      mk("ghostscript", 90, 0.35, 0.2), mk("gsm", 6, 0.55, 0.1),
+      mk("ispell", 6, 0.4, 0.0),       mk("jpeg-c", 16, 0.55, 0.25),
+      mk("jpeg-d", 14, 0.55, 0.25),    mk("lame", 20, 0.5, 0.5),
+      mk("mad", 8, 0.5, 0.35),         mk("patricia", 2, 0.4, 0.0, true),
+      mk("qsort", 2, 0.5, 0.0, true),  mk("rijndael", 5, 0.6, 0.0),
+      mk("sha", 2, 0.7, 0.0),          mk("stringsearch", 1, 0.6, 0.0),
+      mk("susan", 9, 0.6, 0.15),       mk("tiff2bw", 7, 0.6, 0.1),
+      mk("tiff2rgba", 7, 0.6, 0.1),    mk("tiffdither", 8, 0.6, 0.1),
+      mk("tiffmedian", 8, 0.6, 0.1),
+  };
+}
+
+std::vector<CuratedDataset::Member> chstoneMembers() {
+  auto mk = [](const std::string &Name, int SizeScale) {
+    CuratedDataset::Member M;
+    M.Name = Name;
+    M.Seed = fnv1a("chstone/" + Name);
+    M.Style = styleForDataset("benchmark://chstone-v0");
+    M.Style.SizeScale = SizeScale;
+    return M;
+  };
+  return {mk("adpcm", 2),  mk("aes", 4),    mk("blowfish", 3),
+          mk("dfadd", 2),  mk("dfdiv", 2),  mk("dfmul", 2),
+          mk("dfsin", 3),  mk("gsm", 3),    mk("jpeg", 6),
+          mk("mips", 4),   mk("motion", 2), mk("sha", 2)};
+}
+
+} // namespace
+
+const DatasetRegistry &DatasetRegistry::instance() {
+  static DatasetRegistry Registry;
+  return Registry;
+}
+
+DatasetRegistry::DatasetRegistry() {
+  // Counts follow Table I of the paper.
+  Datasets.push_back(makeStyled("benchmark://anghabench-v1",
+                                "Compilable C functions mined from GitHub",
+                                /*Runnable=*/false, 1041333));
+  Datasets.push_back(makeStyled("benchmark://blas-v0",
+                                "Basic linear algebra kernels",
+                                /*Runnable=*/false, 300));
+  Datasets.push_back(std::make_unique<CuratedDataset>(
+      "benchmark://cbench-v1", "Collective Benchmark runnable suite",
+      /*Runnable=*/true, cbenchMembers()));
+  Datasets.push_back(std::make_unique<CuratedDataset>(
+      "benchmark://chstone-v0", "High-level synthesis kernels",
+      /*Runnable=*/false, chstoneMembers()));
+  Datasets.push_back(makeStyled("benchmark://clgen-v0",
+                                "Synthesized OpenCL-style kernels",
+                                /*Runnable=*/false, 996));
+  Datasets.push_back(makeStyled("benchmark://csmith-v0",
+                                "Random C program generator",
+                                /*Runnable=*/true, 1ull << 32,
+                                /*SizeScaleJitter=*/3));
+  Datasets.push_back(makeStyled("benchmark://github-v0",
+                                "Open-source C programs",
+                                /*Runnable=*/false, 49738));
+  Datasets.push_back(makeStyled("benchmark://linux-v0",
+                                "Linux kernel objects",
+                                /*Runnable=*/false, 13894));
+  Datasets.push_back(std::make_unique<GeneratedDataset>(
+      "benchmark://llvm-stress-v0", "Random IR stress generator",
+      /*Runnable=*/false, 1ull << 32,
+      [](uint64_t Seed, const std::string &ModuleName) {
+        return generateStressProgram(Seed, 1 + static_cast<int>(Seed % 4),
+                                     ModuleName);
+      }));
+  Datasets.push_back(makeStyled("benchmark://mibench-v1",
+                                "Embedded benchmark suite",
+                                /*Runnable=*/false, 40));
+  Datasets.push_back(makeStyled("benchmark://npb-v0",
+                                "NAS parallel benchmarks",
+                                /*Runnable=*/false, 122));
+  Datasets.push_back(makeStyled("benchmark://opencv-v0",
+                                "Computer vision kernels",
+                                /*Runnable=*/false, 442));
+  Datasets.push_back(makeStyled("benchmark://poj104-v1",
+                                "Programming-contest solutions",
+                                /*Runnable=*/false, 49816));
+  Datasets.push_back(makeStyled("benchmark://tensorflow-v0",
+                                "Machine-learning framework objects",
+                                /*Runnable=*/false, 1985));
+  Datasets.push_back(std::make_unique<LoopToolDataset>());
+}
+
+const Dataset *DatasetRegistry::dataset(const std::string &Uri) const {
+  for (const auto &D : Datasets)
+    if (D->name() == Uri)
+      return D.get();
+  return nullptr;
+}
+
+StatusOr<Benchmark> DatasetRegistry::resolve(const std::string &Uri) const {
+  std::string DatasetUri, BmName;
+  CG_RETURN_IF_ERROR(parseBenchmarkUri(Uri, DatasetUri, BmName));
+  const Dataset *D = dataset(DatasetUri);
+  if (!D)
+    return notFound("unknown dataset '" + DatasetUri + "'");
+  if (BmName.empty()) {
+    std::vector<std::string> Names = D->benchmarkNames(1);
+    if (Names.empty())
+      return notFound("dataset '" + DatasetUri + "' is empty");
+    BmName = Names.front();
+  }
+  return D->benchmark(BmName);
+}

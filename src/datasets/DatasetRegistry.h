@@ -1,0 +1,52 @@
+//===- datasets/DatasetRegistry.h - All built-in datasets -------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of benchmark datasets shipped with the LLVM environment,
+/// mirroring Table I of the paper: anghabench, blas, cbench, chstone,
+/// clgen, csmith, github, linux, llvm-stress, mibench, npb, opencv,
+/// poj104, tensorflow. Each is backed by a deterministic generator with a
+/// dataset-specific program style (see CuratedSuites.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_DATASETS_DATASETREGISTRY_H
+#define COMPILER_GYM_DATASETS_DATASETREGISTRY_H
+
+#include "datasets/Dataset.h"
+
+#include <memory>
+#include <vector>
+
+namespace compiler_gym {
+namespace datasets {
+
+/// Immutable singleton over all built-in datasets.
+class DatasetRegistry {
+public:
+  static const DatasetRegistry &instance();
+
+  /// Finds a dataset by URI ("benchmark://cbench-v1"); nullptr if unknown.
+  const Dataset *dataset(const std::string &Uri) const;
+
+  /// Resolves a full benchmark URI ("benchmark://cbench-v1/qsort"). A
+  /// dataset-only URI resolves to the dataset's first benchmark.
+  StatusOr<Benchmark> resolve(const std::string &Uri) const;
+
+  /// All datasets, in registration order.
+  const std::vector<std::unique_ptr<Dataset>> &datasets() const {
+    return Datasets;
+  }
+
+private:
+  DatasetRegistry();
+  std::vector<std::unique_ptr<Dataset>> Datasets;
+};
+
+} // namespace datasets
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_DATASETS_DATASETREGISTRY_H

@@ -1,0 +1,207 @@
+//===- datasets/StressGenerator.cpp ---------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/StressGenerator.h"
+
+#include "ir/IRBuilder.h"
+#include "util/Rng.h"
+
+#include <array>
+
+using namespace compiler_gym;
+using namespace compiler_gym::datasets;
+using namespace compiler_gym::ir;
+
+namespace {
+
+/// Pools of live values by type, grown as instructions are emitted.
+struct ValuePools {
+  std::vector<Value *> I64s, I32s, F64s, I1s;
+
+  std::vector<Value *> &poolFor(Type Ty) {
+    switch (Ty) {
+    case Type::I32:
+      return I32s;
+    case Type::F64:
+      return F64s;
+    case Type::I1:
+      return I1s;
+    default:
+      return I64s;
+    }
+  }
+};
+
+Value *pickOrConst(ValuePools &Pools, Module &M, Rng &Gen, Type Ty) {
+  auto &Pool = Pools.poolFor(Ty);
+  if (!Pool.empty() && !Gen.chance(0.2))
+    return Pool[Gen.bounded(Pool.size())];
+  if (Ty == Type::F64)
+    return M.getConstFloat(Gen.uniform(-16.0, 16.0));
+  return M.getConstInt(Ty, Gen.range(Ty == Type::I1 ? 0 : -64,
+                                     Ty == Type::I1 ? 1 : 256));
+}
+
+void emitSoup(Module &M, IRBuilder &B, ValuePools &Pools, Rng &Gen,
+              int Count) {
+  for (int I = 0; I < Count; ++I) {
+    switch (Gen.bounded(10)) {
+    case 0: { // i32 arithmetic.
+      static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                   Opcode::Xor, Opcode::And, Opcode::Or};
+      Value *A = pickOrConst(Pools, M, Gen, Type::I32);
+      Value *C = pickOrConst(Pools, M, Gen, Type::I32);
+      Pools.I32s.push_back(
+          B.createBinary(Ops[Gen.bounded(std::size(Ops))], A, C));
+      break;
+    }
+    case 1:
+    case 2:
+    case 3: { // i64 arithmetic (the bulk).
+      static const Opcode Ops[] = {Opcode::Add, Opcode::Sub,  Opcode::Mul,
+                                   Opcode::Xor, Opcode::And,  Opcode::Or,
+                                   Opcode::Shl, Opcode::LShr, Opcode::AShr};
+      Opcode Op = Ops[Gen.bounded(std::size(Ops))];
+      Value *A = pickOrConst(Pools, M, Gen, Type::I64);
+      Value *C = (Op == Opcode::Shl || Op == Opcode::LShr ||
+                  Op == Opcode::AShr)
+                     ? M.getConstInt(Type::I64, Gen.range(0, 63))
+                     : pickOrConst(Pools, M, Gen, Type::I64);
+      Pools.I64s.push_back(B.createBinary(Op, A, C));
+      break;
+    }
+    case 4: { // Floats.
+      static const Opcode Ops[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul,
+                                   Opcode::FDiv};
+      Value *A = pickOrConst(Pools, M, Gen, Type::F64);
+      Value *C = pickOrConst(Pools, M, Gen, Type::F64);
+      Pools.F64s.push_back(
+          B.createBinary(Ops[Gen.bounded(std::size(Ops))], A, C));
+      break;
+    }
+    case 5: { // Comparisons.
+      Value *A = pickOrConst(Pools, M, Gen, Type::I64);
+      Value *C = pickOrConst(Pools, M, Gen, Type::I64);
+      static const Pred Preds[] = {Pred::EQ, Pred::NE, Pred::LT,
+                                   Pred::LE, Pred::GT, Pred::GE};
+      Pools.I1s.push_back(
+          B.createICmp(Preds[Gen.bounded(std::size(Preds))], A, C));
+      break;
+    }
+    case 6: { // Casts: the stress signature.
+      switch (Gen.bounded(4)) {
+      case 0:
+        Pools.I32s.push_back(B.createCast(
+            Opcode::Trunc, pickOrConst(Pools, M, Gen, Type::I64),
+            Type::I32));
+        break;
+      case 1:
+        Pools.I64s.push_back(B.createCast(
+            Opcode::SExt, pickOrConst(Pools, M, Gen, Type::I32), Type::I64));
+        break;
+      case 2:
+        Pools.F64s.push_back(B.createCast(
+            Opcode::SIToFP, pickOrConst(Pools, M, Gen, Type::I64),
+            Type::F64));
+        break;
+      default:
+        Pools.I64s.push_back(B.createCast(
+            Opcode::FPToSI, pickOrConst(Pools, M, Gen, Type::F64),
+            Type::I64));
+        break;
+      }
+      break;
+    }
+    case 7: { // Selects.
+      Value *Cond = pickOrConst(Pools, M, Gen, Type::I1);
+      Value *A = pickOrConst(Pools, M, Gen, Type::I64);
+      Value *C = pickOrConst(Pools, M, Gen, Type::I64);
+      Pools.I64s.push_back(B.createSelect(Cond, A, C));
+      break;
+    }
+    case 8: { // Bool algebra.
+      Value *A = pickOrConst(Pools, M, Gen, Type::I1);
+      Value *C = pickOrConst(Pools, M, Gen, Type::I1);
+      static const Opcode Ops[] = {Opcode::And, Opcode::Or, Opcode::Xor};
+      Pools.I1s.push_back(
+          B.createBinary(Ops[Gen.bounded(std::size(Ops))], A, C));
+      break;
+    }
+    default: { // i64 div/rem with safe constant divisors.
+      Value *A = pickOrConst(Pools, M, Gen, Type::I64);
+      Value *C = M.getConstInt(Type::I64, Gen.range(2, 17));
+      Pools.I64s.push_back(B.createBinary(
+          Gen.chance(0.5) ? Opcode::SDiv : Opcode::SRem, A, C));
+      break;
+    }
+    }
+  }
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+datasets::generateStressProgram(uint64_t Seed, int SizeScale,
+                                const std::string &Name) {
+  Rng Gen(Seed ^ 0x57E55E5Full);
+  auto M = std::make_unique<Module>(Name);
+  Function *Main = M->createFunction("main", Type::I64);
+  Argument *N = Main->addArgument(Type::I64, "n");
+
+  // Forward-only CFG: a chain of diamonds, each full of instruction soup.
+  int Diamonds = std::max(1, static_cast<int>(Gen.range(2, 4)) * SizeScale);
+  int SoupPerBlock = 12;
+
+  ValuePools Pools;
+  Pools.I64s.push_back(N);
+
+  BasicBlock *Cur = Main->createBlock("entry");
+  IRBuilder B(Cur);
+  emitSoup(*M, B, Pools, Gen, SoupPerBlock);
+
+  for (int D = 0; D < Diamonds; ++D) {
+    // Values defined in diamond arms are not added to pools (they would
+    // not dominate downstream uses); only merge-phis escape.
+    Value *Cond = pickOrConst(Pools, *M, Gen, Type::I1);
+    BasicBlock *L = Main->createBlock("d" + std::to_string(D) + ".l");
+    BasicBlock *R = Main->createBlock("d" + std::to_string(D) + ".r");
+    BasicBlock *J = Main->createBlock("d" + std::to_string(D) + ".j");
+    B.createCondBr(Cond, L, R);
+
+    ValuePools ArmPools = Pools;
+    B.setInsertPoint(L);
+    size_t I64Mark = ArmPools.I64s.size();
+    emitSoup(*M, B, ArmPools, Gen, SoupPerBlock / 2);
+    Value *LOut = ArmPools.I64s.size() > I64Mark
+                      ? ArmPools.I64s.back()
+                      : pickOrConst(Pools, *M, Gen, Type::I64);
+    B.createBr(J);
+
+    ValuePools ArmPools2 = Pools;
+    B.setInsertPoint(R);
+    size_t I64Mark2 = ArmPools2.I64s.size();
+    emitSoup(*M, B, ArmPools2, Gen, SoupPerBlock / 2);
+    Value *ROut = ArmPools2.I64s.size() > I64Mark2
+                      ? ArmPools2.I64s.back()
+                      : pickOrConst(Pools, *M, Gen, Type::I64);
+    B.createBr(J);
+
+    B.setInsertPoint(J);
+    Instruction *Phi = B.createPhi(Type::I64);
+    Phi->addIncoming(LOut, L);
+    Phi->addIncoming(ROut, R);
+    Pools.I64s.push_back(Phi);
+    emitSoup(*M, B, Pools, Gen, SoupPerBlock);
+    Cur = J;
+  }
+
+  // Fold the live i64 pool into the return value.
+  Value *Acc = M->getConstInt(Type::I64, 0);
+  for (size_t I = 0; I < Pools.I64s.size(); I += 3)
+    Acc = B.createBinary(Opcode::Xor, Acc, Pools.I64s[I]);
+  B.createRet(Acc);
+  return M;
+}

@@ -1,0 +1,36 @@
+//===- datasets/StressGenerator.h - llvm-stress analogue --------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An llvm-stress-style generator: wild, dense instruction soup over a
+/// forward-only (DAG) CFG, with deep expression chains, odd type mixes and
+/// heavy cast traffic. No stack slots and no loops — a deliberately
+/// different statistical domain from the csmith-style generator (Table VI
+/// shows agents transfer poorly to llvm-stress, which this preserves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_DATASETS_STRESSGENERATOR_H
+#define COMPILER_GYM_DATASETS_STRESSGENERATOR_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace compiler_gym {
+namespace datasets {
+
+/// Generates a stress module from \p Seed. \p SizeScale multiplies the
+/// instruction budget (default bodies are a few hundred instructions).
+std::unique_ptr<ir::Module> generateStressProgram(uint64_t Seed,
+                                                  int SizeScale,
+                                                  const std::string &Name);
+
+} // namespace datasets
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_DATASETS_STRESSGENERATOR_H

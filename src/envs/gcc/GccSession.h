@@ -1,0 +1,66 @@
+//===- envs/gcc/GccSession.h - Flag-tuning backend --------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GCC flag-tuning environment backend (§V-B). Environment state is
+/// the *choice vector* over the 502-option command line, not the IR: each
+/// observation recompiles the benchmark from source under the current
+/// flags, exactly like the paper's GCC environment. Two action spaces:
+/// "gcc-categorical-v0" (the per-value/±delta list) and "gcc-direct-v0"
+/// (one step carries the whole choice vector in Action::Values).
+///
+/// Observations: asm text, object bytes, instruction count, choices,
+/// AsmSizeBytes / ObjSizeBytes (reward bases vs -Os).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ENVS_GCC_GCCSESSION_H
+#define COMPILER_GYM_ENVS_GCC_GCCSESSION_H
+
+#include "envs/gcc/OptionSpec.h"
+#include "ir/Module.h"
+#include "service/CompilationSession.h"
+
+#include <memory>
+
+namespace compiler_gym {
+namespace envs {
+
+/// Registers the "gcc" compiler with the service runtime. Idempotent.
+void registerGccEnvironment();
+
+class GccSession : public service::CompilationSession {
+public:
+  GccSession();
+
+  std::vector<service::ActionSpace> getActionSpaces() override;
+  std::vector<service::ObservationSpaceInfo> getObservationSpaces() override;
+  Status init(const service::ActionSpace &Space,
+              const datasets::Benchmark &Bench) override;
+  Status applyAction(const service::Action &A, bool &EndOfEpisode,
+                     bool &ActionSpaceChanged) override;
+  Status computeObservation(const service::ObservationSpaceInfo &Space,
+                            service::Observation &Out) override;
+  StatusOr<std::unique_ptr<CompilationSession>> fork() override;
+
+  /// The option space singleton (shared by tests and benches).
+  static const GccOptionSpace &optionSpace();
+
+private:
+  Status recompileIfNeeded();
+
+  bool DirectSpace = false;
+  std::unique_ptr<ir::Module> Source;   ///< Pristine parsed benchmark.
+  std::unique_ptr<ir::Module> Compiled; ///< Result under current choices.
+  std::vector<int64_t> Choices;
+  bool Dirty = true;
+  int64_t BaselineOsSize = -1; ///< -Os object size, for scaled rewards.
+};
+
+} // namespace envs
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ENVS_GCC_GCCSESSION_H

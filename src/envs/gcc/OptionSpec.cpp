@@ -1,0 +1,217 @@
+//===- envs/gcc/OptionSpec.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "envs/gcc/OptionSpec.h"
+
+#include "passes/PassRegistry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::envs;
+
+GccOptionSpace::GccOptionSpace(int GccVersion) {
+  // -- Option 0: the -O level selector (7 choices incl. "unset"). ---------
+  {
+    GccOption O;
+    O.OptKind = GccOption::Kind::OLevel;
+    O.Name = "-O";
+    O.Cardinality = 7; // unset, -O0, -O1, -O2, -O3, -Os, -Oz.
+    Options.push_back(O);
+  }
+
+  // -- 242 tri-state flags. -----------------------------------------------
+  // Real flags first: one per registered pass (the flag gates that pass).
+  std::vector<std::string> PassNames =
+      passes::PassRegistry::instance().defaultActionNames();
+  size_t RealFlags = 0;
+  for (const std::string &PassName : PassNames) {
+    if (PassName.find('<') != std::string::npos)
+      continue; // Parameterized passes are controlled via --param below.
+    GccOption O;
+    O.OptKind = GccOption::Kind::Flag;
+    O.Name = "-f" + PassName;
+    O.Cardinality = 3;
+    O.ControlledPass = PassName;
+    Options.push_back(O);
+    ++RealFlags;
+  }
+  // Placebo flags with GCC-flavoured names fill the bank to 242. Most GCC
+  // flags do nothing for any particular program; an agent must learn to
+  // ignore them, which is part of what makes the space hard.
+  static const char *PlaceboStems[] = {
+      "align-functions",   "align-jumps",      "align-labels",
+      "branch-count-reg",  "caller-saves",     "code-hoisting",
+      "combine-stack-adjustments", "compare-elim", "cprop-registers",
+      "crossjumping",      "cse-follow-jumps", "dce-fast",
+      "defer-pop",         "delayed-branch",   "devirtualize",
+      "expensive-optimizations", "forward-propagate", "gcse-after-reload",
+      "guess-branch-probability", "hoist-adjacent-loads", "if-conversion",
+      "if-conversion2",    "indirect-inlining", "ipa-bit-cp",
+      "ipa-cp",            "ipa-icf",          "ipa-modref",
+      "ipa-profile",       "ipa-pure-const",   "ipa-ra",
+      "ipa-reference",     "ipa-sra",          "ira-hoist-pressure",
+      "isolate-erroneous-paths", "ivopts",     "jump-tables",
+      "lifetime-dse",      "live-range-shrinkage", "loop-interchange",
+      "lra-remat",         "modulo-sched",     "move-loop-invariants",
+      "omit-frame-pointer", "optimize-sibling-calls", "partial-inlining",
+      "peephole2",         "plt",              "predictive-commoning",
+      "prefetch-loop-arrays", "ree",           "rename-registers",
+      "reorder-blocks",    "reorder-functions", "rerun-cse-after-loop",
+      "sched-critical-path-heuristic", "sched-dep-count-heuristic",
+      "sched-interblock",  "sched-last-insn-heuristic", "sched-pressure",
+      "sched-rank-heuristic", "sched-spec",    "sched-spec-insn-heuristic",
+      "sched-stalled-insns", "schedule-fusion", "schedule-insns",
+      "schedule-insns2",   "section-anchors",  "sel-sched-pipelining",
+      "shrink-wrap",       "signed-zeros",     "split-ivs-in-unroller",
+      "split-loops",       "split-paths",      "split-wide-types",
+      "ssa-backprop",      "ssa-phiopt",       "stdarg-opt",
+      "store-merging",     "strict-aliasing",  "thread-jumps",
+      "tracer",            "tree-bit-ccp",     "tree-builtin-call-dce",
+      "tree-ccp",          "tree-ch",          "tree-coalesce-vars",
+      "tree-copy-prop",    "tree-cselim",      "tree-dominator-opts",
+      "tree-dse",          "tree-forwprop",    "tree-fre",
+      "tree-loop-distribute-patterns", "tree-loop-distribution",
+      "tree-loop-if-convert", "tree-loop-im",  "tree-loop-ivcanon",
+      "tree-loop-optimize", "tree-loop-vectorize", "tree-partial-pre",
+      "tree-phiprop",      "tree-pre",         "tree-pta",
+      "tree-reassoc",      "tree-scev-cprop",  "tree-sink",
+      "tree-slp-vectorize", "tree-slsr",       "tree-sra",
+      "tree-switch-conversion", "tree-tail-merge", "tree-ter",
+      "tree-vectorize",    "tree-vrp",         "unconstrained-commons",
+      "unroll-all-loops",  "unswitch-loops",   "unwind-tables",
+      "variable-expansion-in-unroller", "vect-cost-model", "web",
+      "wrapv",             "peel-loops",       "finite-loops",
+      "fast-math",         "float-store",      "keep-inline-functions",
+      "merge-constants",   "pack-struct",      "short-enums",
+      "single-precision-constant", "stack-protector", "trapv",
+  };
+  size_t PlaceboNeeded = 242 > RealFlags ? 242 - RealFlags : 0;
+  for (size_t I = 0; I < PlaceboNeeded; ++I) {
+    GccOption O;
+    O.OptKind = GccOption::Kind::Flag;
+    std::string Stem = PlaceboStems[I % std::size(PlaceboStems)];
+    if (I >= std::size(PlaceboStems))
+      Stem += "-" + std::to_string(I / std::size(PlaceboStems));
+    O.Name = "-f" + Stem;
+    O.Cardinality = 3;
+    Options.push_back(O);
+  }
+
+  // -- 259 --param options, totalling 502 with the -O selector and the 242
+  // flags (GCC 5 reports far fewer params, per the paper). ------------------
+  size_t NumParams = GccVersion >= 11 ? 259 : 64;
+  auto addParam = [&](const std::string &Name, std::vector<int64_t> Values,
+                      const std::string &Controls = "") {
+    GccOption O;
+    O.OptKind = GccOption::Kind::Param;
+    O.Name = "--param " + Name;
+    O.ParamValues = std::move(Values);
+    O.Cardinality = static_cast<int64_t>(O.ParamValues.size());
+    O.ControlledPass = Controls;
+    Options.push_back(O);
+  };
+  // Meaningful params: inline threshold, unroll limit, pipeline rounds.
+  addParam("inline-unit-growth",
+           {0, 10, 20, 35, 50, 75, 100, 150, 225, 300, 450, 600},
+           "inline-threshold");
+  addParam("max-unrolled-insns", {0, 2, 4, 8, 16, 32, 64, 128},
+           "unroll-trip");
+  addParam("passes-rounds", {1, 2, 3, 4}, "pipeline-rounds");
+  // The rest: placebo params with wide numeric ranges, as in real GCC.
+  size_t ParamsSoFar = 3;
+  for (size_t I = ParamsSoFar; I < NumParams; ++I) {
+    std::vector<int64_t> Values;
+    // Ranges vary per param, like GCC's (some booleans, some huge).
+    size_t Cardinality = 2 + (I * 7) % 99;
+    for (size_t V = 0; V < Cardinality; ++V)
+      Values.push_back(static_cast<int64_t>(V * (1 + I % 10)));
+    addParam("placebo-param-" + std::to_string(I), std::move(Values));
+  }
+
+  // -- Derived categorical action list. -------------------------------------
+  for (size_t OptIdx = 0; OptIdx < Options.size(); ++OptIdx) {
+    const GccOption &O = Options[OptIdx];
+    if (O.Cardinality < 10) {
+      for (int64_t V = 0; V < O.Cardinality; ++V) {
+        GccAction A;
+        A.OptionIndex = static_cast<int32_t>(OptIdx);
+        A.SetTo = V;
+        A.Name = O.Name + "=" + std::to_string(V);
+        Actions.push_back(A);
+      }
+      continue;
+    }
+    for (int64_t Delta : {1, -1, 10, -10, 100, -100, 1000, -1000}) {
+      GccAction A;
+      A.OptionIndex = static_cast<int32_t>(OptIdx);
+      A.IsDelta = true;
+      A.Delta = Delta;
+      A.Name = O.Name + (Delta > 0 ? "+=" : "-=") +
+               std::to_string(std::abs(Delta));
+      Actions.push_back(A);
+    }
+  }
+}
+
+double GccOptionSpace::log10SpaceSize() const {
+  double Log = 0.0;
+  for (const GccOption &O : Options)
+    Log += std::log10(static_cast<double>(O.Cardinality));
+  return Log;
+}
+
+bool GccOptionSpace::applyAction(size_t ActionIndex,
+                                 std::vector<int64_t> &Choices) const {
+  if (ActionIndex >= Actions.size() || Choices.size() != Options.size())
+    return false;
+  const GccAction &A = Actions[ActionIndex];
+  const GccOption &O = Options[A.OptionIndex];
+  int64_t &Choice = Choices[A.OptionIndex];
+  if (A.IsDelta)
+    Choice = std::clamp<int64_t>(Choice + A.Delta, 0, O.Cardinality - 1);
+  else
+    Choice = std::clamp<int64_t>(A.SetTo, 0, O.Cardinality - 1);
+  return true;
+}
+
+GccOptionSpace::CompilePlan
+GccOptionSpace::plan(const std::vector<int64_t> &Choices) const {
+  CompilePlan Plan;
+  static const char *Levels[] = {"-O0", "-O0", "-O1", "-O2",
+                                 "-O3", "-Os", "-Oz"};
+  for (size_t I = 0; I < Options.size() && I < Choices.size(); ++I) {
+    const GccOption &O = Options[I];
+    int64_t Choice = std::clamp<int64_t>(Choices[I], 0, O.Cardinality - 1);
+    switch (O.OptKind) {
+    case GccOption::Kind::OLevel:
+      Plan.OLevel = Levels[Choice];
+      break;
+    case GccOption::Kind::Flag:
+      if (O.ControlledPass.empty())
+        break;
+      if (Choice == 1)
+        Plan.ExtraPasses.push_back(O.ControlledPass);
+      else if (Choice == 2)
+        Plan.DisabledPasses.push_back(O.ControlledPass);
+      break;
+    case GccOption::Kind::Param: {
+      if (O.ControlledPass.empty())
+        break;
+      int64_t V = O.ParamValues[static_cast<size_t>(Choice)];
+      if (O.ControlledPass == "inline-threshold")
+        Plan.InlineThreshold = static_cast<unsigned>(V);
+      else if (O.ControlledPass == "unroll-trip")
+        Plan.UnrollTripLimit = static_cast<unsigned>(V);
+      else if (O.ControlledPass == "pipeline-rounds")
+        Plan.PipelineRounds = static_cast<int>(V);
+      break;
+    }
+    }
+  }
+  return Plan;
+}

@@ -1,0 +1,100 @@
+//===- envs/gcc/OptionSpec.h - GCC command-line space -----------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GCC optimization space (§V-B): a data-driven table of command-line
+/// options mirroring the structure the paper extracts from `gcc --help`:
+/// one -O<n> selector, a bank of -f<flag>/-fno-<flag> tri-state flags, and
+/// a bank of --param name=value options with per-param value lists. The
+/// table has 502 options total, like GCC 11.2.0 in the paper.
+///
+/// Two action spaces are derived from the table (§V-B "Actions"):
+///  * the *direct* space — one integer choice per option;
+///  * the *categorical* space — for options with cardinality < 10, one
+///    action per (option, value) pair; for larger options, +/-1, +/-10,
+///    +/-100, +/-1000 adjustment actions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ENVS_GCC_OPTIONSPEC_H
+#define COMPILER_GYM_ENVS_GCC_OPTIONSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace envs {
+
+/// One command-line option.
+struct GccOption {
+  enum class Kind {
+    OLevel, ///< -O0..-Oz selector.
+    Flag,   ///< -f<name> tri-state: unset / on / off.
+    Param,  ///< --param <name>=<value-index>.
+  };
+  Kind OptKind = Kind::Flag;
+  std::string Name;
+  int64_t Cardinality = 3;   ///< Number of choices (choice 0 = default).
+  /// For Param options, the concrete value for each choice index.
+  std::vector<int64_t> ParamValues;
+  /// The pass (or knob) this option controls; empty = placebo (most GCC
+  /// flags do not affect a given program either).
+  std::string ControlledPass;
+};
+
+/// One categorical action over the option bank.
+struct GccAction {
+  int32_t OptionIndex = 0;
+  bool IsDelta = false;  ///< Adjustment (+=Delta) vs absolute (=SetTo).
+  int64_t Delta = 0;
+  int64_t SetTo = 0;
+  std::string Name;      ///< Human-readable ("-ftree-gvn", "param[3] += 10").
+};
+
+/// The full option table plus derived action list.
+class GccOptionSpace {
+public:
+  /// Builds the option table for a "gcc version"; 11 gives the full
+  /// 502-option table, earlier versions expose fewer params (the paper
+  /// notes GCC 5's space is smaller).
+  explicit GccOptionSpace(int GccVersion = 11);
+
+  const std::vector<GccOption> &options() const { return Options; }
+  const std::vector<GccAction> &actions() const { return Actions; }
+
+  /// log10 of the number of distinct configurations.
+  double log10SpaceSize() const;
+
+  /// The default choice vector (all zeros).
+  std::vector<int64_t> defaultChoices() const {
+    return std::vector<int64_t>(Options.size(), 0);
+  }
+
+  /// Applies categorical action \p ActionIndex to \p Choices (clamping).
+  /// Returns false for out-of-range action indices.
+  bool applyAction(size_t ActionIndex, std::vector<int64_t> &Choices) const;
+
+  /// Translates a choice vector into the pass pipeline + knobs it encodes.
+  struct CompilePlan {
+    std::string OLevel = "-O0";
+    std::vector<std::string> ExtraPasses;
+    std::vector<std::string> DisabledPasses;
+    int PipelineRounds = 1;
+    unsigned InlineThreshold = 0; ///< 0: from -O level.
+    unsigned UnrollTripLimit = 0;
+  };
+  CompilePlan plan(const std::vector<int64_t> &Choices) const;
+
+private:
+  std::vector<GccOption> Options;
+  std::vector<GccAction> Actions;
+};
+
+} // namespace envs
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ENVS_GCC_OPTIONSPEC_H

@@ -1,0 +1,280 @@
+//===- envs/llvm/LlvmSession.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "envs/llvm/LlvmSession.h"
+
+#include "analysis/Autophase.h"
+#include "analysis/InstCount.h"
+#include "analysis/Inst2vec.h"
+#include "analysis/ProGraML.h"
+#include "analysis/Rewards.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "passes/PassManager.h"
+#include "passes/Pipelines.h"
+#include "util/Hash.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::envs;
+using namespace compiler_gym::service;
+
+namespace {
+
+/// Process-wide LRU cache of parsed benchmark modules. A cache hit turns
+/// environment initialization into a clone — the O(1)-amortized init the
+/// paper measures in Table II.
+class BenchmarkCache {
+public:
+  static BenchmarkCache &instance() {
+    static BenchmarkCache Cache;
+    return Cache;
+  }
+
+  std::unique_ptr<ir::Module> parse(const datasets::Benchmark &Bench,
+                                    Status &Err) {
+    uint64_t Key = hashCombine(fnv1a(Bench.Uri), fnv1a(Bench.IrText));
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      auto It = Map.find(Key);
+      if (It != Map.end()) {
+        ++Hits;
+        Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+        return It->second.Mod->clone();
+      }
+      ++Misses;
+    }
+    StatusOr<std::unique_ptr<ir::Module>> Parsed =
+        ir::parseModule(Bench.IrText);
+    if (!Parsed.isOk()) {
+      Err = Parsed.status();
+      return nullptr;
+    }
+    std::unique_ptr<ir::Module> Mod = Parsed.takeValue();
+    std::unique_ptr<ir::Module> Clone = Mod->clone();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Lru.push_front(Key);
+      Map[Key] = Entry{std::move(Mod), Lru.begin()};
+      while (Map.size() > Capacity) {
+        Map.erase(Lru.back());
+        Lru.pop_back();
+      }
+    }
+    return Clone;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Map.clear();
+    Lru.clear();
+    Hits = Misses = 0;
+  }
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  struct Entry {
+    std::unique_ptr<ir::Module> Mod;
+    std::list<uint64_t>::iterator LruIt;
+  };
+  static constexpr size_t Capacity = 64;
+  std::mutex Mutex;
+  std::unordered_map<uint64_t, Entry> Map;
+  std::list<uint64_t> Lru;
+  uint64_t Hits = 0, Misses = 0;
+};
+
+std::vector<ObservationSpaceInfo> llvmObservationSpaces() {
+  auto info = [](const char *Name, ObservationType Ty, bool Deterministic,
+                 bool Platform) {
+    ObservationSpaceInfo O;
+    O.Name = Name;
+    O.Type = Ty;
+    O.Deterministic = Deterministic;
+    O.PlatformDependent = Platform;
+    return O;
+  };
+  return {
+      info("Ir", ObservationType::String, true, false),
+      info("IrHash", ObservationType::String, true, false),
+      info("InstCount", ObservationType::Int64List, true, false),
+      info("Autophase", ObservationType::Int64List, true, false),
+      info("Inst2vec", ObservationType::DoubleList, true, false),
+      info("Programl", ObservationType::Binary, true, false),
+      info("IrInstructionCount", ObservationType::Int64Value, true, false),
+      info("IrInstructionCountOz", ObservationType::Int64Value, true, false),
+      info("ObjectTextSizeBytes", ObservationType::Int64Value, true, true),
+      info("ObjectTextSizeOz", ObservationType::Int64Value, true, true),
+      info("Runtime", ObservationType::DoubleValue, false, true),
+      info("RuntimeO3", ObservationType::DoubleValue, false, true),
+  };
+}
+
+} // namespace
+
+LlvmSession::LlvmSession() = default;
+
+uint64_t LlvmSession::cacheHits() { return BenchmarkCache::instance().hits(); }
+uint64_t LlvmSession::cacheMisses() {
+  return BenchmarkCache::instance().misses();
+}
+void LlvmSession::clearBenchmarkCache() { BenchmarkCache::instance().clear(); }
+
+std::vector<ActionSpace> LlvmSession::getActionSpaces() {
+  ActionSpace Space;
+  Space.Name = "llvm-passes-v0";
+  Space.ActionNames = passes::PassRegistry::instance().defaultActionNames();
+  return {Space};
+}
+
+std::vector<ObservationSpaceInfo> LlvmSession::getObservationSpaces() {
+  return llvmObservationSpaces();
+}
+
+Status LlvmSession::init(const ActionSpace &Space,
+                         const datasets::Benchmark &Bench) {
+  ActionNames = Space.ActionNames;
+  this->Bench = Bench;
+  Status Err;
+  Mod = BenchmarkCache::instance().parse(Bench, Err);
+  if (!Mod)
+    return Err;
+  NoiseGen.reseed(fnv1a(Bench.Uri) ^ 0x9E3779B97F4A7C15ull);
+  return Status::ok();
+}
+
+Status LlvmSession::applyAction(const Action &A, bool &EndOfEpisode,
+                                bool &ActionSpaceChanged) {
+  EndOfEpisode = false;
+  ActionSpaceChanged = false;
+  if (!Mod)
+    return failedPrecondition("session not initialized");
+  if (A.Index < 0 || static_cast<size_t>(A.Index) >= ActionNames.size())
+    return outOfRange("action " + std::to_string(A.Index) +
+                      " out of range [0, " +
+                      std::to_string(ActionNames.size()) + ")");
+  CG_ASSIGN_OR_RETURN(bool Changed,
+                      passes::runPass(*Mod, ActionNames[A.Index]));
+  (void)Changed;
+  return Status::ok();
+}
+
+Status LlvmSession::computeBaselines() {
+  if (OzInstructionCount >= 0)
+    return Status::ok();
+  Status Err;
+  std::unique_ptr<ir::Module> Fresh =
+      BenchmarkCache::instance().parse(Bench, Err);
+  if (!Fresh)
+    return Err;
+  std::unique_ptr<ir::Module> O3 = Fresh->clone();
+  CG_RETURN_IF_ERROR(passes::runOptimizationLevel(*Fresh, "-Oz"));
+  OzInstructionCount = analysis::codeSize(*Fresh);
+  OzTextSize = analysis::binarySize(*Fresh);
+  if (Bench.Runnable) {
+    CG_RETURN_IF_ERROR(passes::runOptimizationLevel(*O3, "-O3"));
+    analysis::RuntimeOptions ROpts;
+    ROpts.Interp.Args = Bench.Inputs;
+    CG_ASSIGN_OR_RETURN(O3Runtime, analysis::measureRuntime(*O3, NoiseGen,
+                                                            ROpts));
+  }
+  return Status::ok();
+}
+
+Status LlvmSession::computeObservation(const ObservationSpaceInfo &Space,
+                                       Observation &Out) {
+  if (!Mod)
+    return failedPrecondition("session not initialized");
+  Out.Type = Space.Type;
+  const std::string &Name = Space.Name;
+  if (Name == "Ir") {
+    Out.Str = ir::printModule(*Mod);
+    return Status::ok();
+  }
+  if (Name == "IrHash") {
+    Out.Str = Mod->hash().hex();
+    return Status::ok();
+  }
+  if (Name == "InstCount") {
+    Out.Ints = analysis::instCount(*Mod);
+    return Status::ok();
+  }
+  if (Name == "Autophase") {
+    Out.Ints = analysis::autophase(*Mod);
+    return Status::ok();
+  }
+  if (Name == "Inst2vec") {
+    std::vector<float> E = analysis::inst2vec(*Mod);
+    Out.Doubles.assign(E.begin(), E.end());
+    return Status::ok();
+  }
+  if (Name == "Programl") {
+    Out.Str = analysis::serializeGraph(analysis::buildProgramGraph(*Mod));
+    return Status::ok();
+  }
+  if (Name == "IrInstructionCount") {
+    Out.IntValue = analysis::codeSize(*Mod);
+    return Status::ok();
+  }
+  if (Name == "ObjectTextSizeBytes") {
+    Out.IntValue = analysis::binarySize(*Mod);
+    return Status::ok();
+  }
+  if (Name == "IrInstructionCountOz") {
+    CG_RETURN_IF_ERROR(computeBaselines());
+    Out.IntValue = OzInstructionCount;
+    return Status::ok();
+  }
+  if (Name == "ObjectTextSizeOz") {
+    CG_RETURN_IF_ERROR(computeBaselines());
+    Out.IntValue = OzTextSize;
+    return Status::ok();
+  }
+  if (Name == "Runtime") {
+    if (!Bench.Runnable)
+      return failedPrecondition("benchmark '" + Bench.Uri +
+                                "' is not runnable");
+    analysis::RuntimeOptions ROpts;
+    ROpts.Interp.Args = Bench.Inputs;
+    CG_ASSIGN_OR_RETURN(Out.DoubleValue,
+                        analysis::measureRuntime(*Mod, NoiseGen, ROpts));
+    return Status::ok();
+  }
+  if (Name == "RuntimeO3") {
+    if (!Bench.Runnable)
+      return failedPrecondition("benchmark '" + Bench.Uri +
+                                "' is not runnable");
+    CG_RETURN_IF_ERROR(computeBaselines());
+    Out.DoubleValue = O3Runtime;
+    return Status::ok();
+  }
+  return notFound("unknown observation space '" + Name + "'");
+}
+
+StatusOr<std::unique_ptr<CompilationSession>> LlvmSession::fork() {
+  auto Clone = std::make_unique<LlvmSession>();
+  Clone->ActionNames = ActionNames;
+  Clone->Bench = Bench;
+  Clone->Mod = Mod ? Mod->clone() : nullptr;
+  Clone->NoiseGen = NoiseGen.split();
+  Clone->OzInstructionCount = OzInstructionCount;
+  Clone->OzTextSize = OzTextSize;
+  Clone->O3Runtime = O3Runtime;
+  return StatusOr<std::unique_ptr<CompilationSession>>(std::move(Clone));
+}
+
+void envs::registerLlvmEnvironment() {
+  static std::once_flag Flag;
+  std::call_once(Flag, [] {
+    service::registerCompilationSession(
+        "llvm", [] { return std::make_unique<LlvmSession>(); });
+  });
+}

@@ -1,0 +1,78 @@
+//===- envs/loop_tool/GpuModel.cpp ----------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "envs/loop_tool/GpuModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::envs;
+
+double envs::theoreticalPeakFlops(const GpuDescriptor &Gpu) {
+  return Gpu.MemoryBandwidthBytesPerSec / Gpu.BytesPerElement;
+}
+
+double envs::modelFlops(const LoopTree &Tree, const GpuDescriptor &Gpu) {
+  const double N = static_cast<double>(Tree.numElements());
+  const double Threads = static_cast<double>(Tree.totalThreads());
+  const double Coverage = static_cast<double>(Tree.coverage());
+
+  // Wasted work from overshoot (tail iterations past N).
+  const double TailEfficiency = std::min(1.0, N / std::max(1.0, Coverage));
+
+  if (Threads <= 1.0) {
+    // Serial execution on one CUDA thread.
+    double Seconds = Gpu.KernelLaunchSeconds +
+                     Coverage * Gpu.SerialElementSeconds;
+    return N / Seconds * TailEfficiency / std::max(1.0, Coverage / N);
+  }
+
+  const double ElemPerThread = Coverage / Threads;
+
+  // Occupancy: throughput ramps with resident warps. Sub-warp remainders
+  // waste lanes; saturation near 25% of max resident threads.
+  double WarpQuant =
+      std::floor(Threads / Gpu.WarpSize) * Gpu.WarpSize / Threads;
+  if (Threads < Gpu.WarpSize)
+    WarpQuant = Threads / Gpu.WarpSize; // Partial single warp.
+  const double Saturation =
+      std::min(1.0, std::pow(Threads / (0.25 * Gpu.MaxResidentThreads), 0.7));
+
+  // Per-thread instruction overhead: too few elements per thread wastes
+  // issue slots on loop scaffolding; extremely many mildly serializes
+  // (less latency hiding). Sweet spot is a wide band around 2..1024.
+  double IlpFactor = 1.0;
+  if (ElemPerThread < 2.0)
+    IlpFactor = 0.65 + 0.175 * ElemPerThread;
+  else if (ElemPerThread > 1024.0)
+    IlpFactor = std::max(0.5, std::pow(1024.0 / ElemPerThread, 0.3));
+
+  // Scheduler cliff past ~100k threads (Fig 7's drop): block scheduling
+  // overhead grows once the resident-thread budget is oversubscribed.
+  double CliffFactor = 1.0;
+  if (Threads > Gpu.SchedulerCliffThreads) {
+    double Over = std::min(1.0, (Threads - Gpu.SchedulerCliffThreads) /
+                                    Gpu.SchedulerCliffThreads);
+    CliffFactor = 1.0 - Gpu.SchedulerCliffPenalty * Over;
+  }
+
+  const double Efficiency = Gpu.MaxEfficiency * WarpQuant * Saturation *
+                            IlpFactor * CliffFactor * TailEfficiency;
+  const double SteadyRate = theoreticalPeakFlops(Gpu) *
+                            std::clamp(Efficiency, 0.0, 1.0);
+
+  const double Seconds = Gpu.KernelLaunchSeconds +
+                         Threads * Gpu.PerThreadSetupSeconds +
+                         Coverage / std::max(SteadyRate, 1.0);
+  return N / Seconds;
+}
+
+double envs::measureFlops(const LoopTree &Tree, Rng &Gen,
+                          const GpuDescriptor &Gpu) {
+  double Noise = 1.0 + Gen.gaussian(0.0, 0.02);
+  return modelFlops(Tree, Gpu) * std::max(0.5, Noise);
+}

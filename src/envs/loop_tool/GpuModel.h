@@ -1,0 +1,58 @@
+//===- envs/loop_tool/GpuModel.h - GP100 roofline model ---------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An analytic performance model of a Pascal GP100 GPU running the
+/// pointwise-addition loop nest. No GPU is available offline, so this
+/// model substitutes for CUDA execution (see DESIGN.md). It reproduces the
+/// qualitative landscape of the paper's Fig 7:
+///   * bandwidth-bound plateau at roughly 73% of the theoretical peak
+///     (~6.0e10 FLOP/s for 2 x 4-byte reads + 1 write at 720 GB/s);
+///   * steep under-occupancy penalty for small thread counts;
+///   * a performance drop past ~100k threads (scheduling overhead);
+///   * tail losses when the nest overshoots N;
+///   * multiplicative measurement noise (benchmarking is nondeterministic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ENVS_LOOP_TOOL_GPUMODEL_H
+#define COMPILER_GYM_ENVS_LOOP_TOOL_GPUMODEL_H
+
+#include "envs/loop_tool/LoopTree.h"
+#include "util/Rng.h"
+
+namespace compiler_gym {
+namespace envs {
+
+/// GP100-flavoured machine constants.
+struct GpuDescriptor {
+  double MemoryBandwidthBytesPerSec = 720e9; ///< HBM2.
+  double BytesPerElement = 12.0;  ///< Two 4-byte reads + one 4-byte write.
+  int NumSms = 56;
+  int WarpSize = 32;
+  int MaxResidentThreads = 56 * 2048;
+  double KernelLaunchSeconds = 3e-6;
+  double PerThreadSetupSeconds = 2e-10;  ///< Block scheduling amortized.
+  double SerialElementSeconds = 2.2e-9;  ///< Single-thread element time.
+  double SchedulerCliffThreads = 1.0e5;  ///< Fig 7's ~100k-thread drop.
+  double SchedulerCliffPenalty = 0.45;   ///< Fractional throughput loss.
+  double MaxEfficiency = 0.735;          ///< Paper: 73.5% of peak at best.
+};
+
+/// Theoretical peak FLOP/s for the pointwise problem (bandwidth bound).
+double theoreticalPeakFlops(const GpuDescriptor &Gpu = {});
+
+/// Deterministic FLOPs estimate for executing \p Tree.
+double modelFlops(const LoopTree &Tree, const GpuDescriptor &Gpu = {});
+
+/// Noisy "benchmark measurement" of \p Tree (2% multiplicative noise).
+double measureFlops(const LoopTree &Tree, Rng &Gen,
+                    const GpuDescriptor &Gpu = {});
+
+} // namespace envs
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ENVS_LOOP_TOOL_GPUMODEL_H

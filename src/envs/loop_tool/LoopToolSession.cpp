@@ -1,0 +1,128 @@
+//===- envs/loop_tool/LoopToolSession.cpp ---------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "envs/loop_tool/LoopToolSession.h"
+
+#include "util/Hash.h"
+
+#include <mutex>
+
+using namespace compiler_gym;
+using namespace compiler_gym::envs;
+using namespace compiler_gym::service;
+
+const std::vector<std::string> &LoopToolSession::baseActions() {
+  static const std::vector<std::string> Actions = {"toggle-mode", "up",
+                                                   "down", "thread"};
+  return Actions;
+}
+
+const std::vector<std::string> &LoopToolSession::extendedActions() {
+  static const std::vector<std::string> Actions = {"toggle-mode", "up",
+                                                   "down", "thread", "split"};
+  return Actions;
+}
+
+LoopToolSession::LoopToolSession() = default;
+
+std::vector<ActionSpace> LoopToolSession::getActionSpaces() {
+  ActionSpace Base;
+  Base.Name = "loop_tool-v0";
+  Base.ActionNames = baseActions();
+  ActionSpace Extended;
+  Extended.Name = "loop_tool-split-v0";
+  Extended.ActionNames = extendedActions();
+  return {Base, Extended};
+}
+
+std::vector<ObservationSpaceInfo> LoopToolSession::getObservationSpaces() {
+  ObservationSpaceInfo State;
+  State.Name = "action_state";
+  State.Type = ObservationType::Int64List;
+  ObservationSpaceInfo TreeDump;
+  TreeDump.Name = "loop_tree";
+  TreeDump.Type = ObservationType::String;
+  ObservationSpaceInfo Flops;
+  Flops.Name = "flops";
+  Flops.Type = ObservationType::DoubleValue;
+  Flops.Deterministic = false;
+  Flops.PlatformDependent = true;
+  return {State, TreeDump, Flops};
+}
+
+Status LoopToolSession::init(const ActionSpace &Space,
+                             const datasets::Benchmark &Bench) {
+  ExtendedSpace = Space.Name == "loop_tool-split-v0";
+  int64_t N = Bench.Inputs.empty() ? (1 << 20) : Bench.Inputs[0];
+  if (N <= 0)
+    return invalidArgument("loop_tool benchmark size must be positive");
+  Tree.emplace(N);
+  NoiseGen.reseed(fnv1a(Bench.Uri) ^ 0xD00DFEEDull);
+  return Status::ok();
+}
+
+Status LoopToolSession::applyAction(const Action &A, bool &EndOfEpisode,
+                                    bool &ActionSpaceChanged) {
+  EndOfEpisode = false;
+  ActionSpaceChanged = false;
+  if (!Tree)
+    return failedPrecondition("session not initialized");
+  const auto &Names = ExtendedSpace ? extendedActions() : baseActions();
+  if (A.Index < 0 || static_cast<size_t>(A.Index) >= Names.size())
+    return outOfRange("loop_tool action " + std::to_string(A.Index) +
+                      " out of range");
+  const std::string &Name = Names[A.Index];
+  if (Name == "toggle-mode")
+    Tree->toggleMode();
+  else if (Name == "up")
+    Tree->cursorUp();
+  else if (Name == "down")
+    Tree->cursorDown();
+  else if (Name == "thread")
+    Tree->thread();
+  else if (Name == "split")
+    Tree->split();
+  return Status::ok();
+}
+
+Status LoopToolSession::computeObservation(const ObservationSpaceInfo &Space,
+                                           Observation &Out) {
+  if (!Tree)
+    return failedPrecondition("session not initialized");
+  Out.Type = Space.Type;
+  if (Space.Name == "action_state") {
+    Out.Ints = {static_cast<int64_t>(Tree->cursor()),
+                static_cast<int64_t>(Tree->mode()),
+                static_cast<int64_t>(Tree->loops().size()),
+                Tree->totalThreads()};
+    return Status::ok();
+  }
+  if (Space.Name == "loop_tree") {
+    Out.Str = Tree->dump();
+    return Status::ok();
+  }
+  if (Space.Name == "flops") {
+    Out.DoubleValue = measureFlops(*Tree, NoiseGen);
+    return Status::ok();
+  }
+  return notFound("unknown observation space '" + Space.Name + "'");
+}
+
+StatusOr<std::unique_ptr<CompilationSession>> LoopToolSession::fork() {
+  auto Clone = std::make_unique<LoopToolSession>();
+  Clone->Tree = Tree;
+  Clone->ExtendedSpace = ExtendedSpace;
+  Clone->NoiseGen = NoiseGen.split();
+  return StatusOr<std::unique_ptr<CompilationSession>>(std::move(Clone));
+}
+
+void envs::registerLoopToolEnvironment() {
+  static std::once_flag Flag;
+  std::call_once(Flag, [] {
+    service::registerCompilationSession(
+        "loop_tool", [] { return std::make_unique<LoopToolSession>(); });
+  });
+}

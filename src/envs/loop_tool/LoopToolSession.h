@@ -1,0 +1,58 @@
+//===- envs/loop_tool/LoopToolSession.h - CUDA tuning backend ---*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop_tool environment backend (§V-C). Benchmarks name the problem
+/// size (elements of the pointwise addition); actions drive the
+/// cursor-based loop-nest editor; the reward signal is simulated-GPU
+/// FLOPs, platform-dependent and nondeterministic like real benchmarking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ENVS_LOOP_TOOL_LOOPTOOLSESSION_H
+#define COMPILER_GYM_ENVS_LOOP_TOOL_LOOPTOOLSESSION_H
+
+#include "envs/loop_tool/GpuModel.h"
+#include "envs/loop_tool/LoopTree.h"
+#include "service/CompilationSession.h"
+
+#include <memory>
+#include <optional>
+
+namespace compiler_gym {
+namespace envs {
+
+/// Registers the "loop_tool" compiler with the service runtime.
+void registerLoopToolEnvironment();
+
+class LoopToolSession : public service::CompilationSession {
+public:
+  LoopToolSession();
+
+  std::vector<service::ActionSpace> getActionSpaces() override;
+  std::vector<service::ObservationSpaceInfo> getObservationSpaces() override;
+  Status init(const service::ActionSpace &Space,
+              const datasets::Benchmark &Bench) override;
+  Status applyAction(const service::Action &A, bool &EndOfEpisode,
+                     bool &ActionSpaceChanged) override;
+  Status computeObservation(const service::ObservationSpaceInfo &Space,
+                            service::Observation &Out) override;
+  StatusOr<std::unique_ptr<CompilationSession>> fork() override;
+
+  /// Action name lists (shared with tests).
+  static const std::vector<std::string> &baseActions();
+  static const std::vector<std::string> &extendedActions();
+
+private:
+  std::optional<LoopTree> Tree;
+  bool ExtendedSpace = false;
+  Rng NoiseGen{0x6F00D5};
+};
+
+} // namespace envs
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ENVS_LOOP_TOOL_LOOPTOOLSESSION_H

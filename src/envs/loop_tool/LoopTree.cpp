@@ -1,0 +1,112 @@
+//===- envs/loop_tool/LoopTree.cpp ----------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "envs/loop_tool/LoopTree.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace compiler_gym;
+using namespace compiler_gym::envs;
+
+LoopTree::LoopTree(int64_t NumElements) : N(std::max<int64_t>(1, NumElements)) {
+  Loops.push_back({N, false});
+}
+
+bool LoopTree::toggleMode() {
+  Mode = Mode == CursorMode::Move ? CursorMode::Modify : CursorMode::Move;
+  return true;
+}
+
+bool LoopTree::cursorUp() {
+  if (Mode == CursorMode::Move) {
+    if (Cursor == 0)
+      return false;
+    --Cursor;
+    return true;
+  }
+  Loops[Cursor].Size += 1;
+  rebalance(Cursor);
+  return true;
+}
+
+bool LoopTree::cursorDown() {
+  if (Mode == CursorMode::Move) {
+    if (Cursor + 1 >= static_cast<int>(Loops.size()))
+      return false;
+    ++Cursor;
+    return true;
+  }
+  if (Loops[Cursor].Size <= 1)
+    return false;
+  Loops[Cursor].Size -= 1;
+  rebalance(Cursor);
+  return true;
+}
+
+bool LoopTree::thread() {
+  Loops[Cursor].Threaded = !Loops[Cursor].Threaded;
+  return true;
+}
+
+bool LoopTree::split() {
+  if (Loops[Cursor].Size < 2)
+    return false;
+  int64_t Outer = (Loops[Cursor].Size + 1) / 2;
+  Loop Inner{2, false};
+  Loops[Cursor].Size = Outer;
+  Loops.insert(Loops.begin() + Cursor + 1, Inner);
+  return true;
+}
+
+void LoopTree::rebalance(int ChangedIndex) {
+  // The outermost loop other than the changed one absorbs the difference
+  // so that coverage >= N with minimal overshoot.
+  int Parent = ChangedIndex == 0 && Loops.size() > 1 ? 1 : 0;
+  if (Parent == ChangedIndex)
+    return; // Single loop: its size is its size.
+  int64_t Others = 1;
+  for (size_t I = 0; I < Loops.size(); ++I)
+    if (static_cast<int>(I) != Parent)
+      Others *= std::max<int64_t>(1, Loops[I].Size);
+  Loops[Parent].Size = std::max<int64_t>(1, (N + Others - 1) / Others);
+}
+
+int64_t LoopTree::totalThreads() const {
+  int64_t T = 1;
+  for (const Loop &L : Loops)
+    if (L.Threaded)
+      T *= std::max<int64_t>(1, L.Size);
+  return T;
+}
+
+int64_t LoopTree::coverage() const {
+  int64_t C = 1;
+  for (const Loop &L : Loops)
+    C *= std::max<int64_t>(1, L.Size);
+  return C;
+}
+
+std::string LoopTree::dump() const {
+  std::ostringstream OS;
+  std::string Indent;
+  char Var = 'a';
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    OS << Indent << "for " << Var << std::string(I, '\'') << " in "
+       << Loops[I].Size << " : L" << I;
+    if (Loops[I].Threaded)
+      OS << " [thread]";
+    if (static_cast<int>(I) == Cursor)
+      OS << (Mode == CursorMode::Move ? "  <- cursor" : "  <- cursor [mod]");
+    OS << '\n';
+    Indent += "  ";
+  }
+  OS << Indent << "%0[a] <- read()\n";
+  OS << Indent << "%1[a] <- read()\n";
+  OS << Indent << "%2[a] <- add(%0, %1)\n";
+  OS << Indent << "%3[a] <- write(%2)\n";
+  return OS.str();
+}

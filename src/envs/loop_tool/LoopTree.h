@@ -1,0 +1,84 @@
+//===- envs/loop_tool/LoopTree.h - Loop nest state --------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop_tool environment's state (§V-C): a loop nest over a pointwise
+/// addition `%2[a] <- add(%0, %1)` of N elements, manipulated through a
+/// cursor-based action space:
+///   * toggle-mode — switch the cursor between Move and Modify;
+///   * up / down   — Move mode: shift the cursor outward/inward.
+///                   Modify mode: up grows the cursor's loop size by one
+///                   (the parent re-sizes to accommodate, tail handled by
+///                   the cost model); down shrinks it;
+///   * thread      — schedule the cursor's loop across CUDA threads;
+///   * split       — (extended space) split the cursor's loop in two,
+///                   deepening the hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ENVS_LOOP_TOOL_LOOPTREE_H
+#define COMPILER_GYM_ENVS_LOOP_TOOL_LOOPTREE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace envs {
+
+/// One level of the loop nest.
+struct Loop {
+  int64_t Size = 1;
+  bool Threaded = false;
+};
+
+/// Cursor modes.
+enum class CursorMode { Move = 0, Modify = 1 };
+
+/// The mutable loop-nest state.
+class LoopTree {
+public:
+  /// Pointwise addition over \p NumElements.
+  explicit LoopTree(int64_t NumElements);
+
+  int64_t numElements() const { return N; }
+  const std::vector<Loop> &loops() const { return Loops; }
+  int cursor() const { return Cursor; }
+  CursorMode mode() const { return Mode; }
+
+  // -- Actions (all return true if the state changed) -----------------------
+  bool toggleMode();
+  bool cursorUp();   ///< Move: outward. Modify: grow loop size by one.
+  bool cursorDown(); ///< Move: inward. Modify: shrink loop size by one.
+  bool thread();     ///< Toggle threading annotation at the cursor.
+  bool split();      ///< Split the cursor's loop (inner factor 2).
+
+  /// Total threads launched (product of threaded loop sizes).
+  int64_t totalThreads() const;
+
+  /// Elements each innermost iteration covers = product of all sizes; the
+  /// tail inefficiency is (coverage - N) / coverage when positive.
+  int64_t coverage() const;
+
+  /// Textual dump in the paper's Listing 4 style.
+  std::string dump() const;
+
+private:
+  /// After a size change, re-derives the outermost unthreaded loop extent
+  /// so the nest still covers N ("changing the size of the parent loop to
+  /// accommodate the new inner size").
+  void rebalance(int ChangedIndex);
+
+  int64_t N;
+  std::vector<Loop> Loops;
+  int Cursor = 0;
+  CursorMode Mode = CursorMode::Move;
+};
+
+} // namespace envs
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ENVS_LOOP_TOOL_LOOPTREE_H

@@ -1,0 +1,145 @@
+//===- ir/Dominators.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+DominatorTree::DominatorTree(const Function &F) {
+  if (F.empty())
+    return;
+  BasicBlock *Entry = F.entry();
+
+  // Postorder DFS over reachable blocks.
+  std::vector<BasicBlock *> Postorder;
+  std::unordered_set<BasicBlock *> Visited;
+  // Iterative DFS with explicit (block, successor-cursor) stack.
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  Stack.emplace_back(Entry, 0);
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, Cursor] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (Cursor < Succs.size()) {
+      BasicBlock *Next = Succs[Cursor++];
+      if (Visited.insert(Next).second)
+        Stack.emplace_back(Next, 0);
+      continue;
+    }
+    Postorder.push_back(BB);
+    Stack.pop_back();
+  }
+  for (size_t I = 0; I < Postorder.size(); ++I)
+    PostorderIndex[Postorder[I]] = static_cast<int>(I);
+  Rpo.assign(Postorder.rbegin(), Postorder.rend());
+
+  // Cooper-Harvey-Kennedy iteration.
+  auto intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (PostorderIndex.at(A) < PostorderIndex.at(B))
+        A = Idom.at(A);
+      while (PostorderIndex.at(B) < PostorderIndex.at(A))
+        B = Idom.at(B);
+    }
+    return A;
+  };
+
+  Idom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Rpo) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIdom = nullptr;
+      for (BasicBlock *Pred : BB->predecessors()) {
+        if (!PostorderIndex.count(Pred))
+          continue; // Unreachable predecessor.
+        if (!Idom.count(Pred))
+          continue; // Not yet processed this round.
+        NewIdom = NewIdom ? intersect(NewIdom, Pred) : Pred;
+      }
+      if (!NewIdom)
+        continue;
+      auto It = Idom.find(BB);
+      if (It == Idom.end() || It->second != NewIdom) {
+        Idom[BB] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!PostorderIndex.count(B))
+    return true; // B unreachable: vacuously dominated.
+  if (!PostorderIndex.count(A))
+    return false; // A unreachable: dominates nothing reachable.
+  const BasicBlock *Runner = B;
+  while (true) {
+    if (Runner == A)
+      return true;
+    auto It = Idom.find(Runner);
+    if (It == Idom.end() || It->second == Runner)
+      return Runner == A;
+    Runner = It->second;
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = Idom.find(BB);
+  if (It == Idom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}
+
+std::vector<NaturalLoop>
+ir::findNaturalLoops(const Function &F, const DominatorTree &DT) {
+  std::unordered_map<BasicBlock *, NaturalLoop> LoopsByHeader;
+
+  for (const auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    if (!DT.isReachable(BB))
+      continue;
+    for (BasicBlock *Succ : BB->successors()) {
+      if (!DT.dominates(Succ, BB))
+        continue; // Not a back edge.
+      NaturalLoop &Loop = LoopsByHeader[Succ];
+      Loop.Header = Succ;
+      Loop.Latches.push_back(BB);
+      // Walk predecessors from the latch up to the header.
+      Loop.Blocks.insert(Succ);
+      std::deque<BasicBlock *> Work{BB};
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.front();
+        Work.pop_front();
+        if (!Loop.Blocks.insert(Cur).second)
+          continue;
+        for (BasicBlock *Pred : Cur->predecessors())
+          if (DT.isReachable(Pred))
+            Work.push_back(Pred);
+      }
+    }
+  }
+
+  std::vector<NaturalLoop> Out;
+  Out.reserve(LoopsByHeader.size());
+  for (auto &[Header, Loop] : LoopsByHeader)
+    Out.push_back(std::move(Loop));
+  // Outermost (earliest header in RPO) first, deterministically.
+  std::unordered_map<const BasicBlock *, size_t> RpoPos;
+  for (size_t I = 0; I < DT.reversePostorder().size(); ++I)
+    RpoPos[DT.reversePostorder()[I]] = I;
+  std::sort(Out.begin(), Out.end(),
+            [&](const NaturalLoop &A, const NaturalLoop &B) {
+              return RpoPos.at(A.Header) < RpoPos.at(B.Header);
+            });
+  return Out;
+}

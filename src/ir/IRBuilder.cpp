@@ -1,0 +1,100 @@
+//===- ir/IRBuilder.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+Instruction *IRBuilder::create(Opcode Op, Type ResultTy,
+                               std::vector<Value *> Operands) {
+  assert(BB && "no insertion point");
+  auto I = std::make_unique<Instruction>(Op, ResultTy, std::move(Operands));
+  return BB->append(std::move(I));
+}
+
+Instruction *IRBuilder::createBinary(Opcode Op, Value *L, Value *R) {
+  assert(L->type() == R->type() && "binary op with mismatched types");
+  return create(Op, L->type(), {L, R});
+}
+
+Instruction *IRBuilder::createICmp(Pred P, Value *L, Value *R) {
+  assert(L->type() == R->type() && "icmp with mismatched types");
+  Instruction *I = create(Opcode::ICmp, Type::I1, {L, R});
+  I->setPred(P);
+  return I;
+}
+
+Instruction *IRBuilder::createFCmp(Pred P, Value *L, Value *R) {
+  Instruction *I = create(Opcode::FCmp, Type::I1, {L, R});
+  I->setPred(P);
+  return I;
+}
+
+Instruction *IRBuilder::createSelect(Value *Cond, Value *T, Value *E) {
+  assert(T->type() == E->type() && "select with mismatched arms");
+  return create(Opcode::Select, T->type(), {Cond, T, E});
+}
+
+Instruction *IRBuilder::createAlloca(uint32_t Words) {
+  Instruction *I = create(Opcode::Alloca, Type::Ptr);
+  I->setAllocaWords(Words);
+  return I;
+}
+
+Instruction *IRBuilder::createLoad(Type Ty, Value *Ptr) {
+  return create(Opcode::Load, Ty, {Ptr});
+}
+
+Instruction *IRBuilder::createStore(Value *V, Value *Ptr) {
+  return create(Opcode::Store, Type::Void, {V, Ptr});
+}
+
+Instruction *IRBuilder::createGep(Value *Ptr, Value *Index) {
+  return create(Opcode::Gep, Type::Ptr, {Ptr, Index});
+}
+
+Instruction *IRBuilder::createBr(BasicBlock *Dest) {
+  return create(Opcode::Br, Type::Void, {Dest});
+}
+
+Instruction *IRBuilder::createCondBr(Value *Cond, BasicBlock *T,
+                                     BasicBlock *E) {
+  return create(Opcode::CondBr, Type::Void, {Cond, T, E});
+}
+
+Instruction *IRBuilder::createRet(Value *V) {
+  if (V)
+    return create(Opcode::Ret, Type::Void, {V});
+  return create(Opcode::Ret, Type::Void);
+}
+
+Instruction *IRBuilder::createUnreachable() {
+  return create(Opcode::Unreachable, Type::Void);
+}
+
+Instruction *IRBuilder::createCall(Function *Callee,
+                                   std::vector<Value *> Args) {
+  assert(BB && BB->parent() && BB->parent()->parent() &&
+         "call requires a module context");
+  Module *M = BB->parent()->parent();
+  std::vector<Value *> Operands;
+  Operands.reserve(Args.size() + 1);
+  Operands.push_back(M->getFunctionRef(Callee));
+  for (Value *A : Args)
+    Operands.push_back(A);
+  return create(Opcode::Call, Callee->returnType(), std::move(Operands));
+}
+
+Instruction *IRBuilder::createPhi(Type Ty) { return create(Opcode::Phi, Ty); }
+
+Instruction *IRBuilder::createCast(Opcode Op, Value *V, Type DestTy) {
+  assert((Op == Opcode::Trunc || Op == Opcode::ZExt || Op == Opcode::SExt ||
+          Op == Opcode::SIToFP || Op == Opcode::FPToSI ||
+          Op == Opcode::PtrToInt || Op == Opcode::IntToPtr) &&
+         "not a cast opcode");
+  return create(Op, DestTy, {V});
+}

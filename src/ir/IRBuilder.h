@@ -1,0 +1,76 @@
+//===- ir/IRBuilder.h - Instruction construction helper ---------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder: appends instructions to a basic block with type inference,
+/// used by the program generators and tests. Mirrors (a small part of)
+/// llvm::IRBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_IRBUILDER_H
+#define COMPILER_GYM_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace compiler_gym {
+namespace ir {
+
+/// Builds instructions at the end of a block.
+class IRBuilder {
+public:
+  explicit IRBuilder(BasicBlock *BB = nullptr) : BB(BB) {}
+
+  void setInsertPoint(BasicBlock *Block) { BB = Block; }
+  BasicBlock *insertBlock() const { return BB; }
+
+  /// Generic escape hatch: creates an instruction with explicit fields.
+  Instruction *create(Opcode Op, Type ResultTy,
+                      std::vector<Value *> Operands = {});
+
+  // -- Arithmetic / bitwise -------------------------------------------------
+  Instruction *createBinary(Opcode Op, Value *L, Value *R);
+  Instruction *createAdd(Value *L, Value *R) {
+    return createBinary(Opcode::Add, L, R);
+  }
+  Instruction *createSub(Value *L, Value *R) {
+    return createBinary(Opcode::Sub, L, R);
+  }
+  Instruction *createMul(Value *L, Value *R) {
+    return createBinary(Opcode::Mul, L, R);
+  }
+
+  Instruction *createICmp(Pred P, Value *L, Value *R);
+  Instruction *createFCmp(Pred P, Value *L, Value *R);
+  Instruction *createSelect(Value *Cond, Value *T, Value *E);
+
+  // -- Memory ---------------------------------------------------------------
+  Instruction *createAlloca(uint32_t Words);
+  Instruction *createLoad(Type Ty, Value *Ptr);
+  Instruction *createStore(Value *V, Value *Ptr);
+  Instruction *createGep(Value *Ptr, Value *Index);
+
+  // -- Control flow ----------------------------------------------------------
+  Instruction *createBr(BasicBlock *Dest);
+  Instruction *createCondBr(Value *Cond, BasicBlock *T, BasicBlock *E);
+  Instruction *createRet(Value *V = nullptr);
+  Instruction *createUnreachable();
+
+  // -- Calls / phis -----------------------------------------------------------
+  Instruction *createCall(Function *Callee, std::vector<Value *> Args);
+  Instruction *createPhi(Type Ty);
+
+  // -- Casts ------------------------------------------------------------------
+  Instruction *createCast(Opcode Op, Value *V, Type DestTy);
+
+private:
+  BasicBlock *BB;
+};
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_IRBUILDER_H

@@ -1,0 +1,124 @@
+//===- ir/Lowering.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lowering.h"
+
+#include <sstream>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+uint32_t ir::loweredSizeBytes(const Instruction &I,
+                              const TargetDescriptor &T) {
+  switch (I.opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+    return T.AluOpBytes;
+  case Opcode::Mul:
+    return T.MulBytes;
+  case Opcode::SDiv:
+  case Opcode::SRem:
+    return T.DivBytes;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return T.FloatOpBytes;
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    return T.CmpBytes;
+  case Opcode::Alloca:
+    return T.AluOpBytes; // Stack pointer adjust.
+  case Opcode::Load:
+  case Opcode::Store:
+    return T.MemOpBytes;
+  case Opcode::Gep:
+    return T.AluOpBytes; // lea.
+  case Opcode::Br:
+    return T.BranchBytes;
+  case Opcode::CondBr:
+    return T.CondBranchBytes;
+  case Opcode::Ret:
+    return T.RetBytes;
+  case Opcode::Unreachable:
+    return 2; // ud2.
+  case Opcode::Call:
+    // Argument marshalling plus the call itself.
+    return T.CallBytes +
+           static_cast<uint32_t>(I.numCallArgs()) * T.PhiMovBytes;
+  case Opcode::Phi:
+    // Cost charged per incoming edge (copies in predecessors).
+    return static_cast<uint32_t>(I.numIncoming()) * T.PhiMovBytes;
+  case Opcode::Select:
+    return T.SelectBytes;
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+    return T.CastBytes;
+  }
+  return T.AluOpBytes;
+}
+
+LoweredModule ir::lowerModule(const Module &M, const TargetDescriptor &T,
+                              bool EmitText) {
+  LoweredModule Out;
+  std::ostringstream Asm;
+  std::string Obj;
+
+  if (EmitText)
+    Asm << "\t.file\t\"" << M.name() << "\"\n\t.text\n";
+
+  for (const auto &G : M.globals()) {
+    Out.DataSizeBytes += static_cast<uint64_t>(G->sizeWords()) * 8;
+    if (EmitText)
+      Asm << "\t.comm\t" << G->name() << ',' << (G->sizeWords() * 8) << '\n';
+  }
+
+  for (const auto &F : M.functions()) {
+    Out.TextSizeBytes += T.FunctionPrologueBytes + T.FunctionEpilogueBytes;
+    Out.MachineInstructions += 4; // Prologue/epilogue ops.
+    if (EmitText) {
+      Asm << F->name() << ":\n";
+      Asm << "\tpush\trbp\n\tmov\trbp, rsp\n";
+    }
+    int LocalLabel = 0;
+    for (const auto &BB : F->blocks()) {
+      if (EmitText)
+        Asm << ".L" << F->name() << '_' << LocalLabel++ << ":\t; "
+            << BB->name() << '\n';
+      for (const auto &I : BB->instructions()) {
+        uint32_t Bytes = loweredSizeBytes(*I, T);
+        Out.TextSizeBytes += Bytes;
+        Out.MachineInstructions +=
+            I->opcode() == Opcode::Phi ? I->numIncoming() : 1;
+        // Encoded "object code": opcode byte + size filler. Deterministic
+        // and size-faithful, which is all the GCC env observation needs.
+        Obj.push_back(static_cast<char>(static_cast<int>(I->opcode()) + 1));
+        Obj.append(Bytes > 0 ? Bytes - 1 : 0, '\x90');
+        if (EmitText)
+          Asm << '\t' << opcodeName(I->opcode()) << "\t; " << Bytes
+              << " bytes\n";
+      }
+    }
+    if (EmitText)
+      Asm << "\tpop\trbp\n\tret\n";
+  }
+
+  if (EmitText)
+    Out.Assembly = Asm.str();
+  Out.ObjectBytes = std::move(Obj);
+  return Out;
+}

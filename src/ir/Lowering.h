@@ -1,0 +1,70 @@
+//===- ir/Lowering.h - Code emission cost model -----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers modules to a pseudo machine target to provide the paper's
+/// platform-dependent size observations and rewards: the size in bytes of
+/// the .text section (LLVM environment's "binary size"), plus the GCC
+/// environment's assembly-text and object-code observation spaces. The
+/// target descriptor makes "platform-dependent" literal: changing the
+/// target changes sizes deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_LOWERING_H
+#define COMPILER_GYM_IR_LOWERING_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+
+namespace compiler_gym {
+namespace ir {
+
+/// A pseudo machine target. Encodings are bytes-per-machine-op; the
+/// defaults model a generic x86-64-like CISC target.
+struct TargetDescriptor {
+  std::string Name = "cg64";
+  uint32_t FunctionPrologueBytes = 11; ///< push/mov/sub frame setup.
+  uint32_t FunctionEpilogueBytes = 7;
+  uint32_t BranchBytes = 5;
+  uint32_t CondBranchBytes = 8; ///< cmp-fused test + jcc.
+  uint32_t CallBytes = 5;
+  uint32_t RetBytes = 1;
+  uint32_t MemOpBytes = 7;  ///< Load/store with addressing mode.
+  uint32_t AluOpBytes = 4;
+  uint32_t MulBytes = 5;
+  uint32_t DivBytes = 9;    ///< Includes sign-extension setup.
+  uint32_t FloatOpBytes = 6;
+  uint32_t CmpBytes = 4;
+  uint32_t SelectBytes = 8; ///< cmp + cmov.
+  uint32_t CastBytes = 3;
+  uint32_t PhiMovBytes = 3; ///< Phi-elimination register copy per edge.
+};
+
+/// Result of lowering a module.
+struct LoweredModule {
+  uint64_t TextSizeBytes = 0;   ///< Paper's ObjectTextSizeBytes analogue.
+  uint64_t DataSizeBytes = 0;   ///< Globals.
+  uint64_t MachineInstructions = 0;
+  std::string Assembly;         ///< Pseudo-assembly listing (GCC env "asm").
+  std::string ObjectBytes;      ///< Flat encoded "object code" (GCC env).
+};
+
+/// Machine-op byte size of a single IR instruction on \p Target.
+uint32_t loweredSizeBytes(const Instruction &I, const TargetDescriptor &Target);
+
+/// Lowers \p M. \p EmitText controls whether the (comparatively expensive)
+/// assembly string is produced.
+LoweredModule lowerModule(const Module &M,
+                          const TargetDescriptor &Target = TargetDescriptor(),
+                          bool EmitText = false);
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_LOWERING_H

@@ -1,0 +1,160 @@
+//===- ir/Module.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+Function *Module::createFunction(std::string FnName, Type ReturnType) {
+  Funcs.push_back(std::make_unique<Function>(std::move(FnName), ReturnType));
+  Funcs.back()->setParent(this);
+  return Funcs.back().get();
+}
+
+Function *Module::findFunction(const std::string &FnName) const {
+  for (const auto &F : Funcs)
+    if (F->name() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+void Module::eraseFunction(Function *F) {
+  FunctionRefs.erase(F);
+  auto It = std::find_if(Funcs.begin(), Funcs.end(),
+                         [&](const auto &P) { return P.get() == F; });
+  assert(It != Funcs.end() && "function not in module");
+  Funcs.erase(It);
+}
+
+GlobalVariable *Module::createGlobal(std::string GlobalName,
+                                     uint32_t SizeWords) {
+  Globals.push_back(
+      std::make_unique<GlobalVariable>(std::move(GlobalName), SizeWords));
+  return Globals.back().get();
+}
+
+GlobalVariable *Module::findGlobal(const std::string &GlobalName) const {
+  for (const auto &G : Globals)
+    if (G->name() == GlobalName)
+      return G.get();
+  return nullptr;
+}
+
+Constant *Module::getConstInt(Type Ty, int64_t V) {
+  assert(isIntegerType(Ty) && "getConstInt with non-integer type");
+  if (Ty == Type::I1)
+    V = V ? 1 : 0;
+  else if (Ty == Type::I32)
+    V = static_cast<int32_t>(V);
+  auto Key = std::make_pair(static_cast<int>(Ty), V);
+  auto It = IntConstants.find(Key);
+  if (It != IntConstants.end())
+    return It->second.get();
+  auto C = std::make_unique<Constant>(Ty, V);
+  Constant *Out = C.get();
+  IntConstants.emplace(Key, std::move(C));
+  return Out;
+}
+
+Constant *Module::getConstFloat(double V) {
+  auto It = FloatConstants.find(V);
+  if (It != FloatConstants.end())
+    return It->second.get();
+  auto C = std::make_unique<Constant>(V);
+  Constant *Out = C.get();
+  FloatConstants.emplace(V, std::move(C));
+  return Out;
+}
+
+FunctionRef *Module::getFunctionRef(Function *F) {
+  auto It = FunctionRefs.find(F);
+  if (It != FunctionRefs.end())
+    return It->second.get();
+  auto Ref = std::make_unique<FunctionRef>(F);
+  FunctionRef *Out = Ref.get();
+  FunctionRefs.emplace(F, std::move(Ref));
+  return Out;
+}
+
+size_t Module::instructionCount() const {
+  size_t N = 0;
+  for (const auto &F : Funcs)
+    N += F->instructionCount();
+  return N;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto Out = std::make_unique<Module>(Name);
+  std::unordered_map<const Value *, Value *> Map;
+
+  for (const auto &G : Globals)
+    Map[G.get()] = Out->createGlobal(G->name(), G->sizeWords());
+
+  // First pass: create functions, arguments, empty blocks.
+  for (const auto &F : Funcs) {
+    Function *NewF = Out->createFunction(F->name(), F->returnType());
+    NewF->setNoInline(F->isNoInline());
+    for (size_t I = 0; I < F->numArgs(); ++I) {
+      Argument *A = F->arg(I);
+      Map[A] = NewF->addArgument(A->type(), A->name());
+    }
+    for (const auto &BB : F->blocks())
+      Map[BB.get()] = NewF->createBlock(BB->name());
+  }
+
+  // Second pass: clone instructions with remapped operands.
+  auto remap = [&](const Value *V) -> Value * {
+    if (const auto *C = dyn_cast<Constant>(V)) {
+      if (C->type() == Type::F64)
+        return Out->getConstFloat(C->floatValue());
+      return Out->getConstInt(C->type(), C->intValue());
+    }
+    if (const auto *FR = dyn_cast<FunctionRef>(V)) {
+      Function *NewCallee = Out->findFunction(FR->function()->name());
+      assert(NewCallee && "call target missing in cloned module");
+      return Out->getFunctionRef(NewCallee);
+    }
+    auto It = Map.find(V);
+    assert(It != Map.end() && "unmapped value during clone");
+    return It->second;
+  };
+
+  for (const auto &F : Funcs) {
+    for (const auto &BB : F->blocks()) {
+      auto *NewBB = cast<BasicBlock>(Map.at(BB.get()));
+      for (const auto &I : BB->instructions()) {
+        auto NewI =
+            std::make_unique<Instruction>(I->opcode(), I->type());
+        NewI->setName(I->name());
+        NewI->setPred(I->pred());
+        NewI->setAllocaWords(I->allocaWords());
+        NewBB->append(std::move(NewI));
+        Map[I.get()] = NewBB->back();
+      }
+    }
+  }
+  // Third pass: wire operands (instruction results may be forward refs).
+  for (const auto &F : Funcs) {
+    for (const auto &BB : F->blocks()) {
+      auto *NewBB = cast<BasicBlock>(Map.at(BB.get()));
+      for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+        const Instruction *OldI = BB->instructions()[Idx].get();
+        Instruction *NewI = NewBB->instructions()[Idx].get();
+        for (const Value *Op : OldI->operands())
+          NewI->operands().push_back(remap(Op));
+      }
+    }
+  }
+  return Out;
+}
+
+StateHash Module::hash() const { return hashBytes(printModule(*this)); }

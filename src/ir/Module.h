@@ -1,0 +1,87 @@
+//===- ir/Module.h - Top-level IR container ---------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module owns functions, globals, constants and function-reference
+/// wrappers. Modules are deep-copyable (clone()), which backs the
+/// environment fork() operator, and hashable, which backs state identity in
+/// the transition database and reproducibility validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_MODULE_H
+#define COMPILER_GYM_IR_MODULE_H
+
+#include "ir/Function.h"
+#include "util/Hash.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace ir {
+
+/// A whole translation unit of the mini-IR.
+class Module {
+public:
+  Module() = default;
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  // -- Functions -----------------------------------------------------------
+  Function *createFunction(std::string FnName, Type ReturnType);
+  Function *findFunction(const std::string &FnName) const;
+  void eraseFunction(Function *F);
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  // -- Globals -------------------------------------------------------------
+  GlobalVariable *createGlobal(std::string GlobalName, uint32_t SizeWords);
+  GlobalVariable *findGlobal(const std::string &GlobalName) const;
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  // -- Constant pool (uniqued) ----------------------------------------------
+  Constant *getConstInt(Type Ty, int64_t V);
+  Constant *getConstFloat(double V);
+  Constant *getTrue() { return getConstInt(Type::I1, 1); }
+  Constant *getFalse() { return getConstInt(Type::I1, 0); }
+
+  /// Function-reference operand for \p F (uniqued).
+  FunctionRef *getFunctionRef(Function *F);
+
+  // -- Whole-module utilities ------------------------------------------------
+  size_t instructionCount() const;
+
+  /// Deep structural copy. All Value pointers are remapped.
+  std::unique_ptr<Module> clone() const;
+
+  /// Digest of the printed form; stable state identity for the transition
+  /// database and nondeterminism detection.
+  StateHash hash() const;
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::map<std::pair<int, int64_t>, std::unique_ptr<Constant>> IntConstants;
+  std::map<double, std::unique_ptr<Constant>> FloatConstants;
+  std::map<Function *, std::unique_ptr<FunctionRef>> FunctionRefs;
+};
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_MODULE_H

@@ -1,0 +1,493 @@
+//===- ir/Parser.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "util/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+namespace {
+
+/// Whitespace/comma tokenizer for one line of IR text. Brackets and '='
+/// are standalone tokens; ';' starts a comment.
+std::vector<std::string> tokenize(std::string_view Line) {
+  std::vector<std::string> Tokens;
+  std::string Current;
+  auto flush = [&] {
+    if (!Current.empty()) {
+      Tokens.push_back(Current);
+      Current.clear();
+    }
+  };
+  for (char C : Line) {
+    if (C == ';')
+      break;
+    if (C == ' ' || C == '\t' || C == ',' || C == '(' || C == ')') {
+      flush();
+      continue;
+    }
+    if (C == '[' || C == ']' || C == '=' || C == '{' || C == '}') {
+      flush();
+      Tokens.push_back(std::string(1, C));
+      continue;
+    }
+    Current += C;
+  }
+  flush();
+  return Tokens;
+}
+
+bool isIntToken(const std::string &Tok) {
+  if (Tok.empty())
+    return false;
+  size_t Start = (Tok[0] == '-') ? 1 : 0;
+  if (Start == Tok.size())
+    return false;
+  for (size_t I = Start; I < Tok.size(); ++I)
+    if (!isdigit(static_cast<unsigned char>(Tok[I])))
+      return false;
+  return true;
+}
+
+bool isFloatToken(const std::string &Tok) {
+  if (Tok.empty())
+    return false;
+  char *End = nullptr;
+  std::strtod(Tok.c_str(), &End);
+  return End == Tok.c_str() + Tok.size() &&
+         Tok.find_first_of(".eEni") != std::string::npos;
+}
+
+/// Parser state for one module.
+class ModuleParser {
+public:
+  explicit ModuleParser(std::string_view Text) : Text(Text) {}
+
+  StatusOr<std::unique_ptr<Module>> run();
+
+private:
+  Status error(const std::string &Message) const {
+    return invalidArgument("line " + std::to_string(LineNo) + ": " + Message);
+  }
+
+  /// Reads the next non-empty line; false at EOF.
+  bool nextLine(std::vector<std::string> &Tokens);
+
+  Status parseGlobal(const std::vector<std::string> &Tokens);
+  Status parseFunctionHeader(const std::vector<std::string> &Tokens);
+  Status parseFunctionBody();
+  Status parseInstruction(const std::vector<std::string> &Tokens);
+
+  /// Resolves "<type> <ref>" operand starting at Tokens[I]; advances I.
+  StatusOr<Value *> parseTypedOperand(const std::vector<std::string> &Tokens,
+                                      size_t &I, Instruction *User);
+
+  /// Resolves a local %name now or registers a fixup on \p User at the slot
+  /// that will be appended next.
+  Value *localOrFixup(const std::string &Name, Type Ty, Instruction *User);
+
+  BasicBlock *blockForName(const std::string &Name);
+
+  std::string_view Text;
+  size_t Cursor = 0;
+  int LineNo = 0;
+
+  std::unique_ptr<Module> M = std::make_unique<Module>();
+  Function *F = nullptr;             // Current function.
+  BasicBlock *BB = nullptr;          // Current block.
+  std::unordered_map<std::string, Value *> Locals; // %name -> value.
+  std::unordered_map<std::string, BasicBlock *> BlocksByName;
+  std::vector<BasicBlock *> DefinedBlockOrder; // Label-line order.
+
+  struct Fixup {
+    Instruction *User;
+    size_t OperandIndex;
+    std::string Name;
+    Type Ty;
+    int Line;
+  };
+  std::vector<Fixup> Fixups;
+};
+
+bool ModuleParser::nextLine(std::vector<std::string> &Tokens) {
+  while (Cursor < Text.size()) {
+    size_t End = Text.find('\n', Cursor);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Cursor, End - Cursor);
+    Cursor = End + 1;
+    ++LineNo;
+    Tokens = tokenize(Line);
+    if (!Tokens.empty())
+      return true;
+  }
+  return false;
+}
+
+BasicBlock *ModuleParser::blockForName(const std::string &Name) {
+  auto It = BlocksByName.find(Name);
+  if (It != BlocksByName.end())
+    return It->second;
+  BasicBlock *NewBB = F->createBlock(Name);
+  BlocksByName.emplace(Name, NewBB);
+  return NewBB;
+}
+
+Value *ModuleParser::localOrFixup(const std::string &Name, Type Ty,
+                                  Instruction *User) {
+  auto It = Locals.find(Name);
+  if (It != Locals.end())
+    return It->second;
+  Fixups.push_back({User, User->numOperands(), Name, Ty, LineNo});
+  return nullptr; // Placeholder; slot filled after function body.
+}
+
+StatusOr<Value *>
+ModuleParser::parseTypedOperand(const std::vector<std::string> &Tokens,
+                                size_t &I, Instruction *User) {
+  if (I >= Tokens.size())
+    return error("expected operand");
+  Type Ty;
+  if (!typeFromName(Tokens[I], Ty)) {
+    if (Tokens[I] == "func")
+      Ty = Type::FunctionTy;
+    else
+      return error("expected operand type, got '" + Tokens[I] + "'");
+  }
+  ++I;
+  if (I >= Tokens.size())
+    return error("expected operand reference");
+  const std::string &Ref = Tokens[I];
+  ++I;
+
+  if (Ty == Type::Label) {
+    if (Ref.empty() || Ref[0] != '%')
+      return error("label operand must be %name");
+    return static_cast<Value *>(blockForName(Ref.substr(1)));
+  }
+  if (Ty == Type::FunctionTy) {
+    if (Ref.empty() || Ref[0] != '@')
+      return error("function operand must be @name");
+    Function *Callee = M->findFunction(Ref.substr(1));
+    if (!Callee)
+      return error("unknown function '" + Ref + "'");
+    return static_cast<Value *>(M->getFunctionRef(Callee));
+  }
+  if (Ref[0] == '%') {
+    Value *V = localOrFixup(Ref.substr(1), Ty, User);
+    return V; // May be nullptr placeholder.
+  }
+  if (Ref[0] == '@') {
+    GlobalVariable *G = M->findGlobal(Ref.substr(1));
+    if (!G)
+      return error("unknown global '" + Ref + "'");
+    return static_cast<Value *>(G);
+  }
+  if (isIntToken(Ref)) {
+    if (!isIntegerType(Ty))
+      return error("integer literal with non-integer type");
+    return static_cast<Value *>(M->getConstInt(Ty, std::strtoll(
+        Ref.c_str(), nullptr, 10)));
+  }
+  if (isFloatToken(Ref))
+    return static_cast<Value *>(M->getConstFloat(std::strtod(
+        Ref.c_str(), nullptr)));
+  return error("malformed operand '" + Ref + "'");
+}
+
+Status ModuleParser::parseGlobal(const std::vector<std::string> &Tokens) {
+  // global @name = words N
+  if (Tokens.size() != 5 || Tokens[1][0] != '@' || Tokens[2] != "=" ||
+      Tokens[3] != "words" || !isIntToken(Tokens[4]))
+    return error("malformed global declaration");
+  // Pre-scan in run() already created the global; nothing more to do.
+  if (!M->findGlobal(Tokens[1].substr(1)))
+    M->createGlobal(Tokens[1].substr(1),
+                    static_cast<uint32_t>(std::strtoull(
+                        Tokens[4].c_str(), nullptr, 10)));
+  return Status::ok();
+}
+
+Status
+ModuleParser::parseFunctionHeader(const std::vector<std::string> &Tokens) {
+  // func [noinline] @name(ty %a, ...) -> retty {
+  size_t I = 1;
+  bool NoInline = false;
+  if (I < Tokens.size() && Tokens[I] == "noinline") {
+    NoInline = true;
+    ++I;
+  }
+  if (I >= Tokens.size() || Tokens[I][0] != '@')
+    return error("expected @function-name");
+  std::string FnName = Tokens[I].substr(1);
+  ++I;
+
+  // Arguments: pairs of (type, %name) until "->".
+  std::vector<std::pair<Type, std::string>> ArgSpecs;
+  while (I < Tokens.size() && Tokens[I] != "->") {
+    Type Ty;
+    if (!typeFromName(Tokens[I], Ty))
+      return error("expected argument type, got '" + Tokens[I] + "'");
+    ++I;
+    if (I >= Tokens.size() || Tokens[I][0] != '%')
+      return error("expected argument name");
+    ArgSpecs.emplace_back(Ty, Tokens[I].substr(1));
+    ++I;
+  }
+  if (I >= Tokens.size() || Tokens[I] != "->")
+    return error("expected '->' in function header");
+  ++I;
+  Type RetTy;
+  if (I >= Tokens.size() || !typeFromName(Tokens[I], RetTy))
+    return error("expected return type");
+  ++I;
+  if (I >= Tokens.size() || Tokens[I] != "{")
+    return error("expected '{'");
+
+  // The pre-scan in run() creates stub functions so calls can reference
+  // later definitions; reuse the stub here.
+  F = M->findFunction(FnName);
+  if (F && !F->empty())
+    return error("duplicate function '@" + FnName + "'");
+  if (!F)
+    F = M->createFunction(FnName, RetTy);
+  F->setNoInline(NoInline);
+  Locals.clear();
+  BlocksByName.clear();
+  Fixups.clear();
+  DefinedBlockOrder.clear();
+  BB = nullptr;
+  for (auto &[Ty, Name] : ArgSpecs) {
+    Argument *A = F->addArgument(Ty, Name);
+    Locals.emplace(Name, A);
+  }
+  return parseFunctionBody();
+}
+
+Status ModuleParser::parseFunctionBody() {
+  std::vector<std::string> Tokens;
+  while (nextLine(Tokens)) {
+    if (Tokens.size() == 1 && Tokens[0] == "}") {
+      // Resolve fixups now that all locals are defined.
+      for (const Fixup &Fx : Fixups) {
+        auto It = Locals.find(Fx.Name);
+        if (It == Locals.end())
+          return invalidArgument("line " + std::to_string(Fx.Line) +
+                                 ": undefined local '%" + Fx.Name + "'");
+        Fx.User->setOperand(Fx.OperandIndex, It->second);
+      }
+      // Restore source (label-definition) block order; forward branch
+      // references may have created blocks early.
+      for (size_t Pos = 0; Pos < DefinedBlockOrder.size(); ++Pos)
+        F->moveBlock(DefinedBlockOrder[Pos], Pos);
+      F = nullptr;
+      return Status::ok();
+    }
+    // Label line: "name:".
+    if (Tokens.size() == 1 && Tokens[0].back() == ':') {
+      BB = blockForName(Tokens[0].substr(0, Tokens[0].size() - 1));
+      DefinedBlockOrder.push_back(BB);
+      continue;
+    }
+    if (!BB)
+      return error("instruction outside a basic block");
+    CG_RETURN_IF_ERROR(parseInstruction(Tokens));
+  }
+  return error("unexpected end of input inside function");
+}
+
+Status ModuleParser::parseInstruction(const std::vector<std::string> &Tokens) {
+  size_t I = 0;
+  std::string ResultName;
+  if (Tokens[I][0] == '%') {
+    ResultName = Tokens[I].substr(1);
+    ++I;
+    if (I >= Tokens.size() || Tokens[I] != "=")
+      return error("expected '=' after result name");
+    ++I;
+  }
+  if (I >= Tokens.size())
+    return error("expected opcode");
+  Opcode Op;
+  if (!opcodeFromName(Tokens[I], Op))
+    return error("unknown opcode '" + Tokens[I] + "'");
+  ++I;
+
+  Type ResultTy = Type::Void;
+  if (!ResultName.empty()) {
+    if (I >= Tokens.size() || !typeFromName(Tokens[I], ResultTy))
+      return error("expected result type");
+    ++I;
+  }
+
+  auto Inst = std::make_unique<Instruction>(Op, ResultTy);
+  Instruction *IPtr = Inst.get();
+  IPtr->setName(ResultName);
+  // Append now so fixup operand indices are stable; operands are pushed
+  // below.
+  BB->append(std::move(Inst));
+
+  bool ParseGenericOperands = true;
+  switch (Op) {
+  case Opcode::ICmp:
+  case Opcode::FCmp: {
+    Pred P;
+    if (I >= Tokens.size() || !predFromName(Tokens[I], P))
+      return error("expected comparison predicate");
+    IPtr->setPred(P);
+    ++I;
+    break;
+  }
+  case Opcode::Alloca: {
+    if (I + 1 >= Tokens.size() || Tokens[I] != "words" ||
+        !isIntToken(Tokens[I + 1]))
+      return error("expected 'words N' after alloca");
+    IPtr->setAllocaWords(static_cast<uint32_t>(
+        std::strtoull(Tokens[I + 1].c_str(), nullptr, 10)));
+    I += 2;
+    if (!ResultName.empty())
+      Locals.emplace(ResultName, IPtr);
+    return Status::ok();
+  }
+  case Opcode::Phi: {
+    // [ v, %bb ] pairs.
+    while (I < Tokens.size()) {
+      if (Tokens[I] != "[")
+        return error("expected '[' in phi");
+      ++I;
+      if (I >= Tokens.size())
+        return error("truncated phi");
+      const std::string &ValTok = Tokens[I];
+      Value *V = nullptr;
+      if (ValTok[0] == '%') {
+        V = localOrFixup(ValTok.substr(1), ResultTy, IPtr);
+      } else if (ValTok[0] == '@') {
+        V = M->findGlobal(ValTok.substr(1));
+        if (!V)
+          return error("unknown global in phi");
+      } else if (isIntToken(ValTok)) {
+        if (ResultTy == Type::F64)
+          V = M->getConstFloat(std::strtod(ValTok.c_str(), nullptr));
+        else
+          V = M->getConstInt(ResultTy, std::strtoll(ValTok.c_str(),
+                                                    nullptr, 10));
+      } else if (isFloatToken(ValTok)) {
+        V = M->getConstFloat(std::strtod(ValTok.c_str(), nullptr));
+      } else {
+        return error("malformed phi value '" + ValTok + "'");
+      }
+      IPtr->operands().push_back(V);
+      ++I;
+      if (I >= Tokens.size() || Tokens[I][0] != '%')
+        return error("expected %block in phi");
+      IPtr->operands().push_back(blockForName(Tokens[I].substr(1)));
+      ++I;
+      if (I >= Tokens.size() || Tokens[I] != "]")
+        return error("expected ']' in phi");
+      ++I;
+    }
+    ParseGenericOperands = false;
+    break;
+  }
+  case Opcode::Ret:
+    if (I < Tokens.size() && Tokens[I] == "void") {
+      ++I;
+      ParseGenericOperands = false;
+    }
+    break;
+  default:
+    break;
+  }
+
+  if (ParseGenericOperands) {
+    while (I < Tokens.size()) {
+      CG_ASSIGN_OR_RETURN(Value *Operand, parseTypedOperand(Tokens, I, IPtr));
+      IPtr->operands().push_back(Operand);
+    }
+  }
+
+  if (!ResultName.empty()) {
+    if (Locals.count(ResultName))
+      return error("duplicate definition of '%" + ResultName + "'");
+    Locals.emplace(ResultName, IPtr);
+  }
+  return Status::ok();
+}
+
+StatusOr<std::unique_ptr<Module>> ModuleParser::run() {
+  // Pre-scan: create stub functions for every `func` header and every
+  // global so forward references resolve during the main pass.
+  {
+    size_t SavedCursor = Cursor;
+    int SavedLine = LineNo;
+    std::vector<std::string> Tokens;
+    while (nextLine(Tokens)) {
+      if (Tokens.empty())
+        continue;
+      if (Tokens[0] == "global") {
+        if (Tokens.size() == 5 && Tokens[1][0] == '@' &&
+            isIntToken(Tokens[4]) && !M->findGlobal(Tokens[1].substr(1)))
+          M->createGlobal(Tokens[1].substr(1),
+                          static_cast<uint32_t>(
+                              std::strtoull(Tokens[4].c_str(), nullptr, 10)));
+        continue;
+      }
+      if (Tokens[0] != "func")
+        continue;
+      size_t I = 1;
+      if (I < Tokens.size() && Tokens[I] == "noinline")
+        ++I;
+      if (I >= Tokens.size() || Tokens[I][0] != '@')
+        continue; // Main pass reports the malformed header.
+      std::string FnName = Tokens[I].substr(1);
+      auto Arrow = std::find(Tokens.begin(), Tokens.end(), "->");
+      Type RetTy = Type::Void;
+      if (Arrow != Tokens.end() && Arrow + 1 != Tokens.end())
+        typeFromName(*(Arrow + 1), RetTy);
+      if (!M->findFunction(FnName))
+        M->createFunction(FnName, RetTy);
+    }
+    Cursor = SavedCursor;
+    LineNo = SavedLine;
+  }
+
+  std::vector<std::string> Tokens;
+  while (nextLine(Tokens)) {
+    if (Tokens[0] == "module") {
+      if (Tokens.size() >= 2) {
+        std::string Name = Tokens[1];
+        // Strip quotes.
+        if (Name.size() >= 2 && Name.front() == '"' && Name.back() == '"')
+          Name = Name.substr(1, Name.size() - 2);
+        M->setName(Name);
+      }
+      continue;
+    }
+    if (Tokens[0] == "global") {
+      CG_RETURN_IF_ERROR(parseGlobal(Tokens));
+      continue;
+    }
+    if (Tokens[0] == "func") {
+      CG_RETURN_IF_ERROR(parseFunctionHeader(Tokens));
+      continue;
+    }
+    return error("unexpected top-level token '" + Tokens[0] + "'");
+  }
+  return std::move(M);
+}
+
+} // namespace
+
+StatusOr<std::unique_ptr<Module>> ir::parseModule(std::string_view Text) {
+  ModuleParser P(Text);
+  return P.run();
+}

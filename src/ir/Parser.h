@@ -1,0 +1,34 @@
+//===- ir/Parser.h - Textual IR parsing -------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual format emitted by Printer.h back into a Module.
+/// Parsing is two-pass within each function so forward references (branch
+/// targets, phi inputs defined later) resolve. Errors are reported with
+/// line numbers via Status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_PARSER_H
+#define COMPILER_GYM_IR_PARSER_H
+
+#include "ir/Module.h"
+#include "util/Status.h"
+
+#include <memory>
+#include <string_view>
+
+namespace compiler_gym {
+namespace ir {
+
+/// Parses \p Text into a Module. On failure returns an InvalidArgument
+/// status naming the offending line.
+StatusOr<std::unique_ptr<Module>> parseModule(std::string_view Text);
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_PARSER_H

@@ -1,0 +1,176 @@
+//===- ir/Printer.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Module.h"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+namespace {
+
+/// Assigns unique printable names to local values (instructions, arguments,
+/// blocks) within one function.
+class NameTable {
+public:
+  std::string nameOf(const Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Base = V->name().empty() ? defaultBase(V) : V->name();
+    std::string Candidate = Base;
+    int Suffix = 0;
+    while (!Used.insert(Candidate).second)
+      Candidate = Base + "." + std::to_string(++Suffix);
+    Names.emplace(V, Candidate);
+    return Candidate;
+  }
+
+private:
+  std::string defaultBase(const Value *V) {
+    if (isa<BasicBlock>(V))
+      return "bb" + std::to_string(Counter++);
+    return "t" + std::to_string(Counter++);
+  }
+
+  int Counter = 0;
+  std::unordered_map<const Value *, std::string> Names;
+  std::unordered_set<std::string> Used;
+};
+
+std::string formatFloat(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  std::string S(Buf);
+  // Guarantee the token reads back as a float (contains '.', 'e' or special).
+  if (S.find_first_of(".eEni") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+/// Renders one operand as "<type> <ref>".
+void printOperand(std::ostringstream &OS, const Value *V, NameTable &Names) {
+  if (const auto *C = dyn_cast<Constant>(V)) {
+    OS << typeName(C->type()) << ' ';
+    if (C->type() == Type::F64)
+      OS << formatFloat(C->floatValue());
+    else
+      OS << C->intValue();
+    return;
+  }
+  if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+    OS << "ptr @" << G->name();
+    return;
+  }
+  if (const auto *FR = dyn_cast<FunctionRef>(V)) {
+    OS << "func @" << FR->function()->name();
+    return;
+  }
+  if (const auto *BB = dyn_cast<BasicBlock>(V)) {
+    OS << "label %" << Names.nameOf(BB);
+    return;
+  }
+  OS << typeName(V->type()) << " %" << Names.nameOf(V);
+}
+
+/// Renders a phi incoming value (type implied by the phi's result type).
+void printPhiValue(std::ostringstream &OS, const Value *V, NameTable &Names) {
+  if (const auto *C = dyn_cast<Constant>(V)) {
+    if (C->type() == Type::F64)
+      OS << formatFloat(C->floatValue());
+    else
+      OS << C->intValue();
+    return;
+  }
+  if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+    OS << '@' << G->name();
+    return;
+  }
+  OS << '%' << Names.nameOf(V);
+}
+
+void printInstruction(std::ostringstream &OS, const Instruction &I,
+                      NameTable &Names) {
+  OS << "  ";
+  if (I.type() != Type::Void)
+    OS << '%' << Names.nameOf(&I) << " = ";
+  OS << opcodeName(I.opcode());
+  if (I.type() != Type::Void)
+    OS << ' ' << typeName(I.type());
+
+  switch (I.opcode()) {
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    OS << ' ' << predName(I.pred());
+    break;
+  case Opcode::Alloca:
+    OS << " words " << I.allocaWords();
+    return; // Alloca has no operands.
+  case Opcode::Phi: {
+    for (unsigned Inc = 0; Inc < I.numIncoming(); ++Inc) {
+      OS << (Inc ? ", [ " : " [ ");
+      printPhiValue(OS, I.incomingValue(Inc), Names);
+      OS << ", %" << Names.nameOf(I.incomingBlock(Inc)) << " ]";
+    }
+    return;
+  }
+  case Opcode::Ret:
+    if (I.numOperands() == 0) {
+      OS << " void";
+      return;
+    }
+    break;
+  default:
+    break;
+  }
+
+  for (size_t Op = 0; Op < I.numOperands(); ++Op) {
+    OS << (Op ? ", " : " ");
+    printOperand(OS, I.operand(Op), Names);
+  }
+}
+
+} // namespace
+
+std::string ir::printFunction(const Function &F) {
+  NameTable Names;
+  std::ostringstream OS;
+  OS << "func ";
+  if (F.isNoInline())
+    OS << "noinline ";
+  OS << '@' << F.name() << '(';
+  for (size_t I = 0; I < F.numArgs(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << typeName(F.arg(I)->type()) << " %" << Names.nameOf(F.arg(I));
+  }
+  OS << ") -> " << typeName(F.returnType()) << " {\n";
+  for (const auto &BB : F.blocks()) {
+    OS << Names.nameOf(BB.get()) << ":\n";
+    for (const auto &I : BB->instructions()) {
+      printInstruction(OS, *I, Names);
+      OS << '\n';
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string ir::printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "module \"" << M.name() << "\"\n";
+  for (const auto &G : M.globals())
+    OS << "global @" << G->name() << " = words " << G->sizeWords() << '\n';
+  for (const auto &F : M.functions())
+    OS << printFunction(*F);
+  return OS.str();
+}

@@ -1,0 +1,46 @@
+//===- ir/Printer.h - Textual IR emission -----------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules/functions in the mini-IR textual format. The format
+/// round-trips through Parser.h and serves as the environment's "LLVM-IR"
+/// string observation space and the wire format for benchmarks.
+///
+/// Example:
+/// \code
+///   module "example"
+///   global @buf = words 16
+///   func @main(i64 %n) -> i64 {
+///   entry:
+///     %cmp = icmp gt i64 %n, 0
+///     condbr i1 %cmp, label %loop, label %exit
+///   ...
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_PRINTER_H
+#define COMPILER_GYM_IR_PRINTER_H
+
+#include <string>
+
+namespace compiler_gym {
+namespace ir {
+
+class Module;
+class Function;
+
+/// Renders the whole module as text.
+std::string printModule(const Module &M);
+
+/// Renders a single function as text.
+std::string printFunction(const Function &F);
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_PRINTER_H

@@ -1,0 +1,70 @@
+//===- ir/Type.cpp --------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include <cassert>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+const char *ir::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::I1:
+    return "i1";
+  case Type::I32:
+    return "i32";
+  case Type::I64:
+    return "i64";
+  case Type::F64:
+    return "f64";
+  case Type::Ptr:
+    return "ptr";
+  case Type::Label:
+    return "label";
+  case Type::FunctionTy:
+    return "function";
+  }
+  return "?";
+}
+
+bool ir::typeFromName(const std::string &Name, Type &Out) {
+  if (Name == "void")
+    Out = Type::Void;
+  else if (Name == "i1")
+    Out = Type::I1;
+  else if (Name == "i32")
+    Out = Type::I32;
+  else if (Name == "i64")
+    Out = Type::I64;
+  else if (Name == "f64")
+    Out = Type::F64;
+  else if (Name == "ptr")
+    Out = Type::Ptr;
+  else if (Name == "label")
+    Out = Type::Label;
+  else if (Name == "function")
+    Out = Type::FunctionTy;
+  else
+    return false;
+  return true;
+}
+
+int ir::integerBitWidth(Type Ty) {
+  switch (Ty) {
+  case Type::I1:
+    return 1;
+  case Type::I32:
+    return 32;
+  case Type::I64:
+    return 64;
+  default:
+    assert(false && "not an integer type");
+    return 0;
+  }
+}

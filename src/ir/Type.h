@@ -1,0 +1,60 @@
+//===- ir/Type.h - IR type system -------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-IR's type system: a closed set of first-class scalar types plus
+/// pointers and labels. The IR is strongly typed; the verifier enforces
+/// operand type rules per opcode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_TYPE_H
+#define COMPILER_GYM_IR_TYPE_H
+
+#include <string>
+
+namespace compiler_gym {
+namespace ir {
+
+/// First-class types of the mini-IR. Pointers are untyped word addresses
+/// (memory is word-addressed, see Interpreter.h). Label is the type of
+/// basic blocks; FunctionTy the type of function symbols used as call
+/// targets.
+enum class Type {
+  Void,
+  I1,
+  I32,
+  I64,
+  F64,
+  Ptr,
+  Label,
+  FunctionTy,
+};
+
+/// Returns the textual spelling used by the printer/parser ("i32", ...).
+const char *typeName(Type Ty);
+
+/// Parses a type name; returns false if \p Name is not a type.
+bool typeFromName(const std::string &Name, Type &Out);
+
+/// True for i1/i32/i64.
+inline bool isIntegerType(Type Ty) {
+  return Ty == Type::I1 || Ty == Type::I32 || Ty == Type::I64;
+}
+
+/// True for types a value can have (excludes Void/Label/FunctionTy).
+inline bool isFirstClassType(Type Ty) {
+  return Ty == Type::I1 || Ty == Type::I32 || Ty == Type::I64 ||
+         Ty == Type::F64 || Ty == Type::Ptr;
+}
+
+/// Bit width of an integer type (1, 32 or 64).
+int integerBitWidth(Type Ty);
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_TYPE_H

@@ -1,0 +1,13 @@
+//===- ir/Value.cpp -------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Out-of-line anchor for the Value hierarchy vtable.
+
+#include "ir/Value.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+Value::~Value() = default;

@@ -1,0 +1,155 @@
+//===- ir/Value.h - SSA value hierarchy -------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the base of everything an instruction can reference: constants,
+/// function arguments, globals, instructions, basic blocks (as branch
+/// targets) and functions (as call targets). LLVM-style opt-in RTTI is
+/// provided via ValueKind + classof, enabling isa<>/cast<>/dyn_cast<>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_VALUE_H
+#define COMPILER_GYM_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace compiler_gym {
+namespace ir {
+
+class Function;
+class BasicBlock;
+
+/// Discriminator for the Value hierarchy.
+enum class ValueKind {
+  Constant,
+  Argument,
+  Global,
+  Instruction,
+  Block,
+  FunctionRef,
+};
+
+/// Base class for all IR entities that may appear as operands.
+class Value {
+public:
+  virtual ~Value(); // Out-of-line vtable anchor (see Value.cpp).
+
+  ValueKind kind() const { return Kind; }
+  Type type() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+protected:
+  Value(ValueKind Kind, Type Ty) : Kind(Kind), Ty(Ty) {}
+
+private:
+  ValueKind Kind;
+  Type Ty;
+  std::string Name;
+};
+
+/// LLVM-style cast machinery (no C++ RTTI).
+template <typename To> bool isa(const Value *V) {
+  return V && To::classof(V);
+}
+template <typename To> To *cast(Value *V) {
+  assert(isa<To>(V) && "cast<> on incompatible value");
+  return static_cast<To *>(V);
+}
+template <typename To> const To *cast(const Value *V) {
+  assert(isa<To>(V) && "cast<> on incompatible value");
+  return static_cast<const To *>(V);
+}
+template <typename To> To *dyn_cast(Value *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+template <typename To> const To *dyn_cast(const Value *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// A literal constant. Integers (including i1) store their value in IntBits;
+/// f64 constants in FloatBits. Constants are uniqued by the owning Module.
+class Constant : public Value {
+public:
+  Constant(Type Ty, int64_t IntValue)
+      : Value(ValueKind::Constant, Ty), IntBits(IntValue) {
+    assert(isIntegerType(Ty) && "integer constant with non-integer type");
+  }
+  explicit Constant(double FloatValue)
+      : Value(ValueKind::Constant, Type::F64), FloatBits(FloatValue) {}
+
+  int64_t intValue() const {
+    assert(isIntegerType(type()) && "intValue() on float constant");
+    return IntBits;
+  }
+  double floatValue() const {
+    assert(type() == Type::F64 && "floatValue() on int constant");
+    return FloatBits;
+  }
+
+  bool isZero() const {
+    return type() == Type::F64 ? FloatBits == 0.0 : IntBits == 0;
+  }
+  bool isOne() const {
+    return type() == Type::F64 ? FloatBits == 1.0 : IntBits == 1;
+  }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Constant;
+  }
+
+private:
+  int64_t IntBits = 0;
+  double FloatBits = 0.0;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type Ty, unsigned Index, Function *Parent)
+      : Value(ValueKind::Argument, Ty), Index(Index), Parent(Parent) {}
+
+  unsigned index() const { return Index; }
+  Function *parent() const { return Parent; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+  Function *Parent;
+};
+
+/// A module-level word-addressed memory region. Its value is its address
+/// (type Ptr). Initial contents are zero unless Init is set.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(std::string Name, uint32_t SizeWords)
+      : Value(ValueKind::Global, Type::Ptr), SizeWords(SizeWords) {
+    setName(std::move(Name));
+  }
+
+  uint32_t sizeWords() const { return SizeWords; }
+  void setSizeWords(uint32_t W) { SizeWords = W; }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Global; }
+
+private:
+  uint32_t SizeWords;
+};
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_VALUE_H

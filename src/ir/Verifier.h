@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA validation of modules: every block terminated, operand
+/// types legal per opcode, phi inputs matching predecessors, and defs
+/// dominating uses. Every optimization pass must leave modules verified;
+/// the pass-manager tests enforce this invariant over random pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_IR_VERIFIER_H
+#define COMPILER_GYM_IR_VERIFIER_H
+
+#include "ir/Module.h"
+#include "util/Status.h"
+
+namespace compiler_gym {
+namespace ir {
+
+/// Verifies the whole module; returns the first violation found.
+Status verifyModule(const Module &M);
+
+/// Verifies a single function.
+Status verifyFunction(const Function &F);
+
+} // namespace ir
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_IR_VERIFIER_H

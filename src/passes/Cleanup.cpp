@@ -1,0 +1,270 @@
+//===- passes/Cleanup.cpp - DCE-family and structural passes ---*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Transforms.h"
+#include "passes/Utils.h"
+
+#include <unordered_set>
+
+using namespace compiler_gym;
+using namespace compiler_gym::passes;
+using namespace compiler_gym::ir;
+
+namespace {
+
+/// Removes pure instructions with no uses, iterating to a fixpoint.
+class DcePass : public FunctionPass {
+public:
+  std::string name() const override { return "dce"; }
+
+  bool runOnFunction(Function &F) override {
+    // Worklist formulation: one use-count scan, then transitive removal by
+    // decrementing operand counts as instructions die. O(n) total.
+    auto Uses = F.computeUseCounts();
+    std::vector<Instruction *> Dead;
+    F.forEachInstruction([&](BasicBlock &, Instruction &I) {
+      if (!I.hasSideEffects() && !I.isTerminator() && !Uses.count(&I))
+        Dead.push_back(&I);
+    });
+    std::unordered_set<Instruction *> Doomed(Dead.begin(), Dead.end());
+    while (!Dead.empty()) {
+      Instruction *I = Dead.back();
+      Dead.pop_back();
+      for (Value *Op : I->operands()) {
+        auto It = Uses.find(Op);
+        if (It == Uses.end() || --It->second > 0)
+          continue;
+        auto *Def = dyn_cast<Instruction>(Op);
+        if (Def && !Def->hasSideEffects() && !Def->isTerminator() &&
+            Doomed.insert(Def).second)
+          Dead.push_back(Def);
+      }
+    }
+    for (const auto &BB : F.blocks())
+      for (size_t I = BB->size(); I-- > 0;)
+        if (Doomed.count(BB->instructions()[I].get()))
+          BB->erase(I);
+    return !Doomed.empty();
+  }
+};
+
+/// Mark-and-sweep DCE: roots are side-effecting instructions and
+/// terminators; everything not transitively reachable through operands is
+/// swept. Unlike DcePass this removes cyclic dead phi webs in one shot.
+class AdcePass : public FunctionPass {
+public:
+  std::string name() const override { return "adce"; }
+
+  bool runOnFunction(Function &F) override {
+    std::unordered_set<const Instruction *> Live;
+    std::vector<const Instruction *> Work;
+    F.forEachInstruction([&](BasicBlock &, Instruction &I) {
+      if (I.hasSideEffects() || I.isTerminator())
+        if (Live.insert(&I).second)
+          Work.push_back(&I);
+    });
+    while (!Work.empty()) {
+      const Instruction *I = Work.back();
+      Work.pop_back();
+      for (const Value *Op : I->operands())
+        if (const auto *Def = dyn_cast<Instruction>(Op))
+          if (Live.insert(Def).second)
+            Work.push_back(Def);
+    }
+    bool Changed = false;
+    for (const auto &BB : F.blocks()) {
+      for (size_t I = BB->size(); I-- > 0;) {
+        Instruction *Inst = BB->instructions()[I].get();
+        if (!Live.count(Inst)) {
+          BB->erase(I);
+          Changed = true;
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+/// Removes functions and globals with no references (except entry points).
+class GlobalDcePass : public Pass {
+public:
+  std::string name() const override { return "global-dce"; }
+
+  bool runOnModule(Module &M) override {
+    bool Changed = false;
+    bool LocalChange = true;
+    while (LocalChange) {
+      LocalChange = false;
+      std::unordered_set<const Function *> CalledFns;
+      std::unordered_set<const GlobalVariable *> UsedGlobals;
+      for (const auto &F : M.functions()) {
+        F->forEachInstruction([&](BasicBlock &, Instruction &I) {
+          for (const Value *Op : I.operands()) {
+            if (const auto *FR = dyn_cast<FunctionRef>(Op))
+              CalledFns.insert(FR->function());
+            else if (const auto *G = dyn_cast<GlobalVariable>(Op))
+              UsedGlobals.insert(G);
+          }
+        });
+      }
+      std::vector<Function *> DeadFns;
+      for (const auto &F : M.functions())
+        if (F->name() != "main" && !F->isNoInline() && !CalledFns.count(F.get()))
+          DeadFns.push_back(F.get());
+      for (Function *F : DeadFns) {
+        M.eraseFunction(F);
+        Changed = LocalChange = true;
+      }
+      // Globals: erasing shifts interpreter addresses of later globals but
+      // only when the global is never referenced, so behaviour of reads and
+      // writes is unaffected; the output hash covers referenced memory via
+      // the same layout for original and optimized modules only when
+      // layouts match — so we keep dead globals (size win would be in
+      // .data, which the paper's code-size rewards do not count).
+      (void)UsedGlobals;
+    }
+    return Changed;
+  }
+};
+
+/// Strips local value names. No semantic change; mirrors LLVM's
+/// -strip-names utility pass (an action with ~zero reward, which teaches
+/// agents that some actions are useless).
+class StripNamesPass : public FunctionPass {
+public:
+  std::string name() const override { return "strip-names"; }
+
+  bool runOnFunction(Function &F) override {
+    bool Changed = false;
+    F.forEachInstruction([&](BasicBlock &, Instruction &I) {
+      if (!I.name().empty()) {
+        I.setName("");
+        Changed = true;
+      }
+    });
+    return Changed;
+  }
+};
+
+/// Unifies multiple return sites into one exit block (LLVM's
+/// -mergereturn / UnifyFunctionExitNodes).
+class MergeReturnPass : public FunctionPass {
+public:
+  std::string name() const override { return "mergereturn"; }
+
+  bool runOnFunction(Function &F) override {
+    std::vector<BasicBlock *> RetBlocks;
+    for (const auto &BB : F.blocks()) {
+      Instruction *Term = BB->terminator();
+      if (Term && Term->opcode() == Opcode::Ret)
+        RetBlocks.push_back(BB.get());
+    }
+    if (RetBlocks.size() < 2)
+      return false;
+
+    BasicBlock *Exit = F.createBlock("unified_exit");
+    Instruction *RetPhi = nullptr;
+    if (F.returnType() != Type::Void) {
+      auto Phi = std::make_unique<Instruction>(Opcode::Phi, F.returnType());
+      RetPhi = Exit->append(std::move(Phi));
+    }
+    auto Ret = std::make_unique<Instruction>(Opcode::Ret, Type::Void);
+    if (RetPhi)
+      Ret->operands().push_back(RetPhi);
+    Exit->append(std::move(Ret));
+
+    for (BasicBlock *BB : RetBlocks) {
+      Instruction *OldRet = BB->terminator();
+      if (RetPhi)
+        RetPhi->addIncoming(OldRet->operand(0), BB);
+      BB->erase(BB->size() - 1);
+      auto Br = std::make_unique<Instruction>(
+          Opcode::Br, Type::Void, std::vector<Value *>{Exit});
+      BB->append(std::move(Br));
+    }
+    return true;
+  }
+};
+
+/// Deletes blocks unreachable from the entry.
+class UnreachableBlockElimPass : public FunctionPass {
+public:
+  std::string name() const override { return "unreachable-elim"; }
+
+  bool runOnFunction(Function &F) override {
+    return removeUnreachableBlocks(F);
+  }
+};
+
+/// Demotes phi nodes to stack slots (the inverse of mem2reg; LLVM's
+/// -reg2mem). Grows the program — a deliberately "negative" action.
+class Reg2MemPass : public FunctionPass {
+public:
+  std::string name() const override { return "reg2mem"; }
+
+  bool runOnFunction(Function &F) override {
+    // Collect phis first; we mutate blocks while demoting.
+    std::vector<Instruction *> Phis;
+    F.forEachInstruction([&](BasicBlock &, Instruction &I) {
+      if (I.opcode() == Opcode::Phi)
+        Phis.push_back(&I);
+    });
+    if (Phis.empty())
+      return false;
+
+    BasicBlock *Entry = F.entry();
+    for (Instruction *Phi : Phis) {
+      BasicBlock *BB = Phi->parent();
+      // Slot in the entry block.
+      auto AllocaI =
+          std::make_unique<Instruction>(Opcode::Alloca, Type::Ptr);
+      AllocaI->setAllocaWords(1);
+      Instruction *Slot = Entry->insert(Entry->firstNonPhi(),
+                                        std::move(AllocaI));
+
+      // Store each incoming value at the end of its predecessor.
+      for (unsigned K = 0; K < Phi->numIncoming(); ++K) {
+        BasicBlock *Pred = Phi->incomingBlock(K);
+        auto St = std::make_unique<Instruction>(
+            Opcode::Store, Type::Void,
+            std::vector<Value *>{Phi->incomingValue(K), Slot});
+        Pred->insert(Pred->size() - 1, std::move(St));
+      }
+
+      // Load at the start of the phi's block (after remaining phis).
+      auto Ld = std::make_unique<Instruction>(
+          Opcode::Load, Phi->type(), std::vector<Value *>{Slot});
+      Instruction *Loaded = BB->insert(BB->firstNonPhi(), std::move(Ld));
+      F.replaceAllUsesWith(Phi, Loaded);
+      BB->erase(BB->indexOf(Phi));
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> passes::createDcePass() {
+  return std::make_unique<DcePass>();
+}
+std::unique_ptr<Pass> passes::createAdcePass() {
+  return std::make_unique<AdcePass>();
+}
+std::unique_ptr<Pass> passes::createGlobalDcePass() {
+  return std::make_unique<GlobalDcePass>();
+}
+std::unique_ptr<Pass> passes::createStripNamesPass() {
+  return std::make_unique<StripNamesPass>();
+}
+std::unique_ptr<Pass> passes::createMergeReturnPass() {
+  return std::make_unique<MergeReturnPass>();
+}
+std::unique_ptr<Pass> passes::createUnreachableBlockElimPass() {
+  return std::make_unique<UnreachableBlockElimPass>();
+}
+std::unique_ptr<Pass> passes::createReg2MemPass() {
+  return std::make_unique<Reg2MemPass>();
+}

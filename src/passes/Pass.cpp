@@ -1,0 +1,20 @@
+//===- passes/Pass.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::passes;
+
+Pass::~Pass() = default;
+
+bool FunctionPass::runOnModule(ir::Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions())
+    if (!F->empty())
+      Changed |= runOnFunction(*F);
+  return Changed;
+}

@@ -1,0 +1,53 @@
+//===- passes/Pass.h - Optimization pass interface --------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization pass interface. Passes transform a Module in place and
+/// report whether anything changed — the unit of action in the LLVM
+/// phase-ordering environment. Function passes get a convenience subclass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_PASSES_PASS_H
+#define COMPILER_GYM_PASSES_PASS_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace compiler_gym {
+namespace passes {
+
+/// Base class for all transforms.
+class Pass {
+public:
+  virtual ~Pass();
+
+  /// The registry name (stable, used as the environment action name).
+  virtual std::string name() const = 0;
+
+  /// Applies the transform; returns true if the module changed.
+  virtual bool runOnModule(ir::Module &M) = 0;
+
+  /// Passes that intentionally exhibit nondeterminism (for the
+  /// reproducibility-validation machinery) override this to return false.
+  virtual bool isDeterministic() const { return true; }
+};
+
+/// Convenience base: run per function.
+class FunctionPass : public Pass {
+public:
+  bool runOnModule(ir::Module &M) override;
+
+  /// Applies the transform to one function; returns true on change.
+  virtual bool runOnFunction(ir::Function &F) = 0;
+};
+
+} // namespace passes
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_PASSES_PASS_H

@@ -1,0 +1,41 @@
+//===- passes/PassManager.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/PassManager.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::passes;
+
+StatusOr<bool> passes::runPass(ir::Module &M, const std::string &Name) {
+  std::unique_ptr<Pass> P = PassRegistry::instance().create(Name);
+  if (!P)
+    return notFound("unknown pass '" + Name + "'");
+  return P->runOnModule(M);
+}
+
+StatusOr<bool> passes::runPipeline(ir::Module &M,
+                                   const std::vector<std::string> &Names) {
+  bool Changed = false;
+  for (const std::string &Name : Names) {
+    CG_ASSIGN_OR_RETURN(bool PassChanged, runPass(M, Name));
+    Changed |= PassChanged;
+  }
+  return Changed;
+}
+
+StatusOr<bool>
+passes::runPipelineToFixpoint(ir::Module &M,
+                              const std::vector<std::string> &Names,
+                              int MaxRounds) {
+  bool Changed = false;
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    CG_ASSIGN_OR_RETURN(bool RoundChanged, runPipeline(M, Names));
+    if (!RoundChanged)
+      break;
+    Changed = true;
+  }
+  return Changed;
+}

@@ -1,0 +1,42 @@
+//===- passes/PassManager.h - Pipeline execution ----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs sequences of named passes over a module — the unit of work behind
+/// both the environment's step() (a single pass) and the preset pipelines
+/// (-Oz/-O3 baselines the paper scales rewards against).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_PASSES_PASSMANAGER_H
+#define COMPILER_GYM_PASSES_PASSMANAGER_H
+
+#include "passes/PassRegistry.h"
+#include "util/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace passes {
+
+/// Runs a single pass by name. Returns whether the module changed, or
+/// NotFound for unknown pass names.
+StatusOr<bool> runPass(ir::Module &M, const std::string &Name);
+
+/// Runs \p Names in order; returns true if any pass changed the module.
+StatusOr<bool> runPipeline(ir::Module &M,
+                           const std::vector<std::string> &Names);
+
+/// Runs \p Names repeatedly (at most \p MaxRounds rounds) until a fixpoint.
+StatusOr<bool> runPipelineToFixpoint(ir::Module &M,
+                                     const std::vector<std::string> &Names,
+                                     int MaxRounds = 4);
+
+} // namespace passes
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_PASSES_PASSMANAGER_H

@@ -1,0 +1,103 @@
+//===- passes/PassRegistry.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/PassRegistry.h"
+
+#include "passes/Transforms.h"
+
+#include <algorithm>
+
+using namespace compiler_gym;
+using namespace compiler_gym::passes;
+
+const PassRegistry &PassRegistry::instance() {
+  static PassRegistry Registry;
+  return Registry;
+}
+
+void PassRegistry::add(const std::string &Name,
+                       std::function<std::unique_ptr<Pass>()> Factory,
+                       bool InDefaultActionSpace) {
+  Factories.emplace_back(Name, std::move(Factory));
+  AllNames.push_back(Name);
+  if (InDefaultActionSpace)
+    DefaultActions.push_back(Name);
+}
+
+PassRegistry::PassRegistry() {
+  // Cleanup family.
+  add("dce", createDcePass);
+  add("adce", createAdcePass);
+  add("global-dce", createGlobalDcePass);
+  add("strip-names", createStripNamesPass);
+  add("mergereturn", createMergeReturnPass);
+  add("unreachable-elim", createUnreachableBlockElimPass);
+  add("reg2mem", createReg2MemPass);
+
+  // Scalar family.
+  add("constfold", createConstFoldPass);
+  add("instsimplify", createInstSimplifyPass);
+  add("instcombine", createInstCombinePass);
+  add("reassociate", createReassociatePass);
+  add("cmp-canonicalize", createCmpCanonicalizePass);
+  add("shift-combine", createShiftCombinePass);
+  add("strength-reduce", createStrengthReducePass);
+  add("sccp", createSccpPass);
+  add("sink", createSinkPass);
+  add("cse-local", createLocalCsePass);
+  add("dse-local", createLocalDsePass);
+  add("store-forward", createStoreForwardPass);
+  add("redundant-load-elim", createRedundantLoadElimPass);
+  add("lower-select", createLowerSelectPass);
+  add("phi-simplify", createPhiSimplifyPass);
+
+  // CFG family.
+  add("simplifycfg", createSimplifyCfgPass);
+  add("block-merge", createBlockMergePass);
+  add("jump-threading", createJumpThreadingPass);
+  add("canonicalize-block-order", createCanonicalizeBlockOrderPass);
+
+  // Redundancy elimination.
+  add("gvn", createGvnPass);
+  add("early-cse", createEarlyCsePass);
+  // Quarantined: nondeterministic output (see GVN.cpp); reproduces the
+  // paper's -gvn-sink reproducibility bug and is excluded from the default
+  // action space exactly as the paper excluded the LLVM pass.
+  add("gvn-sink", createGvnSinkPass, /*InDefaultActionSpace=*/false);
+
+  // Memory promotion.
+  add("mem2reg", createMem2RegPass);
+
+  // Loops.
+  add("loop-simplify", createLoopSimplifyPass);
+  add("licm", [] { return createLicmPass(false); });
+  add("licm-promote", [] { return createLicmPass(true); });
+  add("loop-delete", createLoopDeletePass);
+  for (unsigned Trip : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u, 64u,
+                        96u, 128u})
+    add("loop-unroll<" + std::to_string(Trip) + ">",
+        [Trip] { return createLoopUnrollPass(Trip); });
+
+  // Inlining.
+  for (unsigned Threshold : {10u, 20u, 35u, 50u, 75u, 100u, 150u, 225u, 300u,
+                             450u})
+    add("inline<" + std::to_string(Threshold) + ">",
+        [Threshold] { return createInlinerPass(Threshold); });
+
+  std::sort(DefaultActions.begin(), DefaultActions.end());
+  std::sort(AllNames.begin(), AllNames.end());
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const std::string &Name) const {
+  for (const auto &[RegName, Factory] : Factories)
+    if (RegName == Name)
+      return Factory();
+  return nullptr;
+}
+
+bool PassRegistry::contains(const std::string &Name) const {
+  return std::binary_search(AllNames.begin(), AllNames.end(), Name);
+}

@@ -1,0 +1,70 @@
+//===- passes/PassRegistry.h - Pass factory registry ------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry mapping pass names to factories. The phase-ordering action
+/// space is exactly the registry's default action list (parameterized
+/// passes are registered once per parameter value, mirroring how the paper
+/// extracts its 124 LLVM actions automatically).
+///
+/// The deliberately nondeterministic `gvn-sink` pass (reproducing the
+/// paper's LLVM -gvn-sink reproducibility bug, §III-B3) is registered but
+/// excluded from the default action list, like the paper's environments
+/// exclude it after detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_PASSES_PASSREGISTRY_H
+#define COMPILER_GYM_PASSES_PASSREGISTRY_H
+
+#include "passes/Pass.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace passes {
+
+/// Process-wide pass registry (constructed once, immutable afterwards).
+class PassRegistry {
+public:
+  /// The singleton instance with every built-in pass registered.
+  static const PassRegistry &instance();
+
+  /// Creates a pass by name; nullptr if unknown.
+  std::unique_ptr<Pass> create(const std::string &Name) const;
+
+  /// True if \p Name is registered.
+  bool contains(const std::string &Name) const;
+
+  /// Names forming the default phase-ordering action space (sorted,
+  /// deterministic; excludes quarantined nondeterministic passes).
+  const std::vector<std::string> &defaultActionNames() const {
+    return DefaultActions;
+  }
+
+  /// Every registered name, including quarantined passes.
+  const std::vector<std::string> &allNames() const { return AllNames; }
+
+private:
+  PassRegistry();
+
+  void add(const std::string &Name,
+           std::function<std::unique_ptr<Pass>()> Factory,
+           bool InDefaultActionSpace = true);
+
+  std::vector<std::pair<std::string, std::function<std::unique_ptr<Pass>()>>>
+      Factories;
+  std::vector<std::string> DefaultActions;
+  std::vector<std::string> AllNames;
+};
+
+} // namespace passes
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_PASSES_PASSREGISTRY_H

@@ -1,0 +1,72 @@
+//===- passes/Pipelines.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pipelines.h"
+
+#include "passes/PassManager.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::passes;
+
+std::vector<std::string> passes::optimizationLevels() {
+  return {"-O0", "-O1", "-O2", "-O3", "-Os", "-Oz"};
+}
+
+StatusOr<std::vector<std::string>>
+passes::pipelineForLevel(const std::string &Level) {
+  if (Level == "-O0")
+    return std::vector<std::string>{};
+  if (Level == "-O1")
+    return std::vector<std::string>{
+        "mem2reg",     "instcombine", "simplifycfg",
+        "early-cse",   "dce",         "phi-simplify",
+    };
+  if (Level == "-O2")
+    return std::vector<std::string>{
+        "mem2reg",       "instcombine", "simplifycfg",  "sccp",
+        "inline<100>",   "early-cse",   "gvn",          "loop-simplify",
+        "licm",          "reassociate", "instcombine",  "jump-threading",
+        "simplifycfg",   "dse-local",   "store-forward", "adce",
+        "phi-simplify",
+    };
+  if (Level == "-O3")
+    return std::vector<std::string>{
+        "mem2reg",        "instcombine",     "simplifycfg",
+        "sccp",           "inline<300>",     "early-cse",
+        "gvn",            "loop-simplify",   "licm-promote",
+        "loop-unroll<32>", "reassociate",    "instcombine",
+        "jump-threading", "simplifycfg",     "dse-local",
+        "store-forward",  "redundant-load-elim", "sink",
+        "adce",           "phi-simplify",    "global-dce",
+    };
+  if (Level == "-Os")
+    return std::vector<std::string>{
+        "mem2reg",      "instcombine", "simplifycfg", "sccp",
+        "inline<20>",   "early-cse",   "gvn",         "loop-simplify",
+        "licm",         "loop-delete", "dse-local",   "store-forward",
+        "adce",         "phi-simplify", "simplifycfg", "global-dce",
+    };
+  if (Level == "-Oz")
+    return std::vector<std::string>{
+        "mem2reg",      "instcombine",  "simplifycfg", "sccp",
+        "early-cse",    "gvn",          "loop-simplify", "licm",
+        "loop-delete",  "dse-local",    "store-forward",
+        "redundant-load-elim", "adce",  "phi-simplify", "simplifycfg",
+        "global-dce",
+    };
+  return notFound("unknown optimization level '" + Level + "'");
+}
+
+Status passes::runOptimizationLevel(ir::Module &M, const std::string &Level) {
+  CG_ASSIGN_OR_RETURN(std::vector<std::string> Pipeline,
+                      pipelineForLevel(Level));
+  if (Pipeline.empty())
+    return Status::ok();
+  CG_ASSIGN_OR_RETURN(bool Changed,
+                      runPipelineToFixpoint(M, Pipeline, /*MaxRounds=*/3));
+  (void)Changed;
+  return Status::ok();
+}

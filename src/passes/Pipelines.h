@@ -1,0 +1,42 @@
+//===- passes/Pipelines.h - Preset optimization levels ----------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's default pipelines (-O0/-O1/-O2/-O3/-Os/-Oz). The LLVM
+/// environment scales its rewards against -Oz (size) and -O3 (runtime),
+/// exactly as the paper does; the GCC environment's -O<n> options map to
+/// these too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_PASSES_PIPELINES_H
+#define COMPILER_GYM_PASSES_PIPELINES_H
+
+#include "util/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace ir {
+class Module;
+}
+namespace passes {
+
+/// Names of the supported optimization levels.
+std::vector<std::string> optimizationLevels();
+
+/// The pass list for \p Level ("-O0" .. "-O3", "-Os", "-Oz").
+StatusOr<std::vector<std::string>> pipelineForLevel(const std::string &Level);
+
+/// Applies \p Level to \p M (iterated to an approximate fixpoint, as the
+/// real pass managers do).
+Status runOptimizationLevel(ir::Module &M, const std::string &Level);
+
+} // namespace passes
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_PASSES_PIPELINES_H

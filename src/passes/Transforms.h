@@ -1,0 +1,80 @@
+//===- passes/Transforms.h - Factory functions for all passes ---*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory functions for every built-in transform. Implementations live in
+/// Cleanup.cpp / Scalar.cpp / SimplifyCFG.cpp / GVN.cpp / Loops.cpp /
+/// Inliner.cpp / Mem2Reg.cpp. The PassRegistry instantiates the action
+/// space from these factories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_PASSES_TRANSFORMS_H
+#define COMPILER_GYM_PASSES_TRANSFORMS_H
+
+#include "passes/Pass.h"
+
+#include <memory>
+
+namespace compiler_gym {
+namespace passes {
+
+// Cleanup.cpp ---------------------------------------------------------------
+std::unique_ptr<Pass> createDcePass();          ///< Trivial dead code elim.
+std::unique_ptr<Pass> createAdcePass();         ///< Aggressive (mark/sweep).
+std::unique_ptr<Pass> createGlobalDcePass();    ///< Unused funcs/globals.
+std::unique_ptr<Pass> createStripNamesPass();   ///< Drop local value names.
+std::unique_ptr<Pass> createMergeReturnPass();  ///< Unify exit nodes.
+std::unique_ptr<Pass> createUnreachableBlockElimPass();
+std::unique_ptr<Pass> createReg2MemPass();      ///< Demote phis to stack.
+
+// Scalar.cpp -----------------------------------------------------------------
+std::unique_ptr<Pass> createConstFoldPass();
+std::unique_ptr<Pass> createInstSimplifyPass();
+std::unique_ptr<Pass> createInstCombinePass();
+std::unique_ptr<Pass> createReassociatePass();
+std::unique_ptr<Pass> createCmpCanonicalizePass();
+std::unique_ptr<Pass> createShiftCombinePass();
+std::unique_ptr<Pass> createStrengthReducePass();
+std::unique_ptr<Pass> createSccpPass();
+std::unique_ptr<Pass> createSinkPass();
+std::unique_ptr<Pass> createLocalCsePass();
+std::unique_ptr<Pass> createLocalDsePass();
+std::unique_ptr<Pass> createStoreForwardPass();
+std::unique_ptr<Pass> createRedundantLoadElimPass();
+std::unique_ptr<Pass> createLowerSelectPass();  ///< select -> CFG diamond.
+std::unique_ptr<Pass> createPhiSimplifyPass();
+
+// SimplifyCFG.cpp ------------------------------------------------------------
+std::unique_ptr<Pass> createSimplifyCfgPass();
+std::unique_ptr<Pass> createBlockMergePass();
+std::unique_ptr<Pass> createJumpThreadingPass();
+std::unique_ptr<Pass> createCanonicalizeBlockOrderPass(); ///< RPO layout.
+
+// GVN.cpp ---------------------------------------------------------------------
+std::unique_ptr<Pass> createGvnPass();
+std::unique_ptr<Pass> createEarlyCsePass();
+/// Deliberately nondeterministic (sorts blocks by pointer address),
+/// reproducing the LLVM -gvn-sink reproducibility bug from the paper.
+/// Quarantined out of the default action space.
+std::unique_ptr<Pass> createGvnSinkPass();
+
+// Mem2Reg.cpp -----------------------------------------------------------------
+std::unique_ptr<Pass> createMem2RegPass();
+
+// Loops.cpp --------------------------------------------------------------------
+std::unique_ptr<Pass> createLoopSimplifyPass(); ///< Insert preheaders.
+std::unique_ptr<Pass> createLicmPass(bool HoistLoads);
+std::unique_ptr<Pass> createLoopUnrollPass(unsigned MaxTripCount);
+std::unique_ptr<Pass> createLoopDeletePass();
+
+// Inliner.cpp -------------------------------------------------------------------
+std::unique_ptr<Pass> createInlinerPass(unsigned SizeThreshold);
+
+} // namespace passes
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_PASSES_TRANSFORMS_H

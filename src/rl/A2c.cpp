@@ -1,0 +1,109 @@
+//===- rl/A2c.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/A2c.h"
+
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+A2cAgent::A2cAgent(const A2cConfig &Config)
+    : Config(Config),
+      Policy({Config.ObsDim, Config.HiddenSize, Config.NumActions},
+             Activation::Tanh, Config.Seed),
+      Value({Config.ObsDim, Config.HiddenSize, 1}, Activation::Tanh,
+            Config.Seed ^ 0x1234),
+      Optimizer(Config.LearningRate), Gen(Config.Seed ^ 0x99) {
+  assert(Config.ObsDim > 0 && Config.NumActions > 0 &&
+         "A2cConfig requires ObsDim and NumActions");
+}
+
+int A2cAgent::act(const std::vector<float> &Obs) {
+  return argmax(Policy.forward1(Obs));
+}
+
+Status A2cAgent::train(core::Env &E, int NumEpisodes,
+                       const ProgressFn &Progress) {
+  PolicyFn PolicyCall = [this](const std::vector<float> &Obs) {
+    return Policy.forward1(Obs);
+  };
+  ValueFn ValueCall = [this](const std::vector<float> &Obs) {
+    return static_cast<double>(Value.forward1(Obs)[0]);
+  };
+  int Collected = 0;
+  while (Collected < NumEpisodes) {
+    std::vector<Trajectory> Batch;
+    for (size_t B = 0;
+         B < Config.EpisodesPerBatch && Collected < NumEpisodes; ++B) {
+      CG_ASSIGN_OR_RETURN(
+          Trajectory Traj,
+          collectEpisode(E, PolicyCall, ValueCall, Config.MaxEpisodeSteps,
+                         Gen));
+      if (Progress)
+        Progress(Collected, Traj.TotalReward);
+      ++Collected;
+      Batch.push_back(std::move(Traj));
+    }
+    update(Batch);
+  }
+  return Status::ok();
+}
+
+void A2cAgent::update(const std::vector<Trajectory> &Batch) {
+  std::vector<const std::vector<float> *> Obs;
+  std::vector<int> Actions;
+  std::vector<double> Advantages, Returns;
+  for (const Trajectory &Traj : Batch) {
+    std::vector<double> Ret = discountedReturns(Traj.Rewards, Config.Gamma);
+    for (size_t T = 0; T < Traj.length(); ++T) {
+      Obs.push_back(&Traj.Observations[T]);
+      Actions.push_back(Traj.Actions[T]);
+      Returns.push_back(Ret[T]);
+      Advantages.push_back(Ret[T] - Traj.Values[T]);
+    }
+  }
+  size_t N = Obs.size();
+  if (N == 0)
+    return;
+
+  Matrix X(N, Config.ObsDim);
+  for (size_t I = 0; I < N; ++I)
+    std::copy(Obs[I]->begin(), Obs[I]->end(), X.rowPtr(I));
+
+  Matrix Logits = Policy.forward(X);
+  Matrix dLogits(N, Config.NumActions);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<float> Row(Logits.rowPtr(I),
+                           Logits.rowPtr(I) + Config.NumActions);
+    std::vector<double> P = softmax(Row);
+    double H = 0.0;
+    for (double Pi : P)
+      if (Pi > 1e-12)
+        H -= Pi * std::log(Pi);
+    for (size_t J = 0; J < Config.NumActions; ++J) {
+      double OneHot = (static_cast<int>(J) == Actions[I]) ? 1.0 : 0.0;
+      double G = -Advantages[I] * (OneHot - P[J]);
+      G += Config.EntropyCoef * P[J] * (std::log(std::max(P[J], 1e-12)) + H);
+      dLogits.at(I, J) = static_cast<float>(G / static_cast<double>(N));
+    }
+  }
+  Policy.backward(dLogits);
+
+  Matrix V = Value.forward(X);
+  Matrix dV(N, 1);
+  for (size_t I = 0; I < N; ++I)
+    dV.at(I, 0) = static_cast<float>(
+        Config.ValueCoef * 2.0 *
+        (static_cast<double>(V.at(I, 0)) - Returns[I]) /
+        static_cast<double>(N));
+  Value.backward(dV);
+
+  std::vector<Param *> All = Policy.params();
+  std::vector<Param *> ValueParams = Value.params();
+  All.insert(All.end(), ValueParams.begin(), ValueParams.end());
+  Optimizer.step(All);
+}

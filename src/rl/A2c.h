@@ -1,0 +1,60 @@
+//===- rl/A2c.h - Advantage Actor-Critic ------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synchronous advantage actor-critic (A2C, the synchronous form of Mnih
+/// et al.'s A3C) — one of the four Table VI agents: single-epoch policy
+/// gradient with bootstrapped advantages, no ratio clipping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_A2C_H
+#define COMPILER_GYM_RL_A2C_H
+
+#include "rl/Agent.h"
+#include "rl/Nn.h"
+
+namespace compiler_gym {
+namespace rl {
+
+/// A2C hyperparameters.
+struct A2cConfig {
+  size_t ObsDim = 0;
+  size_t NumActions = 0;
+  size_t HiddenSize = 64;
+  size_t EpisodesPerBatch = 4;
+  double Gamma = 0.99;
+  double LearningRate = 7e-4;
+  double EntropyCoef = 0.01;
+  double ValueCoef = 0.5;
+  size_t MaxEpisodeSteps = 45;
+  uint64_t Seed = 0xA2C5EED;
+};
+
+class A2cAgent : public Agent {
+public:
+  explicit A2cAgent(const A2cConfig &Config);
+
+  std::string name() const override { return "A2C"; }
+  Status train(core::Env &E, int NumEpisodes,
+               const ProgressFn &Progress = {}) override;
+  int act(const std::vector<float> &Obs) override;
+  size_t maxEpisodeSteps() const override { return Config.MaxEpisodeSteps; }
+
+private:
+  void update(const std::vector<Trajectory> &Batch);
+
+  A2cConfig Config;
+  Mlp Policy;
+  Mlp Value;
+  AdamOptimizer Optimizer;
+  Rng Gen;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_A2C_H

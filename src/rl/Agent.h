@@ -1,0 +1,55 @@
+//===- rl/Agent.h - Common agent interface ----------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface shared by the four algorithms of Table VI (PPO, A2C,
+/// APEX-DQN, IMPALA): train on an environment, then act greedily for
+/// evaluation. Mirrors how the paper swaps RLlib trainers by changing one
+/// parameter (Listing 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_AGENT_H
+#define COMPILER_GYM_RL_AGENT_H
+
+#include "core/Env.h"
+#include "rl/Rollout.h"
+
+#include <functional>
+#include <string>
+
+namespace compiler_gym {
+namespace rl {
+
+/// Progress callback: (episode index, episode total reward).
+using ProgressFn = std::function<void(int, double)>;
+
+/// A trainable policy.
+class Agent {
+public:
+  virtual ~Agent();
+
+  virtual std::string name() const = 0;
+
+  /// Trains for \p NumEpisodes episodes on \p E (episodes are bounded by
+  /// the env's TimeLimit wrapper).
+  virtual Status train(core::Env &E, int NumEpisodes,
+                       const ProgressFn &Progress = {}) = 0;
+
+  /// Greedy action for evaluation.
+  virtual int act(const std::vector<float> &Obs) = 0;
+
+  /// Maximum episode length used during evaluation rollouts.
+  virtual size_t maxEpisodeSteps() const { return 45; }
+};
+
+/// Evaluates \p A greedily for one episode on \p E; returns total reward.
+StatusOr<double> evaluateEpisode(core::Env &E, Agent &A, size_t MaxSteps);
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_AGENT_H

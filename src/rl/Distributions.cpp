@@ -1,0 +1,69 @@
+//===- rl/Distributions.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+std::vector<double> rl::softmax(const std::vector<float> &Logits) {
+  double Max = *std::max_element(Logits.begin(), Logits.end());
+  std::vector<double> Out(Logits.size());
+  double Sum = 0.0;
+  for (size_t I = 0; I < Logits.size(); ++I) {
+    Out[I] = std::exp(static_cast<double>(Logits[I]) - Max);
+    Sum += Out[I];
+  }
+  for (double &P : Out)
+    P /= Sum;
+  return Out;
+}
+
+double rl::logProb(const std::vector<float> &Logits, int Index) {
+  double Max = *std::max_element(Logits.begin(), Logits.end());
+  double Sum = 0.0;
+  for (float L : Logits)
+    Sum += std::exp(static_cast<double>(L) - Max);
+  return static_cast<double>(Logits[Index]) - Max - std::log(Sum);
+}
+
+double rl::entropy(const std::vector<float> &Logits) {
+  std::vector<double> P = softmax(Logits);
+  double H = 0.0;
+  for (double Pi : P)
+    if (Pi > 1e-12)
+      H -= Pi * std::log(Pi);
+  return H;
+}
+
+int rl::sampleCategorical(const std::vector<float> &Logits, Rng &Gen) {
+  std::vector<double> P = softmax(Logits);
+  double Target = Gen.uniform();
+  double Acc = 0.0;
+  for (size_t I = 0; I < P.size(); ++I) {
+    Acc += P[I];
+    if (Target < Acc)
+      return static_cast<int>(I);
+  }
+  return static_cast<int>(P.size()) - 1;
+}
+
+int rl::argmax(const std::vector<float> &Logits) {
+  return static_cast<int>(
+      std::max_element(Logits.begin(), Logits.end()) - Logits.begin());
+}
+
+std::vector<float> rl::squashObservation(const std::vector<int64_t> &Raw) {
+  std::vector<float> Out(Raw.size());
+  for (size_t I = 0; I < Raw.size(); ++I) {
+    double V = static_cast<double>(Raw[I]);
+    Out[I] = static_cast<float>(V >= 0 ? std::log1p(V) : -std::log1p(-V));
+  }
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- rl/Distributions.h - Categorical policy math -------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Softmax/categorical utilities shared by the policy-gradient agents:
+/// numerically stable softmax, log-prob, entropy, and sampling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_DISTRIBUTIONS_H
+#define COMPILER_GYM_RL_DISTRIBUTIONS_H
+
+#include "util/Rng.h"
+
+#include <vector>
+
+namespace compiler_gym {
+namespace rl {
+
+/// Numerically stable softmax.
+std::vector<double> softmax(const std::vector<float> &Logits);
+
+/// log softmax(Logits)[Index].
+double logProb(const std::vector<float> &Logits, int Index);
+
+/// Entropy of softmax(Logits).
+double entropy(const std::vector<float> &Logits);
+
+/// Samples an index from softmax(Logits).
+int sampleCategorical(const std::vector<float> &Logits, Rng &Gen);
+
+/// Index of the largest logit.
+int argmax(const std::vector<float> &Logits);
+
+/// Observation preprocessing shared by all agents: log1p squashing keeps
+/// the counter-valued features (Autophase/InstCount) in a sane range.
+std::vector<float> squashObservation(const std::vector<int64_t> &Raw);
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_DISTRIBUTIONS_H

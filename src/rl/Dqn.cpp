@@ -1,0 +1,117 @@
+//===- rl/Dqn.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Dqn.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+DqnAgent::DqnAgent(const DqnConfig &Config)
+    : Config(Config),
+      Q({Config.ObsDim, Config.HiddenSize, Config.HiddenSize,
+         Config.NumActions},
+        Activation::Relu, Config.Seed),
+      QTarget({Config.ObsDim, Config.HiddenSize, Config.HiddenSize,
+               Config.NumActions},
+              Activation::Relu, Config.Seed),
+      Optimizer(Config.LearningRate),
+      Replay(Config.ReplayCapacity), Gen(Config.Seed ^ 0xE1) {
+  assert(Config.ObsDim > 0 && Config.NumActions > 0 &&
+         "DqnConfig requires ObsDim and NumActions");
+  QTarget.copyFrom(Q);
+}
+
+double DqnAgent::epsilon() const {
+  double Frac = std::min(1.0, static_cast<double>(TotalSteps) /
+                                  Config.EpsilonDecaySteps);
+  return Config.EpsilonStart +
+         Frac * (Config.EpsilonEnd - Config.EpsilonStart);
+}
+
+int DqnAgent::act(const std::vector<float> &Obs) {
+  return argmax(Q.forward1(Obs));
+}
+
+Status DqnAgent::train(core::Env &E, int NumEpisodes,
+                       const ProgressFn &Progress) {
+  for (int Episode = 0; Episode < NumEpisodes; ++Episode) {
+    CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+    std::vector<float> State = squashObservation(Obs.Ints);
+    double Total = 0.0;
+    for (size_t Step = 0; Step < Config.MaxEpisodeSteps; ++Step) {
+      int Action;
+      if (Gen.chance(epsilon()))
+        Action = static_cast<int>(Gen.bounded(Config.NumActions));
+      else
+        Action = argmax(Q.forward1(State));
+      CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(Action));
+      std::vector<float> Next = squashObservation(R.Obs.Ints);
+      Replay.add({State, Action, R.Reward, Next, R.Done},
+                 /*Priority=*/1.0 + std::abs(R.Reward));
+      Total += R.Reward;
+      State = std::move(Next);
+      ++TotalSteps;
+      if (TotalSteps >= Config.WarmupSteps &&
+          TotalSteps % Config.LearnEverySteps == 0)
+        learnStep();
+      if (R.Done)
+        break;
+    }
+    if (Progress)
+      Progress(Episode, Total);
+  }
+  return Status::ok();
+}
+
+void DqnAgent::learnStep() {
+  size_t N = std::min(Config.BatchSize, Replay.size());
+  if (N == 0)
+    return;
+  PrioritizedReplayBuffer::Sample S = Replay.sample(N, Gen);
+
+  Matrix X(N, Config.ObsDim), XNext(N, Config.ObsDim);
+  for (size_t I = 0; I < N; ++I) {
+    const Transition &T = Replay.at(S.Indices[I]);
+    std::copy(T.Obs.begin(), T.Obs.end(), X.rowPtr(I));
+    std::copy(T.NextObs.begin(), T.NextObs.end(), XNext.rowPtr(I));
+  }
+
+  // Double DQN targets: argmax from the online net, value from the target.
+  Matrix QNextOnline = Q.forward(XNext);
+  Matrix QNextTarget = QTarget.forward(XNext);
+  std::vector<double> Targets(N);
+  for (size_t I = 0; I < N; ++I) {
+    const Transition &T = Replay.at(S.Indices[I]);
+    double Target = T.Reward;
+    if (!T.Done) {
+      std::vector<float> Row(QNextOnline.rowPtr(I),
+                             QNextOnline.rowPtr(I) + Config.NumActions);
+      int Best = argmax(Row);
+      Target += Config.Gamma *
+                static_cast<double>(QNextTarget.at(I, Best));
+    }
+    Targets[I] = Target;
+  }
+
+  Matrix QValues = Q.forward(X); // Re-forward to cache activations for X.
+  Matrix dQ(N, Config.NumActions);
+  for (size_t I = 0; I < N; ++I) {
+    const Transition &T = Replay.at(S.Indices[I]);
+    double Td = static_cast<double>(QValues.at(I, T.Action)) - Targets[I];
+    Replay.updatePriority(S.Indices[I], std::abs(Td));
+    dQ.at(I, T.Action) = static_cast<float>(
+        S.Weights[I] * 2.0 * Td / static_cast<double>(N));
+  }
+  Q.backward(dQ);
+  std::vector<Param *> Params = Q.params();
+  Optimizer.step(Params);
+
+  if (++Updates % Config.TargetSyncEverySteps == 0)
+    QTarget.copyFrom(Q);
+}

@@ -1,0 +1,71 @@
+//===- rl/Dqn.h - APEX-style prioritized DQN --------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Double DQN with prioritized experience replay and a target network —
+/// the single-process core of APEX (Horgan et al., ICML'18), the third
+/// Table VI agent. (The paper runs RLlib's distributed APEX; the learning
+/// rule is identical, the actor fleet is not.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_DQN_H
+#define COMPILER_GYM_RL_DQN_H
+
+#include "rl/Agent.h"
+#include "rl/Nn.h"
+#include "rl/ReplayBuffer.h"
+
+namespace compiler_gym {
+namespace rl {
+
+/// DQN hyperparameters.
+struct DqnConfig {
+  size_t ObsDim = 0;
+  size_t NumActions = 0;
+  size_t HiddenSize = 64;
+  size_t ReplayCapacity = 20000;
+  size_t BatchSize = 64;
+  size_t LearnEverySteps = 4;
+  size_t TargetSyncEverySteps = 500;
+  size_t WarmupSteps = 200;
+  double Gamma = 0.99;
+  double LearningRate = 1e-3;
+  double EpsilonStart = 1.0;
+  double EpsilonEnd = 0.05;
+  double EpsilonDecaySteps = 5000;
+  size_t MaxEpisodeSteps = 45;
+  uint64_t Seed = 0xD05EEDull;
+};
+
+class DqnAgent : public Agent {
+public:
+  explicit DqnAgent(const DqnConfig &Config);
+
+  std::string name() const override { return "APEX-DQN"; }
+  Status train(core::Env &E, int NumEpisodes,
+               const ProgressFn &Progress = {}) override;
+  int act(const std::vector<float> &Obs) override;
+  size_t maxEpisodeSteps() const override { return Config.MaxEpisodeSteps; }
+
+private:
+  void learnStep();
+  double epsilon() const;
+
+  DqnConfig Config;
+  Mlp Q;
+  Mlp QTarget;
+  AdamOptimizer Optimizer;
+  PrioritizedReplayBuffer Replay;
+  Rng Gen;
+  size_t TotalSteps = 0;
+  size_t Updates = 0;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_DQN_H

@@ -1,0 +1,188 @@
+//===- rl/Ggnn.cpp --------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Ggnn.h"
+
+#include "util/Hash.h"
+
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+using analysis::ProgramGraph;
+
+GgnnRegressor::GgnnRegressor(const GgnnConfig &Config)
+    : Config(Config),
+      Embedding([&] {
+        Rng Gen(Config.Seed);
+        return Param(Matrix::xavier(Config.VocabSize, Config.Hidden, Gen));
+      }()),
+      WSelf([&] {
+        Rng Gen(Config.Seed ^ 1);
+        return Param(Matrix::xavier(Config.Hidden, Config.Hidden, Gen));
+      }()),
+      BSelf(Param(Matrix(1, Config.Hidden))),
+      WOut([&] {
+        Rng Gen(Config.Seed ^ 2);
+        return Param(Matrix::xavier(Config.Hidden, 1, Gen));
+      }()),
+      BOut(Param(Matrix(1, 1))), Optimizer(Config.LearningRate) {
+  for (int F = 0; F < 3; ++F) {
+    Rng Gen(Config.Seed ^ (0x10 + F));
+    WFlow.emplace_back(Matrix::xavier(Config.Hidden, Config.Hidden, Gen));
+  }
+}
+
+void GgnnRegressor::setNormalization(double Mean, double Std) {
+  TargetMean = Mean;
+  TargetStd = Std > 1e-9 ? Std : 1.0;
+}
+
+int GgnnRegressor::vocabOf(const ProgramGraph::Node &Node) const {
+  uint64_t H = hashCombine(static_cast<uint64_t>(Node.Kind) * 977,
+                           static_cast<uint64_t>(Node.Feature));
+  return static_cast<int>(H % Config.VocabSize);
+}
+
+void GgnnRegressor::forward(const ProgramGraph &G, ForwardCache &Cache) {
+  size_t N = G.numNodes();
+  Cache.NodeVocab.resize(N);
+  Matrix H0(N, Config.Hidden);
+  for (size_t V = 0; V < N; ++V) {
+    Cache.NodeVocab[V] = vocabOf(G.Nodes[V]);
+    const float *Row = Embedding.Value.rowPtr(Cache.NodeVocab[V]);
+    std::copy(Row, Row + Config.Hidden, H0.rowPtr(V));
+  }
+  Cache.H.clear();
+  Cache.Pre.clear();
+  Cache.H.push_back(std::move(H0));
+
+  for (int Round = 0; Round < Config.Rounds; ++Round) {
+    const Matrix &H = Cache.H.back();
+    // Messages per flow: for every edge u->v, msg[v] += H[u] @ WFlow[f].
+    // Computed as (H @ WFlow) gathered over edges.
+    Matrix Pre = matmul(H, WSelf.Value);
+    addBiasRows(Pre, BSelf.Value);
+    std::vector<Matrix> HW;
+    for (int F = 0; F < 3; ++F)
+      HW.push_back(matmul(H, WFlow[F].Value));
+    for (const ProgramGraph::Edge &E : G.Edges) {
+      const float *Src = HW[static_cast<int>(E.Flow)].rowPtr(E.Source);
+      float *Dst = Pre.rowPtr(E.Target);
+      for (size_t K = 0; K < Config.Hidden; ++K)
+        Dst[K] += Src[K];
+    }
+    Cache.Pre.push_back(Pre);
+    Matrix HNext = Pre;
+    for (float &V : HNext.data())
+      V = std::tanh(V);
+    Cache.H.push_back(std::move(HNext));
+  }
+
+  // Mean-pool readout.
+  const Matrix &HFinal = Cache.H.back();
+  Cache.Pooled = Matrix(1, Config.Hidden);
+  for (size_t V = 0; V < N; ++V) {
+    const float *Row = HFinal.rowPtr(V);
+    float *P = Cache.Pooled.rowPtr(0);
+    for (size_t K = 0; K < Config.Hidden; ++K)
+      P[K] += Row[K];
+  }
+  for (float &V : Cache.Pooled.data())
+    V /= static_cast<float>(std::max<size_t>(1, N));
+  Matrix Out = matmul(Cache.Pooled, WOut.Value);
+  Cache.Output = static_cast<double>(Out.at(0, 0)) +
+                 static_cast<double>(BOut.Value.at(0, 0));
+}
+
+void GgnnRegressor::backward(const ProgramGraph &G,
+                             const ForwardCache &Cache, double dOutput) {
+  size_t N = G.numNodes();
+  // Readout.
+  BOut.Grad.at(0, 0) += static_cast<float>(dOutput);
+  for (size_t K = 0; K < Config.Hidden; ++K)
+    WOut.Grad.at(K, 0) += static_cast<float>(dOutput) *
+                          Cache.Pooled.at(0, K);
+  Matrix dH(N, Config.Hidden);
+  float PoolScale =
+      static_cast<float>(dOutput) / static_cast<float>(std::max<size_t>(1, N));
+  for (size_t V = 0; V < N; ++V) {
+    float *Row = dH.rowPtr(V);
+    for (size_t K = 0; K < Config.Hidden; ++K)
+      Row[K] = PoolScale * WOut.Value.at(K, 0);
+  }
+
+  // Unrolled rounds, in reverse.
+  for (int Round = Config.Rounds - 1; Round >= 0; --Round) {
+    const Matrix &Pre = Cache.Pre[Round];
+    const Matrix &H = Cache.H[Round];
+    // Through tanh.
+    Matrix dPre = dH;
+    for (size_t I = 0; I < dPre.data().size(); ++I) {
+      float T = std::tanh(Pre.data()[I]);
+      dPre.data()[I] *= 1.0f - T * T;
+    }
+    // Self path.
+    Matrix dWSelf = matmulTransA(H, dPre);
+    for (size_t I = 0; I < dWSelf.data().size(); ++I)
+      WSelf.Grad.data()[I] += dWSelf.data()[I];
+    Matrix dBSelf = sumRows(dPre);
+    for (size_t I = 0; I < dBSelf.data().size(); ++I)
+      BSelf.Grad.data()[I] += dBSelf.data()[I];
+    Matrix dHPrev = matmulTransB(dPre, WSelf.Value);
+    // Message paths: gather dPre[target] into per-flow pseudo-batches.
+    for (int F = 0; F < 3; ++F) {
+      Matrix dMsgAtSource(N, Config.Hidden);
+      bool Any = false;
+      for (const ProgramGraph::Edge &E : G.Edges) {
+        if (static_cast<int>(E.Flow) != F)
+          continue;
+        Any = true;
+        const float *Src = dPre.rowPtr(E.Target);
+        float *Dst = dMsgAtSource.rowPtr(E.Source);
+        for (size_t K = 0; K < Config.Hidden; ++K)
+          Dst[K] += Src[K];
+      }
+      if (!Any)
+        continue;
+      // dWFlow += H^T dMsgAtSource ; dHPrev += dMsgAtSource WFlow^T.
+      Matrix dW = matmulTransA(H, dMsgAtSource);
+      for (size_t I = 0; I < dW.data().size(); ++I)
+        WFlow[F].Grad.data()[I] += dW.data()[I];
+      Matrix dVia = matmulTransB(dMsgAtSource, WFlow[F].Value);
+      for (size_t I = 0; I < dVia.data().size(); ++I)
+        dHPrev.data()[I] += dVia.data()[I];
+    }
+    dH = std::move(dHPrev);
+  }
+
+  // Embedding rows.
+  for (size_t V = 0; V < N; ++V) {
+    float *Row = Embedding.Grad.rowPtr(Cache.NodeVocab[V]);
+    const float *Src = dH.rowPtr(V);
+    for (size_t K = 0; K < Config.Hidden; ++K)
+      Row[K] += Src[K];
+  }
+}
+
+double GgnnRegressor::predict(const ProgramGraph &G) {
+  ForwardCache Cache;
+  forward(G, Cache);
+  return Cache.Output * TargetStd + TargetMean;
+}
+
+double GgnnRegressor::trainStep(const ProgramGraph &G, double Target) {
+  ForwardCache Cache;
+  forward(G, Cache);
+  double NormTarget = (Target - TargetMean) / TargetStd;
+  double Err = Cache.Output - NormTarget;
+  backward(G, Cache, 2.0 * Err);
+  std::vector<Param *> Params = {&Embedding, &WSelf, &BSelf, &WOut, &BOut};
+  for (Param &P : WFlow)
+    Params.push_back(&P);
+  Optimizer.step(Params);
+  return Err * Err;
+}

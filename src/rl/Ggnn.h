@@ -1,0 +1,79 @@
+//===- rl/Ggnn.h - Gated graph network cost model ----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A graph neural network regressor over ProGraML program graphs,
+/// reproducing the paper's Fig 8 experiment: learn to predict a program's
+/// instruction count from its graph using the State Transition Dataset.
+/// Message passing uses per-flow (control/data/call) linear messages and a
+/// tanh node update, unrolled for a fixed number of rounds with shared
+/// weights and trained end-to-end with Adam (a tanh-updated simplification
+/// of Li et al.'s GRU-updated GGNN; the propagation structure is the
+/// same).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_GGNN_H
+#define COMPILER_GYM_RL_GGNN_H
+
+#include "analysis/ProGraML.h"
+#include "rl/Nn.h"
+
+namespace compiler_gym {
+namespace rl {
+
+/// GGNN hyperparameters.
+struct GgnnConfig {
+  size_t Hidden = 32;
+  int Rounds = 2;        ///< Message-passing rounds (paper: two).
+  size_t VocabSize = 96; ///< Node-embedding rows (hashed node features).
+  double LearningRate = 2e-3;
+  uint64_t Seed = 0x66AA;
+};
+
+/// Graph-level scalar regressor.
+class GgnnRegressor {
+public:
+  explicit GgnnRegressor(const GgnnConfig &Config);
+
+  /// Sets target normalization (fit on the training split).
+  void setNormalization(double Mean, double Std);
+
+  /// Predicts the (denormalized) target for \p G.
+  double predict(const analysis::ProgramGraph &G);
+
+  /// One SGD step on (G, Target); returns the squared normalized error.
+  double trainStep(const analysis::ProgramGraph &G, double Target);
+
+private:
+  struct ForwardCache {
+    std::vector<int> NodeVocab;       ///< Embedding row per node.
+    std::vector<Matrix> H;            ///< Node states per round (0..R).
+    std::vector<Matrix> Pre;          ///< Pre-activations per round (1..R).
+    Matrix Pooled;                    ///< (1 x Hidden) mean pool.
+    double Output = 0.0;              ///< Normalized prediction.
+  };
+
+  void forward(const analysis::ProgramGraph &G, ForwardCache &Cache);
+  void backward(const analysis::ProgramGraph &G, const ForwardCache &Cache,
+                double dOutput);
+
+  int vocabOf(const analysis::ProgramGraph::Node &Node) const;
+
+  GgnnConfig Config;
+  Param Embedding;                       ///< (Vocab x Hidden).
+  Param WSelf, BSelf;                    ///< Node update.
+  std::vector<Param> WFlow;              ///< One per edge flow (3).
+  Param WOut, BOut;                      ///< Readout.
+  AdamOptimizer Optimizer;
+  double TargetMean = 0.0;
+  double TargetStd = 1.0;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_GGNN_H

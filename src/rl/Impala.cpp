@@ -1,0 +1,143 @@
+//===- rl/Impala.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Impala.h"
+
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+ImpalaAgent::ImpalaAgent(const ImpalaConfig &Config)
+    : Config(Config),
+      Policy({Config.ObsDim, Config.HiddenSize, Config.NumActions},
+             Activation::Tanh, Config.Seed),
+      BehaviourPolicy({Config.ObsDim, Config.HiddenSize, Config.NumActions},
+                      Activation::Tanh, Config.Seed),
+      Value({Config.ObsDim, Config.HiddenSize, 1}, Activation::Tanh,
+            Config.Seed ^ 0xBEE),
+      Optimizer(Config.LearningRate), Gen(Config.Seed ^ 0x44) {
+  assert(Config.ObsDim > 0 && Config.NumActions > 0 &&
+         "ImpalaConfig requires ObsDim and NumActions");
+  BehaviourPolicy.copyFrom(Policy);
+}
+
+int ImpalaAgent::act(const std::vector<float> &Obs) {
+  return argmax(Policy.forward1(Obs));
+}
+
+Status ImpalaAgent::train(core::Env &E, int NumEpisodes,
+                          const ProgressFn &Progress) {
+  PolicyFn Behaviour = [this](const std::vector<float> &Obs) {
+    return BehaviourPolicy.forward1(Obs);
+  };
+  ValueFn ValueCall = [this](const std::vector<float> &Obs) {
+    return static_cast<double>(Value.forward1(Obs)[0]);
+  };
+  int Collected = 0;
+  while (Collected < NumEpisodes) {
+    std::vector<Trajectory> Batch;
+    for (size_t B = 0;
+         B < Config.EpisodesPerBatch && Collected < NumEpisodes; ++B) {
+      CG_ASSIGN_OR_RETURN(
+          Trajectory Traj,
+          collectEpisode(E, Behaviour, ValueCall, Config.MaxEpisodeSteps,
+                         Gen));
+      if (Progress)
+        Progress(Collected, Traj.TotalReward);
+      ++Collected;
+      ++EpisodesSinceSync;
+      Batch.push_back(std::move(Traj));
+    }
+    update(Batch);
+    if (EpisodesSinceSync >= Config.SyncEveryEpisodes) {
+      BehaviourPolicy.copyFrom(Policy);
+      EpisodesSinceSync = 0;
+    }
+  }
+  return Status::ok();
+}
+
+void ImpalaAgent::update(const std::vector<Trajectory> &Batch) {
+  // Assemble all timesteps, computing V-trace targets per trajectory.
+  std::vector<const std::vector<float> *> Obs;
+  std::vector<int> Actions;
+  std::vector<double> PgAdvantages, VtraceTargets;
+
+  for (const Trajectory &Traj : Batch) {
+    size_t T = Traj.length();
+    if (T == 0)
+      continue;
+    // Current-policy log-probs and values.
+    std::vector<double> Rho(T), Values(T);
+    for (size_t I = 0; I < T; ++I) {
+      std::vector<float> Logits = Policy.forward1(Traj.Observations[I]);
+      double NewLp = logProb(Logits, Traj.Actions[I]);
+      Rho[I] = std::min(Config.RhoMax, std::exp(NewLp - Traj.LogProbs[I]));
+      Values[I] = Traj.Values[I];
+    }
+    // V-trace recursion (bootstrap value 0 at episode end).
+    std::vector<double> Vs(T);
+    double NextVs = 0.0, NextValue = 0.0;
+    for (size_t I = T; I-- > 0;) {
+      double C = std::min(Config.CMax, Rho[I]);
+      double Delta =
+          Rho[I] * (Traj.Rewards[I] + Config.Gamma * NextValue - Values[I]);
+      Vs[I] = Values[I] + Delta +
+              Config.Gamma * C * (NextVs - NextValue);
+      NextVs = Vs[I];
+      NextValue = Values[I];
+    }
+    for (size_t I = 0; I < T; ++I) {
+      double NextVsI = (I + 1 < T) ? Vs[I + 1] : 0.0;
+      Obs.push_back(&Traj.Observations[I]);
+      Actions.push_back(Traj.Actions[I]);
+      PgAdvantages.push_back(
+          Rho[I] * (Traj.Rewards[I] + Config.Gamma * NextVsI - Values[I]));
+      VtraceTargets.push_back(Vs[I]);
+    }
+  }
+  size_t N = Obs.size();
+  if (N == 0)
+    return;
+
+  Matrix X(N, Config.ObsDim);
+  for (size_t I = 0; I < N; ++I)
+    std::copy(Obs[I]->begin(), Obs[I]->end(), X.rowPtr(I));
+
+  Matrix Logits = Policy.forward(X);
+  Matrix dLogits(N, Config.NumActions);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<float> Row(Logits.rowPtr(I),
+                           Logits.rowPtr(I) + Config.NumActions);
+    std::vector<double> P = softmax(Row);
+    double H = 0.0;
+    for (double Pi : P)
+      if (Pi > 1e-12)
+        H -= Pi * std::log(Pi);
+    for (size_t J = 0; J < Config.NumActions; ++J) {
+      double OneHot = (static_cast<int>(J) == Actions[I]) ? 1.0 : 0.0;
+      double G = -PgAdvantages[I] * (OneHot - P[J]);
+      G += Config.EntropyCoef * P[J] * (std::log(std::max(P[J], 1e-12)) + H);
+      dLogits.at(I, J) = static_cast<float>(G / static_cast<double>(N));
+    }
+  }
+  Policy.backward(dLogits);
+
+  Matrix V = Value.forward(X);
+  Matrix dV(N, 1);
+  for (size_t I = 0; I < N; ++I)
+    dV.at(I, 0) = static_cast<float>(
+        Config.ValueCoef * 2.0 *
+        (static_cast<double>(V.at(I, 0)) - VtraceTargets[I]) /
+        static_cast<double>(N));
+  Value.backward(dV);
+
+  std::vector<Param *> All = Policy.params();
+  std::vector<Param *> ValueParams = Value.params();
+  All.insert(All.end(), ValueParams.begin(), ValueParams.end());
+  Optimizer.step(All);
+}

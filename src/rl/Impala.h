@@ -1,0 +1,67 @@
+//===- rl/Impala.h - V-trace actor-critic -----------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IMPALA (Espeholt et al., ICML'18): off-policy actor-critic with V-trace
+/// importance-weighted corrections — the fourth Table VI agent. The
+/// distributed actor fleet is emulated by collecting rollouts with a
+/// periodically synchronized behaviour snapshot of the policy, so learner
+/// and actors genuinely diverge (which is what V-trace corrects).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_IMPALA_H
+#define COMPILER_GYM_RL_IMPALA_H
+
+#include "rl/Agent.h"
+#include "rl/Nn.h"
+
+namespace compiler_gym {
+namespace rl {
+
+/// IMPALA hyperparameters.
+struct ImpalaConfig {
+  size_t ObsDim = 0;
+  size_t NumActions = 0;
+  size_t HiddenSize = 64;
+  size_t EpisodesPerBatch = 4;
+  size_t SyncEveryEpisodes = 12; ///< Behaviour-policy staleness.
+  double Gamma = 0.99;
+  double RhoMax = 1.0; ///< V-trace clipping.
+  double CMax = 1.0;
+  double LearningRate = 6e-4;
+  double EntropyCoef = 0.01;
+  double ValueCoef = 0.5;
+  size_t MaxEpisodeSteps = 45;
+  uint64_t Seed = 0x1337A1A;
+};
+
+class ImpalaAgent : public Agent {
+public:
+  explicit ImpalaAgent(const ImpalaConfig &Config);
+
+  std::string name() const override { return "IMPALA"; }
+  Status train(core::Env &E, int NumEpisodes,
+               const ProgressFn &Progress = {}) override;
+  int act(const std::vector<float> &Obs) override;
+  size_t maxEpisodeSteps() const override { return Config.MaxEpisodeSteps; }
+
+private:
+  void update(const std::vector<Trajectory> &Batch);
+
+  ImpalaConfig Config;
+  Mlp Policy;          ///< Learner policy.
+  Mlp BehaviourPolicy; ///< Stale actor snapshot.
+  Mlp Value;
+  AdamOptimizer Optimizer;
+  Rng Gen;
+  size_t EpisodesSinceSync = 0;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_IMPALA_H

@@ -1,0 +1,134 @@
+//===- rl/Nn.cpp ----------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Nn.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+void AdamOptimizer::step(std::vector<Param *> &Params) {
+  ++T;
+  double B1c = 1.0 - std::pow(B1, static_cast<double>(T));
+  double B2c = 1.0 - std::pow(B2, static_cast<double>(T));
+  for (Param *P : Params) {
+    auto &V = P->Value.data();
+    auto &G = P->Grad.data();
+    auto &M = P->AdamM.data();
+    auto &S = P->AdamV.data();
+    for (size_t I = 0; I < V.size(); ++I) {
+      // Defensive element clip: one exploding batch must not poison the
+      // Adam moments (NaNs would freeze the policy permanently).
+      double Gi = G[I];
+      if (!std::isfinite(Gi))
+        Gi = 0.0;
+      Gi = std::clamp(Gi, -100.0, 100.0);
+      M[I] = static_cast<float>(B1 * M[I] + (1.0 - B1) * Gi);
+      S[I] = static_cast<float>(B2 * S[I] + (1.0 - B2) * Gi * Gi);
+      double MHat = M[I] / B1c;
+      double VHat = S[I] / B2c;
+      V[I] -= static_cast<float>(Lr * MHat / (std::sqrt(VHat) + Eps));
+    }
+    P->zeroGrad();
+  }
+}
+
+Matrix Linear::forward(const Matrix &X) {
+  LastX = X;
+  Matrix Pre = matmul(X, W.Value);
+  addBiasRows(Pre, B.Value);
+  LastPre = Pre;
+  switch (Act) {
+  case Activation::Tanh:
+    for (float &V : Pre.data())
+      V = std::tanh(V);
+    break;
+  case Activation::Relu:
+    for (float &V : Pre.data())
+      V = V > 0.0f ? V : 0.0f;
+    break;
+  case Activation::None:
+    break;
+  }
+  return Pre;
+}
+
+Matrix Linear::backward(const Matrix &dY) {
+  Matrix dPre = dY;
+  switch (Act) {
+  case Activation::Tanh:
+    for (size_t I = 0; I < dPre.data().size(); ++I) {
+      float T = std::tanh(LastPre.data()[I]);
+      dPre.data()[I] *= 1.0f - T * T;
+    }
+    break;
+  case Activation::Relu:
+    for (size_t I = 0; I < dPre.data().size(); ++I)
+      if (LastPre.data()[I] <= 0.0f)
+        dPre.data()[I] = 0.0f;
+    break;
+  case Activation::None:
+    break;
+  }
+  // Accumulate parameter grads.
+  Matrix dW = matmulTransA(LastX, dPre);
+  for (size_t I = 0; I < dW.data().size(); ++I)
+    W.Grad.data()[I] += dW.data()[I];
+  Matrix dB = sumRows(dPre);
+  for (size_t I = 0; I < dB.data().size(); ++I)
+    B.Grad.data()[I] += dB.data()[I];
+  return matmulTransB(dPre, W.Value);
+}
+
+Mlp::Mlp(const std::vector<size_t> &Sizes, Activation Hidden, uint64_t Seed) {
+  Rng Gen(Seed);
+  assert(Sizes.size() >= 2 && "MLP needs at least input and output sizes");
+  for (size_t I = 0; I + 1 < Sizes.size(); ++I) {
+    bool IsLast = I + 2 == Sizes.size();
+    Layers.emplace_back(Sizes[I], Sizes[I + 1],
+                        IsLast ? Activation::None : Hidden, Gen);
+  }
+}
+
+Matrix Mlp::forward(const Matrix &X) {
+  Matrix Cur = X;
+  for (Linear &L : Layers)
+    Cur = L.forward(Cur);
+  return Cur;
+}
+
+Matrix Mlp::backward(const Matrix &dY) {
+  Matrix Cur = dY;
+  for (size_t I = Layers.size(); I-- > 0;)
+    Cur = Layers[I].backward(Cur);
+  return Cur;
+}
+
+std::vector<Param *> Mlp::params() {
+  std::vector<Param *> Out;
+  for (Linear &L : Layers) {
+    Out.push_back(&L.W);
+    Out.push_back(&L.B);
+  }
+  return Out;
+}
+
+void Mlp::copyFrom(const Mlp &Other) {
+  assert(Layers.size() == Other.Layers.size() && "MLP shape mismatch");
+  for (size_t I = 0; I < Layers.size(); ++I) {
+    Layers[I].W.Value = Other.Layers[I].W.Value;
+    Layers[I].B.Value = Other.Layers[I].B.Value;
+  }
+}
+
+std::vector<float> Mlp::forward1(const std::vector<float> &X) {
+  Matrix In(1, X.size());
+  std::copy(X.begin(), X.end(), In.data().begin());
+  Matrix Out = forward(In);
+  return Out.data();
+}

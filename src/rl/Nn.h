@@ -1,0 +1,106 @@
+//===- rl/Nn.h - MLPs with manual backprop and Adam --------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feedforward networks for the RL agents: Linear layers, tanh/ReLU
+/// activations, explicit backward passes, and an Adam optimizer. Networks
+/// are deterministic given their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_NN_H
+#define COMPILER_GYM_RL_NN_H
+
+#include "rl/Tensor.h"
+
+#include <memory>
+#include <vector>
+
+namespace compiler_gym {
+namespace rl {
+
+/// A trainable parameter with gradient and Adam state.
+struct Param {
+  Matrix Value;
+  Matrix Grad;
+  Matrix AdamM;
+  Matrix AdamV;
+
+  explicit Param(Matrix V)
+      : Value(std::move(V)), Grad(Value.rows(), Value.cols()),
+        AdamM(Value.rows(), Value.cols()), AdamV(Value.rows(), Value.cols()) {}
+
+  void zeroGrad() { Grad.fill(0.0f); }
+};
+
+/// Adam update over a set of parameters.
+class AdamOptimizer {
+public:
+  explicit AdamOptimizer(double LearningRate = 1e-3, double Beta1 = 0.9,
+                         double Beta2 = 0.999, double Epsilon = 1e-8)
+      : Lr(LearningRate), B1(Beta1), B2(Beta2), Eps(Epsilon) {}
+
+  /// Applies one update to every param in \p Params and clears grads.
+  void step(std::vector<Param *> &Params);
+
+  void setLearningRate(double NewLr) { Lr = NewLr; }
+
+private:
+  double Lr, B1, B2, Eps;
+  int64_t T = 0;
+};
+
+/// Activation kinds.
+enum class Activation { Tanh, Relu, None };
+
+/// y = act(x W + b), with cached inputs for backward.
+class Linear {
+public:
+  Linear(size_t In, size_t Out, Activation Act, Rng &Gen)
+      : W(Matrix::xavier(In, Out, Gen)), B(Matrix(1, Out)), Act(Act) {}
+
+  /// Forward over a batch (rows = samples).
+  Matrix forward(const Matrix &X);
+
+  /// Backward: dY is the loss gradient at this layer's output; returns the
+  /// gradient at the input. Accumulates into W.Grad/B.Grad.
+  Matrix backward(const Matrix &dY);
+
+  Param W;
+  Param B;
+
+private:
+  Activation Act;
+  Matrix LastX;   ///< Cached input.
+  Matrix LastPre; ///< Cached pre-activation.
+};
+
+/// A stack of Linear layers: hidden layers use \p Hidden activation, the
+/// final layer is linear.
+class Mlp {
+public:
+  Mlp(const std::vector<size_t> &Sizes, Activation Hidden, uint64_t Seed);
+
+  Matrix forward(const Matrix &X);
+  /// Backward from output gradient; returns input gradient.
+  Matrix backward(const Matrix &dY);
+
+  std::vector<Param *> params();
+
+  /// Copies parameter values from \p Other (target networks).
+  void copyFrom(const Mlp &Other);
+
+  /// Convenience: forward over one sample.
+  std::vector<float> forward1(const std::vector<float> &X);
+
+private:
+  std::vector<Linear> Layers;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_NN_H

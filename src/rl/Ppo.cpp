@@ -1,0 +1,166 @@
+//===- rl/Ppo.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+Agent::~Agent() = default;
+
+StatusOr<double> rl::evaluateEpisode(core::Env &E, Agent &A,
+                                     size_t MaxSteps) {
+  CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+  std::vector<float> State = squashObservation(Obs.Ints);
+  double Total = 0.0;
+  for (size_t Step = 0; Step < MaxSteps; ++Step) {
+    int Action = A.act(State);
+    CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(Action));
+    Total += R.Reward;
+    State = squashObservation(R.Obs.Ints);
+    if (R.Done)
+      break;
+  }
+  return Total;
+}
+
+PpoAgent::PpoAgent(const PpoConfig &Config)
+    : Config(Config),
+      Policy({Config.ObsDim, Config.HiddenSize, Config.HiddenSize,
+              Config.NumActions},
+             Activation::Tanh, Config.Seed),
+      Value({Config.ObsDim, Config.HiddenSize, 1}, Activation::Tanh,
+            Config.Seed ^ 0x5A5A5A5A),
+      Optimizer(Config.LearningRate), Gen(Config.Seed ^ 0x77) {
+  assert(Config.ObsDim > 0 && Config.NumActions > 0 &&
+         "PpoConfig requires ObsDim and NumActions");
+}
+
+std::vector<float> PpoAgent::logits(const std::vector<float> &Obs) {
+  return Policy.forward1(Obs);
+}
+
+int PpoAgent::act(const std::vector<float> &Obs) {
+  return argmax(Policy.forward1(Obs));
+}
+
+Status PpoAgent::train(core::Env &E, int NumEpisodes,
+                       const ProgressFn &Progress) {
+  PolicyFn PolicyCall = [this](const std::vector<float> &Obs) {
+    return Policy.forward1(Obs);
+  };
+  ValueFn ValueCall = [this](const std::vector<float> &Obs) {
+    return static_cast<double>(Value.forward1(Obs)[0]);
+  };
+
+  int Collected = 0;
+  while (Collected < NumEpisodes) {
+    std::vector<Trajectory> Batch;
+    for (size_t B = 0;
+         B < Config.EpisodesPerBatch && Collected < NumEpisodes; ++B) {
+      CG_ASSIGN_OR_RETURN(
+          Trajectory Traj,
+          collectEpisode(E, PolicyCall, ValueCall, Config.MaxEpisodeSteps,
+                         Gen));
+      if (Progress)
+        Progress(Collected, Traj.TotalReward);
+      ++Collected;
+      Batch.push_back(std::move(Traj));
+    }
+    update(Batch);
+  }
+  return Status::ok();
+}
+
+void PpoAgent::update(const std::vector<Trajectory> &Batch) {
+  // Flatten the batch.
+  std::vector<const std::vector<float> *> Obs;
+  std::vector<int> Actions;
+  std::vector<double> OldLogProbs, Advantages, Returns;
+  for (const Trajectory &Traj : Batch) {
+    std::vector<double> Adv = gaeAdvantages(Traj.Rewards, Traj.Values,
+                                            Config.Gamma, Config.GaeLambda);
+    std::vector<double> Ret = discountedReturns(Traj.Rewards, Config.Gamma);
+    for (size_t T = 0; T < Traj.length(); ++T) {
+      Obs.push_back(&Traj.Observations[T]);
+      Actions.push_back(Traj.Actions[T]);
+      OldLogProbs.push_back(Traj.LogProbs[T]);
+      Advantages.push_back(Adv[T]);
+      Returns.push_back(Ret[T]);
+    }
+  }
+  size_t N = Obs.size();
+  if (N == 0)
+    return;
+
+  // Advantage normalization.
+  double Mean = 0.0, Var = 0.0;
+  for (double A : Advantages)
+    Mean += A;
+  Mean /= static_cast<double>(N);
+  for (double A : Advantages)
+    Var += (A - Mean) * (A - Mean);
+  double Std = std::sqrt(Var / static_cast<double>(N)) + 1e-8;
+  for (double &A : Advantages)
+    A = (A - Mean) / Std;
+
+  Matrix X(N, Config.ObsDim);
+  for (size_t I = 0; I < N; ++I)
+    std::copy(Obs[I]->begin(), Obs[I]->end(), X.rowPtr(I));
+
+  std::vector<Param *> PolicyParams = Policy.params();
+  std::vector<Param *> ValueParams = Value.params();
+  std::vector<Param *> AllParams = PolicyParams;
+  AllParams.insert(AllParams.end(), ValueParams.begin(), ValueParams.end());
+
+  for (int Epoch = 0; Epoch < Config.EpochsPerBatch; ++Epoch) {
+    // Policy pass.
+    Matrix Logits = Policy.forward(X);
+    Matrix dLogits(N, Config.NumActions);
+    for (size_t I = 0; I < N; ++I) {
+      std::vector<float> Row(Logits.rowPtr(I),
+                             Logits.rowPtr(I) + Config.NumActions);
+      std::vector<double> P = softmax(Row);
+      double NewLp = logProb(Row, Actions[I]);
+      // The exp can overflow after several epochs on the same batch; a
+      // hard clamp keeps the surrogate gradient finite (standard practice).
+      double Ratio = std::min(20.0, std::exp(NewLp - OldLogProbs[I]));
+      double A = Advantages[I];
+      bool Clipped = (A > 0 && Ratio > 1.0 + Config.ClipEps) ||
+                     (A < 0 && Ratio < 1.0 - Config.ClipEps);
+      double Scale = Clipped ? 0.0 : Ratio * A;
+      double H = 0.0;
+      for (double Pi : P)
+        if (Pi > 1e-12)
+          H -= Pi * std::log(Pi);
+      for (size_t J = 0; J < Config.NumActions; ++J) {
+        double OneHot = (static_cast<int>(J) == Actions[I]) ? 1.0 : 0.0;
+        // Clipped surrogate (ascent -> negative for descent).
+        double G = -Scale * (OneHot - P[J]);
+        // Entropy bonus: descend -EntropyCoef * H.
+        G += Config.EntropyCoef * P[J] * (std::log(std::max(P[J], 1e-12)) +
+                                          H);
+        dLogits.at(I, J) = static_cast<float>(G / static_cast<double>(N));
+      }
+    }
+    Policy.backward(dLogits);
+
+    // Value pass.
+    Matrix V = Value.forward(X);
+    Matrix dV(N, 1);
+    for (size_t I = 0; I < N; ++I)
+      dV.at(I, 0) = static_cast<float>(
+          Config.ValueCoef * 2.0 *
+          (static_cast<double>(V.at(I, 0)) - Returns[I]) /
+          static_cast<double>(N));
+    Value.backward(dV);
+
+    Optimizer.step(AllParams);
+  }
+}

@@ -1,0 +1,66 @@
+//===- rl/Ppo.h - Proximal Policy Optimization ------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PPO (Schulman et al., 2017): clipped-surrogate policy gradient with GAE
+/// advantages — the strongest of the four agents in the paper's Table VI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_PPO_H
+#define COMPILER_GYM_RL_PPO_H
+
+#include "rl/Agent.h"
+#include "rl/Nn.h"
+
+namespace compiler_gym {
+namespace rl {
+
+/// PPO hyperparameters.
+struct PpoConfig {
+  size_t ObsDim = 0;       ///< Required.
+  size_t NumActions = 0;   ///< Required.
+  size_t HiddenSize = 64;
+  size_t EpisodesPerBatch = 4;
+  int EpochsPerBatch = 4;
+  double Gamma = 0.99;
+  double GaeLambda = 0.95;
+  double ClipEps = 0.2;
+  double LearningRate = 3e-4;
+  double EntropyCoef = 0.01;
+  double ValueCoef = 0.5;
+  size_t MaxEpisodeSteps = 45;
+  uint64_t Seed = 0xAB5EED;
+};
+
+/// The PPO agent.
+class PpoAgent : public Agent {
+public:
+  explicit PpoAgent(const PpoConfig &Config);
+
+  std::string name() const override { return "PPO"; }
+  Status train(core::Env &E, int NumEpisodes,
+               const ProgressFn &Progress = {}) override;
+  int act(const std::vector<float> &Obs) override;
+  size_t maxEpisodeSteps() const override { return Config.MaxEpisodeSteps; }
+
+  /// Stochastic policy logits (exposed for tests).
+  std::vector<float> logits(const std::vector<float> &Obs);
+
+private:
+  void update(const std::vector<Trajectory> &Batch);
+
+  PpoConfig Config;
+  Mlp Policy;
+  Mlp Value;
+  AdamOptimizer Optimizer;
+  Rng Gen;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_PPO_H

@@ -1,0 +1,72 @@
+//===- rl/QLearning.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/QLearning.h"
+
+#include "util/Hash.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+QLearningAgent::QLearningAgent(const QLearningConfig &Config)
+    : Config(Config), Gen(Config.Seed) {
+  assert(Config.NumActions > 0 && "QLearningConfig requires NumActions");
+}
+
+uint64_t QLearningAgent::key(const std::vector<float> &Obs) const {
+  // Coarse discretization keeps the table small: round to one decimal.
+  uint64_t H = 0xCBF29CE484222325ull;
+  for (float V : Obs) {
+    int64_t Q = static_cast<int64_t>(std::lround(V * 10.0f));
+    H = hashCombine(H, static_cast<uint64_t>(Q));
+  }
+  return H;
+}
+
+std::vector<double> &QLearningAgent::row(uint64_t Key) {
+  auto It = Table.find(Key);
+  if (It != Table.end())
+    return It->second;
+  return Table.emplace(Key, std::vector<double>(Config.NumActions, 0.0))
+      .first->second;
+}
+
+int QLearningAgent::act(const std::vector<float> &Obs) {
+  std::vector<double> &Q = row(key(Obs));
+  return static_cast<int>(std::max_element(Q.begin(), Q.end()) - Q.begin());
+}
+
+Status QLearningAgent::train(core::Env &E, int NumEpisodes,
+                             const ProgressFn &Progress) {
+  for (int Episode = 0; Episode < NumEpisodes; ++Episode) {
+    CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+    std::vector<float> State = squashObservation(Obs.Ints);
+    double Total = 0.0;
+    for (size_t Step = 0; Step < Config.MaxEpisodeSteps; ++Step) {
+      uint64_t Key = key(State);
+      int Action = Gen.chance(Config.Epsilon)
+                       ? static_cast<int>(Gen.bounded(Config.NumActions))
+                       : act(State);
+      CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(Action));
+      std::vector<float> Next = squashObservation(R.Obs.Ints);
+      std::vector<double> &NextQ = row(key(Next));
+      double Best = *std::max_element(NextQ.begin(), NextQ.end());
+      std::vector<double> &Q = row(Key);
+      double Target = R.Reward + (R.Done ? 0.0 : Config.Gamma * Best);
+      Q[Action] += Config.LearningRate * (Target - Q[Action]);
+      Total += R.Reward;
+      State = std::move(Next);
+      if (R.Done)
+        break;
+    }
+    if (Progress)
+      Progress(Episode, Total);
+  }
+  return Status::ok();
+}

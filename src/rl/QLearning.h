@@ -1,0 +1,58 @@
+//===- rl/QLearning.h - Tabular Q-learning ----------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tabular Q-learning over hashed observations — the paper ships a
+/// Q-learning code sample alongside the heavyweight agents; this is that
+/// sample's engine, and doubles as a sanity baseline in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_QLEARNING_H
+#define COMPILER_GYM_RL_QLEARNING_H
+
+#include "rl/Agent.h"
+
+#include <unordered_map>
+
+namespace compiler_gym {
+namespace rl {
+
+/// Tabular Q-learning configuration.
+struct QLearningConfig {
+  size_t NumActions = 0;
+  double Gamma = 0.95;
+  double LearningRate = 0.2;
+  double Epsilon = 0.15;
+  size_t MaxEpisodeSteps = 20;
+  uint64_t Seed = 0x9L;
+};
+
+class QLearningAgent : public Agent {
+public:
+  explicit QLearningAgent(const QLearningConfig &Config);
+
+  std::string name() const override { return "Q-learning"; }
+  Status train(core::Env &E, int NumEpisodes,
+               const ProgressFn &Progress = {}) override;
+  int act(const std::vector<float> &Obs) override;
+  size_t maxEpisodeSteps() const override { return Config.MaxEpisodeSteps; }
+
+  size_t tableSize() const { return Table.size(); }
+
+private:
+  uint64_t key(const std::vector<float> &Obs) const;
+  std::vector<double> &row(uint64_t Key);
+
+  QLearningConfig Config;
+  std::unordered_map<uint64_t, std::vector<double>> Table;
+  Rng Gen;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_QLEARNING_H

@@ -1,0 +1,56 @@
+//===- rl/ReplayBuffer.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/ReplayBuffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+void PrioritizedReplayBuffer::add(Transition T, double Priority) {
+  Priority = std::max(1e-6, Priority);
+  if (Items.size() < Capacity) {
+    Items.push_back(std::move(T));
+    Priorities.push_back(Priority);
+    return;
+  }
+  Items[Next] = std::move(T);
+  Priorities[Next] = Priority;
+  Next = (Next + 1) % Capacity;
+}
+
+PrioritizedReplayBuffer::Sample
+PrioritizedReplayBuffer::sample(size_t N, Rng &Gen) const {
+  Sample Out;
+  if (Items.empty())
+    return Out;
+  std::vector<double> Weights(Priorities.size());
+  double Total = 0.0;
+  for (size_t I = 0; I < Priorities.size(); ++I) {
+    Weights[I] = std::pow(Priorities[I], Alpha);
+    Total += Weights[I];
+  }
+  double MaxWeight = 0.0;
+  for (size_t K = 0; K < N; ++K) {
+    size_t Index = Gen.weightedIndex(Weights);
+    double P = Weights[Index] / Total;
+    double W = std::pow(static_cast<double>(Items.size()) * P, -Beta);
+    Out.Indices.push_back(Index);
+    Out.Weights.push_back(W);
+    MaxWeight = std::max(MaxWeight, W);
+  }
+  if (MaxWeight > 0.0)
+    for (double &W : Out.Weights)
+      W /= MaxWeight;
+  return Out;
+}
+
+void PrioritizedReplayBuffer::updatePriority(size_t Index, double Priority) {
+  if (Index < Priorities.size())
+    Priorities[Index] = std::max(1e-6, Priority);
+}

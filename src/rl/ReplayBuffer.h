@@ -1,0 +1,71 @@
+//===- rl/ReplayBuffer.h - Prioritized experience replay --------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A prioritized replay buffer (proportional variant) for the APEX-style
+/// DQN agent. Priorities follow |TD error| + eps with alpha exponent and
+/// importance-sampling weights, as in Horgan et al. (ICML'18), minus the
+/// distributed actors (single-process here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_REPLAYBUFFER_H
+#define COMPILER_GYM_RL_REPLAYBUFFER_H
+
+#include "util/Rng.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace compiler_gym {
+namespace rl {
+
+/// One transition.
+struct Transition {
+  std::vector<float> Obs;
+  int Action = 0;
+  double Reward = 0.0;
+  std::vector<float> NextObs;
+  bool Done = false;
+};
+
+/// Fixed-capacity ring buffer with proportional prioritized sampling.
+class PrioritizedReplayBuffer {
+public:
+  PrioritizedReplayBuffer(size_t Capacity, double Alpha = 0.6,
+                          double Beta = 0.4)
+      : Capacity(Capacity), Alpha(Alpha), Beta(Beta) {}
+
+  void add(Transition T, double Priority = 1.0);
+
+  size_t size() const { return Items.size(); }
+
+  struct Sample {
+    std::vector<size_t> Indices;
+    std::vector<double> Weights; ///< Importance-sampling weights (max 1).
+  };
+
+  /// Samples \p N indices proportional to priority^alpha.
+  Sample sample(size_t N, Rng &Gen) const;
+
+  const Transition &at(size_t Index) const { return Items[Index]; }
+
+  /// Updates priorities after a learning step.
+  void updatePriority(size_t Index, double Priority);
+
+private:
+  size_t Capacity;
+  double Alpha;
+  double Beta;
+  size_t Next = 0;
+  std::vector<Transition> Items;
+  std::vector<double> Priorities;
+};
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_REPLAYBUFFER_H

@@ -1,0 +1,61 @@
+//===- rl/Rollout.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Rollout.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+StatusOr<Trajectory> rl::collectEpisode(core::Env &E, const PolicyFn &Policy,
+                                        const ValueFn &Value, size_t MaxSteps,
+                                        Rng &Gen) {
+  Trajectory Traj;
+  CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+  std::vector<float> State = squashObservation(Obs.Ints);
+  for (size_t Step = 0; Step < MaxSteps; ++Step) {
+    std::vector<float> Logits = Policy(State);
+    int Action = sampleCategorical(Logits, Gen);
+    double Lp = logProb(Logits, Action);
+    double V = Value ? Value(State) : 0.0;
+
+    CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(Action));
+    Traj.Observations.push_back(State);
+    Traj.Actions.push_back(Action);
+    Traj.Rewards.push_back(R.Reward);
+    Traj.LogProbs.push_back(Lp);
+    Traj.Values.push_back(V);
+    Traj.TotalReward += R.Reward;
+    State = squashObservation(R.Obs.Ints);
+    if (R.Done)
+      break;
+  }
+  return Traj;
+}
+
+std::vector<double> rl::discountedReturns(const std::vector<double> &Rewards,
+                                          double Gamma) {
+  std::vector<double> Returns(Rewards.size());
+  double Acc = 0.0;
+  for (size_t I = Rewards.size(); I-- > 0;) {
+    Acc = Rewards[I] + Gamma * Acc;
+    Returns[I] = Acc;
+  }
+  return Returns;
+}
+
+std::vector<double> rl::gaeAdvantages(const std::vector<double> &Rewards,
+                                      const std::vector<double> &Values,
+                                      double Gamma, double Lambda) {
+  std::vector<double> Adv(Rewards.size());
+  double Acc = 0.0;
+  for (size_t I = Rewards.size(); I-- > 0;) {
+    double NextValue = (I + 1 < Values.size()) ? Values[I + 1] : 0.0;
+    double Delta = Rewards[I] + Gamma * NextValue - Values[I];
+    Acc = Delta + Gamma * Lambda * Acc;
+    Adv[I] = Acc;
+  }
+  return Adv;
+}

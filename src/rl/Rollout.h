@@ -1,0 +1,64 @@
+//===- rl/Rollout.h - Trajectory collection ----------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trajectory containers and collection helpers shared by the agents:
+/// run a policy in an Env for one episode, record (obs, action, reward,
+/// logprob, value), and compute returns / GAE advantages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_ROLLOUT_H
+#define COMPILER_GYM_RL_ROLLOUT_H
+
+#include "core/Env.h"
+#include "rl/Distributions.h"
+
+#include <functional>
+#include <vector>
+
+namespace compiler_gym {
+namespace rl {
+
+/// One collected episode.
+struct Trajectory {
+  std::vector<std::vector<float>> Observations; ///< o_0 .. o_{T-1}.
+  std::vector<int> Actions;
+  std::vector<double> Rewards;
+  std::vector<double> LogProbs;  ///< Behaviour-policy log pi(a|o).
+  std::vector<double> Values;    ///< Critic value estimates V(o_t).
+  double TotalReward = 0.0;
+
+  size_t length() const { return Actions.size(); }
+};
+
+/// Policy interface for collection: returns logits for an observation.
+using PolicyFn = std::function<std::vector<float>(const std::vector<float> &)>;
+/// Critic interface: value estimate for an observation.
+using ValueFn = std::function<double(const std::vector<float> &)>;
+
+/// Runs one episode of at most \p MaxSteps in \p E, sampling from
+/// \p Policy. The env's default observation space must be Int64List
+/// (Autophase/InstCount, possibly wrapped with a histogram).
+StatusOr<Trajectory> collectEpisode(core::Env &E, const PolicyFn &Policy,
+                                    const ValueFn &Value, size_t MaxSteps,
+                                    Rng &Gen);
+
+/// Discounted returns-to-go.
+std::vector<double> discountedReturns(const std::vector<double> &Rewards,
+                                      double Gamma);
+
+/// Generalized advantage estimation; Values has one entry per step
+/// (bootstrap value 0 at episode end — compiler episodes are truncated by
+/// TimeLimit with near-zero tail rewards).
+std::vector<double> gaeAdvantages(const std::vector<double> &Rewards,
+                                  const std::vector<double> &Values,
+                                  double Gamma, double Lambda);
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_ROLLOUT_H

@@ -1,0 +1,94 @@
+//===- rl/Tensor.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Tensor.h"
+
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+Matrix Matrix::xavier(size_t Rows, size_t Cols, Rng &Gen) {
+  Matrix M(Rows, Cols);
+  float Bound = std::sqrt(6.0f / static_cast<float>(Rows + Cols));
+  for (float &V : M.data())
+    V = static_cast<float>(Gen.uniform(-Bound, Bound));
+  return M;
+}
+
+Matrix rl::matmul(const Matrix &A, const Matrix &B) {
+  assert(A.cols() == B.rows() && "matmul shape mismatch");
+  Matrix Out(A.rows(), B.cols());
+  for (size_t I = 0; I < A.rows(); ++I) {
+    const float *ARow = A.rowPtr(I);
+    float *ORow = Out.rowPtr(I);
+    for (size_t K = 0; K < A.cols(); ++K) {
+      float AV = ARow[K];
+      if (AV == 0.0f)
+        continue;
+      const float *BRow = B.rowPtr(K);
+      for (size_t J = 0; J < B.cols(); ++J)
+        ORow[J] += AV * BRow[J];
+    }
+  }
+  return Out;
+}
+
+Matrix rl::matmulTransA(const Matrix &A, const Matrix &B) {
+  assert(A.rows() == B.rows() && "matmulTransA shape mismatch");
+  Matrix Out(A.cols(), B.cols());
+  for (size_t K = 0; K < A.rows(); ++K) {
+    const float *ARow = A.rowPtr(K);
+    const float *BRow = B.rowPtr(K);
+    for (size_t I = 0; I < A.cols(); ++I) {
+      float AV = ARow[I];
+      if (AV == 0.0f)
+        continue;
+      float *ORow = Out.rowPtr(I);
+      for (size_t J = 0; J < B.cols(); ++J)
+        ORow[J] += AV * BRow[J];
+    }
+  }
+  return Out;
+}
+
+Matrix rl::matmulTransB(const Matrix &A, const Matrix &B) {
+  assert(A.cols() == B.cols() && "matmulTransB shape mismatch");
+  Matrix Out(A.rows(), B.rows());
+  for (size_t I = 0; I < A.rows(); ++I) {
+    const float *ARow = A.rowPtr(I);
+    float *ORow = Out.rowPtr(I);
+    for (size_t J = 0; J < B.rows(); ++J) {
+      const float *BRow = B.rowPtr(J);
+      float Acc = 0.0f;
+      for (size_t K = 0; K < A.cols(); ++K)
+        Acc += ARow[K] * BRow[K];
+      ORow[J] = Acc;
+    }
+  }
+  return Out;
+}
+
+void rl::addBiasRows(Matrix &M, const Matrix &Bias) {
+  assert(Bias.rows() == 1 && Bias.cols() == M.cols() && "bias shape");
+  for (size_t I = 0; I < M.rows(); ++I) {
+    float *Row = M.rowPtr(I);
+    const float *B = Bias.rowPtr(0);
+    for (size_t J = 0; J < M.cols(); ++J)
+      Row[J] += B[J];
+  }
+}
+
+Matrix rl::sumRows(const Matrix &M) {
+  Matrix Out(1, M.cols());
+  for (size_t I = 0; I < M.rows(); ++I) {
+    const float *Row = M.rowPtr(I);
+    float *O = Out.rowPtr(0);
+    for (size_t J = 0; J < M.cols(); ++J)
+      O[J] += Row[J];
+  }
+  return Out;
+}

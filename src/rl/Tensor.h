@@ -1,0 +1,80 @@
+//===- rl/Tensor.h - Minimal matrix math ------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small row-major float matrix with the handful of operations the RL
+/// stack needs (matmul, transpose-matmul, elementwise math). Deliberately
+/// minimal: the paper outsources RL to RLlib; this repo implements the four
+/// algorithms of Table VI from scratch on this substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RL_TENSOR_H
+#define COMPILER_GYM_RL_TENSOR_H
+
+#include "util/Rng.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace compiler_gym {
+namespace rl {
+
+/// Row-major 2-D float matrix.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols, float Fill = 0.0f)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  bool empty() const { return Data.empty(); }
+
+  float &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  float at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  float *rowPtr(size_t R) { return Data.data() + R * NumCols; }
+  const float *rowPtr(size_t R) const { return Data.data() + R * NumCols; }
+
+  std::vector<float> &data() { return Data; }
+  const std::vector<float> &data() const { return Data; }
+
+  void fill(float V) { std::fill(Data.begin(), Data.end(), V); }
+
+  /// Xavier-uniform initialization.
+  static Matrix xavier(size_t Rows, size_t Cols, Rng &Gen);
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<float> Data;
+};
+
+/// Out = A (m x k) * B (k x n).
+Matrix matmul(const Matrix &A, const Matrix &B);
+/// Out = A^T (k x m)^T=(m x k)... A is (k x m); result (m x n) = A^T * B.
+Matrix matmulTransA(const Matrix &A, const Matrix &B);
+/// Out (m x k) = A (m x n) * B^T where B is (k x n).
+Matrix matmulTransB(const Matrix &A, const Matrix &B);
+
+/// In-place: adds row vector \p Bias (1 x n) to every row of \p M.
+void addBiasRows(Matrix &M, const Matrix &Bias);
+
+/// Column-sum of M into a (1 x n) matrix (bias gradient).
+Matrix sumRows(const Matrix &M);
+
+} // namespace rl
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RL_TENSOR_H

@@ -1,0 +1,58 @@
+//===- service/CompilationSession.cpp -------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompilationSession.h"
+
+#include <map>
+#include <mutex>
+
+using namespace compiler_gym;
+using namespace compiler_gym::service;
+
+CompilationSession::~CompilationSession() = default;
+
+ActionSpace CompilationSession::currentActionSpace() {
+  std::vector<ActionSpace> Spaces = getActionSpaces();
+  return Spaces.empty() ? ActionSpace{} : Spaces.front();
+}
+
+StatusOr<std::unique_ptr<CompilationSession>> CompilationSession::fork() {
+  return failedPrecondition("this compiler session does not support fork()");
+}
+
+namespace {
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+std::map<std::string, SessionFactory> &factoryMap() {
+  static std::map<std::string, SessionFactory> Factories;
+  return Factories;
+}
+} // namespace
+
+void service::registerCompilationSession(const std::string &CompilerName,
+                                         SessionFactory Factory) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  factoryMap()[CompilerName] = std::move(Factory);
+}
+
+std::unique_ptr<CompilationSession>
+service::createCompilationSession(const std::string &CompilerName) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  auto It = factoryMap().find(CompilerName);
+  if (It == factoryMap().end())
+    return nullptr;
+  return It->second();
+}
+
+std::vector<std::string> service::registeredCompilers() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  std::vector<std::string> Names;
+  for (const auto &[Name, Factory] : factoryMap())
+    Names.push_back(Name);
+  return Names;
+}

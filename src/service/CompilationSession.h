@@ -1,0 +1,90 @@
+//===- service/CompilationSession.h - Compiler integration API --*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CompilationSession interface from §IV-A / Listing 3 of the paper:
+/// the complete contract a compiler must implement to become a
+/// CompilerGym environment. The common runtime (CompilerService) maps
+/// implementations onto the Gym API.
+///
+/// \code
+///   struct MyCompilationSession : public CompilationSession {
+///     std::vector<ActionSpace> getActionSpaces() override {...}
+///     std::vector<ObservationSpaceInfo> getObservationSpaces() override {...}
+///     Status init(const ActionSpace&, const Benchmark&) override {...}
+///     Status applyAction(const Action&, bool& endOfEpisode,
+///                        bool& actionSpaceChanged) override {...}
+///     Status computeObservation(const ObservationSpaceInfo&,
+///                               Observation&) override {...}
+///   };
+///   registerCompilationSession("my-compiler",
+///                              [] { return std::make_unique<My...>(); });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_SERVICE_COMPILATIONSESSION_H
+#define COMPILER_GYM_SERVICE_COMPILATIONSESSION_H
+
+#include "service/Message.h"
+
+#include <functional>
+#include <memory>
+
+namespace compiler_gym {
+namespace service {
+
+/// One episode of compilation: a stateful dialogue between the runtime and
+/// a compiler.
+class CompilationSession {
+public:
+  virtual ~CompilationSession();
+
+  /// The action spaces this compiler supports (first is the default).
+  virtual std::vector<ActionSpace> getActionSpaces() = 0;
+
+  /// The observation spaces this compiler supports.
+  virtual std::vector<ObservationSpaceInfo> getObservationSpaces() = 0;
+
+  /// Begins a session on \p Bench using \p Space.
+  virtual Status init(const ActionSpace &Space,
+                      const datasets::Benchmark &Bench) = 0;
+
+  /// Applies one action. Sets \p EndOfEpisode when the session cannot
+  /// continue, and \p ActionSpaceChanged when the space mutated (fetch the
+  /// new one via currentActionSpace()).
+  virtual Status applyAction(const Action &A, bool &EndOfEpisode,
+                             bool &ActionSpaceChanged) = 0;
+
+  /// Computes one observation of the current state.
+  virtual Status computeObservation(const ObservationSpaceInfo &Space,
+                                    Observation &Out) = 0;
+
+  /// The action space after a change (default: first static space).
+  virtual ActionSpace currentActionSpace();
+
+  /// Deep copy for the fork() operator (§III-B6). Optional.
+  virtual StatusOr<std::unique_ptr<CompilationSession>> fork();
+};
+
+using SessionFactory = std::function<std::unique_ptr<CompilationSession>()>;
+
+/// Registers a compiler integration under \p CompilerName (the analogue of
+/// runtime::createAndRunService<T> from Listing 3).
+void registerCompilationSession(const std::string &CompilerName,
+                                SessionFactory Factory);
+
+/// Instantiates a session for \p CompilerName; nullptr if unregistered.
+std::unique_ptr<CompilationSession>
+createCompilationSession(const std::string &CompilerName);
+
+/// Names of all registered compilers.
+std::vector<std::string> registeredCompilers();
+
+} // namespace service
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_SERVICE_COMPILATIONSESSION_H

@@ -1,0 +1,156 @@
+//===- service/CompilerService.cpp ----------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompilerService.h"
+
+#include "util/Logging.h"
+
+#include <thread>
+
+using namespace compiler_gym;
+using namespace compiler_gym::service;
+
+CompilerService::CompilerService(FaultPlan Plan) : Plan(Plan) {}
+
+void CompilerService::restart() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Sessions.clear();
+  Crashed = false;
+  OpsHandled = 0;
+  CG_LOG_INFO << "compiler service restarted";
+}
+
+bool CompilerService::crashed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Crashed;
+}
+
+size_t CompilerService::numSessions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Sessions.size();
+}
+
+std::string CompilerService::handle(const std::string &RequestBytes) {
+  StatusOr<RequestEnvelope> Req = decodeRequest(RequestBytes);
+  ReplyEnvelope Reply;
+  if (!Req.isOk()) {
+    Reply.Code = Req.status().code();
+    Reply.ErrorMessage = Req.status().message();
+    return encodeReply(Reply);
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++OpsHandled;
+  if (Plan.HangOnOp && OpsHandled == Plan.HangOnOp)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Plan.HangMs));
+  if (Plan.CrashAfterOps && OpsHandled > Plan.CrashAfterOps)
+    Crashed = true;
+  if (Crashed) {
+    Reply.Code = StatusCode::Aborted;
+    Reply.ErrorMessage = "compiler service crashed";
+    return encodeReply(Reply);
+  }
+  Reply = dispatch(*Req);
+  return encodeReply(Reply);
+}
+
+ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
+  ReplyEnvelope Reply;
+  auto fail = [&](const Status &S) {
+    Reply.Code = S.code();
+    Reply.ErrorMessage = S.message();
+    return Reply;
+  };
+
+  switch (Req.Kind) {
+  case RequestKind::Heartbeat:
+    return Reply;
+
+  case RequestKind::StartSession: {
+    std::unique_ptr<CompilationSession> Session =
+        createCompilationSession(Req.Start.CompilerName);
+    if (!Session)
+      return fail(notFound("no compiler service registered as '" +
+                           Req.Start.CompilerName + "'"));
+    std::vector<ActionSpace> Spaces = Session->getActionSpaces();
+    if (Spaces.empty())
+      return fail(internalError("compiler exposes no action spaces"));
+    const ActionSpace *Chosen = &Spaces.front();
+    if (!Req.Start.ActionSpaceName.empty()) {
+      Chosen = nullptr;
+      for (const ActionSpace &S : Spaces)
+        if (S.Name == Req.Start.ActionSpaceName)
+          Chosen = &S;
+      if (!Chosen)
+        return fail(notFound("no action space '" +
+                             Req.Start.ActionSpaceName + "'"));
+    }
+    if (Status S = Session->init(*Chosen, Req.Start.Bench); !S.isOk())
+      return fail(S);
+    Reply.Start.SessionId = NextSessionId++;
+    Reply.Start.Space = *Chosen;
+    Reply.Start.ObservationSpaces = Session->getObservationSpaces();
+    Sessions.emplace(Reply.Start.SessionId, std::move(Session));
+    return Reply;
+  }
+
+  case RequestKind::EndSession: {
+    Sessions.erase(Req.End.SessionId);
+    return Reply;
+  }
+
+  case RequestKind::Step: {
+    auto It = Sessions.find(Req.Step.SessionId);
+    if (It == Sessions.end())
+      return fail(notFound("no session " +
+                           std::to_string(Req.Step.SessionId)));
+    CompilationSession &Session = *It->second;
+    bool End = false, SpaceChanged = false;
+    // Batched execution (§III-B5): apply every action, observe once.
+    for (const Action &A : Req.Step.Actions) {
+      bool StepEnd = false, StepChanged = false;
+      if (Status S = Session.applyAction(A, StepEnd, StepChanged); !S.isOk())
+        return fail(S);
+      End |= StepEnd;
+      SpaceChanged |= StepChanged;
+      if (End)
+        break;
+    }
+    Reply.Step.EndOfSession = End;
+    Reply.Step.ActionSpaceChanged = SpaceChanged;
+    if (SpaceChanged)
+      Reply.Step.NewSpace = Session.currentActionSpace();
+    std::vector<ObservationSpaceInfo> Known = Session.getObservationSpaces();
+    for (const std::string &SpaceName : Req.Step.ObservationSpaces) {
+      const ObservationSpaceInfo *Info = nullptr;
+      for (const ObservationSpaceInfo &O : Known)
+        if (O.Name == SpaceName)
+          Info = &O;
+      if (!Info)
+        return fail(notFound("no observation space '" + SpaceName + "'"));
+      Observation Obs;
+      if (Status S = Session.computeObservation(*Info, Obs); !S.isOk())
+        return fail(S);
+      Reply.Step.Observations.push_back(std::move(Obs));
+    }
+    return Reply;
+  }
+
+  case RequestKind::Fork: {
+    auto It = Sessions.find(Req.Fork.SessionId);
+    if (It == Sessions.end())
+      return fail(notFound("no session " +
+                           std::to_string(Req.Fork.SessionId)));
+    StatusOr<std::unique_ptr<CompilationSession>> Forked =
+        It->second->fork();
+    if (!Forked.isOk())
+      return fail(Forked.status());
+    Reply.Fork.SessionId = NextSessionId++;
+    Sessions.emplace(Reply.Fork.SessionId, Forked.takeValue());
+    return Reply;
+  }
+  }
+  return fail(internalError("unhandled request kind"));
+}

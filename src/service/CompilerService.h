@@ -1,0 +1,67 @@
+//===- service/CompilerService.h - Backend session host ---------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common compiler-service runtime (§IV-B): hosts CompilationSession
+/// instances behind the message protocol, independent of any particular
+/// compiler. Includes the fault-injection hooks used to test the
+/// frontend's crash recovery (a FaultPlan can make the service "crash"
+/// after N operations or hang on a specific operation, standing in for
+/// real compiler segfaults and infinite loops).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_SERVICE_COMPILERSERVICE_H
+#define COMPILER_GYM_SERVICE_COMPILERSERVICE_H
+
+#include "service/CompilationSession.h"
+#include "service/Serialization.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace compiler_gym {
+namespace service {
+
+/// Fault-injection plan for robustness testing.
+struct FaultPlan {
+  uint64_t CrashAfterOps = 0; ///< >0: service dies after N operations.
+  uint64_t HangOnOp = 0;      ///< >0: operation N sleeps HangMs.
+  int HangMs = 200;
+};
+
+/// Hosts sessions; decodes requests, dispatches, encodes replies.
+class CompilerService {
+public:
+  explicit CompilerService(FaultPlan Plan = {});
+
+  /// The transport handler: one serialized request in, one serialized
+  /// reply out. Thread-compatible (called from the dispatcher thread).
+  std::string handle(const std::string &RequestBytes);
+
+  /// Simulates a process relaunch: clears all sessions and the crash flag.
+  void restart();
+
+  bool crashed() const;
+  size_t numSessions() const;
+  uint64_t opsHandled() const { return OpsHandled; }
+
+private:
+  ReplyEnvelope dispatch(const RequestEnvelope &Req);
+
+  FaultPlan Plan;
+  mutable std::mutex Mutex;
+  bool Crashed = false;
+  uint64_t OpsHandled = 0;
+  uint64_t NextSessionId = 1;
+  std::map<uint64_t, std::unique_ptr<CompilationSession>> Sessions;
+};
+
+} // namespace service
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_SERVICE_COMPILERSERVICE_H

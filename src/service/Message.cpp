@@ -1,0 +1,8 @@
+//===- service/Message.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Message types are plain data; this TU anchors the header in the build.
+
+#include "service/Message.h"

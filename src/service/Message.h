@@ -1,0 +1,144 @@
+//===- service/Message.h - RPC message schema -------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/reply message schema spoken between the frontend and the
+/// compiler services — the analogue of CompilerGym's gRPC protocol. All
+/// frontend/backend traffic is serialized through these types (see
+/// Serialization.h), preserving the paper's process-isolation design even
+/// though both ends live in one address space here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_SERVICE_MESSAGE_H
+#define COMPILER_GYM_SERVICE_MESSAGE_H
+
+#include "datasets/Benchmark.h"
+#include "util/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace service {
+
+/// A discrete action space: a named list of action names.
+struct ActionSpace {
+  std::string Name;
+  std::vector<std::string> ActionNames;
+
+  size_t size() const { return ActionNames.size(); }
+};
+
+/// Value type of an observation space.
+enum class ObservationType {
+  Int64List,  ///< E.g. Autophase / InstCount vectors.
+  DoubleList, ///< E.g. inst2vec embeddings (flattened).
+  String,     ///< E.g. the IR text.
+  Binary,     ///< E.g. serialized ProGraML graphs, object code.
+  Int64Value, ///< E.g. code size.
+  DoubleValue ///< E.g. runtime seconds.
+};
+
+/// Static description of an observation space.
+struct ObservationSpaceInfo {
+  std::string Name;
+  ObservationType Type = ObservationType::Int64Value;
+  bool Deterministic = true;
+  bool PlatformDependent = false;
+};
+
+/// One observation value (tagged union, flat for easy serialization).
+struct Observation {
+  ObservationType Type = ObservationType::Int64Value;
+  std::vector<int64_t> Ints;
+  std::vector<double> Doubles;
+  std::string Str;   ///< Also carries Binary payloads.
+  int64_t IntValue = 0;
+  double DoubleValue = 0.0;
+};
+
+/// One action: an index into the session's action space, plus optional
+/// integer payload for composite spaces (e.g. the GCC direct choice
+/// space sets option values directly).
+struct Action {
+  int32_t Index = 0;
+  std::vector<int64_t> Values;
+};
+
+// -- Requests / replies -------------------------------------------------------
+
+enum class RequestKind : int32_t {
+  StartSession = 1,
+  EndSession,
+  Step,
+  Fork,
+  Heartbeat,
+};
+
+struct StartSessionRequest {
+  std::string CompilerName; ///< "llvm", "gcc", "loop_tool".
+  datasets::Benchmark Bench;
+  std::string ActionSpaceName; ///< Empty: use the default space.
+};
+
+struct StartSessionReply {
+  uint64_t SessionId = 0;
+  ActionSpace Space;
+  std::vector<ObservationSpaceInfo> ObservationSpaces;
+};
+
+struct EndSessionRequest {
+  uint64_t SessionId = 0;
+};
+
+struct StepRequest {
+  uint64_t SessionId = 0;
+  std::vector<Action> Actions; ///< >1 = batched step (§III-B5).
+  std::vector<std::string> ObservationSpaces; ///< Lazy: only these computed.
+};
+
+struct StepReply {
+  bool EndOfSession = false;
+  bool ActionSpaceChanged = false;
+  ActionSpace NewSpace; ///< Valid when ActionSpaceChanged.
+  std::vector<Observation> Observations;
+};
+
+struct ForkRequest {
+  uint64_t SessionId = 0;
+};
+
+struct ForkReply {
+  uint64_t SessionId = 0;
+};
+
+/// The envelope that actually travels over the transport.
+struct RequestEnvelope {
+  RequestKind Kind = RequestKind::Heartbeat;
+  StartSessionRequest Start;
+  EndSessionRequest End;
+  StepRequest Step;
+  ForkRequest Fork;
+};
+
+struct ReplyEnvelope {
+  StatusCode Code = StatusCode::Ok;
+  std::string ErrorMessage;
+  StartSessionReply Start;
+  StepReply Step;
+  ForkReply Fork;
+
+  Status status() const {
+    return Code == StatusCode::Ok ? Status::ok() : Status(Code, ErrorMessage);
+  }
+};
+
+} // namespace service
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_SERVICE_MESSAGE_H

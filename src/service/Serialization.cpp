@@ -1,0 +1,319 @@
+//===- service/Serialization.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Serialization.h"
+
+#include <cstring>
+
+using namespace compiler_gym;
+using namespace compiler_gym::service;
+
+namespace {
+
+/// Append-only little-endian writer.
+class Writer {
+public:
+  void u32(uint32_t V) { raw(&V, 4); }
+  void u64(uint64_t V) { raw(&V, 8); }
+  void i64(int64_t V) { raw(&V, 8); }
+  void f64(double V) { raw(&V, 8); }
+  void b(bool V) { u32(V ? 1 : 0); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+  void i64s(const std::vector<int64_t> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (int64_t X : V)
+      i64(X);
+  }
+  void f64s(const std::vector<double> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (double X : V)
+      f64(X);
+  }
+  void strs(const std::vector<std::string> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (const std::string &S : V)
+      str(S);
+  }
+  std::string take() { return std::move(Out); }
+
+private:
+  void raw(const void *P, size_t N) {
+    Out.append(static_cast<const char *>(P), N);
+  }
+  std::string Out;
+};
+
+/// Bounds-checked reader. Every accessor returns false on truncation.
+class Reader {
+public:
+  explicit Reader(const std::string &In) : In(In) {}
+
+  bool u32(uint32_t &V) { return raw(&V, 4); }
+  bool u64(uint64_t &V) { return raw(&V, 8); }
+  bool i64(int64_t &V) { return raw(&V, 8); }
+  bool f64(double &V) { return raw(&V, 8); }
+  bool b(bool &V) {
+    uint32_t U;
+    if (!u32(U))
+      return false;
+    V = U != 0;
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || Cursor + N > In.size())
+      return false;
+    S.assign(In, Cursor, N);
+    Cursor += N;
+    return true;
+  }
+  bool i64s(std::vector<int64_t> &V) {
+    uint32_t N;
+    if (!u32(N) || Cursor + static_cast<size_t>(N) * 8 > In.size())
+      return false;
+    V.resize(N);
+    for (auto &X : V)
+      if (!i64(X))
+        return false;
+    return true;
+  }
+  bool f64s(std::vector<double> &V) {
+    uint32_t N;
+    if (!u32(N) || Cursor + static_cast<size_t>(N) * 8 > In.size())
+      return false;
+    V.resize(N);
+    for (auto &X : V)
+      if (!f64(X))
+        return false;
+    return true;
+  }
+  bool strs(std::vector<std::string> &V) {
+    uint32_t N;
+    if (!u32(N) || N > In.size()) // Each string needs >= 4 bytes of header.
+      return false;
+    V.resize(N);
+    for (auto &S : V)
+      if (!str(S))
+        return false;
+    return true;
+  }
+  bool done() const { return Cursor == In.size(); }
+
+private:
+  bool raw(void *P, size_t N) {
+    if (Cursor + N > In.size())
+      return false;
+    std::memcpy(P, In.data() + Cursor, N);
+    Cursor += N;
+    return true;
+  }
+  const std::string &In;
+  size_t Cursor = 0;
+};
+
+// -- Component encoders -------------------------------------------------------
+
+void putBenchmark(Writer &W, const datasets::Benchmark &B) {
+  W.str(B.Uri);
+  W.str(B.IrText);
+  W.b(B.Runnable);
+  W.i64s(B.Inputs);
+}
+
+bool getBenchmark(Reader &R, datasets::Benchmark &B) {
+  return R.str(B.Uri) && R.str(B.IrText) && R.b(B.Runnable) &&
+         R.i64s(B.Inputs);
+}
+
+void putActionSpace(Writer &W, const ActionSpace &S) {
+  W.str(S.Name);
+  W.strs(S.ActionNames);
+}
+
+bool getActionSpace(Reader &R, ActionSpace &S) {
+  return R.str(S.Name) && R.strs(S.ActionNames);
+}
+
+void putObsInfo(Writer &W, const ObservationSpaceInfo &O) {
+  W.str(O.Name);
+  W.u32(static_cast<uint32_t>(O.Type));
+  W.b(O.Deterministic);
+  W.b(O.PlatformDependent);
+}
+
+bool getObsInfo(Reader &R, ObservationSpaceInfo &O) {
+  uint32_t Ty;
+  if (!R.str(O.Name) || !R.u32(Ty) || !R.b(O.Deterministic) ||
+      !R.b(O.PlatformDependent))
+    return false;
+  if (Ty > static_cast<uint32_t>(ObservationType::DoubleValue))
+    return false;
+  O.Type = static_cast<ObservationType>(Ty);
+  return true;
+}
+
+void putObservation(Writer &W, const Observation &O) {
+  W.u32(static_cast<uint32_t>(O.Type));
+  W.i64s(O.Ints);
+  W.f64s(O.Doubles);
+  W.str(O.Str);
+  W.i64(O.IntValue);
+  W.f64(O.DoubleValue);
+}
+
+bool getObservation(Reader &R, Observation &O) {
+  uint32_t Ty;
+  if (!R.u32(Ty) || Ty > static_cast<uint32_t>(ObservationType::DoubleValue))
+    return false;
+  O.Type = static_cast<ObservationType>(Ty);
+  return R.i64s(O.Ints) && R.f64s(O.Doubles) && R.str(O.Str) &&
+         R.i64(O.IntValue) && R.f64(O.DoubleValue);
+}
+
+void putAction(Writer &W, const Action &A) {
+  W.u32(static_cast<uint32_t>(A.Index));
+  W.i64s(A.Values);
+}
+
+bool getAction(Reader &R, Action &A) {
+  uint32_t Idx;
+  if (!R.u32(Idx))
+    return false;
+  A.Index = static_cast<int32_t>(Idx);
+  return R.i64s(A.Values);
+}
+
+} // namespace
+
+std::string service::encodeRequest(const RequestEnvelope &Req) {
+  Writer W;
+  W.u32(static_cast<uint32_t>(Req.Kind));
+  switch (Req.Kind) {
+  case RequestKind::StartSession:
+    W.str(Req.Start.CompilerName);
+    putBenchmark(W, Req.Start.Bench);
+    W.str(Req.Start.ActionSpaceName);
+    break;
+  case RequestKind::EndSession:
+    W.u64(Req.End.SessionId);
+    break;
+  case RequestKind::Step: {
+    W.u64(Req.Step.SessionId);
+    W.u32(static_cast<uint32_t>(Req.Step.Actions.size()));
+    for (const Action &A : Req.Step.Actions)
+      putAction(W, A);
+    W.strs(Req.Step.ObservationSpaces);
+    break;
+  }
+  case RequestKind::Fork:
+    W.u64(Req.Fork.SessionId);
+    break;
+  case RequestKind::Heartbeat:
+    break;
+  }
+  return W.take();
+}
+
+StatusOr<RequestEnvelope> service::decodeRequest(const std::string &Bytes) {
+  Reader R(Bytes);
+  RequestEnvelope Req;
+  uint32_t Kind;
+  if (!R.u32(Kind) || Kind < 1 ||
+      Kind > static_cast<uint32_t>(RequestKind::Heartbeat))
+    return invalidArgument("malformed request envelope");
+  Req.Kind = static_cast<RequestKind>(Kind);
+  bool Ok = true;
+  switch (Req.Kind) {
+  case RequestKind::StartSession:
+    Ok = R.str(Req.Start.CompilerName) && getBenchmark(R, Req.Start.Bench) &&
+         R.str(Req.Start.ActionSpaceName);
+    break;
+  case RequestKind::EndSession:
+    Ok = R.u64(Req.End.SessionId);
+    break;
+  case RequestKind::Step: {
+    uint32_t NumActions;
+    Ok = R.u64(Req.Step.SessionId) && R.u32(NumActions) &&
+         NumActions <= Bytes.size();
+    if (Ok) {
+      Req.Step.Actions.resize(NumActions);
+      for (Action &A : Req.Step.Actions)
+        Ok = Ok && getAction(R, A);
+      Ok = Ok && R.strs(Req.Step.ObservationSpaces);
+    }
+    break;
+  }
+  case RequestKind::Fork:
+    Ok = R.u64(Req.Fork.SessionId);
+    break;
+  case RequestKind::Heartbeat:
+    break;
+  }
+  if (!Ok || !R.done())
+    return invalidArgument("truncated or trailing request bytes");
+  return Req;
+}
+
+std::string service::encodeReply(const ReplyEnvelope &Reply) {
+  Writer W;
+  W.u32(static_cast<uint32_t>(Reply.Code));
+  W.str(Reply.ErrorMessage);
+  // Start.
+  W.u64(Reply.Start.SessionId);
+  putActionSpace(W, Reply.Start.Space);
+  W.u32(static_cast<uint32_t>(Reply.Start.ObservationSpaces.size()));
+  for (const auto &O : Reply.Start.ObservationSpaces)
+    putObsInfo(W, O);
+  // Step.
+  W.b(Reply.Step.EndOfSession);
+  W.b(Reply.Step.ActionSpaceChanged);
+  putActionSpace(W, Reply.Step.NewSpace);
+  W.u32(static_cast<uint32_t>(Reply.Step.Observations.size()));
+  for (const auto &O : Reply.Step.Observations)
+    putObservation(W, O);
+  // Fork.
+  W.u64(Reply.Fork.SessionId);
+  return W.take();
+}
+
+StatusOr<ReplyEnvelope> service::decodeReply(const std::string &Bytes) {
+  Reader R(Bytes);
+  ReplyEnvelope Reply;
+  uint32_t Code;
+  if (!R.u32(Code) ||
+      Code > static_cast<uint32_t>(StatusCode::Aborted))
+    return invalidArgument("malformed reply envelope");
+  Reply.Code = static_cast<StatusCode>(Code);
+  if (!R.str(Reply.ErrorMessage))
+    return invalidArgument("truncated reply");
+
+  uint32_t NumObsInfos;
+  bool Ok = R.u64(Reply.Start.SessionId) &&
+            getActionSpace(R, Reply.Start.Space) && R.u32(NumObsInfos) &&
+            NumObsInfos <= Bytes.size();
+  if (Ok) {
+    Reply.Start.ObservationSpaces.resize(NumObsInfos);
+    for (auto &O : Reply.Start.ObservationSpaces)
+      Ok = Ok && getObsInfo(R, O);
+  }
+  uint32_t NumObs = 0;
+  Ok = Ok && R.b(Reply.Step.EndOfSession) &&
+       R.b(Reply.Step.ActionSpaceChanged) &&
+       getActionSpace(R, Reply.Step.NewSpace) && R.u32(NumObs) &&
+       NumObs <= Bytes.size();
+  if (Ok) {
+    Reply.Step.Observations.resize(NumObs);
+    for (auto &O : Reply.Step.Observations)
+      Ok = Ok && getObservation(R, O);
+  }
+  Ok = Ok && R.u64(Reply.Fork.SessionId);
+  if (!Ok || !R.done())
+    return invalidArgument("truncated or trailing reply bytes");
+  return Reply;
+}

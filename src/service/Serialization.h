@@ -1,0 +1,32 @@
+//===- service/Serialization.h - Wire encoding ------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of the RPC message schema. A simple length-prefixed
+/// little-endian format: fast, deterministic, and strict on decode (every
+/// malformed buffer yields an error, never UB) — the transport boundary is
+/// also a fuzz surface (see tests/service_fuzz_test).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_SERVICE_SERIALIZATION_H
+#define COMPILER_GYM_SERVICE_SERIALIZATION_H
+
+#include "service/Message.h"
+
+namespace compiler_gym {
+namespace service {
+
+std::string encodeRequest(const RequestEnvelope &Req);
+StatusOr<RequestEnvelope> decodeRequest(const std::string &Bytes);
+
+std::string encodeReply(const ReplyEnvelope &Reply);
+StatusOr<ReplyEnvelope> decodeReply(const std::string &Bytes);
+
+} // namespace service
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_SERVICE_SERIALIZATION_H

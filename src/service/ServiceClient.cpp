@@ -1,0 +1,117 @@
+//===- service/ServiceClient.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceClient.h"
+
+#include "util/Logging.h"
+
+#include <thread>
+
+using namespace compiler_gym;
+using namespace compiler_gym::service;
+
+ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
+                             std::shared_ptr<Transport> Channel,
+                             ClientOptions Opts)
+    : Service(std::move(Service)), Channel(std::move(Channel)), Opts(Opts) {}
+
+ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
+                             ClientOptions Opts)
+    : Service(Service),
+      Channel(std::make_shared<QueueTransport>(
+          [Service](const std::string &Bytes) {
+            return Service->handle(Bytes);
+          })),
+      Opts(Opts) {}
+
+void ServiceClient::restartService() {
+  ++RestartCount;
+  Service->restart();
+}
+
+StatusOr<ReplyEnvelope> ServiceClient::call(const RequestEnvelope &Req) {
+  std::string Bytes = encodeRequest(Req);
+  Status LastError = internalError("no attempt made");
+  for (int Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
+    if (Attempt > 0) {
+      ++RetryCount;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Opts.RetryBackoffMs));
+    }
+    ++RpcCount;
+    StatusOr<std::string> ReplyBytes = Channel->roundTrip(Bytes,
+                                                          Opts.TimeoutMs);
+    if (!ReplyBytes.isOk()) {
+      LastError = ReplyBytes.status();
+      // Unavailable and dropped replies are transient; hangs surface as
+      // DeadlineExceeded which we also retry (the request may simply have
+      // been slow) before giving up.
+      if (LastError.code() == StatusCode::Unavailable ||
+          LastError.code() == StatusCode::DeadlineExceeded)
+        continue;
+      return LastError;
+    }
+    StatusOr<ReplyEnvelope> Reply = decodeReply(*ReplyBytes);
+    if (!Reply.isOk()) {
+      // Garbled reply: a transport fault; retry.
+      LastError = unavailable("garbled reply: " + Reply.status().message());
+      CG_LOG_INFO << "retrying garbled service reply";
+      continue;
+    }
+    return Reply;
+  }
+  return LastError;
+}
+
+StatusOr<StartSessionReply>
+ServiceClient::startSession(const StartSessionRequest &Req) {
+  RequestEnvelope Env;
+  Env.Kind = RequestKind::StartSession;
+  Env.Start = Req;
+  CG_ASSIGN_OR_RETURN(ReplyEnvelope Reply, call(Env));
+  if (Status S = Reply.status(); !S.isOk())
+    return S;
+  return Reply.Start;
+}
+
+Status ServiceClient::endSession(uint64_t SessionId) {
+  RequestEnvelope Env;
+  Env.Kind = RequestKind::EndSession;
+  Env.End.SessionId = SessionId;
+  StatusOr<ReplyEnvelope> Reply = call(Env);
+  if (!Reply.isOk())
+    return Reply.status();
+  return Reply->status();
+}
+
+StatusOr<StepReply> ServiceClient::step(const StepRequest &Req) {
+  RequestEnvelope Env;
+  Env.Kind = RequestKind::Step;
+  Env.Step = Req;
+  CG_ASSIGN_OR_RETURN(ReplyEnvelope Reply, call(Env));
+  if (Status S = Reply.status(); !S.isOk())
+    return S;
+  return Reply.Step;
+}
+
+StatusOr<uint64_t> ServiceClient::fork(uint64_t SessionId) {
+  RequestEnvelope Env;
+  Env.Kind = RequestKind::Fork;
+  Env.Fork.SessionId = SessionId;
+  CG_ASSIGN_OR_RETURN(ReplyEnvelope Reply, call(Env));
+  if (Status S = Reply.status(); !S.isOk())
+    return S;
+  return Reply.Fork.SessionId;
+}
+
+Status ServiceClient::heartbeat() {
+  RequestEnvelope Env;
+  Env.Kind = RequestKind::Heartbeat;
+  StatusOr<ReplyEnvelope> Reply = call(Env);
+  if (!Reply.isOk())
+    return Reply.status();
+  return Reply->status();
+}

@@ -1,0 +1,76 @@
+//===- service/ServiceClient.h - Frontend RPC client ------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed client over the transport: the frontend half of the RPC boundary.
+/// Handles per-call deadlines and transparent retry of transient
+/// (Unavailable / garbled-reply) failures; non-transient failures
+/// (Aborted = service crash, DeadlineExceeded = hang) are surfaced so the
+/// environment layer can restart the service and replay its state, which
+/// is the paper's fault-tolerance story (§IV-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_SERVICE_SERVICECLIENT_H
+#define COMPILER_GYM_SERVICE_SERVICECLIENT_H
+
+#include "service/CompilerService.h"
+#include "service/Transport.h"
+
+#include <memory>
+
+namespace compiler_gym {
+namespace service {
+
+/// Client-side call policy.
+struct ClientOptions {
+  int TimeoutMs = 10000;
+  int MaxRetries = 2;      ///< For transient failures only.
+  int RetryBackoffMs = 2;
+};
+
+/// A connection to one compiler service.
+class ServiceClient {
+public:
+  /// Connects through an explicit transport (tests inject FlakyTransport).
+  ServiceClient(std::shared_ptr<CompilerService> Service,
+                std::shared_ptr<Transport> Channel, ClientOptions Opts = {});
+
+  /// Convenience: builds the standard queue transport over \p Service.
+  explicit ServiceClient(std::shared_ptr<CompilerService> Service,
+                         ClientOptions Opts = {});
+
+  StatusOr<StartSessionReply> startSession(const StartSessionRequest &Req);
+  Status endSession(uint64_t SessionId);
+  StatusOr<StepReply> step(const StepRequest &Req);
+  StatusOr<uint64_t> fork(uint64_t SessionId);
+  Status heartbeat();
+
+  /// Relaunches the backend (used by the environment after crash/hang).
+  void restartService();
+
+  /// Telemetry for the robustness tests and Table II accounting.
+  uint64_t rpcCount() const { return RpcCount; }
+  uint64_t retryCount() const { return RetryCount; }
+  uint64_t restartCount() const { return RestartCount; }
+
+  const std::shared_ptr<CompilerService> &service() const { return Service; }
+
+private:
+  StatusOr<ReplyEnvelope> call(const RequestEnvelope &Req);
+
+  std::shared_ptr<CompilerService> Service;
+  std::shared_ptr<Transport> Channel;
+  ClientOptions Opts;
+  uint64_t RpcCount = 0;
+  uint64_t RetryCount = 0;
+  uint64_t RestartCount = 0;
+};
+
+} // namespace service
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_SERVICE_SERVICECLIENT_H

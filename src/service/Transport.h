@@ -1,0 +1,103 @@
+//===- service/Transport.h - Client/server message channel ------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level channel between frontend and backend. The paper runs
+/// compiler services in separate processes behind gRPC; here the boundary
+/// is preserved as serialized messages crossing a queue to a dedicated
+/// service thread (QueueTransport), with an optional fault-injecting
+/// wrapper (FlakyTransport) used by the robustness tests to simulate the
+/// network dropping, delaying or corrupting traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_SERVICE_TRANSPORT_H
+#define COMPILER_GYM_SERVICE_TRANSPORT_H
+
+#include "util/Rng.h"
+#include "util/Status.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace compiler_gym {
+namespace service {
+
+/// Abstract request/reply channel.
+class Transport {
+public:
+  virtual ~Transport();
+
+  /// Sends \p RequestBytes and blocks up to \p TimeoutMs for the reply.
+  /// DeadlineExceeded on timeout; Unavailable when the channel is down.
+  virtual StatusOr<std::string> roundTrip(const std::string &RequestBytes,
+                                          int TimeoutMs) = 0;
+};
+
+/// Serialized-queue transport: requests cross a mutex-protected queue to a
+/// dedicated dispatcher thread running \p Handler (the service), replies
+/// come back through a per-call promise. This is the process boundary
+/// stand-in: all traffic is fully serialized and the caller can time out
+/// independently of the service making progress.
+class QueueTransport : public Transport {
+public:
+  using Handler = std::function<std::string(const std::string &)>;
+
+  explicit QueueTransport(Handler Handle);
+  ~QueueTransport() override;
+
+  StatusOr<std::string> roundTrip(const std::string &RequestBytes,
+                                  int TimeoutMs) override;
+
+private:
+  struct Call {
+    std::string Request;
+    std::shared_ptr<std::promise<std::string>> Reply;
+  };
+
+  void dispatchLoop();
+
+  Handler Handle;
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::deque<Call> Queue;
+  bool Stopping = false;
+  std::thread Dispatcher;
+};
+
+/// Fault plan for FlakyTransport.
+struct TransportFaults {
+  double DropProbability = 0.0;    ///< Reply never arrives (client times out).
+  double GarbageProbability = 0.0; ///< Reply is corrupted bytes.
+  int ExtraLatencyMs = 0;          ///< Added to every call.
+  uint64_t Seed = 0x5EED;
+};
+
+/// Wraps another transport and injects faults. Deterministic per seed.
+class FlakyTransport : public Transport {
+public:
+  FlakyTransport(std::shared_ptr<Transport> Inner, TransportFaults Faults)
+      : Inner(std::move(Inner)), Faults(Faults), Gen(Faults.Seed) {}
+
+  StatusOr<std::string> roundTrip(const std::string &RequestBytes,
+                                  int TimeoutMs) override;
+
+private:
+  std::shared_ptr<Transport> Inner;
+  TransportFaults Faults;
+  Rng Gen;
+  std::mutex Mutex;
+};
+
+} // namespace service
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_SERVICE_TRANSPORT_H

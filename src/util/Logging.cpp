@@ -1,0 +1,48 @@
+//===- util/Logging.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+using namespace compiler_gym;
+
+static std::atomic<int> GlobalLevel{static_cast<int>(LogLevel::Warning)};
+static std::mutex LogMutex;
+
+void compiler_gym::setLogLevel(LogLevel Level) {
+  GlobalLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+LogLevel compiler_gym::logLevel() {
+  return static_cast<LogLevel>(GlobalLevel.load(std::memory_order_relaxed));
+}
+
+static const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Debug:
+    return "DEBUG";
+  case LogLevel::Info:
+    return "INFO";
+  case LogLevel::Warning:
+    return "WARN";
+  case LogLevel::Error:
+    return "ERROR";
+  case LogLevel::Off:
+    return "OFF";
+  }
+  return "?";
+}
+
+void compiler_gym::logMessage(LogLevel Level, const std::string &Message) {
+  if (static_cast<int>(Level) < GlobalLevel.load(std::memory_order_relaxed))
+    return;
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  std::fprintf(stderr, "[compiler_gym %s] %s\n", levelName(Level),
+               Message.c_str());
+}

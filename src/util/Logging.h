@@ -1,0 +1,55 @@
+//===- util/Logging.h - Minimal leveled logging -----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny leveled logger. Defaults to warnings-and-above on stderr so that
+/// test and bench output stays clean; the service runtime logs recoverable
+/// faults (retries, restarts) at Info.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_LOGGING_H
+#define COMPILER_GYM_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace compiler_gym {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is emitted.
+void setLogLevel(LogLevel Level);
+LogLevel logLevel();
+
+/// Emits a single log line (thread-safe) if \p Level passes the filter.
+void logMessage(LogLevel Level, const std::string &Message);
+
+namespace detail {
+/// Stream-style builder that emits on destruction.
+class LogLine {
+public:
+  explicit LogLine(LogLevel Level) : Level(Level) {}
+  ~LogLine() { logMessage(Level, Buffer.str()); }
+  template <typename T> LogLine &operator<<(const T &V) {
+    Buffer << V;
+    return *this;
+  }
+
+private:
+  LogLevel Level;
+  std::ostringstream Buffer;
+};
+} // namespace detail
+
+} // namespace compiler_gym
+
+#define CG_LOG_DEBUG ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Debug)
+#define CG_LOG_INFO ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Info)
+#define CG_LOG_WARN ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Warning)
+#define CG_LOG_ERROR ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Error)
+
+#endif // COMPILER_GYM_UTIL_LOGGING_H

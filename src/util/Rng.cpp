@@ -1,0 +1,105 @@
+//===- util/Rng.cpp -------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Rng.h"
+
+#include <cmath>
+
+using namespace compiler_gym;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t X = Seed;
+  for (auto &S : State)
+    S = splitmix64(X);
+  HasSpareGaussian = false;
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::bounded(uint64_t Bound) {
+  assert(Bound > 0 && "bounded() with zero bound");
+  // Lemire's nearly-divisionless method with rejection for exactness.
+  uint64_t X = next();
+  __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+  uint64_t L = static_cast<uint64_t>(M);
+  if (L < Bound) {
+    uint64_t Threshold = -Bound % Bound;
+    while (L < Threshold) {
+      X = next();
+      M = static_cast<__uint128_t>(X) * Bound;
+      L = static_cast<uint64_t>(M);
+    }
+  }
+  return static_cast<uint64_t>(M >> 64);
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "range() with inverted bounds");
+  return Lo + static_cast<int64_t>(
+                  bounded(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+double Rng::gaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U1 = 0.0;
+  while (U1 == 0.0)
+    U1 = uniform();
+  double U2 = uniform();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  SpareGaussian = R * std::sin(Theta);
+  HasSpareGaussian = true;
+  return R * std::cos(Theta);
+}
+
+size_t Rng::weightedIndex(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "weightedIndex() with no weights");
+  double Total = 0.0;
+  for (double W : Weights)
+    Total += W;
+  if (Total <= 0.0)
+    return Weights.size() - 1;
+  double Target = uniform() * Total;
+  double Acc = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (Target < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}

@@ -1,0 +1,94 @@
+//===- util/Rng.h - Deterministic pseudo-random numbers ---------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (xoshiro256**, seeded via splitmix64).
+/// Every stochastic component of the library (program generators, runtime
+/// noise models, search algorithms, RL) takes an explicit Rng so experiments
+/// replay bit-for-bit from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_RNG_H
+#define COMPILER_GYM_UTIL_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace compiler_gym {
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+
+  uint64_t operator()() { return next(); }
+
+  /// Next raw 64-bit output.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t bounded(uint64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Standard normal via Box-Muller.
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double Mean, double Stddev) {
+    return Mean + Stddev * gaussian();
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Picks a uniformly random element of \p Items (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick() from empty vector");
+    return Items[bounded(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[bounded(I)]);
+  }
+
+  /// Samples an index according to the (non-negative, not necessarily
+  /// normalized) weights. Returns Weights.size()-1 on total weight ~ 0.
+  size_t weightedIndex(const std::vector<double> &Weights);
+
+  /// Derives an independent child generator (useful for per-thread streams).
+  Rng split() { return Rng(next() ^ 0xA3C59AC2EB0AA5D7ull); }
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_UTIL_RNG_H

@@ -1,0 +1,124 @@
+//===- util/Stats.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+
+double compiler_gym::percentile(std::vector<double> Values, double Pct) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = (Pct / 100.0) * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double compiler_gym::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double compiler_gym::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Acc = 0.0;
+  for (double V : Values)
+    Acc += (V - M) * (V - M);
+  return std::sqrt(Acc / static_cast<double>(Values.size()));
+}
+
+double compiler_gym::geomean(const std::vector<double> &Values, double Floor) {
+  if (Values.empty())
+    return 1.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(std::max(V, Floor));
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+LatencySummary
+compiler_gym::summarizeLatencies(const std::vector<double> &Values) {
+  LatencySummary S;
+  S.Count = Values.size();
+  if (Values.empty())
+    return S;
+  S.P50 = percentile(Values, 50.0);
+  S.P99 = percentile(Values, 99.0);
+  S.Mean = mean(Values);
+  return S;
+}
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::vector<double>
+compiler_gym::gaussianFilter1d(const std::vector<double> &Values,
+                               double Sigma) {
+  if (Values.empty() || Sigma <= 0.0)
+    return Values;
+  int Radius = static_cast<int>(std::ceil(3.0 * Sigma));
+  std::vector<double> Kernel(2 * Radius + 1);
+  double Norm = 0.0;
+  for (int I = -Radius; I <= Radius; ++I) {
+    double W = std::exp(-(I * I) / (2.0 * Sigma * Sigma));
+    Kernel[I + Radius] = W;
+    Norm += W;
+  }
+  for (double &W : Kernel)
+    W /= Norm;
+
+  int N = static_cast<int>(Values.size());
+  std::vector<double> Out(Values.size());
+  for (int I = 0; I < N; ++I) {
+    double Acc = 0.0;
+    for (int J = -Radius; J <= Radius; ++J) {
+      int Idx = I + J;
+      // Reflect at boundaries.
+      if (Idx < 0)
+        Idx = -Idx - 1;
+      if (Idx >= N)
+        Idx = 2 * N - Idx - 1;
+      Idx = std::clamp(Idx, 0, N - 1);
+      Acc += Values[Idx] * Kernel[J + Radius];
+    }
+    Out[I] = Acc;
+  }
+  return Out;
+}
+
+double compiler_gym::empiricalCdf(const std::vector<double> &SortedValues,
+                                  double X) {
+  if (SortedValues.empty())
+    return 0.0;
+  auto It = std::upper_bound(SortedValues.begin(), SortedValues.end(), X);
+  return static_cast<double>(It - SortedValues.begin()) /
+         static_cast<double>(SortedValues.size());
+}

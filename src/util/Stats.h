@@ -1,0 +1,78 @@
+//===- util/Stats.h - Summary statistics for benchmarking ------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Percentiles, means, geometric means, and a streaming accumulator — the
+/// statistics the paper reports in Tables II-VII (p50/p99/mu wall times,
+/// geomean reward ratios) plus the Gaussian smoothing filter used in Fig 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_STATS_H
+#define COMPILER_GYM_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace compiler_gym {
+
+/// Interpolated percentile of \p Values; \p Pct in [0, 100]. Copies and
+/// sorts internally; returns 0 for empty input.
+double percentile(std::vector<double> Values, double Pct);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double> &Values);
+
+/// Population standard deviation; 0 for fewer than two values.
+double stddev(const std::vector<double> &Values);
+
+/// Geometric mean; values must be positive, 1.0 for empty input. Values that
+/// are not positive are clamped to \p Floor to keep aggregate scores finite
+/// (the paper's geomean speedups can include near-zero entries, e.g. the
+/// PPO llvm-stress 0.097x cell).
+double geomean(const std::vector<double> &Values, double Floor = 1e-6);
+
+/// Fixed-width summary of a latency distribution.
+struct LatencySummary {
+  double P50 = 0.0;
+  double P99 = 0.0;
+  double Mean = 0.0;
+  size_t Count = 0;
+};
+
+/// Computes p50/p99/mean in one pass over \p Values.
+LatencySummary summarizeLatencies(const std::vector<double> &Values);
+
+/// Streaming count/mean/min/max/variance accumulator (Welford).
+class RunningStat {
+public:
+  void add(double X);
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+  double variance() const { return N > 1 ? M2 / static_cast<double>(N) : 0.0; }
+  double stddev() const;
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// 1-D Gaussian filter with reflective boundaries (as used to smooth the
+/// learning curves in the paper's Fig 9, sigma = 5).
+std::vector<double> gaussianFilter1d(const std::vector<double> &Values,
+                                     double Sigma);
+
+/// Empirical CDF support: returns the fraction of \p Values <= \p X.
+double empiricalCdf(const std::vector<double> &SortedValues, double X);
+
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_UTIL_STATS_H

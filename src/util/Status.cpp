@@ -1,0 +1,68 @@
+//===- util/Status.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Status.h"
+
+using namespace compiler_gym;
+
+const char *compiler_gym::statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "OK";
+  case StatusCode::InvalidArgument:
+    return "INVALID_ARGUMENT";
+  case StatusCode::NotFound:
+    return "NOT_FOUND";
+  case StatusCode::OutOfRange:
+    return "OUT_OF_RANGE";
+  case StatusCode::Internal:
+    return "INTERNAL";
+  case StatusCode::DeadlineExceeded:
+    return "DEADLINE_EXCEEDED";
+  case StatusCode::Unavailable:
+    return "UNAVAILABLE";
+  case StatusCode::FailedPrecondition:
+    return "FAILED_PRECONDITION";
+  case StatusCode::Aborted:
+    return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::toString() const {
+  if (isOk())
+    return "OK";
+  return std::string(statusCodeName(Code)) + ": " + Message;
+}
+
+namespace compiler_gym {
+
+Status invalidArgument(std::string Message) {
+  return Status(StatusCode::InvalidArgument, std::move(Message));
+}
+Status notFound(std::string Message) {
+  return Status(StatusCode::NotFound, std::move(Message));
+}
+Status outOfRange(std::string Message) {
+  return Status(StatusCode::OutOfRange, std::move(Message));
+}
+Status internalError(std::string Message) {
+  return Status(StatusCode::Internal, std::move(Message));
+}
+Status deadlineExceeded(std::string Message) {
+  return Status(StatusCode::DeadlineExceeded, std::move(Message));
+}
+Status unavailable(std::string Message) {
+  return Status(StatusCode::Unavailable, std::move(Message));
+}
+Status failedPrecondition(std::string Message) {
+  return Status(StatusCode::FailedPrecondition, std::move(Message));
+}
+Status abortedError(std::string Message) {
+  return Status(StatusCode::Aborted, std::move(Message));
+}
+
+} // namespace compiler_gym

@@ -1,0 +1,151 @@
+//===- util/Status.h - Error handling without exceptions -------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Status and StatusOr<T>: lightweight recoverable-error types modeled on
+/// LLVM's Error/Expected discipline (the project builds without exceptions
+/// or RTTI in the hot paths). A Status is cheap to copy; StatusOr<T> holds
+/// either a value or a failure Status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_STATUS_H
+#define COMPILER_GYM_UTIL_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace compiler_gym {
+
+/// Machine-readable failure category, mirroring the RPC status codes the
+/// paper's gRPC service surface exposes.
+enum class StatusCode {
+  Ok = 0,
+  InvalidArgument,
+  NotFound,
+  OutOfRange,
+  Internal,
+  DeadlineExceeded,
+  Unavailable,     ///< Transient failure; the caller may retry.
+  FailedPrecondition,
+  Aborted,         ///< The backend session died (crash / kill).
+};
+
+/// Returns a stable human-readable name for \p Code.
+const char *statusCodeName(StatusCode Code);
+
+/// A success-or-failure result with a message. Statuses are ordinary values:
+/// unlike llvm::Error they do not abort when dropped, but callers are
+/// expected to check `ok()` before proceeding.
+class Status {
+public:
+  /// Constructs a success status.
+  Status() : Code(StatusCode::Ok) {}
+  Status(StatusCode Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool isOk() const { return Code == StatusCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// Renders "CODE: message" for logs and test assertions.
+  std::string toString() const;
+
+  bool operator==(const Status &Other) const {
+    return Code == Other.Code && Message == Other.Message;
+  }
+
+private:
+  StatusCode Code;
+  std::string Message;
+};
+
+/// Convenience constructors for the common failure categories.
+Status invalidArgument(std::string Message);
+Status notFound(std::string Message);
+Status outOfRange(std::string Message);
+Status internalError(std::string Message);
+Status deadlineExceeded(std::string Message);
+Status unavailable(std::string Message);
+Status failedPrecondition(std::string Message);
+Status abortedError(std::string Message);
+
+/// Either a value of type \p T or a failure Status. Accessing the value of a
+/// failed StatusOr is a programmatic error (asserts).
+template <typename T> class StatusOr {
+public:
+  /*implicit*/ StatusOr(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ StatusOr(Status S) : Failure(std::move(S)) {
+    assert(!Failure.isOk() && "StatusOr constructed from OK status");
+  }
+
+  bool isOk() const { return Value.has_value(); }
+  explicit operator bool() const { return isOk(); }
+
+  const Status &status() const {
+    static const Status OkStatus;
+    return Value.has_value() ? OkStatus : Failure;
+  }
+
+  T &value() {
+    assert(Value.has_value() && "value() on failed StatusOr");
+    return *Value;
+  }
+  const T &value() const {
+    assert(Value.has_value() && "value() on failed StatusOr");
+    return *Value;
+  }
+
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Moves the contained value out; the StatusOr must be in success state.
+  T takeValue() {
+    assert(Value.has_value() && "takeValue() on failed StatusOr");
+    T Out = std::move(*Value);
+    Value.reset();
+    return Out;
+  }
+
+private:
+  std::optional<T> Value;
+  Status Failure;
+};
+
+/// Evaluates \p Expr (a Status expression) and returns it from the enclosing
+/// function on failure.
+#define CG_RETURN_IF_ERROR(Expr)                                              \
+  do {                                                                        \
+    ::compiler_gym::Status StatusTmp_ = (Expr);                               \
+    if (!StatusTmp_.isOk())                                                   \
+      return StatusTmp_;                                                      \
+  } while (false)
+
+#define CG_DETAIL_CONCAT_IMPL(A, B) A##B
+#define CG_DETAIL_CONCAT(A, B) CG_DETAIL_CONCAT_IMPL(A, B)
+#define CG_DETAIL_ASSIGN_OR_RETURN(Tmp, Lhs, Expr)                            \
+  auto Tmp = (Expr);                                                          \
+  if (!Tmp.isOk())                                                            \
+    return Tmp.status();                                                      \
+  Lhs = Tmp.takeValue()
+
+/// Evaluates \p Expr (a StatusOr expression), propagating failure; on success
+/// binds the value to \p Lhs.
+#define CG_ASSIGN_OR_RETURN(Lhs, Expr)                                        \
+  CG_DETAIL_ASSIGN_OR_RETURN(CG_DETAIL_CONCAT(StatusOrTmp_, __LINE__), Lhs,   \
+                             Expr)
+
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_UTIL_STATUS_H

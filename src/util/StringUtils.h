@@ -1,0 +1,60 @@
+//===- util/StringUtils.h - Small string helpers ----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Split/join/trim helpers used by the IR parser, benchmark URIs, and the
+/// command-line example tools. Header-only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_STRINGUTILS_H
+#define COMPILER_GYM_UTIL_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compiler_gym {
+
+/// Splits \p Text on \p Sep. Keeps empty fields.
+inline std::vector<std::string> splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Start));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+/// Joins \p Parts with \p Sep.
+inline std::string joinStrings(const std::vector<std::string> &Parts,
+                               std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+/// Strips leading and trailing whitespace.
+inline std::string_view trimString(std::string_view Text) {
+  size_t Begin = Text.find_first_not_of(" \t\r\n");
+  if (Begin == std::string_view::npos)
+    return {};
+  size_t End = Text.find_last_not_of(" \t\r\n");
+  return Text.substr(Begin, End - Begin + 1);
+}
+
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_UTIL_STRINGUTILS_H

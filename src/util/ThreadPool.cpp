@@ -1,0 +1,66 @@
+//===- util/ThreadPool.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/ThreadPool.h"
+
+#include <cassert>
+
+using namespace compiler_gym;
+
+ThreadPool::ThreadPool(size_t NumThreads) {
+  assert(NumThreads > 0 && "thread pool needs at least one worker");
+  Workers.reserve(NumThreads);
+  for (size_t I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (auto &W : Workers)
+    W.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Job) {
+  std::packaged_task<void()> Task(std::move(Job));
+  std::future<void> Result = Task.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  Ready.notify_one();
+  return Result;
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && ActiveJobs == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::packaged_task<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Stopping && Queue.empty())
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++ActiveJobs;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveJobs;
+      if (Queue.empty() && ActiveJobs == 0)
+        Idle.notify_all();
+    }
+  }
+}

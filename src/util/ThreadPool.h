@@ -1,0 +1,58 @@
+//===- util/ThreadPool.h - Fixed-size worker pool ---------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool. The compiler service runtime uses it to
+/// execute session operations off the caller thread so that deadlines can be
+/// enforced; the parallel-search example uses it for worker fan-out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_THREADPOOL_H
+#define COMPILER_GYM_UTIL_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace compiler_gym {
+
+/// Fixed-size pool executing std::function<void()> jobs FIFO.
+class ThreadPool {
+public:
+  explicit ThreadPool(size_t NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Job; returns a future for its completion.
+  std::future<void> submit(std::function<void()> Job);
+
+  /// Blocks until every queued job has finished.
+  void wait();
+
+  size_t size() const { return Workers.size(); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::packaged_task<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::condition_variable Idle;
+  size_t ActiveJobs = 0;
+  bool Stopping = false;
+};
+
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_UTIL_THREADPOOL_H

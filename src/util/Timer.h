@@ -1,0 +1,62 @@
+//===- util/Timer.h - Wall-clock timing -------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stopwatch and scoped timing helpers used by the Table II/III latency
+/// measurements and by the service runtime's operation deadlines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_TIMER_H
+#define COMPILER_GYM_UTIL_TIMER_H
+
+#include <chrono>
+#include <vector>
+
+namespace compiler_gym {
+
+/// Monotonic stopwatch reporting elapsed milliseconds.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or last restart().
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+  /// Elapsed microseconds.
+  double elapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Appends the scope's elapsed milliseconds to a sample vector on
+/// destruction. Used to collect latency distributions.
+class ScopedLatencySample {
+public:
+  explicit ScopedLatencySample(std::vector<double> &Sink) : Sink(Sink) {}
+  ~ScopedLatencySample() { Sink.push_back(Watch.elapsedMs()); }
+
+  ScopedLatencySample(const ScopedLatencySample &) = delete;
+  ScopedLatencySample &operator=(const ScopedLatencySample &) = delete;
+
+private:
+  std::vector<double> &Sink;
+  Stopwatch Watch;
+};
+
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_UTIL_TIMER_H

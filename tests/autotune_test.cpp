@@ -1,0 +1,190 @@
+//===- tests/autotune_test.cpp - Search technique tests --------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Search.h"
+#include "core/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::autotune;
+using namespace compiler_gym::core;
+
+namespace {
+
+std::unique_ptr<CompilerEnv> makeLlvm() {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/bitcount";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "IrInstructionCount";
+  auto Env = make("llvm-v0", Opts);
+  EXPECT_TRUE(Env.isOk());
+  return Env.takeValue();
+}
+
+std::unique_ptr<CompilerEnv> makeGcc() {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://chstone-v0/dfadd";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "ObjSizeBytes";
+  Opts.ActionSpaceName = "gcc-direct-v0";
+  auto Env = make("gcc-v0", Opts);
+  EXPECT_TRUE(Env.isOk());
+  return Env.takeValue();
+}
+
+struct LlvmSearchCase {
+  const char *Name;
+  std::unique_ptr<Search> (*Factory)();
+};
+
+std::unique_ptr<Search> mkRandom() { return createRandomSearch(1, 16); }
+std::unique_ptr<Search> mkGreedy() { return createGreedySearch(); }
+std::unique_ptr<Search> mkLaMcts() { return createLaMctsSearch(1); }
+std::unique_ptr<Search> mkNevergrad() { return createNevergradSearch(1, 12); }
+std::unique_ptr<Search> mkOpenTuner() { return createOpenTunerSearch(1, 12); }
+
+class LlvmAutotuners : public ::testing::TestWithParam<LlvmSearchCase> {};
+
+TEST_P(LlvmAutotuners, FindsImprovingSequenceWithinBudget) {
+  auto Env = makeLlvm();
+  std::unique_ptr<Search> S = GetParam().Factory();
+  EXPECT_EQ(S->name(), std::string(GetParam().Name));
+  SearchBudget Budget;
+  Budget.MaxSteps = 600;
+  auto Result = S->run(*Env, Budget);
+  ASSERT_TRUE(Result.isOk()) << Result.status().toString();
+  EXPECT_GT(Result->BestReward, 0.0) << "no instruction-count reduction";
+  EXPECT_FALSE(Result->BestActions.empty());
+  EXPECT_LE(Result->StepsUsed, Budget.MaxSteps + 64); // Small overshoot ok.
+  EXPECT_GT(Result->CompilationsUsed, 0u);
+
+  // Replaying the best sequence reproduces at least the claimed reward
+  // (deterministic code-size signal).
+  ASSERT_TRUE(Env->reset().isOk());
+  ASSERT_TRUE(Env->step(Result->BestActions).isOk());
+  EXPECT_NEAR(Env->episodeReward(), Result->BestReward, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, LlvmAutotuners,
+    ::testing::Values(LlvmSearchCase{"Random Search", mkRandom},
+                      LlvmSearchCase{"Greedy Search", mkGreedy},
+                      LlvmSearchCase{"LaMCTS", mkLaMcts},
+                      LlvmSearchCase{"Nevergrad", mkNevergrad},
+                      LlvmSearchCase{"OpenTuner", mkOpenTuner}));
+
+TEST(Autotune, PipelineActionsCoverDefaultPipelines) {
+  auto Env = makeLlvm();
+  // Every -Oz and -O3 pipeline pass is exposed as an action, so the
+  // mapping must be lossless; indices must be valid. Pre-reset the env's
+  // space is empty and the registry fallback must give the same answer.
+  std::vector<int> OzPreReset = pipelineActions(*Env, "-Oz");
+  ASSERT_TRUE(Env->reset().isOk());
+  std::vector<int> Oz = pipelineActions(*Env, "-Oz");
+  std::vector<int> O3 = pipelineActions(*Env, "-O3");
+  EXPECT_EQ(Oz, OzPreReset);
+  EXPECT_EQ(Oz.size(), 16u);
+  EXPECT_EQ(O3.size(), 21u);
+  for (int A : Oz)
+    EXPECT_LT(static_cast<size_t>(A), Env->actionSpace().size());
+  for (int A : O3)
+    EXPECT_LT(static_cast<size_t>(A), Env->actionSpace().size());
+  EXPECT_TRUE(pipelineActions(*Env, "-Onope").empty());
+  EXPECT_TRUE(pipelineActions(*Env, "-O0").empty());
+}
+
+TEST_P(LlvmAutotuners, WarmStartFloorsResultAtSeedQuality) {
+  auto Env = makeLlvm();
+  std::vector<int> Seed = pipelineActions(*Env, "-Oz");
+  ASSERT_FALSE(Seed.empty());
+
+  // The seed's own reward, measured independently.
+  SearchBudget Unbounded;
+  BudgetTracker Probe(Unbounded);
+  auto SeedReward = evaluateSequence(*Env, Seed, Probe);
+  ASSERT_TRUE(SeedReward.isOk());
+  EXPECT_GT(*SeedReward, 0.0);
+
+  // A warm-started search must never report worse than its seed, even
+  // under a budget too small to find anything better.
+  std::unique_ptr<Search> S = GetParam().Factory();
+  S->setWarmStart(Seed);
+  SearchBudget Budget;
+  Budget.MaxSteps = 120;
+  auto Result = S->run(*Env, Budget);
+  ASSERT_TRUE(Result.isOk()) << Result.status().toString();
+  EXPECT_GE(Result->BestReward, *SeedReward - 1e-9);
+  EXPECT_FALSE(Result->BestActions.empty());
+
+  // And the reported sequence must reproduce the reported reward.
+  ASSERT_TRUE(Env->reset().isOk());
+  ASSERT_TRUE(Env->step(Result->BestActions).isOk());
+  EXPECT_NEAR(Env->episodeReward(), Result->BestReward, 1e-9);
+}
+
+TEST(Autotune, WallClockBudgetIsHonored) {
+  auto Env = makeLlvm();
+  std::unique_ptr<Search> S = createRandomSearch(2, 8);
+  SearchBudget Budget;
+  Budget.MaxWallSeconds = 0.3;
+  Stopwatch Watch;
+  auto Result = S->run(*Env, Budget);
+  ASSERT_TRUE(Result.isOk());
+  EXPECT_LT(Watch.elapsedMs() / 1000.0, 5.0); // Generous ceiling.
+}
+
+TEST(Autotune, GreedyStopsAtLocalOptimum) {
+  auto Env = makeLlvm();
+  std::unique_ptr<Search> S = createGreedySearch();
+  SearchBudget Budget;
+  Budget.MaxSteps = 100000; // Effectively unbounded: must self-terminate.
+  auto Result = S->run(*Env, Budget);
+  ASSERT_TRUE(Result.isOk());
+  // Terminated because no action gave positive reward, not by budget.
+  EXPECT_LT(Result->StepsUsed, Budget.MaxSteps);
+}
+
+struct GccSearchCase {
+  const char *Name;
+  std::unique_ptr<Search> (*Factory)();
+};
+
+std::unique_ptr<Search> mkGccRandom() { return createGccRandomSearch(3); }
+std::unique_ptr<Search> mkGccHill() { return createGccHillClimb(3, 4); }
+std::unique_ptr<Search> mkGccGa() { return createGccGeneticAlgorithm(3, 20); }
+
+class GccAutotuners : public ::testing::TestWithParam<GccSearchCase> {};
+
+TEST_P(GccAutotuners, ReducesObjectSizeWithinCompilationBudget) {
+  auto Env = makeGcc();
+  std::unique_ptr<Search> S = GetParam().Factory();
+  SearchBudget Budget;
+  Budget.MaxCompilations = 120;
+  auto Result = S->run(*Env, Budget);
+  ASSERT_TRUE(Result.isOk()) << Result.status().toString();
+  EXPECT_GT(Result->BestReward, 0.0) << "no object-size reduction";
+  EXPECT_LE(Result->CompilationsUsed, 125u);
+  EXPECT_EQ(Result->BestActions.size(), 502u); // A full choice vector.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, GccAutotuners,
+    ::testing::Values(GccSearchCase{"Random Search", mkGccRandom},
+                      GccSearchCase{"Hill Climbing", mkGccHill},
+                      GccSearchCase{"Genetic Algorithm", mkGccGa}));
+
+TEST(Autotune, EvaluateSequenceCountsBudget) {
+  auto Env = makeLlvm();
+  SearchBudget Budget;
+  BudgetTracker Tracker(Budget);
+  auto R = evaluateSequence(*Env, {0, 1, 2}, Tracker);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_EQ(Tracker.compilations(), 1u);
+  EXPECT_EQ(Tracker.steps(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+//===- tests/datasets_test.cpp - Benchmark dataset tests -------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/DatasetRegistry.h"
+#include "datasets/CuratedSuites.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::datasets;
+
+namespace {
+
+TEST(BenchmarkUri, Parses) {
+  std::string Dataset, Name;
+  ASSERT_TRUE(parseBenchmarkUri("benchmark://cbench-v1/qsort", Dataset, Name)
+                  .isOk());
+  EXPECT_EQ(Dataset, "benchmark://cbench-v1");
+  EXPECT_EQ(Name, "qsort");
+  ASSERT_TRUE(parseBenchmarkUri("benchmark://cbench-v1", Dataset, Name)
+                  .isOk());
+  EXPECT_EQ(Name, "");
+  EXPECT_FALSE(parseBenchmarkUri("http://nope", Dataset, Name).isOk());
+}
+
+TEST(DatasetRegistry, MatchesTableOne) {
+  const DatasetRegistry &Reg = DatasetRegistry::instance();
+  struct Expected {
+    const char *Uri;
+    uint64_t Count;
+  };
+  // Counts from Table I of the paper.
+  const Expected Cases[] = {
+      {"benchmark://anghabench-v1", 1041333},
+      {"benchmark://blas-v0", 300},
+      {"benchmark://cbench-v1", 23},
+      {"benchmark://chstone-v0", 12},
+      {"benchmark://clgen-v0", 996},
+      {"benchmark://github-v0", 49738},
+      {"benchmark://linux-v0", 13894},
+      {"benchmark://mibench-v1", 40},
+      {"benchmark://npb-v0", 122},
+      {"benchmark://opencv-v0", 442},
+      {"benchmark://poj104-v1", 49816},
+      {"benchmark://tensorflow-v0", 1985},
+  };
+  for (const Expected &C : Cases) {
+    const Dataset *D = Reg.dataset(C.Uri);
+    ASSERT_NE(D, nullptr) << C.Uri;
+    EXPECT_EQ(D->size(), C.Count) << C.Uri;
+  }
+  // Generators with 32-bit seed spaces.
+  EXPECT_EQ(Reg.dataset("benchmark://csmith-v0")->size(), 1ull << 32);
+  EXPECT_EQ(Reg.dataset("benchmark://llvm-stress-v0")->size(), 1ull << 32);
+  EXPECT_EQ(Reg.dataset("benchmark://not-real-v9"), nullptr);
+}
+
+TEST(DatasetRegistry, OnlyCbenchAndCsmithAreRunnable) {
+  const DatasetRegistry &Reg = DatasetRegistry::instance();
+  for (const auto &D : Reg.datasets()) {
+    bool ExpectRunnable = D->name() == "benchmark://cbench-v1" ||
+                          D->name() == "benchmark://csmith-v0" ||
+                          D->name() == "benchmark://loop_tool-v0";
+    EXPECT_EQ(D->runnable(), ExpectRunnable) << D->name();
+  }
+}
+
+TEST(DatasetRegistry, CbenchHasTheClassicMembers) {
+  const Dataset *D =
+      DatasetRegistry::instance().dataset("benchmark://cbench-v1");
+  ASSERT_NE(D, nullptr);
+  std::vector<std::string> Names = D->benchmarkNames(100);
+  ASSERT_EQ(Names.size(), 23u);
+  for (const char *Member : {"crc32", "qsort", "sha", "ghostscript",
+                             "dijkstra", "jpeg-c"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Member), Names.end())
+        << Member;
+}
+
+TEST(DatasetRegistry, ResolveFullAndDatasetOnlyUris) {
+  const DatasetRegistry &Reg = DatasetRegistry::instance();
+  auto B = Reg.resolve("benchmark://cbench-v1/crc32");
+  ASSERT_TRUE(B.isOk());
+  EXPECT_EQ(B->Uri, "benchmark://cbench-v1/crc32");
+  EXPECT_TRUE(B->Runnable);
+  EXPECT_FALSE(B->IrText.empty());
+
+  auto First = Reg.resolve("benchmark://chstone-v0");
+  ASSERT_TRUE(First.isOk());
+  EXPECT_EQ(First->Uri, "benchmark://chstone-v0/adpcm");
+
+  EXPECT_FALSE(Reg.resolve("benchmark://cbench-v1/not-a-benchmark").isOk());
+  EXPECT_FALSE(Reg.resolve("benchmark://no-dataset/x").isOk());
+}
+
+TEST(DatasetRegistry, BenchmarksAreDeterministic) {
+  const DatasetRegistry &Reg = DatasetRegistry::instance();
+  auto A = Reg.resolve("benchmark://csmith-v0/12345");
+  auto B = Reg.resolve("benchmark://csmith-v0/12345");
+  ASSERT_TRUE(A.isOk());
+  ASSERT_TRUE(B.isOk());
+  EXPECT_EQ(A->IrText, B->IrText);
+  auto C = Reg.resolve("benchmark://csmith-v0/12346");
+  ASSERT_TRUE(C.isOk());
+  EXPECT_NE(A->IrText, C->IrText);
+}
+
+class DatasetSanity : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(DatasetSanity, FirstBenchmarksParseAndVerify) {
+  const Dataset *D = DatasetRegistry::instance().dataset(GetParam());
+  ASSERT_NE(D, nullptr);
+  std::vector<std::string> Names = D->benchmarkNames(3);
+  ASSERT_FALSE(Names.empty());
+  for (const std::string &Name : Names) {
+    auto B = D->benchmark(Name);
+    ASSERT_TRUE(B.isOk()) << Name;
+    auto M = ir::parseModule(B->IrText);
+    ASSERT_TRUE(M.isOk()) << Name << ": " << M.status().toString();
+    EXPECT_TRUE(ir::verifyModule(**M).isOk()) << Name;
+    EXPECT_GT((*M)->instructionCount(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSanity,
+    ::testing::Values("benchmark://anghabench-v1", "benchmark://blas-v0",
+                      "benchmark://cbench-v1", "benchmark://chstone-v0",
+                      "benchmark://clgen-v0", "benchmark://csmith-v0",
+                      "benchmark://github-v0", "benchmark://linux-v0",
+                      "benchmark://llvm-stress-v0", "benchmark://mibench-v1",
+                      "benchmark://npb-v0", "benchmark://opencv-v0",
+                      "benchmark://poj104-v1", "benchmark://tensorflow-v0"));
+
+TEST(DatasetRegistry, CbenchSizesSpreadWidely) {
+  // Fig 6 requires a large spread between the smallest and largest cBench
+  // programs (the paper reports 560x in median step time).
+  const Dataset *D =
+      DatasetRegistry::instance().dataset("benchmark://cbench-v1");
+  auto Small = D->benchmark("crc32");
+  auto Large = D->benchmark("ghostscript");
+  ASSERT_TRUE(Small.isOk());
+  ASSERT_TRUE(Large.isOk());
+  auto SmallM = ir::parseModule(Small->IrText);
+  auto LargeM = ir::parseModule(Large->IrText);
+  ASSERT_TRUE(SmallM.isOk());
+  ASSERT_TRUE(LargeM.isOk());
+  double Ratio = static_cast<double>((*LargeM)->instructionCount()) /
+                 static_cast<double>((*SmallM)->instructionCount());
+  EXPECT_GT(Ratio, 10.0);
+}
+
+TEST(Dataset, RandomBenchmarkIsFromDataset) {
+  const Dataset *D =
+      DatasetRegistry::instance().dataset("benchmark://chstone-v0");
+  Rng Gen(3);
+  auto B = D->randomBenchmark(Gen);
+  ASSERT_TRUE(B.isOk());
+  EXPECT_EQ(B->Uri.rfind("benchmark://chstone-v0/", 0), 0u);
+}
+
+TEST(Dataset, LoopToolBenchmarksCarrySizes) {
+  auto B = DatasetRegistry::instance().resolve(
+      "benchmark://loop_tool-v0/1048576");
+  ASSERT_TRUE(B.isOk());
+  ASSERT_EQ(B->Inputs.size(), 1u);
+  EXPECT_EQ(B->Inputs[0], 1048576);
+  EXPECT_FALSE(DatasetRegistry::instance()
+                   .resolve("benchmark://loop_tool-v0/-3")
+                   .isOk());
+}
+
+} // namespace

@@ -1,0 +1,297 @@
+//===- tests/env_test.cpp - End-to-end environment tests -------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The Listing-1 loop and every frontend feature over the real RPC stack:
+// make/reset/step/observe, rewards, batching, laziness, fork, state
+// serialization, and writeIr.
+
+#include "core/Registry.h"
+#include "core/Wrappers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+
+namespace {
+
+std::unique_ptr<CompilerEnv> makeLlvm(const std::string &Benchmark =
+                                          "benchmark://cbench-v1/crc32") {
+  MakeOptions Opts;
+  Opts.Benchmark = Benchmark;
+  Opts.ObservationSpace = "Autophase";
+  Opts.RewardSpace = "IrInstructionCount";
+  auto Env = make("llvm-v0", Opts);
+  EXPECT_TRUE(Env.isOk()) << Env.status().toString();
+  return Env.takeValue();
+}
+
+TEST(Env, MakeUnknownEnvFails) {
+  auto Env = make("not-an-env-v0");
+  ASSERT_FALSE(Env.isOk());
+  EXPECT_EQ(Env.status().code(), StatusCode::NotFound);
+}
+
+TEST(Env, ResetReturnsAutophaseObservation) {
+  auto Env = makeLlvm();
+  auto Obs = Env->reset();
+  ASSERT_TRUE(Obs.isOk()) << Obs.status().toString();
+  EXPECT_EQ(Obs->Ints.size(), 56u);
+}
+
+TEST(Env, StepBeforeResetFails) {
+  auto Env = makeLlvm();
+  auto R = Env->step(0);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::FailedPrecondition);
+}
+
+TEST(Env, ActionSpaceIsTheDefaultPassList) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  EXPECT_GT(Env->actionSpace().size(), 40u);
+  // Quarantined nondeterministic pass must not be an action.
+  for (const std::string &Name : Env->actionSpace().ActionNames)
+    EXPECT_NE(Name, "gvn-sink");
+}
+
+TEST(Env, ListingOneInteractionLoop) {
+  auto Env = makeLlvm("benchmark://cbench-v1/qsort");
+  ASSERT_TRUE(Env->reset().isOk());
+  Rng Gen(7);
+  double Cumulative = 0.0;
+  for (int I = 0; I < 50; ++I) {
+    int Action = static_cast<int>(Gen.bounded(Env->actionSpace().size()));
+    auto R = Env->step(Action);
+    ASSERT_TRUE(R.isOk()) << R.status().toString();
+    Cumulative += R->Reward;
+    EXPECT_FALSE(R->Done); // Phase ordering has no terminal state.
+  }
+  EXPECT_NEAR(Cumulative, Env->episodeReward(), 1e-9);
+  EXPECT_EQ(Env->episodeLength(), 50u);
+}
+
+TEST(Env, RewardIsInstructionCountDelta) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  auto Before = Env->observe("IrInstructionCount");
+  ASSERT_TRUE(Before.isOk());
+  // mem2reg strictly shrinks -O0-style code.
+  int Mem2Reg = -1;
+  const auto &Names = Env->actionSpace().ActionNames;
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (Names[I] == "mem2reg")
+      Mem2Reg = static_cast<int>(I);
+  ASSERT_GE(Mem2Reg, 0);
+  auto R = Env->step(Mem2Reg);
+  ASSERT_TRUE(R.isOk());
+  auto After = Env->observe("IrInstructionCount");
+  ASSERT_TRUE(After.isOk());
+  EXPECT_GT(R->Reward, 0.0);
+  EXPECT_EQ(static_cast<int64_t>(R->Reward),
+            Before->IntValue - After->IntValue);
+}
+
+TEST(Env, BatchedStepMatchesSequentialFinalState) {
+  auto EnvA = makeLlvm();
+  auto EnvB = makeLlvm();
+  ASSERT_TRUE(EnvA->reset().isOk());
+  ASSERT_TRUE(EnvB->reset().isOk());
+  std::vector<int> Actions = {0, 5, 9, 2, 14};
+  for (int A : Actions)
+    ASSERT_TRUE(EnvA->step(A).isOk());
+  ASSERT_TRUE(EnvB->step(Actions).isOk()); // One batched RPC.
+  auto HashA = EnvA->observe("IrHash");
+  auto HashB = EnvB->observe("IrHash");
+  ASSERT_TRUE(HashA.isOk());
+  ASSERT_TRUE(HashB.isOk());
+  EXPECT_EQ(HashA->Str, HashB->Str);
+  // Batched used fewer RPCs.
+  EXPECT_LT(EnvB->client().rpcCount(), EnvA->client().rpcCount());
+}
+
+TEST(Env, LazyObservationSpaces) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  for (const char *Space : {"Ir", "InstCount", "Autophase", "Inst2vec",
+                            "Programl", "IrInstructionCount",
+                            "ObjectTextSizeBytes"}) {
+    auto Obs = Env->observe(Space);
+    EXPECT_TRUE(Obs.isOk()) << Space << ": " << Obs.status().toString();
+  }
+  auto Bad = Env->observe("NotASpace");
+  ASSERT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.status().code(), StatusCode::NotFound);
+}
+
+TEST(Env, ForkProducesIndependentCopies) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  ASSERT_TRUE(Env->step(3).isOk());
+
+  auto Forked = Env->fork();
+  ASSERT_TRUE(Forked.isOk()) << Forked.status().toString();
+  auto HashBase = Env->observe("IrHash");
+  auto HashFork = (*Forked)->observe("IrHash");
+  ASSERT_TRUE(HashBase.isOk());
+  ASSERT_TRUE(HashFork.isOk());
+  EXPECT_EQ(HashBase->Str, HashFork->Str);
+
+  // Stepping the fork must not disturb the original.
+  int Mem2Reg = -1;
+  const auto &Names = Env->actionSpace().ActionNames;
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (Names[I] == "mem2reg")
+      Mem2Reg = static_cast<int>(I);
+  ASSERT_TRUE((*Forked)->step(Mem2Reg).isOk());
+  auto HashBase2 = Env->observe("IrHash");
+  auto HashFork2 = (*Forked)->observe("IrHash");
+  EXPECT_EQ(HashBase->Str, HashBase2->Str);
+  EXPECT_NE(HashFork2->Str, HashBase2->Str);
+}
+
+TEST(Env, ForkInheritsEpisodeState) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  ASSERT_TRUE(Env->step(1).isOk());
+  ASSERT_TRUE(Env->step(2).isOk());
+  auto Forked = Env->fork();
+  ASSERT_TRUE(Forked.isOk());
+  EXPECT_EQ((*Forked)->state().Actions, Env->state().Actions);
+  EXPECT_DOUBLE_EQ((*Forked)->episodeReward(), Env->episodeReward());
+}
+
+TEST(Env, StateSerializationRoundTrips) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  ASSERT_TRUE(Env->step(std::vector<int>{4, 8, 15}).isOk());
+  EnvState State = Env->state();
+  auto Restored = EnvState::deserialize(State.serialize());
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_EQ(*Restored, State);
+}
+
+TEST(Env, WriteIrProducesParsableText) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  std::string Path = ::testing::TempDir() + "/cg_env_test_out.ir";
+  ASSERT_TRUE(Env->writeIr(Path).isOk());
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string First;
+  std::getline(In, First);
+  EXPECT_EQ(First.rfind("module", 0), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(Env, RuntimeRewardOnlyForRunnableBenchmarks) {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://chstone-v0/sha"; // Not runnable.
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "none";
+  auto Env = make("llvm-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  auto Runtime = (*Env)->observe("Runtime");
+  ASSERT_FALSE(Runtime.isOk());
+  EXPECT_EQ(Runtime.status().code(), StatusCode::FailedPrecondition);
+
+  auto Runnable = makeLlvm("benchmark://cbench-v1/crc32");
+  ASSERT_TRUE(Runnable->reset().isOk());
+  auto Seconds = Runnable->observe("Runtime");
+  ASSERT_TRUE(Seconds.isOk()) << Seconds.status().toString();
+  EXPECT_GT(Seconds->DoubleValue, 0.0);
+}
+
+TEST(Env, ScaledRewardReachesOneAtOzParity) {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/bitcount";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "IrInstructionCountOz";
+  auto Env = make("llvm-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  // Apply the -Oz pipeline manually through actions; cumulative scaled
+  // reward should approach ~1.0 (parity with -Oz).
+  const auto &Names = (*Env)->actionSpace().ActionNames;
+  auto indexOf = [&](const std::string &Name) {
+    for (size_t I = 0; I < Names.size(); ++I)
+      if (Names[I] == Name)
+        return static_cast<int>(I);
+    return -1;
+  };
+  for (int Round = 0; Round < 3; ++Round)
+    for (const char *Pass :
+         {"mem2reg", "instcombine", "simplifycfg", "sccp", "early-cse",
+          "gvn", "loop-simplify", "licm", "loop-delete", "dse-local",
+          "store-forward", "redundant-load-elim", "adce", "phi-simplify",
+          "simplifycfg", "global-dce"}) {
+      int Idx = indexOf(Pass);
+      ASSERT_GE(Idx, 0) << Pass;
+      ASSERT_TRUE((*Env)->step(Idx).isOk());
+    }
+  EXPECT_GT((*Env)->episodeReward(), 0.9);
+}
+
+TEST(Wrappers, TimeLimitEndsEpisode) {
+  auto Env = makeLlvm();
+  TimeLimit Limited(std::move(Env), 3);
+  ASSERT_TRUE(Limited.reset().isOk());
+  ASSERT_FALSE(Limited.step(0)->Done);
+  ASSERT_FALSE(Limited.step(1)->Done);
+  EXPECT_TRUE(Limited.step(2)->Done);
+}
+
+TEST(Wrappers, ActionSubsetRemapsActions) {
+  auto Env = makeLlvm();
+  CompilerEnv *Raw = Env.get();
+  ASSERT_TRUE(Env->reset().isOk());
+  ActionSubset Subset(std::move(Env), {7, 2, 11});
+  EXPECT_EQ(Subset.actionSpace().size(), 3u);
+  ASSERT_TRUE(Subset.step(0).isOk());
+  EXPECT_EQ(Raw->state().Actions, (std::vector<int>{7}));
+  auto Bad = Subset.step(3);
+  ASSERT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.status().code(), StatusCode::OutOfRange);
+}
+
+TEST(Wrappers, ObservationHistogramAppendsCounts) {
+  auto Env = makeLlvm();
+  size_t NumActions = 0;
+  {
+    ASSERT_TRUE(Env->reset().isOk());
+    NumActions = Env->actionSpace().size();
+  }
+  ObservationHistogram WithHist(std::move(Env));
+  auto Obs = WithHist.reset();
+  ASSERT_TRUE(Obs.isOk());
+  EXPECT_EQ(Obs->Ints.size(), 56u + NumActions);
+  auto R = WithHist.step(0);
+  ASSERT_TRUE(R.isOk());
+  ASSERT_EQ(R->Obs.Ints.size(), 56u + NumActions);
+  EXPECT_EQ(R->Obs.Ints[56], 100); // 100% of actions are action 0.
+}
+
+TEST(Wrappers, CycleOverBenchmarksRotates) {
+  auto Wrapped = makeLlvm();
+  CompilerEnv *Raw = Wrapped.get();
+  CycleOverBenchmarks Cycle(
+      std::move(Wrapped),
+      {"benchmark://cbench-v1/crc32", "benchmark://cbench-v1/sha"},
+      [](Env &E, const std::string &Uri) {
+        static_cast<CompilerEnv &>(E).setBenchmark(Uri);
+      });
+  ASSERT_TRUE(Cycle.reset().isOk());
+  EXPECT_EQ(Raw->benchmark(), "benchmark://cbench-v1/crc32");
+  ASSERT_TRUE(Cycle.reset().isOk());
+  EXPECT_EQ(Raw->benchmark(), "benchmark://cbench-v1/sha");
+  ASSERT_TRUE(Cycle.reset().isOk());
+  EXPECT_EQ(Raw->benchmark(), "benchmark://cbench-v1/crc32");
+}
+
+} // namespace

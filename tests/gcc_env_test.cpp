@@ -1,0 +1,241 @@
+//===- tests/gcc_env_test.cpp - GCC flag-tuning env tests ------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Registry.h"
+#include "envs/gcc/GccSession.h"
+
+#include <gtest/gtest.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+using namespace compiler_gym::envs;
+
+namespace {
+
+TEST(GccOptionSpace, Has502OptionsLikeGcc11) {
+  const GccOptionSpace &Space = GccSession::optionSpace();
+  EXPECT_EQ(Space.options().size(), 502u); // §V-B: 1 + 242 + 259... = 502.
+  size_t OLevels = 0, Flags = 0, Params = 0;
+  for (const GccOption &O : Space.options()) {
+    switch (O.OptKind) {
+    case GccOption::Kind::OLevel:
+      ++OLevels;
+      break;
+    case GccOption::Kind::Flag:
+      ++Flags;
+      EXPECT_EQ(O.Cardinality, 3); // unset / on / off.
+      break;
+    case GccOption::Kind::Param:
+      ++Params;
+      EXPECT_EQ(O.Cardinality,
+                static_cast<int64_t>(O.ParamValues.size()));
+      break;
+    }
+  }
+  EXPECT_EQ(OLevels, 1u);
+  EXPECT_EQ(Flags, 242u);
+  EXPECT_EQ(Params, 259u);
+}
+
+TEST(GccOptionSpace, SpaceSizeIsAstronomical) {
+  // Paper: ~10^461 for GCC 11.2. Ours is the same order of magnitude
+  // (hundreds of orders of magnitude).
+  double Log10 = GccSession::optionSpace().log10SpaceSize();
+  EXPECT_GT(Log10, 300.0);
+  EXPECT_LT(Log10, 700.0);
+}
+
+TEST(GccOptionSpace, OlderGccExposesASmallerSpace) {
+  GccOptionSpace Gcc5(5);
+  EXPECT_LT(Gcc5.options().size(),
+            GccSession::optionSpace().options().size());
+  EXPECT_LT(Gcc5.log10SpaceSize(),
+            GccSession::optionSpace().log10SpaceSize());
+}
+
+TEST(GccOptionSpace, CategoricalActionsFollowTheCardinalityRule) {
+  const GccOptionSpace &Space = GccSession::optionSpace();
+  // Options with cardinality < 10 get one action per value; others get the
+  // eight +/-{1,10,100,1000} adjusters.
+  size_t Expected = 0;
+  for (const GccOption &O : Space.options())
+    Expected += O.Cardinality < 10 ? static_cast<size_t>(O.Cardinality) : 8;
+  EXPECT_EQ(Space.actions().size(), Expected);
+  EXPECT_GT(Space.actions().size(), 1500u); // Paper's space: 2281.
+}
+
+TEST(GccOptionSpace, ApplyActionClampsAndMutates) {
+  const GccOptionSpace &Space = GccSession::optionSpace();
+  std::vector<int64_t> Choices = Space.defaultChoices();
+  ASSERT_TRUE(Space.applyAction(0, Choices)); // "-O=0".
+  EXPECT_FALSE(Space.applyAction(Space.actions().size(), Choices));
+
+  // Find a delta action and exercise clamping at both ends.
+  for (size_t I = 0; I < Space.actions().size(); ++I) {
+    const GccAction &A = Space.actions()[I];
+    if (!A.IsDelta || A.Delta != -1000)
+      continue;
+    ASSERT_TRUE(Space.applyAction(I, Choices));
+    EXPECT_EQ(Choices[A.OptionIndex], 0); // Clamped at zero.
+    break;
+  }
+}
+
+TEST(GccOptionSpace, PlanMapsChoicesToPipeline) {
+  const GccOptionSpace &Space = GccSession::optionSpace();
+  std::vector<int64_t> Choices = Space.defaultChoices();
+  GccOptionSpace::CompilePlan Plan = Space.plan(Choices);
+  EXPECT_EQ(Plan.OLevel, "-O0");
+
+  Choices[0] = 4; // -O3.
+  Plan = Space.plan(Choices);
+  EXPECT_EQ(Plan.OLevel, "-O3");
+
+  // Find the -fmem2reg flag and set it to "on".
+  for (size_t I = 0; I < Space.options().size(); ++I) {
+    if (Space.options()[I].Name == "-fmem2reg") {
+      Choices[I] = 1;
+      Plan = Space.plan(Choices);
+      EXPECT_NE(std::find(Plan.ExtraPasses.begin(), Plan.ExtraPasses.end(),
+                          "mem2reg"),
+                Plan.ExtraPasses.end());
+      Choices[I] = 2; // -fno-mem2reg.
+      Plan = Space.plan(Choices);
+      EXPECT_NE(std::find(Plan.DisabledPasses.begin(),
+                          Plan.DisabledPasses.end(), "mem2reg"),
+                Plan.DisabledPasses.end());
+      return;
+    }
+  }
+  FAIL() << "no -fmem2reg option found";
+}
+
+std::unique_ptr<CompilerEnv> makeGcc() {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://chstone-v0/sha";
+  auto Env = make("gcc-v0", Opts);
+  EXPECT_TRUE(Env.isOk()) << Env.status().toString();
+  return Env.takeValue();
+}
+
+TEST(GccEnv, DefaultsToCategoricalSpace) {
+  auto Env = makeGcc();
+  ASSERT_TRUE(Env->reset().isOk());
+  EXPECT_EQ(Env->actionSpace().Name, "gcc-categorical-v0");
+  EXPECT_EQ(Env->actionSpace().size(),
+            GccSession::optionSpace().actions().size());
+}
+
+TEST(GccEnv, ChoicesObservationTracksActions) {
+  auto Env = makeGcc();
+  auto Obs = Env->reset();
+  ASSERT_TRUE(Obs.isOk());
+  EXPECT_EQ(Obs->Ints.size(), 502u);
+  for (int64_t C : Obs->Ints)
+    EXPECT_EQ(C, 0);
+  // Action 1 is "-O=1" (set option 0 to choice 1 = -O0... order: value 0
+  // first). Apply "-O=4" (choice index 4 = -O3): action index 4.
+  auto R = Env->step(4);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_EQ(R->Obs.Ints[0], 4);
+}
+
+TEST(GccEnv, OLevelsShrinkObjectCode) {
+  auto Env = makeGcc();
+  ASSERT_TRUE(Env->reset().isOk());
+  auto Size0 = Env->observe("ObjSizeBytes");
+  ASSERT_TRUE(Size0.isOk());
+  // Switch to -Os (choice 5 of option 0 -> action index 5).
+  ASSERT_TRUE(Env->step(5).isOk());
+  auto SizeOs = Env->observe("ObjSizeBytes");
+  ASSERT_TRUE(SizeOs.isOk());
+  EXPECT_LT(SizeOs->IntValue, Size0->IntValue);
+  // Episode reward (ObjSizeBytes delta) equals the total reduction.
+  EXPECT_DOUBLE_EQ(Env->episodeReward(),
+                   static_cast<double>(Size0->IntValue - SizeOs->IntValue));
+}
+
+TEST(GccEnv, DirectActionSpaceSetsWholeVector) {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://chstone-v0/sha";
+  Opts.ActionSpaceName = "gcc-direct-v0";
+  auto Env = make("gcc-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  std::vector<int64_t> Choices(502, 0);
+  Choices[0] = 4; // -O3.
+  auto R = (*Env)->stepDirect(Choices);
+  ASSERT_TRUE(R.isOk()) << R.status().toString();
+  auto Obs = (*Env)->observe("Choices");
+  ASSERT_TRUE(Obs.isOk());
+  EXPECT_EQ(Obs->Ints[0], 4);
+
+  // Wrong-length vectors are rejected.
+  auto Bad = (*Env)->stepDirect({1, 2, 3});
+  ASSERT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(GccEnv, ObservationSpacesAllWork) {
+  auto Env = makeGcc();
+  ASSERT_TRUE(Env->reset().isOk());
+  for (const char *Space : {"InstructionCount", "Choices", "Rtl", "Asm",
+                            "Obj", "AsmSizeBytes", "ObjSizeBytes",
+                            "ObjSizeOs"}) {
+    auto Obs = Env->observe(Space);
+    EXPECT_TRUE(Obs.isOk()) << Space << ": " << Obs.status().toString();
+  }
+  auto Asm = Env->observe("Asm");
+  ASSERT_TRUE(Asm.isOk());
+  EXPECT_NE(Asm->Str.find(".text"), std::string::npos);
+}
+
+TEST(GccEnv, RecompilesFromSourceEachConfig) {
+  // GCC env state is the flag configuration: toggling a flag on and back
+  // off returns to the original object code (no hidden IR state).
+  auto Env = makeGcc();
+  ASSERT_TRUE(Env->reset().isOk());
+  auto Size0 = Env->observe("ObjSizeBytes");
+  ASSERT_TRUE(Size0.isOk());
+  ASSERT_TRUE(Env->step(4).isOk()); // -O3.
+  auto Size1 = Env->observe("ObjSizeBytes");
+  ASSERT_TRUE(Env->step(1).isOk()); // Back to -O0 (choice 1).
+  auto Size2 = Env->observe("ObjSizeBytes");
+  ASSERT_TRUE(Size2.isOk());
+  EXPECT_NE(Size1->IntValue, Size0->IntValue);
+  EXPECT_EQ(Size2->IntValue, Size0->IntValue);
+}
+
+TEST(GccEnv, ForkCopiesChoices) {
+  auto Env = makeGcc();
+  ASSERT_TRUE(Env->reset().isOk());
+  ASSERT_TRUE(Env->step(4).isOk());
+  auto Fork = Env->fork();
+  ASSERT_TRUE(Fork.isOk());
+  auto Obs = (*Fork)->observe("Choices");
+  ASSERT_TRUE(Obs.isOk());
+  EXPECT_EQ(Obs->Ints[0], 4);
+}
+
+TEST(GccEnv, FlagsComposeWithOLevel) {
+  // -O0 plus -fmem2reg must shrink code relative to plain -O0.
+  auto Env = makeGcc();
+  ASSERT_TRUE(Env->reset().isOk());
+  auto Size0 = Env->observe("ObjSizeBytes");
+  ASSERT_TRUE(Size0.isOk());
+  const auto &Actions = GccSession::optionSpace().actions();
+  int FlagAction = -1;
+  for (size_t I = 0; I < Actions.size(); ++I)
+    if (Actions[I].Name == "-fmem2reg=1")
+      FlagAction = static_cast<int>(I);
+  ASSERT_GE(FlagAction, 0);
+  ASSERT_TRUE(Env->step(FlagAction).isOk());
+  auto Size1 = Env->observe("ObjSizeBytes");
+  ASSERT_TRUE(Size1.isOk());
+  EXPECT_LT(Size1->IntValue, Size0->IntValue);
+}
+
+} // namespace

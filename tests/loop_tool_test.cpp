@@ -1,0 +1,239 @@
+//===- tests/loop_tool_test.cpp - CUDA loop-nest env tests -----*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Registry.h"
+#include "envs/loop_tool/GpuModel.h"
+#include "envs/loop_tool/LoopTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+using namespace compiler_gym::envs;
+
+namespace {
+
+TEST(LoopTree, StartsAsSingleLoop) {
+  LoopTree T(1 << 20);
+  ASSERT_EQ(T.loops().size(), 1u);
+  EXPECT_EQ(T.loops()[0].Size, 1 << 20);
+  EXPECT_FALSE(T.loops()[0].Threaded);
+  EXPECT_EQ(T.cursor(), 0);
+  EXPECT_EQ(T.mode(), CursorMode::Move);
+  EXPECT_EQ(T.coverage(), 1 << 20);
+  EXPECT_EQ(T.totalThreads(), 1);
+}
+
+TEST(LoopTree, SplitDeepensTheNest) {
+  LoopTree T(1000);
+  ASSERT_TRUE(T.split());
+  ASSERT_EQ(T.loops().size(), 2u);
+  EXPECT_EQ(T.loops()[0].Size, 500);
+  EXPECT_EQ(T.loops()[1].Size, 2);
+  EXPECT_GE(T.coverage(), 1000);
+}
+
+TEST(LoopTree, CursorMovesWithinBounds) {
+  LoopTree T(64);
+  EXPECT_FALSE(T.cursorUp());   // Already outermost.
+  EXPECT_FALSE(T.cursorDown()); // No inner loop yet.
+  ASSERT_TRUE(T.split());
+  EXPECT_TRUE(T.cursorDown());
+  EXPECT_EQ(T.cursor(), 1);
+  EXPECT_FALSE(T.cursorDown());
+  EXPECT_TRUE(T.cursorUp());
+  EXPECT_EQ(T.cursor(), 0);
+}
+
+TEST(LoopTree, ModifyModeResizesAndParentRebalances) {
+  LoopTree T(100);
+  ASSERT_TRUE(T.split()); // [50, 2].
+  ASSERT_TRUE(T.cursorDown());
+  ASSERT_TRUE(T.toggleMode());
+  EXPECT_EQ(T.mode(), CursorMode::Modify);
+  // Grow the inner loop: the paper's "up increases its size by one. This
+  // is done by changing the size of the parent loop to accommodate".
+  ASSERT_TRUE(T.cursorUp()); // Inner 2 -> 3; outer re-derived to 34.
+  EXPECT_EQ(T.loops()[1].Size, 3);
+  EXPECT_EQ(T.loops()[0].Size, 34);
+  EXPECT_GE(T.coverage(), 100);
+  // Shrink back down.
+  ASSERT_TRUE(T.cursorDown());
+  EXPECT_EQ(T.loops()[1].Size, 2);
+  EXPECT_EQ(T.loops()[0].Size, 50);
+  // Cannot shrink below one.
+  ASSERT_TRUE(T.cursorDown());
+  EXPECT_FALSE(T.cursorDown());
+}
+
+TEST(LoopTree, ThreadToggles) {
+  LoopTree T(4096);
+  ASSERT_TRUE(T.thread());
+  EXPECT_TRUE(T.loops()[0].Threaded);
+  EXPECT_EQ(T.totalThreads(), 4096);
+  ASSERT_TRUE(T.thread());
+  EXPECT_EQ(T.totalThreads(), 1);
+}
+
+TEST(LoopTree, DumpMatchesListingFourShape) {
+  LoopTree T(1048576);
+  T.thread();
+  std::string Dump = T.dump();
+  EXPECT_NE(Dump.find("for a in 1048576 : L0 [thread]"), std::string::npos);
+  EXPECT_NE(Dump.find("%0[a] <- read()"), std::string::npos);
+  EXPECT_NE(Dump.find("%2[a] <- add(%0, %1)"), std::string::npos);
+  EXPECT_NE(Dump.find("%3[a] <- write(%2)"), std::string::npos);
+}
+
+// -- GPU model -------------------------------------------------------------------
+
+TEST(GpuModel, PeakIsBandwidthBound) {
+  GpuDescriptor Gpu;
+  EXPECT_NEAR(theoreticalPeakFlops(Gpu), 6.0e10, 1e9); // 720GB/s / 12B.
+}
+
+TEST(GpuModel, SerialExecutionIsOrdersOfMagnitudeSlow) {
+  LoopTree T(1 << 20);
+  double Serial = modelFlops(T);
+  EXPECT_LT(Serial, theoreticalPeakFlops() / 50.0);
+}
+
+TEST(GpuModel, BestConfigReachesAboutSeventyPercentOfPeak) {
+  // Sweep thread counts x inner sizes; the best observed FLOPs should land
+  // near the paper's 73.5% of theoretical peak.
+  double Best = 0.0;
+  for (int ThreadLog = 8; ThreadLog <= 18; ++ThreadLog) {
+    // A reasonably large problem: launch overheads amortize (small kernels
+    // cannot reach peak on real GPUs either).
+    LoopTree T(1 << 22);
+    ASSERT_TRUE(T.split());
+    // Outer loop = threads, inner = per-thread work: move the cursor to
+    // the inner loop, switch to modify mode, grow it, switch back.
+    T.cursorDown();
+    T.toggleMode();
+    int64_t Inner = (1 << 22) >> ThreadLog;
+    while (T.loops()[1].Size < Inner && T.cursorUp()) {
+    }
+    T.toggleMode();
+    T.cursorUp();
+    T.thread();
+    Best = std::max(Best, modelFlops(T));
+  }
+  double Fraction = Best / theoreticalPeakFlops();
+  EXPECT_GT(Fraction, 0.55);
+  EXPECT_LE(Fraction, 0.80);
+}
+
+TEST(GpuModel, SchedulerCliffNearHundredKThreads) {
+  // Fig 7's drop: threading far past 100k threads must lose throughput
+  // relative to a configuration below the cliff.
+  auto flopsAtThreads = [](int64_t Threads) {
+    LoopTree T(1 << 22);
+    T.split();
+    T.cursorDown();
+    T.toggleMode();
+    while (T.loops()[1].Size < (1 << 22) / Threads && T.cursorUp()) {
+    }
+    T.toggleMode();
+    T.cursorUp();
+    T.thread();
+    return modelFlops(T);
+  };
+  double Below = flopsAtThreads(64 * 1024);  // 65k threads.
+  double Above = flopsAtThreads(512 * 1024); // 524k threads: past cliff.
+  EXPECT_GT(Below, Above);
+}
+
+TEST(GpuModel, TailOvershootIsPenalized) {
+  // Two trees with identical structure ([22, 3] nests, outer threaded) and
+  // identical wall time, but one covers N=66 exactly while the other only
+  // needs N=64 of its 66 iterations: useful throughput must be lower.
+  auto build = [](int64_t N) {
+    LoopTree T(N);
+    T.split();       // [N/2, 2].
+    T.cursorDown();
+    T.toggleMode();
+    T.cursorUp();    // Inner -> 3; outer rebalances to ceil(N/3).
+    T.toggleMode();
+    T.cursorUp();
+    T.thread();
+    return T;
+  };
+  LoopTree Exact = build(66);  // [22, 3]: coverage 66, all useful.
+  LoopTree Over = build(64);   // [22, 3]: coverage 66, 2 wasted.
+  ASSERT_EQ(Exact.coverage(), 66);
+  ASSERT_EQ(Over.coverage(), 66);
+  EXPECT_GT(modelFlops(Exact), modelFlops(Over));
+}
+
+TEST(GpuModel, MeasurementNoiseIsSmallAndMultiplicative) {
+  LoopTree T(1 << 20);
+  T.thread();
+  Rng Gen(5);
+  double Deterministic = modelFlops(T);
+  for (int I = 0; I < 10; ++I) {
+    double Measured = measureFlops(T, Gen);
+    EXPECT_GT(Measured, Deterministic * 0.85);
+    EXPECT_LT(Measured, Deterministic * 1.15);
+  }
+}
+
+// -- Environment integration --------------------------------------------------------
+
+TEST(LoopToolEnv, EndToEndEpisode) {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://loop_tool-v0/1048576";
+  auto Env = make("loop_tool-v0", Opts);
+  ASSERT_TRUE(Env.isOk()) << Env.status().toString();
+  auto Obs = (*Env)->reset();
+  ASSERT_TRUE(Obs.isOk());
+  ASSERT_EQ(Obs->Ints.size(), 4u); // cursor, mode, levels, threads.
+  EXPECT_EQ(Obs->Ints[0], 0);
+
+  const auto &Names = (*Env)->actionSpace().ActionNames;
+  EXPECT_EQ(Names, (std::vector<std::string>{"toggle-mode", "up", "down",
+                                             "thread"}));
+  // Thread the outer loop; reward = measured FLOPs (absolute signal).
+  int ThreadAction = 3;
+  auto R = (*Env)->step(ThreadAction);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_GT(R->Reward, 0.0);
+  auto Tree = (*Env)->observe("loop_tree");
+  ASSERT_TRUE(Tree.isOk());
+  EXPECT_NE(Tree->Str.find("[thread]"), std::string::npos);
+}
+
+TEST(LoopToolEnv, ExtendedSpaceHasSplit) {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://loop_tool-v0/16384";
+  Opts.ActionSpaceName = "loop_tool-split-v0";
+  auto Env = make("loop_tool-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  ASSERT_EQ((*Env)->actionSpace().size(), 5u);
+  ASSERT_TRUE((*Env)->step(4).isOk()); // split.
+  auto Obs = (*Env)->observe("action_state");
+  ASSERT_TRUE(Obs.isOk());
+  EXPECT_EQ(Obs->Ints[2], 2); // Two levels now.
+}
+
+TEST(LoopToolEnv, ForkCopiesTree) {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://loop_tool-v0/16384";
+  auto Env = make("loop_tool-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  ASSERT_TRUE((*Env)->step(3).isOk()); // thread.
+  auto Fork = (*Env)->fork();
+  ASSERT_TRUE(Fork.isOk());
+  auto T1 = (*Env)->observe("loop_tree");
+  auto T2 = (*Fork)->observe("loop_tree");
+  ASSERT_TRUE(T1.isOk());
+  ASSERT_TRUE(T2.isOk());
+  EXPECT_EQ(T1->Str, T2->Str);
+}
+
+} // namespace

