@@ -47,6 +47,33 @@ public:
       return E.episodeReward();
     };
 
+    // Fitness for a batch of genomes, fanned out across the evaluation
+    // pool: each genome is an independent reset + stepDirect, so
+    // candidates parallelize perfectly. Reward telescoping makes this
+    // equivalent to the sequential no-reset evaluation — the episode
+    // reward after applying a full choice vector is the size reduction
+    // from the default config either way. Budget note: the pooled path
+    // checks the budget per batch, so a tight MaxCompilations can
+    // overshoot by at most one batch.
+    auto evaluatePooled = [&](const std::vector<std::vector<int64_t>> &Genomes)
+        -> StatusOr<std::vector<double>> {
+      CG_ASSIGN_OR_RETURN(std::vector<double> Fitness,
+                          EvalPool->evaluateDirect(Genomes));
+      for (size_t I = 0; I < Genomes.size(); ++I) {
+        Tracker.addCompilation();
+        Tracker.addSteps(1);
+      }
+      return Fitness;
+    };
+
+    auto randomGenome = [&] {
+      std::vector<int64_t> Genome(Options.size());
+      for (size_t I = 0; I < Options.size(); ++I)
+        Genome[I] = static_cast<int64_t>(
+            Gen.bounded(static_cast<uint64_t>(Options[I].Cardinality)));
+      return Genome;
+    };
+
     struct Individual {
       std::vector<int64_t> Genome;
       double Fitness = 0.0;
@@ -54,20 +81,30 @@ public:
     std::vector<Individual> Population;
 
     // Seed population: the default config plus randoms.
-    {
+    if (EvalPool) {
+      // The batch is capped by the remaining compilation budget so the
+      // parallel path honors MaxCompilations like the sequential one.
+      std::vector<std::vector<int64_t>> Seeds;
+      Seeds.push_back(Spec.defaultChoices());
+      size_t SeedCap =
+          std::min(PopulationSize,
+                   std::max<size_t>(1, Tracker.remainingCompilations()));
+      while (Seeds.size() < SeedCap && !Tracker.exhausted())
+        Seeds.push_back(randomGenome());
+      CG_ASSIGN_OR_RETURN(std::vector<double> Fitness, evaluatePooled(Seeds));
+      for (size_t I = 0; I < Seeds.size(); ++I)
+        Population.push_back(Individual{std::move(Seeds[I]), Fitness[I]});
+    } else {
       Individual Default;
       Default.Genome = Spec.defaultChoices();
       CG_ASSIGN_OR_RETURN(Default.Fitness, evaluate(Default.Genome));
       Population.push_back(std::move(Default));
-    }
-    while (Population.size() < PopulationSize && !Tracker.exhausted()) {
-      Individual Ind;
-      Ind.Genome.resize(Options.size());
-      for (size_t I = 0; I < Options.size(); ++I)
-        Ind.Genome[I] = static_cast<int64_t>(
-            Gen.bounded(static_cast<uint64_t>(Options[I].Cardinality)));
-      CG_ASSIGN_OR_RETURN(Ind.Fitness, evaluate(Ind.Genome));
-      Population.push_back(std::move(Ind));
+      while (Population.size() < PopulationSize && !Tracker.exhausted()) {
+        Individual Ind;
+        Ind.Genome = randomGenome();
+        CG_ASSIGN_OR_RETURN(Ind.Fitness, evaluate(Ind.Genome));
+        Population.push_back(std::move(Ind));
+      }
     }
 
     auto updateBest = [&] {
@@ -105,20 +142,37 @@ public:
       for (const Individual &Ind : Population)
         Weights.push_back(Ind.Fitness - MinFit + 1e-6);
 
-      while (Next.size() < Population.size() && !Tracker.exhausted()) {
+      auto makeChild = [&] {
         const Individual &ParentA = Population[Gen.weightedIndex(Weights)];
         const Individual &ParentB = Population[Gen.weightedIndex(Weights)];
-        Individual Child;
-        Child.Genome = ParentA.Genome;
-        for (size_t I = 0; I < Child.Genome.size(); ++I) {
+        std::vector<int64_t> Genome = ParentA.Genome;
+        for (size_t I = 0; I < Genome.size(); ++I) {
           if (Gen.chance(CrossoverProb))
-            Child.Genome[I] = ParentB.Genome[I];
+            Genome[I] = ParentB.Genome[I];
           if (Gen.chance(MutationProb))
-            Child.Genome[I] = static_cast<int64_t>(Gen.bounded(
+            Genome[I] = static_cast<int64_t>(Gen.bounded(
                 static_cast<uint64_t>(Options[I].Cardinality)));
         }
-        CG_ASSIGN_OR_RETURN(Child.Fitness, evaluate(Child.Genome));
-        Next.push_back(std::move(Child));
+        return Genome;
+      };
+
+      if (EvalPool) {
+        std::vector<std::vector<int64_t>> Children;
+        size_t ChildCap = std::min(Population.size() - Next.size(),
+                                   Tracker.remainingCompilations());
+        while (Children.size() < ChildCap && !Tracker.exhausted())
+          Children.push_back(makeChild());
+        CG_ASSIGN_OR_RETURN(std::vector<double> Fitness,
+                            evaluatePooled(Children));
+        for (size_t I = 0; I < Children.size(); ++I)
+          Next.push_back(Individual{std::move(Children[I]), Fitness[I]});
+      } else {
+        while (Next.size() < Population.size() && !Tracker.exhausted()) {
+          Individual Child;
+          Child.Genome = makeChild();
+          CG_ASSIGN_OR_RETURN(Child.Fitness, evaluate(Child.Genome));
+          Next.push_back(std::move(Child));
+        }
       }
       Population = std::move(Next);
       updateBest();

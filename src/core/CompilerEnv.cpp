@@ -17,6 +17,25 @@ using namespace compiler_gym;
 using namespace compiler_gym::core;
 using namespace compiler_gym::service;
 
+namespace {
+
+/// Session loss: the session id is gone because the shard was restarted
+/// underneath us (by the broker monitor or another env's recovery).
+bool isSessionLoss(const Status &S) {
+  return S.code() == StatusCode::NotFound &&
+         S.message().rfind("no session", 0) == 0;
+}
+
+/// Failures the environment can transparently recover from by restarting
+/// the service and replaying its action history (§IV-B).
+bool isRecoverableFailure(const Status &S) {
+  return S.code() == StatusCode::Aborted ||
+         S.code() == StatusCode::DeadlineExceeded ||
+         S.code() == StatusCode::Unavailable || isSessionLoss(S);
+}
+
+} // namespace
+
 CompilerEnv::CompilerEnv(CompilerEnvOptions Opts,
                          std::shared_ptr<CompilerService> Service,
                          std::shared_ptr<ServiceClient> Client)
@@ -43,6 +62,25 @@ CompilerEnv::create(const CompilerEnvOptions &Opts) {
   }
   std::unique_ptr<CompilerEnv> Env(
       new CompilerEnv(Opts, std::move(Service), std::move(Client)));
+  if (!Opts.RewardSpace.empty()) {
+    CG_ASSIGN_OR_RETURN(RewardSpec Spec,
+                        rewardSpec(Opts.CompilerName, Opts.RewardSpace));
+    Env->Reward = Spec;
+  }
+  Env->State.EnvId = Opts.EnvId;
+  Env->State.RewardSpace = Opts.RewardSpace;
+  return Env;
+}
+
+StatusOr<std::unique_ptr<CompilerEnv>>
+CompilerEnv::attach(const CompilerEnvOptions &Opts,
+                    std::shared_ptr<CompilerService> Service,
+                    std::shared_ptr<Transport> Channel) {
+  auto Client = std::make_shared<ServiceClient>(Service, std::move(Channel),
+                                                Opts.Client);
+  std::unique_ptr<CompilerEnv> Env(
+      new CompilerEnv(Opts, std::move(Service), std::move(Client)));
+  Env->SharedService = true;
   if (!Opts.RewardSpace.empty()) {
     CG_ASSIGN_OR_RETURN(RewardSpec Spec,
                         rewardSpec(Opts.CompilerName, Opts.RewardSpace));
@@ -117,11 +155,29 @@ StatusOr<Observation> CompilerEnv::reset() {
   DirectHistory.clear();
   HaveBaseline = false;
 
-  CG_RETURN_IF_ERROR(startSession());
+  Status Started = startSession();
+  for (int Round = 0; !Started.isOk() && Round < 4; ++Round) {
+    if (!isRecoverableFailure(Started))
+      return Started;
+    ++Recoveries;
+    if (!SharedService || Service->crashed())
+      Client->restartService();
+    Started = startSession();
+  }
+  CG_RETURN_IF_ERROR(Started);
 
   // Observation-only step fetches the initial observation and seeds the
   // reward bookkeeping.
-  CG_ASSIGN_OR_RETURN(StepReply Reply, stepRpc({}));
+  StatusOr<StepReply> ReplyOr = stepRpc({});
+  for (int Round = 0; !ReplyOr.isOk() && Round < 4; ++Round) {
+    if (!isRecoverableFailure(ReplyOr.status()))
+      return ReplyOr.status();
+    CG_RETURN_IF_ERROR(recover()); // Episode is empty: replays nothing.
+    ReplyOr = stepRpc({});
+  }
+  if (!ReplyOr.isOk())
+    return ReplyOr.status();
+  StepReply Reply = ReplyOr.takeValue();
   size_t Cursor = 0;
   Observation InitialObs;
   if (!Opts.ObservationSpace.empty() && Cursor < Reply.Observations.size())
@@ -169,8 +225,7 @@ Status CompilerEnv::recover() {
   ++Recoveries;
   CG_LOG_INFO << "backend failure detected; restarting service and "
                  "replaying " << State.Actions.size() << " actions";
-  Client->restartService();
-  CG_RETURN_IF_ERROR(startSession());
+  SessionLive = false;
   // Replay the whole episode in one batched, observation-free request.
   std::vector<Action> Replay;
   if (!DirectHistory.empty()) {
@@ -183,30 +238,58 @@ Status CompilerEnv::recover() {
       Replay.push_back(Act);
     }
   }
-  if (Replay.empty())
-    return Status::ok();
-  StepRequest Req;
-  Req.SessionId = SessionId;
-  Req.Actions = std::move(Replay);
-  CG_ASSIGN_OR_RETURN(StepReply Reply, Client->step(Req));
-  (void)Reply;
-  return Status::ok();
+  Status Last = Status::ok();
+  uint64_t StaleSession = SessionId;
+  for (int Attempt = 0; Attempt < 4; ++Attempt) {
+    // On a private service a restart is always safe. On a broker shard it
+    // kills every other env's session on that shard, so only restart when
+    // the service really is down; otherwise (hang, or the broker already
+    // restarted it) just re-establish our session on the running service.
+    if (!SharedService || Service->crashed()) {
+      Client->restartService();
+      StaleSession = 0; // Restart collected every session.
+    } else if (StaleSession) {
+      // No restart happens, so reap our abandoned session — otherwise a
+      // hang-type recovery leaks it (module and all) in the shard's map.
+      (void)Client->endSession(StaleSession);
+      StaleSession = 0;
+    }
+    Last = startSession();
+    if (!Last.isOk()) {
+      if (isRecoverableFailure(Last))
+        continue; // The service died again under us; restart and retry.
+      return Last;
+    }
+    if (Replay.empty())
+      return Status::ok();
+    StepRequest Req;
+    Req.SessionId = SessionId;
+    Req.Actions = Replay;
+    StatusOr<StepReply> Reply = Client->step(Req);
+    if (Reply.isOk())
+      return Status::ok();
+    Last = Reply.status();
+    if (!isRecoverableFailure(Last))
+      return Last;
+    SessionLive = false;
+  }
+  return Last;
 }
 
 StatusOr<StepResult>
 CompilerEnv::stepWithRecovery(const std::vector<Action> &Actions) {
   StatusOr<StepReply> Reply = stepRpc(Actions);
-  if (!Reply.isOk()) {
-    StatusCode Code = Reply.status().code();
-    if (Code != StatusCode::Aborted && Code != StatusCode::DeadlineExceeded &&
-        Code != StatusCode::Unavailable)
+  // Backend died, hung, or our session was collected in a shard restart:
+  // recover and retry. On a shared shard a retry can race another env's
+  // recovery restarting the service again, so allow a few rounds.
+  for (int Round = 0; !Reply.isOk() && Round < 4; ++Round) {
+    if (!isRecoverableFailure(Reply.status()))
       return Reply.status();
-    // Backend died or hung: restart, replay, retry once.
     CG_RETURN_IF_ERROR(recover());
     Reply = stepRpc(Actions);
-    if (!Reply.isOk())
-      return Reply.status();
   }
+  if (!Reply.isOk())
+    return Reply.status();
 
   StepResult Out;
   Out.Done = Reply->EndOfSession;
@@ -275,17 +358,15 @@ StatusOr<Observation> CompilerEnv::observe(const std::string &SpaceName) {
   Req.SessionId = SessionId;
   Req.ObservationSpaces.push_back(SpaceName);
   StatusOr<StepReply> Reply = Client->step(Req);
-  if (!Reply.isOk()) {
-    StatusCode Code = Reply.status().code();
-    if (Code != StatusCode::Aborted && Code != StatusCode::DeadlineExceeded &&
-        Code != StatusCode::Unavailable)
+  for (int Round = 0; !Reply.isOk() && Round < 4; ++Round) {
+    if (!isRecoverableFailure(Reply.status()))
       return Reply.status();
     CG_RETURN_IF_ERROR(recover());
     Req.SessionId = SessionId; // Recovery created a fresh session.
     Reply = Client->step(Req);
-    if (!Reply.isOk())
-      return Reply.status();
   }
+  if (!Reply.isOk())
+    return Reply.status();
   if (Reply->Observations.empty())
     return internalError("observe reply carried no observation");
   return Reply->Observations.front();

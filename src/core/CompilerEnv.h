@@ -49,6 +49,17 @@ public:
   static StatusOr<std::unique_ptr<CompilerEnv>>
   create(const CompilerEnvOptions &Opts);
 
+  /// Attaches an env to an existing service shard (runtime::ServiceBroker):
+  /// the service and transport are shared with other environments, but the
+  /// env gets a private ServiceClient so call policy and telemetry stay
+  /// per-env. Shared-service envs treat "session vanished" (another env or
+  /// the broker restarted the shard) as recoverable: they re-establish the
+  /// session and replay their action history instead of failing.
+  static StatusOr<std::unique_ptr<CompilerEnv>>
+  attach(const CompilerEnvOptions &Opts,
+         std::shared_ptr<service::CompilerService> Service,
+         std::shared_ptr<service::Transport> Channel);
+
   ~CompilerEnv() override;
 
   // -- Env interface ---------------------------------------------------------
@@ -124,6 +135,7 @@ private:
   double BaselineMetric = 0.0;
   bool HaveBaseline = false;
   uint64_t Recoveries = 0;
+  bool SharedService = false; ///< attach()-ed to a broker shard.
   std::vector<service::Action> DirectHistory; ///< For replay (direct space).
   std::optional<datasets::Benchmark> CachedBenchmark; ///< Resolve cache.
 };

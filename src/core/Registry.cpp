@@ -40,8 +40,8 @@ const EnvPreset Presets[] = {
 
 } // namespace
 
-StatusOr<std::unique_ptr<CompilerEnv>>
-core::make(const std::string &EnvId, const MakeOptions &Opts) {
+StatusOr<CompilerEnvOptions>
+core::resolveMakeOptions(const std::string &EnvId, const MakeOptions &Opts) {
   envs::registerLlvmEnvironment();
   envs::registerGccEnvironment();
   envs::registerLoopToolEnvironment();
@@ -69,11 +69,18 @@ core::make(const std::string &EnvId, const MakeOptions &Opts) {
     EnvOpts.Client = Opts.Client;
     EnvOpts.TransportFaultPlan = Opts.TransportFaultPlan;
     EnvOpts.UseFlakyTransport = Opts.UseFlakyTransport;
-    return CompilerEnv::create(EnvOpts);
+    return EnvOpts;
   }
   return notFound("no environment '" + EnvId +
                   "'; known: llvm-v0, llvm-autophase-ic-v0, llvm-ic-v0, "
                   "gcc-v0, loop_tool-v0");
+}
+
+StatusOr<std::unique_ptr<CompilerEnv>>
+core::make(const std::string &EnvId, const MakeOptions &Opts) {
+  CG_ASSIGN_OR_RETURN(CompilerEnvOptions EnvOpts,
+                      resolveMakeOptions(EnvId, Opts));
+  return CompilerEnv::create(EnvOpts);
 }
 
 std::vector<std::string> core::registeredEnvironments() {

@@ -45,6 +45,13 @@ struct MakeOptions {
 StatusOr<std::unique_ptr<CompilerEnv>> make(const std::string &EnvId,
                                             const MakeOptions &Opts = {});
 
+/// Translates an environment id plus overrides into the concrete
+/// CompilerEnvOptions make() would use, without instantiating anything.
+/// Registers the builtin compilers as a side effect. runtime::EnvPool uses
+/// this to attach many environments onto shared ServiceBroker shards.
+StatusOr<CompilerEnvOptions> resolveMakeOptions(const std::string &EnvId,
+                                                const MakeOptions &Opts = {});
+
 /// All registered environment ids.
 std::vector<std::string> registeredEnvironments();
 

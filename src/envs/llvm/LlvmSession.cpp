@@ -259,6 +259,15 @@ Status LlvmSession::computeObservation(const ObservationSpaceInfo &Space,
   return notFound("unknown observation space '" + Name + "'");
 }
 
+uint64_t LlvmSession::stateKey() {
+  if (!Mod)
+    return 0;
+  // Benchmark URI disambiguates baseline-relative observations (e.g.
+  // IrInstructionCountOz) between benchmarks whose IR happens to coincide.
+  uint64_t Key = hashCombine(fnv1a(Bench.Uri), Mod->hash().low64());
+  return Key ? Key : 1;
+}
+
 StatusOr<std::unique_ptr<CompilationSession>> LlvmSession::fork() {
   auto Clone = std::make_unique<LlvmSession>();
   Clone->ActionNames = ActionNames;

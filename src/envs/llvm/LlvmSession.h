@@ -47,6 +47,7 @@ public:
   Status computeObservation(const service::ObservationSpaceInfo &Space,
                             service::Observation &Out) override;
   StatusOr<std::unique_ptr<CompilationSession>> fork() override;
+  uint64_t stateKey() override;
 
   /// Exposed for white-box tests.
   const ir::Module *module() const { return Mod.get(); }

@@ -6,15 +6,19 @@
 
 #include "rl/Rollout.h"
 
+#include "util/Hash.h"
+
 using namespace compiler_gym;
 using namespace compiler_gym::rl;
 
-StatusOr<Trajectory> rl::collectEpisode(core::Env &E, const PolicyFn &Policy,
-                                        const ValueFn &Value, size_t MaxSteps,
-                                        Rng &Gen) {
+namespace {
+
+/// The shared policy-rollout loop over an already-reset environment whose
+/// initial observation squashed to \p State.
+StatusOr<Trajectory> runEpisode(core::Env &E, const rl::PolicyFn &Policy,
+                                const rl::ValueFn &Value, size_t MaxSteps,
+                                Rng &Gen, std::vector<float> State) {
   Trajectory Traj;
-  CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
-  std::vector<float> State = squashObservation(Obs.Ints);
   for (size_t Step = 0; Step < MaxSteps; ++Step) {
     std::vector<float> Logits = Policy(State);
     int Action = sampleCategorical(Logits, Gen);
@@ -33,6 +37,39 @@ StatusOr<Trajectory> rl::collectEpisode(core::Env &E, const PolicyFn &Policy,
       break;
   }
   return Traj;
+}
+
+} // namespace
+
+StatusOr<Trajectory> rl::collectEpisode(core::Env &E, const PolicyFn &Policy,
+                                        const ValueFn &Value, size_t MaxSteps,
+                                        Rng &Gen) {
+  CG_ASSIGN_OR_RETURN(service::Observation Obs, E.reset());
+  return runEpisode(E, Policy, Value, MaxSteps, Gen,
+                    squashObservation(Obs.Ints));
+}
+
+StatusOr<std::vector<Trajectory>>
+rl::collectEpisodes(runtime::EnvPool &Pool, const PolicyFn &Policy,
+                    const ValueFn &Value, size_t MaxSteps, size_t Episodes,
+                    uint64_t Seed) {
+  std::vector<Trajectory> Out(Episodes);
+  // One RNG stream per worker; worker W's episodes are sampled only from
+  // Gens[W], on W's pool thread.
+  std::vector<Rng> Gens;
+  Gens.reserve(Pool.size());
+  for (size_t W = 0; W < Pool.size(); ++W)
+    Gens.emplace_back(hashCombine(Seed, W + 1));
+  CG_RETURN_IF_ERROR(Pool.collect(
+      Episodes,
+      [&](size_t W, size_t Episode, core::CompilerEnv &E,
+          const service::Observation &Obs) -> Status {
+        CG_ASSIGN_OR_RETURN(Out[Episode],
+                            runEpisode(E, Policy, Value, MaxSteps, Gens[W],
+                                       squashObservation(Obs.Ints)));
+        return Status::ok();
+      }));
+  return Out;
 }
 
 std::vector<double> rl::discountedReturns(const std::vector<double> &Rewards,

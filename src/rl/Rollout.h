@@ -16,6 +16,7 @@
 
 #include "core/Env.h"
 #include "rl/Distributions.h"
+#include "runtime/EnvPool.h"
 
 #include <functional>
 #include <vector>
@@ -46,6 +47,20 @@ using ValueFn = std::function<double(const std::vector<float> &)>;
 StatusOr<Trajectory> collectEpisode(core::Env &E, const PolicyFn &Policy,
                                     const ValueFn &Value, size_t MaxSteps,
                                     Rng &Gen);
+
+/// Parallel experience collection: runs \p Episodes episodes across the
+/// pool's workers and returns the trajectories in episode order. \p Policy
+/// and \p Value are shared by all workers and must be thread-safe (pure
+/// functions of the observation — the common case for inference-only
+/// collection). Each worker samples from its own RNG stream derived from
+/// \p Seed, so a run is deterministic for a fixed worker count, up to the
+/// nondeterministic assignment of episodes to workers.
+StatusOr<std::vector<Trajectory>> collectEpisodes(runtime::EnvPool &Pool,
+                                                  const PolicyFn &Policy,
+                                                  const ValueFn &Value,
+                                                  size_t MaxSteps,
+                                                  size_t Episodes,
+                                                  uint64_t Seed = 1);
 
 /// Discounted returns-to-go.
 std::vector<double> discountedReturns(const std::vector<double> &Rewards,

@@ -1,0 +1,147 @@
+//===- runtime/EnvPool.h - Vectorized parallel environments -----*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EnvPool: a vectorized front-end over M CompilerEnv workers attached to
+/// the shards of a ServiceBroker. The pool drives all M environments
+/// concurrently on a util::ThreadPool — resetAll() / stepBatch() for
+/// lock-step vectorized use (RL), collect() for episode-parallel use, and
+/// evaluateSequences() / evaluateDirect() for autotuner candidate fan-out.
+/// Benchmark lists are sharded across workers via DatasetRegistry, and
+/// per-worker statistics aggregate into PoolStats. Crash recovery is
+/// inherited from the env layer: a worker whose shard dies replays its
+/// episode on the restarted shard, so a pool run loses no episodes to
+/// injected (or real) compiler faults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RUNTIME_ENVPOOL_H
+#define COMPILER_GYM_RUNTIME_ENVPOOL_H
+
+#include "core/Registry.h"
+#include "runtime/ServiceBroker.h"
+#include "util/Stats.h"
+#include "util/ThreadPool.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace compiler_gym {
+namespace runtime {
+
+struct EnvPoolOptions {
+  std::string EnvId = "llvm-v0";
+  /// Per-env settings (benchmark/observation/reward). MakeOptions::Faults
+  /// is not applied here — backend faults are a property of the shard
+  /// fleet, so set BrokerOptions::Faults instead.
+  core::MakeOptions Make;
+  size_t NumWorkers = 4; ///< M concurrently stepped environments.
+  /// Broker configuration. Broker.NumShards == 0 means one shard per
+  /// worker (full parallelism); fewer shards co-locate envs per shard.
+  BrokerOptions Broker;
+  /// Explicit benchmark URIs sharded across workers (worker i cycles
+  /// through URIs i, i+M, i+2M, ...). Empty: use DatasetUri, then the
+  /// Make/preset default benchmark.
+  std::vector<std::string> Benchmarks;
+  /// Dataset to shard across workers, e.g. "benchmark://cbench-v1".
+  std::string DatasetUri;
+  size_t MaxDatasetBenchmarks = 64; ///< Cap when expanding DatasetUri.
+};
+
+/// Aggregated cross-worker statistics.
+struct PoolStats {
+  size_t EpisodesCompleted = 0;
+  size_t StepsExecuted = 0;
+  uint64_t EnvRecoveries = 0; ///< Env-level restart+replay recoveries.
+  uint64_t ShardRestarts = 0; ///< Broker monitor restarts.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  RunningStat EpisodeReward;
+};
+
+/// M environments over N service shards, stepped in parallel.
+class EnvPool {
+public:
+  static StatusOr<std::unique_ptr<EnvPool>> create(EnvPoolOptions Opts);
+  ~EnvPool();
+
+  EnvPool(const EnvPool &) = delete;
+  EnvPool &operator=(const EnvPool &) = delete;
+
+  size_t size() const { return Envs.size(); }
+  core::CompilerEnv &env(size_t Worker) { return *Envs[Worker]; }
+  ServiceBroker &broker() { return *Broker; }
+
+  /// Advances worker \p Worker to its next assigned benchmark and returns
+  /// the URI ("" when the pool has no benchmark list). Thread-safe.
+  std::string nextBenchmark(size_t Worker);
+
+  // -- Vectorized API ---------------------------------------------------------
+
+  /// Resets every worker env concurrently (each on its next benchmark when
+  /// a benchmark list is configured). Fails on the first env error.
+  StatusOr<std::vector<service::Observation>> resetAll();
+
+  /// Steps every worker env concurrently; Actions[i] is the (batched)
+  /// action list for worker i. Requires Actions.size() == size().
+  StatusOr<std::vector<core::StepResult>> stepBatch(
+      const std::vector<std::vector<int>> &Actions);
+
+  // -- Episode-parallel API ---------------------------------------------------
+
+  /// Runs one episode on a worker env (already reset; \p InitialObs is the
+  /// reset observation). Returning an error aborts the collection.
+  using EpisodeFn =
+      std::function<Status(size_t Worker, size_t Episode,
+                           core::CompilerEnv &E,
+                           const service::Observation &InitialObs)>;
+
+  /// Runs \p Episodes episodes across the workers: each worker pulls the
+  /// next episode index, advances to its next benchmark, resets, and runs
+  /// \p Fn. Returns the first error, after all workers drain.
+  Status collect(size_t Episodes, const EpisodeFn &Fn);
+
+  // -- Autotuner fan-out ------------------------------------------------------
+
+  /// Evaluates candidate action sequences in parallel: each candidate runs
+  /// reset + one batched step on a worker env; result is the episode
+  /// reward, in candidate order.
+  StatusOr<std::vector<double>> evaluateSequences(
+      const std::vector<std::vector<int>> &Candidates);
+
+  /// Same for direct choice-vector candidates (GCC flag tuning).
+  StatusOr<std::vector<double>> evaluateDirect(
+      const std::vector<std::vector<int64_t>> &Candidates);
+
+  /// Aggregated statistics snapshot. Call between batch operations: the
+  /// per-env recovery counters are read unsynchronized, so a snapshot taken
+  /// mid-batch may lag by the still-running episodes.
+  PoolStats stats() const;
+
+private:
+  EnvPool(EnvPoolOptions Opts, std::unique_ptr<ServiceBroker> Broker);
+
+  /// Runs Fn(worker) once per worker concurrently; returns first error.
+  Status forEachWorker(const std::function<Status(size_t)> &Fn);
+
+  EnvPoolOptions Opts;
+  std::unique_ptr<ServiceBroker> Broker;
+  std::unique_ptr<ThreadPool> Workers;
+  std::vector<std::unique_ptr<core::CompilerEnv>> Envs;
+  std::vector<size_t> ShardOf;              ///< Worker -> shard lease.
+  std::vector<std::vector<std::string>> BenchmarkSlices; ///< Per worker.
+  std::vector<size_t> BenchmarkCursor;      ///< Per worker.
+  std::mutex CursorMutex;                   ///< Guards BenchmarkCursor.
+
+  mutable std::mutex StatsMutex;
+  PoolStats Aggregate;
+};
+
+} // namespace runtime
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RUNTIME_ENVPOOL_H

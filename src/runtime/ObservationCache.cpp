@@ -1,0 +1,78 @@
+//===- runtime/ObservationCache.cpp ---------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ObservationCache.h"
+
+#include "util/Hash.h"
+
+#include <algorithm>
+
+using namespace compiler_gym;
+using namespace compiler_gym::runtime;
+
+ObservationCache::ObservationCache(ObservationCacheOptions Opts)
+    : Opts(Opts), Stripes(std::max<size_t>(1, Opts.NumStripes)) {
+  this->Opts.NumStripes = Stripes.size();
+  this->Opts.CapacityPerStripe = std::max<size_t>(1, Opts.CapacityPerStripe);
+}
+
+uint64_t ObservationCache::entryKey(uint64_t StateKey,
+                                    const std::string &SpaceName) {
+  return hashCombine(StateKey, fnv1a(SpaceName));
+}
+
+bool ObservationCache::lookup(uint64_t StateKey, const std::string &SpaceName,
+                              service::Observation &Out) {
+  uint64_t Key = entryKey(StateKey, SpaceName);
+  Stripe &S = stripeFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // Promote to MRU.
+  Out = It->second->Obs;
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ObservationCache::insert(uint64_t StateKey, const std::string &SpaceName,
+                              const service::Observation &Obs) {
+  uint64_t Key = entryKey(StateKey, SpaceName);
+  Stripe &S = stripeFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Map.find(Key);
+  if (It != S.Map.end()) {
+    // Another worker computed it concurrently; refresh recency only.
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return;
+  }
+  S.Lru.push_front(Entry{Key, Obs});
+  S.Map.emplace(Key, S.Lru.begin());
+  if (S.Lru.size() > Opts.CapacityPerStripe) {
+    S.Map.erase(S.Lru.back().Key);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t ObservationCache::size() const {
+  size_t Total = 0;
+  for (const Stripe &S : Stripes) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Lru.size();
+  }
+  return Total;
+}
+
+void ObservationCache::clear() {
+  for (Stripe &S : Stripes) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Lru.clear();
+    S.Map.clear();
+  }
+}

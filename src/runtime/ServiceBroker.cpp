@@ -1,0 +1,119 @@
+//===- runtime/ServiceBroker.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ServiceBroker.h"
+
+#include "util/Logging.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace compiler_gym;
+using namespace compiler_gym::runtime;
+
+ServiceBroker::ServiceBroker(BrokerOptions Opts) : Opts(Opts) {
+  size_t N = std::max<size_t>(1, Opts.NumShards);
+  if (this->Opts.EnableObservationCache)
+    ObsCache = std::make_shared<ObservationCache>(this->Opts.Cache);
+  Shards.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Service = std::make_shared<service::CompilerService>(this->Opts.Faults);
+    if (ObsCache)
+      S->Service->setObservationCache(ObsCache);
+    // One dispatcher thread per shard: the process boundary of the paper's
+    // per-environment service, so shards execute requests concurrently.
+    std::shared_ptr<service::CompilerService> Service = S->Service;
+    S->Channel = std::make_shared<service::QueueTransport>(
+        [Service](const std::string &Bytes) { return Service->handle(Bytes); });
+    Shards.push_back(std::move(S));
+  }
+  if (this->Opts.MonitorIntervalMs > 0)
+    Monitor = std::thread([this] { monitorLoop(); });
+}
+
+ServiceBroker::~ServiceBroker() {
+  {
+    std::lock_guard<std::mutex> Lock(MonitorMutex);
+    Stopping = true;
+  }
+  MonitorWake.notify_all();
+  if (Monitor.joinable())
+    Monitor.join();
+}
+
+size_t ServiceBroker::acquireShard() {
+  // Least-loaded routing. Load changes under us are benign: the worst case
+  // is a briefly imbalanced assignment, not an incorrect one.
+  size_t Best = 0;
+  size_t BestLoad = Shards[0]->Load.load(std::memory_order_relaxed);
+  for (size_t I = 1; I < Shards.size(); ++I) {
+    size_t L = Shards[I]->Load.load(std::memory_order_relaxed);
+    if (L < BestLoad) {
+      Best = I;
+      BestLoad = L;
+    }
+  }
+  Shards[Best]->Load.fetch_add(1, std::memory_order_relaxed);
+  return Best;
+}
+
+void ServiceBroker::releaseShard(size_t Index) {
+  assert(Index < Shards.size() && "bad shard index");
+  Shards[Index]->Load.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<service::ServiceClient>
+ServiceBroker::makeClient(size_t Index) {
+  assert(Index < Shards.size() && "bad shard index");
+  return std::make_shared<service::ServiceClient>(
+      Shards[Index]->Service, Shards[Index]->Channel, Opts.Client);
+}
+
+std::shared_ptr<service::CompilerService>
+ServiceBroker::shardService(size_t Index) {
+  assert(Index < Shards.size() && "bad shard index");
+  return Shards[Index]->Service;
+}
+
+std::shared_ptr<service::Transport>
+ServiceBroker::shardTransport(size_t Index) {
+  assert(Index < Shards.size() && "bad shard index");
+  return Shards[Index]->Channel;
+}
+
+size_t ServiceBroker::shardLoad(size_t Index) const {
+  assert(Index < Shards.size() && "bad shard index");
+  return Shards[Index]->Load.load(std::memory_order_relaxed);
+}
+
+size_t ServiceBroker::checkShards() {
+  size_t Restarted = 0;
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    if (!Shards[I]->Service->crashed())
+      continue;
+    CG_LOG_INFO << "broker: shard " << I << " crashed; restarting";
+    Shards[I]->Service->restart();
+    ++Restarted;
+  }
+  if (Restarted)
+    Restarts.fetch_add(Restarted, std::memory_order_relaxed);
+  return Restarted;
+}
+
+void ServiceBroker::monitorLoop() {
+  std::unique_lock<std::mutex> Lock(MonitorMutex);
+  while (!Stopping) {
+    MonitorWake.wait_for(Lock,
+                         std::chrono::milliseconds(Opts.MonitorIntervalMs),
+                         [this] { return Stopping; });
+    if (Stopping)
+      return;
+    Lock.unlock();
+    checkShards();
+    Lock.lock();
+  }
+}

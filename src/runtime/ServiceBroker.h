@@ -1,0 +1,114 @@
+//===- runtime/ServiceBroker.h - Sharded compiler-service fleet -*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ServiceBroker: owns a fleet of CompilerService shards — each a service
+/// instance behind its own QueueTransport dispatcher thread, the in-process
+/// stand-in for one backend process — and routes environment sessions to
+/// the least-loaded shard. A monitor thread watches the shards through the
+/// same FaultPlan machinery the single-env robustness tests use: a shard
+/// whose service reports crashed() is restarted in place. Environments
+/// attached through the broker (CompilerEnv::attach) then re-establish
+/// their sessions by replaying their action histories, which scales the
+/// paper's §IV-B crash-recovery semantics from one env/one service to a
+/// whole fleet. Hung shards surface as client-side DeadlineExceeded and are
+/// recovered by the same env-side path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_RUNTIME_SERVICEBROKER_H
+#define COMPILER_GYM_RUNTIME_SERVICEBROKER_H
+
+#include "runtime/ObservationCache.h"
+#include "service/ServiceClient.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace compiler_gym {
+namespace runtime {
+
+struct BrokerOptions {
+  size_t NumShards = 2;
+  /// Fault plan applied to every shard (robustness tests / benches).
+  service::FaultPlan Faults;
+  /// Call policy for clients minted by makeClient().
+  service::ClientOptions Client;
+  /// Monitor sweep interval; 0 disables the monitor thread (tests can
+  /// drive sweeps manually via checkShards()).
+  int MonitorIntervalMs = 20;
+  /// Share one ObservationCache across all shards.
+  bool EnableObservationCache = true;
+  ObservationCacheOptions Cache;
+};
+
+/// Owns N service shards; routes sessions; restarts dead shards.
+class ServiceBroker {
+public:
+  explicit ServiceBroker(BrokerOptions Opts = {});
+  ~ServiceBroker();
+
+  ServiceBroker(const ServiceBroker &) = delete;
+  ServiceBroker &operator=(const ServiceBroker &) = delete;
+
+  size_t numShards() const { return Shards.size(); }
+
+  /// Reserves the least-loaded shard and returns its index. Every acquire
+  /// must be balanced by a release; EnvPool holds one lease per worker env
+  /// for its lifetime.
+  size_t acquireShard();
+  void releaseShard(size_t Index);
+
+  /// A dedicated client over shard \p Index's shared transport. Each env
+  /// gets its own client so retry policy and telemetry stay per-env while
+  /// the transport and service are shared.
+  std::shared_ptr<service::ServiceClient> makeClient(size_t Index);
+
+  std::shared_ptr<service::CompilerService> shardService(size_t Index);
+  std::shared_ptr<service::Transport> shardTransport(size_t Index);
+
+  size_t shardLoad(size_t Index) const;
+
+  /// One monitor sweep: restarts every shard whose service crashed.
+  /// Called periodically by the monitor thread; callable from tests.
+  /// Returns the number of shards restarted.
+  size_t checkShards();
+
+  /// Total shard restarts performed by the broker (monitor + sweeps).
+  uint64_t shardRestarts() const {
+    return Restarts.load(std::memory_order_relaxed);
+  }
+
+  /// The shared observation cache; nullptr when disabled.
+  ObservationCache *observationCache() { return ObsCache.get(); }
+
+private:
+  struct Shard {
+    std::shared_ptr<service::CompilerService> Service;
+    std::shared_ptr<service::Transport> Channel;
+    std::atomic<size_t> Load{0};
+  };
+
+  void monitorLoop();
+
+  BrokerOptions Opts;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::shared_ptr<ObservationCache> ObsCache;
+  std::atomic<uint64_t> Restarts{0};
+
+  std::mutex MonitorMutex;
+  std::condition_variable MonitorWake;
+  bool Stopping = false;
+  std::thread Monitor;
+};
+
+} // namespace runtime
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_RUNTIME_SERVICEBROKER_H

@@ -66,6 +66,12 @@ public:
   /// The action space after a change (default: first static space).
   virtual ActionSpace currentActionSpace();
 
+  /// Cheap 64-bit digest identifying the session's current state (benchmark
+  /// plus applied actions), used by the observation cache to deduplicate
+  /// recomputation across sessions that reach identical states. Return 0
+  /// (the default) to opt out of caching.
+  virtual uint64_t stateKey() { return 0; }
+
   /// Deep copy for the fork() operator (§III-B6). Optional.
   virtual StatusOr<std::unique_ptr<CompilationSession>> fork();
 };

@@ -15,12 +15,22 @@ using namespace compiler_gym::service;
 
 CompilerService::CompilerService(FaultPlan Plan) : Plan(Plan) {}
 
+ObservationCacheBase::~ObservationCacheBase() = default;
+
 void CompilerService::restart() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Sessions.clear();
+  ServedReplies.clear();
+  ServedOrder.clear();
   Crashed = false;
-  OpsHandled = 0;
+  OpsHandled.store(0, std::memory_order_relaxed);
   CG_LOG_INFO << "compiler service restarted";
+}
+
+void CompilerService::setObservationCache(
+    std::shared_ptr<ObservationCacheBase> Cache) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ObsCache = std::move(Cache);
 }
 
 bool CompilerService::crashed() const {
@@ -42,10 +52,18 @@ std::string CompilerService::handle(const std::string &RequestBytes) {
     return encodeReply(Reply);
   }
   std::lock_guard<std::mutex> Lock(Mutex);
-  ++OpsHandled;
-  if (Plan.HangOnOp && OpsHandled == Plan.HangOnOp)
+  // Retry of a request we already executed: replay the stored reply. This
+  // is checked before the fault-plan op accounting — a dedup hit performs
+  // no compiler work.
+  if (Req->RequestId) {
+    auto Served = ServedReplies.find(Req->RequestId);
+    if (Served != ServedReplies.end())
+      return Served->second;
+  }
+  uint64_t Op = OpsHandled.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Plan.HangOnOp && Op == Plan.HangOnOp)
     std::this_thread::sleep_for(std::chrono::milliseconds(Plan.HangMs));
-  if (Plan.CrashAfterOps && OpsHandled > Plan.CrashAfterOps)
+  if (Plan.CrashAfterOps && Op > Plan.CrashAfterOps)
     Crashed = true;
   if (Crashed) {
     Reply.Code = StatusCode::Aborted;
@@ -53,7 +71,16 @@ std::string CompilerService::handle(const std::string &RequestBytes) {
     return encodeReply(Reply);
   }
   Reply = dispatch(*Req);
-  return encodeReply(Reply);
+  std::string ReplyBytes = encodeReply(Reply);
+  if (Req->RequestId) {
+    ServedReplies.emplace(Req->RequestId, ReplyBytes);
+    ServedOrder.push_back(Req->RequestId);
+    if (ServedOrder.size() > DedupWindow) {
+      ServedReplies.erase(ServedOrder.front());
+      ServedOrder.pop_front();
+    }
+  }
+  return ReplyBytes;
 }
 
 ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
@@ -123,6 +150,9 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
     if (SpaceChanged)
       Reply.Step.NewSpace = Session.currentActionSpace();
     std::vector<ObservationSpaceInfo> Known = Session.getObservationSpaces();
+    // State key for the observation cache, computed at most once per request.
+    uint64_t StateKey = 0;
+    bool HaveStateKey = false;
     for (const std::string &SpaceName : Req.Step.ObservationSpaces) {
       const ObservationSpaceInfo *Info = nullptr;
       for (const ObservationSpaceInfo &O : Known)
@@ -130,9 +160,23 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
           Info = &O;
       if (!Info)
         return fail(notFound("no observation space '" + SpaceName + "'"));
+      // Only deterministic observations are cacheable; Runtime-style spaces
+      // vary per measurement and must always be recomputed.
+      bool Cacheable = ObsCache && Info->Deterministic;
+      if (Cacheable && !HaveStateKey) {
+        StateKey = Session.stateKey();
+        HaveStateKey = true;
+      }
+      Cacheable &= StateKey != 0;
       Observation Obs;
+      if (Cacheable && ObsCache->lookup(StateKey, SpaceName, Obs)) {
+        Reply.Step.Observations.push_back(std::move(Obs));
+        continue;
+      }
       if (Status S = Session.computeObservation(*Info, Obs); !S.isOk())
         return fail(S);
+      if (Cacheable)
+        ObsCache->insert(StateKey, SpaceName, Obs);
       Reply.Step.Observations.push_back(std::move(Obs));
     }
     return Reply;

@@ -20,9 +20,12 @@
 #include "service/CompilationSession.h"
 #include "service/Serialization.h"
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 namespace compiler_gym {
 namespace service {
@@ -32,6 +35,23 @@ struct FaultPlan {
   uint64_t CrashAfterOps = 0; ///< >0: service dies after N operations.
   uint64_t HangOnOp = 0;      ///< >0: operation N sleeps HangMs.
   int HangMs = 200;
+};
+
+/// Interface to a cross-service observation cache. Implemented by
+/// runtime::ObservationCache; declared here so the service layer does not
+/// depend on the runtime layer. Implementations must be thread-safe: one
+/// cache is typically shared by every shard of a ServiceBroker.
+class ObservationCacheBase {
+public:
+  virtual ~ObservationCacheBase();
+
+  /// Returns true and fills \p Out when (StateKey, SpaceName) is cached.
+  virtual bool lookup(uint64_t StateKey, const std::string &SpaceName,
+                      Observation &Out) = 0;
+
+  /// Stores a computed observation under (StateKey, SpaceName).
+  virtual void insert(uint64_t StateKey, const std::string &SpaceName,
+                      const Observation &Obs) = 0;
 };
 
 /// Hosts sessions; decodes requests, dispatches, encodes replies.
@@ -46,9 +66,15 @@ public:
   /// Simulates a process relaunch: clears all sessions and the crash flag.
   void restart();
 
+  /// Installs a shared cache consulted for deterministic observations of
+  /// sessions that expose a stateKey(). May be shared across services.
+  void setObservationCache(std::shared_ptr<ObservationCacheBase> Cache);
+
   bool crashed() const;
   size_t numSessions() const;
-  uint64_t opsHandled() const { return OpsHandled; }
+  uint64_t opsHandled() const {
+    return OpsHandled.load(std::memory_order_relaxed);
+  }
 
 private:
   ReplyEnvelope dispatch(const RequestEnvelope &Req);
@@ -56,9 +82,19 @@ private:
   FaultPlan Plan;
   mutable std::mutex Mutex;
   bool Crashed = false;
-  uint64_t OpsHandled = 0;
+  /// Atomic: read by broker monitor threads without taking Mutex.
+  std::atomic<uint64_t> OpsHandled{0};
   uint64_t NextSessionId = 1;
   std::map<uint64_t, std::unique_ptr<CompilationSession>> Sessions;
+  std::shared_ptr<ObservationCacheBase> ObsCache;
+  /// Reply cache for request deduplication (idempotent retries): a retry
+  /// carrying a RequestId we already served replays the stored reply
+  /// instead of re-executing — a timed-out request is not removed from the
+  /// transport queue, so without this the original and the retry would
+  /// both apply their actions. Bounded FIFO window.
+  static constexpr size_t DedupWindow = 512;
+  std::unordered_map<uint64_t, std::string> ServedReplies;
+  std::deque<uint64_t> ServedOrder;
 };
 
 } // namespace service

@@ -120,6 +120,12 @@ struct ForkReply {
 /// The envelope that actually travels over the transport.
 struct RequestEnvelope {
   RequestKind Kind = RequestKind::Heartbeat;
+  /// Idempotency token: retries of one logical call carry the same id, and
+  /// the service replays the cached reply instead of re-executing. Without
+  /// it, a request that timed out in the transport queue (or behind a hang)
+  /// would execute once for the original and once for the retry, silently
+  /// double-applying actions. 0 = no deduplication.
+  uint64_t RequestId = 0;
   StartSessionRequest Start;
   EndSessionRequest End;
   StepRequest Step;

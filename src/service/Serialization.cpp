@@ -194,6 +194,7 @@ bool getAction(Reader &R, Action &A) {
 std::string service::encodeRequest(const RequestEnvelope &Req) {
   Writer W;
   W.u32(static_cast<uint32_t>(Req.Kind));
+  W.u64(Req.RequestId);
   switch (Req.Kind) {
   case RequestKind::StartSession:
     W.str(Req.Start.CompilerName);
@@ -228,6 +229,8 @@ StatusOr<RequestEnvelope> service::decodeRequest(const std::string &Bytes) {
       Kind > static_cast<uint32_t>(RequestKind::Heartbeat))
     return invalidArgument("malformed request envelope");
   Req.Kind = static_cast<RequestKind>(Kind);
+  if (!R.u64(Req.RequestId))
+    return invalidArgument("malformed request envelope");
   bool Ok = true;
   switch (Req.Kind) {
   case RequestKind::StartSession:

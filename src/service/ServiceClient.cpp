@@ -8,6 +8,7 @@
 
 #include "util/Logging.h"
 
+#include <atomic>
 #include <thread>
 
 using namespace compiler_gym;
@@ -32,7 +33,10 @@ void ServiceClient::restartService() {
   Service->restart();
 }
 
-StatusOr<ReplyEnvelope> ServiceClient::call(const RequestEnvelope &Req) {
+StatusOr<ReplyEnvelope> ServiceClient::call(RequestEnvelope &Req) {
+  // Process-wide unique: several clients may share one service shard.
+  static std::atomic<uint64_t> NextRequestId{1};
+  Req.RequestId = NextRequestId.fetch_add(1, std::memory_order_relaxed);
   std::string Bytes = encodeRequest(Req);
   Status LastError = internalError("no attempt made");
   for (int Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {

@@ -60,7 +60,9 @@ public:
   const std::shared_ptr<CompilerService> &service() const { return Service; }
 
 private:
-  StatusOr<ReplyEnvelope> call(const RequestEnvelope &Req);
+  /// Stamps \p Req with a process-unique RequestId (shared across retries,
+  /// so the service can deduplicate re-executions) and performs the call.
+  StatusOr<ReplyEnvelope> call(RequestEnvelope &Req);
 
   std::shared_ptr<CompilerService> Service;
   std::shared_ptr<Transport> Channel;

@@ -1,0 +1,378 @@
+//===- tests/runtime_test.cpp - Parallel runtime subsystem -----*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The parallel environment runtime: ServiceBroker shard routing and crash
+// recovery at fleet scale, EnvPool vectorized/episode-parallel stepping
+// with no episodes lost to injected faults, and the sharded
+// ObservationCache.
+
+#include "runtime/EnvPool.h"
+#include "runtime/ObservationCache.h"
+#include "runtime/ServiceBroker.h"
+
+#include "core/Registry.h"
+#include "envs/llvm/LlvmSession.h"
+#include "rl/Rollout.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+using namespace compiler_gym;
+using namespace compiler_gym::runtime;
+
+namespace {
+
+// -- ObservationCache ----------------------------------------------------------
+
+service::Observation intObs(int64_t V) {
+  service::Observation Obs;
+  Obs.Type = service::ObservationType::Int64Value;
+  Obs.IntValue = V;
+  return Obs;
+}
+
+TEST(ObservationCache, RoundTripAndCounters) {
+  ObservationCache Cache;
+  service::Observation Out;
+  EXPECT_FALSE(Cache.lookup(1, "Autophase", Out));
+  EXPECT_EQ(Cache.misses(), 1u);
+  Cache.insert(1, "Autophase", intObs(42));
+  ASSERT_TRUE(Cache.lookup(1, "Autophase", Out));
+  EXPECT_EQ(Out.IntValue, 42);
+  EXPECT_EQ(Cache.hits(), 1u);
+  // Same state, different space: distinct entry.
+  EXPECT_FALSE(Cache.lookup(1, "InstCount", Out));
+  // Different state, same space: distinct entry.
+  EXPECT_FALSE(Cache.lookup(2, "Autophase", Out));
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(ObservationCache, LruEvictsColdEntriesPerStripe) {
+  ObservationCacheOptions Opts;
+  Opts.NumStripes = 1; // Single stripe: capacity is exact.
+  Opts.CapacityPerStripe = 4;
+  ObservationCache Cache(Opts);
+  for (int64_t I = 0; I < 4; ++I)
+    Cache.insert(static_cast<uint64_t>(I + 1), "S", intObs(I));
+  // Touch entry 1 so it is MRU, then overflow.
+  service::Observation Out;
+  ASSERT_TRUE(Cache.lookup(1, "S", Out));
+  Cache.insert(100, "S", intObs(100));
+  EXPECT_EQ(Cache.size(), 4u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_TRUE(Cache.lookup(1, "S", Out));   // Recently used: kept.
+  EXPECT_FALSE(Cache.lookup(2, "S", Out));  // LRU victim.
+  EXPECT_TRUE(Cache.lookup(100, "S", Out)); // New entry present.
+}
+
+TEST(ObservationCache, ConcurrentMixedTrafficIsSafe) {
+  ObservationCacheOptions Opts;
+  Opts.NumStripes = 4;
+  Opts.CapacityPerStripe = 32;
+  ObservationCache Cache(Opts);
+  constexpr int NumThreads = 4;
+  constexpr int OpsPerThread = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&Cache, T] {
+      service::Observation Out;
+      for (int I = 0; I < OpsPerThread; ++I) {
+        uint64_t Key = static_cast<uint64_t>((T * 31 + I) % 257 + 1);
+        if (I % 3 == 0)
+          Cache.insert(Key, "S", intObs(static_cast<int64_t>(Key)));
+        else if (Cache.lookup(Key, "S", Out))
+          // An entry under key K must carry K's payload, however the
+          // interleaving went.
+          EXPECT_EQ(Out.IntValue, static_cast<int64_t>(Key));
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_LE(Cache.size(), Cache.capacity());
+  // Each thread performs one lookup per op where I % 3 != 0.
+  constexpr uint64_t LookupsPerThread =
+      OpsPerThread - (OpsPerThread + 2) / 3;
+  EXPECT_EQ(Cache.hits() + Cache.misses(), NumThreads * LookupsPerThread);
+}
+
+// -- ServiceBroker -------------------------------------------------------------
+
+TEST(ServiceBroker, LeastLoadedRouting) {
+  BrokerOptions Opts;
+  Opts.NumShards = 3;
+  Opts.MonitorIntervalMs = 0;
+  ServiceBroker Broker(Opts);
+  // Six acquisitions spread evenly over three shards.
+  std::map<size_t, int> Counts;
+  std::vector<size_t> Leases;
+  for (int I = 0; I < 6; ++I) {
+    size_t S = Broker.acquireShard();
+    Leases.push_back(S);
+    ++Counts[S];
+  }
+  EXPECT_EQ(Counts.size(), 3u);
+  for (const auto &[Shard, Count] : Counts)
+    EXPECT_EQ(Count, 2) << "shard " << Shard;
+  for (size_t S : Leases)
+    Broker.releaseShard(S);
+  for (size_t I = 0; I < Broker.numShards(); ++I)
+    EXPECT_EQ(Broker.shardLoad(I), 0u);
+}
+
+TEST(ServiceBroker, SweepRestartsCrashedShards) {
+  envs::registerLlvmEnvironment();
+  BrokerOptions Opts;
+  Opts.NumShards = 2;
+  Opts.MonitorIntervalMs = 0; // Manual sweeps.
+  Opts.Faults.CrashAfterOps = 2;
+  ServiceBroker Broker(Opts);
+  auto Client = Broker.makeClient(0);
+  EXPECT_TRUE(Client->heartbeat().isOk());
+  EXPECT_TRUE(Client->heartbeat().isOk());
+  EXPECT_FALSE(Client->heartbeat().isOk()); // Third op: crashed.
+  ASSERT_TRUE(Broker.shardService(0)->crashed());
+  EXPECT_FALSE(Broker.shardService(1)->crashed());
+
+  EXPECT_EQ(Broker.checkShards(), 1u);
+  EXPECT_EQ(Broker.shardRestarts(), 1u);
+  EXPECT_FALSE(Broker.shardService(0)->crashed());
+  EXPECT_TRUE(Client->heartbeat().isOk());
+  EXPECT_EQ(Broker.checkShards(), 0u); // Healthy fleet: no-op.
+}
+
+TEST(ServiceBroker, MonitorThreadRestartsCrashedShardUnprompted) {
+  envs::registerLlvmEnvironment();
+  BrokerOptions Opts;
+  Opts.NumShards = 1;
+  Opts.MonitorIntervalMs = 5;
+  Opts.Faults.CrashAfterOps = 1;
+  ServiceBroker Broker(Opts);
+  auto Client = Broker.makeClient(0);
+  EXPECT_TRUE(Client->heartbeat().isOk());
+  EXPECT_FALSE(Client->heartbeat().isOk()); // Crashes the shard.
+  // The monitor notices and restarts without any client intervention.
+  for (int I = 0; I < 200 && Broker.shardService(0)->crashed(); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(Broker.shardService(0)->crashed());
+  EXPECT_GE(Broker.shardRestarts(), 1u);
+}
+
+// -- Shared-shard environments -------------------------------------------------
+
+TEST(SharedShard, EnvsSurviveEachOthersRecoveries) {
+  // Two envs on ONE shard with a crashy service: each recovery restarts
+  // the shared service, killing the sibling's session. Both must finish
+  // their episodes with state identical to a fault-free run.
+  core::MakeOptions MO;
+  MO.Benchmark = "benchmark://cbench-v1/crc32";
+  MO.ObservationSpace = "none";
+  MO.RewardSpace = "none";
+  auto EnvOpts = core::resolveMakeOptions("llvm-v0", MO);
+  ASSERT_TRUE(EnvOpts.isOk());
+
+  BrokerOptions BO;
+  BO.NumShards = 1;
+  BO.MonitorIntervalMs = 0; // Recovery driven purely by the envs.
+  BO.Faults.CrashAfterOps = 5;
+  ServiceBroker Broker(BO);
+  auto A = core::CompilerEnv::attach(*EnvOpts, Broker.shardService(0),
+                                     Broker.shardTransport(0));
+  auto B = core::CompilerEnv::attach(*EnvOpts, Broker.shardService(0),
+                                     Broker.shardTransport(0));
+  ASSERT_TRUE(A.isOk());
+  ASSERT_TRUE(B.isOk());
+  ASSERT_TRUE((*A)->reset().isOk());
+  ASSERT_TRUE((*B)->reset().isOk());
+  for (int Step = 0; Step < 8; ++Step) {
+    auto RA = (*A)->step(Step % 5);
+    ASSERT_TRUE(RA.isOk()) << "A step " << Step << ": "
+                           << RA.status().toString();
+    auto RB = (*B)->step((Step + 2) % 5);
+    ASSERT_TRUE(RB.isOk()) << "B step " << Step << ": "
+                           << RB.status().toString();
+  }
+  EXPECT_GE((*A)->serviceRecoveries() + (*B)->serviceRecoveries(), 1u);
+
+  // Fault-free references on private services.
+  auto RefA = core::make("llvm-v0", MO);
+  auto RefB = core::make("llvm-v0", MO);
+  ASSERT_TRUE(RefA.isOk());
+  ASSERT_TRUE(RefB.isOk());
+  ASSERT_TRUE((*RefA)->reset().isOk());
+  ASSERT_TRUE((*RefB)->reset().isOk());
+  for (int Step = 0; Step < 8; ++Step) {
+    ASSERT_TRUE((*RefA)->step(Step % 5).isOk());
+    ASSERT_TRUE((*RefB)->step((Step + 2) % 5).isOk());
+  }
+  auto HashA = (*A)->observe("IrHash");
+  auto HashRefA = (*RefA)->observe("IrHash");
+  ASSERT_TRUE(HashA.isOk());
+  ASSERT_TRUE(HashRefA.isOk());
+  EXPECT_EQ(HashA->Str, HashRefA->Str);
+  auto HashB = (*B)->observe("IrHash");
+  auto HashRefB = (*RefB)->observe("IrHash");
+  ASSERT_TRUE(HashB.isOk());
+  ASSERT_TRUE(HashRefB.isOk());
+  EXPECT_EQ(HashB->Str, HashRefB->Str);
+}
+
+// -- EnvPool -------------------------------------------------------------------
+
+EnvPoolOptions smokePoolOptions(size_t Workers) {
+  EnvPoolOptions Opts;
+  Opts.EnvId = "llvm-v0";
+  Opts.Make.Benchmark = "benchmark://cbench-v1/crc32";
+  Opts.Make.ObservationSpace = "Autophase";
+  Opts.Make.RewardSpace = "IrInstructionCount";
+  Opts.NumWorkers = Workers;
+  Opts.Broker.MonitorIntervalMs = 0;
+  return Opts;
+}
+
+TEST(EnvPool, ResetAllAndStepBatch) {
+  auto Pool = EnvPool::create(smokePoolOptions(3));
+  ASSERT_TRUE(Pool.isOk()) << Pool.status().toString();
+  EXPECT_EQ((*Pool)->size(), 3u);
+  auto Obs = (*Pool)->resetAll();
+  ASSERT_TRUE(Obs.isOk()) << Obs.status().toString();
+  ASSERT_EQ(Obs->size(), 3u);
+  for (const service::Observation &O : *Obs)
+    EXPECT_FALSE(O.Ints.empty()); // Autophase vectors.
+
+  std::vector<std::vector<int>> Actions(3);
+  for (size_t W = 0; W < 3; ++W)
+    Actions[W] = {static_cast<int>(W), 1};
+  auto Results = (*Pool)->stepBatch(Actions);
+  ASSERT_TRUE(Results.isOk()) << Results.status().toString();
+  ASSERT_EQ(Results->size(), 3u);
+  PoolStats Stats = (*Pool)->stats();
+  EXPECT_EQ(Stats.StepsExecuted, 6u);
+
+  auto Bad = (*Pool)->stepBatch({{0}});
+  EXPECT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(EnvPool, ShardsBenchmarksAcrossWorkers) {
+  EnvPoolOptions Opts = smokePoolOptions(2);
+  Opts.Benchmarks = {
+      "benchmark://cbench-v1/crc32", "benchmark://cbench-v1/sha",
+      "benchmark://cbench-v1/qsort", "benchmark://cbench-v1/dijkstra"};
+  auto Pool = EnvPool::create(Opts);
+  ASSERT_TRUE(Pool.isOk()) << Pool.status().toString();
+  // Worker 0 cycles {crc32, qsort}; worker 1 cycles {sha, dijkstra}.
+  EXPECT_EQ((*Pool)->nextBenchmark(0), "benchmark://cbench-v1/crc32");
+  EXPECT_EQ((*Pool)->nextBenchmark(1), "benchmark://cbench-v1/sha");
+  EXPECT_EQ((*Pool)->nextBenchmark(0), "benchmark://cbench-v1/qsort");
+  EXPECT_EQ((*Pool)->nextBenchmark(1), "benchmark://cbench-v1/dijkstra");
+  EXPECT_EQ((*Pool)->nextBenchmark(0), "benchmark://cbench-v1/crc32");
+}
+
+TEST(EnvPool, DatasetExpansion) {
+  EnvPoolOptions Opts = smokePoolOptions(2);
+  Opts.DatasetUri = "benchmark://cbench-v1";
+  Opts.MaxDatasetBenchmarks = 6;
+  auto Pool = EnvPool::create(Opts);
+  ASSERT_TRUE(Pool.isOk()) << Pool.status().toString();
+  std::string First = (*Pool)->nextBenchmark(0);
+  EXPECT_EQ(First.rfind("benchmark://cbench-v1/", 0), 0u);
+
+  EnvPoolOptions BadOpts = smokePoolOptions(1);
+  BadOpts.DatasetUri = "benchmark://no-such-dataset";
+  auto Bad = EnvPool::create(BadOpts);
+  ASSERT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.status().code(), StatusCode::NotFound);
+}
+
+TEST(EnvPool, ObservationCacheDeduplicatesAcrossWorkers) {
+  EnvPoolOptions Opts = smokePoolOptions(4);
+  // All four workers repeatedly reset the same benchmark and request the
+  // same Autophase observation of the same initial state.
+  auto Pool = EnvPool::create(Opts);
+  ASSERT_TRUE(Pool.isOk()) << Pool.status().toString();
+  for (int Round = 0; Round < 3; ++Round)
+    ASSERT_TRUE((*Pool)->resetAll().isOk());
+  PoolStats Stats = (*Pool)->stats();
+  EXPECT_GT(Stats.CacheHits, 0u);
+  EXPECT_GT(Stats.CacheMisses, 0u);
+}
+
+TEST(EnvPool, FaultInjectedCollectLosesNoEpisodes) {
+  // The acceptance scenario: a crashy shard fleet must still complete
+  // every scheduled episode, with rewards identical to a fault-free run.
+  constexpr size_t Episodes = 8;
+  const std::vector<int> EpisodeActions = {0, 1, 2, 3, 0, 1};
+
+  // Reference rewards from a fault-free single env.
+  core::MakeOptions MO;
+  MO.Benchmark = "benchmark://cbench-v1/crc32";
+  MO.ObservationSpace = "none";
+  MO.RewardSpace = "IrInstructionCount";
+  auto Ref = core::make("llvm-v0", MO);
+  ASSERT_TRUE(Ref.isOk());
+  ASSERT_TRUE((*Ref)->reset().isOk());
+  ASSERT_TRUE((*Ref)->step(EpisodeActions).isOk());
+  const double ExpectedReward = (*Ref)->episodeReward();
+
+  EnvPoolOptions Opts;
+  Opts.EnvId = "llvm-v0";
+  Opts.Make = MO;
+  Opts.NumWorkers = 4;
+  Opts.Broker.NumShards = 2; // Two envs share each crashing shard.
+  Opts.Broker.MonitorIntervalMs = 5;
+  Opts.Broker.Faults.CrashAfterOps = 9;
+  auto Pool = EnvPool::create(Opts);
+  ASSERT_TRUE(Pool.isOk()) << Pool.status().toString();
+
+  std::vector<double> Rewards(Episodes, -1.0);
+  Status S = (*Pool)->collect(
+      Episodes,
+      [&](size_t, size_t Episode, core::CompilerEnv &E,
+          const service::Observation &) -> Status {
+        CG_ASSIGN_OR_RETURN(core::StepResult R, E.step(EpisodeActions));
+        (void)R;
+        Rewards[Episode] = E.episodeReward();
+        return Status::ok();
+      });
+  ASSERT_TRUE(S.isOk()) << S.toString();
+
+  PoolStats Stats = (*Pool)->stats();
+  EXPECT_EQ(Stats.EpisodesCompleted, Episodes); // No episode lost.
+  for (size_t I = 0; I < Episodes; ++I)
+    EXPECT_DOUBLE_EQ(Rewards[I], ExpectedReward) << "episode " << I;
+  // The fleet really did crash and recover along the way.
+  EXPECT_GE(Stats.EnvRecoveries + Stats.ShardRestarts, 1u);
+}
+
+TEST(EnvPool, ParallelRolloutCollectsFullTrajectories) {
+  EnvPoolOptions Opts = smokePoolOptions(2);
+  auto Pool = EnvPool::create(Opts);
+  ASSERT_TRUE(Pool.isOk()) << Pool.status().toString();
+  size_t NumActions = 0;
+  {
+    auto Obs = (*Pool)->resetAll();
+    ASSERT_TRUE(Obs.isOk());
+    NumActions = (*Pool)->env(0).actionSpace().size();
+  }
+  ASSERT_GT(NumActions, 0u);
+  rl::PolicyFn Policy = [NumActions](const std::vector<float> &) {
+    return std::vector<float>(NumActions, 0.0f); // Uniform.
+  };
+  auto Trajs = rl::collectEpisodes(**Pool, Policy, nullptr, /*MaxSteps=*/5,
+                                   /*Episodes=*/6, /*Seed=*/7);
+  ASSERT_TRUE(Trajs.isOk()) << Trajs.status().toString();
+  ASSERT_EQ(Trajs->size(), 6u);
+  for (const rl::Trajectory &T : *Trajs) {
+    EXPECT_GT(T.length(), 0u);
+    EXPECT_LE(T.length(), 5u);
+    EXPECT_EQ(T.Observations.size(), T.Actions.size());
+    EXPECT_EQ(T.Rewards.size(), T.Actions.size());
+  }
+}
+
+} // namespace

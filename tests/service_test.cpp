@@ -313,6 +313,89 @@ TEST(FaultTolerance, FlakyTransportIsSurvivable) {
   EXPECT_GE((*Env)->client().retryCount(), 1u);
 }
 
+TEST(FaultTolerance, RetriedRequestsAreDeduplicatedByTheService) {
+  // A retry re-sends the same RequestId; the service must replay the
+  // stored reply instead of re-executing (double-applying the actions).
+  envs::registerLlvmEnvironment();
+  auto Service = std::make_shared<CompilerService>();
+  ServiceClient Client(Service);
+  StartSessionRequest Req;
+  Req.CompilerName = "llvm";
+  Req.Bench = testBenchmark();
+  auto Reply = Client.startSession(Req);
+  ASSERT_TRUE(Reply.isOk());
+
+  RequestEnvelope Step;
+  Step.Kind = RequestKind::Step;
+  Step.RequestId = 0xD5D5;
+  Step.Step.SessionId = Reply->SessionId;
+  Action A;
+  A.Index = 1;
+  Step.Step.Actions = {A};
+  std::string Bytes = encodeRequest(Step);
+  uint64_t OpsBefore = Service->opsHandled();
+  std::string First = Service->handle(Bytes);
+  std::string Second = Service->handle(Bytes); // The "retry".
+  EXPECT_EQ(First, Second);
+  // The duplicate performed no compiler work.
+  EXPECT_EQ(Service->opsHandled(), OpsBefore + 1);
+}
+
+/// Corrupts the reply of exactly one call into undecodable bytes. The
+/// request itself still executes on the service — the hazard under test.
+class CorruptOneReplyTransport : public Transport {
+public:
+  CorruptOneReplyTransport(std::shared_ptr<Transport> Inner, int CorruptCall)
+      : Inner(std::move(Inner)), CorruptCall(CorruptCall) {}
+
+  StatusOr<std::string> roundTrip(const std::string &Bytes,
+                                  int TimeoutMs) override {
+    StatusOr<std::string> Reply = Inner->roundTrip(Bytes, TimeoutMs);
+    if (++CallIndex == CorruptCall)
+      return std::string("\xFF\xFF\xFF");
+    return Reply;
+  }
+
+private:
+  std::shared_ptr<Transport> Inner;
+  int CallIndex = 0;
+  int CorruptCall;
+};
+
+TEST(FaultTolerance, GarbledReplyRetryDoesNotDoubleApplyActions) {
+  // A garbled reply means the request DID execute; the client retry must
+  // not execute it again. End state must match a fault-free episode.
+  core::MakeOptions MO;
+  MO.Benchmark = "benchmark://cbench-v1/crc32";
+  MO.ObservationSpace = "none";
+  MO.RewardSpace = "none";
+  auto EnvOpts = core::resolveMakeOptions("llvm-v0", MO);
+  ASSERT_TRUE(EnvOpts.isOk());
+  auto Service = std::make_shared<CompilerService>();
+  auto Base = std::make_shared<QueueTransport>(
+      [Service](const std::string &Bytes) { return Service->handle(Bytes); });
+  // Call 4 = the second step (1: StartSession, 2: reset obs, 3: step 0).
+  auto Corrupt = std::make_shared<CorruptOneReplyTransport>(Base, 4);
+  auto Env = core::CompilerEnv::attach(*EnvOpts, Service, Corrupt);
+  ASSERT_TRUE(Env.isOk());
+  auto RefEnv = core::make("llvm-v0", MO);
+  ASSERT_TRUE(RefEnv.isOk());
+  ASSERT_TRUE((*Env)->reset().isOk());
+  ASSERT_TRUE((*RefEnv)->reset().isOk());
+  for (int Step = 0; Step < 6; ++Step) {
+    auto R = (*Env)->step(Step % 7);
+    ASSERT_TRUE(R.isOk()) << "step " << Step << ": "
+                          << R.status().toString();
+    ASSERT_TRUE((*RefEnv)->step(Step % 7).isOk());
+  }
+  EXPECT_GE((*Env)->client().retryCount(), 1u);
+  auto Hash = (*Env)->observe("IrHash");
+  auto RefHash = (*RefEnv)->observe("IrHash");
+  ASSERT_TRUE(Hash.isOk());
+  ASSERT_TRUE(RefHash.isOk());
+  EXPECT_EQ(Hash->Str, RefHash->Str);
+}
+
 TEST(FaultTolerance, ForkSurvivesOnSharedService) {
   core::MakeOptions Opts;
   Opts.Benchmark = "benchmark://cbench-v1/crc32";
