@@ -109,23 +109,20 @@ const char *analysis::autophaseFeatureName(int Dim) {
   return FeatureNames[Dim];
 }
 
-std::vector<int64_t> analysis::autophase(const Module &M) {
+std::vector<int64_t> analysis::autophaseFunction(const ir::Function &F) {
   std::vector<int64_t> V(AutophaseDims, 0);
-  V[FunctionCount] = static_cast<int64_t>(M.functions().size());
-  V[GlobalCount] = static_cast<int64_t>(M.globals().size());
-
-  for (const auto &F : M.functions()) {
-    auto UseCounts = F->computeUseCounts();
+  {
+    auto UseCounts = F.computeUseCounts();
     // One adjacency pass: per-block predecessor lists (the naive per-block
     // predecessors() scan would make this extractor quadratic in blocks).
     std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
-    for (const auto &BBPtr : F->blocks()) {
+    for (const auto &BBPtr : F.blocks()) {
       std::unordered_set<BasicBlock *> Seen;
       for (BasicBlock *Succ : BBPtr->successors())
         if (Seen.insert(Succ).second)
           Preds[Succ].push_back(BBPtr.get());
     }
-    for (const auto &BBPtr : F->blocks()) {
+    for (const auto &BBPtr : F.blocks()) {
       const BasicBlock &BB = *BBPtr;
       ++V[BBCount];
       std::vector<BasicBlock *> Succs = BB.successors();
@@ -286,5 +283,27 @@ std::vector<int64_t> analysis::autophase(const Module &M) {
       }
     }
   }
+  return V;
+}
+
+void analysis::accumulateAutophase(std::vector<int64_t> &Agg,
+                                   const std::vector<int64_t> &FV) {
+  for (int D = 0; D < AutophaseDims; ++D) {
+    if (D == FunctionCount || D == GlobalCount)
+      continue; // Module-level; set by finalizeAutophase.
+    Agg[D] += FV[D];
+  }
+}
+
+void analysis::finalizeAutophase(std::vector<int64_t> &Agg, const Module &M) {
+  Agg[FunctionCount] = static_cast<int64_t>(M.functions().size());
+  Agg[GlobalCount] = static_cast<int64_t>(M.globals().size());
+}
+
+std::vector<int64_t> analysis::autophase(const Module &M) {
+  std::vector<int64_t> V(AutophaseDims, 0);
+  for (const auto &F : M.functions())
+    accumulateAutophase(V, autophaseFunction(*F));
+  finalizeAutophase(V, M);
   return V;
 }

@@ -31,6 +31,21 @@ constexpr int AutophaseDims = 56;
 /// Computes the Autophase feature vector for \p M.
 std::vector<int64_t> autophase(const ir::Module &M);
 
+/// Per-function Autophase contribution. Module-level dims (function and
+/// global counts) are left zero. Aggregate with accumulateAutophase +
+/// finalizeAutophase.
+std::vector<int64_t> autophaseFunction(const ir::Function &F);
+
+/// Folds one per-function contribution (from autophaseFunction) into
+/// \p Agg: module-level dims (function/global counts) are skipped,
+/// everything else sums.
+void accumulateAutophase(std::vector<int64_t> &Agg,
+                         const std::vector<int64_t> &FV);
+
+/// Fills the module-level dims of \p Agg from \p M. Call once after
+/// accumulating every function.
+void finalizeAutophase(std::vector<int64_t> &Agg, const ir::Module &M);
+
 /// Human-readable name of feature \p Dim (for the explorer tools).
 const char *autophaseFeatureName(int Dim);
 

@@ -1,0 +1,130 @@
+//===- analysis/FeatureCache.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FeatureCache.h"
+
+#include <unordered_set>
+
+using namespace compiler_gym;
+using namespace compiler_gym::analysis;
+using namespace compiler_gym::ir;
+
+bool FeatureCache::refresh(const Module &M, bool WantInstCount) {
+  bool ChangedSet = false;
+
+  // Reconcile the entry map with the module's current function set: new
+  // functions get dirty entries, entries for erased functions are dropped
+  // (pointer identity only — never dereferenced). This keeps the cache
+  // correct even if a transform forgot an explicit erasure notification.
+  std::unordered_set<const Function *> Current;
+  Current.reserve(M.functions().size());
+  for (const auto &F : M.functions()) {
+    Current.insert(F.get());
+    if (Funcs.try_emplace(F.get()).second)
+      ChangedSet = true;
+  }
+  if (Funcs.size() != Current.size()) {
+    for (auto It = Funcs.begin(); It != Funcs.end();) {
+      if (!Current.count(It->first)) {
+        It = Funcs.erase(It);
+        ChangedSet = true;
+      } else {
+        ++It;
+      }
+    }
+  }
+
+  bool Recomputed = false;
+  for (const auto &F : M.functions()) {
+    PerFunction &Entry = Funcs.at(F.get());
+    if (WantInstCount && !Entry.InstCountValid) {
+      Entry.InstCount = instCountFunction(*F);
+      Entry.InstCountValid = true;
+      ++FunctionRecomputes;
+      Recomputed = true;
+    } else if (!WantInstCount && !Entry.AutophaseValid) {
+      Entry.Autophase = autophaseFunction(*F);
+      Entry.AutophaseValid = true;
+      ++FunctionRecomputes;
+      Recomputed = true;
+    }
+  }
+  return ChangedSet || Recomputed;
+}
+
+const std::vector<int64_t> &FeatureCache::instCount(const Module &M) {
+  ++Requests;
+  // O(1) fast path: nothing invalidated since the last aggregation and the
+  // function set has not changed size. (Every notification path —
+  // invalidateFunction, functionErased, invalidateAll — clears the flag,
+  // so a stale hit would require an unnotified same-size function swap,
+  // which the preservation verifier rejects in checked builds.)
+  if (InstCountAggValid && Funcs.size() == M.functions().size())
+    return InstCountAgg;
+  if (refresh(M, /*WantInstCount=*/true) || !InstCountAggValid) {
+    InstCountAgg.assign(InstCountDims, 0);
+    for (const auto &F : M.functions())
+      accumulateInstCount(InstCountAgg, Funcs.at(F.get()).InstCount);
+    finalizeInstCount(InstCountAgg, M);
+    InstCountAggValid = true;
+    ++Aggregations;
+  }
+  return InstCountAgg;
+}
+
+const std::vector<int64_t> &FeatureCache::autophase(const Module &M) {
+  ++Requests;
+  if (AutophaseAggValid && Funcs.size() == M.functions().size())
+    return AutophaseAgg;
+  if (refresh(M, /*WantInstCount=*/false) || !AutophaseAggValid) {
+    AutophaseAgg.assign(AutophaseDims, 0);
+    for (const auto &F : M.functions())
+      accumulateAutophase(AutophaseAgg, Funcs.at(F.get()).Autophase);
+    finalizeAutophase(AutophaseAgg, M);
+    AutophaseAggValid = true;
+    ++Aggregations;
+  }
+  return AutophaseAgg;
+}
+
+const std::vector<int64_t> *
+FeatureCache::cachedInstCount(const Function *F) const {
+  auto It = Funcs.find(F);
+  return It != Funcs.end() && It->second.InstCountValid ? &It->second.InstCount
+                                                        : nullptr;
+}
+
+const std::vector<int64_t> *
+FeatureCache::cachedAutophase(const Function *F) const {
+  auto It = Funcs.find(F);
+  return It != Funcs.end() && It->second.AutophaseValid ? &It->second.Autophase
+                                                        : nullptr;
+}
+
+void FeatureCache::invalidateFunction(const Function *F) {
+  auto It = Funcs.find(F);
+  if (It != Funcs.end()) {
+    It->second.InstCountValid = false;
+    It->second.AutophaseValid = false;
+  }
+  InstCountAggValid = false;
+  AutophaseAggValid = false;
+}
+
+void FeatureCache::functionErased(const Function *F) {
+  Funcs.erase(F);
+  InstCountAggValid = false;
+  AutophaseAggValid = false;
+}
+
+void FeatureCache::invalidateAll() {
+  for (auto &[F, Entry] : Funcs) {
+    Entry.InstCountValid = false;
+    Entry.AutophaseValid = false;
+  }
+  InstCountAggValid = false;
+  AutophaseAggValid = false;
+}

@@ -1,0 +1,99 @@
+//===- analysis/FeatureCache.h - Incremental feature vectors ----*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental maintenance of the InstCount and Autophase observation
+/// spaces. Both are per-function decomposable: every dimension is either a
+/// sum of per-function contributions, a max over functions (InstCount's
+/// max-block-size), or a module-level count (functions, globals). The cache
+/// keeps one feature vector per function and recomputes only functions an
+/// optimization pass invalidated, so an observation after a single-function
+/// transform costs one function scan plus a cheap aggregation instead of a
+/// whole-module rescan (the per-observation cost the paper's Table III
+/// measures on the step hot path).
+///
+/// Invalidation is driven externally — the pass layer's AnalysisManager
+/// forwards PreservedAnalyses reports here. The cache is also self-healing
+/// against function-set changes: aggregation drops entries for functions no
+/// longer in the module and creates dirty entries for new ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_ANALYSIS_FEATURECACHE_H
+#define COMPILER_GYM_ANALYSIS_FEATURECACHE_H
+
+#include "analysis/Autophase.h"
+#include "analysis/InstCount.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace compiler_gym {
+namespace analysis {
+
+/// Lazily maintained per-function feature vectors for one module.
+class FeatureCache {
+public:
+  /// The aggregated 70-D InstCount vector; byte-equal to
+  /// analysis::instCount(M) computed from scratch.
+  const std::vector<int64_t> &instCount(const ir::Module &M);
+
+  /// The aggregated 56-D Autophase vector; byte-equal to
+  /// analysis::autophase(M) computed from scratch.
+  const std::vector<int64_t> &autophase(const ir::Module &M);
+
+  /// Marks one function's vectors stale (a pass changed its body).
+  void invalidateFunction(const ir::Function *F);
+
+  /// Drops a function's entry entirely (the function was erased).
+  void functionErased(const ir::Function *F);
+
+  /// Marks everything stale (module-level transform).
+  void invalidateAll();
+
+  /// Verification hooks: the cached per-function vector when valid, else
+  /// nullptr. Used by the pass layer's preservation checker to compare
+  /// cache contents against a from-scratch recount.
+  const std::vector<int64_t> *cachedInstCount(const ir::Function *F) const;
+  const std::vector<int64_t> *cachedAutophase(const ir::Function *F) const;
+
+  // -- Telemetry -----------------------------------------------------------
+  /// Observation requests served.
+  uint64_t requests() const { return Requests; }
+  /// Per-function vector recomputations (the work invalidation saves).
+  uint64_t functionRecomputes() const { return FunctionRecomputes; }
+  /// Aggregate rebuilds (cheap sums; counted separately from scans).
+  uint64_t aggregations() const { return Aggregations; }
+
+private:
+  struct PerFunction {
+    std::vector<int64_t> InstCount;
+    std::vector<int64_t> Autophase;
+    bool InstCountValid = false;
+    bool AutophaseValid = false;
+  };
+
+  /// Refreshes the function-entry map against the module's current function
+  /// set and recomputes dirty per-function vectors for one feature kind.
+  /// Returns true if anything changed (=> aggregate must be rebuilt).
+  bool refresh(const ir::Module &M, bool WantInstCount);
+
+  std::unordered_map<const ir::Function *, PerFunction> Funcs;
+  std::vector<int64_t> InstCountAgg;
+  std::vector<int64_t> AutophaseAgg;
+  bool InstCountAggValid = false;
+  bool AutophaseAggValid = false;
+
+  uint64_t Requests = 0;
+  uint64_t FunctionRecomputes = 0;
+  uint64_t Aggregations = 0;
+};
+
+} // namespace analysis
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_ANALYSIS_FEATURECACHE_H

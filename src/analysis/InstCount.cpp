@@ -12,48 +12,68 @@ using namespace compiler_gym;
 using namespace compiler_gym::analysis;
 using namespace compiler_gym::ir;
 
-std::vector<int64_t> analysis::instCount(const Module &M) {
+std::vector<int64_t> analysis::instCountFunction(const Function &F) {
   std::vector<int64_t> V(InstCountDims, 0);
-  V[2] = static_cast<int64_t>(M.functions().size());
-  V[45] = static_cast<int64_t>(M.globals().size());
-
-  for (const auto &F : M.functions()) {
-    V[44] += static_cast<int64_t>(F->numArgs());
-    for (const auto &BB : F->blocks()) {
-      ++V[1];
-      V[49] = std::max<int64_t>(V[49], static_cast<int64_t>(BB->size()));
-      V[43] += static_cast<int64_t>(BB->successors().size());
-      for (const auto &I : BB->instructions()) {
-        ++V[0];
-        ++V[3 + static_cast<int>(I->opcode())];
-        switch (I->type()) {
-        case Type::I1:
-          ++V[38];
-          break;
-        case Type::I32:
-          ++V[39];
-          break;
-        case Type::I64:
-          ++V[40];
-          break;
-        case Type::F64:
-          ++V[41];
-          break;
-        case Type::Ptr:
-          ++V[42];
-          break;
-        default:
-          break;
-        }
-        for (const Value *Op : I->operands())
-          if (isa<Constant>(Op))
-            ++V[46];
-        if (I->opcode() == Opcode::Phi)
-          V[47] += I->numIncoming();
-        if (I->opcode() == Opcode::Call)
-          V[48] += I->numCallArgs();
+  V[44] += static_cast<int64_t>(F.numArgs());
+  for (const auto &BB : F.blocks()) {
+    ++V[1];
+    V[49] = std::max<int64_t>(V[49], static_cast<int64_t>(BB->size()));
+    V[43] += static_cast<int64_t>(BB->successors().size());
+    for (const auto &I : BB->instructions()) {
+      ++V[0];
+      ++V[3 + static_cast<int>(I->opcode())];
+      switch (I->type()) {
+      case Type::I1:
+        ++V[38];
+        break;
+      case Type::I32:
+        ++V[39];
+        break;
+      case Type::I64:
+        ++V[40];
+        break;
+      case Type::F64:
+        ++V[41];
+        break;
+      case Type::Ptr:
+        ++V[42];
+        break;
+      default:
+        break;
       }
+      for (const Value *Op : I->operands())
+        if (isa<Constant>(Op))
+          ++V[46];
+      if (I->opcode() == Opcode::Phi)
+        V[47] += I->numIncoming();
+      if (I->opcode() == Opcode::Call)
+        V[48] += I->numCallArgs();
     }
   }
+  return V;
+}
+
+void analysis::accumulateInstCount(std::vector<int64_t> &Agg,
+                                   const std::vector<int64_t> &FV) {
+  for (int D = 0; D < InstCountDims; ++D) {
+    if (D == 2 || D == 45)
+      continue; // Module-level; set by finalizeInstCount.
+    if (D == 49)
+      Agg[D] = std::max(Agg[D], FV[D]);
+    else
+      Agg[D] += FV[D];
+  }
+}
+
+void analysis::finalizeInstCount(std::vector<int64_t> &Agg, const Module &M) {
+  Agg[2] = static_cast<int64_t>(M.functions().size());
+  Agg[45] = static_cast<int64_t>(M.globals().size());
+}
+
+std::vector<int64_t> analysis::instCount(const Module &M) {
+  std::vector<int64_t> V(InstCountDims, 0);
+  for (const auto &F : M.functions())
+    accumulateInstCount(V, instCountFunction(*F));
+  finalizeInstCount(V, M);
   return V;
 }

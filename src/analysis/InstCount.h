@@ -40,6 +40,21 @@ constexpr int InstCountDims = 70;
 /// Computes the InstCount feature vector for \p M.
 std::vector<int64_t> instCount(const ir::Module &M);
 
+/// Per-function InstCount contribution. Module-level dims ([2] functions,
+/// [45] globals) are left zero; dim [49] holds the function's own max
+/// block size. Aggregate with accumulateInstCount + finalizeInstCount.
+std::vector<int64_t> instCountFunction(const ir::Function &F);
+
+/// Folds one per-function contribution (from instCountFunction) into
+/// \p Agg: dim 49 (max block size) aggregates with max, module-level dims
+/// (2: functions, 45: globals) are skipped, everything else sums.
+void accumulateInstCount(std::vector<int64_t> &Agg,
+                         const std::vector<int64_t> &FV);
+
+/// Fills the module-level dims of \p Agg from \p M (function and global
+/// counts). Call once after accumulating every function.
+void finalizeInstCount(std::vector<int64_t> &Agg, const ir::Module &M);
+
 } // namespace analysis
 } // namespace compiler_gym
 

@@ -13,10 +13,10 @@
 #include "analysis/Rewards.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
-#include "passes/PassManager.h"
 #include "passes/Pipelines.h"
 #include "util/Hash.h"
 
+#include <iterator>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -92,30 +92,82 @@ private:
   uint64_t Hits = 0, Misses = 0;
 };
 
+/// Observation-space ids: dense indices into the dispatch and memo tables.
+enum LlvmObs : int {
+  ObsIr = 0,
+  ObsIrHash,
+  ObsInstCount,
+  ObsAutophase,
+  ObsInst2vec,
+  ObsPrograml,
+  ObsIrInstructionCount,
+  ObsIrInstructionCountOz,
+  ObsObjectTextSizeBytes,
+  ObsObjectTextSizeOz,
+  ObsRuntime,
+  ObsRuntimeO3,
+};
+
+/// Single source of truth for the observation spaces: the advertised list,
+/// the name->handler dispatch table and the memoization policy all derive
+/// from this table, so adding a space is exactly one entry here plus its
+/// case in computeObservationUncached.
+struct SpaceDesc {
+  const char *Name;
+  LlvmObs Id;
+  ObservationType Type;
+  bool Deterministic;
+  bool PlatformDependent;
+};
+
+constexpr SpaceDesc SpaceTable[] = {
+    {"Ir", ObsIr, ObservationType::String, true, false},
+    {"IrHash", ObsIrHash, ObservationType::String, true, false},
+    {"InstCount", ObsInstCount, ObservationType::Int64List, true, false},
+    {"Autophase", ObsAutophase, ObservationType::Int64List, true, false},
+    {"Inst2vec", ObsInst2vec, ObservationType::DoubleList, true, false},
+    {"Programl", ObsPrograml, ObservationType::Binary, true, false},
+    {"IrInstructionCount", ObsIrInstructionCount,
+     ObservationType::Int64Value, true, false},
+    {"IrInstructionCountOz", ObsIrInstructionCountOz,
+     ObservationType::Int64Value, true, false},
+    {"ObjectTextSizeBytes", ObsObjectTextSizeBytes,
+     ObservationType::Int64Value, true, true},
+    {"ObjectTextSizeOz", ObsObjectTextSizeOz, ObservationType::Int64Value,
+     true, true},
+    {"Runtime", ObsRuntime, ObservationType::DoubleValue, false, true},
+    {"RuntimeO3", ObsRuntimeO3, ObservationType::DoubleValue, false, true},
+};
+
+/// Name -> table index, built once per process.
+const std::unordered_map<std::string, int> &spaceIndex() {
+  static const std::unordered_map<std::string, int> Index = [] {
+    std::unordered_map<std::string, int> M;
+    for (int I = 0; I < static_cast<int>(std::size(SpaceTable)); ++I)
+      M.emplace(SpaceTable[I].Name, I);
+    return M;
+  }();
+  return Index;
+}
+
 std::vector<ObservationSpaceInfo> llvmObservationSpaces() {
-  auto info = [](const char *Name, ObservationType Ty, bool Deterministic,
-                 bool Platform) {
-    ObservationSpaceInfo O;
-    O.Name = Name;
-    O.Type = Ty;
-    O.Deterministic = Deterministic;
-    O.PlatformDependent = Platform;
-    return O;
-  };
-  return {
-      info("Ir", ObservationType::String, true, false),
-      info("IrHash", ObservationType::String, true, false),
-      info("InstCount", ObservationType::Int64List, true, false),
-      info("Autophase", ObservationType::Int64List, true, false),
-      info("Inst2vec", ObservationType::DoubleList, true, false),
-      info("Programl", ObservationType::Binary, true, false),
-      info("IrInstructionCount", ObservationType::Int64Value, true, false),
-      info("IrInstructionCountOz", ObservationType::Int64Value, true, false),
-      info("ObjectTextSizeBytes", ObservationType::Int64Value, true, true),
-      info("ObjectTextSizeOz", ObservationType::Int64Value, true, true),
-      info("Runtime", ObservationType::DoubleValue, false, true),
-      info("RuntimeO3", ObservationType::DoubleValue, false, true),
-  };
+  // Built once; getObservationSpaces() is called per step-with-observation
+  // request in CompilerService, so callers get a copy of this static list
+  // instead of twelve rebuilt-and-allocated entries each time.
+  static const std::vector<ObservationSpaceInfo> Spaces = [] {
+    std::vector<ObservationSpaceInfo> S;
+    S.reserve(std::size(SpaceTable));
+    for (const SpaceDesc &D : SpaceTable) {
+      ObservationSpaceInfo O;
+      O.Name = D.Name;
+      O.Type = D.Type;
+      O.Deterministic = D.Deterministic;
+      O.PlatformDependent = D.PlatformDependent;
+      S.push_back(std::move(O));
+    }
+    return S;
+  }();
+  return Spaces;
 }
 
 } // namespace
@@ -139,6 +191,13 @@ std::vector<ObservationSpaceInfo> LlvmSession::getObservationSpaces() {
   return llvmObservationSpaces();
 }
 
+void LlvmSession::rebindModule() {
+  PM = Mod ? std::make_unique<passes::PassManager>(*Mod) : nullptr;
+  ModEpoch = 0;
+  CachedStateKey.reset();
+  ObsMemo.clear();
+}
+
 Status LlvmSession::init(const ActionSpace &Space,
                          const datasets::Benchmark &Bench) {
   ActionNames = Space.ActionNames;
@@ -147,6 +206,7 @@ Status LlvmSession::init(const ActionSpace &Space,
   Mod = BenchmarkCache::instance().parse(Bench, Err);
   if (!Mod)
     return Err;
+  rebindModule();
   NoiseGen.reseed(fnv1a(Bench.Uri) ^ 0x9E3779B97F4A7C15ull);
   return Status::ok();
 }
@@ -161,9 +221,11 @@ Status LlvmSession::applyAction(const Action &A, bool &EndOfEpisode,
     return outOfRange("action " + std::to_string(A.Index) +
                       " out of range [0, " +
                       std::to_string(ActionNames.size()) + ")");
-  CG_ASSIGN_OR_RETURN(bool Changed,
-                      passes::runPass(*Mod, ActionNames[A.Index]));
-  (void)Changed;
+  CG_ASSIGN_OR_RETURN(bool Changed, PM->run(ActionNames[A.Index]));
+  if (Changed) {
+    ++ModEpoch;
+    CachedStateKey.reset();
+  }
   return Status::ok();
 }
 
@@ -193,52 +255,75 @@ Status LlvmSession::computeObservation(const ObservationSpaceInfo &Space,
                                        Observation &Out) {
   if (!Mod)
     return failedPrecondition("session not initialized");
+  const auto &Index = spaceIndex();
+  auto It = Index.find(Space.Name);
+  if (It == Index.end())
+    return notFound("unknown observation space '" + Space.Name + "'");
+  const SpaceDesc &Desc = SpaceTable[It->second];
   Out.Type = Space.Type;
-  const std::string &Name = Space.Name;
-  if (Name == "Ir") {
+
+  // Session-level memo: a deterministic observation of an unchanged module
+  // is a lookup, not a recompute. (The runtime's shared ObservationCache
+  // deduplicates *across* sessions via stateKey(); this handles the
+  // overwhelmingly common within-session repeat without hashing at all.)
+  if (Desc.Deterministic) {
+    auto MemoIt = ObsMemo.find(Desc.Id);
+    if (MemoIt != ObsMemo.end() && MemoIt->second.first == ModEpoch) {
+      Out = MemoIt->second.second;
+      Out.Type = Space.Type;
+      ++ObsMemoHits;
+      return Status::ok();
+    }
+  }
+
+  CG_RETURN_IF_ERROR(computeObservationUncached(Desc.Id, Space, Out));
+  if (Desc.Deterministic)
+    ObsMemo[Desc.Id] = {ModEpoch, Out};
+  return Status::ok();
+}
+
+Status
+LlvmSession::computeObservationUncached(int SpaceId,
+                                        const ObservationSpaceInfo &Space,
+                                        Observation &Out) {
+  switch (static_cast<LlvmObs>(SpaceId)) {
+  case ObsIr:
     Out.Str = ir::printModule(*Mod);
     return Status::ok();
-  }
-  if (Name == "IrHash") {
+  case ObsIrHash:
     Out.Str = Mod->hash().hex();
     return Status::ok();
-  }
-  if (Name == "InstCount") {
-    Out.Ints = analysis::instCount(*Mod);
+  case ObsInstCount:
+    // Served from the per-function feature cache: only functions dirtied
+    // since the last request are recounted.
+    Out.Ints = PM->analysisManager().features().instCount(*Mod);
     return Status::ok();
-  }
-  if (Name == "Autophase") {
-    Out.Ints = analysis::autophase(*Mod);
+  case ObsAutophase:
+    Out.Ints = PM->analysisManager().features().autophase(*Mod);
     return Status::ok();
-  }
-  if (Name == "Inst2vec") {
+  case ObsInst2vec: {
     std::vector<float> E = analysis::inst2vec(*Mod);
     Out.Doubles.assign(E.begin(), E.end());
     return Status::ok();
   }
-  if (Name == "Programl") {
+  case ObsPrograml:
     Out.Str = analysis::serializeGraph(analysis::buildProgramGraph(*Mod));
     return Status::ok();
-  }
-  if (Name == "IrInstructionCount") {
+  case ObsIrInstructionCount:
     Out.IntValue = analysis::codeSize(*Mod);
     return Status::ok();
-  }
-  if (Name == "ObjectTextSizeBytes") {
+  case ObsObjectTextSizeBytes:
     Out.IntValue = analysis::binarySize(*Mod);
     return Status::ok();
-  }
-  if (Name == "IrInstructionCountOz") {
+  case ObsIrInstructionCountOz:
     CG_RETURN_IF_ERROR(computeBaselines());
     Out.IntValue = OzInstructionCount;
     return Status::ok();
-  }
-  if (Name == "ObjectTextSizeOz") {
+  case ObsObjectTextSizeOz:
     CG_RETURN_IF_ERROR(computeBaselines());
     Out.IntValue = OzTextSize;
     return Status::ok();
-  }
-  if (Name == "Runtime") {
+  case ObsRuntime: {
     if (!Bench.Runnable)
       return failedPrecondition("benchmark '" + Bench.Uri +
                                 "' is not runnable");
@@ -248,7 +333,7 @@ Status LlvmSession::computeObservation(const ObservationSpaceInfo &Space,
                         analysis::measureRuntime(*Mod, NoiseGen, ROpts));
     return Status::ok();
   }
-  if (Name == "RuntimeO3") {
+  case ObsRuntimeO3:
     if (!Bench.Runnable)
       return failedPrecondition("benchmark '" + Bench.Uri +
                                 "' is not runnable");
@@ -256,16 +341,21 @@ Status LlvmSession::computeObservation(const ObservationSpaceInfo &Space,
     Out.DoubleValue = O3Runtime;
     return Status::ok();
   }
-  return notFound("unknown observation space '" + Name + "'");
+  return notFound("unknown observation space '" + Space.Name + "'");
 }
 
 uint64_t LlvmSession::stateKey() {
   if (!Mod)
     return 0;
-  // Benchmark URI disambiguates baseline-relative observations (e.g.
-  // IrInstructionCountOz) between benchmarks whose IR happens to coincide.
-  uint64_t Key = hashCombine(fnv1a(Bench.Uri), Mod->hash().low64());
-  return Key ? Key : 1;
+  if (!CachedStateKey) {
+    // Benchmark URI disambiguates baseline-relative observations (e.g.
+    // IrInstructionCountOz) between benchmarks whose IR happens to
+    // coincide. Hashing prints the module, so the digest is cached per
+    // action epoch rather than recomputed per request.
+    uint64_t Key = hashCombine(fnv1a(Bench.Uri), Mod->hash().low64());
+    CachedStateKey = Key ? Key : 1;
+  }
+  return *CachedStateKey;
 }
 
 StatusOr<std::unique_ptr<CompilationSession>> LlvmSession::fork() {
@@ -273,6 +363,7 @@ StatusOr<std::unique_ptr<CompilationSession>> LlvmSession::fork() {
   Clone->ActionNames = ActionNames;
   Clone->Bench = Bench;
   Clone->Mod = Mod ? Mod->clone() : nullptr;
+  Clone->rebindModule();
   Clone->NoiseGen = NoiseGen.split();
   Clone->OzInstructionCount = OzInstructionCount;
   Clone->OzTextSize = OzTextSize;

@@ -11,6 +11,15 @@
 /// recompile-from-scratch baselines (Table II). Environment initialization
 /// is O(1) amortized through a process-wide cache of parsed benchmarks.
 ///
+/// The session keeps a stateful passes::PassManager across step() calls:
+/// pass objects are constructed once, and the AnalysisManager carries
+/// dominator trees, loop info and per-function feature vectors between
+/// actions, invalidating only what each pass reports clobbered. Repeated
+/// observations of an unchanged module are memoized per session (keyed on
+/// an action-epoch counter), and the module StateHash behind stateKey() is
+/// cached so the runtime's shared ObservationCache can deduplicate across
+/// sessions without re-printing the module on every request.
+///
 /// Observation spaces: Ir, InstCount, Autophase, Inst2vec, Programl,
 /// IrInstructionCount, IrInstructionCountOz, ObjectTextSizeBytes,
 /// ObjectTextSizeOz, Runtime, IrHash.
@@ -23,9 +32,12 @@
 #include "service/CompilationSession.h"
 
 #include "ir/Module.h"
+#include "passes/PassManager.h"
 #include "util/Rng.h"
 
 #include <memory>
+#include <optional>
+#include <unordered_map>
 
 namespace compiler_gym {
 namespace envs {
@@ -51,6 +63,11 @@ public:
 
   /// Exposed for white-box tests.
   const ir::Module *module() const { return Mod.get(); }
+  /// The session's pass manager (analysis-cache telemetry in tests/bench);
+  /// nullptr before init().
+  passes::PassManager *passManager() { return PM.get(); }
+  /// Memoized-observation hits for this session (test/bench telemetry).
+  uint64_t observationMemoHits() const { return ObsMemoHits; }
 
   /// Process-wide parsed-benchmark cache statistics (Table II ablation).
   static uint64_t cacheHits();
@@ -59,11 +76,29 @@ public:
 
 private:
   Status computeBaselines();
+  Status computeObservationUncached(int SpaceId,
+                                    const service::ObservationSpaceInfo &Space,
+                                    service::Observation &Out);
+  /// Resets per-episode derived state (pass manager, memo, state key).
+  void rebindModule();
 
   std::vector<std::string> ActionNames;
   std::unique_ptr<ir::Module> Mod;
+  /// Stateful pipeline executor bound to Mod (replaces the per-call
+  /// runPass free function on the step hot path).
+  std::unique_ptr<passes::PassManager> PM;
   datasets::Benchmark Bench;
   Rng NoiseGen{0xB0A710AD};
+
+  /// Monotonic epoch: bumped every time an action changes the module.
+  uint64_t ModEpoch = 0;
+  /// Module state key, computed lazily once per epoch.
+  std::optional<uint64_t> CachedStateKey;
+  /// Deterministic observations memoized for the current epoch:
+  /// space id -> (epoch, observation).
+  std::unordered_map<int, std::pair<uint64_t, service::Observation>> ObsMemo;
+  uint64_t ObsMemoHits = 0;
+
   // Lazily computed -Oz / -O3 baselines for scaled rewards.
   int64_t OzInstructionCount = -1;
   int64_t OzTextSize = -1;

@@ -143,3 +143,16 @@ ir::findNaturalLoops(const Function &F, const DominatorTree &DT) {
             });
   return Out;
 }
+
+bool DominatorTree::structurallyEquals(const Function &F,
+                                       const DominatorTree &Other) const {
+  if (Rpo != Other.Rpo)
+    return false;
+  for (const auto &BB : F.blocks()) {
+    if (isReachable(BB.get()) != Other.isReachable(BB.get()))
+      return false;
+    if (idom(BB.get()) != Other.idom(BB.get()))
+      return false;
+  }
+  return true;
+}

@@ -43,6 +43,11 @@ public:
   /// Reverse postorder over reachable blocks.
   const std::vector<BasicBlock *> &reversePostorder() const { return Rpo; }
 
+  /// Structural equality with \p Other (same RPO, reachability and idoms
+  /// over \p F's blocks). Used by the pass layer's preservation checker to
+  /// compare a cached tree against a from-scratch recomputation.
+  bool structurallyEquals(const Function &F, const DominatorTree &Other) const;
+
 private:
   std::unordered_map<const BasicBlock *, BasicBlock *> Idom;
   std::unordered_map<const BasicBlock *, int> PostorderIndex;

@@ -1,0 +1,150 @@
+//===- passes/AnalysisManager.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/AnalysisManager.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace compiler_gym;
+using namespace compiler_gym::passes;
+using namespace compiler_gym::ir;
+
+const DominatorTree &AnalysisManager::domTree(const Function &F) {
+  Entry &E = Cache[&F];
+  if (E.DT) {
+    ++S.DomTreeHits;
+  } else {
+    E.DT = std::make_unique<DominatorTree>(F);
+    ++S.DomTreeComputes;
+  }
+  return *E.DT;
+}
+
+const std::vector<NaturalLoop> &AnalysisManager::loops(const Function &F) {
+  const DominatorTree &DT = domTree(F);
+  Entry &E = Cache[&F];
+  if (E.Loops) {
+    ++S.LoopHits;
+  } else {
+    E.Loops =
+        std::make_unique<std::vector<NaturalLoop>>(findNaturalLoops(F, DT));
+    ++S.LoopComputes;
+  }
+  return *E.Loops;
+}
+
+void AnalysisManager::invalidate(const Function &F,
+                                 const PreservedAnalyses &PA) {
+  unsigned Dropped = PA.abandoned();
+  if (Dropped & (AK_DomTree | AK_Loops)) {
+    auto It = Cache.find(&F);
+    if (It != Cache.end()) {
+      if (!(PA.preserves(AK_DomTree)))
+        It->second.DT.reset();
+      if (!(PA.preserves(AK_Loops)))
+        It->second.Loops.reset();
+    }
+  }
+  if (Dropped & AK_Features)
+    Features.invalidateFunction(&F);
+}
+
+void AnalysisManager::invalidateAll(const PreservedAnalyses &PA) {
+  if (!PA.preserves(AK_DomTree) || !PA.preserves(AK_Loops)) {
+    for (auto &[F, E] : Cache) {
+      if (!PA.preserves(AK_DomTree))
+        E.DT.reset();
+      if (!PA.preserves(AK_Loops))
+        E.Loops.reset();
+    }
+  }
+  if (!PA.preserves(AK_Features))
+    Features.invalidateAll();
+}
+
+void AnalysisManager::functionErased(const Function *F) {
+  Cache.erase(F);
+  Features.functionErased(F);
+}
+
+bool AnalysisManager::isCached(const Function &F, AnalysisKind Kind) const {
+  switch (Kind) {
+  case AK_DomTree: {
+    auto It = Cache.find(&F);
+    return It != Cache.end() && It->second.DT != nullptr;
+  }
+  case AK_Loops: {
+    auto It = Cache.find(&F);
+    return It != Cache.end() && It->second.Loops != nullptr;
+  }
+  case AK_Features:
+    return Features.cachedInstCount(&F) != nullptr ||
+           Features.cachedAutophase(&F) != nullptr;
+  }
+  return false;
+}
+
+namespace {
+
+bool sameLoops(const std::vector<NaturalLoop> &Cached,
+               const std::vector<NaturalLoop> &Fresh) {
+  if (Cached.size() != Fresh.size())
+    return false;
+  for (size_t I = 0; I < Cached.size(); ++I) {
+    if (Cached[I].Header != Fresh[I].Header ||
+        Cached[I].Latches != Fresh[I].Latches ||
+        Cached[I].Blocks != Fresh[I].Blocks)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Status AnalysisManager::verifyCachedAnalyses(const Module &M,
+                                             const std::string &PassName) {
+  // A cached entry whose function is no longer in the module means a pass
+  // erased a function without functionErased() — a dangling-pointer lie.
+  std::unordered_set<const Function *> Current;
+  for (const auto &F : M.functions())
+    Current.insert(F.get());
+  for (const auto &[F, E] : Cache)
+    if ((E.DT || E.Loops) && !Current.count(F))
+      return internalError("pass '" + PassName +
+                      "' erased a function without notifying the "
+                      "AnalysisManager");
+
+  for (const auto &F : M.functions()) {
+    auto It = Cache.find(F.get());
+    // A fresh dominator tree is needed to check either CFG analysis: a
+    // cached loop set without a cached tree (preserve(AK_Loops) alone)
+    // must not escape verification.
+    if (It != Cache.end() && (It->second.DT || It->second.Loops)) {
+      DominatorTree Fresh(*F);
+      if (It->second.DT && !It->second.DT->structurallyEquals(*F, Fresh))
+        return internalError("pass '" + PassName +
+                        "' claimed to preserve the dominator tree of '" +
+                        F->name() + "' but changed the CFG");
+      if (It->second.Loops &&
+          !sameLoops(*It->second.Loops, findNaturalLoops(*F, Fresh)))
+        return internalError("pass '" + PassName +
+                        "' claimed to preserve loop info of '" + F->name() +
+                        "' but changed the loop structure");
+    }
+    if (const std::vector<int64_t> *IC = Features.cachedInstCount(F.get()))
+      if (*IC != analysis::instCountFunction(*F))
+        return internalError("pass '" + PassName +
+                        "' claimed to preserve features of '" + F->name() +
+                        "' but the InstCount vector changed");
+    if (const std::vector<int64_t> *AP = Features.cachedAutophase(F.get()))
+      if (*AP != analysis::autophaseFunction(*F))
+        return internalError("pass '" + PassName +
+                        "' claimed to preserve features of '" + F->name() +
+                        "' but the Autophase vector changed");
+  }
+  return Status::ok();
+}

@@ -20,7 +20,7 @@ class DcePass : public FunctionPass {
 public:
   std::string name() const override { return "dce"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     // Worklist formulation: one use-count scan, then transitive removal by
     // decrementing operand counts as instructions die. O(n) total.
     auto Uses = F.computeUseCounts();
@@ -47,7 +47,8 @@ public:
       for (size_t I = BB->size(); I-- > 0;)
         if (Doomed.count(BB->instructions()[I].get()))
           BB->erase(I);
-    return !Doomed.empty();
+    // Only erases non-terminator instructions: CFG analyses survive.
+    return PassResult::make(!Doomed.empty(), PreservedAnalyses::cfg());
   }
 };
 
@@ -58,7 +59,7 @@ class AdcePass : public FunctionPass {
 public:
   std::string name() const override { return "adce"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     std::unordered_set<const Instruction *> Live;
     std::vector<const Instruction *> Work;
     F.forEachInstruction([&](BasicBlock &, Instruction &I) {
@@ -84,7 +85,7 @@ public:
         }
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -93,7 +94,7 @@ class GlobalDcePass : public Pass {
 public:
   std::string name() const override { return "global-dce"; }
 
-  bool runOnModule(Module &M) override {
+  PassResult run(Module &M, AnalysisManager &AM) override {
     bool Changed = false;
     bool LocalChange = true;
     while (LocalChange) {
@@ -115,6 +116,7 @@ public:
         if (F->name() != "main" && !F->isNoInline() && !CalledFns.count(F.get()))
           DeadFns.push_back(F.get());
       for (Function *F : DeadFns) {
+        AM.functionErased(F);
         M.eraseFunction(F);
         Changed = LocalChange = true;
       }
@@ -126,7 +128,11 @@ public:
       // .data, which the paper's code-size rewards do not count).
       (void)UsedGlobals;
     }
-    return Changed;
+    // Surviving functions are untouched; erased ones were reported above,
+    // which also marks the module-level feature aggregates stale.
+    PassResult R = PassResult::make(Changed, PreservedAnalyses::all());
+    R.InvalidationApplied = true; // functionErased() calls above.
+    return R;
   }
 };
 
@@ -137,7 +143,7 @@ class StripNamesPass : public FunctionPass {
 public:
   std::string name() const override { return "strip-names"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     F.forEachInstruction([&](BasicBlock &, Instruction &I) {
       if (!I.name().empty()) {
@@ -145,7 +151,9 @@ public:
         Changed = true;
       }
     });
-    return Changed;
+    // Renaming is invisible to every analysis (the printed form and hash
+    // still change; those are tracked by the changed bit, not by PA).
+    return PassResult::make(Changed, PreservedAnalyses::all());
   }
 };
 
@@ -155,7 +163,7 @@ class MergeReturnPass : public FunctionPass {
 public:
   std::string name() const override { return "mergereturn"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     std::vector<BasicBlock *> RetBlocks;
     for (const auto &BB : F.blocks()) {
       Instruction *Term = BB->terminator();
@@ -163,7 +171,7 @@ public:
         RetBlocks.push_back(BB.get());
     }
     if (RetBlocks.size() < 2)
-      return false;
+      return PassResult::make(false, PreservedAnalyses::all());
 
     BasicBlock *Exit = F.createBlock("unified_exit");
     Instruction *RetPhi = nullptr;
@@ -185,7 +193,7 @@ public:
           Opcode::Br, Type::Void, std::vector<Value *>{Exit});
       BB->append(std::move(Br));
     }
-    return true;
+    return PassResult::make(true, PreservedAnalyses::none());
   }
 };
 
@@ -194,8 +202,9 @@ class UnreachableBlockElimPass : public FunctionPass {
 public:
   std::string name() const override { return "unreachable-elim"; }
 
-  bool runOnFunction(Function &F) override {
-    return removeUnreachableBlocks(F);
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
+    return PassResult::make(removeUnreachableBlocks(F),
+                            PreservedAnalyses::none());
   }
 };
 
@@ -205,7 +214,7 @@ class Reg2MemPass : public FunctionPass {
 public:
   std::string name() const override { return "reg2mem"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     // Collect phis first; we mutate blocks while demoting.
     std::vector<Instruction *> Phis;
     F.forEachInstruction([&](BasicBlock &, Instruction &I) {
@@ -213,7 +222,7 @@ public:
         Phis.push_back(&I);
     });
     if (Phis.empty())
-      return false;
+      return PassResult::make(false, PreservedAnalyses::all());
 
     BasicBlock *Entry = F.entry();
     for (Instruction *Phi : Phis) {
@@ -241,7 +250,9 @@ public:
       F.replaceAllUsesWith(Phi, Loaded);
       BB->erase(BB->indexOf(Phi));
     }
-    return true;
+    // Inserts allocas/stores/loads and drops phis without touching the
+    // block graph.
+    return PassResult::make(true, PreservedAnalyses::cfg());
   }
 };
 

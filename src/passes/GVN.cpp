@@ -54,8 +54,10 @@ public:
 
   std::string name() const override { return PassName; }
 
-  bool runOnFunction(Function &F) override {
-    DominatorTree DT(F);
+  unsigned requiredAnalyses() const override { return AK_DomTree; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
+    const DominatorTree &DT = AM.domTree(F);
     StableValueIds Ids(F);
 
     // Dom-tree children lists (deterministic order: function block order).
@@ -71,7 +73,7 @@ public:
     std::map<ExprKey, Value *> Table;
     // Scope stack entries record the keys we shadowed/added per block.
     dfs(F, F.entry(), Children, Ids, Table, Changed);
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 
 private:
@@ -145,19 +147,20 @@ public:
   std::string name() const override { return "gvn-sink"; }
   bool isDeterministic() const override { return false; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     if (F.numBlocks() < 3)
-      return false;
+      return PassResult::make(false, PreservedAnalyses::all());
     std::vector<BasicBlock *> Rest;
     for (size_t I = 1; I < F.numBlocks(); ++I)
       Rest.push_back(F.blocks()[I].get());
     std::vector<BasicBlock *> Sorted = Rest;
     std::sort(Sorted.begin(), Sorted.end()); // Pointer order: the bug.
     if (Sorted == Rest)
-      return false;
+      return PassResult::make(false, PreservedAnalyses::all());
     for (size_t I = 0; I < Sorted.size(); ++I)
       F.moveBlock(Sorted[I], I + 1);
-    return true;
+    // Like canonicalize-block-order: layout-only, analyses survive.
+    return PassResult::make(true, PreservedAnalyses::all());
   }
 };
 

@@ -16,6 +16,7 @@
 #include "passes/Utils.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace compiler_gym;
 using namespace compiler_gym::passes;
@@ -31,8 +32,7 @@ public:
     return "inline<" + std::to_string(Threshold) + ">";
   }
 
-  bool runOnModule(Module &M) override {
-    bool Changed = false;
+  PassResult run(Module &M, AnalysisManager &AM) override {
     // Collect call sites up front; inlining appends blocks but call sites
     // found later inside inlined bodies are not revisited this run (one
     // level per action keeps growth under the agent's control).
@@ -47,6 +47,7 @@ public:
           Sites.push_back({F.get(), &I});
       });
     }
+    std::unordered_set<Function *> ChangedFns;
     for (const Site &S : Sites) {
       Function *Callee = S.Call->calledFunction();
       if (!shouldInline(*S.Caller, *Callee))
@@ -54,9 +55,15 @@ public:
       // The call's parent may have been split by an earlier inline in the
       // same block; always use the current parent.
       inlineSite(M, *S.Caller, S.Call->parent(), S.Call);
-      Changed = true;
+      ChangedFns.insert(S.Caller);
     }
-    return Changed;
+    // Only callers mutate; callees and bystanders keep their analyses.
+    for (Function *F : ChangedFns)
+      AM.invalidate(*F, PreservedAnalyses::none());
+    PassResult R =
+        PassResult::make(!ChangedFns.empty(), PreservedAnalyses::none());
+    R.InvalidationApplied = true; // Per-caller invalidation above.
+    return R;
   }
 
 private:

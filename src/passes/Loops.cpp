@@ -52,29 +52,38 @@ class LoopSimplifyPass : public FunctionPass {
 public:
   std::string name() const override { return "loop-simplify"; }
 
-  bool runOnFunction(Function &F) override {
+  unsigned requiredAnalyses() const override { return AK_DomTree | AK_Loops; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
     bool Changed = false;
     bool LocalChange = true;
     while (LocalChange) {
       LocalChange = false;
-      DominatorTree DT(F);
-      std::vector<NaturalLoop> Loops = findNaturalLoops(F, DT);
-      for (NaturalLoop &Loop : Loops) {
+      const std::vector<NaturalLoop> &Loops = AM.loops(F);
+      for (const NaturalLoop &Loop : Loops) {
         if (findPreheader(Loop))
           continue;
         if (Loop.Header == F.entry())
           continue; // Entry cannot have a preheader inserted before it.
         if (insertPreheader(F, Loop)) {
+          // CFG changed: Loops is now stale — drop it and break out so the
+          // next round re-discovers from fresh analyses.
+          AM.invalidate(F, PreservedAnalyses::none());
           LocalChange = Changed = true;
-          break; // CFG changed; recompute loops.
+          break;
         }
       }
     }
-    return Changed;
+    // invalidate(F, none()) already ran at every CFG edit and the final
+    // no-change round refetched fresh analyses: they are valid for the
+    // next pass (licm), so suppress the end-of-run re-invalidation.
+    PassResult R = PassResult::make(Changed, PreservedAnalyses::none());
+    R.InvalidationApplied = true;
+    return R;
   }
 
 private:
-  static bool insertPreheader(Function &F, NaturalLoop &Loop) {
+  static bool insertPreheader(Function &F, const NaturalLoop &Loop) {
     BasicBlock *Header = Loop.Header;
     std::vector<BasicBlock *> OutsidePreds;
     for (BasicBlock *Pred : Header->predecessors())
@@ -130,11 +139,12 @@ public:
     return HoistLoads ? "licm-promote" : "licm";
   }
 
-  bool runOnFunction(Function &F) override {
-    DominatorTree DT(F);
-    std::vector<NaturalLoop> Loops = findNaturalLoops(F, DT);
+  unsigned requiredAnalyses() const override { return AK_DomTree | AK_Loops; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
+    const std::vector<NaturalLoop> &Loops = AM.loops(F);
     bool Changed = false;
-    for (NaturalLoop &Loop : Loops) {
+    for (const NaturalLoop &Loop : Loops) {
       BasicBlock *PH = findPreheader(Loop);
       if (!PH)
         continue; // loop-simplify has not run: a real ordering dependency.
@@ -195,7 +205,9 @@ public:
         }
       }
     }
-    return Changed;
+    // Hoisting moves instructions along existing edges; the block graph —
+    // and therefore the cached loops just iterated — stay valid.
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 
 private:
@@ -213,27 +225,33 @@ public:
     return "loop-unroll<" + std::to_string(MaxTripCount) + ">";
   }
 
-  bool runOnFunction(Function &F) override {
+  unsigned requiredAnalyses() const override { return AK_DomTree | AK_Loops; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
     bool Changed = false;
     bool LocalChange = true;
     while (LocalChange) {
       LocalChange = false;
-      DominatorTree DT(F);
-      std::vector<NaturalLoop> Loops = findNaturalLoops(F, DT);
-      for (NaturalLoop &Loop : Loops) {
+      const std::vector<NaturalLoop> &Loops = AM.loops(F);
+      for (const NaturalLoop &Loop : Loops) {
         if (Loop.Blocks.size() != 1)
           continue; // Only self-loop blocks (rotated form).
         if (tryUnroll(F, Loop)) {
+          AM.invalidate(F, PreservedAnalyses::none());
           LocalChange = Changed = true;
           break;
         }
       }
     }
-    return Changed;
+    // As in loop-simplify: mid-run invalidation + final-round refetch
+    // leave valid cached analyses behind.
+    PassResult R = PassResult::make(Changed, PreservedAnalyses::none());
+    R.InvalidationApplied = true;
+    return R;
   }
 
 private:
-  bool tryUnroll(Function &F, NaturalLoop &Loop) {
+  bool tryUnroll(Function &F, const NaturalLoop &Loop) {
     BasicBlock *B = Loop.Header;
     BasicBlock *PH = findPreheader(Loop);
     if (!PH)
@@ -437,25 +455,31 @@ class LoopDeletePass : public FunctionPass {
 public:
   std::string name() const override { return "loop-delete"; }
 
-  bool runOnFunction(Function &F) override {
+  unsigned requiredAnalyses() const override { return AK_DomTree | AK_Loops; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
     bool Changed = false;
     bool LocalChange = true;
     while (LocalChange) {
       LocalChange = false;
-      DominatorTree DT(F);
-      std::vector<NaturalLoop> Loops = findNaturalLoops(F, DT);
-      for (NaturalLoop &Loop : Loops) {
+      const std::vector<NaturalLoop> &Loops = AM.loops(F);
+      for (const NaturalLoop &Loop : Loops) {
         if (tryDelete(F, Loop)) {
+          AM.invalidate(F, PreservedAnalyses::none());
           LocalChange = Changed = true;
           break;
         }
       }
     }
-    return Changed;
+    // As in loop-simplify: mid-run invalidation + final-round refetch
+    // leave valid cached analyses behind.
+    PassResult R = PassResult::make(Changed, PreservedAnalyses::none());
+    R.InvalidationApplied = true;
+    return R;
   }
 
 private:
-  static bool tryDelete(Function &F, NaturalLoop &Loop) {
+  static bool tryDelete(Function &F, const NaturalLoop &Loop) {
     BasicBlock *PH = findPreheader(Loop);
     if (!PH)
       return false;

@@ -32,11 +32,15 @@ class Mem2RegPass : public FunctionPass {
 public:
   std::string name() const override { return "mem2reg"; }
 
-  bool runOnFunction(Function &F) override {
-    // Unreachable code would leave phis without matching incoming edges.
-    bool Changed = removeUnreachableBlocks(F);
+  unsigned requiredAnalyses() const override { return AK_DomTree; }
 
-    DominatorTree DT(F);
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
+    // Unreachable code would leave phis without matching incoming edges.
+    bool CfgChanged = removeUnreachableBlocks(F);
+    if (CfgChanged)
+      AM.invalidate(F, PreservedAnalyses::none());
+
+    const DominatorTree &DT = AM.domTree(F);
     std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
         DomChildren;
     for (const auto &BB : F.blocks())
@@ -109,12 +113,17 @@ public:
       if (It != Slots.end() && It->second.Promotable)
         Order.push_back(&I);
     });
+    bool Promoted = false;
     for (Instruction *Alloca : Order) {
       SlotInfo &Slot = Slots.at(Alloca);
-      Changed |= promote(F, *Alloca, Slot.ValueTy, Slot.Loads, Slot.Stores,
-                         Slot.DefBlocks, DT, DomChildren, DF);
+      Promoted |= promote(F, *Alloca, Slot.ValueTy, Slot.Loads, Slot.Stores,
+                          Slot.DefBlocks, DT, DomChildren, DF);
     }
-    return Changed;
+    // Promotion inserts phis and deletes memory ops without CFG edits; the
+    // up-front unreachable-block cleanup was the only CFG-changing part
+    // and already invalidated, after which the tree was recomputed fresh —
+    // so only features need the end-of-run invalidation either way.
+    return PassResult::make(CfgChanged || Promoted, PreservedAnalyses::cfg());
   }
 
 private:

@@ -11,10 +11,27 @@ using namespace compiler_gym::passes;
 
 Pass::~Pass() = default;
 
-bool FunctionPass::runOnModule(ir::Module &M) {
-  bool Changed = false;
-  for (const auto &F : M.functions())
-    if (!F->empty())
-      Changed |= runOnFunction(*F);
-  return Changed;
+bool Pass::runOnModule(ir::Module &M) {
+  AnalysisManager AM;
+  return run(M, AM).Changed;
+}
+
+PassResult FunctionPass::run(ir::Module &M, AnalysisManager &AM) {
+  PassResult Agg;
+  for (const auto &F : M.functions()) {
+    if (F->empty())
+      continue;
+    PassResult R = runOnFunction(*F, AM);
+    if (R.Changed) {
+      // Fixpoint passes that invalidated mid-run (and then refetched fresh
+      // analyses) set InvalidationApplied; re-invalidating here would throw
+      // those just-recomputed trees away for the next pass.
+      if (!R.InvalidationApplied)
+        AM.invalidate(*F, R.Preserved);
+      Agg.Changed = true;
+      Agg.Preserved.intersect(R.Preserved);
+    }
+  }
+  Agg.InvalidationApplied = true; // Done per function above.
+  return Agg;
 }

@@ -9,33 +9,87 @@
 using namespace compiler_gym;
 using namespace compiler_gym::passes;
 
-StatusOr<bool> passes::runPass(ir::Module &M, const std::string &Name) {
-  std::unique_ptr<Pass> P = PassRegistry::instance().create(Name);
-  if (!P)
-    return notFound("unknown pass '" + Name + "'");
-  return P->runOnModule(M);
+PassManager::PassManager(ir::Module &M)
+    : M(M),
+#ifdef NDEBUG
+      VerifyPreservation(false)
+#else
+      VerifyPreservation(true)
+#endif
+{
 }
 
-StatusOr<bool> passes::runPipeline(ir::Module &M,
-                                   const std::vector<std::string> &Names) {
+Pass *PassManager::getPass(const std::string &Name) {
+  auto It = Instances.find(Name);
+  if (It != Instances.end())
+    return It->second.get();
+  std::unique_ptr<Pass> P = PassRegistry::instance().create(Name);
+  if (!P)
+    return nullptr;
+  ++St.PassInstancesCreated;
+  return Instances.emplace(Name, std::move(P)).first->second.get();
+}
+
+StatusOr<bool> PassManager::run(Pass &P) {
+  PassResult R = P.run(M, AM);
+  ++St.PassesRun;
+  // Module-scoped passes that did not report fine-grained invalidation
+  // themselves get their PreservedAnalyses applied module-wide, so a pass
+  // following only the PassResult contract is conservatively correct.
+  if (R.Changed && !R.InvalidationApplied)
+    AM.invalidateAll(R.Preserved);
+  if (VerifyPreservation)
+    CG_RETURN_IF_ERROR(AM.verifyCachedAnalyses(M, P.name()));
+  return R.Changed;
+}
+
+StatusOr<bool> PassManager::run(const std::string &Name) {
+  Pass *P = getPass(Name);
+  if (!P)
+    return notFound("unknown pass '" + Name + "'");
+  return run(*P);
+}
+
+StatusOr<bool> PassManager::runPipeline(const std::vector<std::string> &Names) {
   bool Changed = false;
   for (const std::string &Name : Names) {
-    CG_ASSIGN_OR_RETURN(bool PassChanged, runPass(M, Name));
+    CG_ASSIGN_OR_RETURN(bool PassChanged, run(Name));
     Changed |= PassChanged;
   }
   return Changed;
 }
 
 StatusOr<bool>
-passes::runPipelineToFixpoint(ir::Module &M,
-                              const std::vector<std::string> &Names,
-                              int MaxRounds) {
+PassManager::runToFixpoint(const std::vector<std::string> &Names,
+                           int MaxRounds) {
   bool Changed = false;
   for (int Round = 0; Round < MaxRounds; ++Round) {
-    CG_ASSIGN_OR_RETURN(bool RoundChanged, runPipeline(M, Names));
+    CG_ASSIGN_OR_RETURN(bool RoundChanged, runPipeline(Names));
     if (!RoundChanged)
       break;
     Changed = true;
   }
   return Changed;
+}
+
+StatusOr<bool> passes::runPass(ir::Module &M, const std::string &Name) {
+  PassManager PM(M);
+  return PM.run(Name);
+}
+
+StatusOr<bool> passes::runPipeline(ir::Module &M,
+                                   const std::vector<std::string> &Names) {
+  PassManager PM(M);
+  return PM.runPipeline(Names);
+}
+
+StatusOr<bool>
+passes::runPipelineToFixpoint(ir::Module &M,
+                              const std::vector<std::string> &Names,
+                              int MaxRounds) {
+  // One transient manager for the whole fixpoint iteration: pass objects
+  // are constructed once and analyses persist across rounds (the old
+  // implementation re-created every pass through the registry each round).
+  PassManager PM(M);
+  return PM.runToFixpoint(Names, MaxRounds);
 }

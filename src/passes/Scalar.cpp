@@ -33,7 +33,7 @@ class ConstFoldPass : public FunctionPass {
 public:
   std::string name() const override { return "constfold"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     bool Changed = false;
     bool LocalChange = true;
@@ -73,7 +73,7 @@ public:
             BB->erase(I);
       LocalChange = Changed = true;
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -82,7 +82,7 @@ class InstSimplifyPass : public FunctionPass {
 public:
   std::string name() const override { return "instsimplify"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     bool Changed = false;
     bool LocalChange = true;
@@ -101,7 +101,7 @@ public:
         }
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -115,7 +115,7 @@ class InstCombinePass : public FunctionPass {
 public:
   std::string name() const override { return "instcombine"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     bool Changed = false;
     bool LocalChange = true;
@@ -145,7 +145,7 @@ public:
         }
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 
 private:
@@ -205,7 +205,7 @@ class ReassociatePass : public FunctionPass {
 public:
   std::string name() const override { return "reassociate"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     StableValueIds Ids(F);
     bool Changed = false;
     F.forEachInstruction([&](BasicBlock &, Instruction &I) {
@@ -224,7 +224,9 @@ public:
         Changed = true;
       }
     });
-    return Changed;
+    // Commutative operand swaps leave use counts, opcode histograms and
+    // the CFG alone: every analysis survives.
+    return PassResult::make(Changed, PreservedAnalyses::all());
   }
 };
 
@@ -233,7 +235,7 @@ class CmpCanonicalizePass : public FunctionPass {
 public:
   std::string name() const override { return "cmp-canonicalize"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     F.forEachInstruction([&](BasicBlock &, Instruction &I) {
       if (I.opcode() != Opcode::ICmp && I.opcode() != Opcode::FCmp)
@@ -262,7 +264,8 @@ public:
       }
       Changed = true;
     });
-    return Changed;
+    // Operand swap + predicate flip: no feature observes predicates.
+    return PassResult::make(Changed, PreservedAnalyses::all());
   }
 };
 
@@ -271,7 +274,7 @@ class ShiftCombinePass : public FunctionPass {
 public:
   std::string name() const override { return "shift-combine"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     bool Changed = false;
     F.forEachInstruction([&](BasicBlock &, Instruction &I) {
@@ -294,7 +297,8 @@ public:
       I.setOperand(1, M.getConstInt(I.type(), Total));
       Changed = true;
     });
-    return Changed;
+    // Rewiring operands changes use counts (OneUseInstCount): features go.
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -304,7 +308,7 @@ class StrengthReducePass : public FunctionPass {
 public:
   std::string name() const override { return "strength-reduce"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     // Collect first: rewriting replaces instructions, which would
     // invalidate an in-flight block iteration.
@@ -322,7 +326,7 @@ public:
     });
     for (auto &[I, Log2] : Rewrites)
       rewriteToShl(*I, M, Log2);
-    return !Rewrites.empty();
+    return PassResult::make(!Rewrites.empty(), PreservedAnalyses::cfg());
   }
 
 private:
@@ -349,7 +353,7 @@ class SccpPass : public FunctionPass {
 public:
   std::string name() const override { return "sccp"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     bool Changed = false;
     bool LocalChange = true;
@@ -396,7 +400,7 @@ public:
       if (removeUnreachableBlocks(F))
         LocalChange = Changed = true;
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::none());
   }
 };
 
@@ -405,7 +409,7 @@ class SinkPass : public FunctionPass {
 public:
   std::string name() const override { return "sink"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     // Map each instruction to its unique using block (if any).
     for (const auto &BB : F.blocks()) {
@@ -450,7 +454,9 @@ public:
         Changed = true;
       }
     }
-    return Changed;
+    // Moving instructions across blocks keeps the CFG but shifts the
+    // per-block feature counts.
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -459,7 +465,7 @@ class LocalCsePass : public FunctionPass {
 public:
   std::string name() const override { return "cse-local"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     StableValueIds Ids(F);
     for (const auto &BB : F.blocks()) {
@@ -477,7 +483,7 @@ public:
         }
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 
   static std::vector<uint64_t> expressionKey(const Instruction &I,
@@ -502,7 +508,7 @@ class LocalDsePass : public FunctionPass {
 public:
   std::string name() const override { return "dse-local"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     for (const auto &BB : F.blocks()) {
       // Track last pending store per exact pointer value.
@@ -529,7 +535,7 @@ public:
         Changed = true;
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -539,7 +545,7 @@ class StoreForwardPass : public FunctionPass {
 public:
   std::string name() const override { return "store-forward"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     for (const auto &BB : F.blocks()) {
       std::unordered_map<const Value *, Value *> Known;
@@ -568,7 +574,7 @@ public:
         }
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -578,7 +584,7 @@ class RedundantLoadElimPass : public FunctionPass {
 public:
   std::string name() const override { return "redundant-load-elim"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     for (const auto &BB : F.blocks()) {
       std::unordered_map<const Value *, Instruction *> Loads;
@@ -601,7 +607,7 @@ public:
         }
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 
@@ -611,7 +617,7 @@ class LowerSelectPass : public FunctionPass {
 public:
   std::string name() const override { return "lower-select"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     // One select per invocation per function keeps growth bounded.
     for (const auto &BBPtr : F.blocks()) {
       BasicBlock *BB = BBPtr.get();
@@ -620,10 +626,10 @@ public:
         if (Sel->opcode() != Opcode::Select)
           continue;
         lower(F, BB, I);
-        return true;
+        return PassResult::make(true, PreservedAnalyses::none());
       }
     }
-    return false;
+    return PassResult::make(false, PreservedAnalyses::all());
   }
 
 private:
@@ -677,7 +683,7 @@ class PhiSimplifyPass : public FunctionPass {
 public:
   std::string name() const override { return "phi-simplify"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     bool Changed = false;
     bool LocalChange = true;
@@ -694,7 +700,7 @@ public:
         }
       }
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::cfg());
   }
 };
 

@@ -157,7 +157,7 @@ class SimplifyCfgPass : public FunctionPass {
 public:
   std::string name() const override { return "simplifycfg"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     Module &M = *F.parent();
     bool Changed = false;
     bool LocalChange = true;
@@ -169,7 +169,7 @@ public:
       LocalChange |= mergeLinearChains(F);
       Changed |= LocalChange;
     }
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::none());
   }
 };
 
@@ -178,7 +178,9 @@ class BlockMergePass : public FunctionPass {
 public:
   std::string name() const override { return "block-merge"; }
 
-  bool runOnFunction(Function &F) override { return mergeLinearChains(F); }
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
+    return PassResult::make(mergeLinearChains(F), PreservedAnalyses::none());
+  }
 };
 
 /// Threads branches through blocks of the form
@@ -188,7 +190,7 @@ class JumpThreadingPass : public FunctionPass {
 public:
   std::string name() const override { return "jump-threading"; }
 
-  bool runOnFunction(Function &F) override {
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
     bool Changed = false;
     for (const auto &BBPtr : F.blocks()) {
       BasicBlock *BB = BBPtr.get();
@@ -249,7 +251,7 @@ public:
     }
     if (Changed)
       removeUnreachableBlocks(F);
-    return Changed;
+    return PassResult::make(Changed, PreservedAnalyses::none());
   }
 };
 
@@ -260,8 +262,10 @@ class CanonicalizeBlockOrderPass : public FunctionPass {
 public:
   std::string name() const override { return "canonicalize-block-order"; }
 
-  bool runOnFunction(Function &F) override {
-    DominatorTree DT(F);
+  unsigned requiredAnalyses() const override { return AK_DomTree; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
+    const DominatorTree &DT = AM.domTree(F);
     const std::vector<BasicBlock *> &Rpo = DT.reversePostorder();
     bool Changed = false;
     for (size_t I = 0; I < Rpo.size(); ++I) {
@@ -270,7 +274,9 @@ public:
         Changed = true;
       }
     }
-    return Changed;
+    // Block-list order is not part of the CFG: dominators, loops and all
+    // structural feature counts are untouched (only layout/hash change).
+    return PassResult::make(Changed, PreservedAnalyses::all());
   }
 };
 

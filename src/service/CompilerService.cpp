@@ -149,7 +149,11 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
     Reply.Step.ActionSpaceChanged = SpaceChanged;
     if (SpaceChanged)
       Reply.Step.NewSpace = Session.currentActionSpace();
-    std::vector<ObservationSpaceInfo> Known = Session.getObservationSpaces();
+    // Space metadata is only needed when observations were requested; the
+    // common step-without-observation request skips building the list.
+    std::vector<ObservationSpaceInfo> Known;
+    if (!Req.Step.ObservationSpaces.empty())
+      Known = Session.getObservationSpaces();
     // State key for the observation cache, computed at most once per request.
     uint64_t StateKey = 0;
     bool HaveStateKey = false;

@@ -1,0 +1,469 @@
+//===- tests/analysis_manager_test.cpp - Invalidation correctness -*-C++-*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The differential invalidation suite: for every registered pass and a
+// corpus of generated programs, running the pass under the AnalysisManager
+// must leave every cached analysis (dominators, loops, feature vectors)
+// byte-equal to a from-scratch recomputation. Plus the preservation-lie
+// detector, pass-instance reuse, and the incremental feature cache.
+
+#include "analysis/Autophase.h"
+#include "analysis/FeatureCache.h"
+#include "analysis/InstCount.h"
+#include "datasets/CsmithGenerator.h"
+#include "datasets/CuratedSuites.h"
+#include "datasets/DatasetRegistry.h"
+#include "envs/llvm/LlvmSession.h"
+#include "ir/Dominators.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "passes/PassManager.h"
+#include "passes/Utils.h"
+#include "passes/PassRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+using namespace compiler_gym::passes;
+
+namespace {
+
+std::unique_ptr<Module> parse(const std::string &Text) {
+  auto M = parseModule(Text);
+  EXPECT_TRUE(M.isOk()) << M.status().toString();
+  return M.isOk() ? M.takeValue() : nullptr;
+}
+
+const char *TwoFunctionModule = R"(module "t"
+func @helper(i64 %x) -> i64 {
+entry:
+  %slot = alloca ptr words 1
+  store i64 %x, ptr %slot
+  %v = load i64, ptr %slot
+  %r = mul i64 i64 %v, i64 3
+  ret i64 %r
+}
+func @main(i64 %n) -> i64 {
+entry:
+  %dead = add i64 i64 %n, i64 1
+  %c = icmp i1 gt i64 %n, i64 0
+  condbr i1 %c, label %then, label %done
+then:
+  %a = add i64 i64 %n, i64 5
+  br label %done
+done:
+  %p = phi i64 [ 0, %entry ], [ %a, %then ]
+  ret i64 %p
+}
+)";
+
+TEST(PreservedAnalyses, MaskSemantics) {
+  EXPECT_TRUE(PreservedAnalyses::all().preserves(AK_All));
+  EXPECT_FALSE(PreservedAnalyses::none().preserves(AK_DomTree));
+  PreservedAnalyses P = PreservedAnalyses::cfg();
+  EXPECT_TRUE(P.preserves(AK_DomTree | AK_Loops));
+  EXPECT_FALSE(P.preserves(AK_Features));
+  EXPECT_EQ(P.abandoned(), AK_Features);
+  P.intersect(PreservedAnalyses::none());
+  EXPECT_EQ(P.abandoned(), AK_All);
+  PreservedAnalyses Q = PreservedAnalyses::none().preserve(AK_Loops);
+  EXPECT_TRUE(Q.preserves(AK_Loops));
+  EXPECT_FALSE(Q.preserves(AK_DomTree));
+}
+
+TEST(AnalysisManager, CachesDomTreeAndLoops) {
+  auto M = parse(TwoFunctionModule);
+  Function *F = M->findFunction("main");
+  AnalysisManager AM;
+  const DominatorTree &DT1 = AM.domTree(*F);
+  const DominatorTree &DT2 = AM.domTree(*F);
+  EXPECT_EQ(&DT1, &DT2);
+  EXPECT_EQ(AM.stats().DomTreeComputes, 1u);
+  EXPECT_EQ(AM.stats().DomTreeHits, 1u);
+  (void)AM.loops(*F);
+  (void)AM.loops(*F);
+  EXPECT_EQ(AM.stats().LoopComputes, 1u);
+  EXPECT_EQ(AM.stats().LoopHits, 1u);
+
+  // Feature-only invalidation keeps CFG analyses warm.
+  AM.invalidate(*F, PreservedAnalyses::cfg());
+  EXPECT_TRUE(AM.isCached(*F, AK_DomTree));
+  EXPECT_TRUE(AM.isCached(*F, AK_Loops));
+  // Full invalidation drops them.
+  AM.invalidate(*F, PreservedAnalyses::none());
+  EXPECT_FALSE(AM.isCached(*F, AK_DomTree));
+  EXPECT_FALSE(AM.isCached(*F, AK_Loops));
+  (void)AM.domTree(*F);
+  EXPECT_EQ(AM.stats().DomTreeComputes, 2u);
+}
+
+TEST(FeatureCache, MatchesFromScratchAndRecountsOnlyDirty) {
+  auto M = parse(TwoFunctionModule);
+  analysis::FeatureCache Cache;
+  EXPECT_EQ(Cache.instCount(*M), analysis::instCount(*M));
+  EXPECT_EQ(Cache.autophase(*M), analysis::autophase(*M));
+  uint64_t AfterCold = Cache.functionRecomputes();
+  EXPECT_EQ(AfterCold, 4u); // 2 functions x 2 feature kinds.
+
+  // Unchanged module: pure cache hits.
+  EXPECT_EQ(Cache.instCount(*M), analysis::instCount(*M));
+  EXPECT_EQ(Cache.functionRecomputes(), AfterCold);
+
+  // Dirty one function: exactly one per-kind recount.
+  Cache.invalidateFunction(M->findFunction("main"));
+  EXPECT_EQ(Cache.instCount(*M), analysis::instCount(*M));
+  EXPECT_EQ(Cache.functionRecomputes(), AfterCold + 1);
+  EXPECT_EQ(Cache.autophase(*M), analysis::autophase(*M));
+  EXPECT_EQ(Cache.functionRecomputes(), AfterCold + 2);
+}
+
+TEST(FeatureCache, SelfHealsOnFunctionSetChanges) {
+  auto M = parse(TwoFunctionModule);
+  analysis::FeatureCache Cache;
+  (void)Cache.instCount(*M);
+  Function *Helper = M->findFunction("helper");
+  // Drop the call-free helper without telling the cache.
+  M->eraseFunction(Helper);
+  EXPECT_EQ(Cache.instCount(*M), analysis::instCount(*M));
+  EXPECT_EQ(Cache.autophase(*M), analysis::autophase(*M));
+}
+
+TEST(PassManager, ReusesPassInstancesAcrossRunsAndRounds) {
+  auto M = parse(TwoFunctionModule);
+  PassManager PM(*M);
+  ASSERT_TRUE(PM.run("dce").isOk());
+  ASSERT_TRUE(PM.run("dce").isOk());
+  ASSERT_TRUE(PM.run("instcombine").isOk());
+  EXPECT_EQ(PM.stats().PassInstancesCreated, 2u);
+  EXPECT_EQ(PM.stats().PassesRun, 3u);
+
+  // Fixpoint iteration re-runs the pipeline but never re-creates passes.
+  ASSERT_TRUE(
+      PM.runToFixpoint({"mem2reg", "instcombine", "simplifycfg"}, 4).isOk());
+  EXPECT_EQ(PM.stats().PassInstancesCreated, 4u); // +mem2reg, +simplifycfg.
+}
+
+TEST(PassManager, UnknownPassIsNotFound) {
+  auto M = parse(TwoFunctionModule);
+  PassManager PM(*M);
+  auto R = PM.run("nope");
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::NotFound);
+}
+
+/// A pass that changes the CFG (merges a trivial chain) but claims it
+/// preserved everything — the lie the debug checker must catch.
+class LyingPass : public FunctionPass {
+public:
+  std::string name() const override { return "lying-pass"; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
+    // Cut an edge by rewriting the entry terminator to branch to itself...
+    // too destructive; instead delete a non-terminator instruction, which
+    // invalidates feature vectors, while claiming even features survived.
+    for (const auto &BB : F.blocks()) {
+      for (size_t I = 0; I < BB->size(); ++I) {
+        Instruction *Inst = BB->instructions()[I].get();
+        if (Inst->isTerminator() || F.hasUses(Inst) ||
+            Inst->hasSideEffects())
+          continue;
+        BB->erase(I);
+        return PassResult::make(true, PreservedAnalyses::all()); // The lie.
+      }
+    }
+    return PassResult::make(false, PreservedAnalyses::all());
+  }
+};
+
+/// Lies about the dominator tree specifically: merges a linear block chain
+/// (CFG change) while claiming full preservation.
+class CfgLyingPass : public FunctionPass {
+public:
+  std::string name() const override { return "cfg-lying-pass"; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
+    // Append an unreachable block: idoms are unaffected but the block is
+    // new, so a fresh dominator tree sees different reachability... not a
+    // lie the checker must catch via idom; instead split: create a block
+    // and redirect the entry terminator through it.
+    if (F.numBlocks() == 0 || !F.entry()->terminator())
+      return PassResult::make(false, PreservedAnalyses::all());
+    Instruction *Term = F.entry()->terminator();
+    if (Term->opcode() != Opcode::Br && Term->opcode() != Opcode::CondBr)
+      return PassResult::make(false, PreservedAnalyses::all());
+    BasicBlock *Target = nullptr;
+    for (BasicBlock *Succ : F.entry()->successors()) {
+      Target = Succ;
+      break;
+    }
+    if (!Target)
+      return PassResult::make(false, PreservedAnalyses::all());
+    BasicBlock *Tramp = F.createBlock("tramp");
+    auto Br = std::make_unique<Instruction>(Opcode::Br, Type::Void,
+                                            std::vector<Value *>{Target});
+    Tramp->append(std::move(Br));
+    Term->replaceSuccessor(Target, Tramp);
+    replacePhiIncomingBlock(*Target, F.entry(), Tramp);
+    return PassResult::make(true, PreservedAnalyses::all()); // The lie.
+  }
+};
+
+TEST(PassManager, CatchesFeaturePreservationLie) {
+  auto M = parse(TwoFunctionModule);
+  PassManager PM(*M);
+  PM.setVerifyPreservation(true);
+  // Warm the feature cache so the checker has something to compare.
+  (void)PM.analysisManager().features().instCount(*M);
+  LyingPass Liar;
+  auto R = PM.run(Liar);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::Internal);
+  EXPECT_NE(R.status().toString().find("lying-pass"), std::string::npos);
+}
+
+TEST(PassManager, CatchesDomTreePreservationLie) {
+  auto M = parse(TwoFunctionModule);
+  PassManager PM(*M);
+  PM.setVerifyPreservation(true);
+  for (const auto &F : M->functions())
+    (void)PM.analysisManager().domTree(*F);
+  CfgLyingPass Liar;
+  auto R = PM.run(Liar);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::Internal);
+}
+
+/// Claims loop info survived (preserve(AK_Loops) alone, so the dominator
+/// tree is dropped) while rerouting a back edge — the cached loops must be
+/// verified even without a cached tree.
+class LoopsLyingPass : public FunctionPass {
+public:
+  std::string name() const override { return "loops-lying-pass"; }
+
+  PassResult runOnFunction(Function &F, AnalysisManager &) override {
+    BasicBlock *Body = F.findBlock("body");
+    if (!Body || !Body->terminator())
+      return PassResult::make(false, PreservedAnalyses::all());
+    BasicBlock *Tramp = F.createBlock("latch.tramp");
+    auto Br = std::make_unique<Instruction>(Opcode::Br, Type::Void,
+                                            std::vector<Value *>{Body});
+    Tramp->append(std::move(Br));
+    Body->terminator()->replaceSuccessor(Body, Tramp);
+    replacePhiIncomingBlock(*Body, Body, Tramp);
+    return PassResult::make(
+        true, PreservedAnalyses::none().preserve(AK_Loops)); // The lie.
+  }
+};
+
+TEST(PassManager, CatchesLoopsOnlyPreservationLie) {
+  auto M = parse(R"(module "t"
+func @main() -> i64 {
+entry:
+  br label %body
+body:
+  %i = phi i64 [ 0, %entry ], [ %inext, %body ]
+  %inext = add i64 i64 %i, i64 1
+  %c = icmp i1 lt i64 %inext, i64 50
+  condbr i1 %c, label %body, label %exit
+exit:
+  ret i64 7
+}
+)");
+  PassManager PM(*M);
+  PM.setVerifyPreservation(true);
+  ASSERT_EQ(PM.analysisManager().loops(*M->findFunction("main")).size(), 1u);
+  LoopsLyingPass Liar;
+  auto R = PM.run(Liar);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::Internal);
+  EXPECT_NE(R.status().toString().find("loop info"), std::string::npos);
+}
+
+TEST(PassManager, ModulePassWithoutExplicitInvalidationIsConservative) {
+  // A module-scoped pass that only returns a PassResult (no AM calls)
+  // must still invalidate: the manager applies its PreservedAnalyses
+  // module-wide when InvalidationApplied is unset.
+  class NaiveModulePass : public Pass {
+  public:
+    std::string name() const override { return "naive-module-pass"; }
+    PassResult run(Module &M, AnalysisManager &) override {
+      // Delete the first deletable instruction anywhere in the module.
+      for (const auto &F : M.functions()) {
+        for (const auto &BB : F->blocks()) {
+          for (size_t I = 0; I < BB->size(); ++I) {
+            Instruction *Inst = BB->instructions()[I].get();
+            if (Inst->isTerminator() || F->hasUses(Inst) ||
+                Inst->hasSideEffects())
+              continue;
+            BB->erase(I);
+            return PassResult::make(true, PreservedAnalyses::cfg());
+          }
+        }
+      }
+      return PassResult::make(false, PreservedAnalyses::all());
+    }
+  };
+
+  auto M = parse(TwoFunctionModule);
+  PassManager PM(*M);
+  PM.setVerifyPreservation(true);
+  (void)PM.analysisManager().features().instCount(*M);
+  NaiveModulePass P;
+  auto R = PM.run(P); // Honest PA, no explicit invalidation: must be OK.
+  ASSERT_TRUE(R.isOk()) << R.status().toString();
+  ASSERT_TRUE(*R);
+  EXPECT_EQ(PM.analysisManager().features().instCount(*M),
+            analysis::instCount(*M));
+}
+
+TEST(PassManager, HonestPassSurvivesVerification) {
+  auto M = parse(TwoFunctionModule);
+  PassManager PM(*M);
+  PM.setVerifyPreservation(true);
+  for (const auto &F : M->functions()) {
+    (void)PM.analysisManager().domTree(*F);
+    (void)PM.analysisManager().loops(*F);
+  }
+  (void)PM.analysisManager().features().instCount(*M);
+  ASSERT_TRUE(PM.runPipeline({"mem2reg", "instcombine", "simplifycfg",
+                              "gvn", "sccp", "adce"})
+                  .isOk());
+}
+
+// -- The differential suite: every registered pass x corpus module ----------
+
+struct DiffCase {
+  uint64_t ProgramSeed;
+  const char *Dataset;
+};
+
+class DifferentialInvalidation : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialInvalidation, CachedAnalysesEqualFromScratch) {
+  const DiffCase &C = GetParam();
+  datasets::ProgramStyle Style = datasets::styleForDataset(C.Dataset);
+
+  for (const std::string &Name : PassRegistry::instance().allNames()) {
+    auto M = datasets::generateProgram(C.ProgramSeed, Style, "m");
+    ASSERT_NE(M, nullptr);
+    PassManager PM(*M);
+    // The built-in checker verifies preserved *cached* analyses right
+    // after the run; warm every analysis first so nothing escapes it.
+    PM.setVerifyPreservation(true);
+    AnalysisManager &AM = PM.analysisManager();
+    for (const auto &F : M->functions()) {
+      if (F->empty())
+        continue;
+      (void)AM.domTree(*F);
+      (void)AM.loops(*F);
+    }
+    (void)AM.features().instCount(*M);
+    (void)AM.features().autophase(*M);
+
+    auto Changed = PM.run(Name);
+    ASSERT_TRUE(Changed.isOk())
+        << "pass '" << Name << "': " << Changed.status().toString();
+    ASSERT_TRUE(verifyModule(*M).isOk()) << "after " << Name;
+
+    // Incrementally-maintained observations must be byte-equal to a
+    // from-scratch recomputation of the mutated module.
+    EXPECT_EQ(AM.features().instCount(*M), analysis::instCount(*M))
+        << "InstCount diverged after " << Name;
+    EXPECT_EQ(AM.features().autophase(*M), analysis::autophase(*M))
+        << "Autophase diverged after " << Name;
+
+    // And the cached CFG analyses must match fresh ones.
+    for (const auto &F : M->functions()) {
+      if (F->empty())
+        continue;
+      const DominatorTree &Cached = AM.domTree(*F);
+      DominatorTree Fresh(*F);
+      EXPECT_EQ(Cached.reversePostorder(), Fresh.reversePostorder())
+          << "RPO diverged after " << Name << " in " << F->name();
+      for (const auto &BB : F->blocks()) {
+        EXPECT_EQ(Cached.idom(BB.get()), Fresh.idom(BB.get()))
+            << "idom diverged after " << Name << " in " << F->name();
+        EXPECT_EQ(Cached.isReachable(BB.get()), Fresh.isReachable(BB.get()))
+            << "reachability diverged after " << Name << " in " << F->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DifferentialInvalidation,
+    ::testing::Values(DiffCase{201, "benchmark://csmith-v0"},
+                      DiffCase{202, "benchmark://csmith-v0"},
+                      DiffCase{203, "benchmark://npb-v0"},
+                      DiffCase{204, "benchmark://npb-v0"}));
+
+// -- Session-level composition ----------------------------------------------
+
+TEST(LlvmSessionCaching, MemoizesObservationsPerEpoch) {
+  auto B = datasets::DatasetRegistry::instance().resolve(
+      "benchmark://cbench-v1/crc32");
+  ASSERT_TRUE(B.isOk());
+  envs::LlvmSession Session;
+  auto Spaces = Session.getActionSpaces();
+  ASSERT_FALSE(Spaces.empty());
+  ASSERT_TRUE(Session.init(Spaces[0], *B).isOk());
+
+  service::ObservationSpaceInfo InstCountSpace;
+  for (const auto &O : Session.getObservationSpaces())
+    if (O.Name == "InstCount")
+      InstCountSpace = O;
+
+  service::Observation O1, O2;
+  ASSERT_TRUE(Session.computeObservation(InstCountSpace, O1).isOk());
+  EXPECT_EQ(Session.observationMemoHits(), 0u);
+  ASSERT_TRUE(Session.computeObservation(InstCountSpace, O2).isOk());
+  EXPECT_EQ(Session.observationMemoHits(), 1u);
+  EXPECT_EQ(O1.Ints, O2.Ints);
+  EXPECT_EQ(O1.Ints, analysis::instCount(*Session.module()));
+
+  // The state key is cached per epoch and changes when the module does.
+  uint64_t Key1 = Session.stateKey();
+  EXPECT_EQ(Key1, Session.stateKey());
+  const auto &Actions = Spaces[0].ActionNames;
+  int Mem2Reg = -1;
+  for (size_t I = 0; I < Actions.size(); ++I)
+    if (Actions[I] == "mem2reg")
+      Mem2Reg = static_cast<int>(I);
+  ASSERT_GE(Mem2Reg, 0);
+  service::Action A;
+  A.Index = Mem2Reg;
+  bool End = false, SpaceChanged = false;
+  ASSERT_TRUE(Session.applyAction(A, End, SpaceChanged).isOk());
+  service::Observation O3;
+  ASSERT_TRUE(Session.computeObservation(InstCountSpace, O3).isOk());
+  EXPECT_EQ(Session.observationMemoHits(), 1u); // New epoch: recomputed.
+  EXPECT_EQ(O3.Ints, analysis::instCount(*Session.module()));
+  EXPECT_NE(Session.stateKey(), Key1);
+
+  // The session pass manager reuses instances and carries analyses.
+  ASSERT_NE(Session.passManager(), nullptr);
+  EXPECT_EQ(Session.passManager()->stats().PassesRun, 1u);
+}
+
+TEST(LlvmSessionCaching, ForkGetsIndependentCaches) {
+  auto B = datasets::DatasetRegistry::instance().resolve(
+      "benchmark://cbench-v1/crc32");
+  ASSERT_TRUE(B.isOk());
+  envs::LlvmSession Session;
+  auto Spaces = Session.getActionSpaces();
+  ASSERT_TRUE(Session.init(Spaces[0], *B).isOk());
+  uint64_t Key = Session.stateKey();
+
+  auto Forked = Session.fork();
+  ASSERT_TRUE(Forked.isOk());
+  auto *Clone = static_cast<envs::LlvmSession *>(Forked->get());
+  EXPECT_EQ(Clone->stateKey(), Key); // Same state, independent module.
+  EXPECT_NE(Clone->module(), Session.module());
+  EXPECT_NE(Clone->passManager(), Session.passManager());
+}
+
+} // namespace

@@ -56,6 +56,35 @@ TEST(InstCount, HasSeventyDimsWithDocumentedLayout) {
   EXPECT_EQ(V[47], 2); // Phi incoming arcs.
 }
 
+TEST(InstCount, PerFunctionDecompositionMatchesWholeModule) {
+  // The incremental observation path aggregates per-function vectors; the
+  // decomposition must reproduce the whole-module scan exactly, including
+  // the max-aggregated block-size dim and the module-level counts.
+  for (uint64_t Seed : {1ull, 17ull, 42ull}) {
+    datasets::ProgramStyle Style = datasets::styleForDataset(
+        Seed % 2 ? "benchmark://csmith-v0" : "benchmark://npb-v0");
+    auto M = datasets::generateProgram(Seed, Style, "m");
+    std::vector<int64_t> Agg(InstCountDims, 0);
+    for (const auto &F : M->functions())
+      accumulateInstCount(Agg, instCountFunction(*F));
+    finalizeInstCount(Agg, *M);
+    EXPECT_EQ(Agg, instCount(*M)) << "seed " << Seed;
+  }
+}
+
+TEST(Autophase, PerFunctionDecompositionMatchesWholeModule) {
+  for (uint64_t Seed : {2ull, 19ull, 44ull}) {
+    datasets::ProgramStyle Style = datasets::styleForDataset(
+        Seed % 2 ? "benchmark://csmith-v0" : "benchmark://npb-v0");
+    auto M = datasets::generateProgram(Seed, Style, "m");
+    std::vector<int64_t> Agg(AutophaseDims, 0);
+    for (const auto &F : M->functions())
+      accumulateAutophase(Agg, autophaseFunction(*F));
+    finalizeAutophase(Agg, *M);
+    EXPECT_EQ(Agg, autophase(*M)) << "seed " << Seed;
+  }
+}
+
 TEST(InstCount, RespondsToOptimization) {
   datasets::ProgramStyle Style =
       datasets::styleForDataset("benchmark://csmith-v0");
