@@ -103,13 +103,16 @@ evaluateCodeSizeVsOz(rl::Agent &Agent, const RlSetup &Setup,
                         rl::evaluateEpisode(*Env, Agent,
                                             Setup.EpisodeSteps));
     (void)Reward;
-    // Final achieved size vs the -Oz baseline.
-    auto Achieved = Env->observe("IrInstructionCount");
-    auto Baseline = Env->observe("IrInstructionCountOz");
-    if (!Achieved.isOk() || !Baseline.isOk() || Achieved->IntValue <= 0)
+    // Final achieved size vs the -Oz baseline (one prefetch RPC).
+    (void)Env->observation().prefetch(
+        {"IrInstructionCount", "IrInstructionCountOz"});
+    auto Achieved = Env->observation()["IrInstructionCount"];
+    auto Baseline = Env->observation()["IrInstructionCountOz"];
+    if (!Achieved.isOk() || !Baseline.isOk() ||
+        Achieved->raw().IntValue <= 0)
       continue;
-    Ratios.push_back(static_cast<double>(Baseline->IntValue) /
-                     static_cast<double>(Achieved->IntValue));
+    Ratios.push_back(static_cast<double>(Baseline->raw().IntValue) /
+                     static_cast<double>(Achieved->raw().IntValue));
   }
   if (Ratios.empty())
     return internalError("no benchmarks evaluated");

@@ -135,14 +135,16 @@ int main() {
       for (int S = 0; S < Steps; ++S) {
         if (!(*Env)->step(static_cast<int>(Gen.bounded(NumActions))).isOk())
           break;
+        // rawObservations keeps every request on the RPC path: repeats
+        // measure the backend session memo, not the frontend view cache.
         for (const char *Space : {"InstCount", "Autophase", "Ir"}) {
           Stopwatch W;
-          if (!(*Env)->observe(Space).isOk())
+          if (!(*Env)->rawObservations({Space}).isOk())
             continue;
           EnvFirst[Space].push_back(W.elapsedMs());
           for (int K = 0; K < WarmLookups; ++K) {
             Stopwatch W2;
-            if ((*Env)->observe(Space).isOk())
+            if ((*Env)->rawObservations({Space}).isOk())
               EnvRepeat[Space].push_back(W2.elapsedMs());
           }
         }

@@ -55,8 +55,8 @@ int main() {
     size_t NumActions = 0;
     auto Logger = std::make_unique<core::TransitionLogger>(
         std::move(*Env), &Db, [](core::Env &E) {
-          auto Hash = E.observe("IrHash");
-          return Hash.isOk() ? Hash->Str : std::string("?");
+          auto Hash = E.observation()["IrHash"];
+          return Hash.isOk() ? Hash->raw().Str : std::string("?");
         });
     for (int E = 0; E < Episodes; ++E) {
       std::string Uri =

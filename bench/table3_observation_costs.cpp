@@ -60,16 +60,18 @@ int main() {
     for (int S = 0; S < StepsPerTrajectory; ++S) {
       if (!(*Env)->step(static_cast<int>(Gen.bounded(NumActions))).isOk())
         break;
+      // rawObservations bypasses the client-side view cache, so each
+      // sample times the backend computation, not a frontend memo hit.
       for (const char *Space : ObservationSpaces) {
         Stopwatch Watch;
-        if ((*Env)->observe(Space).isOk())
+        if ((*Env)->rawObservations({Space}).isOk())
           Costs[Space].push_back(Watch.elapsedMs());
       }
       for (const char *Metric : RewardMetrics) {
         if (std::string(Metric) == "Runtime" && !Runnable)
           continue;
         Stopwatch Watch;
-        if ((*Env)->observe(Metric).isOk())
+        if ((*Env)->rawObservations({Metric}).isOk())
           Costs[Metric].push_back(Watch.elapsedMs());
       }
     }

@@ -139,20 +139,14 @@ int main() {
         if (!Result->BestActions.empty() &&
             !(*Env)->step(Result->BestActions).isOk())
           continue;
-        auto Achieved = (*Env)->observe(Target.Metric);
-        auto Baseline = (*Env)->observe(Target.Baseline);
+        auto Achieved = (*Env)->observation()[Target.Metric];
+        auto Baseline = (*Env)->observation()[Target.Baseline];
         if (!Achieved.isOk() || !Baseline.isOk())
           continue;
-        double AchievedV = Achieved->Type ==
-                                   service::ObservationType::DoubleValue
-                               ? Achieved->DoubleValue
-                               : static_cast<double>(Achieved->IntValue);
-        double BaselineV = Baseline->Type ==
-                                   service::ObservationType::DoubleValue
-                               ? Baseline->DoubleValue
-                               : static_cast<double>(Baseline->IntValue);
-        if (AchievedV > 0)
-          Ratios.push_back(BaselineV / AchievedV); // >1: beats default.
+        auto AchievedV = Achieved->asScalar();
+        auto BaselineV = Baseline->asScalar();
+        if (AchievedV.isOk() && BaselineV.isOk() && *AchievedV > 0)
+          Ratios.push_back(*BaselineV / *AchievedV); // >1: beats default.
       }
       double Score = geomean(Ratios);
       std::printf(" %11.3fx", Score);

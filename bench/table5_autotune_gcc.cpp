@@ -87,12 +87,13 @@ int main() {
                                    Result->BestActions.end());
       if (!Choices.empty() && !(*Env)->stepDirect(Choices).isOk())
         continue;
-      auto Achieved = (*Env)->observe("ObjSizeBytes");
-      auto Baseline = (*Env)->observe("ObjSizeOs");
-      if (!Achieved.isOk() || !Baseline.isOk() || Achieved->IntValue <= 0)
+      auto Achieved = (*Env)->observation()["ObjSizeBytes"];
+      auto Baseline = (*Env)->observation()["ObjSizeOs"];
+      if (!Achieved.isOk() || !Baseline.isOk() ||
+          Achieved->raw().IntValue <= 0)
         continue;
-      Ratios.push_back(static_cast<double>(Baseline->IntValue) /
-                       static_cast<double>(Achieved->IntValue));
+      Ratios.push_back(static_cast<double>(Baseline->raw().IntValue) /
+                       static_cast<double>(Achieved->raw().IntValue));
     }
     Scores[Tech.Name] = geomean(Ratios);
     std::printf("%-20s LoC=%3d   geomean reduction vs -Os: %.3fx "

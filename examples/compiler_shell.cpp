@@ -18,6 +18,7 @@
 ///   actions [filter]          list actions (optionally filtered)
 ///   step <action-name-or-#>   apply an action
 ///   observe <space>           compute an observation
+///   spaces                    list observation + reward spaces (typed)
 ///   state                     show the serialized episode state
 ///   fork                      save a fork to return to later
 ///   restore                   switch to the most recent fork
@@ -43,7 +44,7 @@ void printHelp() {
   std::printf(
       "commands: envs | datasets | make <env-id> | benchmark <uri> | reset\n"
       "          actions [filter] | step <name-or-#> | observe <space>\n"
-      "          state | fork | restore | help | quit\n");
+      "          spaces | state | fork | restore | help | quit\n");
 }
 
 void printObservation(const service::Observation &Obs) {
@@ -174,12 +175,33 @@ int main() {
       continue;
     }
     if (Cmd == "observe") {
-      auto Obs = Env->observe(Arg);
+      auto Obs = Env->observation()[Arg];
       if (!Obs.isOk()) {
         std::printf("error: %s\n", Obs.status().toString().c_str());
         continue;
       }
-      printObservation(*Obs);
+      printObservation(Obs->raw());
+      continue;
+    }
+    if (Cmd == "spaces") {
+      for (const SpaceInfo &Info : Env->observation().spaces()) {
+        std::string Shape;
+        for (int64_t D : Info.Shape)
+          Shape += (Shape.empty() ? "[" : "x") + std::to_string(D);
+        if (!Shape.empty())
+          Shape += "]";
+        std::printf("  obs    %-24s %s%s%s%s\n", Info.Name.c_str(),
+                    Shape.c_str(), Info.Deterministic ? "" : " nondet",
+                    Info.PlatformDependent ? " platform" : "",
+                    Info.Derived ? " derived" : "");
+      }
+      for (const RewardSpec &Spec : Env->reward().spaces())
+        std::printf("  reward %-24s metric=%s%s%s\n", Spec.Name.c_str(),
+                    Spec.MetricObservation.c_str(),
+                    Spec.BaselineObservation.empty()
+                        ? ""
+                        : (" baseline=" + Spec.BaselineObservation).c_str(),
+                    Spec.Delta ? "" : " absolute");
       continue;
     }
     if (Cmd == "state") {

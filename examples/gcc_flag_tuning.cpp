@@ -66,15 +66,17 @@ int main(int argc, char **argv) {
   std::vector<int64_t> Choices = Space.defaultChoices();
   for (int64_t Level = 0; Level < 7; ++Level) {
     Choices[0] = Level;
-    if (!(*Env)->stepDirect(Choices).isOk())
+    // The observation rides the step RPC (multi-space step).
+    auto R = (*Env)->stepDirect(Choices, {"ObjSizeBytes"});
+    if (!R.isOk())
       return 1;
-    auto Size = (*Env)->observe("ObjSizeBytes");
+    auto Size = R->Observations.front().second.asInt64();
     if (!Size.isOk())
       return 1;
     static const char *Names[] = {"(default)", "-O0", "-O1", "-O2",
                                   "-O3", "-Os", "-Oz"};
     std::printf("  %-10s %6lld bytes\n", Names[Level],
-                static_cast<long long>(Size->IntValue));
+                static_cast<long long>(*Size));
   }
 
   // -- Tuned configuration via the genetic algorithm. --------------------------
@@ -96,14 +98,14 @@ int main(int argc, char **argv) {
                             Result->BestActions.end());
   if (!Best.empty() && !(*Env)->stepDirect(Best).isOk())
     return 1;
-  auto Tuned = (*Env)->observe("ObjSizeBytes");
-  auto Baseline = (*Env)->observe("ObjSizeOs");
+  auto Tuned = (*Env)->observation()["ObjSizeBytes"];
+  auto Baseline = (*Env)->observation()["ObjSizeOs"];
   if (Tuned.isOk() && Baseline.isOk())
     std::printf("tuned: %lld bytes vs -Os %lld bytes -> %.3fx reduction "
                 "(paper's GA: 1.27x with 1000 compilations)\n",
-                static_cast<long long>(Tuned->IntValue),
-                static_cast<long long>(Baseline->IntValue),
-                static_cast<double>(Baseline->IntValue) /
-                    static_cast<double>(Tuned->IntValue));
+                static_cast<long long>(Tuned->raw().IntValue),
+                static_cast<long long>(Baseline->raw().IntValue),
+                static_cast<double>(Baseline->raw().IntValue) /
+                    static_cast<double>(Tuned->raw().IntValue));
   return 0;
 }

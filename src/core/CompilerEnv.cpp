@@ -10,8 +10,8 @@
 #include "util/Logging.h"
 
 #include <algorithm>
-#include <cmath>
 #include <fstream>
+#include <unordered_map>
 
 using namespace compiler_gym;
 using namespace compiler_gym::core;
@@ -40,7 +40,9 @@ CompilerEnv::CompilerEnv(CompilerEnvOptions Opts,
                          std::shared_ptr<CompilerService> Service,
                          std::shared_ptr<ServiceClient> Client)
     : Opts(std::move(Opts)), Service(std::move(Service)),
-      Client(std::move(Client)) {}
+      Client(std::move(Client)) {
+  PendingBenchmarkUri = this->Opts.BenchmarkUri;
+}
 
 CompilerEnv::~CompilerEnv() {
   if (SessionLive)
@@ -62,13 +64,13 @@ CompilerEnv::create(const CompilerEnvOptions &Opts) {
   }
   std::unique_ptr<CompilerEnv> Env(
       new CompilerEnv(Opts, std::move(Service), std::move(Client)));
-  if (!Opts.RewardSpace.empty()) {
-    CG_ASSIGN_OR_RETURN(RewardSpec Spec,
-                        rewardSpec(Opts.CompilerName, Opts.RewardSpace));
-    Env->Reward = Spec;
-  }
+  Env->Registry.setBuiltinRewards(rewardSpecsFor(Opts.CompilerName));
+  if (!Opts.RewardSpace.empty() && !Env->Registry.reward(Opts.RewardSpace))
+    return notFound("no reward space '" + Opts.RewardSpace +
+                    "' for compiler '" + Opts.CompilerName + "'");
   Env->State.EnvId = Opts.EnvId;
   Env->State.RewardSpace = Opts.RewardSpace;
+  Env->State.ObservationSpace = Opts.ObservationSpace;
   return Env;
 }
 
@@ -81,24 +83,40 @@ CompilerEnv::attach(const CompilerEnvOptions &Opts,
   std::unique_ptr<CompilerEnv> Env(
       new CompilerEnv(Opts, std::move(Service), std::move(Client)));
   Env->SharedService = true;
-  if (!Opts.RewardSpace.empty()) {
-    CG_ASSIGN_OR_RETURN(RewardSpec Spec,
-                        rewardSpec(Opts.CompilerName, Opts.RewardSpace));
-    Env->Reward = Spec;
-  }
+  Env->Registry.setBuiltinRewards(rewardSpecsFor(Opts.CompilerName));
+  if (!Opts.RewardSpace.empty() && !Env->Registry.reward(Opts.RewardSpace))
+    return notFound("no reward space '" + Opts.RewardSpace +
+                    "' for compiler '" + Opts.CompilerName + "'");
   Env->State.EnvId = Opts.EnvId;
   Env->State.RewardSpace = Opts.RewardSpace;
+  Env->State.ObservationSpace = Opts.ObservationSpace;
   return Env;
+}
+
+Status CompilerEnv::setObservationSpace(const std::string &Name) {
+  if (!Name.empty() && SessionLive && !Registry.observationSpace(Name))
+    return notFound("no observation space '" + Name + "'");
+  Opts.ObservationSpace = Name;
+  State.ObservationSpace = Name;
+  return Status::ok();
 }
 
 Status CompilerEnv::setRewardSpace(const std::string &Name) {
   if (Name.empty()) {
-    Reward.reset();
+    Opts.RewardSpace.clear();
     State.RewardSpace.clear();
     return Status::ok();
   }
-  CG_ASSIGN_OR_RETURN(RewardSpec Spec, rewardSpec(Opts.CompilerName, Name));
-  Reward = Spec;
+  if (!Registry.reward(Name))
+    return notFound("no reward space '" + Name + "' for compiler '" +
+                    Opts.CompilerName + "'");
+  // Mid-episode switch: re-prime from a fresh metric observation *before*
+  // committing the switch — a failed prime (e.g. Runtime on a non-runnable
+  // benchmark) must leave the previous space active. Without the re-prime,
+  // the previous space's last metric value would seed the new space's
+  // delta, paying a nonsense first reward.
+  if (SessionLive)
+    CG_RETURN_IF_ERROR(reward().prime(Name, /*Force=*/true));
   Opts.RewardSpace = Name;
   State.RewardSpace = Name;
   return Status::ok();
@@ -125,100 +143,51 @@ Status CompilerEnv::startSession() {
   SessionId = Reply.SessionId;
   SessionLive = true;
   Space = Reply.Space;
-  ObsSpaces = Reply.ObservationSpaces;
+  Registry.setBackendSpaces(Reply.ObservationSpaces);
   return Status::ok();
 }
 
-StatusOr<StepReply>
-CompilerEnv::stepRpc(const std::vector<Action> &Actions) {
-  StepRequest Req;
-  Req.SessionId = SessionId;
-  Req.Actions = Actions;
+StatusOr<CompilerEnv::StepPlan>
+CompilerEnv::planStep(const std::vector<std::string> &ObsSpaces,
+                      const std::vector<std::string> &RewardSpaces) {
+  StepPlan Plan;
+  Plan.ObsSpaces = ObsSpaces;
+  Plan.RewardSpaces = RewardSpaces;
+
+  auto addObservation = [&](const std::string &Name) -> Status {
+    if (!Registry.observationSpace(Name))
+      return notFound("no observation space '" + Name + "'");
+    Registry.backendClosure(Name, Plan.Wire); // Dedups into the wire set.
+    return Status::ok();
+  };
+  auto addReward = [&](const std::string &Name) -> Status {
+    const RewardSpec *Spec = Registry.reward(Name);
+    if (!Spec)
+      return notFound("no reward space '" + Name + "'");
+    CG_RETURN_IF_ERROR(addObservation(Spec->MetricObservation));
+    // The baseline is only needed while the space is unprimed: priming
+    // copies it into the book.
+    if (!Spec->BaselineObservation.empty() && !reward().primed(Name))
+      CG_RETURN_IF_ERROR(addObservation(Spec->BaselineObservation));
+    return Status::ok();
+  };
+
   if (!Opts.ObservationSpace.empty())
-    Req.ObservationSpaces.push_back(Opts.ObservationSpace);
-  if (Reward) {
-    Req.ObservationSpaces.push_back(Reward->MetricObservation);
-    if (!Reward->BaselineObservation.empty() && !HaveBaseline)
-      Req.ObservationSpaces.push_back(Reward->BaselineObservation);
+    CG_RETURN_IF_ERROR(addObservation(Opts.ObservationSpace));
+  for (const std::string &Name : ObsSpaces)
+    CG_RETURN_IF_ERROR(addObservation(Name));
+  if (!Opts.RewardSpace.empty()) {
+    // The active space can disappear from the registry (unregisterReward
+    // of a user space): fail with the cure, not a bare NotFound.
+    if (Status S = addReward(Opts.RewardSpace); !S.isOk())
+      return failedPrecondition(
+          "active reward space '" + Opts.RewardSpace +
+          "' is no longer registered; call setRewardSpace() (" +
+          S.message() + ")");
   }
-  return Client->step(Req);
-}
-
-StatusOr<Observation> CompilerEnv::reset() {
-  if (SessionLive) {
-    (void)Client->endSession(SessionId);
-    SessionLive = false;
-  }
-  State.Actions.clear();
-  State.CumulativeReward = 0.0;
-  State.BenchmarkUri = Opts.BenchmarkUri;
-  DirectHistory.clear();
-  HaveBaseline = false;
-
-  Status Started = startSession();
-  for (int Round = 0; !Started.isOk() && Round < 4; ++Round) {
-    if (!isRecoverableFailure(Started))
-      return Started;
-    ++Recoveries;
-    if (!SharedService || Service->crashed())
-      Client->restartService();
-    Started = startSession();
-  }
-  CG_RETURN_IF_ERROR(Started);
-
-  // Observation-only step fetches the initial observation and seeds the
-  // reward bookkeeping.
-  StatusOr<StepReply> ReplyOr = stepRpc({});
-  for (int Round = 0; !ReplyOr.isOk() && Round < 4; ++Round) {
-    if (!isRecoverableFailure(ReplyOr.status()))
-      return ReplyOr.status();
-    CG_RETURN_IF_ERROR(recover()); // Episode is empty: replays nothing.
-    ReplyOr = stepRpc({});
-  }
-  if (!ReplyOr.isOk())
-    return ReplyOr.status();
-  StepReply Reply = ReplyOr.takeValue();
-  size_t Cursor = 0;
-  Observation InitialObs;
-  if (!Opts.ObservationSpace.empty() && Cursor < Reply.Observations.size())
-    InitialObs = Reply.Observations[Cursor++];
-  if (Reward) {
-    if (Cursor >= Reply.Observations.size())
-      return internalError("reset reply missing reward metric observation");
-    const Observation &Metric = Reply.Observations[Cursor++];
-    PreviousMetric = Metric.Type == ObservationType::DoubleValue
-                         ? Metric.DoubleValue
-                         : static_cast<double>(Metric.IntValue);
-    InitialMetric = PreviousMetric;
-    if (!Reward->BaselineObservation.empty()) {
-      if (Cursor >= Reply.Observations.size())
-        return internalError("reset reply missing baseline observation");
-      const Observation &Baseline = Reply.Observations[Cursor++];
-      BaselineMetric = Baseline.Type == ObservationType::DoubleValue
-                           ? Baseline.DoubleValue
-                           : static_cast<double>(Baseline.IntValue);
-      HaveBaseline = true;
-    }
-  }
-  return InitialObs;
-}
-
-double CompilerEnv::rewardFromMetrics(double MetricValue) {
-  if (!Reward)
-    return 0.0;
-  if (!Reward->Delta) {
-    PreviousMetric = MetricValue;
-    return MetricValue; // Absolute signal (loop_tool FLOPs).
-  }
-  double Delta = PreviousMetric - MetricValue;
-  PreviousMetric = MetricValue;
-  if (!Reward->BaselineObservation.empty()) {
-    double TotalGain = InitialMetric - BaselineMetric;
-    if (TotalGain <= 0.0)
-      TotalGain = std::max(1.0, std::abs(BaselineMetric) * 0.01);
-    return Delta / TotalGain;
-  }
-  return Delta;
+  for (const std::string &Name : RewardSpaces)
+    CG_RETURN_IF_ERROR(addReward(Name));
+  return Plan;
 }
 
 Status CompilerEnv::recover() {
@@ -276,9 +245,9 @@ Status CompilerEnv::recover() {
   return Last;
 }
 
-StatusOr<StepResult>
-CompilerEnv::stepWithRecovery(const std::vector<Action> &Actions) {
-  StatusOr<StepReply> Reply = stepRpc(Actions);
+StatusOr<StepReply> CompilerEnv::callStepWithRecovery(StepRequest Req) {
+  Req.SessionId = SessionId;
+  StatusOr<StepReply> Reply = Client->step(Req);
   // Backend died, hung, or our session was collected in a shard restart:
   // recover and retry. On a shared shard a retry can race another env's
   // recovery restarting the service again, so allow a few rounds.
@@ -286,43 +255,131 @@ CompilerEnv::stepWithRecovery(const std::vector<Action> &Actions) {
     if (!isRecoverableFailure(Reply.status()))
       return Reply.status();
     CG_RETURN_IF_ERROR(recover());
-    Reply = stepRpc(Actions);
+    Req.SessionId = SessionId; // Recovery created a fresh session.
+    Reply = Client->step(Req);
   }
-  if (!Reply.isOk())
-    return Reply.status();
+  return Reply;
+}
 
+StatusOr<StepReply>
+CompilerEnv::stepRpcWithRecovery(std::vector<Action> Actions,
+                                 const StepPlan &Plan) {
+  StepRequest Req;
+  Req.Actions = std::move(Actions);
+  Req.ObservationSpaces = Plan.Wire;
+  return callStepWithRecovery(std::move(Req));
+}
+
+StatusOr<StepResult> CompilerEnv::demuxReply(StepReply Reply,
+                                             const StepPlan &Plan,
+                                             bool HadActions,
+                                             bool SettleRewards) {
   StepResult Out;
-  Out.Done = Reply->EndOfSession;
-  if (Reply->ActionSpaceChanged)
-    Space = Reply->NewSpace;
-  size_t Cursor = 0;
-  if (!Opts.ObservationSpace.empty() &&
-      Cursor < Reply->Observations.size())
-    Out.Obs = Reply->Observations[Cursor++];
-  if (Reward) {
-    if (Cursor >= Reply->Observations.size())
-      return internalError("step reply missing reward metric observation");
-    const Observation &Metric = Reply->Observations[Cursor++];
-    double MetricValue = Metric.Type == ObservationType::DoubleValue
-                             ? Metric.DoubleValue
-                             : static_cast<double>(Metric.IntValue);
-    if (!Reward->BaselineObservation.empty() && !HaveBaseline &&
-        Cursor < Reply->Observations.size()) {
-      const Observation &Baseline = Reply->Observations[Cursor++];
-      BaselineMetric = Baseline.Type == ObservationType::DoubleValue
-                           ? Baseline.DoubleValue
-                           : static_cast<double>(Baseline.IntValue);
-      HaveBaseline = true;
+  Out.Done = Reply.EndOfSession;
+  if (Reply.ActionSpaceChanged)
+    Space = Reply.NewSpace;
+
+  // The actions changed the state: advance the epoch, then land the
+  // reply's observations in the view cache so every demux below — default
+  // observation, requested spaces, reward metrics — is a cache hit.
+  if (HadActions)
+    ++Epoch;
+  size_t N = std::min(Reply.ObservationNames.size(),
+                      Reply.Observations.size());
+  // The default observation demuxes straight off the reply (one copy
+  // instead of a round-trip through the cache).
+  bool HaveDefaultObs = false;
+  for (size_t I = 0; I < N; ++I) {
+    if (!HaveDefaultObs && Reply.ObservationNames[I] == Opts.ObservationSpace) {
+      Out.Obs = Reply.Observations[I];
+      HaveDefaultObs = true;
     }
-    Out.Reward = rewardFromMetrics(MetricValue);
+    observation().prime(Reply.ObservationNames[I],
+                        std::move(Reply.Observations[I]));
+  }
+  if (!Opts.ObservationSpace.empty() && !HaveDefaultObs) {
+    // Derived default space: compute through the view.
+    CG_ASSIGN_OR_RETURN(ObservationValue V,
+                        observation().get(Opts.ObservationSpace));
+    Out.Obs = V.raw();
+  }
+  for (const std::string &Name : Plan.ObsSpaces) {
+    CG_ASSIGN_OR_RETURN(ObservationValue V, observation().get(Name));
+    Out.Observations.emplace_back(Name, std::move(V));
+  }
+
+  if (!SettleRewards)
+    return Out;
+  // Each reward space settles exactly once per step, even when the active
+  // space is also requested explicitly (a second get() would pay zero).
+  std::unordered_map<std::string, double> Settled;
+  auto settle = [&](const std::string &Name) -> StatusOr<double> {
+    auto It = Settled.find(Name);
+    if (It != Settled.end())
+      return It->second;
+    CG_ASSIGN_OR_RETURN(double R, reward().get(Name));
+    Settled.emplace(Name, R);
+    return R;
+  };
+  if (!Opts.RewardSpace.empty()) {
+    CG_ASSIGN_OR_RETURN(Out.Reward, settle(Opts.RewardSpace));
     State.CumulativeReward += Out.Reward;
+  }
+  for (const std::string &Name : Plan.RewardSpaces) {
+    CG_ASSIGN_OR_RETURN(double R, settle(Name));
+    Out.Rewards.emplace_back(Name, R);
   }
   return Out;
 }
 
+StatusOr<Observation> CompilerEnv::reset() {
+  if (SessionLive) {
+    (void)Client->endSession(SessionId);
+    SessionLive = false;
+  }
+  Opts.BenchmarkUri = PendingBenchmarkUri; // Apply the pending switch.
+  State.Actions.clear();
+  State.CumulativeReward = 0.0;
+  State.BenchmarkUri = Opts.BenchmarkUri;
+  DirectHistory.clear();
+  reward().resetBookkeeping();
+
+  Status Started = startSession();
+  for (int Round = 0; !Started.isOk() && Round < 4; ++Round) {
+    if (!isRecoverableFailure(Started))
+      return Started;
+    ++Recoveries;
+    if (!SharedService || Service->crashed())
+      Client->restartService();
+    Started = startSession();
+  }
+  CG_RETURN_IF_ERROR(Started);
+  ++Epoch; // Fresh episode state; invalidates the view caches.
+
+  // Observation-free step fetches the initial observation; the active
+  // reward space's bookkeeping is primed (not settled) from the same
+  // reply, so the episode starts at reward 0 for absolute spaces too.
+  CG_ASSIGN_OR_RETURN(StepPlan Plan, planStep({}, {}));
+  CG_ASSIGN_OR_RETURN(StepReply Reply, stepRpcWithRecovery({}, Plan));
+  CG_ASSIGN_OR_RETURN(StepResult R,
+                      demuxReply(std::move(Reply), Plan, /*HadActions=*/false,
+                                 /*SettleRewards=*/false));
+  if (!Opts.RewardSpace.empty())
+    CG_RETURN_IF_ERROR(reward().prime(Opts.RewardSpace));
+  return R.Obs;
+}
+
 StatusOr<StepResult> CompilerEnv::step(const std::vector<int> &Actions) {
+  return step(Actions, {}, {});
+}
+
+StatusOr<StepResult>
+CompilerEnv::step(const std::vector<int> &Actions,
+                  const std::vector<std::string> &ObsSpaces,
+                  const std::vector<std::string> &RewardSpaces) {
   if (!SessionLive)
     return failedPrecondition("call reset() before step()");
+  CG_ASSIGN_OR_RETURN(StepPlan Plan, planStep(ObsSpaces, RewardSpaces));
   std::vector<Action> Acts;
   Acts.reserve(Actions.size());
   for (int A : Actions) {
@@ -330,46 +387,50 @@ StatusOr<StepResult> CompilerEnv::step(const std::vector<int> &Actions) {
     Act.Index = A;
     Acts.push_back(Act);
   }
-  StatusOr<StepResult> Result = stepWithRecovery(Acts);
-  if (Result.isOk())
-    State.Actions.insert(State.Actions.end(), Actions.begin(), Actions.end());
-  return Result;
+  CG_ASSIGN_OR_RETURN(StepReply Reply,
+                      stepRpcWithRecovery(std::move(Acts), Plan));
+  // The backend applied the actions: commit them to the episode history
+  // before demuxing, so a failing derived space cannot desync the record.
+  State.Actions.insert(State.Actions.end(), Actions.begin(), Actions.end());
+  return demuxReply(std::move(Reply), Plan, !Actions.empty(),
+                    /*SettleRewards=*/true);
 }
 
 StatusOr<StepResult>
-CompilerEnv::stepDirect(const std::vector<int64_t> &Choices) {
+CompilerEnv::stepDirect(const std::vector<int64_t> &Choices,
+                        const std::vector<std::string> &ObsSpaces,
+                        const std::vector<std::string> &RewardSpaces) {
   if (!SessionLive)
     return failedPrecondition("call reset() before step()");
+  CG_ASSIGN_OR_RETURN(StepPlan Plan, planStep(ObsSpaces, RewardSpaces));
   Action Act;
   Act.Index = 0;
   Act.Values = Choices;
-  StatusOr<StepResult> Result = stepWithRecovery({Act});
-  if (Result.isOk()) {
-    State.Actions.push_back(0);
-    DirectHistory.push_back(Act);
-  }
-  return Result;
+  CG_ASSIGN_OR_RETURN(StepReply Reply, stepRpcWithRecovery({Act}, Plan));
+  // Committed before demux; see step().
+  State.Actions.push_back(0);
+  DirectHistory.push_back(std::move(Act));
+  return demuxReply(std::move(Reply), Plan, /*HadActions=*/true,
+                    /*SettleRewards=*/true);
 }
 
-StatusOr<Observation> CompilerEnv::observe(const std::string &SpaceName) {
+StatusOr<std::vector<Observation>>
+CompilerEnv::rawObservations(const std::vector<std::string> &Spaces) {
   if (!SessionLive)
-    return failedPrecondition("call reset() before observe()");
+    return failedPrecondition("call reset() before observing");
+  if (Spaces.empty())
+    return std::vector<Observation>{};
   StepRequest Req;
-  Req.SessionId = SessionId;
-  Req.ObservationSpaces.push_back(SpaceName);
-  StatusOr<StepReply> Reply = Client->step(Req);
-  for (int Round = 0; !Reply.isOk() && Round < 4; ++Round) {
-    if (!isRecoverableFailure(Reply.status()))
-      return Reply.status();
-    CG_RETURN_IF_ERROR(recover());
-    Req.SessionId = SessionId; // Recovery created a fresh session.
-    Reply = Client->step(Req);
-  }
+  Req.ObservationSpaces = Spaces;
+  StatusOr<StepReply> Reply = callStepWithRecovery(std::move(Req));
   if (!Reply.isOk())
     return Reply.status();
-  if (Reply->Observations.empty())
-    return internalError("observe reply carried no observation");
-  return Reply->Observations.front();
+  if (Reply->Observations.size() != Spaces.size())
+    return internalError("observation reply carried " +
+                         std::to_string(Reply->Observations.size()) +
+                         " observations for " +
+                         std::to_string(Spaces.size()) + " spaces");
+  return std::move(Reply->Observations);
 }
 
 StatusOr<std::unique_ptr<CompilerEnv>> CompilerEnv::fork() {
@@ -379,24 +440,25 @@ StatusOr<std::unique_ptr<CompilerEnv>> CompilerEnv::fork() {
   std::unique_ptr<CompilerEnv> Clone(
       new CompilerEnv(Opts, Service, Client));
   Clone->Space = Space;
-  Clone->ObsSpaces = ObsSpaces;
-  Clone->Reward = Reward;
+  Clone->Registry = Registry;
   Clone->SessionId = NewSession;
   Clone->SessionLive = true;
+  Clone->SharedService = SharedService;
   Clone->State = State;
-  Clone->InitialMetric = InitialMetric;
-  Clone->PreviousMetric = PreviousMetric;
-  Clone->BaselineMetric = BaselineMetric;
-  Clone->HaveBaseline = HaveBaseline;
+  Clone->Epoch = Epoch;
+  Clone->PendingBenchmarkUri = PendingBenchmarkUri;
   Clone->DirectHistory = DirectHistory;
+  Clone->observation().copyCacheFrom(observation());
+  Clone->reward().copyBooksFrom(reward());
   return Clone;
 }
 
 Status CompilerEnv::writeIr(const std::string &Path) {
-  CG_ASSIGN_OR_RETURN(Observation Ir, observe("Ir"));
+  CG_ASSIGN_OR_RETURN(ObservationValue Ir, observation().get("Ir"));
+  CG_ASSIGN_OR_RETURN(std::string Text, Ir.asString());
   std::ofstream Out(Path);
   if (!Out)
     return internalError("cannot open '" + Path + "' for writing");
-  Out << Ir.Str;
+  Out << Text;
   return Status::ok();
 }

@@ -7,10 +7,16 @@
 /// \file
 /// CompilerEnv: the frontend environment over a compiler service — the
 /// C++ analogue of the paper's Listing 1 object. It owns the RPC client,
+/// surfaces the backend's typed space catalogue through the views API,
 /// computes rewards from backend observations, tracks episode state, and
 /// implements the runtime's fault-tolerance contract: when the backend
 /// crashes or hangs, the env restarts the service and replays its action
 /// history transparently (§IV-B).
+///
+/// A step() can request any number of observation spaces and reward
+/// spaces; everything — actions, observations, reward metrics — travels in
+/// a single RPC, and the results land in the view caches so post-step
+/// queries are free.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,25 +73,55 @@ public:
   StatusOr<service::Observation> reset() override;
   StatusOr<StepResult> step(const std::vector<int> &Actions) override;
   const service::ActionSpace &actionSpace() const override { return Space; }
-  StatusOr<service::Observation> observe(const std::string &Space) override;
   size_t episodeLength() const override { return State.Actions.size(); }
   double episodeReward() const override { return State.CumulativeReward; }
+  uint64_t stateEpoch() const override { return Epoch; }
+  StatusOr<std::vector<service::Observation>>
+  rawObservations(const std::vector<std::string> &Spaces) override;
 
-  // -- CompilerGym extensions -------------------------------------------------
-  /// Switches benchmark for the next reset().
-  void setBenchmark(const std::string &Uri) { Opts.BenchmarkUri = Uri; }
-  const std::string &benchmark() const { return Opts.BenchmarkUri; }
-
-  /// Switches the reward space (takes effect immediately).
-  Status setRewardSpace(const std::string &Name);
-
-  /// Lightweight deep copy (§III-B6): the backend forks the session; the
-  /// clone shares the service but owns independent state.
-  StatusOr<std::unique_ptr<CompilerEnv>> fork();
+  // -- Multi-space steps (§III-B5) -------------------------------------------
+  /// Applies the actions and additionally returns the named observation
+  /// spaces (backend or derived) and reward spaces, all computed against
+  /// the post-step state in the same single RPC.
+  StatusOr<StepResult>
+  step(const std::vector<int> &Actions,
+       const std::vector<std::string> &ObsSpaces,
+       const std::vector<std::string> &RewardSpaces = {});
 
   /// Steps the GCC-style direct action space: one action carrying a full
-  /// choice vector.
-  StatusOr<StepResult> stepDirect(const std::vector<int64_t> &Choices);
+  /// choice vector. Supports the same multi-space selection as step().
+  StatusOr<StepResult>
+  stepDirect(const std::vector<int64_t> &Choices,
+             const std::vector<std::string> &ObsSpaces = {},
+             const std::vector<std::string> &RewardSpaces = {});
+
+  // -- CompilerGym extensions -------------------------------------------------
+  /// Switches benchmark for the next reset(). The switch is *pending* until
+  /// reset() applies it: benchmark() keeps reporting the URI the episode
+  /// actually runs on (recovery replays also use the applied URI).
+  void setBenchmark(const std::string &Uri) { PendingBenchmarkUri = Uri; }
+  /// The benchmark the current episode runs on (the last applied URI).
+  const std::string &benchmark() const { return Opts.BenchmarkUri; }
+  /// The URI the next reset() will switch to.
+  const std::string &pendingBenchmark() const { return PendingBenchmarkUri; }
+
+  /// Switches the default observation space returned by reset()/step().
+  Status setObservationSpace(const std::string &Name);
+  const std::string &observationSpace() const {
+    return Opts.ObservationSpace;
+  }
+
+  /// Switches the active reward space (takes effect immediately). Switching
+  /// mid-episode re-primes the space's bookkeeping from a fresh metric
+  /// observation, so the next step's delta is relative to the current
+  /// state, never to another metric's last value.
+  Status setRewardSpace(const std::string &Name);
+  const std::string &rewardSpace() const { return Opts.RewardSpace; }
+
+  /// Lightweight deep copy (§III-B6): the backend forks the session; the
+  /// clone shares the service but owns independent state, including copies
+  /// of the space registry, view caches and reward bookkeeping.
+  StatusOr<std::unique_ptr<CompilerEnv>> fork();
 
   /// Current serializable episode state.
   const EnvState &state() const { return State; }
@@ -103,39 +139,66 @@ private:
               std::shared_ptr<service::CompilerService> Service,
               std::shared_ptr<service::ServiceClient> Client);
 
-  /// Starts a fresh backend session for the current benchmark.
+  /// The backend spaces one step RPC must carry, plus the requested
+  /// obs/reward space lists it will demux afterwards.
+  struct StepPlan {
+    std::vector<std::string> Wire; ///< Deduped backend spaces for the RPC.
+    std::vector<std::string> ObsSpaces;
+    std::vector<std::string> RewardSpaces;
+  };
+
+  /// Validates the requested spaces and computes the wire set: the default
+  /// observation space, every requested observation space's backend
+  /// closure, and each reward space's metric (plus baseline while the
+  /// space is unprimed).
+  StatusOr<StepPlan> planStep(const std::vector<std::string> &ObsSpaces,
+                              const std::vector<std::string> &RewardSpaces);
+
+  /// Starts a fresh backend session for the applied benchmark and refreshes
+  /// the registry's backend space catalogue.
   Status startSession();
 
   /// Restarts the crashed/hung service and replays the episode.
   Status recover();
 
-  /// One step RPC (no recovery). Empty action list = observation only.
+  /// Issues \p Req with recovery-and-retry: a recoverable failure
+  /// (crash/hang/session loss) restarts the service, replays the episode,
+  /// refreshes the session id and retries, for a few rounds. The single
+  /// copy of the recovery-retry invariant for step-shaped RPCs.
+  StatusOr<service::StepReply> callStepWithRecovery(service::StepRequest Req);
+
+  /// Issues one step RPC (actions + the plan's wire spaces) with
+  /// recovery-and-retry. On return the actions have been applied by the
+  /// backend — callers commit them to the episode history *before*
+  /// demuxing, so a failing derived-space computation cannot desync the
+  /// recorded episode from the live session.
   StatusOr<service::StepReply>
-  stepRpc(const std::vector<service::Action> &Actions);
+  stepRpcWithRecovery(std::vector<service::Action> Actions,
+                      const StepPlan &Plan);
 
-  /// Issues a step with recovery-and-retry on backend death.
-  StatusOr<StepResult>
-  stepWithRecovery(const std::vector<service::Action> &Actions);
-
-  /// Computes the reward from a step reply's trailing observations.
-  double rewardFromMetrics(double MetricValue);
+  /// Advances the epoch (when actions ran), primes the observation view
+  /// from the reply, and demuxes the default observation, the requested
+  /// spaces and — when \p SettleRewards — the active + requested reward
+  /// spaces. reset() passes false: it primes bookkeeping instead, so
+  /// absolute reward spaces (loop_tool FLOPs) do not pay their initial
+  /// measurement into the episode reward.
+  StatusOr<StepResult> demuxReply(service::StepReply Reply,
+                                  const StepPlan &Plan, bool HadActions,
+                                  bool SettleRewards);
 
   CompilerEnvOptions Opts;
   std::shared_ptr<service::CompilerService> Service;
   std::shared_ptr<service::ServiceClient> Client;
   service::ActionSpace Space;
-  std::vector<service::ObservationSpaceInfo> ObsSpaces;
-  std::optional<RewardSpec> Reward;
   uint64_t SessionId = 0;
   bool SessionLive = false;
   EnvState State;
-  // Reward bookkeeping.
-  double InitialMetric = 0.0;
-  double PreviousMetric = 0.0;
-  double BaselineMetric = 0.0;
-  bool HaveBaseline = false;
+  /// Bumped on reset and every state-changing step; the views key their
+  /// caches on it.
+  uint64_t Epoch = 0;
   uint64_t Recoveries = 0;
   bool SharedService = false; ///< attach()-ed to a broker shard.
+  std::string PendingBenchmarkUri; ///< Applied by the next reset().
   std::vector<service::Action> DirectHistory; ///< For replay (direct space).
   std::optional<datasets::Benchmark> CachedBenchmark; ///< Resolve cache.
 };

@@ -6,8 +6,10 @@
 ///
 /// \file
 /// The gym.Env-equivalent interface (§III-A): reset / step / spaces, with
-/// the CompilerGym extensions — multi-action (batched) steps and lazily
-/// selected observation spaces (§III-B5). Wrappers (Wrappers.h) compose
+/// the CompilerGym extensions — multi-action (batched) steps, lazily
+/// selected multi-space observations fetched in one RPC (§III-B5), and the
+/// typed ObservationView / RewardView frontend (`env.observation()["Ir"]`,
+/// `env.reward()["IrInstructionCountOz"]`). Wrappers (Wrappers.h) compose
 /// over this interface just like gym.Wrapper.
 ///
 //===----------------------------------------------------------------------===//
@@ -15,21 +17,29 @@
 #ifndef COMPILER_GYM_CORE_ENV_H
 #define COMPILER_GYM_CORE_ENV_H
 
+#include "core/Space.h"
+#include "core/Views.h"
 #include "service/Message.h"
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace compiler_gym {
 namespace core {
 
-/// Result of one (possibly batched) step.
+/// Result of one (possibly batched, possibly multi-space) step.
 struct StepResult {
   service::Observation Obs; ///< The env's default observation space value.
-  double Reward = 0.0;
+  double Reward = 0.0;      ///< The env's active reward space.
   bool Done = false;
   std::string Info;
+  /// Extra observation spaces requested for this step, in request order —
+  /// all fetched in the same RPC as the actions.
+  std::vector<std::pair<std::string, ObservationValue>> Observations;
+  /// Reward spaces requested for this step, in request order.
+  std::vector<std::pair<std::string, double>> Rewards;
 };
 
 /// Abstract Gym-style environment.
@@ -52,15 +62,43 @@ public:
   /// The current action space.
   virtual const service::ActionSpace &actionSpace() const = 0;
 
-  /// Computes an arbitrary observation of the current state (lazy
-  /// observation selection).
-  virtual StatusOr<service::Observation> observe(const std::string &Space) = 0;
-
   /// Number of actions taken this episode.
   virtual size_t episodeLength() const = 0;
 
   /// Cumulative reward this episode.
   virtual double episodeReward() const = 0;
+
+  // -- Typed views (§III-B) --------------------------------------------------
+
+  /// Typed, lazily-fetching observation access: `env.observation()["Ir"]`.
+  virtual ObservationView &observation() { return ObsView; }
+
+  /// Per-space reward access: `env.reward()["IrInstructionCountOz"]`.
+  virtual RewardView &reward() { return RewView; }
+
+  /// The environment's space catalogue (backend + derived + rewards).
+  virtual SpaceRegistry &spaceRegistry() { return Registry; }
+  const SpaceRegistry &spaceRegistry() const {
+    return const_cast<Env *>(this)->spaceRegistry();
+  }
+
+  /// Monotonic counter that advances whenever the environment state may
+  /// have changed (reset or action). The views key their caches on it.
+  virtual uint64_t stateEpoch() const = 0;
+
+  /// The multi-space primitive behind the views: computes the named backend
+  /// spaces against the current state in a single RPC, bypassing every
+  /// client-side cache. Returns one observation per requested space, in
+  /// request order.
+  virtual StatusOr<std::vector<service::Observation>>
+  rawObservations(const std::vector<std::string> &Spaces) = 0;
+
+protected:
+  SpaceRegistry Registry;
+
+private:
+  ObservationView ObsView{*this};
+  RewardView RewView{*this};
 };
 
 } // namespace core

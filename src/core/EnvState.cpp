@@ -18,7 +18,7 @@ std::string EnvState::serialize() const {
   char RewardBuf[32];
   std::snprintf(RewardBuf, sizeof(RewardBuf), "%.17g", CumulativeReward);
   std::string Out = EnvId + "|" + BenchmarkUri + "|" + RewardSpace + "|" +
-                    RewardBuf + "|";
+                    ObservationSpace + "|" + RewardBuf + "|";
   for (size_t I = 0; I < Actions.size(); ++I) {
     if (I)
       Out += ',';
@@ -29,15 +29,22 @@ std::string EnvState::serialize() const {
 
 StatusOr<EnvState> EnvState::deserialize(const std::string &Line) {
   std::vector<std::string> Fields = splitString(Line, '|');
-  if (Fields.size() != 5)
-    return invalidArgument("malformed EnvState line (need 5 '|' fields)");
+  // 6 fields since the views API; 5-field lines predate the
+  // observation-space field and parse with it empty.
+  if (Fields.size() != 5 && Fields.size() != 6)
+    return invalidArgument("malformed EnvState line (need 5 or 6 '|' fields)");
+  bool Legacy = Fields.size() == 5;
   EnvState Out;
   Out.EnvId = Fields[0];
   Out.BenchmarkUri = Fields[1];
   Out.RewardSpace = Fields[2];
-  Out.CumulativeReward = std::strtod(Fields[3].c_str(), nullptr);
-  if (!Fields[4].empty()) {
-    for (const std::string &Tok : splitString(Fields[4], ',')) {
+  if (!Legacy)
+    Out.ObservationSpace = Fields[3];
+  const std::string &Reward = Fields[Legacy ? 3 : 4];
+  Out.CumulativeReward = std::strtod(Reward.c_str(), nullptr);
+  const std::string &Acts = Fields[Legacy ? 4 : 5];
+  if (!Acts.empty()) {
+    for (const std::string &Tok : splitString(Acts, ',')) {
       char *End = nullptr;
       long A = std::strtol(Tok.c_str(), &End, 10);
       if (Tok.empty() || End != Tok.c_str() + Tok.size())

@@ -28,10 +28,13 @@ struct EnvState {
   std::string EnvId;        ///< e.g. "llvm-v0".
   std::string BenchmarkUri;
   std::string RewardSpace;
+  std::string ObservationSpace; ///< Active default observation space.
   std::vector<int> Actions;
   double CumulativeReward = 0.0;
 
-  /// Single-line text form: "envId|benchmark|reward-space|r|a0,a1,...".
+  /// Single-line text form:
+  /// "envId|benchmark|reward-space|obs-space|r|a0,a1,...". Lines from
+  /// before the observation-space field (5 fields) still deserialize.
   std::string serialize() const;
   static StatusOr<EnvState> deserialize(const std::string &Line);
 

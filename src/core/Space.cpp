@@ -6,32 +6,126 @@
 
 #include "core/Space.h"
 
+#include <algorithm>
+
 using namespace compiler_gym;
 using namespace compiler_gym::core;
+using service::ObservationType;
+
+namespace {
+
+const char *typeName(ObservationType Ty) {
+  switch (Ty) {
+  case ObservationType::Int64List:
+    return "Int64List";
+  case ObservationType::DoubleList:
+    return "DoubleList";
+  case ObservationType::String:
+    return "String";
+  case ObservationType::Binary:
+    return "Binary";
+  case ObservationType::Int64Value:
+    return "Int64Value";
+  case ObservationType::DoubleValue:
+    return "DoubleValue";
+  }
+  return "?";
+}
+
+} // namespace
+
+// -- ObservationValue ---------------------------------------------------------
+
+const std::shared_ptr<const service::Observation> &
+ObservationValue::emptyObservation() {
+  static const std::shared_ptr<const service::Observation> Empty =
+      std::make_shared<const service::Observation>();
+  return Empty;
+}
+
+Status ObservationValue::mismatch(const char *Requested) const {
+  return invalidArgument("observation space '" + Info.Name + "' holds " +
+                         typeName(Info.Type) + ", not " + Requested);
+}
+
+StatusOr<int64_t> ObservationValue::asInt64() const {
+  if (Info.Type != ObservationType::Int64Value)
+    return mismatch("Int64Value");
+  return Obs->IntValue;
+}
+
+StatusOr<double> ObservationValue::asDouble() const {
+  if (Info.Type != ObservationType::DoubleValue)
+    return mismatch("DoubleValue");
+  return Obs->DoubleValue;
+}
+
+StatusOr<std::vector<int64_t>> ObservationValue::asInt64List() const {
+  if (Info.Type != ObservationType::Int64List)
+    return mismatch("Int64List");
+  return Obs->Ints;
+}
+
+StatusOr<std::vector<double>> ObservationValue::asDoubleList() const {
+  if (Info.Type != ObservationType::DoubleList)
+    return mismatch("DoubleList");
+  return Obs->Doubles;
+}
+
+StatusOr<std::string> ObservationValue::asString() const {
+  if (Info.Type != ObservationType::String)
+    return mismatch("String");
+  return Obs->Str;
+}
+
+StatusOr<std::string> ObservationValue::asBinary() const {
+  if (Info.Type != ObservationType::Binary)
+    return mismatch("Binary");
+  return Obs->Str;
+}
+
+StatusOr<double> ObservationValue::asScalar() const {
+  if (Info.Type == ObservationType::Int64Value)
+    return static_cast<double>(Obs->IntValue);
+  if (Info.Type == ObservationType::DoubleValue)
+    return Obs->DoubleValue;
+  return mismatch("a numeric scalar");
+}
+
+// -- Builtin reward tables ----------------------------------------------------
 
 std::vector<RewardSpec> core::rewardSpecsFor(const std::string &CompilerName) {
+  auto spec = [](const char *Name, const char *Metric, const char *Baseline,
+                 bool Delta) {
+    RewardSpec S;
+    S.Name = Name;
+    S.MetricObservation = Metric;
+    S.BaselineObservation = Baseline;
+    S.Delta = Delta;
+    return S;
+  };
   if (CompilerName == "llvm") {
     return {
-        {"IrInstructionCount", "IrInstructionCount", "", true},
-        {"IrInstructionCountOz", "IrInstructionCount",
-         "IrInstructionCountOz", true},
-        {"ObjectTextSizeBytes", "ObjectTextSizeBytes", "", true},
-        {"ObjectTextSizeOz", "ObjectTextSizeBytes", "ObjectTextSizeOz",
-         true},
-        {"Runtime", "Runtime", "", true},
-        {"RuntimeO3", "Runtime", "RuntimeO3", true},
+        spec("IrInstructionCount", "IrInstructionCount", "", true),
+        spec("IrInstructionCountOz", "IrInstructionCount",
+             "IrInstructionCountOz", true),
+        spec("ObjectTextSizeBytes", "ObjectTextSizeBytes", "", true),
+        spec("ObjectTextSizeOz", "ObjectTextSizeBytes", "ObjectTextSizeOz",
+             true),
+        spec("Runtime", "Runtime", "", true),
+        spec("RuntimeO3", "Runtime", "RuntimeO3", true),
     };
   }
   if (CompilerName == "gcc") {
     return {
-        {"AsmSizeBytes", "AsmSizeBytes", "", true},
-        {"ObjSizeBytes", "ObjSizeBytes", "", true},
-        {"ObjSizeOs", "ObjSizeBytes", "ObjSizeOs", true},
+        spec("AsmSizeBytes", "AsmSizeBytes", "", true),
+        spec("ObjSizeBytes", "ObjSizeBytes", "", true),
+        spec("ObjSizeOs", "ObjSizeBytes", "ObjSizeOs", true),
     };
   }
   if (CompilerName == "loop_tool") {
     return {
-        {"flops", "flops", "", false},
+        spec("flops", "flops", "", false),
     };
   }
   return {};
@@ -45,3 +139,144 @@ StatusOr<RewardSpec> core::rewardSpec(const std::string &CompilerName,
   return notFound("no reward space '" + RewardName + "' for compiler '" +
                   CompilerName + "'");
 }
+
+// -- SpaceRegistry ------------------------------------------------------------
+
+void SpaceRegistry::setBackendSpaces(
+    const std::vector<service::ObservationSpaceInfo> &S) {
+  Backend.clear();
+  BackendIndex.clear();
+  Backend.reserve(S.size());
+  for (const service::ObservationSpaceInfo &Info : S) {
+    SpaceInfo Out;
+    static_cast<service::ObservationSpaceInfo &>(Out) = Info;
+    Out.Derived = false;
+    BackendIndex.emplace(Out.Name, Backend.size());
+    Backend.push_back(std::move(Out));
+  }
+}
+
+std::vector<SpaceInfo> SpaceRegistry::observationSpaces() const {
+  std::vector<SpaceInfo> Out = Backend;
+  for (const DerivedObservationSpec &D : Derived_)
+    Out.push_back(D.Info);
+  return Out;
+}
+
+const SpaceInfo *
+SpaceRegistry::observationSpace(const std::string &Name) const {
+  auto It = BackendIndex.find(Name);
+  if (It != BackendIndex.end())
+    return &Backend[It->second];
+  for (const DerivedObservationSpec &D : Derived_)
+    if (D.Info.Name == Name)
+      return &D.Info;
+  return nullptr;
+}
+
+bool SpaceRegistry::hasBackendSpace(const std::string &Name) const {
+  return BackendIndex.count(Name) != 0;
+}
+
+Status SpaceRegistry::registerDerivedObservation(DerivedObservationSpec Spec) {
+  if (Spec.Info.Name.empty())
+    return invalidArgument("derived observation space needs a name");
+  if (!Spec.Compute)
+    return invalidArgument("derived observation space '" + Spec.Info.Name +
+                           "' needs a compute function");
+  if (observationSpace(Spec.Info.Name))
+    return invalidArgument("observation space '" + Spec.Info.Name +
+                           "' already exists");
+  Spec.Info.Derived = true;
+  Derived_.push_back(std::move(Spec));
+  return Status::ok();
+}
+
+Status SpaceRegistry::unregisterDerivedObservation(const std::string &Name) {
+  auto It = std::find_if(
+      Derived_.begin(), Derived_.end(),
+      [&](const DerivedObservationSpec &D) { return D.Info.Name == Name; });
+  if (It == Derived_.end())
+    return notFound("no derived observation space '" + Name + "'");
+  Derived_.erase(It);
+  return Status::ok();
+}
+
+const DerivedObservationSpec *
+SpaceRegistry::derived(const std::string &Name) const {
+  for (const DerivedObservationSpec &D : Derived_)
+    if (D.Info.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+namespace {
+
+void closureImpl(const SpaceRegistry &Reg, const std::string &Name,
+                 std::vector<std::string> &Out,
+                 std::vector<std::string> &Visited) {
+  if (std::find(Visited.begin(), Visited.end(), Name) != Visited.end())
+    return;
+  Visited.push_back(Name);
+  if (Reg.hasBackendSpace(Name)) {
+    if (std::find(Out.begin(), Out.end(), Name) == Out.end())
+      Out.push_back(Name);
+    return;
+  }
+  if (const DerivedObservationSpec *D = Reg.derived(Name))
+    for (const std::string &Dep : D->Dependencies)
+      closureImpl(Reg, Dep, Out, Visited);
+}
+
+} // namespace
+
+void SpaceRegistry::backendClosure(const std::string &Name,
+                                   std::vector<std::string> &Out) const {
+  std::vector<std::string> Visited;
+  closureImpl(*this, Name, Out, Visited);
+}
+
+void SpaceRegistry::setBuiltinRewards(std::vector<RewardSpec> Specs) {
+  // Keep user registrations, replace the builtin prefix.
+  std::vector<RewardSpec> User(Rewards.begin() + NumBuiltinRewards,
+                               Rewards.end());
+  Rewards = std::move(Specs);
+  NumBuiltinRewards = Rewards.size();
+  for (RewardSpec &S : User)
+    Rewards.push_back(std::move(S));
+}
+
+Status SpaceRegistry::registerReward(RewardSpec Spec) {
+  if (Spec.Name.empty())
+    return invalidArgument("reward space needs a name");
+  if (Spec.MetricObservation.empty())
+    return invalidArgument("reward space '" + Spec.Name +
+                           "' needs a metric observation");
+  if (reward(Spec.Name))
+    return invalidArgument("reward space '" + Spec.Name +
+                           "' already exists");
+  Rewards.push_back(std::move(Spec));
+  return Status::ok();
+}
+
+Status SpaceRegistry::unregisterReward(const std::string &Name) {
+  for (size_t I = NumBuiltinRewards; I < Rewards.size(); ++I) {
+    if (Rewards[I].Name == Name) {
+      Rewards.erase(Rewards.begin() + I);
+      return Status::ok();
+    }
+  }
+  if (reward(Name))
+    return invalidArgument("cannot unregister builtin reward space '" +
+                           Name + "'");
+  return notFound("no reward space '" + Name + "'");
+}
+
+const RewardSpec *SpaceRegistry::reward(const std::string &Name) const {
+  for (const RewardSpec &S : Rewards)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+std::vector<RewardSpec> SpaceRegistry::rewardSpaces() const { return Rewards; }

@@ -5,29 +5,105 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Frontend-side descriptors: the reward-space table mapping reward names
-/// to the backend observations they are computed from. Rewards are deltas
-/// of a metric observation between consecutive states (optionally scaled
-/// by the gains of the compiler's default pipeline), or raw measurements
-/// (loop_tool FLOPs) — exactly the three reward styles of §V.
+/// Frontend-side typed space descriptors (§III-B):
+///  * SpaceInfo       — name/dtype/shape/range descriptor of an observation
+///                      space, published by the backend session or
+///                      registered client-side (Derived);
+///  * ObservationValue — a typed value with checked accessors, what the
+///                      views hand out instead of a raw service::Observation;
+///  * RewardSpec      — how a reward is derived from metric observations:
+///                      deltas of a metric between consecutive states
+///                      (optionally scaled by default-pipeline gains), raw
+///                      measurements (loop_tool FLOPs), or a user-supplied
+///                      combiner for derived rewards;
+///  * SpaceRegistry   — per-environment catalogue of backend spaces,
+///                      client-registered derived observations and reward
+///                      spaces.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMPILER_GYM_CORE_SPACE_H
 #define COMPILER_GYM_CORE_SPACE_H
 
+#include "service/Message.h"
 #include "util/Status.h"
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace compiler_gym {
 namespace core {
 
-/// How a reward is derived from backend observations.
+class ObservationView;
+
+/// Typed observation-space descriptor: the backend-published fields
+/// (name, dtype, shape, range, determinism/platform flags) plus whether the
+/// space is computed client-side from other spaces.
+struct SpaceInfo : service::ObservationSpaceInfo {
+  bool Derived = false;
+};
+
+/// A typed observation value. Wraps the wire Observation with its space
+/// descriptor and checked accessors: asking for the wrong dtype is an
+/// InvalidArgument, never a silent zero. The payload is an immutable
+/// shared buffer, so copying an ObservationValue (view cache hits,
+/// StepResult plumbing, fork) never copies the observation itself.
+class ObservationValue {
+public:
+  ObservationValue() : Obs(emptyObservation()) {}
+  ObservationValue(SpaceInfo Info, service::Observation Obs)
+      : Info(std::move(Info)),
+        Obs(std::make_shared<const service::Observation>(std::move(Obs))) {}
+
+  const std::string &space() const { return Info.Name; }
+  service::ObservationType type() const { return Info.Type; }
+  const SpaceInfo &info() const { return Info; }
+  const service::Observation &raw() const { return *Obs; }
+
+  /// Checked accessors (exact dtype match).
+  StatusOr<int64_t> asInt64() const;
+  StatusOr<double> asDouble() const;
+  StatusOr<std::vector<int64_t>> asInt64List() const;
+  StatusOr<std::vector<double>> asDoubleList() const;
+  StatusOr<std::string> asString() const;   ///< String payloads.
+  StatusOr<std::string> asBinary() const;   ///< Binary payloads.
+
+  /// Any scalar numeric space (Int64Value or DoubleValue) as a double —
+  /// what reward metrics use.
+  StatusOr<double> asScalar() const;
+
+private:
+  Status mismatch(const char *Requested) const;
+  static const std::shared_ptr<const service::Observation> &
+  emptyObservation();
+
+  SpaceInfo Info;
+  std::shared_ptr<const service::Observation> Obs;
+};
+
+/// Computes a derived observation from base observations fetched through
+/// the view (fetches are cached, and declared dependencies ride the step
+/// RPC, so a well-declared derived space costs zero extra RPCs).
+using DerivedObservationFn =
+    std::function<StatusOr<service::Observation>(ObservationView &)>;
+
+/// A client-side derived observation space.
+struct DerivedObservationSpec {
+  SpaceInfo Info; ///< Info.Derived is forced true on registration.
+  /// Backend (or derived) spaces this computation reads; requesting the
+  /// derived space in a step() prefetches these in the same RPC.
+  std::vector<std::string> Dependencies;
+  DerivedObservationFn Compute;
+};
+
+/// How a reward is derived from observations.
 struct RewardSpec {
   std::string Name;
-  /// Observation supplying the per-step metric value.
+  /// Observation supplying the per-step metric value (may name a derived
+  /// observation space).
   std::string MetricObservation;
   /// Optional observation supplying the default-pipeline baseline used for
   /// scaling (e.g. "IrInstructionCountOz"); empty = unscaled.
@@ -35,15 +111,70 @@ struct RewardSpec {
   /// Delta rewards pay (previous - current); absolute rewards pay the raw
   /// metric (higher is better), used by loop_tool's FLOPs signal.
   bool Delta = true;
+  /// Optional client-side combiner overriding the builtin delta/absolute
+  /// formulas: reward = Combiner(Current, Previous, Initial, Baseline).
+  /// Previous == Current on the first evaluation after (re)priming, and
+  /// Baseline is 0 when BaselineObservation is empty. This is how derived
+  /// rewards (normalized, ratio, composite) are expressed.
+  std::function<double(double Current, double Previous, double Initial,
+                       double Baseline)>
+      Combiner;
 };
 
-/// Reward specs available for an environment family ("llvm", "gcc",
-/// "loop_tool").
+/// Builtin reward specs for an environment family ("llvm", "gcc",
+/// "loop_tool"); seeds each env's SpaceRegistry.
 std::vector<RewardSpec> rewardSpecsFor(const std::string &CompilerName);
 
-/// Finds a reward spec by name; NotFound if the family lacks it.
+/// Finds a builtin reward spec by name; NotFound if the family lacks it.
 StatusOr<RewardSpec> rewardSpec(const std::string &CompilerName,
                                 const std::string &RewardName);
+
+/// Per-environment space catalogue: the backend-published observation
+/// spaces (refreshed on session start), client-registered derived
+/// observation spaces, and the reward-space table (builtin + registered).
+class SpaceRegistry {
+public:
+  /// Replaces the backend-published spaces (called on session start; derived
+  /// registrations survive).
+  void setBackendSpaces(const std::vector<service::ObservationSpaceInfo> &S);
+
+  /// All observation spaces, backend first, then derived.
+  std::vector<SpaceInfo> observationSpaces() const;
+
+  /// Descriptor lookup (backend or derived); nullptr when unknown.
+  const SpaceInfo *observationSpace(const std::string &Name) const;
+  bool hasBackendSpace(const std::string &Name) const;
+  /// True before any session has published spaces (and nothing derived
+  /// has been registered).
+  bool empty() const { return Backend.empty() && Derived_.empty(); }
+
+  /// Derived observation spaces.
+  Status registerDerivedObservation(DerivedObservationSpec Spec);
+  Status unregisterDerivedObservation(const std::string &Name);
+  const DerivedObservationSpec *derived(const std::string &Name) const;
+
+  /// Appends to \p Out the backend spaces \p Name transitively reads:
+  /// itself for a backend space, the declared dependency closure for a
+  /// derived one. Deduplicates against what is already in \p Out, so
+  /// repeated calls build a wire set. Unknown names and dependency cycles
+  /// contribute nothing.
+  void backendClosure(const std::string &Name,
+                      std::vector<std::string> &Out) const;
+
+  /// Reward spaces.
+  void setBuiltinRewards(std::vector<RewardSpec> Specs);
+  Status registerReward(RewardSpec Spec);
+  Status unregisterReward(const std::string &Name);
+  const RewardSpec *reward(const std::string &Name) const;
+  std::vector<RewardSpec> rewardSpaces() const;
+
+private:
+  std::vector<SpaceInfo> Backend;
+  std::unordered_map<std::string, size_t> BackendIndex;
+  std::vector<DerivedObservationSpec> Derived_;
+  std::vector<RewardSpec> Rewards;
+  size_t NumBuiltinRewards = 0;
+};
 
 } // namespace core
 } // namespace compiler_gym

@@ -348,13 +348,15 @@ void TransitionLogger::logState(const std::vector<int> &NewActions,
 
   ObservationsRow ObsRow;
   ObsRow.StateId = StateId;
-  if (StatusOr<service::Observation> Ir = Inner->observe("Ir"); Ir.isOk())
-    ObsRow.CompressedIr = Ir->Str;
-  if (StatusOr<service::Observation> Ic = Inner->observe("InstCount");
-      Ic.isOk())
-    ObsRow.InstCounts = Ic->Ints;
-  if (StatusOr<service::Observation> Ap = Inner->observe("Autophase");
-      Ap.isOk())
-    ObsRow.Autophase = Ap->Ints;
+  // One RPC for all three logged spaces (ignore errors: non-IR envs lack
+  // them, and the row columns just stay empty).
+  ObservationView &View = Inner->observation();
+  (void)View.prefetch({"Ir", "InstCount", "Autophase"});
+  if (StatusOr<ObservationValue> Ir = View.get("Ir"); Ir.isOk())
+    ObsRow.CompressedIr = Ir->raw().Str;
+  if (StatusOr<ObservationValue> Ic = View.get("InstCount"); Ic.isOk())
+    ObsRow.InstCounts = Ic->raw().Ints;
+  if (StatusOr<ObservationValue> Ap = View.get("Autophase"); Ap.isOk())
+    ObsRow.Autophase = Ap->raw().Ints;
   Db->appendObservation(std::move(ObsRow));
 }

@@ -40,12 +40,14 @@ StatusOr<ReplayOutcome> replay(const EnvState &State) {
     if (R.Done)
       break;
   }
-  // IR-based envs expose a state hash; others have no hashable state.
-  if (StatusOr<service::Observation> Hash = Env->observe("IrHash");
-      Hash.isOk()) {
-    Out.FinalIrHash = Hash->Str;
-    CG_ASSIGN_OR_RETURN(service::Observation Ir, Env->observe("Ir"));
-    Out.FinalIr = Ir.Str;
+  // IR-based envs expose a state hash; others have no hashable state. One
+  // prefetch RPC covers both spaces.
+  if (Env->observation().prefetch({"IrHash", "Ir"}).isOk()) {
+    CG_ASSIGN_OR_RETURN(ObservationValue Hash,
+                        Env->observation().get("IrHash"));
+    CG_ASSIGN_OR_RETURN(Out.FinalIrHash, Hash.asString());
+    CG_ASSIGN_OR_RETURN(ObservationValue Ir, Env->observation().get("Ir"));
+    CG_ASSIGN_OR_RETURN(Out.FinalIr, Ir.asString());
   }
   return Out;
 }

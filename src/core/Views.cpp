@@ -1,0 +1,214 @@
+//===- core/Views.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Views.h"
+
+#include "core/Env.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace compiler_gym;
+using namespace compiler_gym::core;
+
+// -- ObservationView ----------------------------------------------------------
+
+void ObservationView::syncEpoch() {
+  uint64_t Epoch = Owner.stateEpoch();
+  if (Epoch != CacheEpoch) {
+    Cache.clear();
+    CacheEpoch = Epoch;
+  }
+}
+
+ObservationValue ObservationView::wrap(const std::string &Space,
+                                       service::Observation Obs) const {
+  const SpaceRegistry &Reg = Owner.spaceRegistry();
+  if (const SpaceInfo *Info = Reg.observationSpace(Space))
+    return ObservationValue(*Info, std::move(Obs));
+  // Registry not yet populated (no session): synthesize a descriptor from
+  // the payload so typed accessors still work.
+  SpaceInfo Info;
+  Info.Name = Space;
+  Info.Type = Obs.Type;
+  return ObservationValue(std::move(Info), std::move(Obs));
+}
+
+StatusOr<ObservationValue>
+ObservationView::computeDerived(DerivedObservationSpec D) {
+  if (std::find(DerivedInFlight.begin(), DerivedInFlight.end(),
+                D.Info.Name) != DerivedInFlight.end())
+    return internalError("derived observation space '" + D.Info.Name +
+                         "' depends on itself");
+  DerivedInFlight.push_back(D.Info.Name);
+  StatusOr<service::Observation> Obs = D.Compute(*this);
+  DerivedInFlight.pop_back();
+  if (!Obs.isOk())
+    return Obs.status();
+  service::Observation Value = Obs.takeValue();
+  Value.Type = D.Info.Type; // The descriptor, not the fn, owns the dtype.
+  return ObservationValue(D.Info, std::move(Value));
+}
+
+StatusOr<ObservationValue> ObservationView::get(const std::string &Space) {
+  syncEpoch();
+  if (auto It = Cache.find(Space); It != Cache.end()) {
+    ++Hits;
+    return It->second;
+  }
+  SpaceRegistry &Reg = Owner.spaceRegistry();
+  if (const DerivedObservationSpec *D = Reg.derived(Space)) {
+    CG_ASSIGN_OR_RETURN(ObservationValue V, computeDerived(*D));
+    Cache.emplace(Space, V);
+    return V;
+  }
+  if (!Reg.hasBackendSpace(Space) && !Reg.empty())
+    return notFound("no observation space '" + Space + "'");
+  CG_ASSIGN_OR_RETURN(std::vector<service::Observation> Obs,
+                      Owner.rawObservations({Space}));
+  if (Obs.size() != 1)
+    return internalError("expected 1 observation, got " +
+                         std::to_string(Obs.size()));
+  ObservationValue V = wrap(Space, std::move(Obs.front()));
+  syncEpoch(); // The RPC may have advanced the epoch (recovery).
+  Cache.emplace(Space, V);
+  return V;
+}
+
+Status ObservationView::prefetch(const std::vector<std::string> &Spaces) {
+  syncEpoch();
+  SpaceRegistry &Reg = Owner.spaceRegistry();
+  // Backend closure of everything requested, minus what is already cached.
+  std::vector<std::string> Wire;
+  for (const std::string &Space : Spaces) {
+    if (!Reg.observationSpace(Space))
+      return notFound("no observation space '" + Space + "'");
+    Reg.backendClosure(Space, Wire);
+  }
+  std::vector<std::string> Fetch;
+  for (const std::string &Name : Wire) // Already deduped by the closure.
+    if (!Cache.count(Name))
+      Fetch.push_back(Name);
+  if (!Fetch.empty()) {
+    CG_ASSIGN_OR_RETURN(std::vector<service::Observation> Obs,
+                        Owner.rawObservations(Fetch));
+    if (Obs.size() != Fetch.size())
+      return internalError("observation reply size mismatch");
+    syncEpoch();
+    for (size_t I = 0; I < Fetch.size(); ++I)
+      Cache.emplace(Fetch[I], wrap(Fetch[I], std::move(Obs[I])));
+  }
+  // Materialize requested derived spaces from the primed cache.
+  for (const std::string &Space : Spaces)
+    if (Reg.derived(Space))
+      CG_RETURN_IF_ERROR(get(Space).status());
+  return Status::ok();
+}
+
+std::vector<SpaceInfo> ObservationView::spaces() const {
+  return Owner.spaceRegistry().observationSpaces();
+}
+
+Status ObservationView::registerDerived(SpaceInfo Info,
+                                        std::vector<std::string> Dependencies,
+                                        DerivedObservationFn Fn) {
+  DerivedObservationSpec Spec;
+  Spec.Info = std::move(Info);
+  Spec.Dependencies = std::move(Dependencies);
+  Spec.Compute = std::move(Fn);
+  return Owner.spaceRegistry().registerDerivedObservation(std::move(Spec));
+}
+
+Status ObservationView::unregisterDerived(const std::string &Name) {
+  Cache.erase(Name);
+  return Owner.spaceRegistry().unregisterDerivedObservation(Name);
+}
+
+void ObservationView::prime(const std::string &Space,
+                            service::Observation Obs) {
+  syncEpoch();
+  Cache.insert_or_assign(Space, wrap(Space, std::move(Obs)));
+}
+
+void ObservationView::copyCacheFrom(const ObservationView &Other) {
+  Cache = Other.Cache;
+  CacheEpoch = Other.CacheEpoch;
+}
+
+// -- RewardView ---------------------------------------------------------------
+
+StatusOr<double> RewardView::metricValue(const std::string &ObsSpace) {
+  CG_ASSIGN_OR_RETURN(ObservationValue V, Owner.observation().get(ObsSpace));
+  return V.asScalar();
+}
+
+StatusOr<RewardView::Book *> RewardView::findOrPrime(const RewardSpec &Spec,
+                                                     double Current,
+                                                     bool Force) {
+  auto It = Books.find(Spec.Name);
+  if (It != Books.end() && !Force)
+    return &It->second;
+  Book B;
+  B.Initial = B.Previous = Current;
+  if (!Spec.BaselineObservation.empty()) {
+    CG_ASSIGN_OR_RETURN(B.Baseline, metricValue(Spec.BaselineObservation));
+  }
+  return &(Books.insert_or_assign(Spec.Name, B).first->second);
+}
+
+StatusOr<double> RewardView::get(const std::string &Space) {
+  const RewardSpec *Found = Owner.spaceRegistry().reward(Space);
+  if (!Found)
+    return notFound("no reward space '" + Space + "'");
+  // Copy the spec: metricValue() may run a derived-space callback that
+  // re-enters the registry and reallocates its storage.
+  RewardSpec Spec = *Found;
+  CG_ASSIGN_OR_RETURN(double Current, metricValue(Spec.MetricObservation));
+  CG_ASSIGN_OR_RETURN(Book *B, findOrPrime(Spec, Current, /*Force=*/false));
+
+  double Out;
+  if (Spec.Combiner) {
+    Out = Spec.Combiner(Current, B->Previous, B->Initial, B->Baseline);
+  } else if (!Spec.Delta) {
+    Out = Current; // Absolute signal (loop_tool FLOPs).
+  } else {
+    double Delta = B->Previous - Current;
+    if (!Spec.BaselineObservation.empty()) {
+      double TotalGain = B->Initial - B->Baseline;
+      if (TotalGain <= 0.0)
+        TotalGain = std::max(1.0, std::abs(B->Baseline) * 0.01);
+      Out = Delta / TotalGain;
+    } else {
+      Out = Delta;
+    }
+  }
+  B->Previous = Current;
+  return Out;
+}
+
+Status RewardView::registerReward(RewardSpec Spec) {
+  return Owner.spaceRegistry().registerReward(std::move(Spec));
+}
+
+Status RewardView::unregisterReward(const std::string &Name) {
+  Books.erase(Name);
+  return Owner.spaceRegistry().unregisterReward(Name);
+}
+
+std::vector<RewardSpec> RewardView::spaces() const {
+  return Owner.spaceRegistry().rewardSpaces();
+}
+
+Status RewardView::prime(const std::string &Space, bool Force) {
+  const RewardSpec *Found = Owner.spaceRegistry().reward(Space);
+  if (!Found)
+    return notFound("no reward space '" + Space + "'");
+  if (!Force && Books.count(Space))
+    return Status::ok();
+  RewardSpec Spec = *Found; // See get(): callbacks may re-enter the registry.
+  CG_ASSIGN_OR_RETURN(double Current, metricValue(Spec.MetricObservation));
+  return findOrPrime(Spec, Current, Force).status();
+}

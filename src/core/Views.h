@@ -1,0 +1,153 @@
+//===- core/Views.h - Typed observation & reward views ----------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The views API of §III-B: `env.observation()["Ir"]` and
+/// `env.reward()["IrInstructionCountOz"]`, the C++ analogue of the Python
+/// frontend's ObservationView / RewardView.
+///
+/// ObservationView hands out typed ObservationValues, fetching lazily and
+/// caching per state epoch: querying the same space twice between actions
+/// costs one RPC, and spaces returned by a multi-space step() are primed
+/// into the cache so post-step queries are free. Derived spaces registered
+/// client-side compute through the view, so their base fetches batch and
+/// cache the same way.
+///
+/// RewardView tracks per-reward-space bookkeeping (initial / previous /
+/// baseline metric values). Each get() pays the reward accumulated since
+/// that space's previous get() — the first query after reset() primes the
+/// space and pays zero (or the raw metric for absolute rewards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_CORE_VIEWS_H
+#define COMPILER_GYM_CORE_VIEWS_H
+
+#include "core/Space.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace compiler_gym {
+namespace core {
+
+class Env;
+
+/// Lazily-fetching, epoch-cached typed observation access.
+class ObservationView {
+public:
+  explicit ObservationView(Env &Owner) : Owner(Owner) {}
+
+  ObservationView(const ObservationView &) = delete;
+  ObservationView &operator=(const ObservationView &) = delete;
+
+  /// Typed fetch of one space (backend or derived). Cached until the next
+  /// action/reset changes the environment's state epoch; nondeterministic
+  /// spaces (Runtime, flops) are snapshotted once per epoch — use
+  /// Env::rawObservations() to force a fresh measurement.
+  StatusOr<ObservationValue> get(const std::string &Space);
+  StatusOr<ObservationValue> operator[](const std::string &Space) {
+    return get(Space);
+  }
+
+  /// Fetches all uncached backend spaces among \p Spaces in a single RPC
+  /// and computes requested derived spaces, priming the cache.
+  Status prefetch(const std::vector<std::string> &Spaces);
+
+  /// All known observation spaces (backend + derived).
+  std::vector<SpaceInfo> spaces() const;
+
+  /// Registers a client-side derived observation space. \p Dependencies
+  /// names the spaces \p Fn reads; multi-space step() requests prefetch
+  /// them in the same RPC.
+  Status registerDerived(SpaceInfo Info, std::vector<std::string> Dependencies,
+                         DerivedObservationFn Fn);
+  Status unregisterDerived(const std::string &Name);
+
+  /// Inserts \p Obs as the value of \p Space for the current state epoch
+  /// (step()/reset() plumbing: reply observations land here so post-step
+  /// view queries are cache hits).
+  void prime(const std::string &Space, service::Observation Obs);
+
+  /// Copies the cached values and epoch cursor from \p Other (fork()).
+  void copyCacheFrom(const ObservationView &Other);
+
+  /// Telemetry: queries served without an RPC or derived recompute.
+  uint64_t cacheHits() const { return Hits; }
+
+private:
+  /// Drops stale entries when the owner's state epoch has advanced.
+  void syncEpoch();
+  ObservationValue wrap(const std::string &Space,
+                        service::Observation Obs) const;
+  /// Takes the spec by value: the user callback runs against this view and
+  /// may re-enter the registry (register/unregister), which can reallocate
+  /// the registry's storage under a reference.
+  StatusOr<ObservationValue> computeDerived(DerivedObservationSpec D);
+
+  Env &Owner;
+  uint64_t CacheEpoch = 0;
+  std::unordered_map<std::string, ObservationValue> Cache;
+  std::vector<std::string> DerivedInFlight; ///< Cycle guard.
+  uint64_t Hits = 0;
+};
+
+/// Per-space reward accounting over the observation view.
+class RewardView {
+public:
+  explicit RewardView(Env &Owner) : Owner(Owner) {}
+
+  RewardView(const RewardView &) = delete;
+  RewardView &operator=(const RewardView &) = delete;
+
+  /// The reward accumulated under \p Space since this space's previous
+  /// get() (or since it was primed). The first query of a space primes it:
+  /// delta rewards pay 0, absolute rewards pay the raw metric.
+  StatusOr<double> get(const std::string &Space);
+  StatusOr<double> operator[](const std::string &Space) { return get(Space); }
+
+  /// Registers / removes a user reward space (delegates to the registry).
+  Status registerReward(RewardSpec Spec);
+  Status unregisterReward(const std::string &Name);
+
+  /// All known reward spaces (builtin + registered).
+  std::vector<RewardSpec> spaces() const;
+
+  /// Seeds \p Space's bookkeeping from the current state so the next get()
+  /// pays the reward relative to here. \p Force re-primes an already-primed
+  /// space (setRewardSpace() uses this when switching metrics mid-episode).
+  Status prime(const std::string &Space, bool Force = false);
+  bool primed(const std::string &Space) const {
+    return Books.count(Space) != 0;
+  }
+
+  /// Clears all bookkeeping (reset()).
+  void resetBookkeeping() { Books.clear(); }
+
+  /// Copies bookkeeping from \p Other (fork()).
+  void copyBooksFrom(const RewardView &Other) { Books = Other.Books; }
+
+private:
+  struct Book {
+    double Initial = 0.0;
+    double Previous = 0.0;
+    double Baseline = 0.0;
+  };
+
+  /// Scalar value of a metric observation via the observation view.
+  StatusOr<double> metricValue(const std::string &ObsSpace);
+  StatusOr<Book *> findOrPrime(const RewardSpec &Spec, double Current,
+                               bool Force);
+
+  Env &Owner;
+  std::unordered_map<std::string, Book> Books;
+};
+
+} // namespace core
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_CORE_VIEWS_H

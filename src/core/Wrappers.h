@@ -43,11 +43,19 @@ public:
   const service::ActionSpace &actionSpace() const override {
     return Inner->actionSpace();
   }
-  StatusOr<service::Observation> observe(const std::string &Space) override {
-    return Inner->observe(Space);
-  }
   size_t episodeLength() const override { return Inner->episodeLength(); }
   double episodeReward() const override { return Inner->episodeReward(); }
+
+  // Views, registry and the observation primitive live on the innermost
+  // env: every wrapper layer shares one cache and one space catalogue.
+  ObservationView &observation() override { return Inner->observation(); }
+  RewardView &reward() override { return Inner->reward(); }
+  SpaceRegistry &spaceRegistry() override { return Inner->spaceRegistry(); }
+  uint64_t stateEpoch() const override { return Inner->stateEpoch(); }
+  StatusOr<std::vector<service::Observation>>
+  rawObservations(const std::vector<std::string> &Spaces) override {
+    return Inner->rawObservations(Spaces);
+  }
 
   Env &inner() { return *Inner; }
 

@@ -45,13 +45,23 @@ std::vector<ObservationSpaceInfo> GccSession::getObservationSpaces() {
     ObservationSpaceInfo O;
     O.Name = Name;
     O.Type = Ty;
+    if (Ty == ObservationType::Int64Value)
+      O.RangeMin = 0.0; // All scalar spaces here are sizes/counts.
     O.Deterministic = true;
     O.PlatformDependent = Ty != ObservationType::Int64List;
     return O;
   };
+  ObservationSpaceInfo Choices = info("Choices", ObservationType::Int64List);
+  const std::vector<GccOption> &Options = optionSpace().options();
+  Choices.Shape = {static_cast<int64_t>(Options.size())};
+  Choices.RangeMin = 0.0;
+  int64_t MaxCardinality = 0;
+  for (const GccOption &O : Options)
+    MaxCardinality = std::max(MaxCardinality, O.Cardinality);
+  Choices.RangeMax = static_cast<double>(MaxCardinality - 1);
   return {
       info("InstructionCount", ObservationType::Int64Value),
-      info("Choices", ObservationType::Int64List),
+      Choices,
       info("Rtl", ObservationType::String),
       info("Asm", ObservationType::String),
       info("Obj", ObservationType::Binary),

@@ -108,8 +108,9 @@ enum LlvmObs : int {
   ObsRuntimeO3,
 };
 
-/// Single source of truth for the observation spaces: the advertised list,
-/// the name->handler dispatch table and the memoization policy all derive
+/// Single source of truth for the observation spaces: the advertised list
+/// (typed descriptors with shape/range where statically known), the
+/// name->handler dispatch table and the memoization policy all derive
 /// from this table, so adding a space is exactly one entry here plus its
 /// case in computeObservationUncached.
 struct SpaceDesc {
@@ -118,25 +119,33 @@ struct SpaceDesc {
   ObservationType Type;
   bool Deterministic;
   bool PlatformDependent;
+  int64_t ShapeDim;   ///< Fixed vector length; 0 = scalar/dynamic.
+  bool NonNegative;   ///< Element range is [0, +inf).
 };
 
 constexpr SpaceDesc SpaceTable[] = {
-    {"Ir", ObsIr, ObservationType::String, true, false},
-    {"IrHash", ObsIrHash, ObservationType::String, true, false},
-    {"InstCount", ObsInstCount, ObservationType::Int64List, true, false},
-    {"Autophase", ObsAutophase, ObservationType::Int64List, true, false},
-    {"Inst2vec", ObsInst2vec, ObservationType::DoubleList, true, false},
-    {"Programl", ObsPrograml, ObservationType::Binary, true, false},
+    {"Ir", ObsIr, ObservationType::String, true, false, 0, false},
+    {"IrHash", ObsIrHash, ObservationType::String, true, false, 0, false},
+    {"InstCount", ObsInstCount, ObservationType::Int64List, true, false,
+     analysis::InstCountDims, true},
+    {"Autophase", ObsAutophase, ObservationType::Int64List, true, false,
+     analysis::AutophaseDims, true},
+    {"Inst2vec", ObsInst2vec, ObservationType::DoubleList, true, false, 0,
+     false},
+    {"Programl", ObsPrograml, ObservationType::Binary, true, false, 0,
+     false},
     {"IrInstructionCount", ObsIrInstructionCount,
-     ObservationType::Int64Value, true, false},
+     ObservationType::Int64Value, true, false, 0, true},
     {"IrInstructionCountOz", ObsIrInstructionCountOz,
-     ObservationType::Int64Value, true, false},
+     ObservationType::Int64Value, true, false, 0, true},
     {"ObjectTextSizeBytes", ObsObjectTextSizeBytes,
-     ObservationType::Int64Value, true, true},
+     ObservationType::Int64Value, true, true, 0, true},
     {"ObjectTextSizeOz", ObsObjectTextSizeOz, ObservationType::Int64Value,
-     true, true},
-    {"Runtime", ObsRuntime, ObservationType::DoubleValue, false, true},
-    {"RuntimeO3", ObsRuntimeO3, ObservationType::DoubleValue, false, true},
+     true, true, 0, true},
+    {"Runtime", ObsRuntime, ObservationType::DoubleValue, false, true, 0,
+     true},
+    {"RuntimeO3", ObsRuntimeO3, ObservationType::DoubleValue, false, true,
+     0, true},
 };
 
 /// Name -> table index, built once per process.
@@ -161,6 +170,10 @@ std::vector<ObservationSpaceInfo> llvmObservationSpaces() {
       ObservationSpaceInfo O;
       O.Name = D.Name;
       O.Type = D.Type;
+      if (D.ShapeDim > 0)
+        O.Shape = {D.ShapeDim};
+      if (D.NonNegative)
+        O.RangeMin = 0.0;
       O.Deterministic = D.Deterministic;
       O.PlatformDependent = D.PlatformDependent;
       S.push_back(std::move(O));

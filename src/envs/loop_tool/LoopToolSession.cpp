@@ -42,12 +42,15 @@ std::vector<ObservationSpaceInfo> LoopToolSession::getObservationSpaces() {
   ObservationSpaceInfo State;
   State.Name = "action_state";
   State.Type = ObservationType::Int64List;
+  State.Shape = {4}; // cursor, mode, loop count, total threads.
+  State.RangeMin = 0.0;
   ObservationSpaceInfo TreeDump;
   TreeDump.Name = "loop_tree";
   TreeDump.Type = ObservationType::String;
   ObservationSpaceInfo Flops;
   Flops.Name = "flops";
   Flops.Type = ObservationType::DoubleValue;
+  Flops.RangeMin = 0.0;
   Flops.Deterministic = false;
   Flops.PlatformDependent = true;
   return {State, TreeDump, Flops};

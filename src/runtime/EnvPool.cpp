@@ -137,6 +137,13 @@ StatusOr<std::vector<service::Observation>> EnvPool::resetAll() {
 
 StatusOr<std::vector<core::StepResult>>
 EnvPool::stepBatch(const std::vector<std::vector<int>> &Actions) {
+  return stepBatch(Actions, {}, {});
+}
+
+StatusOr<std::vector<core::StepResult>>
+EnvPool::stepBatch(const std::vector<std::vector<int>> &Actions,
+                   const std::vector<std::string> &ObsSpaces,
+                   const std::vector<std::string> &RewardSpaces) {
   if (Actions.size() != Envs.size())
     return invalidArgument("stepBatch: " + std::to_string(Actions.size()) +
                            " action lists for " +
@@ -146,7 +153,8 @@ EnvPool::stepBatch(const std::vector<std::vector<int>> &Actions) {
   for (const std::vector<int> &A : Actions)
     Steps += A.size();
   Status S = forEachWorker([&](size_t W) -> Status {
-    CG_ASSIGN_OR_RETURN(Out[W], Envs[W]->step(Actions[W]));
+    CG_ASSIGN_OR_RETURN(Out[W],
+                        Envs[W]->step(Actions[W], ObsSpaces, RewardSpaces));
     return Status::ok();
   });
   if (!S.isOk())

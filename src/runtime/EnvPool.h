@@ -91,6 +91,14 @@ public:
   StatusOr<std::vector<core::StepResult>> stepBatch(
       const std::vector<std::vector<int>> &Actions);
 
+  /// Vectorized multi-space step: every worker additionally computes the
+  /// named observation and reward spaces, each worker in its single step
+  /// RPC (M workers => M RPCs total, regardless of how many spaces).
+  StatusOr<std::vector<core::StepResult>> stepBatch(
+      const std::vector<std::vector<int>> &Actions,
+      const std::vector<std::string> &ObsSpaces,
+      const std::vector<std::string> &RewardSpaces = {});
+
   // -- Episode-parallel API ---------------------------------------------------
 
   /// Runs one episode on a worker env (already reset; \p InitialObs is the

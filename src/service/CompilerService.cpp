@@ -174,6 +174,7 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
       Cacheable &= StateKey != 0;
       Observation Obs;
       if (Cacheable && ObsCache->lookup(StateKey, SpaceName, Obs)) {
+        Reply.Step.ObservationNames.push_back(SpaceName);
         Reply.Step.Observations.push_back(std::move(Obs));
         continue;
       }
@@ -181,6 +182,7 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
         return fail(S);
       if (Cacheable)
         ObsCache->insert(StateKey, SpaceName, Obs);
+      Reply.Step.ObservationNames.push_back(SpaceName);
       Reply.Step.Observations.push_back(std::move(Obs));
     }
     return Reply;

@@ -20,6 +20,7 @@
 #include "util/Status.h"
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -44,10 +45,19 @@ enum class ObservationType {
   DoubleValue ///< E.g. runtime seconds.
 };
 
-/// Static description of an observation space.
+/// Static description of an observation space: the typed descriptor the
+/// frontend surfaces as core::SpaceInfo (§III-B). Shape and range are
+/// advisory metadata — empty shape means scalar or dynamically sized, and
+/// the default range is unbounded.
 struct ObservationSpaceInfo {
   std::string Name;
   ObservationType Type = ObservationType::Int64Value;
+  /// Fixed dimensions when statically known (e.g. {56} for Autophase);
+  /// empty for scalars and dynamically-sized payloads (Ir text, graphs).
+  std::vector<int64_t> Shape;
+  /// Inclusive element bounds. Defaults are unbounded (infinities).
+  double RangeMin = -std::numeric_limits<double>::infinity();
+  double RangeMax = std::numeric_limits<double>::infinity();
   bool Deterministic = true;
   bool PlatformDependent = false;
 };
@@ -99,13 +109,19 @@ struct EndSessionRequest {
 struct StepRequest {
   uint64_t SessionId = 0;
   std::vector<Action> Actions; ///< >1 = batched step (§III-B5).
-  std::vector<std::string> ObservationSpaces; ///< Lazy: only these computed.
+  /// Lazy multi-space selection: every named space (observations and the
+  /// metrics backing reward spaces alike) is computed in this one RPC and
+  /// returned name-keyed in the reply.
+  std::vector<std::string> ObservationSpaces;
 };
 
 struct StepReply {
   bool EndOfSession = false;
   bool ActionSpaceChanged = false;
   ActionSpace NewSpace; ///< Valid when ActionSpaceChanged.
+  /// Space name of Observations[i] — the reply is self-describing so the
+  /// frontend demuxes by name instead of by request-order cursor.
+  std::vector<std::string> ObservationNames;
   std::vector<Observation> Observations;
 };
 

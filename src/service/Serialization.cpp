@@ -143,13 +143,17 @@ bool getActionSpace(Reader &R, ActionSpace &S) {
 void putObsInfo(Writer &W, const ObservationSpaceInfo &O) {
   W.str(O.Name);
   W.u32(static_cast<uint32_t>(O.Type));
+  W.i64s(O.Shape);
+  W.f64(O.RangeMin);
+  W.f64(O.RangeMax);
   W.b(O.Deterministic);
   W.b(O.PlatformDependent);
 }
 
 bool getObsInfo(Reader &R, ObservationSpaceInfo &O) {
   uint32_t Ty;
-  if (!R.str(O.Name) || !R.u32(Ty) || !R.b(O.Deterministic) ||
+  if (!R.str(O.Name) || !R.u32(Ty) || !R.i64s(O.Shape) ||
+      !R.f64(O.RangeMin) || !R.f64(O.RangeMax) || !R.b(O.Deterministic) ||
       !R.b(O.PlatformDependent))
     return false;
   if (Ty > static_cast<uint32_t>(ObservationType::DoubleValue))
@@ -277,6 +281,7 @@ std::string service::encodeReply(const ReplyEnvelope &Reply) {
   W.b(Reply.Step.EndOfSession);
   W.b(Reply.Step.ActionSpaceChanged);
   putActionSpace(W, Reply.Step.NewSpace);
+  W.strs(Reply.Step.ObservationNames);
   W.u32(static_cast<uint32_t>(Reply.Step.Observations.size()));
   for (const auto &O : Reply.Step.Observations)
     putObservation(W, O);
@@ -308,7 +313,8 @@ StatusOr<ReplyEnvelope> service::decodeReply(const std::string &Bytes) {
   uint32_t NumObs = 0;
   Ok = Ok && R.b(Reply.Step.EndOfSession) &&
        R.b(Reply.Step.ActionSpaceChanged) &&
-       getActionSpace(R, Reply.Step.NewSpace) && R.u32(NumObs) &&
+       getActionSpace(R, Reply.Step.NewSpace) &&
+       R.strs(Reply.Step.ObservationNames) && R.u32(NumObs) &&
        NumObs <= Bytes.size();
   if (Ok) {
     Reply.Step.Observations.resize(NumObs);

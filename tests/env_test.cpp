@@ -79,7 +79,7 @@ TEST(Env, ListingOneInteractionLoop) {
 TEST(Env, RewardIsInstructionCountDelta) {
   auto Env = makeLlvm();
   ASSERT_TRUE(Env->reset().isOk());
-  auto Before = Env->observe("IrInstructionCount");
+  auto Before = Env->observation()["IrInstructionCount"];
   ASSERT_TRUE(Before.isOk());
   // mem2reg strictly shrinks -O0-style code.
   int Mem2Reg = -1;
@@ -90,11 +90,11 @@ TEST(Env, RewardIsInstructionCountDelta) {
   ASSERT_GE(Mem2Reg, 0);
   auto R = Env->step(Mem2Reg);
   ASSERT_TRUE(R.isOk());
-  auto After = Env->observe("IrInstructionCount");
+  auto After = Env->observation()["IrInstructionCount"];
   ASSERT_TRUE(After.isOk());
   EXPECT_GT(R->Reward, 0.0);
   EXPECT_EQ(static_cast<int64_t>(R->Reward),
-            Before->IntValue - After->IntValue);
+            *Before->asInt64() - *After->asInt64());
 }
 
 TEST(Env, BatchedStepMatchesSequentialFinalState) {
@@ -106,11 +106,11 @@ TEST(Env, BatchedStepMatchesSequentialFinalState) {
   for (int A : Actions)
     ASSERT_TRUE(EnvA->step(A).isOk());
   ASSERT_TRUE(EnvB->step(Actions).isOk()); // One batched RPC.
-  auto HashA = EnvA->observe("IrHash");
-  auto HashB = EnvB->observe("IrHash");
+  auto HashA = EnvA->observation()["IrHash"];
+  auto HashB = EnvB->observation()["IrHash"];
   ASSERT_TRUE(HashA.isOk());
   ASSERT_TRUE(HashB.isOk());
-  EXPECT_EQ(HashA->Str, HashB->Str);
+  EXPECT_EQ(*HashA->asString(), *HashB->asString());
   // Batched used fewer RPCs.
   EXPECT_LT(EnvB->client().rpcCount(), EnvA->client().rpcCount());
 }
@@ -121,10 +121,10 @@ TEST(Env, LazyObservationSpaces) {
   for (const char *Space : {"Ir", "InstCount", "Autophase", "Inst2vec",
                             "Programl", "IrInstructionCount",
                             "ObjectTextSizeBytes"}) {
-    auto Obs = Env->observe(Space);
+    auto Obs = Env->observation()[Space];
     EXPECT_TRUE(Obs.isOk()) << Space << ": " << Obs.status().toString();
   }
-  auto Bad = Env->observe("NotASpace");
+  auto Bad = Env->observation()["NotASpace"];
   ASSERT_FALSE(Bad.isOk());
   EXPECT_EQ(Bad.status().code(), StatusCode::NotFound);
 }
@@ -136,11 +136,11 @@ TEST(Env, ForkProducesIndependentCopies) {
 
   auto Forked = Env->fork();
   ASSERT_TRUE(Forked.isOk()) << Forked.status().toString();
-  auto HashBase = Env->observe("IrHash");
-  auto HashFork = (*Forked)->observe("IrHash");
+  auto HashBase = Env->observation()["IrHash"];
+  auto HashFork = (*Forked)->observation()["IrHash"];
   ASSERT_TRUE(HashBase.isOk());
   ASSERT_TRUE(HashFork.isOk());
-  EXPECT_EQ(HashBase->Str, HashFork->Str);
+  EXPECT_EQ(HashBase->raw().Str, HashFork->raw().Str);
 
   // Stepping the fork must not disturb the original.
   int Mem2Reg = -1;
@@ -149,10 +149,10 @@ TEST(Env, ForkProducesIndependentCopies) {
     if (Names[I] == "mem2reg")
       Mem2Reg = static_cast<int>(I);
   ASSERT_TRUE((*Forked)->step(Mem2Reg).isOk());
-  auto HashBase2 = Env->observe("IrHash");
-  auto HashFork2 = (*Forked)->observe("IrHash");
-  EXPECT_EQ(HashBase->Str, HashBase2->Str);
-  EXPECT_NE(HashFork2->Str, HashBase2->Str);
+  auto HashBase2 = Env->observation()["IrHash"];
+  auto HashFork2 = (*Forked)->observation()["IrHash"];
+  EXPECT_EQ(HashBase->raw().Str, HashBase2->raw().Str);
+  EXPECT_NE(HashFork2->raw().Str, HashBase2->raw().Str);
 }
 
 TEST(Env, ForkInheritsEpisodeState) {
@@ -197,15 +197,15 @@ TEST(Env, RuntimeRewardOnlyForRunnableBenchmarks) {
   auto Env = make("llvm-v0", Opts);
   ASSERT_TRUE(Env.isOk());
   ASSERT_TRUE((*Env)->reset().isOk());
-  auto Runtime = (*Env)->observe("Runtime");
+  auto Runtime = (*Env)->observation()["Runtime"];
   ASSERT_FALSE(Runtime.isOk());
   EXPECT_EQ(Runtime.status().code(), StatusCode::FailedPrecondition);
 
   auto Runnable = makeLlvm("benchmark://cbench-v1/crc32");
   ASSERT_TRUE(Runnable->reset().isOk());
-  auto Seconds = Runnable->observe("Runtime");
+  auto Seconds = Runnable->observation()["Runtime"];
   ASSERT_TRUE(Seconds.isOk()) << Seconds.status().toString();
-  EXPECT_GT(Seconds->DoubleValue, 0.0);
+  EXPECT_GT(*Seconds->asDouble(), 0.0);
 }
 
 TEST(Env, ScaledRewardReachesOneAtOzParity) {
@@ -236,6 +236,164 @@ TEST(Env, ScaledRewardReachesOneAtOzParity) {
       ASSERT_TRUE((*Env)->step(Idx).isOk());
     }
   EXPECT_GT((*Env)->episodeReward(), 0.9);
+}
+
+TEST(Env, MultiSpaceStepIsOneRpc) {
+  auto Env = makeLlvm();
+  ASSERT_TRUE(Env->reset().isOk());
+  uint64_t Before = Env->client().rpcCount();
+  // Three observation spaces plus two reward spaces (the active one and an
+  // explicit scaled one) all ride the single step RPC.
+  auto R = Env->step({0}, {"InstCount", "Autophase", "IrInstructionCount"},
+                     {"IrInstructionCount", "IrInstructionCountOz"});
+  ASSERT_TRUE(R.isOk()) << R.status().toString();
+  EXPECT_EQ(Env->client().rpcCount(), Before + 1);
+
+  ASSERT_EQ(R->Observations.size(), 3u);
+  EXPECT_EQ(R->Observations[0].first, "InstCount");
+  EXPECT_TRUE(R->Observations[0].second.asInt64List().isOk());
+  EXPECT_EQ(R->Observations[1].first, "Autophase");
+  EXPECT_EQ(R->Observations[1].second.asInt64List()->size(), 56u);
+  EXPECT_EQ(R->Observations[2].first, "IrInstructionCount");
+  EXPECT_TRUE(R->Observations[2].second.asInt64().isOk());
+  ASSERT_EQ(R->Rewards.size(), 2u);
+  EXPECT_EQ(R->Rewards[0].first, "IrInstructionCount");
+  // The active reward space and its explicit request settle identically.
+  EXPECT_DOUBLE_EQ(R->Rewards[0].second, R->Reward);
+
+  // Post-step view queries of the requested spaces are cache hits: zero
+  // additional RPCs.
+  uint64_t AfterStep = Env->client().rpcCount();
+  ASSERT_TRUE(Env->observation()["Autophase"].isOk());
+  ASSERT_TRUE(Env->observation()["IrInstructionCount"].isOk());
+  EXPECT_EQ(Env->client().rpcCount(), AfterStep);
+}
+
+TEST(Env, SequentialObservesCostMoreRpcsThanMultiSpaceStep) {
+  auto EnvA = makeLlvm();
+  auto EnvB = makeLlvm();
+  ASSERT_TRUE(EnvA->reset().isOk());
+  ASSERT_TRUE(EnvB->reset().isOk());
+  const std::vector<std::string> Spaces = {"InstCount", "Autophase", "Ir"};
+  uint64_t BeforeA = EnvA->client().rpcCount();
+  ASSERT_TRUE(EnvA->step({0}, Spaces).isOk());
+  uint64_t CostA = EnvA->client().rpcCount() - BeforeA;
+
+  uint64_t BeforeB = EnvB->client().rpcCount();
+  ASSERT_TRUE(EnvB->step(0).isOk());
+  for (const std::string &S : Spaces)
+    ASSERT_TRUE(EnvB->rawObservations({S}).isOk());
+  uint64_t CostB = EnvB->client().rpcCount() - BeforeB;
+  EXPECT_EQ(CostA, 1u);
+  EXPECT_EQ(CostB, 1u + Spaces.size());
+}
+
+TEST(Env, RegisteredDerivedRewardDrivesFullEpisode) {
+  MakeOptions Opts;
+  Opts.Benchmark = "benchmark://cbench-v1/crc32";
+  Opts.ObservationSpace = "none";
+  Opts.RewardSpace = "none";
+  auto EnvOr = make("llvm-v0", Opts);
+  ASSERT_TRUE(EnvOr.isOk());
+  CompilerEnv &Env = **EnvOr;
+
+  // A user reward: fraction of the episode-initial instruction count
+  // removed by each step. Registered entirely client-side.
+  RewardSpec Spec;
+  Spec.Name = "InstCountFractionRemoved";
+  Spec.MetricObservation = "IrInstructionCount";
+  Spec.Combiner = [](double Current, double Previous, double Initial,
+                     double) { return (Previous - Current) / Initial; };
+  ASSERT_TRUE(Env.reward().registerReward(Spec).isOk());
+  ASSERT_TRUE(Env.setRewardSpace("InstCountFractionRemoved").isOk());
+
+  ASSERT_TRUE(Env.reset().isOk());
+  auto Initial = Env.observation()["IrInstructionCount"];
+  ASSERT_TRUE(Initial.isOk());
+
+  int Mem2Reg = -1;
+  const auto &Names = Env.actionSpace().ActionNames;
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (Names[I] == "mem2reg")
+      Mem2Reg = static_cast<int>(I);
+  ASSERT_GE(Mem2Reg, 0);
+
+  double Cumulative = 0.0;
+  for (int S = 0; S < 10; ++S) {
+    auto R = Env.step(S == 0 ? Mem2Reg : S);
+    ASSERT_TRUE(R.isOk()) << R.status().toString();
+    Cumulative += R->Reward;
+  }
+  EXPECT_NEAR(Cumulative, Env.episodeReward(), 1e-9);
+  // Cumulative telescopes to (initial - final) / initial.
+  auto Final = Env.observation()["IrInstructionCount"];
+  ASSERT_TRUE(Final.isOk());
+  double Expected =
+      static_cast<double>(*Initial->asInt64() - *Final->asInt64()) /
+      static_cast<double>(*Initial->asInt64());
+  EXPECT_NEAR(Env.episodeReward(), Expected, 1e-9);
+  EXPECT_GT(Env.episodeReward(), 0.0); // mem2reg shrank the module.
+}
+
+TEST(Env, SetRewardSpaceMidEpisodeReprimesBaseline) {
+  auto Env = makeLlvm(); // Active: IrInstructionCount (delta).
+  ASSERT_TRUE(Env->reset().isOk());
+  int Mem2Reg = -1;
+  const auto &Names = Env->actionSpace().ActionNames;
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (Names[I] == "mem2reg")
+      Mem2Reg = static_cast<int>(I);
+  ASSERT_TRUE(Env->step(Mem2Reg).isOk());
+
+  // Switch to a metric with a very different magnitude mid-episode. The
+  // switch must re-prime from a fresh ObjectTextSizeBytes observation —
+  // without it, the next delta would be computed against the *instruction
+  // count* metric's last value.
+  ASSERT_TRUE(Env->setRewardSpace("ObjectTextSizeBytes").isOk());
+  auto SizeNow = Env->observation()["ObjectTextSizeBytes"];
+  ASSERT_TRUE(SizeNow.isOk());
+
+  // A pass that does not change this module's code: reward must be ~0, not
+  // the (instcount - textsize) garbage the unprimed path would pay.
+  auto R = Env->step(Mem2Reg); // Second mem2reg is a no-op.
+  ASSERT_TRUE(R.isOk());
+  auto SizeAfter = Env->observation()["ObjectTextSizeBytes"];
+  double Expected = static_cast<double>(*SizeNow->asInt64()) -
+                    static_cast<double>(*SizeAfter->asInt64());
+  EXPECT_DOUBLE_EQ(R->Reward, Expected);
+
+  // Switching back to a previously-used space re-primes it too.
+  ASSERT_TRUE(Env->setRewardSpace("IrInstructionCount").isOk());
+  auto R2 = Env->step(Mem2Reg);
+  ASSERT_TRUE(R2.isOk());
+  EXPECT_DOUBLE_EQ(R2->Reward, 0.0); // No change since the re-prime.
+}
+
+TEST(Env, BenchmarkGetterReportsAppliedNotPendingUri) {
+  auto Env = makeLlvm("benchmark://cbench-v1/crc32");
+  ASSERT_TRUE(Env->reset().isOk());
+  EXPECT_EQ(Env->benchmark(), "benchmark://cbench-v1/crc32");
+
+  Env->setBenchmark("benchmark://cbench-v1/sha");
+  // The switch is pending until reset(): the getter keeps reporting the
+  // URI this episode actually runs on.
+  EXPECT_EQ(Env->benchmark(), "benchmark://cbench-v1/crc32");
+  EXPECT_EQ(Env->pendingBenchmark(), "benchmark://cbench-v1/sha");
+  EXPECT_EQ(Env->state().BenchmarkUri, "benchmark://cbench-v1/crc32");
+
+  ASSERT_TRUE(Env->reset().isOk());
+  EXPECT_EQ(Env->benchmark(), "benchmark://cbench-v1/sha");
+  EXPECT_EQ(Env->pendingBenchmark(), "benchmark://cbench-v1/sha");
+}
+
+TEST(Env, EnvStateLegacyFiveFieldLineStillParses) {
+  auto Restored = EnvState::deserialize(
+      "llvm-v0|benchmark://cbench-v1/qsort|IrInstructionCount|1.5|4,8,15");
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_EQ(Restored->ObservationSpace, "");
+  EXPECT_EQ(Restored->RewardSpace, "IrInstructionCount");
+  EXPECT_DOUBLE_EQ(Restored->CumulativeReward, 1.5);
+  EXPECT_EQ(Restored->Actions, (std::vector<int>{4, 8, 15}));
 }
 
 TEST(Wrappers, TimeLimitEndsEpisode) {

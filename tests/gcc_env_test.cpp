@@ -146,16 +146,17 @@ TEST(GccEnv, ChoicesObservationTracksActions) {
 TEST(GccEnv, OLevelsShrinkObjectCode) {
   auto Env = makeGcc();
   ASSERT_TRUE(Env->reset().isOk());
-  auto Size0 = Env->observe("ObjSizeBytes");
+  auto Size0 = Env->observation()["ObjSizeBytes"];
   ASSERT_TRUE(Size0.isOk());
   // Switch to -Os (choice 5 of option 0 -> action index 5).
   ASSERT_TRUE(Env->step(5).isOk());
-  auto SizeOs = Env->observe("ObjSizeBytes");
+  auto SizeOs = Env->observation()["ObjSizeBytes"];
   ASSERT_TRUE(SizeOs.isOk());
-  EXPECT_LT(SizeOs->IntValue, Size0->IntValue);
+  EXPECT_LT(*SizeOs->asInt64(), *Size0->asInt64());
   // Episode reward (ObjSizeBytes delta) equals the total reduction.
   EXPECT_DOUBLE_EQ(Env->episodeReward(),
-                   static_cast<double>(Size0->IntValue - SizeOs->IntValue));
+                   static_cast<double>(*Size0->asInt64() -
+                                       *SizeOs->asInt64()));
 }
 
 TEST(GccEnv, DirectActionSpaceSetsWholeVector) {
@@ -169,9 +170,9 @@ TEST(GccEnv, DirectActionSpaceSetsWholeVector) {
   Choices[0] = 4; // -O3.
   auto R = (*Env)->stepDirect(Choices);
   ASSERT_TRUE(R.isOk()) << R.status().toString();
-  auto Obs = (*Env)->observe("Choices");
+  auto Obs = (*Env)->observation()["Choices"];
   ASSERT_TRUE(Obs.isOk());
-  EXPECT_EQ(Obs->Ints[0], 4);
+  EXPECT_EQ(Obs->raw().Ints[0], 4);
 
   // Wrong-length vectors are rejected.
   auto Bad = (*Env)->stepDirect({1, 2, 3});
@@ -185,12 +186,12 @@ TEST(GccEnv, ObservationSpacesAllWork) {
   for (const char *Space : {"InstructionCount", "Choices", "Rtl", "Asm",
                             "Obj", "AsmSizeBytes", "ObjSizeBytes",
                             "ObjSizeOs"}) {
-    auto Obs = Env->observe(Space);
+    auto Obs = Env->observation()[Space];
     EXPECT_TRUE(Obs.isOk()) << Space << ": " << Obs.status().toString();
   }
-  auto Asm = Env->observe("Asm");
+  auto Asm = Env->observation()["Asm"];
   ASSERT_TRUE(Asm.isOk());
-  EXPECT_NE(Asm->Str.find(".text"), std::string::npos);
+  EXPECT_NE(Asm->asString()->find(".text"), std::string::npos);
 }
 
 TEST(GccEnv, RecompilesFromSourceEachConfig) {
@@ -198,15 +199,15 @@ TEST(GccEnv, RecompilesFromSourceEachConfig) {
   // off returns to the original object code (no hidden IR state).
   auto Env = makeGcc();
   ASSERT_TRUE(Env->reset().isOk());
-  auto Size0 = Env->observe("ObjSizeBytes");
+  auto Size0 = Env->observation()["ObjSizeBytes"];
   ASSERT_TRUE(Size0.isOk());
   ASSERT_TRUE(Env->step(4).isOk()); // -O3.
-  auto Size1 = Env->observe("ObjSizeBytes");
+  auto Size1 = Env->observation()["ObjSizeBytes"];
   ASSERT_TRUE(Env->step(1).isOk()); // Back to -O0 (choice 1).
-  auto Size2 = Env->observe("ObjSizeBytes");
+  auto Size2 = Env->observation()["ObjSizeBytes"];
   ASSERT_TRUE(Size2.isOk());
-  EXPECT_NE(Size1->IntValue, Size0->IntValue);
-  EXPECT_EQ(Size2->IntValue, Size0->IntValue);
+  EXPECT_NE(*Size1->asInt64(), *Size0->asInt64());
+  EXPECT_EQ(*Size2->asInt64(), *Size0->asInt64());
 }
 
 TEST(GccEnv, ForkCopiesChoices) {
@@ -215,16 +216,16 @@ TEST(GccEnv, ForkCopiesChoices) {
   ASSERT_TRUE(Env->step(4).isOk());
   auto Fork = Env->fork();
   ASSERT_TRUE(Fork.isOk());
-  auto Obs = (*Fork)->observe("Choices");
+  auto Obs = (*Fork)->observation()["Choices"];
   ASSERT_TRUE(Obs.isOk());
-  EXPECT_EQ(Obs->Ints[0], 4);
+  EXPECT_EQ(Obs->raw().Ints[0], 4);
 }
 
 TEST(GccEnv, FlagsComposeWithOLevel) {
   // -O0 plus -fmem2reg must shrink code relative to plain -O0.
   auto Env = makeGcc();
   ASSERT_TRUE(Env->reset().isOk());
-  auto Size0 = Env->observe("ObjSizeBytes");
+  auto Size0 = Env->observation()["ObjSizeBytes"];
   ASSERT_TRUE(Size0.isOk());
   const auto &Actions = GccSession::optionSpace().actions();
   int FlagAction = -1;
@@ -233,9 +234,9 @@ TEST(GccEnv, FlagsComposeWithOLevel) {
       FlagAction = static_cast<int>(I);
   ASSERT_GE(FlagAction, 0);
   ASSERT_TRUE(Env->step(FlagAction).isOk());
-  auto Size1 = Env->observe("ObjSizeBytes");
+  auto Size1 = Env->observation()["ObjSizeBytes"];
   ASSERT_TRUE(Size1.isOk());
-  EXPECT_LT(Size1->IntValue, Size0->IntValue);
+  EXPECT_LT(*Size1->asInt64(), *Size0->asInt64());
 }
 
 } // namespace

@@ -201,9 +201,9 @@ TEST(LoopToolEnv, EndToEndEpisode) {
   auto R = (*Env)->step(ThreadAction);
   ASSERT_TRUE(R.isOk());
   EXPECT_GT(R->Reward, 0.0);
-  auto Tree = (*Env)->observe("loop_tree");
+  auto Tree = (*Env)->observation()["loop_tree"];
   ASSERT_TRUE(Tree.isOk());
-  EXPECT_NE(Tree->Str.find("[thread]"), std::string::npos);
+  EXPECT_NE(Tree->asString()->find("[thread]"), std::string::npos);
 }
 
 TEST(LoopToolEnv, ExtendedSpaceHasSplit) {
@@ -215,9 +215,9 @@ TEST(LoopToolEnv, ExtendedSpaceHasSplit) {
   ASSERT_TRUE((*Env)->reset().isOk());
   ASSERT_EQ((*Env)->actionSpace().size(), 5u);
   ASSERT_TRUE((*Env)->step(4).isOk()); // split.
-  auto Obs = (*Env)->observe("action_state");
+  auto Obs = (*Env)->observation()["action_state"];
   ASSERT_TRUE(Obs.isOk());
-  EXPECT_EQ(Obs->Ints[2], 2); // Two levels now.
+  EXPECT_EQ(Obs->raw().Ints[2], 2); // Two levels now.
 }
 
 TEST(LoopToolEnv, ForkCopiesTree) {
@@ -229,11 +229,11 @@ TEST(LoopToolEnv, ForkCopiesTree) {
   ASSERT_TRUE((*Env)->step(3).isOk()); // thread.
   auto Fork = (*Env)->fork();
   ASSERT_TRUE(Fork.isOk());
-  auto T1 = (*Env)->observe("loop_tree");
-  auto T2 = (*Fork)->observe("loop_tree");
+  auto T1 = (*Env)->observation()["loop_tree"];
+  auto T2 = (*Fork)->observation()["loop_tree"];
   ASSERT_TRUE(T1.isOk());
   ASSERT_TRUE(T2.isOk());
-  EXPECT_EQ(T1->Str, T2->Str);
+  EXPECT_EQ(*T1->asString(), *T2->asString());
 }
 
 } // namespace

@@ -196,7 +196,8 @@ public:
     Steps = 0;
     Context = static_cast<int>(Gen.bounded(NumContexts));
     TotalReward = 0;
-    return observation();
+    ++Epoch; // Monotonic across resets (Env::stateEpoch contract).
+    return makeObservation();
   }
 
   StatusOr<core::StepResult> step(const std::vector<int> &Actions) override {
@@ -207,20 +208,26 @@ public:
     }
     TotalReward += R.Reward;
     Context = static_cast<int>(Gen.bounded(NumContexts));
-    R.Obs = *observation();
+    ++Epoch;
+    R.Obs = *makeObservation();
     R.Done = Steps >= 4;
     return R;
   }
 
   const service::ActionSpace &actionSpace() const override { return Space; }
-  StatusOr<service::Observation> observe(const std::string &) override {
-    return observation();
-  }
   size_t episodeLength() const override { return Steps; }
   double episodeReward() const override { return TotalReward; }
+  uint64_t stateEpoch() const override { return Epoch; }
+  StatusOr<std::vector<service::Observation>>
+  rawObservations(const std::vector<std::string> &Spaces) override {
+    std::vector<service::Observation> Out;
+    for (size_t I = 0; I < Spaces.size(); ++I)
+      Out.push_back(*makeObservation());
+    return Out;
+  }
 
 private:
-  StatusOr<service::Observation> observation() {
+  StatusOr<service::Observation> makeObservation() {
     service::Observation Obs;
     Obs.Type = service::ObservationType::Int64List;
     Obs.Ints.assign(NumContexts, 0);
@@ -233,6 +240,7 @@ private:
   Rng Gen;
   int Context = 0;
   size_t Steps = 0;
+  uint64_t Epoch = 0;
   double TotalReward = 0;
 };
 

@@ -209,16 +209,16 @@ TEST(SharedShard, EnvsSurviveEachOthersRecoveries) {
     ASSERT_TRUE((*RefA)->step(Step % 5).isOk());
     ASSERT_TRUE((*RefB)->step((Step + 2) % 5).isOk());
   }
-  auto HashA = (*A)->observe("IrHash");
-  auto HashRefA = (*RefA)->observe("IrHash");
+  auto HashA = (*A)->observation()["IrHash"];
+  auto HashRefA = (*RefA)->observation()["IrHash"];
   ASSERT_TRUE(HashA.isOk());
   ASSERT_TRUE(HashRefA.isOk());
-  EXPECT_EQ(HashA->Str, HashRefA->Str);
-  auto HashB = (*B)->observe("IrHash");
-  auto HashRefB = (*RefB)->observe("IrHash");
+  EXPECT_EQ(HashA->raw().Str, HashRefA->raw().Str);
+  auto HashB = (*B)->observation()["IrHash"];
+  auto HashRefB = (*RefB)->observation()["IrHash"];
   ASSERT_TRUE(HashB.isOk());
   ASSERT_TRUE(HashRefB.isOk());
-  EXPECT_EQ(HashB->Str, HashRefB->Str);
+  EXPECT_EQ(HashB->raw().Str, HashRefB->raw().Str);
 }
 
 // -- EnvPool -------------------------------------------------------------------

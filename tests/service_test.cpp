@@ -267,11 +267,11 @@ TEST(FaultTolerance, EnvRecoversFromBackendCrashTransparently) {
   }
   EXPECT_GE((*EnvA)->serviceRecoveries(), 1u);
   EXPECT_EQ((*EnvB)->serviceRecoveries(), 0u);
-  auto HashA = (*EnvA)->observe("IrHash");
-  auto HashB = (*EnvB)->observe("IrHash");
+  auto HashA = (*EnvA)->observation()["IrHash"];
+  auto HashB = (*EnvB)->observation()["IrHash"];
   ASSERT_TRUE(HashA.isOk());
   ASSERT_TRUE(HashB.isOk());
-  EXPECT_EQ(HashA->Str, HashB->Str);
+  EXPECT_EQ(HashA->raw().Str, HashB->raw().Str);
 }
 
 TEST(FaultTolerance, HangsAreRetriedAsTimeouts) {
@@ -389,11 +389,11 @@ TEST(FaultTolerance, GarbledReplyRetryDoesNotDoubleApplyActions) {
     ASSERT_TRUE((*RefEnv)->step(Step % 7).isOk());
   }
   EXPECT_GE((*Env)->client().retryCount(), 1u);
-  auto Hash = (*Env)->observe("IrHash");
-  auto RefHash = (*RefEnv)->observe("IrHash");
+  auto Hash = (*Env)->observation()["IrHash"];
+  auto RefHash = (*RefEnv)->observation()["IrHash"];
   ASSERT_TRUE(Hash.isOk());
   ASSERT_TRUE(RefHash.isOk());
-  EXPECT_EQ(Hash->Str, RefHash->Str);
+  EXPECT_EQ(Hash->raw().Str, RefHash->raw().Str);
 }
 
 TEST(FaultTolerance, ForkSurvivesOnSharedService) {

@@ -103,8 +103,8 @@ TEST_F(TransitionDbTest, LogsEpisodesAndBuildsTransitions) {
 
   auto Logger = std::make_unique<TransitionLogger>(
       std::move(*EnvPtr), &Db, [](Env &E) {
-        auto Hash = E.observe("IrHash");
-        return Hash.isOk() ? Hash->Str : std::string("?");
+        auto Hash = E.observation()["IrHash"];
+        return Hash.isOk() ? Hash->raw().Str : std::string("?");
       });
   Logger->setBenchmarkUri("benchmark://cbench-v1/crc32");
 
@@ -150,8 +150,8 @@ TEST_F(TransitionDbTest, DeduplicatesRepeatedStates) {
   ASSERT_TRUE(EnvPtr.isOk());
   auto Logger = std::make_unique<TransitionLogger>(
       std::move(*EnvPtr), &Db, [](Env &E) {
-        auto Hash = E.observe("IrHash");
-        return Hash.isOk() ? Hash->Str : std::string("?");
+        auto Hash = E.observation()["IrHash"];
+        return Hash.isOk() ? Hash->raw().Str : std::string("?");
       });
   // Two identical episodes: states repeat, observations dedup. Use
   // mem2reg so the step provably changes the module state.
