@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fails when an intra-repo markdown link points at a missing file.
+
+Scans every *.md in the repository (skipping build directories) for
+inline links/images `[text](target)`. External targets (scheme or
+mailto) and pure in-page anchors (#...) are ignored; everything else is
+resolved relative to the containing file (or the repo root for
+/-prefixed targets) and must exist. Keeps docs/ from rotting silently —
+wired into the CI `docs` job.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "build-rel", "build-asan", "build-tsan",
+             "build-debug", ".claude"}
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path: str, root: str):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Strip fenced code blocks: their bracket/paren sequences are code,
+    # not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, mailto:
+            continue
+        if target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if target.startswith("/"):
+            resolved = os.path.join(root, target.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), target)
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, root)
+            errors.append(f"{rel}: broken link -> {match.group(1)}")
+    return errors
+
+
+def main() -> int:
+    root = repo_root()
+    errors = []
+    count = 0
+    for path in markdown_files(root):
+        count += 1
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

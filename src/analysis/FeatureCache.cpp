@@ -6,13 +6,14 @@
 
 #include "analysis/FeatureCache.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace compiler_gym;
 using namespace compiler_gym::analysis;
 using namespace compiler_gym::ir;
 
-bool FeatureCache::refresh(const Module &M, bool WantInstCount) {
+bool FeatureCache::refresh(const Module &M, Kind K) {
   bool ChangedSet = false;
 
   // Reconcile the entry map with the module's current function set: new
@@ -40,14 +41,57 @@ bool FeatureCache::refresh(const Module &M, bool WantInstCount) {
   bool Recomputed = false;
   for (const auto &F : M.functions()) {
     PerFunction &Entry = Funcs.at(F.get());
-    if (WantInstCount && !Entry.InstCountValid) {
-      Entry.InstCount = instCountFunction(*F);
-      Entry.InstCountValid = true;
-      ++FunctionRecomputes;
-      Recomputed = true;
-    } else if (!WantInstCount && !Entry.AutophaseValid) {
-      Entry.Autophase = autophaseFunction(*F);
-      Entry.AutophaseValid = true;
+    bool Fresh = false;
+    switch (K) {
+    case Kind::InstCount:
+      if (!Entry.InstCountValid) {
+        Entry.InstCount = instCountFunction(*F);
+        Entry.InstCountValid = Fresh = true;
+      }
+      break;
+    case Kind::Autophase:
+      if (!Entry.AutophaseValid) {
+        Entry.Autophase = autophaseFunction(*F);
+        Entry.AutophaseValid = Fresh = true;
+      }
+      break;
+    case Kind::Inst2vec:
+      if (!Entry.Inst2vecValid) {
+        Entry.Inst2vec = inst2vecFunction(*F);
+        Entry.Inst2vecValid = Fresh = true;
+      }
+      break;
+    case Kind::Programl:
+      // A clean fragment can still hold a symbolic reference to a
+      // function or global that has since been erased (the erasing
+      // transform should have dirtied the referencing function;
+      // self-heal if it did not). Constants need no check — the module
+      // pools only ever grow.
+      if (Entry.GraphValid) {
+        for (const Function *Callee : Entry.Graph.Callees)
+          if (!Current.count(Callee)) {
+            Entry.GraphValid = false;
+            break;
+          }
+        if (Entry.GraphValid && !Entry.Graph.Globals.empty()) {
+          std::unordered_set<const GlobalVariable *> Globals;
+          Globals.reserve(M.globals().size());
+          for (const auto &G : M.globals())
+            Globals.insert(G.get());
+          for (const GlobalVariable *G : Entry.Graph.Globals)
+            if (!Globals.count(G)) {
+              Entry.GraphValid = false;
+              break;
+            }
+        }
+      }
+      if (!Entry.GraphValid) {
+        Entry.Graph = buildGraphFragment(*F);
+        Entry.GraphValid = Fresh = true;
+      }
+      break;
+    }
+    if (Fresh) {
       ++FunctionRecomputes;
       Recomputed = true;
     }
@@ -64,7 +108,7 @@ const std::vector<int64_t> &FeatureCache::instCount(const Module &M) {
   // which the preservation verifier rejects in checked builds.)
   if (InstCountAggValid && Funcs.size() == M.functions().size())
     return InstCountAgg;
-  if (refresh(M, /*WantInstCount=*/true) || !InstCountAggValid) {
+  if (refresh(M, Kind::InstCount) || !InstCountAggValid) {
     InstCountAgg.assign(InstCountDims, 0);
     for (const auto &F : M.functions())
       accumulateInstCount(InstCountAgg, Funcs.at(F.get()).InstCount);
@@ -79,7 +123,7 @@ const std::vector<int64_t> &FeatureCache::autophase(const Module &M) {
   ++Requests;
   if (AutophaseAggValid && Funcs.size() == M.functions().size())
     return AutophaseAgg;
-  if (refresh(M, /*WantInstCount=*/false) || !AutophaseAggValid) {
+  if (refresh(M, Kind::Autophase) || !AutophaseAggValid) {
     AutophaseAgg.assign(AutophaseDims, 0);
     for (const auto &F : M.functions())
       accumulateAutophase(AutophaseAgg, Funcs.at(F.get()).Autophase);
@@ -88,6 +132,102 @@ const std::vector<int64_t> &FeatureCache::autophase(const Module &M) {
     ++Aggregations;
   }
   return AutophaseAgg;
+}
+
+const std::vector<float> &FeatureCache::inst2vec(const Module &M) {
+  ++Requests;
+  if (Inst2vecAggValid && Funcs.size() == M.functions().size())
+    return Inst2vecAgg;
+
+  // Snapshot which functions are dirty *before* refresh recomputes their
+  // segments: these are the aggregate windows that need patching.
+  std::unordered_set<const Function *> DirtyFns;
+  for (const auto &F : M.functions()) {
+    auto It = Funcs.find(F.get());
+    if (It == Funcs.end() || !It->second.Inst2vecValid)
+      DirtyFns.insert(F.get());
+  }
+
+  if (!refresh(M, Kind::Inst2vec) && Inst2vecAggValid)
+    return Inst2vecAgg;
+
+  // In-place splice: valid whenever the previous aggregate covered the
+  // same function sequence (every invalidation path only clears flags, so
+  // Inst2vecAgg still holds the last layout's content verbatim). Clean
+  // segments stay untouched; each dirty window is memcpy'd (same length)
+  // or spliced (length change shifts the tail once). A fully-dirty module
+  // gains nothing from patching, so it takes the rebuild path.
+  size_t N = M.functions().size();
+  bool CanSplice = Inst2vecOrder.size() == N && !DirtyFns.empty() &&
+                   DirtyFns.size() < N;
+  for (size_t I = 0; CanSplice && I < N; ++I)
+    CanSplice = Inst2vecOrder[I] == M.functions()[I].get();
+
+  if (CanSplice) {
+    ptrdiff_t Shift = 0;
+    for (size_t I = 0; I < N; ++I) {
+      const Function *F = Inst2vecOrder[I];
+      size_t Start = Inst2vecOffsets[I] + Shift;
+      if (!DirtyFns.count(F)) {
+        Inst2vecOffsets[I] = Start;
+        continue;
+      }
+      // Offsets[I+1] is still the pre-splice layout, so it needs the
+      // running Shift; the vector's current size already includes it.
+      size_t OldEnd =
+          I + 1 < N ? Inst2vecOffsets[I + 1] + Shift : Inst2vecAgg.size();
+      const std::vector<float> &Seg = Funcs.at(F).Inst2vec;
+      size_t OldLen = OldEnd - Start;
+      if (Seg.size() == OldLen) {
+        std::copy(Seg.begin(), Seg.end(), Inst2vecAgg.begin() + Start);
+      } else if (Seg.size() < OldLen) {
+        std::copy(Seg.begin(), Seg.end(), Inst2vecAgg.begin() + Start);
+        Inst2vecAgg.erase(Inst2vecAgg.begin() + Start + Seg.size(),
+                          Inst2vecAgg.begin() + OldEnd);
+      } else {
+        std::copy(Seg.begin(), Seg.begin() + OldLen,
+                  Inst2vecAgg.begin() + Start);
+        Inst2vecAgg.insert(Inst2vecAgg.begin() + OldEnd,
+                           Seg.begin() + OldLen, Seg.end());
+      }
+      Inst2vecOffsets[I] = Start;
+      Shift += static_cast<ptrdiff_t>(Seg.size()) -
+               static_cast<ptrdiff_t>(OldLen);
+    }
+  } else {
+    size_t Total = 0;
+    for (const auto &F : M.functions())
+      Total += Funcs.at(F.get()).Inst2vec.size();
+    Inst2vecAgg.clear();
+    Inst2vecAgg.reserve(Total);
+    Inst2vecOrder.resize(N);
+    Inst2vecOffsets.resize(N);
+    for (size_t I = 0; I < N; ++I) {
+      const std::vector<float> &Seg = Funcs.at(M.functions()[I].get()).Inst2vec;
+      Inst2vecOrder[I] = M.functions()[I].get();
+      Inst2vecOffsets[I] = Inst2vecAgg.size();
+      Inst2vecAgg.insert(Inst2vecAgg.end(), Seg.begin(), Seg.end());
+    }
+  }
+  Inst2vecAggValid = true;
+  ++Aggregations;
+  return Inst2vecAgg;
+}
+
+const std::string &FeatureCache::programl(const Module &M) {
+  ++Requests;
+  if (ProgramlAggValid && Funcs.size() == M.functions().size())
+    return ProgramlAgg;
+  if (refresh(M, Kind::Programl) || !ProgramlAggValid) {
+    std::vector<const GraphFragment *> Frags;
+    Frags.reserve(M.functions().size());
+    for (const auto &F : M.functions())
+      Frags.push_back(&Funcs.at(F.get()).Graph);
+    ProgramlAgg = assembleGraphFragments(M, Frags);
+    ProgramlAggValid = true;
+    ++Aggregations;
+  }
+  return ProgramlAgg;
 }
 
 const std::vector<int64_t> *
@@ -104,27 +244,67 @@ FeatureCache::cachedAutophase(const Function *F) const {
                                                         : nullptr;
 }
 
-void FeatureCache::invalidateFunction(const Function *F) {
+const std::vector<float> *
+FeatureCache::cachedInst2vec(const Function *F) const {
+  auto It = Funcs.find(F);
+  return It != Funcs.end() && It->second.Inst2vecValid ? &It->second.Inst2vec
+                                                       : nullptr;
+}
+
+const GraphFragment *
+FeatureCache::cachedGraphFragment(const Function *F) const {
+  auto It = Funcs.find(F);
+  return It != Funcs.end() && It->second.GraphValid ? &It->second.Graph
+                                                    : nullptr;
+}
+
+void FeatureCache::invalidateFunction(const Function *F, unsigned Mask) {
   auto It = Funcs.find(F);
   if (It != Funcs.end()) {
-    It->second.InstCountValid = false;
-    It->second.AutophaseValid = false;
+    if (Mask & FS_Counts) {
+      It->second.InstCountValid = false;
+      It->second.AutophaseValid = false;
+    }
+    if (Mask & FS_Layout) {
+      It->second.Inst2vecValid = false;
+      It->second.GraphValid = false;
+    }
   }
-  InstCountAggValid = false;
-  AutophaseAggValid = false;
+  if (Mask & FS_Counts) {
+    InstCountAggValid = false;
+    AutophaseAggValid = false;
+  }
+  if (Mask & FS_Layout) {
+    Inst2vecAggValid = false;
+    ProgramlAggValid = false;
+  }
 }
 
 void FeatureCache::functionErased(const Function *F) {
   Funcs.erase(F);
   InstCountAggValid = false;
   AutophaseAggValid = false;
+  Inst2vecAggValid = false;
+  ProgramlAggValid = false;
 }
 
-void FeatureCache::invalidateAll() {
+void FeatureCache::invalidateAll(unsigned Mask) {
   for (auto &[F, Entry] : Funcs) {
-    Entry.InstCountValid = false;
-    Entry.AutophaseValid = false;
+    if (Mask & FS_Counts) {
+      Entry.InstCountValid = false;
+      Entry.AutophaseValid = false;
+    }
+    if (Mask & FS_Layout) {
+      Entry.Inst2vecValid = false;
+      Entry.GraphValid = false;
+    }
   }
-  InstCountAggValid = false;
-  AutophaseAggValid = false;
+  if (Mask & FS_Counts) {
+    InstCountAggValid = false;
+    AutophaseAggValid = false;
+  }
+  if (Mask & FS_Layout) {
+    Inst2vecAggValid = false;
+    ProgramlAggValid = false;
+  }
 }

@@ -78,14 +78,22 @@ EmbeddingTable &embeddingTable() {
 
 } // namespace
 
+std::vector<float> analysis::inst2vecFunction(const Function &F) {
+  std::vector<float> Out;
+  Out.reserve(F.instructionCount() * Inst2vecDims);
+  F.forEachInstruction([&](BasicBlock &, Instruction &I) {
+    const std::vector<float> &E =
+        embeddingTable().lookup(inst2vecStatement(I));
+    Out.insert(Out.end(), E.begin(), E.end());
+  });
+  return Out;
+}
+
 std::vector<float> analysis::inst2vec(const Module &M) {
   std::vector<float> Out;
   for (const auto &F : M.functions()) {
-    F->forEachInstruction([&](BasicBlock &, Instruction &I) {
-      const std::vector<float> &E =
-          embeddingTable().lookup(inst2vecStatement(I));
-      Out.insert(Out.end(), E.begin(), E.end());
-    });
+    std::vector<float> Seg = inst2vecFunction(*F);
+    Out.insert(Out.end(), Seg.begin(), Seg.end());
   }
   return Out;
 }

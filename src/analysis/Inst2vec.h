@@ -30,6 +30,12 @@ constexpr int Inst2vecDims = 200;
 /// Row-major (#instructions x 200) embedding matrix for \p M.
 std::vector<float> inst2vec(const ir::Module &M);
 
+/// \p F's rows of the embedding matrix (instructions in block order).
+/// Concatenating per-function segments in module function order is
+/// bit-identical to inst2vec(M) — the decomposition analysis::FeatureCache
+/// exploits to recompute only dirtied functions.
+std::vector<float> inst2vecFunction(const ir::Function &F);
+
 /// The canonicalized statement string an instruction embeds as (the
 /// "vocabulary key"); exposed for tests and the explorer.
 std::string inst2vecStatement(const ir::Instruction &I);

@@ -130,6 +130,25 @@ bool readI32(const std::string &In, size_t &Cursor, int32_t &V) {
   return true;
 }
 
+/// Version tag of the fragment-sectioned encoding. Negative so a v1 buffer
+/// (which starts with a non-negative node count) can never be mistaken
+/// for v2.
+constexpr int32_t GraphFormatV2 = -2;
+
+/// Cross-function reference kinds inside a fragment's data-edge records.
+enum RefKind : int32_t {
+  RefInst = 0,   ///< Local instruction index.
+  RefArg = 1,    ///< Own argument index.
+  RefGlobal = 2, ///< Index into the fragment's Globals list.
+  RefConst = 3,  ///< Index into the fragment's Constants list.
+  RefCallee = 4, ///< Index into the fragment's Callees list.
+};
+
+bool validOpcodeFeature(int32_t F) { return F >= 0 && F < ir::NumOpcodes; }
+bool validTypeFeature(int32_t F) {
+  return F >= 0 && F <= static_cast<int32_t>(Type::FunctionTy);
+}
+
 } // namespace
 
 std::string analysis::serializeGraph(const ProgramGraph &G) {
@@ -151,12 +170,420 @@ std::string analysis::serializeGraph(const ProgramGraph &G) {
   return Out;
 }
 
+namespace {
+
+/// Parsed form of one fragment's local-coordinate byte payload.
+struct ParsedFragment {
+  std::vector<int32_t> Opcodes;
+  bool HasEntry = false;
+  int32_t EntryDst = 0;
+  struct CtrlEdge {
+    int32_t Src, Dst, Pos;
+  };
+  std::vector<CtrlEdge> Control;
+  struct DataRec {
+    int32_t Me, Kind, Ref, Pos;
+  };
+  std::vector<DataRec> Data;
+};
+
+bool parseFragmentBytes(const std::string &In, ParsedFragment &F) {
+  size_t Cursor = 0;
+  int32_t NumInsts;
+  if (!readI32(In, Cursor, NumInsts) || NumInsts < 0 ||
+      Cursor + static_cast<size_t>(NumInsts) * 4 > In.size())
+    return false;
+  F.Opcodes.resize(NumInsts);
+  for (int32_t I = 0; I < NumInsts; ++I) {
+    if (!readI32(In, Cursor, F.Opcodes[I]) ||
+        !validOpcodeFeature(F.Opcodes[I]))
+      return false;
+  }
+  int32_t HasEntry;
+  if (!readI32(In, Cursor, HasEntry) || (HasEntry != 0 && HasEntry != 1))
+    return false;
+  F.HasEntry = HasEntry == 1;
+  if (F.HasEntry) {
+    if (!readI32(In, Cursor, F.EntryDst) || F.EntryDst < 0 ||
+        F.EntryDst >= NumInsts)
+      return false;
+  }
+  int32_t NumCtrl;
+  if (!readI32(In, Cursor, NumCtrl) || NumCtrl < 0 ||
+      Cursor + static_cast<size_t>(NumCtrl) * 12 > In.size())
+    return false;
+  F.Control.resize(NumCtrl);
+  for (auto &E : F.Control) {
+    if (!readI32(In, Cursor, E.Src) || !readI32(In, Cursor, E.Dst) ||
+        !readI32(In, Cursor, E.Pos))
+      return false;
+    if (E.Src < 0 || E.Src >= NumInsts || E.Dst < 0 || E.Dst >= NumInsts)
+      return false;
+  }
+  int32_t NumData;
+  if (!readI32(In, Cursor, NumData) || NumData < 0 ||
+      Cursor + static_cast<size_t>(NumData) * 16 > In.size())
+    return false;
+  F.Data.resize(NumData);
+  for (auto &R : F.Data) {
+    if (!readI32(In, Cursor, R.Me) || !readI32(In, Cursor, R.Kind) ||
+        !readI32(In, Cursor, R.Ref) || !readI32(In, Cursor, R.Pos))
+      return false;
+    if (R.Me < 0 || R.Me >= NumInsts || R.Kind < RefInst ||
+        R.Kind > RefCallee || R.Ref < 0)
+      return false;
+    if (R.Kind == RefInst && R.Ref >= NumInsts)
+      return false;
+  }
+  return Cursor == In.size();
+}
+
+bool readCountedI32s(const std::string &In, size_t &Cursor,
+                     std::vector<int32_t> &Out) {
+  int32_t N;
+  if (!readI32(In, Cursor, N) || N < 0 ||
+      Cursor + static_cast<size_t>(N) * 4 > In.size())
+    return false;
+  Out.resize(N);
+  for (auto &V : Out)
+    if (!readI32(In, Cursor, V))
+      return false;
+  return true;
+}
+
+/// Decodes the fragment-sectioned v2 encoding (assembleGraphFragments).
+/// Reconstructs the exact node/edge ordering of buildProgramGraph.
+bool deserializeGraphV2(const std::string &Bytes, ProgramGraph &Out) {
+  size_t Cursor = 4; // Past the version tag.
+  int32_t NumFunctions;
+  // Every encoded function record occupies >= 16 bytes (name + arg +
+  // ref-table headers + fragment length); bounding the count before the
+  // vector allocation keeps a malformed payload from forcing a ~200x
+  // memory amplification.
+  if (!readI32(Bytes, Cursor, NumFunctions) || NumFunctions < 0 ||
+      static_cast<size_t>(NumFunctions) > Bytes.size() / 16)
+    return false;
+
+  struct FnInfo {
+    std::string Name;
+    std::vector<int32_t> ArgTypes;
+    std::vector<int32_t> Callees;   ///< Global function indices.
+    std::vector<int32_t> Globals;   ///< Global-variable indices.
+    std::vector<int32_t> Constants; ///< Global constant ids.
+    ParsedFragment Frag;
+  };
+  std::vector<FnInfo> Fns(NumFunctions);
+  for (auto &F : Fns) {
+    int32_t NameLen;
+    if (!readI32(Bytes, Cursor, NameLen) || NameLen < 0 ||
+        Cursor + static_cast<size_t>(NameLen) > Bytes.size())
+      return false;
+    F.Name = Bytes.substr(Cursor, NameLen);
+    Cursor += NameLen;
+    if (!readCountedI32s(Bytes, Cursor, F.ArgTypes))
+      return false;
+    for (int32_t T : F.ArgTypes)
+      if (!validTypeFeature(T))
+        return false;
+  }
+  int32_t NumGlobals;
+  if (!readI32(Bytes, Cursor, NumGlobals) || NumGlobals < 0 ||
+      static_cast<size_t>(NumGlobals) > Bytes.size())
+    return false;
+  std::vector<int32_t> ConstTypes;
+  if (!readCountedI32s(Bytes, Cursor, ConstTypes))
+    return false;
+  for (int32_t T : ConstTypes)
+    if (!validTypeFeature(T))
+      return false;
+  for (auto &F : Fns) {
+    if (!readCountedI32s(Bytes, Cursor, F.Callees) ||
+        !readCountedI32s(Bytes, Cursor, F.Globals) ||
+        !readCountedI32s(Bytes, Cursor, F.Constants))
+      return false;
+    for (int32_t C : F.Callees)
+      if (C < 0 || C >= NumFunctions)
+        return false;
+    for (int32_t G : F.Globals)
+      if (G < 0 || G >= NumGlobals)
+        return false;
+    for (int32_t C : F.Constants)
+      if (C < 0 || static_cast<size_t>(C) >= ConstTypes.size())
+        return false;
+    int32_t FragLen;
+    if (!readI32(Bytes, Cursor, FragLen) || FragLen < 0 ||
+        Cursor + static_cast<size_t>(FragLen) > Bytes.size())
+      return false;
+    if (!parseFragmentBytes(Bytes.substr(Cursor, FragLen), F.Frag))
+      return false;
+    Cursor += FragLen;
+    // Local references must stay inside the declared tables.
+    for (const auto &R : F.Frag.Data) {
+      if (R.Kind == RefArg && static_cast<size_t>(R.Ref) >= F.ArgTypes.size())
+        return false;
+      if (R.Kind == RefGlobal &&
+          static_cast<size_t>(R.Ref) >= F.Globals.size())
+        return false;
+      if (R.Kind == RefConst &&
+          static_cast<size_t>(R.Ref) >= F.Constants.size())
+        return false;
+      if (R.Kind == RefCallee &&
+          static_cast<size_t>(R.Ref) >= F.Callees.size())
+        return false;
+    }
+  }
+  if (Cursor != Bytes.size())
+    return false;
+
+  // Node index bases, mirroring buildProgramGraph's emission order:
+  // functions, globals, args (per function), instructions (per function),
+  // constants (first-use order == global id order).
+  const int32_t GlobalBase = NumFunctions;
+  std::vector<int32_t> ArgBase(Fns.size()), InstBase(Fns.size());
+  int32_t Next = GlobalBase + NumGlobals;
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    ArgBase[I] = Next;
+    Next += static_cast<int32_t>(Fns[I].ArgTypes.size());
+  }
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    InstBase[I] = Next;
+    Next += static_cast<int32_t>(Fns[I].Frag.Opcodes.size());
+  }
+  const int32_t ConstBase = Next;
+
+  Out.Nodes.clear();
+  Out.Edges.clear();
+  Out.Nodes.reserve(ConstBase + ConstTypes.size());
+  for (auto &F : Fns)
+    Out.Nodes.push_back(
+        {ProgramGraph::NodeKind::Function, std::move(F.Name), 0});
+  for (int32_t G = 0; G < NumGlobals; ++G)
+    Out.Nodes.push_back({ProgramGraph::NodeKind::Variable, "global",
+                         static_cast<int32_t>(Type::Ptr)});
+  for (const auto &F : Fns)
+    for (int32_t T : F.ArgTypes)
+      Out.Nodes.push_back({ProgramGraph::NodeKind::Variable, "arg", T});
+  for (const auto &F : Fns)
+    for (int32_t Op : F.Frag.Opcodes)
+      Out.Nodes.push_back({ProgramGraph::NodeKind::Instruction,
+                           opcodeName(static_cast<Opcode>(Op)), Op});
+  for (int32_t T : ConstTypes)
+    Out.Nodes.push_back({ProgramGraph::NodeKind::Constant,
+                         typeName(static_cast<Type>(T)), T});
+
+  // Control phase, then data/call phase — each in function order.
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    const ParsedFragment &Frag = Fns[I].Frag;
+    if (Frag.HasEntry)
+      Out.Edges.push_back({static_cast<int32_t>(I),
+                           InstBase[I] + Frag.EntryDst,
+                           ProgramGraph::EdgeFlow::Call, 0});
+    for (const auto &E : Frag.Control)
+      Out.Edges.push_back({InstBase[I] + E.Src, InstBase[I] + E.Dst,
+                           ProgramGraph::EdgeFlow::Control, E.Pos});
+  }
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    const FnInfo &F = Fns[I];
+    for (const auto &R : F.Frag.Data) {
+      int32_t Me = InstBase[I] + R.Me;
+      switch (R.Kind) {
+      case RefInst:
+        Out.Edges.push_back(
+            {InstBase[I] + R.Ref, Me, ProgramGraph::EdgeFlow::Data, R.Pos});
+        break;
+      case RefArg:
+        Out.Edges.push_back(
+            {ArgBase[I] + R.Ref, Me, ProgramGraph::EdgeFlow::Data, R.Pos});
+        break;
+      case RefGlobal:
+        Out.Edges.push_back({GlobalBase + F.Globals[R.Ref], Me,
+                             ProgramGraph::EdgeFlow::Data, R.Pos});
+        break;
+      case RefConst:
+        Out.Edges.push_back({ConstBase + F.Constants[R.Ref], Me,
+                             ProgramGraph::EdgeFlow::Data, R.Pos});
+        break;
+      case RefCallee:
+        Out.Edges.push_back(
+            {Me, F.Callees[R.Ref], ProgramGraph::EdgeFlow::Call, 0});
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+GraphFragment analysis::buildGraphFragment(const Function &F) {
+  GraphFragment Out;
+  std::unordered_map<const Instruction *, int32_t> LocalIdx;
+  std::vector<int32_t> Opcodes;
+  F.forEachInstruction([&](BasicBlock &, Instruction &I) {
+    LocalIdx[&I] = static_cast<int32_t>(Opcodes.size());
+    Opcodes.push_back(static_cast<int32_t>(I.opcode()));
+  });
+  Out.NumInsts = static_cast<uint32_t>(Opcodes.size());
+
+  std::string &B = Out.Bytes;
+  appendI32(B, static_cast<int32_t>(Opcodes.size()));
+  for (int32_t Op : Opcodes)
+    appendI32(B, Op);
+
+  bool HasEntry = !F.empty() && !F.entry()->empty();
+  appendI32(B, HasEntry ? 1 : 0);
+  if (HasEntry)
+    appendI32(B, LocalIdx.at(F.entry()->front()));
+
+  // Control edges, in buildProgramGraph's emission order.
+  std::string Ctrl;
+  int32_t NumCtrl = 0;
+  for (const auto &BB : F.blocks()) {
+    for (size_t I = 0; I + 1 < BB->size(); ++I) {
+      appendI32(Ctrl, LocalIdx.at(BB->instructions()[I].get()));
+      appendI32(Ctrl, LocalIdx.at(BB->instructions()[I + 1].get()));
+      appendI32(Ctrl, 0);
+      ++NumCtrl;
+    }
+    Instruction *Term = BB->terminator();
+    if (!Term)
+      continue;
+    int32_t Pos = 0;
+    for (BasicBlock *Succ : BB->successors())
+      if (!Succ->empty()) {
+        appendI32(Ctrl, LocalIdx.at(Term));
+        appendI32(Ctrl, LocalIdx.at(Succ->front()));
+        appendI32(Ctrl, Pos++);
+        ++NumCtrl;
+      }
+  }
+  appendI32(B, NumCtrl);
+  B += Ctrl;
+
+  // Data/call records, with symbolic cross-function references in
+  // first-use order.
+  std::unordered_map<const Value *, int32_t> ConstIdx, GlobalIdx;
+  std::unordered_map<const Function *, int32_t> CalleeIdx;
+  std::string Data;
+  int32_t NumData = 0;
+  auto record = [&](int32_t Me, int32_t Kind, int32_t Ref, int32_t Pos) {
+    appendI32(Data, Me);
+    appendI32(Data, Kind);
+    appendI32(Data, Ref);
+    appendI32(Data, Pos);
+    ++NumData;
+  };
+  F.forEachInstruction([&](BasicBlock &, Instruction &I) {
+    int32_t Me = LocalIdx.at(&I);
+    for (size_t Op = 0; Op < I.numOperands(); ++Op) {
+      const Value *V = I.operand(Op);
+      if (const auto *C = dyn_cast<Constant>(V)) {
+        auto [It, New] =
+            ConstIdx.try_emplace(C, static_cast<int32_t>(Out.Constants.size()));
+        if (New)
+          Out.Constants.emplace_back(C, static_cast<int32_t>(C->type()));
+        record(Me, RefConst, It->second, static_cast<int32_t>(Op));
+        continue;
+      }
+      if (const auto *FR = dyn_cast<FunctionRef>(V)) {
+        auto [It, New] = CalleeIdx.try_emplace(
+            FR->function(), static_cast<int32_t>(Out.Callees.size()));
+        if (New)
+          Out.Callees.push_back(FR->function());
+        record(Me, RefCallee, It->second, 0);
+        continue;
+      }
+      if (isa<BasicBlock>(V))
+        continue; // Control already modeled.
+      if (const auto *A = dyn_cast<Argument>(V)) {
+        if (A->parent() == &F)
+          record(Me, RefArg, static_cast<int32_t>(A->index()),
+                 static_cast<int32_t>(Op));
+        continue;
+      }
+      if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+        auto [It, New] = GlobalIdx.try_emplace(
+            G, static_cast<int32_t>(Out.Globals.size()));
+        if (New)
+          Out.Globals.push_back(G);
+        record(Me, RefGlobal, It->second, static_cast<int32_t>(Op));
+        continue;
+      }
+      if (const auto *Inst = dyn_cast<Instruction>(V)) {
+        auto It = LocalIdx.find(Inst);
+        if (It != LocalIdx.end())
+          record(Me, RefInst, It->second, static_cast<int32_t>(Op));
+      }
+    }
+  });
+  appendI32(B, NumData);
+  B += Data;
+  return Out;
+}
+
+std::string
+analysis::assembleGraphFragments(const Module &M,
+                                 const std::vector<const GraphFragment *> &Frags) {
+  assert(Frags.size() == M.functions().size() &&
+         "one fragment per module function");
+  std::string Out;
+  appendI32(Out, GraphFormatV2);
+  appendI32(Out, static_cast<int32_t>(M.functions().size()));
+  std::unordered_map<const Function *, int32_t> FnIdx;
+  for (size_t I = 0; I < M.functions().size(); ++I) {
+    const Function &F = *M.functions()[I];
+    FnIdx[&F] = static_cast<int32_t>(I);
+    appendI32(Out, static_cast<int32_t>(F.name().size()));
+    Out += F.name();
+    appendI32(Out, static_cast<int32_t>(F.numArgs()));
+    for (size_t A = 0; A < F.numArgs(); ++A)
+      appendI32(Out, static_cast<int32_t>(F.arg(A)->type()));
+  }
+  std::unordered_map<const Value *, int32_t> GlobalIdx;
+  appendI32(Out, static_cast<int32_t>(M.globals().size()));
+  for (size_t G = 0; G < M.globals().size(); ++G)
+    GlobalIdx[M.globals()[G].get()] = static_cast<int32_t>(G);
+
+  // Constants get module-wide ids in first-use order across fragments —
+  // the same order buildProgramGraph materializes constant nodes in.
+  std::unordered_map<const Constant *, int32_t> ConstId;
+  std::string ConstTypes;
+  int32_t NumConsts = 0;
+  for (const GraphFragment *Frag : Frags)
+    for (const auto &[C, TypeFeature] : Frag->Constants)
+      if (ConstId.try_emplace(C, NumConsts).second) {
+        appendI32(ConstTypes, TypeFeature);
+        ++NumConsts;
+      }
+  appendI32(Out, NumConsts);
+  Out += ConstTypes;
+
+  for (const GraphFragment *Frag : Frags) {
+    appendI32(Out, static_cast<int32_t>(Frag->Callees.size()));
+    for (const Function *Callee : Frag->Callees)
+      appendI32(Out, FnIdx.at(Callee));
+    appendI32(Out, static_cast<int32_t>(Frag->Globals.size()));
+    for (const GlobalVariable *G : Frag->Globals)
+      appendI32(Out, GlobalIdx.at(G));
+    appendI32(Out, static_cast<int32_t>(Frag->Constants.size()));
+    for (const auto &[C, TypeFeature] : Frag->Constants)
+      appendI32(Out, ConstId.at(C));
+    appendI32(Out, static_cast<int32_t>(Frag->Bytes.size()));
+    Out += Frag->Bytes;
+  }
+  return Out;
+}
+
 bool analysis::deserializeGraph(const std::string &Bytes, ProgramGraph &Out) {
   Out.Nodes.clear();
   Out.Edges.clear();
   size_t Cursor = 0;
   int32_t NumNodes, NumEdges;
-  if (!readI32(Bytes, Cursor, NumNodes) || !readI32(Bytes, Cursor, NumEdges))
+  if (!readI32(Bytes, Cursor, NumNodes))
+    return false;
+  if (NumNodes == GraphFormatV2)
+    return deserializeGraphV2(Bytes, Out);
+  if (!readI32(Bytes, Cursor, NumEdges))
     return false;
   if (NumNodes < 0 || NumEdges < 0)
     return false;

@@ -245,20 +245,102 @@ Status CompilerEnv::recover() {
   return Last;
 }
 
+Status CompilerEnv::settleWireObservations(StepReply &Reply) {
+  size_t N = std::min(Reply.ObservationNames.size(),
+                      Reply.Observations.size());
+  // Phase 1: reconstruct every delta against the *pre-request* bases.
+  // Retention waits until phase 2 — a request naming the same space twice
+  // gets two deltas against the same advertised base, so settling must
+  // not replace the base between them.
+  for (size_t I = 0; I < N; ++I) {
+    Observation &Obs = Reply.Observations[I];
+    const std::string &Name = Reply.ObservationNames[I];
+    if (!Obs.IsDelta)
+      continue;
+    auto It = WireBases.find(Name);
+    // The service only deltas against a key this env advertised, so a
+    // missing or mismatched base is a protocol violation, not a cache
+    // miss to paper over.
+    if (It == WireBases.end() || It->second.StateKey != Obs.BaseKey)
+      return internalError("delta reply for '" + Name +
+                           "' does not match any retained base");
+    CG_ASSIGN_OR_RETURN(Observation Full,
+                        applyObservationDelta(It->second, Obs));
+    Obs = std::move(Full);
+    ++DeltaReplies;
+  }
+  // Phase 2: retain the new full values as bases for the next request.
+  for (size_t I = 0; I < N; ++I) {
+    const Observation &Obs = Reply.Observations[I];
+    if (Obs.StateKey == 0 || !deltaEligible(Obs.Type))
+      continue;
+    auto It = WireBases.find(Reply.ObservationNames[I]);
+    if (It == WireBases.end())
+      WireBases.emplace(Reply.ObservationNames[I], Obs);
+    else if (It->second.StateKey != Obs.StateKey)
+      It->second = Obs; // Same key = same content: skip the copy.
+  }
+  return Status::ok();
+}
+
 StatusOr<StepReply> CompilerEnv::callStepWithRecovery(StepRequest Req) {
   Req.SessionId = SessionId;
-  StatusOr<StepReply> Reply = Client->step(Req);
+  // Advertise the retained full values' keys so the service may answer
+  // with deltas. The vector is sent even when every key is 0 (first
+  // fetch): a non-empty key vector is how a client declares it speaks
+  // the handshake, which tells the service to retain reply values as
+  // future delta bases. Costs 8 bytes per space.
+  Req.ObservationBaseKeys.clear();
+  for (const std::string &Name : Req.ObservationSpaces) {
+    auto It = WireBases.find(Name);
+    Req.ObservationBaseKeys.push_back(
+        It != WireBases.end() ? It->second.StateKey : 0);
+  }
   // Backend died, hung, or our session was collected in a shard restart:
   // recover and retry. On a shared shard a retry can race another env's
   // recovery restarting the service again, so allow a few rounds.
-  for (int Round = 0; !Reply.isOk() && Round < 4; ++Round) {
-    if (!isRecoverableFailure(Reply.status()))
-      return Reply.status();
-    CG_RETURN_IF_ERROR(recover());
-    Req.SessionId = SessionId; // Recovery created a fresh session.
-    Reply = Client->step(Req);
+  // (Retained base keys stay valid: they are content-addressed and the
+  // replay reconstructs the same state; the restarted service simply
+  // answers the retry with full payloads.)
+  Status LastError = Status::ok();
+  bool PhantomActions = false;
+  for (int Round = 0; Round < 5; ++Round) {
+    if (Round > 0) {
+      CG_RETURN_IF_ERROR(recover());
+      Req.SessionId = SessionId; // Recovery created a fresh session.
+    }
+    PhantomActions = false;
+    StatusOr<StepReply> Reply = Client->step(Req);
+    if (!Reply.isOk()) {
+      if (!isRecoverableFailure(Reply.status()))
+        return Reply.status();
+      LastError = Reply.status();
+      continue;
+    }
+    Status Settled = settleWireObservations(*Reply);
+    if (Settled.isOk())
+      return Reply;
+    // The RPC succeeded — the backend HAS applied the actions — but the
+    // reply's deltas cannot be reconstructed (corrupted in transport, or
+    // a lost base). Returning the error here would desync the episode:
+    // the caller only commits actions on success. Instead drop the
+    // suspect bases and go through recovery, which replays the committed
+    // history and re-issues this request for full payloads.
+    CG_LOG_INFO << "unreconstructable delta reply (" << Settled.message()
+                << "); dropping wire bases and recovering";
+    WireBases.clear();
+    std::fill(Req.ObservationBaseKeys.begin(), Req.ObservationBaseKeys.end(),
+              static_cast<uint64_t>(0));
+    LastError = Settled;
+    PhantomActions = true;
   }
-  return Reply;
+  // Out of rounds. If the final round's RPC succeeded but its reply could
+  // not be settled, the live session holds actions the caller will never
+  // commit — resynchronize it to the committed history before surfacing
+  // the error, so the next step() does not build on phantom state.
+  if (PhantomActions)
+    CG_RETURN_IF_ERROR(recover());
+  return LastError;
 }
 
 StatusOr<StepReply>
@@ -448,6 +530,9 @@ StatusOr<std::unique_ptr<CompilerEnv>> CompilerEnv::fork() {
   Clone->Epoch = Epoch;
   Clone->PendingBenchmarkUri = PendingBenchmarkUri;
   Clone->DirectHistory = DirectHistory;
+  // Wire bases are content-addressed, so the clone can delta against the
+  // parent's retained values immediately.
+  Clone->WireBases = WireBases;
   Clone->observation().copyCacheFrom(observation());
   Clone->reward().copyBooksFrom(reward());
   return Clone;

@@ -30,6 +30,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 namespace compiler_gym {
 namespace core {
@@ -134,6 +135,10 @@ public:
   uint64_t serviceRecoveries() const { return Recoveries; }
   service::ServiceClient &client() { return *Client; }
 
+  /// Wire-delta telemetry: observation replies that arrived as deltas and
+  /// were reconstructed against a retained base.
+  uint64_t deltaRepliesReceived() const { return DeltaReplies; }
+
 private:
   CompilerEnv(CompilerEnvOptions Opts,
               std::shared_ptr<service::CompilerService> Service,
@@ -164,8 +169,16 @@ private:
   /// Issues \p Req with recovery-and-retry: a recoverable failure
   /// (crash/hang/session loss) restarts the service, replays the episode,
   /// refreshes the session id and retries, for a few rounds. The single
-  /// copy of the recovery-retry invariant for step-shaped RPCs.
+  /// copy of the recovery-retry invariant for step-shaped RPCs. Also the
+  /// single copy of the wire-delta handshake: retained base keys are
+  /// advertised on the request, and delta replies are reconstructed to
+  /// full observations before the reply is returned.
   StatusOr<service::StepReply> callStepWithRecovery(service::StepRequest Req);
+
+  /// Reconstructs delta-encoded reply observations against WireBases and
+  /// retains each delta-eligible full value (with its state key) as the
+  /// base for the next request.
+  Status settleWireObservations(service::StepReply &Reply);
 
   /// Issues one step RPC (actions + the plan's wire spaces) with
   /// recovery-and-retry. On return the actions have been applied by the
@@ -201,6 +214,13 @@ private:
   std::string PendingBenchmarkUri; ///< Applied by the next reset().
   std::vector<service::Action> DirectHistory; ///< For replay (direct space).
   std::optional<datasets::Benchmark> CachedBenchmark; ///< Resolve cache.
+  /// Client half of the wire-delta handshake: per delta-eligible space,
+  /// the newest full observation received, carrying its StateKey. Keys are
+  /// content-addressed (module hash + benchmark URI), so entries stay
+  /// valid across fork(), reset() to the same benchmark, and
+  /// crash-recovery replay.
+  std::unordered_map<std::string, service::Observation> WireBases;
+  uint64_t DeltaReplies = 0;
 };
 
 } // namespace core

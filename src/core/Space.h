@@ -53,14 +53,22 @@ struct SpaceInfo : service::ObservationSpaceInfo {
 /// StepResult plumbing, fork) never copies the observation itself.
 class ObservationValue {
 public:
+  /// Empty value (Int64Value 0 with no space name); what default-constructed
+  /// slots in containers hold before assignment.
   ObservationValue() : Obs(emptyObservation()) {}
+  /// Wraps \p Obs (already reconstructed to a full payload — the views
+  /// never hand out wire deltas) under \p Info's descriptor.
   ObservationValue(SpaceInfo Info, service::Observation Obs)
       : Info(std::move(Info)),
         Obs(std::make_shared<const service::Observation>(std::move(Obs))) {}
 
+  /// Name of the space this value belongs to.
   const std::string &space() const { return Info.Name; }
+  /// The payload dtype (matches which as*() accessor succeeds).
   service::ObservationType type() const { return Info.Type; }
+  /// Full descriptor (shape/range/determinism included).
   const SpaceInfo &info() const { return Info; }
+  /// The underlying wire observation (immutable, shared across copies).
   const service::Observation &raw() const { return *Obs; }
 
   /// Checked accessors (exact dtype match).
@@ -132,6 +140,12 @@ StatusOr<RewardSpec> rewardSpec(const std::string &CompilerName,
 /// Per-environment space catalogue: the backend-published observation
 /// spaces (refreshed on session start), client-registered derived
 /// observation spaces, and the reward-space table (builtin + registered).
+///
+/// Thread-safety: none — the registry belongs to one env and is only
+/// mutated from that env's thread (like the views that read it).
+/// Registration may reallocate internal storage, so pointers returned by
+/// observationSpace()/derived()/reward() are invalidated by any
+/// register/unregister/setBackendSpaces call.
 class SpaceRegistry {
 public:
   /// Replaces the backend-published spaces (called on session start; derived
@@ -148,9 +162,13 @@ public:
   /// has been registered).
   bool empty() const { return Backend.empty() && Derived_.empty(); }
 
-  /// Derived observation spaces.
+  /// Registers a client-side derived observation space. InvalidArgument on
+  /// a missing name/compute function or a name collision with any backend
+  /// or derived space.
   Status registerDerivedObservation(DerivedObservationSpec Spec);
+  /// Removes a derived space; NotFound for unknown or backend names.
   Status unregisterDerivedObservation(const std::string &Name);
+  /// Spec lookup for a derived space; nullptr for backend/unknown names.
   const DerivedObservationSpec *derived(const std::string &Name) const;
 
   /// Appends to \p Out the backend spaces \p Name transitively reads:
@@ -161,11 +179,19 @@ public:
   void backendClosure(const std::string &Name,
                       std::vector<std::string> &Out) const;
 
-  /// Reward spaces.
+  /// Seeds the builtin reward table for the env's compiler family
+  /// (construction-time; replaces any previous builtins, keeps user
+  /// registrations).
   void setBuiltinRewards(std::vector<RewardSpec> Specs);
+  /// Registers a user reward space. InvalidArgument on a missing
+  /// name/metric or a name collision with a builtin or user space.
   Status registerReward(RewardSpec Spec);
+  /// Removes a *user* reward space; unregistering a builtin is
+  /// InvalidArgument, an unknown name NotFound.
   Status unregisterReward(const std::string &Name);
+  /// Spec lookup (builtin or user); nullptr when unknown.
   const RewardSpec *reward(const std::string &Name) const;
+  /// All reward specs, builtins first.
   std::vector<RewardSpec> rewardSpaces() const;
 
 private:

@@ -38,6 +38,17 @@ namespace core {
 class Env;
 
 /// Lazily-fetching, epoch-cached typed observation access.
+///
+/// Epoch semantics: every cached entry is keyed on the owner env's
+/// stateEpoch(), which advances on reset() and on every state-changing
+/// step. The first access after an epoch advance drops the stale entries;
+/// a value is therefore never served across a state change. (This is the
+/// frontend epoch; the wire-level delta handshake keys on the backend's
+/// content-addressed state key and lives in CompilerEnv, below this
+/// cache — views only ever see fully reconstructed observations.)
+///
+/// Thread-safety: none. A view belongs to one Env and must be used from
+/// the thread driving that env, like the env itself.
 class ObservationView {
 public:
   explicit ObservationView(Env &Owner) : Owner(Owner) {}
@@ -97,6 +108,11 @@ private:
 };
 
 /// Per-space reward accounting over the observation view.
+///
+/// Thread-safety: none — same single-thread contract as ObservationView.
+/// Bookkeeping is keyed per reward space, not per epoch: books persist
+/// across steps (that is what makes delta rewards deltas) and are cleared
+/// by reset() / re-primed by setRewardSpace().
 class RewardView {
 public:
   explicit RewardView(Env &Owner) : Owner(Owner) {}

@@ -315,12 +315,17 @@ LlvmSession::computeObservationUncached(int SpaceId,
     Out.Ints = PM->analysisManager().features().autophase(*Mod);
     return Status::ok();
   case ObsInst2vec: {
-    std::vector<float> E = analysis::inst2vec(*Mod);
+    // Per-function embedding segments: only dirtied functions re-embed.
+    const std::vector<float> &E = PM->analysisManager().features().inst2vec(*Mod);
     Out.Doubles.assign(E.begin(), E.end());
     return Status::ok();
   }
   case ObsPrograml:
-    Out.Str = analysis::serializeGraph(analysis::buildProgramGraph(*Mod));
+    // Assembled from per-function graph fragments (v2 encoding): only
+    // dirtied functions rebuild their subgraph, and the serialized bytes
+    // stay stable outside the changed function's region, which keeps
+    // wire deltas small.
+    Out.Str = PM->analysisManager().features().programl(*Mod);
     return Status::ok();
   case ObsIrInstructionCount:
     Out.IntValue = analysis::codeSize(*Mod);

@@ -37,6 +37,20 @@ const std::vector<NaturalLoop> &AnalysisManager::loops(const Function &F) {
   return *E.Loops;
 }
 
+namespace {
+
+/// Maps abandoned AK_Features/AK_Layout bits to the FeatureCache mask.
+unsigned featureMaskFor(const PreservedAnalyses &PA) {
+  unsigned Mask = 0;
+  if (!PA.preserves(AK_Features))
+    Mask |= analysis::FS_Counts;
+  if (!PA.preserves(AK_Layout))
+    Mask |= analysis::FS_Layout;
+  return Mask;
+}
+
+} // namespace
+
 void AnalysisManager::invalidate(const Function &F,
                                  const PreservedAnalyses &PA) {
   unsigned Dropped = PA.abandoned();
@@ -49,8 +63,8 @@ void AnalysisManager::invalidate(const Function &F,
         It->second.Loops.reset();
     }
   }
-  if (Dropped & AK_Features)
-    Features.invalidateFunction(&F);
+  if (unsigned Mask = featureMaskFor(PA))
+    Features.invalidateFunction(&F, Mask);
 }
 
 void AnalysisManager::invalidateAll(const PreservedAnalyses &PA) {
@@ -62,8 +76,8 @@ void AnalysisManager::invalidateAll(const PreservedAnalyses &PA) {
         E.Loops.reset();
     }
   }
-  if (!PA.preserves(AK_Features))
-    Features.invalidateAll();
+  if (unsigned Mask = featureMaskFor(PA))
+    Features.invalidateAll(Mask);
 }
 
 void AnalysisManager::functionErased(const Function *F) {
@@ -84,6 +98,9 @@ bool AnalysisManager::isCached(const Function &F, AnalysisKind Kind) const {
   case AK_Features:
     return Features.cachedInstCount(&F) != nullptr ||
            Features.cachedAutophase(&F) != nullptr;
+  case AK_Layout:
+    return Features.cachedInst2vec(&F) != nullptr ||
+           Features.cachedGraphFragment(&F) != nullptr;
   }
   return false;
 }
@@ -145,6 +162,20 @@ Status AnalysisManager::verifyCachedAnalyses(const Module &M,
         return internalError("pass '" + PassName +
                         "' claimed to preserve features of '" + F->name() +
                         "' but the Autophase vector changed");
+    if (const std::vector<float> *E = Features.cachedInst2vec(F.get()))
+      if (*E != analysis::inst2vecFunction(*F))
+        return internalError("pass '" + PassName +
+                        "' claimed to preserve layout of '" + F->name() +
+                        "' but the Inst2vec embedding changed");
+    if (const analysis::GraphFragment *G =
+            Features.cachedGraphFragment(F.get())) {
+      analysis::GraphFragment Fresh = analysis::buildGraphFragment(*F);
+      if (G->Bytes != Fresh.Bytes || G->Callees != Fresh.Callees ||
+          G->Globals != Fresh.Globals || G->Constants != Fresh.Constants)
+        return internalError("pass '" + PassName +
+                        "' claimed to preserve layout of '" + F->name() +
+                        "' but the ProGraML fragment changed");
+    }
   }
   return Status::ok();
 }

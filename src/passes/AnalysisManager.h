@@ -14,11 +14,16 @@
 /// analysis rebuilds — the dominant per-op cost in the paper's Table II.
 ///
 /// Invalidation contract:
-///  * PreservedAnalyses::all()  — the transform changed nothing analyses
-///    observe (e.g. value renaming, block reordering).
-///  * PreservedAnalyses::cfg()  — instructions changed but the block/edge
-///    structure did not: dominators and loops stay valid, features do not.
-///  * PreservedAnalyses::none() — CFG changed; everything is recomputed.
+///  * PreservedAnalyses::all()          — the transform changed nothing any
+///    analysis observes (e.g. value renaming).
+///  * PreservedAnalyses::allButLayout() — only ordering changed (block
+///    placement, operand swaps): counts and CFG analyses survive, the
+///    order-sensitive Inst2vec/ProGraML artifacts are recomputed.
+///  * PreservedAnalyses::cfg()          — instructions changed but the
+///    block/edge structure did not: dominators and loops stay valid, all
+///    feature artifacts do not.
+///  * PreservedAnalyses::none()         — CFG changed; everything is
+///    recomputed.
 ///
 /// In debug builds (or with PassManager::setVerifyPreservation(true)) every
 /// claim is checked after the pass runs: preserved cached analyses are
@@ -47,9 +52,18 @@ namespace passes {
 enum AnalysisKind : unsigned {
   AK_DomTree = 1u << 0,  ///< ir::DominatorTree per function.
   AK_Loops = 1u << 1,    ///< Natural loops per function.
-  AK_Features = 1u << 2, ///< InstCount/Autophase per-function vectors.
+  /// Order-insensitive per-function observation vectors (InstCount,
+  /// Autophase): histograms that survive block reordering and operand
+  /// swaps.
+  AK_Features = 1u << 2,
+  /// Order-sensitive per-function observation artifacts (Inst2vec
+  /// embedding segments, ProGraML graph fragments): anything that moves a
+  /// block, reorders instructions, or swaps operands changes them even
+  /// when every count survives. Layout-only passes (block placement,
+  /// commutative canonicalization) abandon this bit and nothing else.
+  AK_Layout = 1u << 3,
 };
-constexpr unsigned AK_All = AK_DomTree | AK_Loops | AK_Features;
+constexpr unsigned AK_All = AK_DomTree | AK_Loops | AK_Features | AK_Layout;
 constexpr unsigned AK_CFG = AK_DomTree | AK_Loops;
 
 /// The set of analyses a transform left valid.
@@ -60,13 +74,22 @@ public:
   /// The CFG changed (or might have); recompute everything.
   static PreservedAnalyses none() { return PreservedAnalyses(0); }
   /// Instructions changed but block/edge structure did not: dominators and
-  /// loops survive, feature vectors must be recounted.
+  /// loops survive; feature vectors and layout artifacts must be
+  /// recomputed.
   static PreservedAnalyses cfg() { return PreservedAnalyses(AK_CFG); }
+  /// Only layout changed (block order, operand order): counts and CFG
+  /// analyses survive, the order-sensitive Inst2vec/ProGraML artifacts do
+  /// not.
+  static PreservedAnalyses allButLayout() {
+    return PreservedAnalyses(AK_All & ~AK_Layout);
+  }
 
+  /// Adds \p Mask (AnalysisKind bits) to the preserved set.
   PreservedAnalyses &preserve(unsigned Mask) {
     Bits |= Mask;
     return *this;
   }
+  /// Removes \p Mask from the preserved set (marks it invalidated).
   PreservedAnalyses &abandon(unsigned Mask) {
     Bits &= ~Mask;
     return *this;

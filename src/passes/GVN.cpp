@@ -159,8 +159,9 @@ public:
       return PassResult::make(false, PreservedAnalyses::all());
     for (size_t I = 0; I < Sorted.size(); ++I)
       F.moveBlock(Sorted[I], I + 1);
-    // Like canonicalize-block-order: layout-only, analyses survive.
-    return PassResult::make(true, PreservedAnalyses::all());
+    // Like canonicalize-block-order: layout-only; counts and CFG analyses
+    // survive, the order-sensitive Inst2vec/ProGraML artifacts do not.
+    return PassResult::make(true, PreservedAnalyses::allButLayout());
   }
 };
 

@@ -225,8 +225,9 @@ public:
       }
     });
     // Commutative operand swaps leave use counts, opcode histograms and
-    // the CFG alone: every analysis survives.
-    return PassResult::make(Changed, PreservedAnalyses::all());
+    // the CFG alone, but operand order feeds the Inst2vec statement and
+    // ProGraML edge positions.
+    return PassResult::make(Changed, PreservedAnalyses::allButLayout());
   }
 };
 
@@ -264,8 +265,10 @@ public:
       }
       Changed = true;
     });
-    // Operand swap + predicate flip: no feature observes predicates.
-    return PassResult::make(Changed, PreservedAnalyses::all());
+    // Operand swap + predicate flip: no feature *count* observes
+    // predicates, but the Inst2vec statement embeds both the predicate
+    // and operand order, and ProGraML edge positions shift.
+    return PassResult::make(Changed, PreservedAnalyses::allButLayout());
   }
 };
 

@@ -275,8 +275,9 @@ public:
       }
     }
     // Block-list order is not part of the CFG: dominators, loops and all
-    // structural feature counts are untouched (only layout/hash change).
-    return PassResult::make(Changed, PreservedAnalyses::all());
+    // structural feature counts are untouched — but the order-sensitive
+    // artifacts (Inst2vec rows, ProGraML fragments) follow block order.
+    return PassResult::make(Changed, PreservedAnalyses::allButLayout());
   }
 };
 

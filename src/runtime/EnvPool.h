@@ -64,16 +64,32 @@ struct PoolStats {
 };
 
 /// M environments over N service shards, stepped in parallel.
+///
+/// Thread-safety: the batch entry points (resetAll, stepBatch, collect,
+/// evaluate*) drive the workers on the internal thread pool and must be
+/// called from one coordinating thread at a time — concurrent batch calls
+/// on the same pool would step the same envs from two threads. Individual
+/// worker envs (env(i)) are not thread-safe either; touch them only
+/// between batch operations. nextBenchmark() and stats() are safe from any
+/// thread.
 class EnvPool {
 public:
+  /// Builds the broker fleet, attaches one CompilerEnv per worker to its
+  /// leased shard, and expands/shards the benchmark list.
   static StatusOr<std::unique_ptr<EnvPool>> create(EnvPoolOptions Opts);
+  /// Joins the worker thread pool, destroys the envs (ending their backend
+  /// sessions), then stops the broker and its monitor thread.
   ~EnvPool();
 
   EnvPool(const EnvPool &) = delete;
   EnvPool &operator=(const EnvPool &) = delete;
 
+  /// Number of worker environments (M).
   size_t size() const { return Envs.size(); }
+  /// Direct access to one worker env (tests, custom drivers). Not
+  /// thread-safe against a concurrently running batch operation.
   core::CompilerEnv &env(size_t Worker) { return *Envs[Worker]; }
+  /// The shard fleet behind the workers.
   ServiceBroker &broker() { return *Broker; }
 
   /// Advances worker \p Worker to its next assigned benchmark and returns

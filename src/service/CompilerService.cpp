@@ -22,9 +22,15 @@ void CompilerService::restart() {
   Sessions.clear();
   ServedReplies.clear();
   ServedOrder.clear();
+  LastSent.clear();
   Crashed = false;
   OpsHandled.store(0, std::memory_order_relaxed);
   CG_LOG_INFO << "compiler service restarted";
+}
+
+uint64_t CompilerService::deltaRepliesSent() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return DeltaRepliesSent;
 }
 
 void CompilerService::setObservationCache(
@@ -125,6 +131,7 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
 
   case RequestKind::EndSession: {
     Sessions.erase(Req.End.SessionId);
+    LastSent.erase(Req.End.SessionId);
     return Reply;
   }
 
@@ -154,35 +161,95 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
     std::vector<ObservationSpaceInfo> Known;
     if (!Req.Step.ObservationSpaces.empty())
       Known = Session.getObservationSpaces();
-    // State key for the observation cache, computed at most once per request.
+    // State key for the observation cache and the delta handshake,
+    // computed at most once per request.
     uint64_t StateKey = 0;
     bool HaveStateKey = false;
-    for (const std::string &SpaceName : Req.Step.ObservationSpaces) {
+    auto stateKeyOnce = [&] {
+      if (!HaveStateKey) {
+        StateKey = Session.stateKey();
+        HaveStateKey = true;
+      }
+      return StateKey;
+    };
+    for (size_t I = 0; I < Req.Step.ObservationSpaces.size(); ++I) {
+      const std::string &SpaceName = Req.Step.ObservationSpaces[I];
       const ObservationSpaceInfo *Info = nullptr;
       for (const ObservationSpaceInfo &O : Known)
         if (O.Name == SpaceName)
           Info = &O;
       if (!Info)
         return fail(notFound("no observation space '" + SpaceName + "'"));
-      // Only deterministic observations are cacheable; Runtime-style spaces
-      // vary per measurement and must always be recomputed.
-      bool Cacheable = ObsCache && Info->Deterministic;
-      if (Cacheable && !HaveStateKey) {
-        StateKey = Session.stateKey();
-        HaveStateKey = true;
-      }
-      Cacheable &= StateKey != 0;
-      Observation Obs;
-      if (Cacheable && ObsCache->lookup(StateKey, SpaceName, Obs)) {
-        Reply.Step.ObservationNames.push_back(SpaceName);
-        Reply.Step.Observations.push_back(std::move(Obs));
+      // Only deterministic observations are cacheable or delta-encodable;
+      // Runtime-style spaces vary per measurement and must always be
+      // recomputed and shipped in full.
+      bool Cacheable =
+          ObsCache && Info->Deterministic && stateKeyOnce() != 0;
+      uint64_t CurKey =
+          Info->Deterministic && deltaEligible(Info->Type) ? stateKeyOnce()
+                                                           : 0;
+      // Delta handshake: the client advertised the key of a full value it
+      // retains. When the state has not moved since, reply with an empty
+      // "unchanged" delta before computing (or even copying) anything —
+      // the repeat-query hot path costs a state-key compare.
+      uint64_t BaseKey = I < Req.Step.ObservationBaseKeys.size()
+                             ? Req.Step.ObservationBaseKeys[I]
+                             : 0;
+      Reply.Step.ObservationNames.push_back(SpaceName);
+      if (CurKey && BaseKey == CurKey) {
+        Observation Delta;
+        Delta.Type = Info->Type;
+        Delta.IsDelta = true;
+        Delta.StateKey = CurKey;
+        Delta.BaseKey = BaseKey;
+        ++DeltaRepliesSent;
+        Reply.Step.Observations.push_back(std::move(Delta));
         continue;
       }
-      if (Status S = Session.computeObservation(*Info, Obs); !S.isOk())
-        return fail(S);
-      if (Cacheable)
-        ObsCache->insert(StateKey, SpaceName, Obs);
-      Reply.Step.ObservationNames.push_back(SpaceName);
+      Observation Obs;
+      bool FromCache = Cacheable && ObsCache->lookup(StateKey, SpaceName, Obs);
+      if (!FromCache) {
+        if (Status S = Session.computeObservation(*Info, Obs); !S.isOk())
+          return fail(S);
+        Obs.StateKey = CurKey;
+        if (Cacheable)
+          ObsCache->insert(StateKey, SpaceName, Obs);
+      } else {
+        Obs.StateKey = CurKey;
+      }
+
+      // The state moved (or the client holds no base): answer with only
+      // the changed segments when we retain (or can look up) the client's
+      // base, falling back to the legacy full payload. Base values are
+      // only retained for clients that speak the handshake — a
+      // delta-unaware client should not cost a per-session payload copy.
+      bool ClientDeltas = !Req.Step.ObservationBaseKeys.empty();
+      if (CurKey && BaseKey) {
+        const Observation *Base = nullptr;
+        Observation CachedBase;
+        auto SessIt = LastSent.find(Req.Step.SessionId);
+        if (SessIt != LastSent.end()) {
+          auto SpIt = SessIt->second.find(SpaceName);
+          if (SpIt != SessIt->second.end() &&
+              SpIt->second.StateKey == BaseKey)
+            Base = &SpIt->second;
+        }
+        if (!Base && ObsCache &&
+            ObsCache->lookup(BaseKey, SpaceName, CachedBase) &&
+            CachedBase.Type == Obs.Type)
+          Base = &CachedBase;
+        Observation Delta;
+        if (Base && encodeObservationDelta(*Base, Obs, Delta)) {
+          Delta.StateKey = CurKey;
+          Delta.BaseKey = BaseKey;
+          ++DeltaRepliesSent;
+          LastSent[Req.Step.SessionId][SpaceName] = std::move(Obs);
+          Reply.Step.Observations.push_back(std::move(Delta));
+          continue;
+        }
+      }
+      if (CurKey && ClientDeltas)
+        LastSent[Req.Step.SessionId][SpaceName] = Obs;
       Reply.Step.Observations.push_back(std::move(Obs));
     }
     return Reply;

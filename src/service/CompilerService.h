@@ -75,6 +75,9 @@ public:
   uint64_t opsHandled() const {
     return OpsHandled.load(std::memory_order_relaxed);
   }
+  /// Observations answered as deltas instead of full payloads (telemetry
+  /// for the wire-delta tests and benches).
+  uint64_t deltaRepliesSent() const;
 
 private:
   ReplyEnvelope dispatch(const RequestEnvelope &Req);
@@ -95,6 +98,13 @@ private:
   static constexpr size_t DedupWindow = 512;
   std::unordered_map<uint64_t, std::string> ServedReplies;
   std::deque<uint64_t> ServedOrder;
+  /// Per-session retained copy of the last full observation sent per
+  /// delta-eligible space (each carries its StateKey): the base the next
+  /// delta is computed against even when no shared ObservationCache is
+  /// installed. Bounded by live sessions x delta-eligible spaces; dropped
+  /// on EndSession and restart().
+  std::map<uint64_t, std::unordered_map<std::string, Observation>> LastSent;
+  uint64_t DeltaRepliesSent = 0;
 };
 
 } // namespace service

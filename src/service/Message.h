@@ -62,7 +62,31 @@ struct ObservationSpaceInfo {
   bool PlatformDependent = false;
 };
 
+/// One contiguous patch inside a delta-encoded observation: replaces
+/// DropCount elements (bytes for String/Binary payloads) of the base value
+/// starting at Start with this segment's payload. Exactly one of the
+/// payload fields is populated, matching the observation's type.
+struct ObservationSegment {
+  uint64_t Start = 0;
+  uint64_t DropCount = 0;
+  std::vector<int64_t> Ints;
+  std::vector<double> Doubles;
+  std::string Str;
+};
+
 /// One observation value (tagged union, flat for easy serialization).
+///
+/// Epoch handshake: a reply observation may carry StateKey — the
+/// content-addressed key (CompilationSession::stateKey()) of the state the
+/// value was computed at. A client that retains the full value can
+/// advertise that key in the next StepRequest (ObservationBaseKeys); the
+/// service then answers with IsDelta set and only the changed
+/// ObservationSegments relative to BaseKey, instead of the full payload.
+/// An empty segment list with IsDelta means "unchanged since your base".
+/// Keys are content-addressed, so they survive fork() and crash-recovery
+/// replay. A service that cannot produce a delta (no base retained, space
+/// nondeterministic or scalar) falls back to the legacy full payload with
+/// IsDelta unset.
 struct Observation {
   ObservationType Type = ObservationType::Int64Value;
   std::vector<int64_t> Ints;
@@ -70,6 +94,15 @@ struct Observation {
   std::string Str;   ///< Also carries Binary payloads.
   int64_t IntValue = 0;
   double DoubleValue = 0.0;
+
+  /// State key of the (full) value this observation represents; 0 = the
+  /// backend does not expose state identity (no delta support).
+  uint64_t StateKey = 0;
+  /// When set, the payload lives in Segments (relative to BaseKey) and the
+  /// flat payload fields above are empty.
+  bool IsDelta = false;
+  uint64_t BaseKey = 0;
+  std::vector<ObservationSegment> Segments;
 };
 
 /// One action: an index into the session's action space, plus optional
@@ -113,6 +146,11 @@ struct StepRequest {
   /// metrics backing reward spaces alike) is computed in this one RPC and
   /// returned name-keyed in the reply.
   std::vector<std::string> ObservationSpaces;
+  /// Delta handshake, parallel to ObservationSpaces (may be shorter or
+  /// empty; missing entries mean 0): the StateKey of the newest full value
+  /// the client retains for that space. Nonzero invites the service to
+  /// reply with a delta against that base (see Observation).
+  std::vector<uint64_t> ObservationBaseKeys;
 };
 
 struct StepReply {

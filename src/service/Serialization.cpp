@@ -30,6 +30,11 @@ public:
     for (int64_t X : V)
       i64(X);
   }
+  void u64s(const std::vector<uint64_t> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (uint64_t X : V)
+      u64(X);
+  }
   void f64s(const std::vector<double> &V) {
     u32(static_cast<uint32_t>(V.size()));
     for (double X : V)
@@ -80,6 +85,16 @@ public:
     V.resize(N);
     for (auto &X : V)
       if (!i64(X))
+        return false;
+    return true;
+  }
+  bool u64s(std::vector<uint64_t> &V) {
+    uint32_t N;
+    if (!u32(N) || Cursor + static_cast<size_t>(N) * 8 > In.size())
+      return false;
+    V.resize(N);
+    for (auto &X : V)
+      if (!u64(X))
         return false;
     return true;
   }
@@ -162,6 +177,19 @@ bool getObsInfo(Reader &R, ObservationSpaceInfo &O) {
   return true;
 }
 
+void putSegment(Writer &W, const ObservationSegment &S) {
+  W.u64(S.Start);
+  W.u64(S.DropCount);
+  W.i64s(S.Ints);
+  W.f64s(S.Doubles);
+  W.str(S.Str);
+}
+
+bool getSegment(Reader &R, ObservationSegment &S) {
+  return R.u64(S.Start) && R.u64(S.DropCount) && R.i64s(S.Ints) &&
+         R.f64s(S.Doubles) && R.str(S.Str);
+}
+
 void putObservation(Writer &W, const Observation &O) {
   W.u32(static_cast<uint32_t>(O.Type));
   W.i64s(O.Ints);
@@ -169,15 +197,33 @@ void putObservation(Writer &W, const Observation &O) {
   W.str(O.Str);
   W.i64(O.IntValue);
   W.f64(O.DoubleValue);
+  W.u64(O.StateKey);
+  W.b(O.IsDelta);
+  W.u64(O.BaseKey);
+  W.u32(static_cast<uint32_t>(O.Segments.size()));
+  for (const ObservationSegment &S : O.Segments)
+    putSegment(W, S);
 }
 
-bool getObservation(Reader &R, Observation &O) {
+bool getObservation(Reader &R, Observation &O, size_t WireSize) {
   uint32_t Ty;
   if (!R.u32(Ty) || Ty > static_cast<uint32_t>(ObservationType::DoubleValue))
     return false;
   O.Type = static_cast<ObservationType>(Ty);
-  return R.i64s(O.Ints) && R.f64s(O.Doubles) && R.str(O.Str) &&
-         R.i64(O.IntValue) && R.f64(O.DoubleValue);
+  uint32_t NumSegments;
+  if (!(R.i64s(O.Ints) && R.f64s(O.Doubles) && R.str(O.Str) &&
+        R.i64(O.IntValue) && R.f64(O.DoubleValue) && R.u64(O.StateKey) &&
+        R.b(O.IsDelta) && R.u64(O.BaseKey) && R.u32(NumSegments)))
+    return false;
+  // Each segment occupies >= 28 bytes on the wire; reject counts the
+  // buffer cannot possibly hold before resize() allocates for them.
+  if (static_cast<size_t>(NumSegments) * 28 > WireSize)
+    return false;
+  O.Segments.resize(NumSegments);
+  for (ObservationSegment &S : O.Segments)
+    if (!getSegment(R, S))
+      return false;
+  return true;
 }
 
 void putAction(Writer &W, const Action &A) {
@@ -214,6 +260,7 @@ std::string service::encodeRequest(const RequestEnvelope &Req) {
     for (const Action &A : Req.Step.Actions)
       putAction(W, A);
     W.strs(Req.Step.ObservationSpaces);
+    W.u64s(Req.Step.ObservationBaseKeys);
     break;
   }
   case RequestKind::Fork:
@@ -252,7 +299,8 @@ StatusOr<RequestEnvelope> service::decodeRequest(const std::string &Bytes) {
       Req.Step.Actions.resize(NumActions);
       for (Action &A : Req.Step.Actions)
         Ok = Ok && getAction(R, A);
-      Ok = Ok && R.strs(Req.Step.ObservationSpaces);
+      Ok = Ok && R.strs(Req.Step.ObservationSpaces) &&
+           R.u64s(Req.Step.ObservationBaseKeys);
     }
     break;
   }
@@ -319,10 +367,202 @@ StatusOr<ReplyEnvelope> service::decodeReply(const std::string &Bytes) {
   if (Ok) {
     Reply.Step.Observations.resize(NumObs);
     for (auto &O : Reply.Step.Observations)
-      Ok = Ok && getObservation(R, O);
+      Ok = Ok && getObservation(R, O, Bytes.size());
   }
   Ok = Ok && R.u64(Reply.Fork.SessionId);
   if (!Ok || !R.done())
     return invalidArgument("truncated or trailing reply bytes");
   return Reply;
+}
+
+// -- Observation delta encoding -----------------------------------------------
+
+bool service::deltaEligible(ObservationType T) {
+  return T == ObservationType::Int64List || T == ObservationType::DoubleList ||
+         T == ObservationType::String || T == ObservationType::Binary;
+}
+
+size_t service::observationWireSize(const Observation &O) {
+  // Mirrors putObservation: type + payload vectors + scalars + key/delta
+  // fields + segments.
+  size_t Size = 4 + (4 + O.Ints.size() * 8) + (4 + O.Doubles.size() * 8) +
+                (4 + O.Str.size()) + 8 + 8 + 8 + 4 + 8 + 4;
+  for (const ObservationSegment &S : O.Segments)
+    Size += 8 + 8 + (4 + S.Ints.size() * 8) + (4 + S.Doubles.size() * 8) +
+            (4 + S.Str.size());
+  return Size;
+}
+
+namespace {
+
+/// Emits one segment per changed run between equal-length sequences,
+/// merging runs separated by fewer than MinGap unchanged elements so
+/// segment-header overhead stays bounded. Appends into Segs via Emit,
+/// which copies [From, To) of the full sequence into a segment payload.
+template <typename Len, typename Equal, typename Emit>
+void diffEqualLength(Len N, Equal Eq, Emit EmitSeg) {
+  constexpr size_t MinGap = 8;
+  size_t I = 0;
+  while (I < N) {
+    if (Eq(I)) {
+      ++I;
+      continue;
+    }
+    size_t Start = I;
+    size_t End = I + 1;
+    size_t Unchanged = 0;
+    for (size_t J = End; J < N; ++J) {
+      if (Eq(J)) {
+        if (++Unchanged >= MinGap)
+          break;
+      } else {
+        End = J + 1;
+        Unchanged = 0;
+      }
+    }
+    EmitSeg(Start, End);
+    I = End;
+  }
+}
+
+/// Single common-prefix/suffix window for length-changing edits.
+template <typename Len, typename EqualAt>
+void prefixSuffixWindow(Len BaseN, Len FullN, EqualAt Eq, size_t &Prefix,
+                        size_t &Suffix) {
+  Prefix = 0;
+  size_t Max = std::min<size_t>(BaseN, FullN);
+  while (Prefix < Max && Eq(Prefix, Prefix))
+    ++Prefix;
+  Suffix = 0;
+  while (Suffix < Max - Prefix &&
+         Eq(BaseN - 1 - Suffix, FullN - 1 - Suffix))
+    ++Suffix;
+}
+
+template <typename Vec, typename Assign>
+void diffPayload(const Vec &Base, const Vec &Full,
+                 std::vector<ObservationSegment> &Segs, Assign AssignSeg) {
+  if (Base.size() == Full.size()) {
+    diffEqualLength(
+        Base.size(), [&](size_t I) { return Base[I] == Full[I]; },
+        [&](size_t Start, size_t End) {
+          ObservationSegment S;
+          S.Start = Start;
+          S.DropCount = End - Start;
+          AssignSeg(S, Start, End);
+          Segs.push_back(std::move(S));
+        });
+    return;
+  }
+  size_t Prefix, Suffix;
+  prefixSuffixWindow(
+      Base.size(), Full.size(),
+      [&](size_t BI, size_t FI) { return Base[BI] == Full[FI]; }, Prefix,
+      Suffix);
+  ObservationSegment S;
+  S.Start = Prefix;
+  S.DropCount = Base.size() - Prefix - Suffix;
+  AssignSeg(S, Prefix, Full.size() - Suffix);
+  Segs.push_back(std::move(S));
+}
+
+/// Applies segments onto a base payload; false on any out-of-bounds or
+/// out-of-order segment.
+template <typename Vec, typename SegPayload>
+bool applyPayload(const Vec &Base, const std::vector<ObservationSegment> &Segs,
+                  SegPayload Payload, Vec &Out) {
+  size_t Cursor = 0;
+  for (const ObservationSegment &S : Segs) {
+    if (S.Start < Cursor || S.Start > Base.size() ||
+        S.DropCount > Base.size() - S.Start)
+      return false;
+    Out.insert(Out.end(), Base.begin() + Cursor, Base.begin() + S.Start);
+    const auto &P = Payload(S);
+    Out.insert(Out.end(), P.begin(), P.end());
+    Cursor = S.Start + S.DropCount;
+  }
+  Out.insert(Out.end(), Base.begin() + Cursor, Base.end());
+  return true;
+}
+
+} // namespace
+
+bool service::encodeObservationDelta(const Observation &Base,
+                                     const Observation &Full,
+                                     Observation &Out) {
+  if (Base.Type != Full.Type || !deltaEligible(Full.Type))
+    return false;
+  Observation Delta;
+  Delta.Type = Full.Type;
+  Delta.IsDelta = true;
+  switch (Full.Type) {
+  case ObservationType::Int64List:
+    diffPayload(Base.Ints, Full.Ints, Delta.Segments,
+                [&](ObservationSegment &S, size_t From, size_t To) {
+                  S.Ints.assign(Full.Ints.begin() + From,
+                                Full.Ints.begin() + To);
+                });
+    break;
+  case ObservationType::DoubleList:
+    diffPayload(Base.Doubles, Full.Doubles, Delta.Segments,
+                [&](ObservationSegment &S, size_t From, size_t To) {
+                  S.Doubles.assign(Full.Doubles.begin() + From,
+                                   Full.Doubles.begin() + To);
+                });
+    break;
+  case ObservationType::String:
+  case ObservationType::Binary:
+    diffPayload(Base.Str, Full.Str, Delta.Segments,
+                [&](ObservationSegment &S, size_t From, size_t To) {
+                  S.Str.assign(Full.Str, From, To - From);
+                });
+    break;
+  default:
+    return false;
+  }
+  if (observationWireSize(Delta) >= observationWireSize(Full))
+    return false;
+  Out = std::move(Delta);
+  return true;
+}
+
+StatusOr<Observation> service::applyObservationDelta(const Observation &Base,
+                                                     const Observation &Delta) {
+  if (!Delta.IsDelta)
+    return invalidArgument("observation is not a delta");
+  if (Base.Type != Delta.Type)
+    return invalidArgument("delta type does not match its base");
+  Observation Out;
+  Out.Type = Delta.Type;
+  Out.StateKey = Delta.StateKey;
+  bool Ok = true;
+  switch (Delta.Type) {
+  case ObservationType::Int64List:
+    Ok = applyPayload(Base.Ints, Delta.Segments,
+                      [](const ObservationSegment &S) -> const auto & {
+                        return S.Ints;
+                      },
+                      Out.Ints);
+    break;
+  case ObservationType::DoubleList:
+    Ok = applyPayload(Base.Doubles, Delta.Segments,
+                      [](const ObservationSegment &S) -> const auto & {
+                        return S.Doubles;
+                      },
+                      Out.Doubles);
+    break;
+  case ObservationType::String:
+  case ObservationType::Binary:
+    Ok = applyPayload(Base.Str, Delta.Segments,
+                      [](const ObservationSegment &S) -> const auto & {
+                        return S.Str;
+                      },
+                      Out.Str);
+    break;
+  default:
+    return invalidArgument("scalar observations are never delta-encoded");
+  }
+  if (!Ok)
+    return invalidArgument("delta segments do not fit the base observation");
+  return Out;
 }

@@ -26,6 +26,37 @@ StatusOr<RequestEnvelope> decodeRequest(const std::string &Bytes);
 std::string encodeReply(const ReplyEnvelope &Reply);
 StatusOr<ReplyEnvelope> decodeReply(const std::string &Bytes);
 
+// -- Observation delta encoding -----------------------------------------------
+//
+// A step whose observation shares a cached state key with the client ships
+// only changed segments (see the epoch-handshake contract on Observation in
+// Message.h). These helpers implement the encoding; the policy — when to
+// delta, against which base — lives in CompilerService and CompilerEnv.
+
+/// True for payload types the delta encoder supports: element lists and
+/// string/binary payloads. Scalars always travel in full.
+bool deltaEligible(ObservationType T);
+
+/// Serialized size in bytes of \p O inside a reply (wire accounting for
+/// the delta-vs-full decision and the benches).
+size_t observationWireSize(const Observation &O);
+
+/// Builds \p Out as a delta from \p Base to \p Full: equal-length list
+/// payloads diff into one segment per changed run; length-changing edits
+/// and string/binary payloads diff into a single common-prefix/suffix
+/// window. Returns false — \p Out untouched — when the types mismatch,
+/// the type is not delta-eligible, or the delta would not be smaller than
+/// the full payload. Key fields (StateKey/BaseKey) are the caller's job.
+bool encodeObservationDelta(const Observation &Base, const Observation &Full,
+                            Observation &Out);
+
+/// Reconstructs the full observation from \p Base + \p Delta. Fails with
+/// InvalidArgument on type mismatch or segments that do not fit the base
+/// (the transport is a fuzz surface; a malformed delta must never read
+/// out of bounds). The result carries Delta's StateKey.
+StatusOr<Observation> applyObservationDelta(const Observation &Base,
+                                            const Observation &Delta);
+
 } // namespace service
 } // namespace compiler_gym
 

@@ -46,8 +46,11 @@ StatusOr<ReplyEnvelope> ServiceClient::call(RequestEnvelope &Req) {
           std::chrono::milliseconds(Opts.RetryBackoffMs));
     }
     ++RpcCount;
+    WireBytesSent += Bytes.size();
     StatusOr<std::string> ReplyBytes = Channel->roundTrip(Bytes,
                                                           Opts.TimeoutMs);
+    if (ReplyBytes.isOk())
+      WireBytesReceived += ReplyBytes->size();
     if (!ReplyBytes.isOk()) {
       LastError = ReplyBytes.status();
       // Unavailable and dropped replies are transient; hangs surface as

@@ -56,6 +56,11 @@ public:
   uint64_t rpcCount() const { return RpcCount; }
   uint64_t retryCount() const { return RetryCount; }
   uint64_t restartCount() const { return RestartCount; }
+  /// Serialized request/reply bytes through this client (wire accounting
+  /// for the observation-delta benches: a delta reply shows up directly
+  /// as fewer bytes received).
+  uint64_t wireBytesSent() const { return WireBytesSent; }
+  uint64_t wireBytesReceived() const { return WireBytesReceived; }
 
   const std::shared_ptr<CompilerService> &service() const { return Service; }
 
@@ -70,6 +75,8 @@ private:
   uint64_t RpcCount = 0;
   uint64_t RetryCount = 0;
   uint64_t RestartCount = 0;
+  uint64_t WireBytesSent = 0;
+  uint64_t WireBytesReceived = 0;
 };
 
 } // namespace service

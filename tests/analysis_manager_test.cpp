@@ -12,6 +12,8 @@
 #include "analysis/Autophase.h"
 #include "analysis/FeatureCache.h"
 #include "analysis/InstCount.h"
+#include "analysis/Inst2vec.h"
+#include "analysis/ProGraML.h"
 #include "datasets/CsmithGenerator.h"
 #include "datasets/CuratedSuites.h"
 #include "datasets/DatasetRegistry.h"
@@ -67,7 +69,13 @@ TEST(PreservedAnalyses, MaskSemantics) {
   PreservedAnalyses P = PreservedAnalyses::cfg();
   EXPECT_TRUE(P.preserves(AK_DomTree | AK_Loops));
   EXPECT_FALSE(P.preserves(AK_Features));
-  EXPECT_EQ(P.abandoned(), AK_Features);
+  EXPECT_FALSE(P.preserves(AK_Layout));
+  EXPECT_EQ(P.abandoned(), AK_Features | AK_Layout);
+  // Layout-only transforms keep counts and CFG analyses warm.
+  PreservedAnalyses L = PreservedAnalyses::allButLayout();
+  EXPECT_TRUE(L.preserves(AK_DomTree | AK_Loops | AK_Features));
+  EXPECT_FALSE(L.preserves(AK_Layout));
+  EXPECT_EQ(L.abandoned(), AK_Layout);
   P.intersect(PreservedAnalyses::none());
   EXPECT_EQ(P.abandoned(), AK_All);
   PreservedAnalyses Q = PreservedAnalyses::none().preserve(AK_Loops);
@@ -363,6 +371,8 @@ TEST_P(DifferentialInvalidation, CachedAnalysesEqualFromScratch) {
     }
     (void)AM.features().instCount(*M);
     (void)AM.features().autophase(*M);
+    (void)AM.features().inst2vec(*M);
+    (void)AM.features().programl(*M);
 
     auto Changed = PM.run(Name);
     ASSERT_TRUE(Changed.isOk())
@@ -375,6 +385,14 @@ TEST_P(DifferentialInvalidation, CachedAnalysesEqualFromScratch) {
         << "InstCount diverged after " << Name;
     EXPECT_EQ(AM.features().autophase(*M), analysis::autophase(*M))
         << "Autophase diverged after " << Name;
+    EXPECT_EQ(AM.features().inst2vec(*M), analysis::inst2vec(*M))
+        << "Inst2vec diverged after " << Name;
+    analysis::ProgramGraph FromCache;
+    ASSERT_TRUE(analysis::deserializeGraph(AM.features().programl(*M),
+                                           FromCache))
+        << "Programl bytes undecodable after " << Name;
+    EXPECT_TRUE(FromCache == analysis::buildProgramGraph(*M))
+        << "Programl diverged after " << Name;
 
     // And the cached CFG analyses must match fresh ones.
     for (const auto &F : M->functions()) {

@@ -231,6 +231,187 @@ TEST(ProGraML, DeserializeRejectsGarbage) {
   EXPECT_FALSE(deserializeGraph(Huge, Out));
 }
 
+TEST(ProGraML, FragmentAssemblyMatchesWholeModuleBuild) {
+  // The incremental path — per-function fragments assembled into the v2
+  // encoding — must deserialize to a graph bit-identical to the reference
+  // whole-module builder, across generated programs of every style.
+  for (uint64_t Seed : {3ull, 19ull, 54ull}) {
+    for (const char *Dataset :
+         {"benchmark://csmith-v0", "benchmark://blas-v0",
+          "benchmark://linux-v0", "benchmark://npb-v0"}) {
+      auto M = datasets::generateProgram(
+          Seed, datasets::styleForDataset(Dataset), "m");
+      ASSERT_NE(M, nullptr);
+      std::vector<GraphFragment> Frags;
+      std::vector<const GraphFragment *> Ptrs;
+      for (const auto &F : M->functions())
+        Frags.push_back(buildGraphFragment(*F));
+      for (const auto &Frag : Frags)
+        Ptrs.push_back(&Frag);
+      ProgramGraph FromFrags;
+      ASSERT_TRUE(
+          deserializeGraph(assembleGraphFragments(*M, Ptrs), FromFrags))
+          << Dataset << " seed " << Seed;
+      EXPECT_TRUE(FromFrags == buildProgramGraph(*M))
+          << "fragment assembly diverged for " << Dataset << " seed " << Seed;
+    }
+  }
+}
+
+TEST(ProGraML, V2EncodingRejectsTruncation) {
+  auto M = smallModule();
+  std::vector<GraphFragment> Frags;
+  std::vector<const GraphFragment *> Ptrs;
+  for (const auto &F : M->functions())
+    Frags.push_back(buildGraphFragment(*F));
+  for (const auto &Frag : Frags)
+    Ptrs.push_back(&Frag);
+  std::string Bytes = assembleGraphFragments(*M, Ptrs);
+  ProgramGraph Out;
+  ASSERT_TRUE(deserializeGraph(Bytes, Out));
+  for (size_t Len = 0; Len < Bytes.size(); Len += 3)
+    EXPECT_FALSE(deserializeGraph(Bytes.substr(0, Len), Out))
+        << "truncation to " << Len << " bytes accepted";
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(deserializeGraph(Bytes + "x", Out));
+}
+
+namespace {
+
+/// Mutates exactly \p F: deletes one dead side-effect-free instruction if
+/// it has one, otherwise inserts a dead add before the entry terminator.
+/// Returns false only for functions with no entry block.
+bool mutateOneFunction(Module &M, Function &F) {
+  for (const auto &BB : F.blocks()) {
+    for (size_t I = 0; I < BB->size(); ++I) {
+      Instruction *Inst = BB->instructions()[I].get();
+      if (Inst->isTerminator() || F.hasUses(Inst) || Inst->hasSideEffects())
+        continue;
+      BB->erase(I);
+      return true;
+    }
+  }
+  BasicBlock *Entry = F.entry();
+  if (!Entry || Entry->empty())
+    return false;
+  auto Dead = std::make_unique<Instruction>(
+      Opcode::Add, Type::I64,
+      std::vector<Value *>{M.getConstInt(Type::I64, 1),
+                           M.getConstInt(Type::I64, 2)});
+  Dead->setName("dead");
+  Entry->insert(Entry->size() - 1, std::move(Dead));
+  return true;
+}
+
+} // namespace
+
+TEST(FeatureCacheIncremental, Inst2vecMatchesAndRecomputesOnlyDirty) {
+  datasets::ProgramStyle Style =
+      datasets::styleForDataset("benchmark://csmith-v0");
+  Style.MinFunctions = 6;
+  Style.MaxFunctions = 8;
+  auto M = datasets::generateProgram(7, Style, "m");
+  ASSERT_NE(M, nullptr);
+  ASSERT_GE(M->functions().size(), 2u);
+
+  FeatureCache Cache;
+  EXPECT_EQ(Cache.inst2vec(*M), inst2vec(*M));
+  uint64_t AfterCold = Cache.functionRecomputes();
+  EXPECT_EQ(AfterCold, M->functions().size());
+
+  // Unchanged module: pure cache hit.
+  EXPECT_EQ(Cache.inst2vec(*M), inst2vec(*M));
+  EXPECT_EQ(Cache.functionRecomputes(), AfterCold);
+
+  // Mutate exactly one function: one segment recompute, bit-identical
+  // result (the aggregate is spliced in place, not re-concatenated).
+  Function *Dirty = M->functions().front().get();
+  ASSERT_TRUE(mutateOneFunction(*M, *Dirty));
+  Cache.invalidateFunction(Dirty);
+  EXPECT_EQ(Cache.inst2vec(*M), inst2vec(*M));
+  EXPECT_EQ(Cache.functionRecomputes(), AfterCold + 1);
+
+  // The last function's segment is the splice tail edge case (its old
+  // window ends at the already-shifted vector end).
+  Function *Last = M->functions().back().get();
+  ASSERT_TRUE(mutateOneFunction(*M, *Last));
+  Cache.invalidateFunction(Last);
+  EXPECT_EQ(Cache.inst2vec(*M), inst2vec(*M));
+
+  // And two dirty functions at once, with length changes.
+  ASSERT_TRUE(mutateOneFunction(*M, *Dirty));
+  ASSERT_TRUE(mutateOneFunction(*M, *Last));
+  Cache.invalidateFunction(Dirty);
+  Cache.invalidateFunction(Last);
+  EXPECT_EQ(Cache.inst2vec(*M), inst2vec(*M));
+}
+
+TEST(FeatureCacheIncremental, ProgramlMatchesAndRecomputesOnlyDirty) {
+  datasets::ProgramStyle Style =
+      datasets::styleForDataset("benchmark://npb-v0");
+  Style.MinFunctions = 6;
+  Style.MaxFunctions = 8;
+  auto M = datasets::generateProgram(11, Style, "m");
+  ASSERT_NE(M, nullptr);
+  ASSERT_GE(M->functions().size(), 2u);
+
+  FeatureCache Cache;
+  auto expectMatchesReference = [&] {
+    ProgramGraph FromCache;
+    ASSERT_TRUE(deserializeGraph(Cache.programl(*M), FromCache));
+    EXPECT_TRUE(FromCache == buildProgramGraph(*M));
+  };
+  expectMatchesReference();
+  uint64_t AfterCold = Cache.functionRecomputes();
+  EXPECT_EQ(AfterCold, M->functions().size());
+
+  (void)Cache.programl(*M);
+  EXPECT_EQ(Cache.functionRecomputes(), AfterCold);
+
+  Function *Dirty = M->functions().back().get();
+  ASSERT_TRUE(mutateOneFunction(*M, *Dirty));
+  Cache.invalidateFunction(Dirty);
+  expectMatchesReference();
+  EXPECT_EQ(Cache.functionRecomputes(), AfterCold + 1);
+
+  // One-function edits keep every other function's serialized region
+  // byte-identical: each clean fragment's bytes must appear verbatim in
+  // the re-assembled encoding (the stability wire deltas rely on).
+  const std::string &After = Cache.programl(*M);
+  for (const auto &F : M->functions()) {
+    if (F.get() == Dirty)
+      continue;
+    const GraphFragment *Frag = Cache.cachedGraphFragment(F.get());
+    ASSERT_NE(Frag, nullptr);
+    EXPECT_NE(After.find(Frag->Bytes), std::string::npos)
+        << "clean fragment of '" << F->name() << "' was rewritten";
+  }
+}
+
+TEST(FeatureCacheIncremental, ProgramlSelfHealsOnErasedFunction) {
+  auto M = parseModule(R"(module "t"
+func @callee(i64 %x) -> i64 {
+entry:
+  %r = add i64 i64 %x, i64 1
+  ret i64 %r
+}
+func @main(i64 %n) -> i64 {
+entry:
+  %r = add i64 i64 %n, i64 2
+  ret i64 %r
+}
+)");
+  ASSERT_TRUE(M.isOk());
+  FeatureCache Cache;
+  (void)Cache.programl(**M);
+  // Erase the (uncalled) callee without notifying the cache: aggregation
+  // must reconcile and still match the reference builder.
+  (*M)->eraseFunction((*M)->findFunction("callee"));
+  ProgramGraph FromCache;
+  ASSERT_TRUE(deserializeGraph(Cache.programl(**M), FromCache));
+  EXPECT_TRUE(FromCache == buildProgramGraph(**M));
+}
+
 TEST(Rewards, CodeAndBinarySizeShrinkUnderOptimization) {
   datasets::ProgramStyle Style =
       datasets::styleForDataset("benchmark://csmith-v0");
