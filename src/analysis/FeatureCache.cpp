@@ -6,12 +6,51 @@
 
 #include "analysis/FeatureCache.h"
 
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
+
 #include <algorithm>
 #include <unordered_set>
 
 using namespace compiler_gym;
 using namespace compiler_gym::analysis;
 using namespace compiler_gym::ir;
+
+namespace {
+
+/// Process-wide mirrors of the per-cache counters (requests() etc. stay as
+/// the per-instance views).
+telemetry::Counter &featureRequestsTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_feature_requests_total", {}, "Module-level feature requests");
+  return C;
+}
+
+telemetry::Counter &featureRecomputesTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_feature_recomputes_total", {},
+      "Per-function feature segment recomputations");
+  return C;
+}
+
+telemetry::Counter &featureAggregationsTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_feature_aggregations_total", {},
+      "Module-level feature aggregate rebuilds");
+  return C;
+}
+
+telemetry::Counter &featureInvalidations(bool ModuleScope) {
+  static telemetry::MetricsRegistry &M = telemetry::MetricsRegistry::global();
+  static const char *Help = "Feature cache invalidation notifications";
+  static telemetry::Counter &Function = M.counter(
+      "cg_feature_invalidations_total", {{"scope", "function"}}, Help);
+  static telemetry::Counter &Module = M.counter(
+      "cg_feature_invalidations_total", {{"scope", "module"}}, Help);
+  return ModuleScope ? Module : Function;
+}
+
+} // namespace
 
 bool FeatureCache::refresh(const Module &M, Kind K) {
   bool ChangedSet = false;
@@ -93,6 +132,7 @@ bool FeatureCache::refresh(const Module &M, Kind K) {
     }
     if (Fresh) {
       ++FunctionRecomputes;
+      featureRecomputesTotal().inc();
       Recomputed = true;
     }
   }
@@ -100,7 +140,9 @@ bool FeatureCache::refresh(const Module &M, Kind K) {
 }
 
 const std::vector<int64_t> &FeatureCache::instCount(const Module &M) {
+  CG_TRACE_SPAN("feature:InstCount", "analysis");
   ++Requests;
+  featureRequestsTotal().inc();
   // O(1) fast path: nothing invalidated since the last aggregation and the
   // function set has not changed size. (Every notification path —
   // invalidateFunction, functionErased, invalidateAll — clears the flag,
@@ -115,12 +157,15 @@ const std::vector<int64_t> &FeatureCache::instCount(const Module &M) {
     finalizeInstCount(InstCountAgg, M);
     InstCountAggValid = true;
     ++Aggregations;
+    featureAggregationsTotal().inc();
   }
   return InstCountAgg;
 }
 
 const std::vector<int64_t> &FeatureCache::autophase(const Module &M) {
+  CG_TRACE_SPAN("feature:Autophase", "analysis");
   ++Requests;
+  featureRequestsTotal().inc();
   if (AutophaseAggValid && Funcs.size() == M.functions().size())
     return AutophaseAgg;
   if (refresh(M, Kind::Autophase) || !AutophaseAggValid) {
@@ -130,12 +175,15 @@ const std::vector<int64_t> &FeatureCache::autophase(const Module &M) {
     finalizeAutophase(AutophaseAgg, M);
     AutophaseAggValid = true;
     ++Aggregations;
+    featureAggregationsTotal().inc();
   }
   return AutophaseAgg;
 }
 
 const std::vector<float> &FeatureCache::inst2vec(const Module &M) {
+  CG_TRACE_SPAN("feature:Inst2vec", "analysis");
   ++Requests;
+  featureRequestsTotal().inc();
   if (Inst2vecAggValid && Funcs.size() == M.functions().size())
     return Inst2vecAgg;
 
@@ -211,11 +259,14 @@ const std::vector<float> &FeatureCache::inst2vec(const Module &M) {
   }
   Inst2vecAggValid = true;
   ++Aggregations;
+  featureAggregationsTotal().inc();
   return Inst2vecAgg;
 }
 
 const std::string &FeatureCache::programl(const Module &M) {
+  CG_TRACE_SPAN("feature:Programl", "analysis");
   ++Requests;
+  featureRequestsTotal().inc();
   if (ProgramlAggValid && Funcs.size() == M.functions().size())
     return ProgramlAgg;
   if (refresh(M, Kind::Programl) || !ProgramlAggValid) {
@@ -226,6 +277,7 @@ const std::string &FeatureCache::programl(const Module &M) {
     ProgramlAgg = assembleGraphFragments(M, Frags);
     ProgramlAggValid = true;
     ++Aggregations;
+    featureAggregationsTotal().inc();
   }
   return ProgramlAgg;
 }
@@ -259,6 +311,7 @@ FeatureCache::cachedGraphFragment(const Function *F) const {
 }
 
 void FeatureCache::invalidateFunction(const Function *F, unsigned Mask) {
+  featureInvalidations(false).inc();
   auto It = Funcs.find(F);
   if (It != Funcs.end()) {
     if (Mask & FS_Counts) {
@@ -289,6 +342,7 @@ void FeatureCache::functionErased(const Function *F) {
 }
 
 void FeatureCache::invalidateAll(unsigned Mask) {
+  featureInvalidations(true).inc();
   for (auto &[F, Entry] : Funcs) {
     if (Mask & FS_Counts) {
       Entry.InstCountValid = false;

@@ -7,6 +7,8 @@
 #include "core/CompilerEnv.h"
 
 #include "datasets/DatasetRegistry.h"
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
 #include "util/Logging.h"
 
 #include <algorithm>
@@ -18,6 +20,27 @@ using namespace compiler_gym::core;
 using namespace compiler_gym::service;
 
 namespace {
+
+telemetry::Counter &recoveriesTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_env_recoveries_total", {},
+      "Crash/hang recoveries performed by frontend environments");
+  return C;
+}
+
+telemetry::Counter &replayedActionsTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_env_replayed_actions_total", {},
+      "Actions replayed into fresh sessions during recovery");
+  return C;
+}
+
+telemetry::Counter &deltaRepliesReceivedTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_env_delta_replies_total", {},
+      "Observation replies received as deltas and reconstructed");
+  return C;
+}
 
 /// Session loss: the session id is gone because the shard was restarted
 /// underneath us (by the broker monitor or another env's recovery).
@@ -191,9 +214,13 @@ CompilerEnv::planStep(const std::vector<std::string> &ObsSpaces,
 }
 
 Status CompilerEnv::recover() {
-  ++Recoveries;
-  CG_LOG_INFO << "backend failure detected; restarting service and "
-                 "replaying " << State.Actions.size() << " actions";
+  CG_TRACE_SPAN("env.recover", "core");
+  Recoveries.fetch_add(1, std::memory_order_relaxed);
+  recoveriesTotal().inc();
+  replayedActionsTotal().inc(State.Actions.size());
+  CG_LOG_INFO_FOR("env", SessionId)
+      << "backend failure detected; restarting service and replaying "
+      << State.Actions.size() << " actions";
   SessionLive = false;
   // Replay the whole episode in one batched, observation-free request.
   std::vector<Action> Replay;
@@ -264,10 +291,12 @@ Status CompilerEnv::settleWireObservations(StepReply &Reply) {
     if (It == WireBases.end() || It->second.StateKey != Obs.BaseKey)
       return internalError("delta reply for '" + Name +
                            "' does not match any retained base");
+    telemetry::SpanScope DeltaSpan("delta.apply", "core");
     CG_ASSIGN_OR_RETURN(Observation Full,
                         applyObservationDelta(It->second, Obs));
     Obs = std::move(Full);
     ++DeltaReplies;
+    deltaRepliesReceivedTotal().inc();
   }
   // Phase 2: retain the new full values as bases for the next request.
   for (size_t I = 0; I < N; ++I) {
@@ -326,8 +355,9 @@ StatusOr<StepReply> CompilerEnv::callStepWithRecovery(StepRequest Req) {
     // the caller only commits actions on success. Instead drop the
     // suspect bases and go through recovery, which replays the committed
     // history and re-issues this request for full payloads.
-    CG_LOG_INFO << "unreconstructable delta reply (" << Settled.message()
-                << "); dropping wire bases and recovering";
+    CG_LOG_INFO_FOR("env", SessionId)
+        << "unreconstructable delta reply (" << Settled.message()
+        << "); dropping wire bases and recovering";
     WireBases.clear();
     std::fill(Req.ObservationBaseKeys.begin(), Req.ObservationBaseKeys.end(),
               static_cast<uint64_t>(0));
@@ -415,6 +445,7 @@ StatusOr<StepResult> CompilerEnv::demuxReply(StepReply Reply,
 }
 
 StatusOr<Observation> CompilerEnv::reset() {
+  CG_TRACE_SPAN("env.reset", "core");
   if (SessionLive) {
     (void)Client->endSession(SessionId);
     SessionLive = false;
@@ -430,7 +461,8 @@ StatusOr<Observation> CompilerEnv::reset() {
   for (int Round = 0; !Started.isOk() && Round < 4; ++Round) {
     if (!isRecoverableFailure(Started))
       return Started;
-    ++Recoveries;
+    Recoveries.fetch_add(1, std::memory_order_relaxed);
+    recoveriesTotal().inc();
     if (!SharedService || Service->crashed())
       Client->restartService();
     Started = startSession();
@@ -461,6 +493,7 @@ CompilerEnv::step(const std::vector<int> &Actions,
                   const std::vector<std::string> &RewardSpaces) {
   if (!SessionLive)
     return failedPrecondition("call reset() before step()");
+  CG_TRACE_SPAN("env.step", "core");
   CG_ASSIGN_OR_RETURN(StepPlan Plan, planStep(ObsSpaces, RewardSpaces));
   std::vector<Action> Acts;
   Acts.reserve(Actions.size());
@@ -484,6 +517,7 @@ CompilerEnv::stepDirect(const std::vector<int64_t> &Choices,
                         const std::vector<std::string> &RewardSpaces) {
   if (!SessionLive)
     return failedPrecondition("call reset() before step()");
+  CG_TRACE_SPAN("env.step_direct", "core");
   CG_ASSIGN_OR_RETURN(StepPlan Plan, planStep(ObsSpaces, RewardSpaces));
   Action Act;
   Act.Index = 0;
@@ -502,6 +536,7 @@ CompilerEnv::rawObservations(const std::vector<std::string> &Spaces) {
     return failedPrecondition("call reset() before observing");
   if (Spaces.empty())
     return std::vector<Observation>{};
+  CG_TRACE_SPAN("env.observe", "core");
   StepRequest Req;
   Req.ObservationSpaces = Spaces;
   StatusOr<StepReply> Reply = callStepWithRecovery(std::move(Req));
@@ -518,6 +553,7 @@ CompilerEnv::rawObservations(const std::vector<std::string> &Spaces) {
 StatusOr<std::unique_ptr<CompilerEnv>> CompilerEnv::fork() {
   if (!SessionLive)
     return failedPrecondition("call reset() before fork()");
+  CG_TRACE_SPAN("env.fork", "core");
   CG_ASSIGN_OR_RETURN(uint64_t NewSession, Client->fork(SessionId));
   std::unique_ptr<CompilerEnv> Clone(
       new CompilerEnv(Opts, Service, Client));

@@ -28,6 +28,7 @@
 #include "core/Space.h"
 #include "service/ServiceClient.h"
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -131,8 +132,11 @@ public:
   /// env.write_bitcode() in Listing 1.
   Status writeIr(const std::string &Path);
 
-  /// Fault-tolerance telemetry.
-  uint64_t serviceRecoveries() const { return Recoveries; }
+  /// Fault-tolerance telemetry. Relaxed atomic: recoveries happen on
+  /// pool worker threads while EnvPool::stats() reads from the caller.
+  uint64_t serviceRecoveries() const {
+    return Recoveries.load(std::memory_order_relaxed);
+  }
   service::ServiceClient &client() { return *Client; }
 
   /// Wire-delta telemetry: observation replies that arrived as deltas and
@@ -209,7 +213,7 @@ private:
   /// Bumped on reset and every state-changing step; the views key their
   /// caches on it.
   uint64_t Epoch = 0;
-  uint64_t Recoveries = 0;
+  std::atomic<uint64_t> Recoveries{0};
   bool SharedService = false; ///< attach()-ed to a broker shard.
   std::string PendingBenchmarkUri; ///< Applied by the next reset().
   std::vector<service::Action> DirectHistory; ///< For replay (direct space).

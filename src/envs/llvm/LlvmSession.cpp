@@ -14,6 +14,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "passes/Pipelines.h"
+#include "telemetry/MetricsRegistry.h"
 #include "util/Hash.h"
 
 #include <iterator>
@@ -285,6 +286,11 @@ Status LlvmSession::computeObservation(const ObservationSpaceInfo &Space,
       Out = MemoIt->second.second;
       Out.Type = Space.Type;
       ++ObsMemoHits;
+      static telemetry::Counter &MemoHits =
+          telemetry::MetricsRegistry::global().counter(
+              "cg_session_obs_memo_hits_total", {},
+              "Within-session deterministic observation memo hits");
+      MemoHits.inc();
       return Status::ok();
     }
   }

@@ -6,6 +6,8 @@
 
 #include "passes/AnalysisManager.h"
 
+#include "telemetry/MetricsRegistry.h"
+
 #include <algorithm>
 #include <unordered_set>
 
@@ -13,13 +15,53 @@ using namespace compiler_gym;
 using namespace compiler_gym::passes;
 using namespace compiler_gym::ir;
 
+namespace {
+
+/// Process-wide mirrors of the per-manager Stats, labeled by analysis
+/// kind and lookup outcome.
+telemetry::Counter &analysisLookup(const char *Kind, bool Hit) {
+  static telemetry::MetricsRegistry &M = telemetry::MetricsRegistry::global();
+  static const char *Help = "Analysis cache lookups by kind and outcome";
+  static telemetry::Counter &DomHit = M.counter(
+      "cg_analysis_lookups_total",
+      {{"kind", "domtree"}, {"outcome", "hit"}}, Help);
+  static telemetry::Counter &DomCompute = M.counter(
+      "cg_analysis_lookups_total",
+      {{"kind", "domtree"}, {"outcome", "compute"}}, Help);
+  static telemetry::Counter &LoopHit = M.counter(
+      "cg_analysis_lookups_total", {{"kind", "loops"}, {"outcome", "hit"}},
+      Help);
+  static telemetry::Counter &LoopCompute = M.counter(
+      "cg_analysis_lookups_total",
+      {{"kind", "loops"}, {"outcome", "compute"}}, Help);
+  if (Kind[0] == 'd')
+    return Hit ? DomHit : DomCompute;
+  return Hit ? LoopHit : LoopCompute;
+}
+
+telemetry::Counter &analysisInvalidations(const char *Kind) {
+  static telemetry::MetricsRegistry &M = telemetry::MetricsRegistry::global();
+  static const char *Help = "Cached analyses dropped by invalidation";
+  static telemetry::Counter &Dom = M.counter(
+      "cg_analysis_invalidations_total", {{"kind", "domtree"}}, Help);
+  static telemetry::Counter &Loops = M.counter(
+      "cg_analysis_invalidations_total", {{"kind", "loops"}}, Help);
+  if (Kind[0] == 'd')
+    return Dom;
+  return Loops;
+}
+
+} // namespace
+
 const DominatorTree &AnalysisManager::domTree(const Function &F) {
   Entry &E = Cache[&F];
   if (E.DT) {
     ++S.DomTreeHits;
+    analysisLookup("domtree", true).inc();
   } else {
     E.DT = std::make_unique<DominatorTree>(F);
     ++S.DomTreeComputes;
+    analysisLookup("domtree", false).inc();
   }
   return *E.DT;
 }
@@ -29,10 +71,12 @@ const std::vector<NaturalLoop> &AnalysisManager::loops(const Function &F) {
   Entry &E = Cache[&F];
   if (E.Loops) {
     ++S.LoopHits;
+    analysisLookup("loops", true).inc();
   } else {
     E.Loops =
         std::make_unique<std::vector<NaturalLoop>>(findNaturalLoops(F, DT));
     ++S.LoopComputes;
+    analysisLookup("loops", false).inc();
   }
   return *E.Loops;
 }
@@ -57,10 +101,14 @@ void AnalysisManager::invalidate(const Function &F,
   if (Dropped & (AK_DomTree | AK_Loops)) {
     auto It = Cache.find(&F);
     if (It != Cache.end()) {
-      if (!(PA.preserves(AK_DomTree)))
+      if (!(PA.preserves(AK_DomTree)) && It->second.DT) {
         It->second.DT.reset();
-      if (!(PA.preserves(AK_Loops)))
+        analysisInvalidations("domtree").inc();
+      }
+      if (!(PA.preserves(AK_Loops)) && It->second.Loops) {
         It->second.Loops.reset();
+        analysisInvalidations("loops").inc();
+      }
     }
   }
   if (unsigned Mask = featureMaskFor(PA))
@@ -70,10 +118,14 @@ void AnalysisManager::invalidate(const Function &F,
 void AnalysisManager::invalidateAll(const PreservedAnalyses &PA) {
   if (!PA.preserves(AK_DomTree) || !PA.preserves(AK_Loops)) {
     for (auto &[F, E] : Cache) {
-      if (!PA.preserves(AK_DomTree))
+      if (!PA.preserves(AK_DomTree) && E.DT) {
         E.DT.reset();
-      if (!PA.preserves(AK_Loops))
+        analysisInvalidations("domtree").inc();
+      }
+      if (!PA.preserves(AK_Loops) && E.Loops) {
         E.Loops.reset();
+        analysisInvalidations("loops").inc();
+      }
     }
   }
   if (unsigned Mask = featureMaskFor(PA))

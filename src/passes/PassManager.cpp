@@ -6,8 +6,21 @@
 
 #include "passes/PassManager.h"
 
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
+
 using namespace compiler_gym;
 using namespace compiler_gym::passes;
+
+namespace {
+
+telemetry::Counter &passesRunTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_passes_run_total", {}, "Transformation pass executions");
+  return C;
+}
+
+} // namespace
 
 PassManager::PassManager(ir::Module &M)
     : M(M),
@@ -31,8 +44,13 @@ Pass *PassManager::getPass(const std::string &Name) {
 }
 
 StatusOr<bool> PassManager::run(Pass &P) {
+  telemetry::SpanScope Span(telemetry::Tracer::global().enabled()
+                                ? "pass:" + P.name()
+                                : std::string(),
+                            "passes");
   PassResult R = P.run(M, AM);
   ++St.PassesRun;
+  passesRunTotal().inc();
   // Module-scoped passes that did not report fine-grained invalidation
   // themselves get their PreservedAnalyses applied module-wide, so a pass
   // following only the PassResult contract is conservatively correct.

@@ -7,7 +7,10 @@
 #include "runtime/EnvPool.h"
 
 #include "datasets/DatasetRegistry.h"
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
 #include "util/Logging.h"
+#include "util/Timer.h"
 
 #include <algorithm>
 #include <atomic>
@@ -15,6 +18,30 @@
 
 using namespace compiler_gym;
 using namespace compiler_gym::runtime;
+
+namespace {
+
+telemetry::Counter &stepsTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_pool_steps_total", {}, "Actions executed through EnvPool");
+  return C;
+}
+
+telemetry::Counter &episodesTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_pool_episodes_total", {}, "Episodes completed through EnvPool");
+  return C;
+}
+
+telemetry::Histogram &queueWaitUs() {
+  static telemetry::Histogram &H =
+      telemetry::MetricsRegistry::global().histogram(
+          "cg_pool_queue_wait_us", {},
+          "Latency from work submission to worker pickup (us)");
+  return H;
+}
+
+} // namespace
 
 EnvPool::EnvPool(EnvPoolOptions Opts, std::unique_ptr<ServiceBroker> Broker)
     : Opts(std::move(Opts)), Broker(std::move(Broker)) {}
@@ -102,8 +129,15 @@ Status EnvPool::forEachWorker(const std::function<Status(size_t)> &Fn) {
   Futures.reserve(Envs.size());
   std::mutex ErrMutex;
   Status FirstError = Status::ok();
+  // Worker tasks adopt the coordinator's trace context so per-env spans
+  // (env.step and below) stitch under the pool-level span even though
+  // they run on ThreadPool threads.
+  telemetry::TraceContext Ctx = telemetry::currentTraceContext();
   for (size_t W = 0; W < Envs.size(); ++W) {
-    Futures.push_back(Workers->submit([&, W] {
+    Stopwatch QueueWatch;
+    Futures.push_back(Workers->submit([&, W, QueueWatch] {
+      queueWaitUs().observeUs(QueueWatch.elapsedUs());
+      telemetry::TraceBinding Bind(Ctx.TraceId, Ctx.SpanId);
       Status S = Fn(W);
       if (!S.isOk()) {
         std::lock_guard<std::mutex> Lock(ErrMutex);
@@ -118,6 +152,7 @@ Status EnvPool::forEachWorker(const std::function<Status(size_t)> &Fn) {
 }
 
 StatusOr<std::vector<service::Observation>> EnvPool::resetAll() {
+  CG_TRACE_SPAN("pool.reset_all", "runtime");
   std::vector<service::Observation> Out(Envs.size());
   // Benchmark cursors advance on the caller thread: nextBenchmark is not
   // synchronized.
@@ -148,6 +183,7 @@ EnvPool::stepBatch(const std::vector<std::vector<int>> &Actions,
     return invalidArgument("stepBatch: " + std::to_string(Actions.size()) +
                            " action lists for " +
                            std::to_string(Envs.size()) + " workers");
+  CG_TRACE_SPAN("pool.step_batch", "runtime");
   std::vector<core::StepResult> Out(Envs.size());
   size_t Steps = 0;
   for (const std::vector<int> &A : Actions)
@@ -159,12 +195,14 @@ EnvPool::stepBatch(const std::vector<std::vector<int>> &Actions,
   });
   if (!S.isOk())
     return S;
+  stepsTotal().inc(Steps);
   std::lock_guard<std::mutex> Lock(StatsMutex);
   Aggregate.StepsExecuted += Steps;
   return Out;
 }
 
 Status EnvPool::collect(size_t Episodes, const EpisodeFn &Fn) {
+  CG_TRACE_SPAN("pool.collect", "runtime");
   std::atomic<size_t> NextEpisode{0};
   return forEachWorker([&](size_t W) -> Status {
     for (;;) {
@@ -176,6 +214,8 @@ Status EnvPool::collect(size_t Episodes, const EpisodeFn &Fn) {
         Envs[W]->setBenchmark(Uri);
       CG_ASSIGN_OR_RETURN(service::Observation Obs, Envs[W]->reset());
       CG_RETURN_IF_ERROR(Fn(W, Episode, *Envs[W], Obs));
+      episodesTotal().inc();
+      stepsTotal().inc(Envs[W]->episodeLength());
       std::lock_guard<std::mutex> Lock(StatsMutex);
       Aggregate.EpisodesCompleted += 1;
       Aggregate.StepsExecuted += Envs[W]->episodeLength();
@@ -186,6 +226,7 @@ Status EnvPool::collect(size_t Episodes, const EpisodeFn &Fn) {
 
 StatusOr<std::vector<double>> EnvPool::evaluateSequences(
     const std::vector<std::vector<int>> &Candidates) {
+  CG_TRACE_SPAN("pool.evaluate", "runtime");
   std::vector<double> Rewards(Candidates.size(), 0.0);
   std::atomic<size_t> Next{0};
   Status S = forEachWorker([&](size_t W) -> Status {
@@ -200,6 +241,8 @@ StatusOr<std::vector<double>> EnvPool::evaluateSequences(
         (void)R;
       }
       Rewards[I] = Envs[W]->episodeReward();
+      episodesTotal().inc();
+      stepsTotal().inc(Candidates[I].size());
       std::lock_guard<std::mutex> Lock(StatsMutex);
       Aggregate.EpisodesCompleted += 1;
       Aggregate.StepsExecuted += Candidates[I].size();
@@ -213,6 +256,7 @@ StatusOr<std::vector<double>> EnvPool::evaluateSequences(
 
 StatusOr<std::vector<double>> EnvPool::evaluateDirect(
     const std::vector<std::vector<int64_t>> &Candidates) {
+  CG_TRACE_SPAN("pool.evaluate", "runtime");
   std::vector<double> Rewards(Candidates.size(), 0.0);
   std::atomic<size_t> Next{0};
   Status S = forEachWorker([&](size_t W) -> Status {
@@ -226,6 +270,8 @@ StatusOr<std::vector<double>> EnvPool::evaluateDirect(
                           Envs[W]->stepDirect(Candidates[I]));
       (void)R;
       Rewards[I] = Envs[W]->episodeReward();
+      episodesTotal().inc();
+      stepsTotal().inc();
       std::lock_guard<std::mutex> Lock(StatsMutex);
       Aggregate.EpisodesCompleted += 1;
       Aggregate.StepsExecuted += 1;

@@ -141,9 +141,10 @@ public:
   StatusOr<std::vector<double>> evaluateDirect(
       const std::vector<std::vector<int64_t>> &Candidates);
 
-  /// Aggregated statistics snapshot. Call between batch operations: the
-  /// per-env recovery counters are read unsynchronized, so a snapshot taken
-  /// mid-batch may lag by the still-running episodes.
+  /// Aggregated statistics snapshot. Safe to call concurrently with batch
+  /// operations: the per-env recovery counters are relaxed atomics, so a
+  /// mid-batch snapshot is race-free but may lag the still-running
+  /// episodes' episode/step aggregates.
   PoolStats stats() const;
 
 private:

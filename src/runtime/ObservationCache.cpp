@@ -6,12 +6,36 @@
 
 #include "runtime/ObservationCache.h"
 
+#include "telemetry/MetricsRegistry.h"
 #include "util/Hash.h"
 
 #include <algorithm>
 
 using namespace compiler_gym;
 using namespace compiler_gym::runtime;
+
+namespace {
+
+// Process-wide mirrors of the per-instance counters: one cache is usually
+// shared by a whole broker, but several can coexist (tests, pools); the
+// registry series aggregates across all of them.
+telemetry::Counter &cacheEvent(const char *Kind) {
+  static telemetry::MetricsRegistry &M = telemetry::MetricsRegistry::global();
+  static const char *Help = "Cross-session observation cache events";
+  static telemetry::Counter &Hits =
+      M.counter("cg_obs_cache_events_total", {{"event", "hit"}}, Help);
+  static telemetry::Counter &Misses =
+      M.counter("cg_obs_cache_events_total", {{"event", "miss"}}, Help);
+  static telemetry::Counter &Evictions =
+      M.counter("cg_obs_cache_events_total", {{"event", "eviction"}}, Help);
+  if (Kind[0] == 'h')
+    return Hits;
+  if (Kind[0] == 'm')
+    return Misses;
+  return Evictions;
+}
+
+} // namespace
 
 ObservationCache::ObservationCache(ObservationCacheOptions Opts)
     : Opts(Opts), Stripes(std::max<size_t>(1, Opts.NumStripes)) {
@@ -32,11 +56,13 @@ bool ObservationCache::lookup(uint64_t StateKey, const std::string &SpaceName,
   auto It = S.Map.find(Key);
   if (It == S.Map.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    cacheEvent("miss").inc();
     return false;
   }
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // Promote to MRU.
   Out = It->second->Obs;
   Hits.fetch_add(1, std::memory_order_relaxed);
+  cacheEvent("hit").inc();
   return true;
 }
 
@@ -57,6 +83,7 @@ void ObservationCache::insert(uint64_t StateKey, const std::string &SpaceName,
     S.Map.erase(S.Lru.back().Key);
     S.Lru.pop_back();
     Evictions.fetch_add(1, std::memory_order_relaxed);
+    cacheEvent("eviction").inc();
   }
 }
 

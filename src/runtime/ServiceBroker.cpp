@@ -6,6 +6,7 @@
 
 #include "runtime/ServiceBroker.h"
 
+#include "telemetry/MetricsRegistry.h"
 #include "util/Logging.h"
 
 #include <algorithm>
@@ -14,7 +15,21 @@
 using namespace compiler_gym;
 using namespace compiler_gym::runtime;
 
+namespace {
+
+telemetry::Counter &shardRestartsTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_broker_shard_restarts_total", {},
+      "Crashed service shards relaunched by broker monitors");
+  return C;
+}
+
+} // namespace
+
 ServiceBroker::ServiceBroker(BrokerOptions Opts) : Opts(Opts) {
+  // Touch the restart counter so the series scrapes as zero before the
+  // first crash instead of being absent.
+  shardRestartsTotal();
   size_t N = std::max<size_t>(1, Opts.NumShards);
   if (this->Opts.EnableObservationCache)
     ObsCache = std::make_shared<ObservationCache>(this->Opts.Cache);
@@ -95,12 +110,14 @@ size_t ServiceBroker::checkShards() {
   for (size_t I = 0; I < Shards.size(); ++I) {
     if (!Shards[I]->Service->crashed())
       continue;
-    CG_LOG_INFO << "broker: shard " << I << " crashed; restarting";
+    CG_LOG_INFO_FOR("broker", 0) << "shard " << I << " crashed; restarting";
     Shards[I]->Service->restart();
     ++Restarted;
   }
-  if (Restarted)
+  if (Restarted) {
     Restarts.fetch_add(Restarted, std::memory_order_relaxed);
+    shardRestartsTotal().inc(Restarted);
+  }
   return Restarted;
 }
 

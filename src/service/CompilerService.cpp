@@ -6,12 +6,101 @@
 
 #include "service/CompilerService.h"
 
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
 #include "util/Logging.h"
+#include "util/Timer.h"
 
 #include <thread>
 
 using namespace compiler_gym;
 using namespace compiler_gym::service;
+
+namespace {
+
+using telemetry::Counter;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+
+Counter &rpcsTotal(RequestKind Kind) {
+  static MetricsRegistry &M = MetricsRegistry::global();
+  static const char *Help = "RPCs dispatched by the compiler service";
+  static Counter &Start =
+      M.counter("cg_service_rpcs_total", {{"kind", "start_session"}}, Help);
+  static Counter &End =
+      M.counter("cg_service_rpcs_total", {{"kind", "end_session"}}, Help);
+  static Counter &Step =
+      M.counter("cg_service_rpcs_total", {{"kind", "step"}}, Help);
+  static Counter &Fork =
+      M.counter("cg_service_rpcs_total", {{"kind", "fork"}}, Help);
+  static Counter &Heartbeat =
+      M.counter("cg_service_rpcs_total", {{"kind", "heartbeat"}}, Help);
+  switch (Kind) {
+  case RequestKind::StartSession:
+    return Start;
+  case RequestKind::EndSession:
+    return End;
+  case RequestKind::Step:
+    return Step;
+  case RequestKind::Fork:
+    return Fork;
+  case RequestKind::Heartbeat:
+    return Heartbeat;
+  }
+  return Heartbeat;
+}
+
+Histogram &rpcLatencyUs(RequestKind Kind) {
+  static MetricsRegistry &M = MetricsRegistry::global();
+  static const char *Help =
+      "Service-side RPC handling latency (decode to encoded reply, us)";
+  static Histogram &Start = M.histogram(
+      "cg_service_rpc_latency_us", {{"kind", "start_session"}}, Help);
+  static Histogram &End = M.histogram("cg_service_rpc_latency_us",
+                                      {{"kind", "end_session"}}, Help);
+  static Histogram &Step =
+      M.histogram("cg_service_rpc_latency_us", {{"kind", "step"}}, Help);
+  static Histogram &Fork =
+      M.histogram("cg_service_rpc_latency_us", {{"kind", "fork"}}, Help);
+  static Histogram &Heartbeat = M.histogram("cg_service_rpc_latency_us",
+                                            {{"kind", "heartbeat"}}, Help);
+  switch (Kind) {
+  case RequestKind::StartSession:
+    return Start;
+  case RequestKind::EndSession:
+    return End;
+  case RequestKind::Step:
+    return Step;
+  case RequestKind::Fork:
+    return Fork;
+  case RequestKind::Heartbeat:
+    return Heartbeat;
+  }
+  return Heartbeat;
+}
+
+Counter &dedupReplaysTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_service_dedup_replays_total", {},
+      "Requests answered from the idempotency reply cache");
+  return C;
+}
+
+Counter &deltaRepliesTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_service_observation_replies_total", {{"encoding", "delta"}},
+      "Step observations answered as deltas vs full payloads");
+  return C;
+}
+
+Counter &fullRepliesTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_service_observation_replies_total", {{"encoding", "full"}},
+      "Step observations answered as deltas vs full payloads");
+  return C;
+}
+
+} // namespace
 
 CompilerService::CompilerService(FaultPlan Plan) : Plan(Plan) {}
 
@@ -25,7 +114,7 @@ void CompilerService::restart() {
   LastSent.clear();
   Crashed = false;
   OpsHandled.store(0, std::memory_order_relaxed);
-  CG_LOG_INFO << "compiler service restarted";
+  CG_LOG_INFO_FOR("service", 0) << "compiler service restarted";
 }
 
 uint64_t CompilerService::deltaRepliesSent() const {
@@ -51,20 +140,40 @@ size_t CompilerService::numSessions() const {
 
 std::string CompilerService::handle(const std::string &RequestBytes) {
   StatusOr<RequestEnvelope> Req = decodeRequest(RequestBytes);
-  ReplyEnvelope Reply;
   if (!Req.isOk()) {
+    ReplyEnvelope Reply;
     Reply.Code = Req.status().code();
     Reply.ErrorMessage = Req.status().message();
     return encodeReply(Reply);
   }
+  // Adopt the client's trace identity for the duration of this request:
+  // the spans below (and any opened inside sessions/passes) stitch under
+  // the client's RPC span even though we run on the dispatcher thread.
+  telemetry::TraceBinding Bind(Req->TraceId, Req->SpanId);
+  telemetry::SpanScope Span(
+      telemetry::Tracer::global().enabled()
+          ? std::string("service:") + requestKindName(Req->Kind)
+          : std::string(),
+      "service");
+  Stopwatch Watch;
+  std::string ReplyBytes = handleLocked(*Req);
+  rpcsTotal(Req->Kind).inc();
+  rpcLatencyUs(Req->Kind).observeUs(Watch.elapsedUs());
+  return ReplyBytes;
+}
+
+std::string CompilerService::handleLocked(const RequestEnvelope &Req) {
+  ReplyEnvelope Reply;
   std::lock_guard<std::mutex> Lock(Mutex);
   // Retry of a request we already executed: replay the stored reply. This
   // is checked before the fault-plan op accounting — a dedup hit performs
   // no compiler work.
-  if (Req->RequestId) {
-    auto Served = ServedReplies.find(Req->RequestId);
-    if (Served != ServedReplies.end())
+  if (Req.RequestId) {
+    auto Served = ServedReplies.find(Req.RequestId);
+    if (Served != ServedReplies.end()) {
+      dedupReplaysTotal().inc();
       return Served->second;
+    }
   }
   uint64_t Op = OpsHandled.fetch_add(1, std::memory_order_relaxed) + 1;
   if (Plan.HangOnOp && Op == Plan.HangOnOp)
@@ -76,11 +185,15 @@ std::string CompilerService::handle(const std::string &RequestBytes) {
     Reply.ErrorMessage = "compiler service crashed";
     return encodeReply(Reply);
   }
-  Reply = dispatch(*Req);
-  std::string ReplyBytes = encodeReply(Reply);
-  if (Req->RequestId) {
-    ServedReplies.emplace(Req->RequestId, ReplyBytes);
-    ServedOrder.push_back(Req->RequestId);
+  Reply = dispatch(Req);
+  std::string ReplyBytes;
+  {
+    telemetry::SpanScope EncodeSpan("encode.reply", "service");
+    ReplyBytes = encodeReply(Reply);
+  }
+  if (Req.RequestId) {
+    ServedReplies.emplace(Req.RequestId, ReplyBytes);
+    ServedOrder.push_back(Req.RequestId);
     if (ServedOrder.size() > DedupWindow) {
       ServedReplies.erase(ServedOrder.front());
       ServedOrder.pop_front();
@@ -142,15 +255,19 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
                            std::to_string(Req.Step.SessionId)));
     CompilationSession &Session = *It->second;
     bool End = false, SpaceChanged = false;
-    // Batched execution (§III-B5): apply every action, observe once.
-    for (const Action &A : Req.Step.Actions) {
-      bool StepEnd = false, StepChanged = false;
-      if (Status S = Session.applyAction(A, StepEnd, StepChanged); !S.isOk())
-        return fail(S);
-      End |= StepEnd;
-      SpaceChanged |= StepChanged;
-      if (End)
-        break;
+    {
+      // Batched execution (§III-B5): apply every action, observe once.
+      telemetry::SpanScope ApplySpan("session.apply_actions", "service");
+      for (const Action &A : Req.Step.Actions) {
+        bool StepEnd = false, StepChanged = false;
+        if (Status S = Session.applyAction(A, StepEnd, StepChanged);
+            !S.isOk())
+          return fail(S);
+        End |= StepEnd;
+        SpaceChanged |= StepChanged;
+        if (End)
+          break;
+      }
     }
     Reply.Step.EndOfSession = End;
     Reply.Step.ActionSpaceChanged = SpaceChanged;
@@ -180,6 +297,10 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
           Info = &O;
       if (!Info)
         return fail(notFound("no observation space '" + SpaceName + "'"));
+      telemetry::SpanScope ObsSpan(
+          telemetry::Tracer::global().enabled() ? "observe:" + SpaceName
+                                                : std::string(),
+          "service");
       // Only deterministic observations are cacheable or delta-encodable;
       // Runtime-style spaces vary per measurement and must always be
       // recomputed and shipped in full.
@@ -203,6 +324,7 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
         Delta.StateKey = CurKey;
         Delta.BaseKey = BaseKey;
         ++DeltaRepliesSent;
+        deltaRepliesTotal().inc();
         Reply.Step.Observations.push_back(std::move(Delta));
         continue;
       }
@@ -225,6 +347,7 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
       // delta-unaware client should not cost a per-session payload copy.
       bool ClientDeltas = !Req.Step.ObservationBaseKeys.empty();
       if (CurKey && BaseKey) {
+        telemetry::SpanScope DeltaSpan("delta.encode", "service");
         const Observation *Base = nullptr;
         Observation CachedBase;
         auto SessIt = LastSent.find(Req.Step.SessionId);
@@ -243,6 +366,7 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
           Delta.StateKey = CurKey;
           Delta.BaseKey = BaseKey;
           ++DeltaRepliesSent;
+          deltaRepliesTotal().inc();
           LastSent[Req.Step.SessionId][SpaceName] = std::move(Obs);
           Reply.Step.Observations.push_back(std::move(Delta));
           continue;
@@ -250,6 +374,7 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
       }
       if (CurKey && ClientDeltas)
         LastSent[Req.Step.SessionId][SpaceName] = Obs;
+      fullRepliesTotal().inc();
       Reply.Step.Observations.push_back(std::move(Obs));
     }
     return Reply;

@@ -80,6 +80,9 @@ public:
   uint64_t deltaRepliesSent() const;
 
 private:
+  /// The mutex-guarded request path (dedup window, fault plan, dispatch,
+  /// reply encoding); handle() wraps it with trace binding and telemetry.
+  std::string handleLocked(const RequestEnvelope &Req);
   ReplyEnvelope dispatch(const RequestEnvelope &Req);
 
   FaultPlan Plan;

@@ -123,6 +123,24 @@ enum class RequestKind : int32_t {
   Heartbeat,
 };
 
+/// Stable lowercase name of a request kind, used as the "kind" label on
+/// per-RPC telemetry and in span names.
+inline const char *requestKindName(RequestKind Kind) {
+  switch (Kind) {
+  case RequestKind::StartSession:
+    return "start_session";
+  case RequestKind::EndSession:
+    return "end_session";
+  case RequestKind::Step:
+    return "step";
+  case RequestKind::Fork:
+    return "fork";
+  case RequestKind::Heartbeat:
+    return "heartbeat";
+  }
+  return "unknown";
+}
+
 struct StartSessionRequest {
   std::string CompilerName; ///< "llvm", "gcc", "loop_tool".
   datasets::Benchmark Bench;
@@ -180,6 +198,13 @@ struct RequestEnvelope {
   /// would execute once for the original and once for the retry, silently
   /// double-applying actions. 0 = no deduplication.
   uint64_t RequestId = 0;
+  /// Distributed-trace correlation (telemetry/Trace.h): the client stamps
+  /// the trace id and the span id of its in-flight RPC span here, so
+  /// service-side spans — running on the transport's dispatcher thread —
+  /// stitch into the same trace as children of the client span. 0 = no
+  /// sampled trace active.
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
   StartSessionRequest Start;
   EndSessionRequest End;
   StepRequest Step;

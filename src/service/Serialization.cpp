@@ -245,6 +245,8 @@ std::string service::encodeRequest(const RequestEnvelope &Req) {
   Writer W;
   W.u32(static_cast<uint32_t>(Req.Kind));
   W.u64(Req.RequestId);
+  W.u64(Req.TraceId);
+  W.u64(Req.SpanId);
   switch (Req.Kind) {
   case RequestKind::StartSession:
     W.str(Req.Start.CompilerName);
@@ -280,7 +282,7 @@ StatusOr<RequestEnvelope> service::decodeRequest(const std::string &Bytes) {
       Kind > static_cast<uint32_t>(RequestKind::Heartbeat))
     return invalidArgument("malformed request envelope");
   Req.Kind = static_cast<RequestKind>(Kind);
-  if (!R.u64(Req.RequestId))
+  if (!R.u64(Req.RequestId) || !R.u64(Req.TraceId) || !R.u64(Req.SpanId))
     return invalidArgument("malformed request envelope");
   bool Ok = true;
   switch (Req.Kind) {

@@ -6,13 +6,84 @@
 
 #include "service/ServiceClient.h"
 
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
 #include "util/Logging.h"
+#include "util/Timer.h"
 
 #include <atomic>
 #include <thread>
 
 using namespace compiler_gym;
 using namespace compiler_gym::service;
+
+namespace {
+
+using telemetry::Counter;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+
+Counter &rpcAttemptsTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_client_rpcs_total", {},
+      "RPC attempts issued by frontend clients (retries included)");
+  return C;
+}
+
+Counter &retriesTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_client_retries_total", {},
+      "Transient-failure RPC retries (unavailable, deadline, garbled)");
+  return C;
+}
+
+Counter &restartsTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_client_service_restarts_total", {},
+      "Backend relaunches requested after crash/hang");
+  return C;
+}
+
+Counter &wireBytes(bool Sent) {
+  static Counter &S = MetricsRegistry::global().counter(
+      "cg_wire_bytes_total", {{"direction", "sent"}},
+      "Serialized RPC bytes through frontend clients");
+  static Counter &R = MetricsRegistry::global().counter(
+      "cg_wire_bytes_total", {{"direction", "received"}},
+      "Serialized RPC bytes through frontend clients");
+  return Sent ? S : R;
+}
+
+Histogram &rpcLatencyUs(RequestKind Kind) {
+  static MetricsRegistry &M = MetricsRegistry::global();
+  static const char *Help =
+      "Client-observed RPC latency (all attempts, in microseconds)";
+  static Histogram &Start = M.histogram(
+      "cg_client_rpc_latency_us", {{"kind", "start_session"}}, Help);
+  static Histogram &End =
+      M.histogram("cg_client_rpc_latency_us", {{"kind", "end_session"}}, Help);
+  static Histogram &Step =
+      M.histogram("cg_client_rpc_latency_us", {{"kind", "step"}}, Help);
+  static Histogram &Fork =
+      M.histogram("cg_client_rpc_latency_us", {{"kind", "fork"}}, Help);
+  static Histogram &Heartbeat =
+      M.histogram("cg_client_rpc_latency_us", {{"kind", "heartbeat"}}, Help);
+  switch (Kind) {
+  case RequestKind::StartSession:
+    return Start;
+  case RequestKind::EndSession:
+    return End;
+  case RequestKind::Step:
+    return Step;
+  case RequestKind::Fork:
+    return Fork;
+  case RequestKind::Heartbeat:
+    return Heartbeat;
+  }
+  return Heartbeat;
+}
+
+} // namespace
 
 ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
                              std::shared_ptr<Transport> Channel,
@@ -30,6 +101,7 @@ ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
 
 void ServiceClient::restartService() {
   ++RestartCount;
+  restartsTotal().inc();
   Service->restart();
 }
 
@@ -37,20 +109,42 @@ StatusOr<ReplyEnvelope> ServiceClient::call(RequestEnvelope &Req) {
   // Process-wide unique: several clients may share one service shard.
   static std::atomic<uint64_t> NextRequestId{1};
   Req.RequestId = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  telemetry::SpanScope Span(
+      telemetry::Tracer::global().enabled()
+          ? std::string("rpc:") + requestKindName(Req.Kind)
+          : std::string(),
+      "client");
+  // Stitch service-side spans under this RPC span: the context now names
+  // the span just opened above (or zeros when tracing is off/unsampled).
+  telemetry::TraceContext Ctx = telemetry::currentTraceContext();
+  Req.TraceId = Ctx.TraceId;
+  Req.SpanId = Ctx.SpanId;
+  Stopwatch Watch;
+  StatusOr<ReplyEnvelope> Reply = callAttempts(Req);
+  rpcLatencyUs(Req.Kind).observeUs(Watch.elapsedUs());
+  return Reply;
+}
+
+StatusOr<ReplyEnvelope> ServiceClient::callAttempts(RequestEnvelope &Req) {
   std::string Bytes = encodeRequest(Req);
   Status LastError = internalError("no attempt made");
   for (int Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
     if (Attempt > 0) {
       ++RetryCount;
+      retriesTotal().inc();
       std::this_thread::sleep_for(
           std::chrono::milliseconds(Opts.RetryBackoffMs));
     }
     ++RpcCount;
+    rpcAttemptsTotal().inc();
     WireBytesSent += Bytes.size();
+    wireBytes(true).inc(Bytes.size());
     StatusOr<std::string> ReplyBytes = Channel->roundTrip(Bytes,
                                                           Opts.TimeoutMs);
-    if (ReplyBytes.isOk())
+    if (ReplyBytes.isOk()) {
       WireBytesReceived += ReplyBytes->size();
+      wireBytes(false).inc(ReplyBytes->size());
+    }
     if (!ReplyBytes.isOk()) {
       LastError = ReplyBytes.status();
       // Unavailable and dropped replies are transient; hangs surface as
@@ -65,7 +159,8 @@ StatusOr<ReplyEnvelope> ServiceClient::call(RequestEnvelope &Req) {
     if (!Reply.isOk()) {
       // Garbled reply: a transport fault; retry.
       LastError = unavailable("garbled reply: " + Reply.status().message());
-      CG_LOG_INFO << "retrying garbled service reply";
+      CG_LOG_INFO_FOR("client", Req.RequestId)
+          << "retrying garbled service reply";
       continue;
     }
     return Reply;

@@ -52,7 +52,9 @@ public:
   /// Relaunches the backend (used by the environment after crash/hang).
   void restartService();
 
-  /// Telemetry for the robustness tests and Table II accounting.
+  /// Per-client telemetry for the robustness tests and Table II
+  /// accounting. Thin shims: the same events also feed the process-wide
+  /// telemetry::MetricsRegistry (cg_client_* / cg_wire_bytes_total).
   uint64_t rpcCount() const { return RpcCount; }
   uint64_t retryCount() const { return RetryCount; }
   uint64_t restartCount() const { return RestartCount; }
@@ -66,8 +68,11 @@ public:
 
 private:
   /// Stamps \p Req with a process-unique RequestId (shared across retries,
-  /// so the service can deduplicate re-executions) and performs the call.
+  /// so the service can deduplicate re-executions) and the caller's trace
+  /// context, opens the client RPC span, and performs the call.
   StatusOr<ReplyEnvelope> call(RequestEnvelope &Req);
+  /// The retry loop proper (split out so call() can time it end-to-end).
+  StatusOr<ReplyEnvelope> callAttempts(RequestEnvelope &Req);
 
   std::shared_ptr<CompilerService> Service;
   std::shared_ptr<Transport> Channel;

@@ -1,0 +1,272 @@
+//===- telemetry/MetricsRegistry.cpp --------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/MetricsRegistry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace compiler_gym;
+using namespace compiler_gym::telemetry;
+
+unsigned telemetry::detail::threadStripe() {
+  static std::atomic<unsigned> NextStripe{0};
+  thread_local unsigned Stripe =
+      NextStripe.fetch_add(1, std::memory_order_relaxed) &
+      (detail::kStripes - 1);
+  return Stripe;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+/// One series per (name, labels): the key flattens both with unprintable
+/// separators so label values containing '{' or ',' cannot collide.
+static std::string seriesKey(const std::string &Name, const Labels &L) {
+  std::string Key = Name;
+  for (const auto &KV : L) {
+    Key += '\x1f';
+    Key += KV.first;
+    Key += '\x1e';
+    Key += KV.second;
+  }
+  return Key;
+}
+
+template <typename MetricT>
+MetricT &MetricsRegistry::lookup(
+    std::vector<std::unique_ptr<Entry<MetricT>>> &Family,
+    std::unordered_map<std::string, size_t> &Index, const std::string &Name,
+    const Labels &L, const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Key = seriesKey(Name, L);
+  auto It = Index.find(Key);
+  if (It != Index.end())
+    return Family[It->second]->Metric;
+  Family.push_back(
+      std::make_unique<Entry<MetricT>>(Name, L, Help, &Enabled));
+  Index.emplace(std::move(Key), Family.size() - 1);
+  return Family.back()->Metric;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name, const Labels &L,
+                                  const std::string &Help) {
+  return lookup(Counters, CounterIndex, Name, L, Help);
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name, const Labels &L,
+                              const std::string &Help) {
+  return lookup(Gauges, GaugeIndex, Name, L, Help);
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const Labels &L,
+                                      const std::string &Help) {
+  return lookup(Histograms, HistogramIndex, Name, L, Help);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot Snap;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &E : Counters)
+    Snap.Counters.push_back({E->Name, E->L, E->Help, E->Metric.value()});
+  for (const auto &E : Gauges)
+    Snap.Gauges.push_back({E->Name, E->L, E->Help, E->Metric.value()});
+  for (const auto &E : Histograms) {
+    HistogramSample S;
+    S.Name = E->Name;
+    S.L = E->L;
+    S.Help = E->Help;
+    S.Buckets = E->Metric.bucketCounts();
+    for (uint64_t C : S.Buckets)
+      S.Count += C;
+    S.SumUs = E->Metric.sumUs();
+    Snap.Histograms.push_back(std::move(S));
+  }
+  return Snap;
+}
+
+static void escapeInto(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '\\' || C == '"')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+}
+
+/// Renders {k="v",...} including an optional extra label (used for le=).
+static std::string labelBlock(const Labels &L, const char *ExtraKey = nullptr,
+                              const std::string &ExtraVal = "") {
+  if (L.empty() && !ExtraKey)
+    return "";
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &KV : L) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += KV.first;
+    Out += "=\"";
+    escapeInto(Out, KV.second);
+    Out += '"';
+  }
+  if (ExtraKey) {
+    if (!First)
+      Out += ',';
+    Out += ExtraKey;
+    Out += "=\"";
+    escapeInto(Out, ExtraVal);
+    Out += '"';
+  }
+  Out += '}';
+  return Out;
+}
+
+template <typename SampleT>
+static void emitHeader(std::string &Out, const SampleT &S, const char *Type,
+                       std::unordered_map<std::string, bool> &Emitted) {
+  if (Emitted.emplace(S.Name, true).second) {
+    if (!S.Help.empty())
+      Out += "# HELP " + S.Name + " " + S.Help + "\n";
+    Out += "# TYPE " + S.Name + " ";
+    Out += Type;
+    Out += '\n';
+  }
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  MetricsSnapshot Snap = snapshot();
+  // Exposition format requires every sample of a family to be contiguous;
+  // registration order interleaves families when a family's series were
+  // first touched at different times. Stable sort groups by name while
+  // keeping each family's series in registration order.
+  auto ByName = [](const auto &A, const auto &B) { return A.Name < B.Name; };
+  std::stable_sort(Snap.Counters.begin(), Snap.Counters.end(), ByName);
+  std::stable_sort(Snap.Gauges.begin(), Snap.Gauges.end(), ByName);
+  std::stable_sort(Snap.Histograms.begin(), Snap.Histograms.end(), ByName);
+  std::string Out;
+  std::unordered_map<std::string, bool> Emitted;
+  char Buf[64];
+  for (const CounterSample &S : Snap.Counters) {
+    emitHeader(Out, S, "counter", Emitted);
+    std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", S.Value);
+    Out += S.Name + labelBlock(S.L) + Buf;
+  }
+  for (const GaugeSample &S : Snap.Gauges) {
+    emitHeader(Out, S, "gauge", Emitted);
+    std::snprintf(Buf, sizeof(Buf), " %" PRId64 "\n", S.Value);
+    Out += S.Name + labelBlock(S.L) + Buf;
+  }
+  for (const HistogramSample &S : Snap.Histograms) {
+    emitHeader(Out, S, "histogram", Emitted);
+    uint64_t Cum = 0;
+    for (size_t I = 0; I < Histogram::kBuckets; ++I) {
+      Cum += S.Buckets[I];
+      std::string Le;
+      if (I + 1 == Histogram::kBuckets) {
+        Le = "+Inf";
+      } else {
+        std::snprintf(Buf, sizeof(Buf), "%" PRIu64,
+                      Histogram::bucketUpperBoundUs(I));
+        Le = Buf;
+      }
+      std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", Cum);
+      Out += S.Name + "_bucket" + labelBlock(S.L, "le", Le) + Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), " %.3f\n", S.SumUs);
+    Out += S.Name + "_sum" + labelBlock(S.L) + Buf;
+    std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", S.Count);
+    Out += S.Name + "_count" + labelBlock(S.L) + Buf;
+  }
+  return Out;
+}
+
+static void jsonLabels(std::string &Out, const Labels &L) {
+  Out += "\"labels\":{";
+  bool First = true;
+  for (const auto &KV : L) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    escapeInto(Out, KV.first);
+    Out += "\":\"";
+    escapeInto(Out, KV.second);
+    Out += '"';
+  }
+  Out += '}';
+}
+
+std::string MetricsRegistry::renderJson() const {
+  MetricsSnapshot Snap = snapshot();
+  std::string Out = "{\"counters\":[";
+  char Buf[64];
+  bool First = true;
+  for (const CounterSample &S : Snap.Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    escapeInto(Out, S.Name);
+    Out += "\",";
+    jsonLabels(Out, S.L);
+    std::snprintf(Buf, sizeof(Buf), ",\"value\":%" PRIu64 "}", S.Value);
+    Out += Buf;
+  }
+  Out += "],\"gauges\":[";
+  First = true;
+  for (const GaugeSample &S : Snap.Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    escapeInto(Out, S.Name);
+    Out += "\",";
+    jsonLabels(Out, S.L);
+    std::snprintf(Buf, sizeof(Buf), ",\"value\":%" PRId64 "}", S.Value);
+    Out += Buf;
+  }
+  Out += "],\"histograms\":[";
+  First = true;
+  for (const HistogramSample &S : Snap.Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    escapeInto(Out, S.Name);
+    Out += "\",";
+    jsonLabels(Out, S.L);
+    std::snprintf(Buf, sizeof(Buf), ",\"count\":%" PRIu64 ",\"sum_us\":%.3f",
+                  S.Count, S.SumUs);
+    Out += Buf;
+    Out += ",\"buckets\":[";
+    uint64_t Cum = 0;
+    for (size_t I = 0; I < Histogram::kBuckets; ++I) {
+      Cum += S.Buckets[I];
+      if (I)
+        Out += ',';
+      if (I + 1 == Histogram::kBuckets)
+        std::snprintf(Buf, sizeof(Buf), "{\"le\":\"+Inf\",\"count\":%" PRIu64
+                                        "}",
+                      Cum);
+      else
+        std::snprintf(Buf, sizeof(Buf),
+                      "{\"le\":\"%" PRIu64 "\",\"count\":%" PRIu64 "}",
+                      Histogram::bucketUpperBoundUs(I), Cum);
+      Out += Buf;
+    }
+    Out += "]}";
+  }
+  Out += "]}";
+  return Out;
+}

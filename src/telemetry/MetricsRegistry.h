@@ -1,0 +1,298 @@
+//===- telemetry/MetricsRegistry.h - Fleet metrics registry -----*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide metrics registry: labeled counters, gauges, and
+/// log2-bucketed latency histograms for the service fleet (step latency,
+/// cache hit rates, shard recoveries, wire bytes — the quantities the
+/// paper reports in Tables II/III, made continuously inspectable).
+///
+/// Hot-path design: a metric handle is looked up once (function-local
+/// static at the instrumentation site) and then incremented with a single
+/// relaxed atomic add into a per-thread stripe, so concurrent writers on
+/// different threads do not contend on one cache line. snapshot() merges
+/// the stripes. The registry-wide enabled flag turns every write into a
+/// relaxed load + branch, which is what the overhead bench uses as its
+/// no-telemetry baseline.
+///
+/// Exports: Prometheus text exposition format (renderPrometheus) and a
+/// JSON document (renderJson) for runtime introspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_TELEMETRY_METRICSREGISTRY_H
+#define COMPILER_GYM_TELEMETRY_METRICSREGISTRY_H
+
+#include "util/Timer.h"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace compiler_gym {
+namespace telemetry {
+
+/// Metric labels as ordered key/value pairs. Order is preserved in the
+/// rendered output; (name, labels) identifies one time series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+constexpr size_t kStripes = 16;
+
+/// Stable per-thread stripe index in [0, kStripes).
+unsigned threadStripe();
+
+struct alignas(64) StripedCell {
+  std::atomic<uint64_t> V{0};
+};
+
+struct alignas(64) StripedSum {
+  std::atomic<double> V{0.0};
+};
+
+/// Default enable flag for metrics constructed outside a registry.
+inline std::atomic<bool> AlwaysEnabled{true};
+
+} // namespace detail
+
+/// Monotonic counter. Writes are relaxed adds into per-thread stripes;
+/// value() merges them (monotone but not linearizable, which is fine for
+/// telemetry).
+class Counter {
+public:
+  explicit Counter(const std::atomic<bool> *Enabled = &detail::AlwaysEnabled)
+      : Enabled(Enabled) {}
+
+  void inc(uint64_t N = 1) {
+    if (!Enabled->load(std::memory_order_relaxed))
+      return;
+    Cells[detail::threadStripe()].V.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const detail::StripedCell &C : Cells)
+      Sum += C.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  Counter(const Counter &) = delete;
+  Counter &operator=(const Counter &) = delete;
+
+private:
+  const std::atomic<bool> *Enabled;
+  std::array<detail::StripedCell, detail::kStripes> Cells;
+};
+
+/// Last-write-wins instantaneous value (e.g. pool size, live sessions).
+class Gauge {
+public:
+  explicit Gauge(const std::atomic<bool> *Enabled = &detail::AlwaysEnabled)
+      : Enabled(Enabled) {}
+
+  void set(int64_t V) {
+    if (Enabled->load(std::memory_order_relaxed))
+      Value.store(V, std::memory_order_relaxed);
+  }
+  void add(int64_t N) {
+    if (Enabled->load(std::memory_order_relaxed))
+      Value.fetch_add(N, std::memory_order_relaxed);
+  }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+  Gauge(const Gauge &) = delete;
+  Gauge &operator=(const Gauge &) = delete;
+
+private:
+  const std::atomic<bool> *Enabled;
+  std::atomic<int64_t> Value{0};
+};
+
+/// Log2-bucketed latency histogram in microseconds. Bucket I holds samples
+/// with value <= 2^I us (I in [0, 24]); the last bucket is +Inf. One
+/// striped cell row per thread stripe, merged on snapshot.
+class Histogram {
+public:
+  /// 25 finite buckets (1us .. ~16.8s) plus +Inf.
+  static constexpr size_t kBuckets = 26;
+
+  explicit Histogram(const std::atomic<bool> *Enabled = &detail::AlwaysEnabled)
+      : Enabled(Enabled) {}
+
+  void observeUs(double Us) {
+    if (!Enabled->load(std::memory_order_relaxed))
+      return;
+    uint64_t V = Us <= 0 ? 0 : static_cast<uint64_t>(Us);
+    size_t Idx =
+        V <= 1 ? 0 : static_cast<size_t>(std::bit_width(V - 1));
+    if (Idx >= kBuckets)
+      Idx = kBuckets - 1;
+    unsigned S = detail::threadStripe();
+    Buckets[S][Idx].fetch_add(1, std::memory_order_relaxed);
+    Sum[S].V.fetch_add(Us, std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket \p I in microseconds; UINT64_MAX for +Inf.
+  static uint64_t bucketUpperBoundUs(size_t I) {
+    return I + 1 < kBuckets ? (uint64_t{1} << I) : UINT64_MAX;
+  }
+
+  /// Per-bucket (non-cumulative) counts, merged across stripes.
+  std::array<uint64_t, kBuckets> bucketCounts() const {
+    std::array<uint64_t, kBuckets> Out{};
+    for (const auto &Row : Buckets)
+      for (size_t I = 0; I < kBuckets; ++I)
+        Out[I] += Row[I].load(std::memory_order_relaxed);
+    return Out;
+  }
+
+  uint64_t count() const {
+    uint64_t N = 0;
+    for (uint64_t C : bucketCounts())
+      N += C;
+    return N;
+  }
+
+  double sumUs() const {
+    double S = 0;
+    for (const detail::StripedSum &C : Sum)
+      S += C.V.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+private:
+  const std::atomic<bool> *Enabled;
+  std::array<std::array<std::atomic<uint64_t>, kBuckets>, detail::kStripes>
+      Buckets{};
+  std::array<detail::StripedSum, detail::kStripes> Sum;
+};
+
+/// Observes the elapsed scope time into a histogram on destruction.
+class ScopedTimerUs {
+public:
+  explicit ScopedTimerUs(Histogram &H) : H(H) {}
+  ~ScopedTimerUs() { H.observeUs(Watch.elapsedUs()); }
+
+  ScopedTimerUs(const ScopedTimerUs &) = delete;
+  ScopedTimerUs &operator=(const ScopedTimerUs &) = delete;
+
+private:
+  Histogram &H;
+  Stopwatch Watch;
+};
+
+// -- Snapshot -----------------------------------------------------------------
+
+struct CounterSample {
+  std::string Name;
+  Labels L;
+  std::string Help;
+  uint64_t Value = 0;
+};
+
+struct GaugeSample {
+  std::string Name;
+  Labels L;
+  std::string Help;
+  int64_t Value = 0;
+};
+
+struct HistogramSample {
+  std::string Name;
+  Labels L;
+  std::string Help;
+  std::array<uint64_t, Histogram::kBuckets> Buckets{};
+  uint64_t Count = 0;
+  double SumUs = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> Counters;
+  std::vector<GaugeSample> Gauges;
+  std::vector<HistogramSample> Histograms;
+};
+
+// -- Registry -----------------------------------------------------------------
+
+/// Owns metrics and hands out stable references: a returned Counter& is
+/// valid for the registry's lifetime, so call sites cache it in a
+/// function-local static and never touch the registry mutex again.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+
+  /// The process-wide registry all built-in instrumentation reports to
+  /// (leaky singleton: never destroyed, safe during static teardown).
+  static MetricsRegistry &global();
+
+  Counter &counter(const std::string &Name, const Labels &L = {},
+                   const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const Labels &L = {},
+               const std::string &Help = "");
+  Histogram &histogram(const std::string &Name, const Labels &L = {},
+                       const std::string &Help = "");
+
+  /// Runtime kill switch: when disabled every write through metrics owned
+  /// by this registry is a relaxed load + branch and nothing else.
+  void setEnabled(bool E) { Enabled.store(E, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Consistent-enough point-in-time merge of every registered series.
+  MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition format (HELP/TYPE + samples; histograms
+  /// as cumulative _bucket{le=...}/_sum/_count).
+  std::string renderPrometheus() const;
+
+  /// The same snapshot as a JSON document for runtime introspection.
+  std::string renderJson() const;
+
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+private:
+  template <typename MetricT> struct Entry {
+    std::string Name;
+    Labels L;
+    std::string Help;
+    MetricT Metric;
+    Entry(std::string Name, Labels L, std::string Help,
+          const std::atomic<bool> *Enabled)
+        : Name(std::move(Name)), L(std::move(L)), Help(std::move(Help)),
+          Metric(Enabled) {}
+  };
+
+  template <typename MetricT>
+  MetricT &lookup(std::vector<std::unique_ptr<Entry<MetricT>>> &Family,
+                  std::unordered_map<std::string, size_t> &Index,
+                  const std::string &Name, const Labels &L,
+                  const std::string &Help);
+
+  std::atomic<bool> Enabled{true};
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<Entry<Counter>>> Counters;
+  std::vector<std::unique_ptr<Entry<Gauge>>> Gauges;
+  std::vector<std::unique_ptr<Entry<Histogram>>> Histograms;
+  std::unordered_map<std::string, size_t> CounterIndex;
+  std::unordered_map<std::string, size_t> GaugeIndex;
+  std::unordered_map<std::string, size_t> HistogramIndex;
+};
+
+} // namespace telemetry
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_TELEMETRY_METRICSREGISTRY_H

@@ -1,0 +1,200 @@
+//===- telemetry/Trace.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Trace.h"
+
+#include "util/Logging.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace compiler_gym;
+using namespace compiler_gym::telemetry;
+
+namespace {
+
+/// Sentinel trace id marking "inside an unsampled trace": children skip
+/// span creation instead of re-rolling the sampling decision or rooting
+/// disconnected traces.
+constexpr uint64_t kSuppressed = UINT64_MAX;
+
+TraceContext &tlContext() {
+  thread_local TraceContext Ctx;
+  return Ctx;
+}
+
+uint32_t threadOrdinal() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Tid = Next.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+uint64_t traceIdForLogs() {
+  uint64_t Id = tlContext().TraceId;
+  return Id == kSuppressed ? 0 : Id;
+}
+
+} // namespace
+
+TraceContext telemetry::currentTraceContext() {
+  TraceContext Ctx = tlContext();
+  if (Ctx.TraceId == kSuppressed)
+    return {};
+  return Ctx;
+}
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {
+  // Log lines carry trace=0x... once a trace is active on their thread;
+  // installed here so util/ never depends on telemetry/.
+  setLogTraceIdProvider(&traceIdForLogs);
+}
+
+Tracer &Tracer::global() {
+  static Tracer *T = new Tracer();
+  return *T;
+}
+
+bool Tracer::sampleRoot() {
+  uint32_t N = SampleN.load(std::memory_order_relaxed);
+  if (N <= 1)
+    return true;
+  return RootSeq.fetch_add(1, std::memory_order_relaxed) % N == 0;
+}
+
+uint64_t Tracer::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void Tracer::setCapacity(size_t Cap) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Capacity = Cap;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.clear();
+  Dropped.store(0, std::memory_order_relaxed);
+}
+
+size_t Tracer::spanCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+void Tracer::record(SpanRecord R) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Events.size() >= Capacity) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Events.push_back(std::move(R));
+}
+
+std::vector<SpanRecord> Tracer::snapshotSpans() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events;
+}
+
+static void escapeInto(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '\\' || C == '"')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+}
+
+std::string Tracer::exportChromeTrace() const {
+  std::vector<SpanRecord> Spans = snapshotSpans();
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char Buf[256];
+  bool First = true;
+  for (const SpanRecord &S : Spans) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    escapeInto(Out, S.Name);
+    Out += "\",\"cat\":\"";
+    escapeInto(Out, S.Cat);
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",\"ph\":\"X\",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                  ",\"pid\":1,\"tid\":%u,\"args\":{\"trace\":\"0x%" PRIx64
+                  "\",\"span\":\"0x%" PRIx64 "\",\"parent\":\"0x%" PRIx64
+                  "\"}}",
+                  S.StartUs, S.DurUs, S.ThreadId, S.TraceId, S.SpanId,
+                  S.ParentId);
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
+}
+
+// -- SpanScope ----------------------------------------------------------------
+
+bool SpanScope::begin(const char *Cat) {
+  Tracer &T = Tracer::global();
+  if (!T.enabled())
+    return false;
+  TraceContext &Ctx = tlContext();
+  if (Ctx.TraceId == kSuppressed)
+    return false;
+  if (Ctx.TraceId == 0) {
+    // Root span: roll the sampling dice once for the whole trace.
+    if (!T.sampleRoot()) {
+      Saved = Ctx;
+      Ctx = {kSuppressed, 0};
+      Restore = true;
+      return false;
+    }
+    Rec.TraceId = T.newId();
+  } else {
+    Rec.TraceId = Ctx.TraceId;
+  }
+  Rec.ParentId = Ctx.SpanId;
+  Rec.SpanId = T.newId();
+  Rec.Cat = Cat;
+  Rec.ThreadId = threadOrdinal();
+  Rec.StartUs = T.nowUs();
+  Saved = Ctx;
+  Ctx = {Rec.TraceId, Rec.SpanId};
+  Restore = true;
+  Active = true;
+  return true;
+}
+
+SpanScope::~SpanScope() {
+  if (Restore)
+    tlContext() = Saved;
+  if (!Active)
+    return;
+  Tracer &T = Tracer::global();
+  Rec.DurUs = T.nowUs() - Rec.StartUs;
+  T.record(std::move(Rec));
+}
+
+// -- TraceBinding -------------------------------------------------------------
+
+TraceBinding::TraceBinding(uint64_t TraceId, uint64_t ParentSpanId) {
+  if (!Tracer::global().enabled())
+    return;
+  TraceContext &Ctx = tlContext();
+  Saved = Ctx;
+  Ctx = TraceId ? TraceContext{TraceId, ParentSpanId}
+                : TraceContext{kSuppressed, 0};
+  Restore = true;
+}
+
+TraceBinding::~TraceBinding() {
+  if (Restore)
+    tlContext() = Saved;
+}

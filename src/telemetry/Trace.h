@@ -1,0 +1,189 @@
+//===- telemetry/Trace.h - Step-RPC lifecycle span tracer -------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight distributed-style span tracer for the step-RPC lifecycle:
+/// client call -> transport -> CompilerService dispatch -> pass pipeline ->
+/// analysis/feature lookups -> serialization/delta encoding.
+///
+/// Spans form a tree via a thread-local (trace id, current span id)
+/// context. The client stamps its context into the RequestEnvelope
+/// (Message.h), and CompilerService rebinds it on the dispatcher thread
+/// with a TraceBinding, so client-side and service-side spans stitch into
+/// one trace even though they run on different threads. The completed
+/// buffer exports as Chrome trace-event JSON, loadable in Perfetto or
+/// chrome://tracing.
+///
+/// Cost model: tracing is off by default. A disabled SpanScope is a
+/// relaxed load and a branch; call sites that build dynamic span names
+/// guard the string construction on Tracer::enabled(). A sampling knob
+/// (setSampleEveryN) keeps the buffer bounded under sustained load by
+/// recording every Nth root span; the suppressed roots also suppress
+/// their children, so sampled traces are always complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_TELEMETRY_TRACE_H
+#define COMPILER_GYM_TELEMETRY_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace compiler_gym {
+namespace telemetry {
+
+/// The ambient trace identity of the calling thread. TraceId == 0 means
+/// no sampled trace is active (what gets stamped into a RequestEnvelope).
+struct TraceContext {
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+};
+
+/// Returns the calling thread's current context (zeros when tracing is
+/// off, no span is open, or the active root was sampled out).
+TraceContext currentTraceContext();
+
+/// One completed span.
+struct SpanRecord {
+  std::string Name;
+  const char *Cat = "";
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentId = 0; ///< 0 = root span.
+  uint32_t ThreadId = 0; ///< Small stable per-thread ordinal.
+  uint64_t StartUs = 0;  ///< Steady-clock us since tracer construction.
+  uint64_t DurUs = 0;
+};
+
+/// Collects completed spans into a bounded buffer.
+class Tracer {
+public:
+  Tracer();
+
+  /// The process-wide tracer all CG_TRACE_SPAN sites report to (leaky
+  /// singleton, shared by client and service so cross-thread spans land
+  /// in one buffer with one clock).
+  static Tracer &global();
+
+  void setEnabled(bool E) { Enabled.store(E, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Sampling knob: record every Nth root span (1 = all). Children follow
+  /// their root's decision.
+  void setSampleEveryN(uint32_t N) {
+    SampleN.store(N ? N : 1, std::memory_order_relaxed);
+  }
+  uint32_t sampleEveryN() const {
+    return SampleN.load(std::memory_order_relaxed);
+  }
+
+  /// Buffer cap; spans past it are dropped (counted in droppedSpans()).
+  void setCapacity(size_t Cap);
+  /// Drops all buffered spans (keeps enabled/sampling settings).
+  void clear();
+
+  size_t spanCount() const;
+  uint64_t droppedSpans() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+  /// Structured copy of the buffer, for tests and programmatic analysis.
+  std::vector<SpanRecord> snapshotSpans() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), Perfetto-loadable.
+  /// Trace/span/parent ids ride in each event's "args".
+  std::string exportChromeTrace() const;
+
+  // Internal plumbing used by SpanScope/TraceBinding.
+  uint64_t newId() { return NextId.fetch_add(1, std::memory_order_relaxed); }
+  bool sampleRoot();
+  uint64_t nowUs() const;
+  void record(SpanRecord R);
+
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+private:
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint32_t> SampleN{1};
+  std::atomic<uint64_t> NextId{1};
+  std::atomic<uint64_t> RootSeq{0};
+  std::atomic<uint64_t> Dropped{0};
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mutex;
+  size_t Capacity = size_t{1} << 18;
+  std::vector<SpanRecord> Events;
+};
+
+/// RAII span: opens on construction (when tracing is on and the trace is
+/// sampled), records on destruction, and maintains the thread-local
+/// context so nested scopes become child spans.
+class SpanScope {
+public:
+  /// Literal-name form: no allocation unless the span is recorded.
+  SpanScope(const char *Name, const char *Cat) {
+    if (begin(Cat))
+      Rec.Name = Name;
+  }
+  /// Dynamic-name form. Guard the string build on Tracer::enabled() at the
+  /// call site so a disabled tracer costs no allocation:
+  ///   SpanScope S(T.enabled() ? "pass:" + Name : std::string(), "passes");
+  SpanScope(std::string Name, const char *Cat) {
+    if (begin(Cat))
+      Rec.Name = std::move(Name);
+  }
+  ~SpanScope();
+
+  bool active() const { return Active; }
+  uint64_t traceId() const { return Rec.TraceId; }
+  uint64_t spanId() const { return Rec.SpanId; }
+
+  SpanScope(const SpanScope &) = delete;
+  SpanScope &operator=(const SpanScope &) = delete;
+
+private:
+  bool begin(const char *Cat);
+
+  bool Active = false;
+  bool Restore = false;
+  TraceContext Saved;
+  SpanRecord Rec;
+};
+
+/// RAII adoption of a propagated trace context, used on the service side:
+/// CompilerService binds the (TraceId, SpanId) decoded from the request
+/// envelope so its spans stitch under the client's RPC span. TraceId == 0
+/// (client not tracing, or root sampled out) suppresses span creation for
+/// the scope instead of starting a disconnected trace.
+class TraceBinding {
+public:
+  TraceBinding(uint64_t TraceId, uint64_t ParentSpanId);
+  ~TraceBinding();
+
+  TraceBinding(const TraceBinding &) = delete;
+  TraceBinding &operator=(const TraceBinding &) = delete;
+
+private:
+  bool Restore = false;
+  TraceContext Saved;
+};
+
+} // namespace telemetry
+} // namespace compiler_gym
+
+#define CG_TELEMETRY_CONCAT_IMPL(A, B) A##B
+#define CG_TELEMETRY_CONCAT(A, B) CG_TELEMETRY_CONCAT_IMPL(A, B)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define CG_TRACE_SPAN(Name, Cat)                                             \
+  ::compiler_gym::telemetry::SpanScope CG_TELEMETRY_CONCAT(                  \
+      CgTraceSpan_, __LINE__)(Name, Cat)
+
+#endif // COMPILER_GYM_TELEMETRY_TRACE_H

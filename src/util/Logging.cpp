@@ -7,6 +7,7 @@
 #include "util/Logging.h"
 
 #include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <mutex>
 
@@ -14,6 +15,7 @@ using namespace compiler_gym;
 
 static std::atomic<int> GlobalLevel{static_cast<int>(LogLevel::Warning)};
 static std::mutex LogMutex;
+static std::atomic<LogTraceIdProvider> TraceIdProvider{nullptr};
 
 void compiler_gym::setLogLevel(LogLevel Level) {
   GlobalLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
@@ -21,6 +23,10 @@ void compiler_gym::setLogLevel(LogLevel Level) {
 
 LogLevel compiler_gym::logLevel() {
   return static_cast<LogLevel>(GlobalLevel.load(std::memory_order_relaxed));
+}
+
+void compiler_gym::setLogTraceIdProvider(LogTraceIdProvider Provider) {
+  TraceIdProvider.store(Provider, std::memory_order_relaxed);
 }
 
 static const char *levelName(LogLevel Level) {
@@ -39,10 +45,41 @@ static const char *levelName(LogLevel Level) {
   return "?";
 }
 
-void compiler_gym::logMessage(LogLevel Level, const std::string &Message) {
+std::string compiler_gym::formatLogLine(LogLevel Level, const char *Component,
+                                        uint64_t Id, uint64_t TraceId,
+                                        const std::string &Message) {
+  std::string Line = "[compiler_gym ";
+  Line += levelName(Level);
+  if (Component) {
+    Line += ' ';
+    Line += Component;
+  }
+  char Buf[48];
+  if (Id) {
+    std::snprintf(Buf, sizeof(Buf), " id=%" PRIu64, Id);
+    Line += Buf;
+  }
+  if (TraceId) {
+    std::snprintf(Buf, sizeof(Buf), " trace=0x%" PRIx64, TraceId);
+    Line += Buf;
+  }
+  Line += "] ";
+  Line += Message;
+  return Line;
+}
+
+void compiler_gym::logMessage(LogLevel Level, const char *Component,
+                              uint64_t Id, const std::string &Message) {
   if (static_cast<int>(Level) < GlobalLevel.load(std::memory_order_relaxed))
     return;
+  uint64_t TraceId = 0;
+  if (LogTraceIdProvider P = TraceIdProvider.load(std::memory_order_relaxed))
+    TraceId = P();
+  std::string Line = formatLogLine(Level, Component, Id, TraceId, Message);
   std::lock_guard<std::mutex> Lock(LogMutex);
-  std::fprintf(stderr, "[compiler_gym %s] %s\n", levelName(Level),
-               Message.c_str());
+  std::fprintf(stderr, "%s\n", Line.c_str());
+}
+
+void compiler_gym::logMessage(LogLevel Level, const std::string &Message) {
+  logMessage(Level, nullptr, 0, Message);
 }

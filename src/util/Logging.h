@@ -9,11 +9,19 @@
 /// test and bench output stays clean; the service runtime logs recoverable
 /// faults (retries, restarts) at Info.
 ///
+/// Correlation: the CG_LOG_*_FOR macros tag a line with the emitting
+/// component and a session/env/shard id, and every line appends the
+/// thread's active trace id (when telemetry/Trace.h has installed its
+/// provider), so log lines join up with exported trace spans:
+///
+///   [compiler_gym INFO env id=3 trace=0x1f2] replaying 7 actions
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMPILER_GYM_UTIL_LOGGING_H
 #define COMPILER_GYM_UTIL_LOGGING_H
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -28,12 +36,30 @@ LogLevel logLevel();
 /// Emits a single log line (thread-safe) if \p Level passes the filter.
 void logMessage(LogLevel Level, const std::string &Message);
 
+/// Tagged form: \p Component names the emitting subsystem ("env",
+/// "broker", "service", ...) and \p Id carries a session/env/shard id
+/// (0 = no id, omitted from the line).
+void logMessage(LogLevel Level, const char *Component, uint64_t Id,
+                const std::string &Message);
+
+/// Hook returning the calling thread's active trace id (0 = none).
+/// Installed by the telemetry layer; util/ stays dependency-free.
+using LogTraceIdProvider = uint64_t (*)();
+void setLogTraceIdProvider(LogTraceIdProvider Provider);
+
+/// Builds the formatted line (sans trailing newline) exactly as it would
+/// be emitted. Exposed for tests of the tagging format.
+std::string formatLogLine(LogLevel Level, const char *Component, uint64_t Id,
+                          uint64_t TraceId, const std::string &Message);
+
 namespace detail {
 /// Stream-style builder that emits on destruction.
 class LogLine {
 public:
-  explicit LogLine(LogLevel Level) : Level(Level) {}
-  ~LogLine() { logMessage(Level, Buffer.str()); }
+  explicit LogLine(LogLevel Level, const char *Component = nullptr,
+                   uint64_t Id = 0)
+      : Level(Level), Component(Component), Id(Id) {}
+  ~LogLine() { logMessage(Level, Component, Id, Buffer.str()); }
   template <typename T> LogLine &operator<<(const T &V) {
     Buffer << V;
     return *this;
@@ -41,6 +67,8 @@ public:
 
 private:
   LogLevel Level;
+  const char *Component;
+  uint64_t Id;
   std::ostringstream Buffer;
 };
 } // namespace detail
@@ -51,5 +79,19 @@ private:
 #define CG_LOG_INFO ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Info)
 #define CG_LOG_WARN ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Warning)
 #define CG_LOG_ERROR ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Error)
+
+/// Component/id-tagged variants: CG_LOG_INFO_FOR("env", SessionId) << ...
+#define CG_LOG_DEBUG_FOR(Component, Id)                                       \
+  ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Debug,            \
+                                  (Component), (Id))
+#define CG_LOG_INFO_FOR(Component, Id)                                        \
+  ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Info,             \
+                                  (Component), (Id))
+#define CG_LOG_WARN_FOR(Component, Id)                                        \
+  ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Warning,          \
+                                  (Component), (Id))
+#define CG_LOG_ERROR_FOR(Component, Id)                                       \
+  ::compiler_gym::detail::LogLine(::compiler_gym::LogLevel::Error,            \
+                                  (Component), (Id))
 
 #endif // COMPILER_GYM_UTIL_LOGGING_H
