@@ -107,8 +107,8 @@ bool FeatureCache::refresh(const Module &M, Kind K) {
       // self-heal if it did not). Constants need no check — the module
       // pools only ever grow.
       if (Entry.GraphValid) {
-        for (const Function *Callee : Entry.Graph.Callees)
-          if (!Current.count(Callee)) {
+        for (const std::string &Callee : Entry.Graph.Callees)
+          if (!M.findFunction(Callee)) {
             Entry.GraphValid = false;
             break;
           }
@@ -331,6 +331,21 @@ void FeatureCache::invalidateFunction(const Function *F, unsigned Mask) {
     Inst2vecAggValid = false;
     ProgramlAggValid = false;
   }
+}
+
+void FeatureCache::functionReplaced(const Function *From, const Function *To) {
+  auto It = Funcs.find(From);
+  if (It != Funcs.end()) {
+    PerFunction E = std::move(It->second);
+    Funcs.erase(It);
+    Funcs[To] = std::move(E); // Overwrites a stale entry if the address
+                              // was reused by a previous function's copy.
+  }
+  // Keep the splice layout pointing at the live payload so the in-place
+  // Inst2vec patch path still recognizes an unchanged function sequence.
+  for (auto &F : Inst2vecOrder)
+    if (F == From)
+      F = To;
 }
 
 void FeatureCache::functionErased(const Function *F) {

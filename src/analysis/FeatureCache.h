@@ -82,6 +82,15 @@ public:
   /// Drops a function's entry entirely (the function was erased).
   void functionErased(const ir::Function *F);
 
+  /// Rekeys \p From's cached artifacts to \p To after a copy-on-write
+  /// payload replacement. The copy is structurally identical at rekey
+  /// time, so every value-based artifact (count vectors, embedding
+  /// segment, graph fragment — whose cross-function references are
+  /// symbolic) stays valid under the new key, and the aggregates are not
+  /// disturbed. Also used in reverse when a planned mutation turned out
+  /// to be a no-op and the original shared payload is reinstated.
+  void functionReplaced(const ir::Function *From, const ir::Function *To);
+
   /// Marks every function's artifacts in \p Mask stale (module-level
   /// transform).
   void invalidateAll(unsigned Mask = FS_All);

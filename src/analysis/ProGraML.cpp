@@ -27,10 +27,12 @@ ProgramGraph analysis::buildProgramGraph(const Module &M) {
     G.Edges.push_back({Src, Dst, Flow, Pos});
   };
 
-  // Function nodes first (call edges reference them).
-  std::unordered_map<const Function *, int32_t> FnNode;
+  // Function nodes first (call edges reference them, by name: call
+  // operands are symbolic so they resolve against this module's current
+  // function set).
+  std::unordered_map<std::string, int32_t> FnNode;
   for (const auto &F : M.functions())
-    FnNode[F.get()] = addNode(ProgramGraph::NodeKind::Function, F->name(), 0);
+    FnNode[F->name()] = addNode(ProgramGraph::NodeKind::Function, F->name(), 0);
 
   // Variable nodes for globals and arguments.
   for (const auto &Gl : M.globals())
@@ -56,7 +58,7 @@ ProgramGraph analysis::buildProgramGraph(const Module &M) {
   // the function node.
   for (const auto &F : M.functions()) {
     if (!F->empty() && !F->entry()->empty())
-      addEdge(FnNode[F.get()], NodeOf.at(F->entry()->front()),
+      addEdge(FnNode[F->name()], NodeOf.at(F->entry()->front()),
               ProgramGraph::EdgeFlow::Call, 0);
     for (const auto &BB : F->blocks()) {
       for (size_t I = 0; I + 1 < BB->size(); ++I)
@@ -98,8 +100,9 @@ ProgramGraph analysis::buildProgramGraph(const Module &M) {
           continue;
         }
         if (const auto *FR = dyn_cast<FunctionRef>(V)) {
-          addEdge(Me, FnNode.at(FR->function()), ProgramGraph::EdgeFlow::Call,
-                  0);
+          auto FnIt = FnNode.find(FR->calleeName());
+          if (FnIt != FnNode.end())
+            addEdge(Me, FnIt->second, ProgramGraph::EdgeFlow::Call, 0);
           continue;
         }
         if (isa<BasicBlock>(V))
@@ -463,7 +466,7 @@ GraphFragment analysis::buildGraphFragment(const Function &F) {
   // Data/call records, with symbolic cross-function references in
   // first-use order.
   std::unordered_map<const Value *, int32_t> ConstIdx, GlobalIdx;
-  std::unordered_map<const Function *, int32_t> CalleeIdx;
+  std::unordered_map<std::string, int32_t> CalleeIdx;
   std::string Data;
   int32_t NumData = 0;
   auto record = [&](int32_t Me, int32_t Kind, int32_t Ref, int32_t Pos) {
@@ -487,9 +490,9 @@ GraphFragment analysis::buildGraphFragment(const Function &F) {
       }
       if (const auto *FR = dyn_cast<FunctionRef>(V)) {
         auto [It, New] = CalleeIdx.try_emplace(
-            FR->function(), static_cast<int32_t>(Out.Callees.size()));
+            FR->calleeName(), static_cast<int32_t>(Out.Callees.size()));
         if (New)
-          Out.Callees.push_back(FR->function());
+          Out.Callees.push_back(FR->calleeName());
         record(Me, RefCallee, It->second, 0);
         continue;
       }
@@ -529,10 +532,10 @@ analysis::assembleGraphFragments(const Module &M,
   std::string Out;
   appendI32(Out, GraphFormatV2);
   appendI32(Out, static_cast<int32_t>(M.functions().size()));
-  std::unordered_map<const Function *, int32_t> FnIdx;
+  std::unordered_map<std::string, int32_t> FnIdx;
   for (size_t I = 0; I < M.functions().size(); ++I) {
     const Function &F = *M.functions()[I];
-    FnIdx[&F] = static_cast<int32_t>(I);
+    FnIdx[F.name()] = static_cast<int32_t>(I);
     appendI32(Out, static_cast<int32_t>(F.name().size()));
     Out += F.name();
     appendI32(Out, static_cast<int32_t>(F.numArgs()));
@@ -560,7 +563,7 @@ analysis::assembleGraphFragments(const Module &M,
 
   for (const GraphFragment *Frag : Frags) {
     appendI32(Out, static_cast<int32_t>(Frag->Callees.size()));
-    for (const Function *Callee : Frag->Callees)
+    for (const std::string &Callee : Frag->Callees)
       appendI32(Out, FnIdx.at(Callee));
     appendI32(Out, static_cast<int32_t>(Frag->Globals.size()));
     for (const GlobalVariable *G : Frag->Globals)

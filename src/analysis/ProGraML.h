@@ -97,9 +97,10 @@ struct GraphFragment {
   /// Copied verbatim into the v2 wire encoding — the byte-stability that
   /// wire-level observation deltas rely on.
   std::string Bytes;
-  /// Called functions, in first-use order (identity only, never
-  /// dereferenced at assembly time).
-  std::vector<const ir::Function *> Callees;
+  /// Called functions by name, in first-use order. Symbolic like the
+  /// IR's own FunctionRefs, so a fragment survives copy-on-write function
+  /// replacement in forked modules.
+  std::vector<std::string> Callees;
   /// Referenced globals, in first-use order (identity only).
   std::vector<const ir::GlobalVariable *> Globals;
   /// Referenced constants with their type feature, in first-use order.

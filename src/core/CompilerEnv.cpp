@@ -145,7 +145,7 @@ Status CompilerEnv::setRewardSpace(const std::string &Name) {
   return Status::ok();
 }
 
-Status CompilerEnv::startSession() {
+Status CompilerEnv::startSession(uint64_t RestoreStateKey, bool *Restored) {
   // Benchmark resolution can be expensive (generator-backed datasets build
   // the whole program); cache it so repeated resets stay O(1).
   if (!CachedBenchmark || CachedBenchmark->Uri != Opts.BenchmarkUri) {
@@ -162,11 +162,17 @@ Status CompilerEnv::startSession() {
   Req.CompilerName = Opts.CompilerName;
   Req.Bench = *CachedBenchmark;
   Req.ActionSpaceName = Opts.ActionSpaceName;
+  Req.RestoreStateKey = RestoreStateKey;
   CG_ASSIGN_OR_RETURN(StartSessionReply Reply, Client->startSession(Req));
   SessionId = Reply.SessionId;
   SessionLive = true;
   Space = Reply.Space;
   Registry.setBackendSpaces(Reply.ObservationSpaces);
+  bool DidRestore = RestoreStateKey != 0 && Reply.Restored;
+  if (!DidRestore)
+    LastStateKey = 0; // The session sits at the benchmark's initial state.
+  if (Restored)
+    *Restored = DidRestore;
   return Status::ok();
 }
 
@@ -217,10 +223,10 @@ Status CompilerEnv::recover() {
   CG_TRACE_SPAN("env.recover", "core");
   Recoveries.fetch_add(1, std::memory_order_relaxed);
   recoveriesTotal().inc();
-  replayedActionsTotal().inc(State.Actions.size());
   CG_LOG_INFO_FOR("env", SessionId)
-      << "backend failure detected; restarting service and replaying "
-      << State.Actions.size() << " actions";
+      << "backend failure detected; restarting service (snapshot key "
+      << LastStateKey << ", " << State.Actions.size()
+      << " actions in replay fallback)";
   SessionLive = false;
   // Replay the whole episode in one batched, observation-free request.
   std::vector<Action> Replay;
@@ -250,14 +256,23 @@ Status CompilerEnv::recover() {
       (void)Client->endSession(StaleSession);
       StaleSession = 0;
     }
-    Last = startSession();
+    bool Restored = false;
+    Last = startSession(LastStateKey, &Restored);
     if (!Last.isOk()) {
       if (isRecoverableFailure(Last))
         continue; // The service died again under us; restart and retry.
       return Last;
     }
+    if (Restored) {
+      // The backend restored our exact state from its snapshot store:
+      // recovery is done, with zero actions replayed.
+      CG_LOG_INFO_FOR("env", SessionId)
+          << "restored state " << LastStateKey << " from snapshot";
+      return Status::ok();
+    }
     if (Replay.empty())
       return Status::ok();
+    replayedActionsTotal().inc(Replay.size());
     StepRequest Req;
     Req.SessionId = SessionId;
     Req.Actions = Replay;
@@ -347,8 +362,14 @@ StatusOr<StepReply> CompilerEnv::callStepWithRecovery(StepRequest Req) {
       continue;
     }
     Status Settled = settleWireObservations(*Reply);
-    if (Settled.isOk())
+    if (Settled.isOk()) {
+      // Only a committed reply may move the recovery anchor: after a
+      // failed settle the caller never commits these actions, and
+      // recovery must restore the last *committed* state.
+      if (Reply->SessionStateKey)
+        LastStateKey = Reply->SessionStateKey;
       return Reply;
+    }
     // The RPC succeeded — the backend HAS applied the actions — but the
     // reply's deltas cannot be reconstructed (corrupted in transport, or
     // a lost base). Returning the error here would desync the episode:
@@ -566,12 +587,72 @@ StatusOr<std::unique_ptr<CompilerEnv>> CompilerEnv::fork() {
   Clone->Epoch = Epoch;
   Clone->PendingBenchmarkUri = PendingBenchmarkUri;
   Clone->DirectHistory = DirectHistory;
+  // Content-addressed, and the fork sits at the same state: the clone can
+  // snapshot-recover without ever having stepped.
+  Clone->LastStateKey = LastStateKey;
   // Wire bases are content-addressed, so the clone can delta against the
   // parent's retained values immediately.
   Clone->WireBases = WireBases;
   Clone->observation().copyCacheFrom(observation());
   Clone->reward().copyBooksFrom(reward());
   return Clone;
+}
+
+Status CompilerEnv::rebase(CompilerEnv &Parent) {
+  if (&Parent == this)
+    return invalidArgument("rebase: parent must be a different env");
+  if (!Parent.SessionLive)
+    return failedPrecondition("rebase: parent has no live session");
+  CG_TRACE_SPAN("env.rebase", "core");
+  // Reap the current session first: rebase replaces it wholesale, and an
+  // abandoned session would leak (module and all) in the shard's map.
+  if (SessionLive) {
+    (void)Client->endSession(SessionId);
+    SessionLive = false;
+  }
+  Opts.BenchmarkUri = Parent.Opts.BenchmarkUri;
+  PendingBenchmarkUri = Parent.PendingBenchmarkUri;
+  Opts.ObservationSpace = Parent.Opts.ObservationSpace;
+  Opts.RewardSpace = Parent.Opts.RewardSpace;
+  CachedBenchmark = Parent.CachedBenchmark;
+  // Carries the parent's user-registered spaces; startSession() refreshes
+  // the backend half from the new session's catalogue.
+  Registry = Parent.Registry;
+  bool Restored = false;
+  CG_RETURN_IF_ERROR(startSession(Parent.LastStateKey, &Restored));
+  State = Parent.State;
+  DirectHistory = Parent.DirectHistory;
+  if (!Restored) {
+    // No snapshot survives for the parent's state (parent never stepped,
+    // or the store evicted it): replay its history, observation-free.
+    std::vector<Action> Replay;
+    if (!DirectHistory.empty()) {
+      Replay = DirectHistory;
+    } else {
+      Replay.reserve(State.Actions.size());
+      for (int A : State.Actions) {
+        Action Act;
+        Act.Index = A;
+        Replay.push_back(Act);
+      }
+    }
+    if (!Replay.empty()) {
+      replayedActionsTotal().inc(Replay.size());
+      StepRequest Req;
+      Req.SessionId = SessionId;
+      Req.Actions = Replay;
+      CG_ASSIGN_OR_RETURN(StepReply Reply, Client->step(Req));
+      (void)Reply;
+    }
+  }
+  // Content-addressed: the session now sits at the parent's state, so the
+  // parent's key names it regardless of how we got here.
+  LastStateKey = Parent.LastStateKey;
+  Epoch = Parent.Epoch;
+  WireBases = Parent.WireBases;
+  observation().copyCacheFrom(Parent.observation());
+  reward().copyBooksFrom(Parent.reward());
+  return Status::ok();
 }
 
 Status CompilerEnv::writeIr(const std::string &Path) {

@@ -125,6 +125,18 @@ public:
   /// of the space registry, view caches and reward bookkeeping.
   StatusOr<std::unique_ptr<CompilerEnv>> fork();
 
+  /// Cross-service fork: re-points this env at \p Parent's exact state —
+  /// benchmark, episode history, reward bookkeeping and view caches —
+  /// without stepping the parent. Starts a fresh session restored from the
+  /// parent's content-addressed snapshot (O(1) in module size, zero
+  /// actions replayed); when no snapshot survives, falls back to replaying
+  /// the parent's action history. Unlike fork(), which shares the parent's
+  /// service and client, rebase() keeps this env's own service/client, so
+  /// rebased envs step concurrently with each other and with the parent
+  /// (EnvPool candidate fan-out). The parent is only read, never mutated,
+  /// and concurrent rebases from one parent are safe.
+  Status rebase(CompilerEnv &Parent);
+
   /// Current serializable episode state.
   const EnvState &state() const { return State; }
 
@@ -163,11 +175,16 @@ private:
   StatusOr<StepPlan> planStep(const std::vector<std::string> &ObsSpaces,
                               const std::vector<std::string> &RewardSpaces);
 
-  /// Starts a fresh backend session for the applied benchmark and refreshes
-  /// the registry's backend space catalogue.
-  Status startSession();
+  /// Starts a backend session for the applied benchmark and refreshes the
+  /// registry's backend space catalogue. A nonzero \p RestoreStateKey asks
+  /// the backend to restore that snapshot state; \p Restored (optional)
+  /// reports whether it did — when false the session sits at the initial
+  /// state and the caller must replay.
+  Status startSession(uint64_t RestoreStateKey = 0, bool *Restored = nullptr);
 
-  /// Restarts the crashed/hung service and replays the episode.
+  /// Restarts the crashed/hung service and re-establishes the episode
+  /// state: from the backend's snapshot of the last step's state key when
+  /// one survives (zero actions replayed), else by replaying the episode.
   Status recover();
 
   /// Issues \p Req with recovery-and-retry: a recoverable failure
@@ -217,6 +234,10 @@ private:
   bool SharedService = false; ///< attach()-ed to a broker shard.
   std::string PendingBenchmarkUri; ///< Applied by the next reset().
   std::vector<service::Action> DirectHistory; ///< For replay (direct space).
+  /// SessionStateKey of the last committed step reply (content-addressed).
+  /// Names the snapshot a recovery restores instead of replaying; 0 until
+  /// the first step (or when the backend has no state identity).
+  uint64_t LastStateKey = 0;
   std::optional<datasets::Benchmark> CachedBenchmark; ///< Resolve cache.
   /// Client half of the wire-delta handshake: per delta-eligible space,
   /// the newest full observation received, carrying its StateKey. Keys are

@@ -112,7 +112,10 @@ Status GccSession::recompileIfNeeded() {
   if (!Dirty && Compiled)
     return Status::ok();
   GccOptionSpace::CompilePlan Plan = optionSpace().plan(Choices);
-  Compiled = Source->clone();
+  // Structural share: the pipeline copy-on-writes the functions it
+  // actually changes; untouched functions stay physically shared with
+  // Source.
+  Compiled = Source->share();
 
   CG_ASSIGN_OR_RETURN(std::vector<std::string> Pipeline,
                       passes::pipelineForLevel(Plan.OLevel));
@@ -187,7 +190,7 @@ Status GccSession::computeObservation(const ObservationSpaceInfo &Space,
   }
   if (Name == "ObjSizeOs") {
     if (BaselineOsSize < 0) {
-      std::unique_ptr<ir::Module> Baseline = Source->clone();
+      std::unique_ptr<ir::Module> Baseline = Source->share();
       CG_RETURN_IF_ERROR(passes::runOptimizationLevel(*Baseline, "-Os"));
       BaselineOsSize = static_cast<int64_t>(
           ir::lowerModule(*Baseline).ObjectBytes.size());
@@ -201,8 +204,8 @@ Status GccSession::computeObservation(const ObservationSpaceInfo &Space,
 StatusOr<std::unique_ptr<CompilationSession>> GccSession::fork() {
   auto Clone = std::make_unique<GccSession>();
   Clone->DirectSpace = DirectSpace;
-  Clone->Source = Source ? Source->clone() : nullptr;
-  Clone->Compiled = Compiled ? Compiled->clone() : nullptr;
+  Clone->Source = Source ? Source->share() : nullptr;
+  Clone->Compiled = Compiled ? Compiled->share() : nullptr;
   Clone->Choices = Choices;
   Clone->Dirty = Dirty;
   Clone->BaselineOsSize = BaselineOsSize;

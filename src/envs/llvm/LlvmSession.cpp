@@ -13,6 +13,7 @@
 #include "analysis/Rewards.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "ir/Snapshot.h"
 #include "passes/Pipelines.h"
 #include "telemetry/MetricsRegistry.h"
 #include "util/Hash.h"
@@ -47,7 +48,11 @@ public:
       if (It != Map.end()) {
         ++Hits;
         Lru.splice(Lru.begin(), Lru, It->second.LruIt);
-        return It->second.Mod->clone();
+        // Structural sharing: the session's module aliases the cached
+        // master's function payloads; the pass layer copies a function
+        // on first write. Init cost drops from O(|module|) to
+        // O(#functions).
+        return It->second.Mod->share();
       }
       ++Misses;
     }
@@ -58,7 +63,7 @@ public:
       return nullptr;
     }
     std::unique_ptr<ir::Module> Mod = Parsed.takeValue();
-    std::unique_ptr<ir::Module> Clone = Mod->clone();
+    std::unique_ptr<ir::Module> Shared = Mod->share();
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Lru.push_front(Key);
@@ -68,7 +73,7 @@ public:
         Lru.pop_back();
       }
     }
-    return Clone;
+    return Shared;
   }
 
   void clear() {
@@ -251,7 +256,9 @@ Status LlvmSession::computeBaselines() {
       BenchmarkCache::instance().parse(Bench, Err);
   if (!Fresh)
     return Err;
-  std::unique_ptr<ir::Module> O3 = Fresh->clone();
+  // Share, not clone: the -Oz / -O3 pipelines copy-on-write what they
+  // actually touch.
+  std::unique_ptr<ir::Module> O3 = Fresh->share();
   CG_RETURN_IF_ERROR(passes::runOptimizationLevel(*Fresh, "-Oz"));
   OzInstructionCount = analysis::codeSize(*Fresh);
   OzTextSize = analysis::binarySize(*Fresh);
@@ -378,16 +385,50 @@ uint64_t LlvmSession::stateKey() {
     // action epoch rather than recomputed per request.
     uint64_t Key = hashCombine(fnv1a(Bench.Uri), Mod->hash().low64());
     CachedStateKey = Key ? Key : 1;
+    // Every newly keyed state is published as a restorable snapshot: a
+    // frozen structural share, O(#functions) to publish. This is what a
+    // recovering environment restores instead of replaying its actions.
+    ir::SnapshotStore::global().put(*CachedStateKey, Mod->share(),
+                                    Bench.Uri);
   }
   return *CachedStateKey;
 }
 
+bool LlvmSession::restore(uint64_t StateKey) {
+  if (!StateKey)
+    return false;
+  std::optional<ir::Snapshot> Snap = ir::SnapshotStore::global().get(StateKey);
+  if (!Snap)
+    return false;
+  Mod = Snap->Mod->share();
+  rebindModule();
+  // The restored module is bit-identical to the state the key addresses;
+  // skip re-printing it to recover the digest.
+  CachedStateKey = StateKey;
+  return true;
+}
+
 StatusOr<std::unique_ptr<CompilationSession>> LlvmSession::fork() {
+  static telemetry::Histogram &ForkLatency =
+      telemetry::MetricsRegistry::global().histogram(
+          "cg_env_fork_latency_us", {},
+          "Environment fork latency (structural share + cache adoption)");
+  telemetry::ScopedTimerUs Timer(ForkLatency);
   auto Clone = std::make_unique<LlvmSession>();
   Clone->ActionNames = ActionNames;
   Clone->Bench = Bench;
-  Clone->Mod = Mod ? Mod->clone() : nullptr;
+  // O(#functions): the fork aliases every function payload; divergence is
+  // paid lazily, per mutated function, by the pass layer's copy-on-write.
+  Clone->Mod = Mod ? Mod->share() : nullptr;
   Clone->rebindModule();
+  if (PM && Clone->PM) {
+    // Shared clean payloads mean the parent's cached dominator trees,
+    // loop sets and feature vectors remain valid in the child.
+    Clone->PM->analysisManager().adoptFrom(PM->analysisManager());
+  }
+  Clone->ModEpoch = ModEpoch;
+  Clone->CachedStateKey = CachedStateKey;
+  Clone->ObsMemo = ObsMemo;
   Clone->NoiseGen = NoiseGen.split();
   Clone->OzInstructionCount = OzInstructionCount;
   Clone->OzTextSize = OzTextSize;

@@ -60,6 +60,7 @@ public:
                             service::Observation &Out) override;
   StatusOr<std::unique_ptr<CompilationSession>> fork() override;
   uint64_t stateKey() override;
+  bool restore(uint64_t StateKey) override;
 
   /// Exposed for white-box tests.
   const ir::Module *module() const { return Mod.get(); }

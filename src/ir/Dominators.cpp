@@ -77,6 +77,20 @@ DominatorTree::DominatorTree(const Function &F) {
   }
 }
 
+void DominatorTree::applyBlockMerged(BasicBlock *Into,
+                                     const BasicBlock *Gone) {
+  if (!PostorderIndex.count(Gone))
+    return; // Unreachable at analysis time: not in the tree.
+  for (auto &[BB, ID] : Idom)
+    if (ID == Gone)
+      ID = Into;
+  Idom.erase(Gone);
+  PostorderIndex.erase(Gone);
+  Rpo.erase(std::remove(Rpo.begin(), Rpo.end(),
+                        const_cast<BasicBlock *>(Gone)),
+            Rpo.end());
+}
+
 bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
   if (!PostorderIndex.count(B))
     return true; // B unreachable: vacuously dominated.

@@ -48,6 +48,17 @@ public:
   /// compare a cached tree against a from-scratch recomputation.
   bool structurallyEquals(const Function &F, const DominatorTree &Other) const;
 
+  /// Exact incremental update for the linear-chain block merge (\p Gone,
+  /// the unique successor of \p Into with \p Into as its unique
+  /// predecessor, was spliced into \p Into and erased). The patch is
+  /// provably equivalent to a recomputation: \p Gone's idom was \p Into,
+  /// so blocks immediately dominated by \p Gone retarget to \p Into, and
+  /// removing \p Gone from the postorder leaves every other block's
+  /// relative DFS order unchanged (the merged block expands \p Gone's old
+  /// successor list in place). \p Gone may already be destroyed; it is
+  /// used only as a key.
+  void applyBlockMerged(BasicBlock *Into, const BasicBlock *Gone);
+
 private:
   std::unordered_map<const BasicBlock *, BasicBlock *> Idom;
   std::unordered_map<const BasicBlock *, int> PostorderIndex;

@@ -8,6 +8,7 @@
 
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
+#include "ir/Module.h"
 
 #include <unordered_map>
 
@@ -158,9 +159,14 @@ void Instruction::removeIncoming(unsigned I) {
   Operands.erase(Operands.begin() + 2 * I, Operands.begin() + 2 * I + 2);
 }
 
-Function *Instruction::calledFunction() const {
+Function *Instruction::calledFunction(const Module &M) const {
   assert(Op == Opcode::Call && "calledFunction() on non-call");
-  return cast<FunctionRef>(operand(0))->function();
+  return M.findFunction(cast<FunctionRef>(operand(0))->calleeName());
+}
+
+const std::string &Instruction::calleeName() const {
+  assert(Op == Opcode::Call && "calleeName() on non-call");
+  return cast<FunctionRef>(operand(0))->calleeName();
 }
 
 std::vector<BasicBlock *> Instruction::successors() const {

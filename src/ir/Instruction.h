@@ -24,6 +24,7 @@ namespace ir {
 
 class BasicBlock;
 class Function;
+class Module;
 
 /// Every operation the mini-IR supports. Kept in one flat enum so feature
 /// extractors (InstCount / Autophase) can index count vectors by opcode.
@@ -132,8 +133,13 @@ public:
   /// Removes the i-th incoming pair.
   void removeIncoming(unsigned I);
 
-  /// Call helpers; operand 0 is the callee.
-  Function *calledFunction() const;
+  /// Call helpers; operand 0 is the callee (a name-based FunctionRef).
+  /// Resolution requires the enclosing module: refs are symbolic so a
+  /// copy-on-write copy of the callee in one fork never retargets call
+  /// sites in functions still shared with sibling modules.
+  Function *calledFunction(const Module &M) const;
+  /// The callee's name without resolving it.
+  const std::string &calleeName() const;
   unsigned numCallArgs() const {
     assert(Op == Opcode::Call && "numCallArgs() on non-call");
     return static_cast<unsigned>(Operands.size() - 1);
@@ -188,22 +194,26 @@ private:
   uint32_t AllocaWords = 1;
 };
 
-/// A Function used as a call-target operand is wrapped in a FunctionRef so
-/// the operand list stays homogeneous (Value*).
+/// A call-target operand: a symbolic (name-based) reference so the operand
+/// list stays homogeneous (Value*). Refs are immutable and uniqued in the
+/// module's shared pool; they carry no Function pointer so that function
+/// payloads can be shared and copy-on-write replaced across forked modules
+/// without rewriting call sites. Resolve with Module::findFunction or
+/// Instruction::calledFunction(M).
 class FunctionRef : public Value {
 public:
-  explicit FunctionRef(Function *F)
-      : Value(ValueKind::FunctionRef, Type::FunctionTy), Callee(F) {}
+  explicit FunctionRef(std::string CalleeName)
+      : Value(ValueKind::FunctionRef, Type::FunctionTy),
+        CalleeName(std::move(CalleeName)) {}
 
-  Function *function() const { return Callee; }
-  void setFunction(Function *F) { Callee = F; }
+  const std::string &calleeName() const { return CalleeName; }
 
   static bool classof(const Value *V) {
     return V->kind() == ValueKind::FunctionRef;
   }
 
 private:
-  Function *Callee;
+  const std::string CalleeName;
 };
 
 } // namespace ir

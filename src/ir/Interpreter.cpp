@@ -133,6 +133,7 @@ private:
   uint32_t GlobalEnd = 1;
   uint32_t StackPointer = 1;
   std::vector<Frame> Stack;
+  std::unordered_map<const Value *, const Function *> CalleeMemo;
   ExecutionResult Result;
   bool Trapped = false;
 };
@@ -412,7 +413,15 @@ bool Machine::step() {
   case Opcode::Call: {
     if (Stack.size() >= Opts.MaxCallDepth)
       return trap("call depth exceeded");
-    const Function *Callee = I.calledFunction();
+    // Call targets are symbolic; memoize resolution per uniqued ref so a
+    // hot call site costs one hash lookup, not a name scan.
+    const Value *RefOp = I.operand(0);
+    auto [MemoIt, Inserted] = CalleeMemo.try_emplace(RefOp, nullptr);
+    if (Inserted)
+      MemoIt->second = I.calledFunction(M);
+    const Function *Callee = MemoIt->second;
+    if (!Callee)
+      return trap("call to unknown function @" + I.calleeName());
     if (Callee->empty())
       return trap("call to empty function @" + Callee->name());
     Frame New;

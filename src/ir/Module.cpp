@@ -15,7 +15,7 @@ using namespace compiler_gym;
 using namespace compiler_gym::ir;
 
 Function *Module::createFunction(std::string FnName, Type ReturnType) {
-  Funcs.push_back(std::make_unique<Function>(std::move(FnName), ReturnType));
+  Funcs.push_back(std::make_shared<Function>(std::move(FnName), ReturnType));
   Funcs.back()->setParent(this);
   return Funcs.back().get();
 }
@@ -28,7 +28,9 @@ Function *Module::findFunction(const std::string &FnName) const {
 }
 
 void Module::eraseFunction(Function *F) {
-  FunctionRefs.erase(F);
+  // The FunctionRefs pool is left untouched: refs are name-based and a
+  // ref to an erased function simply stops resolving. Erasing from a
+  // potentially shared pool would mutate sibling modules.
   auto It = std::find_if(Funcs.begin(), Funcs.end(),
                          [&](const auto &P) { return P.get() == F; });
   assert(It != Funcs.end() && "function not in module");
@@ -38,7 +40,7 @@ void Module::eraseFunction(Function *F) {
 GlobalVariable *Module::createGlobal(std::string GlobalName,
                                      uint32_t SizeWords) {
   Globals.push_back(
-      std::make_unique<GlobalVariable>(std::move(GlobalName), SizeWords));
+      std::make_shared<GlobalVariable>(std::move(GlobalName), SizeWords));
   return Globals.back().get();
 }
 
@@ -49,6 +51,11 @@ GlobalVariable *Module::findGlobal(const std::string &GlobalName) const {
   return nullptr;
 }
 
+void Module::detachPoolsForInsert() {
+  if (P.use_count() > 1)
+    P = std::make_shared<Pools>(*P);
+}
+
 Constant *Module::getConstInt(Type Ty, int64_t V) {
   assert(isIntegerType(Ty) && "getConstInt with non-integer type");
   if (Ty == Type::I1)
@@ -56,33 +63,40 @@ Constant *Module::getConstInt(Type Ty, int64_t V) {
   else if (Ty == Type::I32)
     V = static_cast<int32_t>(V);
   auto Key = std::make_pair(static_cast<int>(Ty), V);
-  auto It = IntConstants.find(Key);
-  if (It != IntConstants.end())
+  auto It = P->IntConstants.find(Key);
+  if (It != P->IntConstants.end())
     return It->second.get();
-  auto C = std::make_unique<Constant>(Ty, V);
+  detachPoolsForInsert();
+  auto C = std::make_shared<Constant>(Ty, V);
   Constant *Out = C.get();
-  IntConstants.emplace(Key, std::move(C));
+  P->IntConstants.emplace(Key, std::move(C));
   return Out;
 }
 
 Constant *Module::getConstFloat(double V) {
-  auto It = FloatConstants.find(V);
-  if (It != FloatConstants.end())
+  auto It = P->FloatConstants.find(V);
+  if (It != P->FloatConstants.end())
     return It->second.get();
-  auto C = std::make_unique<Constant>(V);
+  detachPoolsForInsert();
+  auto C = std::make_shared<Constant>(V);
   Constant *Out = C.get();
-  FloatConstants.emplace(V, std::move(C));
+  P->FloatConstants.emplace(V, std::move(C));
   return Out;
 }
 
-FunctionRef *Module::getFunctionRef(Function *F) {
-  auto It = FunctionRefs.find(F);
-  if (It != FunctionRefs.end())
+FunctionRef *Module::getFunctionRef(const std::string &CalleeName) {
+  auto It = P->FunctionRefs.find(CalleeName);
+  if (It != P->FunctionRefs.end())
     return It->second.get();
-  auto Ref = std::make_unique<FunctionRef>(F);
+  detachPoolsForInsert();
+  auto Ref = std::make_shared<FunctionRef>(CalleeName);
   FunctionRef *Out = Ref.get();
-  FunctionRefs.emplace(F, std::move(Ref));
+  P->FunctionRefs.emplace(CalleeName, std::move(Ref));
   return Out;
+}
+
+FunctionRef *Module::getFunctionRef(const Function *F) {
+  return getFunctionRef(F->name());
 }
 
 size_t Module::instructionCount() const {
@@ -92,6 +106,83 @@ size_t Module::instructionCount() const {
   return N;
 }
 
+namespace {
+
+/// Deep-copies the body of \p Src into the empty function \p Dst, remapping
+/// function-local values (arguments, blocks, instruction results). Operands
+/// resolved through module-level pools (constants, globals, function refs)
+/// are aliased, not copied: pool identity is stable across clone targets
+/// that share pools, and the deep-clone path pre-seeds \p Map with its own
+/// remapped globals/constants via \p Remap.
+void cloneFunctionBody(
+    const Function &Src, Function &Dst,
+    std::unordered_map<const Value *, Value *> &Map,
+    const std::function<Value *(const Value *)> &RemapPooled) {
+  for (size_t I = 0; I < Src.numArgs(); ++I) {
+    Argument *A = Src.arg(I);
+    Map[A] = Dst.addArgument(A->type(), A->name());
+  }
+  for (const auto &BB : Src.blocks())
+    Map[BB.get()] = Dst.createBlock(BB->name());
+
+  for (const auto &BB : Src.blocks()) {
+    auto *NewBB = cast<BasicBlock>(Map.at(BB.get()));
+    for (const auto &I : BB->instructions()) {
+      auto NewI = std::make_unique<Instruction>(I->opcode(), I->type());
+      NewI->setName(I->name());
+      NewI->setPred(I->pred());
+      NewI->setAllocaWords(I->allocaWords());
+      NewBB->append(std::move(NewI));
+      Map[I.get()] = NewBB->back();
+    }
+  }
+  // Second pass: wire operands (instruction results may be forward refs).
+  for (const auto &BB : Src.blocks()) {
+    auto *NewBB = cast<BasicBlock>(Map.at(BB.get()));
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      const Instruction *OldI = BB->instructions()[Idx].get();
+      Instruction *NewI = NewBB->instructions()[Idx].get();
+      for (const Value *Op : OldI->operands()) {
+        auto It = Map.find(Op);
+        if (It != Map.end()) {
+          NewI->operands().push_back(It->second);
+          continue;
+        }
+        Value *Pooled = RemapPooled(Op);
+        assert(Pooled && "unmapped value during clone");
+        NewI->operands().push_back(Pooled);
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::shared_ptr<Function> Module::unshareFunction(size_t Idx) {
+  assert(Idx < Funcs.size() && "function index out of range");
+  std::shared_ptr<Function> Old = Funcs[Idx];
+  auto Copy = std::make_shared<Function>(Old->name(), Old->returnType());
+  Copy->setNoInline(Old->isNoInline());
+  Copy->setParent(this);
+
+  std::unordered_map<const Value *, Value *> Map;
+  cloneFunctionBody(*Old, *Copy, Map, [&](const Value *Op) -> Value * {
+    // Constants, globals and function refs live in pools shared across the
+    // fork family: alias them. The const_cast is sound because pool
+    // entries are uniqued immutable values.
+    return const_cast<Value *>(Op);
+  });
+
+  Funcs[Idx] = std::move(Copy);
+  return Old;
+}
+
+void Module::restoreFunction(size_t Idx, std::shared_ptr<Function> Original) {
+  assert(Idx < Funcs.size() && "function index out of range");
+  assert(Original && "restoring a null payload");
+  Funcs[Idx] = std::move(Original);
+}
+
 std::unique_ptr<Module> Module::clone() const {
   auto Out = std::make_unique<Module>(Name);
   std::unordered_map<const Value *, Value *> Map;
@@ -99,61 +190,33 @@ std::unique_ptr<Module> Module::clone() const {
   for (const auto &G : Globals)
     Map[G.get()] = Out->createGlobal(G->name(), G->sizeWords());
 
-  // First pass: create functions, arguments, empty blocks.
+  // First pass: create empty functions so calls resolve by name.
   for (const auto &F : Funcs) {
     Function *NewF = Out->createFunction(F->name(), F->returnType());
     NewF->setNoInline(F->isNoInline());
-    for (size_t I = 0; I < F->numArgs(); ++I) {
-      Argument *A = F->arg(I);
-      Map[A] = NewF->addArgument(A->type(), A->name());
-    }
-    for (const auto &BB : F->blocks())
-      Map[BB.get()] = NewF->createBlock(BB->name());
   }
 
-  // Second pass: clone instructions with remapped operands.
-  auto remap = [&](const Value *V) -> Value * {
+  auto RemapPooled = [&](const Value *V) -> Value * {
     if (const auto *C = dyn_cast<Constant>(V)) {
       if (C->type() == Type::F64)
         return Out->getConstFloat(C->floatValue());
       return Out->getConstInt(C->type(), C->intValue());
     }
-    if (const auto *FR = dyn_cast<FunctionRef>(V)) {
-      Function *NewCallee = Out->findFunction(FR->function()->name());
-      assert(NewCallee && "call target missing in cloned module");
-      return Out->getFunctionRef(NewCallee);
-    }
-    auto It = Map.find(V);
-    assert(It != Map.end() && "unmapped value during clone");
-    return It->second;
+    if (const auto *FR = dyn_cast<FunctionRef>(V))
+      return Out->getFunctionRef(FR->calleeName());
+    return nullptr;
   };
 
-  for (const auto &F : Funcs) {
-    for (const auto &BB : F->blocks()) {
-      auto *NewBB = cast<BasicBlock>(Map.at(BB.get()));
-      for (const auto &I : BB->instructions()) {
-        auto NewI =
-            std::make_unique<Instruction>(I->opcode(), I->type());
-        NewI->setName(I->name());
-        NewI->setPred(I->pred());
-        NewI->setAllocaWords(I->allocaWords());
-        NewBB->append(std::move(NewI));
-        Map[I.get()] = NewBB->back();
-      }
-    }
-  }
-  // Third pass: wire operands (instruction results may be forward refs).
-  for (const auto &F : Funcs) {
-    for (const auto &BB : F->blocks()) {
-      auto *NewBB = cast<BasicBlock>(Map.at(BB.get()));
-      for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
-        const Instruction *OldI = BB->instructions()[Idx].get();
-        Instruction *NewI = NewBB->instructions()[Idx].get();
-        for (const Value *Op : OldI->operands())
-          NewI->operands().push_back(remap(Op));
-      }
-    }
-  }
+  for (size_t I = 0; I < Funcs.size(); ++I)
+    cloneFunctionBody(*Funcs[I], *Out->Funcs[I], Map, RemapPooled);
+  return Out;
+}
+
+std::unique_ptr<Module> Module::share() const {
+  auto Out = std::make_unique<Module>(Name);
+  Out->Funcs = Funcs;     // Payloads aliased; COW on first mutation.
+  Out->Globals = Globals; // Globals are shared for the module's lifetime.
+  Out->P = P;             // Pools detach on first insert.
   return Out;
 }
 

@@ -6,9 +6,25 @@
 ///
 /// \file
 /// Module owns functions, globals, constants and function-reference
-/// wrappers. Modules are deep-copyable (clone()), which backs the
-/// environment fork() operator, and hashable, which backs state identity in
-/// the transition database and reproducibility validation.
+/// wrappers through refcounted handles, so modules support two copy
+/// operations:
+///  * clone() — deep structural copy; every Value is duplicated and
+///    remapped. O(|module|).
+///  * share() — structural sharing: the new module references the same
+///    per-function payloads and the same uniqued-symbol pools. O(#functions)
+///    pointer copies, which backs the O(1) environment fork() operator and
+///    the crash-recovery snapshot store.
+///
+/// A shared function payload is immutable by contract: mutation goes
+/// through the pass layer, which calls unshareFunction() (copy-on-write)
+/// before handing a function to a transform. Cross-function call operands
+/// are name-based (FunctionRef stores the callee's name, resolved against
+/// the enclosing module), so a COW copy of one function never invalidates
+/// call sites in functions still shared with other modules.
+///
+/// Modules are hashable (printed-form digest), which backs state identity
+/// in the transition database, the observation caches and the snapshot
+/// store.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,8 +45,9 @@ namespace ir {
 /// A whole translation unit of the mini-IR.
 class Module {
 public:
-  Module() = default;
-  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module() : P(std::make_shared<Pools>()) {}
+  explicit Module(std::string Name)
+      : Name(std::move(Name)), P(std::make_shared<Pools>()) {}
 
   Module(const Module &) = delete;
   Module &operator=(const Module &) = delete;
@@ -42,14 +59,33 @@ public:
   Function *createFunction(std::string FnName, Type ReturnType);
   Function *findFunction(const std::string &FnName) const;
   void eraseFunction(Function *F);
-  const std::vector<std::unique_ptr<Function>> &functions() const {
+  const std::vector<std::shared_ptr<Function>> &functions() const {
     return Funcs;
   }
+
+  /// True if the function at \p Idx is shared with another module (or a
+  /// snapshot) and must be copied before mutation.
+  bool isFunctionShared(size_t Idx) const {
+    return Funcs[Idx].use_count() > 1;
+  }
+
+  /// Copy-on-write: replaces the (shared) payload at \p Idx with a deep
+  /// copy owned exclusively by this module and returns it. Operands that
+  /// point into the shared symbol pools (constants, globals, function
+  /// refs) are NOT remapped — pool identity is stable across a fork
+  /// family. Returns the original shared payload so the caller can revert
+  /// the slot if the planned mutation turns out to be a no-op.
+  std::shared_ptr<Function> unshareFunction(size_t Idx);
+
+  /// Reverts a COW performed by unshareFunction(): reinstates \p Original
+  /// as the payload of slot \p Idx, destroying the copy. Only valid when
+  /// the copy was never mutated.
+  void restoreFunction(size_t Idx, std::shared_ptr<Function> Original);
 
   // -- Globals -------------------------------------------------------------
   GlobalVariable *createGlobal(std::string GlobalName, uint32_t SizeWords);
   GlobalVariable *findGlobal(const std::string &GlobalName) const;
-  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+  const std::vector<std::shared_ptr<GlobalVariable>> &globals() const {
     return Globals;
   }
 
@@ -59,8 +95,12 @@ public:
   Constant *getTrue() { return getConstInt(Type::I1, 1); }
   Constant *getFalse() { return getConstInt(Type::I1, 0); }
 
-  /// Function-reference operand for \p F (uniqued).
-  FunctionRef *getFunctionRef(Function *F);
+  /// Function-reference operand naming \p CalleeName (uniqued). The ref is
+  /// purely symbolic: it resolves against whatever module the containing
+  /// instruction is reached through, so shared functions calling a
+  /// COW-copied sibling see the copy.
+  FunctionRef *getFunctionRef(const std::string &CalleeName);
+  FunctionRef *getFunctionRef(const Function *F);
 
   // -- Whole-module utilities ------------------------------------------------
   size_t instructionCount() const;
@@ -68,17 +108,34 @@ public:
   /// Deep structural copy. All Value pointers are remapped.
   std::unique_ptr<Module> clone() const;
 
+  /// Structurally shared copy: O(#functions). The new module aliases every
+  /// function payload, global and pool entry; first mutation of a shared
+  /// function triggers unshareFunction() in the pass layer.
+  std::unique_ptr<Module> share() const;
+
   /// Digest of the printed form; stable state identity for the transition
   /// database and nondeterminism detection.
   StateHash hash() const;
 
 private:
+  /// Uniqued symbols shared copy-on-write across a fork family. Lookup
+  /// never mutates; insertion detaches the pool first when it is shared,
+  /// so concurrent sessions forked from one parent never write to a map
+  /// another session is reading.
+  struct Pools {
+    std::map<std::pair<int, int64_t>, std::shared_ptr<Constant>> IntConstants;
+    std::map<double, std::shared_ptr<Constant>> FloatConstants;
+    std::map<std::string, std::shared_ptr<FunctionRef>> FunctionRefs;
+  };
+
+  /// Clones the pool maps (shallow: entries stay shared, preserving
+  /// Constant/FunctionRef pointer identity) when another module holds them.
+  void detachPoolsForInsert();
+
   std::string Name;
-  std::vector<std::unique_ptr<Function>> Funcs;
-  std::vector<std::unique_ptr<GlobalVariable>> Globals;
-  std::map<std::pair<int, int64_t>, std::unique_ptr<Constant>> IntConstants;
-  std::map<double, std::unique_ptr<Constant>> FloatConstants;
-  std::map<Function *, std::unique_ptr<FunctionRef>> FunctionRefs;
+  std::vector<std::shared_ptr<Function>> Funcs;
+  std::vector<std::shared_ptr<GlobalVariable>> Globals;
+  std::shared_ptr<Pools> P;
 };
 
 } // namespace ir

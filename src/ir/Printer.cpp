@@ -72,7 +72,7 @@ void printOperand(std::ostringstream &OS, const Value *V, NameTable &Names) {
     return;
   }
   if (const auto *FR = dyn_cast<FunctionRef>(V)) {
-    OS << "func @" << FR->function()->name();
+    OS << "func @" << FR->calleeName();
     return;
   }
   if (const auto *BB = dyn_cast<BasicBlock>(V)) {

@@ -1,0 +1,137 @@
+//===- ir/Snapshot.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Snapshot.h"
+
+#include "telemetry/MetricsRegistry.h"
+
+using namespace compiler_gym;
+using namespace compiler_gym::ir;
+
+namespace {
+
+telemetry::Gauge &storeEntries() {
+  static telemetry::Gauge &G = telemetry::MetricsRegistry::global().gauge(
+      "cg_snapshot_store_entries", {}, "Module snapshots currently stored");
+  return G;
+}
+
+telemetry::Gauge &storeBytes() {
+  static telemetry::Gauge &G = telemetry::MetricsRegistry::global().gauge(
+      "cg_snapshot_store_bytes", {},
+      "Approximate bytes owned by stored module snapshots");
+  return G;
+}
+
+telemetry::Counter &storeLookups(bool Hit) {
+  static telemetry::MetricsRegistry &M = telemetry::MetricsRegistry::global();
+  static const char *Help = "Snapshot store lookups by outcome";
+  static telemetry::Counter &Hits = M.counter(
+      "cg_snapshot_store_hits_total", {{"outcome", "hit"}}, Help);
+  static telemetry::Counter &Misses = M.counter(
+      "cg_snapshot_store_hits_total", {{"outcome", "miss"}}, Help);
+  return Hit ? Hits : Misses;
+}
+
+telemetry::Counter &storeEvictions() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_snapshot_store_evictions_total", {},
+      "Snapshots dropped by LRU capacity eviction");
+  return C;
+}
+
+/// Approximate retained size. Shared payloads are charged to every
+/// snapshot referencing them (an upper bound — sharing makes the true
+/// footprint smaller), which keeps the accounting O(1) per put.
+size_t approxModuleBytes(const Module &M) {
+  size_t Bytes = 0;
+  for (const auto &F : M.functions())
+    Bytes += 96 * F->instructionCount() + 64 * F->numBlocks() + 128;
+  return Bytes + 64 * M.globals().size() + 256;
+}
+
+} // namespace
+
+SnapshotStore &SnapshotStore::global() {
+  static SnapshotStore *S = new SnapshotStore();
+  return *S;
+}
+
+void SnapshotStore::put(uint64_t Key, std::shared_ptr<const Module> Mod,
+                        std::string BenchmarkUri) {
+  if (!Mod)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    Lru.erase(It->second.LruIt);
+    It->second.LruIt = Lru.insert(Lru.begin(), Key);
+    return;
+  }
+  size_t Bytes = approxModuleBytes(*Mod);
+  Entry E;
+  E.Snap = {std::move(Mod), std::move(BenchmarkUri)};
+  E.Bytes = Bytes;
+  E.LruIt = Lru.insert(Lru.begin(), Key);
+  Map.emplace(Key, std::move(E));
+  TotalBytes += Bytes;
+  evictLocked();
+  storeEntries().set(static_cast<int64_t>(Map.size()));
+  storeBytes().set(static_cast<int64_t>(TotalBytes));
+}
+
+std::optional<Snapshot> SnapshotStore::get(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    storeLookups(false).inc();
+    return std::nullopt;
+  }
+  Lru.erase(It->second.LruIt);
+  It->second.LruIt = Lru.insert(Lru.begin(), Key);
+  storeLookups(true).inc();
+  return It->second.Snap;
+}
+
+void SnapshotStore::evictLocked() {
+  while (Map.size() > MaxEntries ||
+         (TotalBytes > MaxBytes && Map.size() > 1)) {
+    uint64_t Victim = Lru.back();
+    auto It = Map.find(Victim);
+    TotalBytes -= It->second.Bytes;
+    Lru.pop_back();
+    Map.erase(It);
+    storeEvictions().inc();
+  }
+}
+
+void SnapshotStore::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Map.clear();
+  Lru.clear();
+  TotalBytes = 0;
+  storeEntries().set(0);
+  storeBytes().set(0);
+}
+
+void SnapshotStore::setCapacity(size_t Entries, size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MaxEntries = Entries;
+  MaxBytes = Bytes;
+  evictLocked();
+  storeEntries().set(static_cast<int64_t>(Map.size()));
+  storeBytes().set(static_cast<int64_t>(TotalBytes));
+}
+
+size_t SnapshotStore::entries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Map.size();
+}
+
+size_t SnapshotStore::approxBytes() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TotalBytes;
+}

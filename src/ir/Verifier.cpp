@@ -20,7 +20,8 @@ Status fail(const Function &F, const std::string &Message) {
   return internalError("verifier: @" + F.name() + ": " + Message);
 }
 
-Status checkOperandTypes(const Function &F, const Instruction &I) {
+Status checkOperandTypes(const Function &F, const Instruction &I,
+                         const Module *M) {
   auto want = [&](size_t Idx, Type Ty) -> Status {
     if (I.numOperands() <= Idx)
       return fail(F, std::string(opcodeName(I.opcode())) +
@@ -126,7 +127,11 @@ Status checkOperandTypes(const Function &F, const Instruction &I) {
   case Opcode::Call: {
     if (I.numOperands() < 1 || !isa<FunctionRef>(I.operand(0)))
       return fail(F, "call operand 0 must be a function reference");
-    const Function *Callee = I.calledFunction();
+    if (!M)
+      return Status::ok(); // Symbolic callee: unresolvable without a module.
+    const Function *Callee = I.calledFunction(*M);
+    if (!Callee)
+      return fail(F, "call to unknown function @" + I.calleeName());
     if (I.numCallArgs() != Callee->numArgs())
       return fail(F, "call to @" + Callee->name() + " with " +
                          std::to_string(I.numCallArgs()) + " args, expected " +
@@ -202,7 +207,7 @@ Status checkOperandTypes(const Function &F, const Instruction &I) {
 
 } // namespace
 
-Status ir::verifyFunction(const Function &F) {
+Status ir::verifyFunction(const Function &F, const Module *M) {
   if (F.empty())
     return fail(F, "function has no blocks");
 
@@ -227,7 +232,7 @@ Status ir::verifyFunction(const Function &F) {
   // Types.
   for (const auto &BB : F.blocks())
     for (const auto &I : BB->instructions())
-      CG_RETURN_IF_ERROR(checkOperandTypes(F, *I));
+      CG_RETURN_IF_ERROR(checkOperandTypes(F, *I, M));
 
   DominatorTree DT(F);
 
@@ -304,6 +309,6 @@ Status ir::verifyFunction(const Function &F) {
 
 Status ir::verifyModule(const Module &M) {
   for (const auto &F : M.functions())
-    CG_RETURN_IF_ERROR(verifyFunction(*F));
+    CG_RETURN_IF_ERROR(verifyFunction(*F, &M));
   return Status::ok();
 }

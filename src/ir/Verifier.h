@@ -24,8 +24,11 @@ namespace ir {
 /// Verifies the whole module; returns the first violation found.
 Status verifyModule(const Module &M);
 
-/// Verifies a single function.
-Status verifyFunction(const Function &F);
+/// Verifies a single function. When \p M is provided, call sites are
+/// resolved against it and checked against the callee signature; without a
+/// module, symbolic call targets cannot be resolved and signature checks
+/// are skipped.
+Status verifyFunction(const Function &F, const Module *M = nullptr);
 
 } // namespace ir
 } // namespace compiler_gym

@@ -51,6 +51,17 @@ telemetry::Counter &analysisInvalidations(const char *Kind) {
   return Loops;
 }
 
+telemetry::Counter &domTreeUpdates(bool Incremental) {
+  static telemetry::MetricsRegistry &M = telemetry::MetricsRegistry::global();
+  static const char *Help =
+      "Dominator trees built (full) or patched in place (incremental)";
+  static telemetry::Counter &Inc = M.counter(
+      "cg_domtree_updates_total", {{"kind", "incremental"}}, Help);
+  static telemetry::Counter &Full =
+      M.counter("cg_domtree_updates_total", {{"kind", "full"}}, Help);
+  return Incremental ? Inc : Full;
+}
+
 } // namespace
 
 const DominatorTree &AnalysisManager::domTree(const Function &F) {
@@ -62,6 +73,7 @@ const DominatorTree &AnalysisManager::domTree(const Function &F) {
     E.DT = std::make_unique<DominatorTree>(F);
     ++S.DomTreeComputes;
     analysisLookup("domtree", false).inc();
+    domTreeUpdates(false).inc();
   }
   return *E.DT;
 }
@@ -134,7 +146,54 @@ void AnalysisManager::invalidateAll(const PreservedAnalyses &PA) {
 
 void AnalysisManager::functionErased(const Function *F) {
   Cache.erase(F);
+  CowStash.erase(F);
   Features.functionErased(F);
+}
+
+void AnalysisManager::cowDetached(const Function *Old, const Function *Copy) {
+  auto It = Cache.find(Old);
+  if (It != Cache.end()) {
+    CowStash[Old] = std::move(It->second);
+    Cache.erase(It);
+  }
+  Features.functionReplaced(Old, Copy);
+}
+
+void AnalysisManager::cowReverted(const Function *Copy, const Function *Old) {
+  // Analyses computed against the short-lived copy would dangle.
+  Cache.erase(Copy);
+  Features.functionReplaced(Copy, Old);
+  auto It = CowStash.find(Old);
+  if (It != CowStash.end()) {
+    Cache[Old] = std::move(It->second);
+    CowStash.erase(It);
+  }
+}
+
+void AnalysisManager::cowCommitted(const Function *Old) {
+  CowStash.erase(Old);
+}
+
+void AnalysisManager::adoptFrom(const AnalysisManager &O) {
+  Cache.clear();
+  CowStash.clear();
+  for (const auto &[F, E] : O.Cache) {
+    Entry &N = Cache[F];
+    if (E.DT)
+      N.DT = std::make_unique<DominatorTree>(*E.DT);
+    if (E.Loops)
+      N.Loops = std::make_unique<std::vector<NaturalLoop>>(*E.Loops);
+  }
+  Features = O.Features;
+}
+
+void AnalysisManager::blockMerged(const Function &F, BasicBlock *Into,
+                                  const BasicBlock *Gone) {
+  auto It = Cache.find(&F);
+  if (It == Cache.end() || !It->second.DT)
+    return;
+  It->second.DT->applyBlockMerged(Into, Gone);
+  domTreeUpdates(true).inc();
 }
 
 bool AnalysisManager::isCached(const Function &F, AnalysisKind Kind) const {

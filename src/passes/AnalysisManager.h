@@ -158,6 +158,36 @@ public:
   /// cached artifact dangles.
   void functionErased(const ir::Function *F);
 
+  // -- Copy-on-write hooks ---------------------------------------------------
+  /// A shared function payload \p Old was replaced by the COW copy \p Copy
+  /// (Module::unshareFunction). Value-based feature artifacts are rekeyed
+  /// to the structurally identical copy; the CFG analyses (whose
+  /// BasicBlock pointers live in the old payload) are stashed aside so
+  /// cowReverted() can reinstate them if the planned mutation turns out to
+  /// be a no-op, and discarded by cowCommitted() otherwise.
+  void cowDetached(const ir::Function *Old, const ir::Function *Copy);
+
+  /// The COW copy \p Copy was never mutated and the original payload
+  /// \p Old is back in its slot: feature artifacts are rekeyed back and
+  /// the stashed CFG analyses reinstated.
+  void cowReverted(const ir::Function *Copy, const ir::Function *Old);
+
+  /// The COW copy was mutated and kept; the stash for \p Old is dropped.
+  void cowCommitted(const ir::Function *Old);
+
+  /// Warms this manager from \p O after an environment fork: cached CFG
+  /// analyses are deep-copied (their BasicBlock pointers refer into
+  /// payloads the forked module shares, so they stay valid) and the
+  /// feature cache is copied wholesale. Telemetry counters start fresh.
+  void adoptFrom(const AnalysisManager &O);
+
+  /// Exact incremental dominator-tree maintenance: the linear-chain merge
+  /// of \p Gone into \p Into ran on \p F (see
+  /// ir::DominatorTree::applyBlockMerged). Patches a cached tree in place
+  /// instead of dropping it.
+  void blockMerged(const ir::Function &F, ir::BasicBlock *Into,
+                   const ir::BasicBlock *Gone);
+
   /// True if \p F currently has a cached result of \p Kind (test hook and
   /// preservation-verifier input).
   bool isCached(const ir::Function &F, AnalysisKind Kind) const;
@@ -185,6 +215,9 @@ private:
   };
 
   std::unordered_map<const ir::Function *, Entry> Cache;
+  /// CFG analyses parked by cowDetached(), keyed by the original (shared)
+  /// payload, awaiting cowReverted()/cowCommitted().
+  std::unordered_map<const ir::Function *, Entry> CowStash;
   analysis::FeatureCache Features;
   Stats S;
 };

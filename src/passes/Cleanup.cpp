@@ -99,13 +99,13 @@ public:
     bool LocalChange = true;
     while (LocalChange) {
       LocalChange = false;
-      std::unordered_set<const Function *> CalledFns;
+      std::unordered_set<std::string> CalledFns;
       std::unordered_set<const GlobalVariable *> UsedGlobals;
       for (const auto &F : M.functions()) {
         F->forEachInstruction([&](BasicBlock &, Instruction &I) {
           for (const Value *Op : I.operands()) {
             if (const auto *FR = dyn_cast<FunctionRef>(Op))
-              CalledFns.insert(FR->function());
+              CalledFns.insert(FR->calleeName());
             else if (const auto *G = dyn_cast<GlobalVariable>(Op))
               UsedGlobals.insert(G);
           }
@@ -113,7 +113,7 @@ public:
       }
       std::vector<Function *> DeadFns;
       for (const auto &F : M.functions())
-        if (F->name() != "main" && !F->isNoInline() && !CalledFns.count(F.get()))
+        if (F->name() != "main" && !F->isNoInline() && !CalledFns.count(F->name()))
           DeadFns.push_back(F.get());
       for (Function *F : DeadFns) {
         AM.functionErased(F);
@@ -203,8 +203,14 @@ public:
   std::string name() const override { return "unreachable-elim"; }
 
   PassResult runOnFunction(Function &F, AnalysisManager &) override {
-    return PassResult::make(removeUnreachableBlocks(F),
-                            PreservedAnalyses::none());
+    // Unreachable blocks are invisible to both CFG analyses: the CHK
+    // walk never reaches them (no Rpo/Idom entries) and natural loops
+    // only arise from reachable back edges. Erasing them preserves the
+    // relative order of the surviving blocks, so cached dominator trees
+    // and loop sets verify bit-for-bit against a recomputation.
+    return PassResult::make(
+        removeUnreachableBlocks(F),
+        PreservedAnalyses::none().preserve(AK_DomTree | AK_Loops));
   }
 };
 

@@ -33,49 +33,62 @@ public:
   }
 
   PassResult run(Module &M, AnalysisManager &AM) override {
-    // Collect call sites up front; inlining appends blocks but call sites
-    // found later inside inlined bodies are not revisited this run (one
-    // level per action keeps growth under the agent's control).
-    struct Site {
-      Function *Caller;
-      Instruction *Call;
-    };
-    std::vector<Site> Sites;
-    for (const auto &F : M.functions()) {
-      F->forEachInstruction([&](BasicBlock &BB, Instruction &I) {
-        if (I.opcode() == Opcode::Call)
-          Sites.push_back({F.get(), &I});
-      });
-    }
-    std::unordered_set<Function *> ChangedFns;
-    for (const Site &S : Sites) {
-      Function *Callee = S.Call->calledFunction();
-      if (!shouldInline(*S.Caller, *Callee))
+    // Per-caller: collect this caller's call sites up front (inlining
+    // appends blocks but call sites found later inside inlined bodies are
+    // not revisited this run — one level per action keeps growth under the
+    // agent's control), then mutate. Callees are only read, so a shared
+    // caller payload is COW-detached before its first inline and the
+    // sites rescanned in the copy.
+    bool Changed = false;
+    for (size_t Idx = 0; Idx < M.functions().size(); ++Idx) {
+      Function *Caller = M.functions()[Idx].get();
+      std::vector<Instruction *> Sites = inlinableSites(M, *Caller);
+      if (Sites.empty())
         continue;
-      // The call's parent may have been split by an earlier inline in the
-      // same block; always use the current parent.
-      inlineSite(M, *S.Caller, S.Call->parent(), S.Call);
-      ChangedFns.insert(S.Caller);
+      if (M.isFunctionShared(Idx)) {
+        std::shared_ptr<Function> Old = M.unshareFunction(Idx);
+        AM.functionErased(Old.get());
+        Caller = M.functions()[Idx].get();
+        Sites = inlinableSites(M, *Caller);
+      }
+      for (Instruction *Call : Sites) {
+        // The call's parent may have been split by an earlier inline in
+        // the same block; always use the current parent.
+        inlineSite(M, *Caller, Call->parent(), Call);
+      }
+      // Only callers mutate; callees and bystanders keep their analyses.
+      AM.invalidate(*Caller, PreservedAnalyses::none());
+      Changed = true;
     }
-    // Only callers mutate; callees and bystanders keep their analyses.
-    for (Function *F : ChangedFns)
-      AM.invalidate(*F, PreservedAnalyses::none());
-    PassResult R =
-        PassResult::make(!ChangedFns.empty(), PreservedAnalyses::none());
+    PassResult R = PassResult::make(Changed, PreservedAnalyses::none());
     R.InvalidationApplied = true; // Per-caller invalidation above.
     return R;
   }
 
 private:
+  std::vector<Instruction *> inlinableSites(const Module &M,
+                                            Function &Caller) const {
+    std::vector<Instruction *> Sites;
+    Caller.forEachInstruction([&](BasicBlock &, Instruction &I) {
+      if (I.opcode() != Opcode::Call)
+        return;
+      const Function *Callee = I.calledFunction(M);
+      if (Callee && shouldInline(Caller, *Callee))
+        Sites.push_back(&I);
+    });
+    return Sites;
+  }
+
   bool shouldInline(const Function &Caller, const Function &Callee) const {
-    if (&Caller == &Callee || Callee.empty() || Callee.isNoInline())
+    if (Caller.name() == Callee.name() || Callee.empty() ||
+        Callee.isNoInline())
       return false;
     if (Callee.instructionCount() > Threshold)
       return false;
     // Directly recursive callees never finish inlining; skip them.
     bool Recursive = false;
     Callee.forEachInstruction([&](BasicBlock &, Instruction &I) {
-      if (I.opcode() == Opcode::Call && I.calledFunction() == &Callee)
+      if (I.opcode() == Opcode::Call && I.calleeName() == Callee.name())
         Recursive = true;
     });
     return !Recursive;
@@ -83,7 +96,7 @@ private:
 
   void inlineSite(Module &M, Function &Caller, BasicBlock *BB,
                   Instruction *Call) {
-    Function *Callee = Call->calledFunction();
+    Function *Callee = M.findFunction(Call->calleeName());
     size_t CallIdx = BB->indexOf(Call);
 
     // 1. Split: move everything after the call into a continuation block.

@@ -10,6 +10,7 @@
 #include "ir/Dominators.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -47,7 +48,13 @@ bool foldBranches(Function &F, Module &M) {
 
 /// Merges a block into its unique successor when that successor has a
 /// unique predecessor (LLVM's "merge block into predecessor").
-bool mergeLinearChains(Function &F) {
+/// \p OnMerge, when set, is told about every (surviving, erased) pair
+/// before the erased block is destroyed — the hook behind incremental
+/// dominator-tree maintenance.
+using MergeCallback =
+    std::function<void(BasicBlock *Into, const BasicBlock *Gone)>;
+
+bool mergeLinearChains(Function &F, const MergeCallback &OnMerge = nullptr) {
   bool Changed = false;
   bool LocalChange = true;
   while (LocalChange) {
@@ -83,6 +90,8 @@ bool mergeLinearChains(Function &F) {
       // Phis downstream now see BB as the predecessor.
       for (BasicBlock *After : BB->successors())
         replacePhiIncomingBlock(*After, Succ, BB);
+      if (OnMerge)
+        OnMerge(BB, Succ);
       F.eraseBlock(Succ);
       LocalChange = Changed = true;
       break; // Block list mutated; restart scan.
@@ -178,8 +187,16 @@ class BlockMergePass : public FunctionPass {
 public:
   std::string name() const override { return "block-merge"; }
 
-  PassResult runOnFunction(Function &F, AnalysisManager &) override {
-    return PassResult::make(mergeLinearChains(F), PreservedAnalyses::none());
+  PassResult runOnFunction(Function &F, AnalysisManager &AM) override {
+    // Each merge is applied to a cached dominator tree in place (an exact
+    // patch — see DominatorTree::applyBlockMerged), so the tree survives
+    // the pass. Loop info does not: a merged latch changes Latches sets.
+    bool Changed = mergeLinearChains(
+        F, [&](BasicBlock *Into, const BasicBlock *Gone) {
+          AM.blockMerged(F, Into, Gone);
+        });
+    return PassResult::make(
+        Changed, PreservedAnalyses::none().preserve(AK_DomTree));
   }
 };
 

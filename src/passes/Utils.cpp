@@ -352,7 +352,7 @@ uint64_t StableValueIds::idOf(const Value *V) const {
   if (const auto *G = dyn_cast<GlobalVariable>(V))
     return fnv1a(G->name()) | (1ull << 62);
   if (const auto *FR = dyn_cast<FunctionRef>(V))
-    return fnv1a(FR->function()->name()) | (1ull << 61);
+    return fnv1a(FR->calleeName()) | (1ull << 61);
   return 0;
 }
 

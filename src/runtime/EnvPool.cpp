@@ -41,6 +41,14 @@ telemetry::Histogram &queueWaitUs() {
   return H;
 }
 
+telemetry::Counter &fanoutForksTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_pool_fanout_forks_total", {},
+      "Candidate forks (snapshot rebases + session forks) in "
+      "evaluateContinuations");
+  return C;
+}
+
 } // namespace
 
 EnvPool::EnvPool(EnvPoolOptions Opts, std::unique_ptr<ServiceBroker> Broker)
@@ -276,6 +284,59 @@ StatusOr<std::vector<double>> EnvPool::evaluateDirect(
       Aggregate.EpisodesCompleted += 1;
       Aggregate.StepsExecuted += 1;
       Aggregate.EpisodeReward.add(Rewards[I]);
+    }
+  });
+  if (!S.isOk())
+    return S;
+  return Rewards;
+}
+
+StatusOr<std::vector<double>> EnvPool::evaluateContinuations(
+    core::CompilerEnv &Parent,
+    const std::vector<std::vector<int>> &Candidates) {
+  CG_TRACE_SPAN("pool.fanout", "runtime");
+  const double ParentReward = Parent.episodeReward();
+  std::vector<double> Rewards(Candidates.size(), 0.0);
+  std::atomic<size_t> Next{0};
+  Status S = forEachWorker([&](size_t W) -> Status {
+    // Exactly one slot (at most) owns the parent; it must not rebase its
+    // own env out from under the caller, so it evaluates on throwaway
+    // forks of the parent instead. Safe single-threaded use of the
+    // parent's shared client: only this worker thread touches it.
+    const bool OwnsParent = Envs[W].get() == &Parent;
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Candidates.size())
+        return Status::ok();
+      double Reward = 0.0;
+      if (OwnsParent) {
+        CG_ASSIGN_OR_RETURN(std::unique_ptr<core::CompilerEnv> Fork,
+                            Parent.fork());
+        if (!Candidates[I].empty()) {
+          CG_ASSIGN_OR_RETURN(core::StepResult R, Fork->step(Candidates[I]));
+          (void)R;
+        }
+        Reward = Fork->episodeReward() - ParentReward;
+      } else {
+        // Cross-shard fork: restore the parent's snapshot into this
+        // worker's own session (own client, own shard), then run the
+        // suffix there.
+        CG_RETURN_IF_ERROR(Envs[W]->rebase(Parent));
+        if (!Candidates[I].empty()) {
+          CG_ASSIGN_OR_RETURN(core::StepResult R,
+                              Envs[W]->step(Candidates[I]));
+          (void)R;
+        }
+        Reward = Envs[W]->episodeReward() - ParentReward;
+      }
+      fanoutForksTotal().inc();
+      Rewards[I] = Reward;
+      episodesTotal().inc();
+      stepsTotal().inc(Candidates[I].size());
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      Aggregate.EpisodesCompleted += 1;
+      Aggregate.StepsExecuted += Candidates[I].size();
+      Aggregate.EpisodeReward.add(Reward);
     }
   });
   if (!S.isOk())

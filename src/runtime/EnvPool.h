@@ -8,13 +8,16 @@
 /// EnvPool: a vectorized front-end over M CompilerEnv workers attached to
 /// the shards of a ServiceBroker. The pool drives all M environments
 /// concurrently on a util::ThreadPool — resetAll() / stepBatch() for
-/// lock-step vectorized use (RL), collect() for episode-parallel use, and
-/// evaluateSequences() / evaluateDirect() for autotuner candidate fan-out.
-/// Benchmark lists are sharded across workers via DatasetRegistry, and
-/// per-worker statistics aggregate into PoolStats. Crash recovery is
-/// inherited from the env layer: a worker whose shard dies replays its
-/// episode on the restarted shard, so a pool run loses no episodes to
-/// injected (or real) compiler faults.
+/// lock-step vectorized use (RL), collect() for episode-parallel use,
+/// evaluateSequences() / evaluateDirect() for autotuner candidate
+/// fan-out from the initial state, and evaluateContinuations() for
+/// candidate fan-out from a shared mid-episode prefix (O(1) snapshot
+/// forks instead of per-candidate reset+replay). Benchmark lists are
+/// sharded across workers via DatasetRegistry, and per-worker statistics
+/// aggregate into PoolStats. Crash recovery is inherited from the env
+/// layer: a worker whose shard dies restores its last snapshot (or
+/// replays its episode) on the restarted shard, so a pool run loses no
+/// episodes to injected (or real) compiler faults.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -140,6 +143,23 @@ public:
   /// Same for direct choice-vector candidates (GCC flag tuning).
   StatusOr<std::vector<double>> evaluateDirect(
       const std::vector<std::vector<int64_t>> &Candidates);
+
+  /// Candidate *continuation* fan-out from \p Parent's current mid-episode
+  /// state (the autotuner inner loop): evaluates each candidate action
+  /// suffix as if appended to the parent's episode, without re-running the
+  /// prefix. Workers fork from the parent's content-addressed snapshot —
+  /// an O(1)-in-module-size restore (CompilerEnv::rebase), no prefix
+  /// replay — so K candidates cost O(K), not O(K·|episode|·|module|) as
+  /// reset+replay would. If the parent is one of this pool's workers, its
+  /// slot evaluates on throwaway CompilerEnv::fork() clones instead (same
+  /// shard, still O(1)). Returns reward *deltas* relative to the parent
+  /// (candidate episodeReward minus the parent's), in candidate order.
+  /// The parent is only read, never stepped or mutated; other worker envs
+  /// are left at rebased states, so reset them (resetAll / collect)
+  /// before lock-step use.
+  StatusOr<std::vector<double>> evaluateContinuations(
+      core::CompilerEnv &Parent,
+      const std::vector<std::vector<int>> &Candidates);
 
   /// Aggregated statistics snapshot. Safe to call concurrently with batch
   /// operations: the per-env recovery counters are relaxed atomics, so a

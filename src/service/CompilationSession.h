@@ -74,6 +74,16 @@ public:
 
   /// Deep copy for the fork() operator (§III-B6). Optional.
   virtual StatusOr<std::unique_ptr<CompilationSession>> fork();
+
+  /// Crash recovery: restores the session (already init()-ed on its
+  /// benchmark) to the state content-addressed by \p StateKey, typically
+  /// from a snapshot store. Returns true on success — the session then
+  /// sits at exactly the state whose stateKey() equals \p StateKey, and
+  /// the client skips action replay. The default cannot restore.
+  virtual bool restore(uint64_t StateKey) {
+    (void)StateKey;
+    return false;
+  }
 };
 
 using SessionFactory = std::function<std::unique_ptr<CompilationSession>()>;

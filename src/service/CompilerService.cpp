@@ -235,6 +235,12 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
     }
     if (Status S = Session->init(*Chosen, Req.Start.Bench); !S.isOk())
       return fail(S);
+    // Replay-free crash recovery: a recovering client names the state it
+    // was at; the backend restores the matching snapshot when it still
+    // exists. On failure the session simply starts at the initial state
+    // and the client replays (the pre-snapshot protocol).
+    if (Req.Start.RestoreStateKey)
+      Reply.Start.Restored = Session->restore(Req.Start.RestoreStateKey);
     Reply.Start.SessionId = NextSessionId++;
     Reply.Start.Space = *Chosen;
     Reply.Start.ObservationSpaces = Session->getObservationSpaces();
@@ -377,6 +383,9 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
       fullRepliesTotal().inc();
       Reply.Step.Observations.push_back(std::move(Obs));
     }
+    // Tell the client where it now is, so a later crash recovery can
+    // restore this exact state by key instead of replaying actions.
+    Reply.Step.SessionStateKey = stateKeyOnce();
     return Reply;
   }
 

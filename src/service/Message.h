@@ -145,12 +145,22 @@ struct StartSessionRequest {
   std::string CompilerName; ///< "llvm", "gcc", "loop_tool".
   datasets::Benchmark Bench;
   std::string ActionSpaceName; ///< Empty: use the default space.
+  /// Crash recovery: when nonzero, ask the backend to restore the session
+  /// to the snapshot content-addressed by this state key (the
+  /// SessionStateKey of the last successful step) instead of starting from
+  /// the benchmark's initial state. Best-effort: if the snapshot is gone
+  /// (evicted, different process), the session starts fresh and the client
+  /// falls back to action replay.
+  uint64_t RestoreStateKey = 0;
 };
 
 struct StartSessionReply {
   uint64_t SessionId = 0;
   ActionSpace Space;
   std::vector<ObservationSpaceInfo> ObservationSpaces;
+  /// True when RestoreStateKey was honored: the session already sits at
+  /// the requested state and no action replay is needed.
+  bool Restored = false;
 };
 
 struct EndSessionRequest {
@@ -179,6 +189,11 @@ struct StepReply {
   /// frontend demuxes by name instead of by request-order cursor.
   std::vector<std::string> ObservationNames;
   std::vector<Observation> Observations;
+  /// Content-addressed key of the session state after the batch applied
+  /// (CompilationSession::stateKey(); 0 = backend has no state identity).
+  /// Clients record it so a later crash recovery can restore the matching
+  /// snapshot via StartSessionRequest::RestoreStateKey.
+  uint64_t SessionStateKey = 0;
 };
 
 struct ForkRequest {

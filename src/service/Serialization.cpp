@@ -252,6 +252,7 @@ std::string service::encodeRequest(const RequestEnvelope &Req) {
     W.str(Req.Start.CompilerName);
     putBenchmark(W, Req.Start.Bench);
     W.str(Req.Start.ActionSpaceName);
+    W.u64(Req.Start.RestoreStateKey);
     break;
   case RequestKind::EndSession:
     W.u64(Req.End.SessionId);
@@ -288,7 +289,7 @@ StatusOr<RequestEnvelope> service::decodeRequest(const std::string &Bytes) {
   switch (Req.Kind) {
   case RequestKind::StartSession:
     Ok = R.str(Req.Start.CompilerName) && getBenchmark(R, Req.Start.Bench) &&
-         R.str(Req.Start.ActionSpaceName);
+         R.str(Req.Start.ActionSpaceName) && R.u64(Req.Start.RestoreStateKey);
     break;
   case RequestKind::EndSession:
     Ok = R.u64(Req.End.SessionId);
@@ -327,6 +328,7 @@ std::string service::encodeReply(const ReplyEnvelope &Reply) {
   W.u32(static_cast<uint32_t>(Reply.Start.ObservationSpaces.size()));
   for (const auto &O : Reply.Start.ObservationSpaces)
     putObsInfo(W, O);
+  W.b(Reply.Start.Restored);
   // Step.
   W.b(Reply.Step.EndOfSession);
   W.b(Reply.Step.ActionSpaceChanged);
@@ -335,6 +337,7 @@ std::string service::encodeReply(const ReplyEnvelope &Reply) {
   W.u32(static_cast<uint32_t>(Reply.Step.Observations.size()));
   for (const auto &O : Reply.Step.Observations)
     putObservation(W, O);
+  W.u64(Reply.Step.SessionStateKey);
   // Fork.
   W.u64(Reply.Fork.SessionId);
   return W.take();
@@ -360,6 +363,7 @@ StatusOr<ReplyEnvelope> service::decodeReply(const std::string &Bytes) {
     for (auto &O : Reply.Start.ObservationSpaces)
       Ok = Ok && getObsInfo(R, O);
   }
+  Ok = Ok && R.b(Reply.Start.Restored);
   uint32_t NumObs = 0;
   Ok = Ok && R.b(Reply.Step.EndOfSession) &&
        R.b(Reply.Step.ActionSpaceChanged) &&
@@ -371,6 +375,7 @@ StatusOr<ReplyEnvelope> service::decodeReply(const std::string &Bytes) {
     for (auto &O : Reply.Step.Observations)
       Ok = Ok && getObservation(R, O, Bytes.size());
   }
+  Ok = Ok && R.u64(Reply.Step.SessionStateKey);
   Ok = Ok && R.u64(Reply.Fork.SessionId);
   if (!Ok || !R.done())
     return invalidArgument("truncated or trailing reply bytes");

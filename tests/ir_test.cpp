@@ -336,7 +336,8 @@ TEST(Verifier, CatchesCallArityMismatch) {
   BB->append(std::move(Call));
   IRBuilder B(BB);
   B.createRet();
-  EXPECT_FALSE(verifyFunction(*F).isOk());
+  // Call-signature checks need module context to resolve the symbolic ref.
+  EXPECT_FALSE(verifyFunction(*F, &M).isOk());
 }
 
 // -- Dominators ------------------------------------------------------------------
