@@ -1,0 +1,222 @@
+//===- bench/transport_bench.cpp - RPC transport overhead -----------------===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what crossing a process boundary costs on the step path by
+/// running the same episode over each transport:
+///
+///  * in-process: ServiceClient -> QueueTransport -> CompilerService
+///    (the PR-1 baseline every earlier bench measured);
+///  * unix: the same service behind a NetServer on a Unix-domain socket,
+///    dialed with SocketTransport (frame codec + two socket hops);
+///  * tcp: identical, but over TCP loopback.
+///
+/// Heartbeat rows isolate pure transport cost (no compiler work); step
+/// rows show it amortized against a real LLVM pass pipeline. Shape checks
+/// assert semantics, not speed: every transport must produce the same
+/// observation for the same episode.
+///
+/// Emits BENCH_transport.json with the headline p50s and the UDS/TCP
+/// overhead ratios as a tracking baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+
+#include "datasets/DatasetRegistry.h"
+#include "envs/llvm/LlvmSession.h"
+#include "net/NetServer.h"
+#include "net/SocketTransport.h"
+#include "service/CompilerService.h"
+#include "service/ServiceClient.h"
+#include "util/Timer.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace compiler_gym;
+using namespace compiler_gym::bench;
+using namespace compiler_gym::service;
+
+namespace {
+
+struct EpisodeStats {
+  std::vector<double> HeartbeatMs;
+  std::vector<double> StepMs;
+  std::vector<int64_t> FirstStepObs; ///< Autophase vector after action 0.
+};
+
+/// Runs the standard probe episode over \p Client: heartbeats, then one
+/// session stepping action 0 repeatedly with Autophase observations.
+bool probe(ServiceClient &Client, int Repeats, EpisodeStats &Out) {
+  for (int R = 0; R < Repeats; ++R) {
+    Stopwatch W;
+    if (!Client.heartbeat().isOk()) {
+      std::fprintf(stderr, "heartbeat failed\n");
+      return false;
+    }
+    Out.HeartbeatMs.push_back(W.elapsedMs());
+  }
+  auto Bench =
+      datasets::DatasetRegistry::instance().resolve("benchmark://cbench-v1/crc32");
+  if (!Bench.isOk()) {
+    std::fprintf(stderr, "resolve failed: %s\n",
+                 Bench.status().toString().c_str());
+    return false;
+  }
+  StartSessionRequest Start;
+  Start.CompilerName = "llvm";
+  Start.Bench = *Bench;
+  auto Session = Client.startSession(Start);
+  if (!Session.isOk()) {
+    std::fprintf(stderr, "startSession failed: %s\n",
+                 Session.status().toString().c_str());
+    return false;
+  }
+  StepRequest Step;
+  Step.SessionId = Session->SessionId;
+  Action A;
+  A.Index = 0;
+  Step.Actions = {A};
+  Step.ObservationSpaces = {"Autophase"};
+  for (int R = 0; R < Repeats; ++R) {
+    Stopwatch W;
+    auto Reply = Client.step(Step);
+    if (!Reply.isOk() || Reply->Observations.empty()) {
+      std::fprintf(stderr, "step failed: %s\n",
+                   Reply.isOk() ? "no observation"
+                                : Reply.status().toString().c_str());
+      return false;
+    }
+    Out.StepMs.push_back(W.elapsedMs());
+    if (R == 0)
+      Out.FirstStepObs = Reply->Observations[0].Ints;
+  }
+  (void)Client.endSession(Session->SessionId);
+  return true;
+}
+
+double p50(const std::vector<double> &Samples) {
+  return summarizeLatencies(Samples).P50;
+}
+
+} // namespace
+
+int main() {
+  banner("transport_bench",
+         "step/heartbeat latency: in-process vs unix-domain vs TCP loopback");
+  envs::registerLlvmEnvironment();
+
+  const int Repeats = scaled(80, 800);
+  ShapeChecks Checks;
+
+  // One backend service instance serves all three probes, so the compile
+  // work is identical and only the channel differs.
+  auto Service = std::make_shared<CompilerService>();
+
+  EpisodeStats InProc, Uds, Tcp;
+
+  {
+    // Unrecorded warmup: the first episode pays one-time costs (benchmark
+    // parse, pass/analysis registries) that would otherwise be billed to
+    // whichever transport happens to run first.
+    EpisodeStats Warmup;
+    ServiceClient Client(Service);
+    if (!probe(Client, scaled(10, 20), Warmup))
+      return 1;
+  }
+
+  {
+    ServiceClient Client(Service);
+    if (!probe(Client, Repeats, InProc))
+      return 1;
+  }
+
+  std::string SockPath =
+      "/tmp/cg_transport_bench_" + std::to_string(::getpid()) + ".sock";
+  {
+    net::NetAddress Addr;
+    Addr.Kind = net::NetAddress::Family::Unix;
+    Addr.Path = SockPath;
+    auto Server = net::NetServer::serveSync(
+        Addr, [Service](const std::string &B) { return Service->handle(B); });
+    if (!Server.isOk()) {
+      std::fprintf(stderr, "uds serve failed: %s\n",
+                   Server.status().toString().c_str());
+      return 1;
+    }
+    auto Channel =
+        std::make_shared<net::SocketTransport>((*Server)->boundAddress());
+    ServiceClient Client(nullptr, Channel);
+    if (!probe(Client, Repeats, Uds))
+      return 1;
+  }
+
+  {
+    auto Addr = net::NetAddress::parse("tcp:127.0.0.1:0");
+    if (!Addr.isOk())
+      return 1;
+    auto Server = net::NetServer::serveSync(
+        *Addr, [Service](const std::string &B) { return Service->handle(B); });
+    if (!Server.isOk()) {
+      std::fprintf(stderr, "tcp serve failed: %s\n",
+                   Server.status().toString().c_str());
+      return 1;
+    }
+    auto Channel =
+        std::make_shared<net::SocketTransport>((*Server)->boundAddress());
+    ServiceClient Client(nullptr, Channel);
+    if (!probe(Client, Repeats, Tcp))
+      return 1;
+  }
+
+  std::printf("\n-- heartbeat (pure transport round trip) --\n");
+  latencyRow("in-process", InProc.HeartbeatMs);
+  latencyRow("unix-domain", Uds.HeartbeatMs);
+  latencyRow("tcp loopback", Tcp.HeartbeatMs);
+  std::printf("\n-- step with Autophase observation --\n");
+  latencyRow("in-process", InProc.StepMs);
+  latencyRow("unix-domain", Uds.StepMs);
+  latencyRow("tcp loopback", Tcp.StepMs);
+
+  // Semantics before speed: a transport must never change what an episode
+  // computes. (Each probe ran its own session, so states are independent.)
+  Checks.check(!InProc.FirstStepObs.empty(), "in-process episode observed");
+  Checks.check(Uds.FirstStepObs == InProc.FirstStepObs,
+               "unix-domain episode observation identical to in-process");
+  Checks.check(Tcp.FirstStepObs == InProc.FirstStepObs,
+               "tcp episode observation identical to in-process");
+  // The socket hop costs microseconds; an LLVM step costs milliseconds.
+  // Guard only against pathology (an accidental sleep or retry storm on
+  // the fast path), with generous headroom for loaded CI machines.
+  double StepOverheadUds = p50(Uds.StepMs) - p50(InProc.StepMs);
+  double StepOverheadTcp = p50(Tcp.StepMs) - p50(InProc.StepMs);
+  Checks.check(StepOverheadUds < 50.0,
+               "unix-domain step overhead under 50ms (no retry storm)");
+  Checks.check(StepOverheadTcp < 50.0,
+               "tcp step overhead under 50ms (no retry storm)");
+
+  if (std::FILE *F = std::fopen("BENCH_transport.json", "w")) {
+    std::fprintf(
+        F,
+        "{\n"
+        "  \"heartbeat_ms_p50\": {\"inproc\": %g, \"uds\": %g, \"tcp\": %g},\n"
+        "  \"step_ms_p50\": {\"inproc\": %g, \"uds\": %g, \"tcp\": %g},\n"
+        "  \"step_overhead_ms_p50\": {\"uds\": %g, \"tcp\": %g},\n"
+        "  \"repeats\": %d\n"
+        "}\n",
+        p50(InProc.HeartbeatMs), p50(Uds.HeartbeatMs), p50(Tcp.HeartbeatMs),
+        p50(InProc.StepMs), p50(Uds.StepMs), p50(Tcp.StepMs), StepOverheadUds,
+        StepOverheadTcp, Repeats);
+    std::fclose(F);
+    std::printf("\nwrote BENCH_transport.json\n");
+  }
+  ::unlink(SockPath.c_str());
+  return Checks.verdict();
+}

@@ -1,0 +1,88 @@
+//===- examples/serve_gateway.cpp - Run a multi-tenant endpoint -*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serves a shared compiler-optimization endpoint: a gateway::Gateway
+/// multiplexing authenticated tenants onto a shard fleet. Pair it with
+/// example_remote_client in another terminal (or another machine, over
+/// tcp:) to run episodes against it.
+///
+/// Usage: serve_gateway [listen-address] [num-shards]
+///
+///   listen-address  "unix:/tmp/cg_gateway.sock" (default) or
+///                   "tcp:127.0.0.1:7777" ("...:0" picks a free port)
+///   num-shards      backend compiler services to run (default 2)
+///
+/// Two demo tenants are configured: token "alice" (weight 3) and token
+/// "bob" (weight 1, rate-limited to 50 steps/s). An empty token is
+/// rejected — edit the table below for a single-user setup.
+///
+//===----------------------------------------------------------------------===//
+
+#include "envs/llvm/LlvmSession.h"
+#include "gateway/Gateway.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+
+using namespace compiler_gym;
+
+namespace {
+volatile std::sig_atomic_t Interrupted = 0;
+void onInterrupt(int) { Interrupted = 1; }
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Spec = argc > 1 ? argv[1] : "unix:/tmp/cg_gateway.sock";
+  const size_t NumShards = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  envs::registerLlvmEnvironment();
+
+  auto Listen = net::NetAddress::parse(Spec);
+  if (!Listen.isOk()) {
+    std::fprintf(stderr, "bad listen address '%s': %s\n", Spec,
+                 Listen.status().toString().c_str());
+    return 1;
+  }
+
+  gateway::GatewayOptions Opts;
+  Opts.Listen = *Listen;
+  Opts.NumShards = NumShards;
+  {
+    gateway::TenantConfig Alice;
+    Alice.Name = "alice";
+    Alice.Token = "alice";
+    Alice.Weight = 3;
+    gateway::TenantConfig Bob;
+    Bob.Name = "bob";
+    Bob.Token = "bob";
+    Bob.StepsPerSec = 50.0;
+    Opts.Tenants = {Alice, Bob};
+  }
+
+  auto Gw = gateway::Gateway::serve(std::move(Opts));
+  if (!Gw.isOk()) {
+    std::fprintf(stderr, "serve failed: %s\n",
+                 Gw.status().toString().c_str());
+    return 1;
+  }
+  std::printf("gateway listening on %s (%zu shards)\n",
+              (*Gw)->boundAddress().str().c_str(), (*Gw)->numShards());
+  std::printf("tenant tokens: alice (weight 3), bob (50 steps/s)\n");
+  std::printf("try: example_remote_client %s alice\n",
+              (*Gw)->boundAddress().str().c_str());
+
+  std::signal(SIGINT, onInterrupt);
+  std::signal(SIGTERM, onInterrupt);
+  while (!Interrupted)
+    ::pause(); // Signal handlers break the sleep.
+
+  std::printf("\nshutting down: %zu live session(s) drained\n",
+              (*Gw)->sessionCount());
+  return 0;
+}

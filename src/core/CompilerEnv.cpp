@@ -12,7 +12,9 @@
 #include "util/Logging.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <thread>
 #include <unordered_map>
 
 using namespace compiler_gym;
@@ -114,6 +116,15 @@ CompilerEnv::attach(const CompilerEnvOptions &Opts,
   Env->State.RewardSpace = Opts.RewardSpace;
   Env->State.ObservationSpace = Opts.ObservationSpace;
   return Env;
+}
+
+StatusOr<std::unique_ptr<CompilerEnv>>
+CompilerEnv::connect(const CompilerEnvOptions &Opts,
+                     std::shared_ptr<Transport> Channel) {
+  // A remote env is a shared-service env with no in-process service
+  // handle: session loss is recoverable (re-establish and restore/replay),
+  // and restarts are the far end's job.
+  return attach(Opts, /*Service=*/nullptr, std::move(Channel));
 }
 
 Status CompilerEnv::setObservationSpace(const std::string &Name) {
@@ -243,11 +254,18 @@ Status CompilerEnv::recover() {
   Status Last = Status::ok();
   uint64_t StaleSession = SessionId;
   for (int Attempt = 0; Attempt < 4; ++Attempt) {
+    // A remote fleet heals on its own schedule (broker monitor sweep), not
+    // ours: pace the re-establishment attempts so they don't all land
+    // inside the crash-to-restart window.
+    if (Attempt && !Service)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 * Attempt));
     // On a private service a restart is always safe. On a broker shard it
     // kills every other env's session on that shard, so only restart when
     // the service really is down; otherwise (hang, or the broker already
     // restarted it) just re-establish our session on the running service.
-    if (!SharedService || Service->crashed()) {
+    // Remote envs (null Service) never restart anything: the server fleet
+    // recovers itself, we just re-establish the session.
+    if (Service && (!SharedService || Service->crashed())) {
       Client->restartService();
       StaleSession = 0; // Restart collected every session.
     } else if (StaleSession) {
@@ -484,7 +502,7 @@ StatusOr<Observation> CompilerEnv::reset() {
       return Started;
     Recoveries.fetch_add(1, std::memory_order_relaxed);
     recoveriesTotal().inc();
-    if (!SharedService || Service->crashed())
+    if (Service && (!SharedService || Service->crashed()))
       Client->restartService();
     Started = startSession();
   }

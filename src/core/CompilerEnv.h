@@ -68,6 +68,16 @@ public:
          std::shared_ptr<service::CompilerService> Service,
          std::shared_ptr<service::Transport> Channel);
 
+  /// Connects an env to a remote service over \p Channel (typically a
+  /// net::SocketTransport dialed at a gateway or standalone server). The
+  /// env has no in-process service handle: crash recovery degrades to
+  /// session re-establishment (snapshot restore, then action replay) and
+  /// never attempts a local restart — the far end heals itself. Auth, if
+  /// any, rides in Opts.Client.AuthToken.
+  static StatusOr<std::unique_ptr<CompilerEnv>>
+  connect(const CompilerEnvOptions &Opts,
+          std::shared_ptr<service::Transport> Channel);
+
   ~CompilerEnv() override;
 
   // -- Env interface ---------------------------------------------------------

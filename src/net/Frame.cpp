@@ -1,0 +1,116 @@
+//===- net/Frame.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Frame.h"
+
+#include <array>
+#include <cstring>
+
+using namespace compiler_gym;
+using namespace compiler_gym::net;
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  Out.push_back(static_cast<char>(V & 0xFF));
+  Out.push_back(static_cast<char>((V >> 8) & 0xFF));
+  Out.push_back(static_cast<char>((V >> 16) & 0xFF));
+  Out.push_back(static_cast<char>((V >> 24) & 0xFF));
+}
+
+uint32_t getU32(const char *P) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(P[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(P[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(P[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(P[3])) << 24;
+}
+
+} // namespace
+
+uint32_t net::crc32(const void *Data, size_t Size) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Size; ++I)
+    C = Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+std::string net::encodeFrame(const std::string &Payload) {
+  std::string Out;
+  Out.reserve(FrameHeaderBytes + Payload.size());
+  putU32(Out, FrameMagic);
+  putU32(Out, FrameVersion);
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  putU32(Out, crc32(Payload.data(), Payload.size()));
+  Out.append(Payload);
+  return Out;
+}
+
+FrameDecoder::Result FrameDecoder::fail(ErrorKind K, std::string Message) {
+  Kind = K;
+  Error = std::move(Message);
+  Buffer.clear(); // Poisoned: nothing buffered is trustworthy.
+  return Result::Error;
+}
+
+FrameDecoder::Result FrameDecoder::next(std::string &Payload) {
+  if (Kind != ErrorKind::None)
+    return Result::Error;
+  if (Buffer.size() < FrameHeaderBytes)
+    return Result::NeedMore;
+  const char *H = Buffer.data();
+  uint32_t Magic = getU32(H);
+  uint32_t Version = getU32(H + 4);
+  uint32_t Length = getU32(H + 8);
+  uint32_t Crc = getU32(H + 12);
+  // Validation order matters for diagnosis: a wrong magic means the peer
+  // is not speaking this protocol at all, so report that before anything
+  // derived from the rest of the header.
+  if (Magic != FrameMagic)
+    return fail(ErrorKind::BadMagic, "bad frame magic");
+  if (Version != FrameVersion)
+    return fail(ErrorKind::BadVersion,
+                "unsupported frame version " + std::to_string(Version));
+  if (Length > MaxFrameBytes)
+    return fail(ErrorKind::Oversized,
+                "frame of " + std::to_string(Length) + " bytes exceeds cap " +
+                    std::to_string(MaxFrameBytes));
+  if (Buffer.size() < FrameHeaderBytes + Length)
+    return Result::NeedMore;
+  if (crc32(H + FrameHeaderBytes, Length) != Crc)
+    return fail(ErrorKind::BadCrc, "frame checksum mismatch");
+  Payload.assign(H + FrameHeaderBytes, Length);
+  Buffer.erase(0, FrameHeaderBytes + Length);
+  return Result::Frame;
+}
+
+const char *net::frameErrorKindName(FrameDecoder::ErrorKind Kind) {
+  switch (Kind) {
+  case FrameDecoder::ErrorKind::None:
+    return "none";
+  case FrameDecoder::ErrorKind::BadMagic:
+    return "bad_magic";
+  case FrameDecoder::ErrorKind::BadVersion:
+    return "bad_version";
+  case FrameDecoder::ErrorKind::Oversized:
+    return "oversized";
+  case FrameDecoder::ErrorKind::BadCrc:
+    return "bad_crc";
+  }
+  return "unknown";
+}

@@ -1,0 +1,100 @@
+//===- net/Frame.h - Length-prefixed wire framing ---------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-stream framing under the socket transport. TCP and Unix-domain
+/// sockets deliver an undelimited byte stream; each RPC envelope
+/// (service/Serialization.h) is wrapped in a fixed 16-byte header so the
+/// peer can find message boundaries and reject damage before the payload
+/// ever reaches the envelope decoder:
+///
+///   [magic u32 "CGF1"] [version u32] [length u32] [crc32 u32] [payload]
+///
+/// All fields little-endian, matching the envelope serialization. The
+/// decoder is incremental (feed whatever the socket produced, take frames
+/// as they complete) and strict: wrong magic, unknown version, a length
+/// above the configured cap, or a CRC mismatch each fail with a typed
+/// error kind — a framing error means the stream position is unknown, so
+/// the connection must be dropped, never resynchronized by scanning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_NET_FRAME_H
+#define COMPILER_GYM_NET_FRAME_H
+
+#include "util/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace compiler_gym {
+namespace net {
+
+/// "CGF1" read as a little-endian u32.
+constexpr uint32_t FrameMagic = 0x31464743u;
+constexpr uint32_t FrameVersion = 1;
+constexpr size_t FrameHeaderBytes = 16;
+/// Default payload cap. Generous for RPC envelopes (a full ProGraML graph
+/// observation is a few MB) while bounding what a malicious peer can make
+/// us buffer.
+constexpr size_t DefaultMaxFrameBytes = 64u << 20;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of \p Size bytes at \p Data.
+uint32_t crc32(const void *Data, size_t Size);
+
+/// Wraps \p Payload in a frame header.
+std::string encodeFrame(const std::string &Payload);
+
+/// Incremental frame parser over a received byte stream.
+class FrameDecoder {
+public:
+  enum class Result {
+    NeedMore, ///< No complete frame buffered yet.
+    Frame,    ///< A frame was extracted into the out-parameter.
+    Error,    ///< The stream is damaged; the connection must be dropped.
+  };
+
+  /// What specifically failed, for telemetry labels and test assertions.
+  enum class ErrorKind { None, BadMagic, BadVersion, Oversized, BadCrc };
+
+  explicit FrameDecoder(size_t MaxFrameBytes = DefaultMaxFrameBytes)
+      : MaxFrameBytes(MaxFrameBytes) {}
+
+  /// Appends received bytes to the internal buffer. Cheap; parsing happens
+  /// in next().
+  void feed(const char *Data, size_t Size) { Buffer.append(Data, Size); }
+  void feed(const std::string &Data) { feed(Data.data(), Data.size()); }
+
+  /// Extracts the next complete frame's payload into \p Payload. After
+  /// Result::Error the decoder is poisoned: every further call returns the
+  /// same error (the stream position is unrecoverable).
+  Result next(std::string &Payload);
+
+  ErrorKind errorKind() const { return Kind; }
+  /// Human-readable description of the framing error (empty when none).
+  const std::string &errorMessage() const { return Error; }
+
+  /// Bytes buffered but not yet consumed (bounded by MaxFrameBytes plus
+  /// one read's worth of slack).
+  size_t bufferedBytes() const { return Buffer.size(); }
+
+private:
+  Result fail(ErrorKind K, std::string Message);
+
+  size_t MaxFrameBytes;
+  std::string Buffer;
+  ErrorKind Kind = ErrorKind::None;
+  std::string Error;
+};
+
+/// Stable lowercase name of a framing error kind ("bad_magic", ...), used
+/// as the "kind" label on cg_net_frame_errors_total.
+const char *frameErrorKindName(FrameDecoder::ErrorKind Kind);
+
+} // namespace net
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_NET_FRAME_H

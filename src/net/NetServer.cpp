@@ -1,0 +1,362 @@
+//===- net/NetServer.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetServer.h"
+
+#include "telemetry/MetricsRegistry.h"
+#include "util/Logging.h"
+#include "util/ThreadPool.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <mutex>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace compiler_gym;
+using namespace compiler_gym::net;
+
+namespace compiler_gym {
+namespace net {
+// Defined in SocketTransport.cpp; shared so client and server framing
+// damage lands in one metric family.
+telemetry::Counter &frameErrorsTotal(FrameDecoder::ErrorKind Kind);
+} // namespace net
+} // namespace compiler_gym
+
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::MetricsRegistry;
+
+Counter &acceptsTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_net_server_accepts_total", {}, "Connections accepted by servers");
+  return C;
+}
+
+Counter &requestsTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_net_server_requests_total", {},
+      "Request frames dispatched to server handlers");
+  return C;
+}
+
+Gauge &connectionsGauge() {
+  static Gauge &G = MetricsRegistry::global().gauge(
+      "cg_net_server_connections", {}, "Currently connected clients");
+  return G;
+}
+
+} // namespace
+
+struct NetServer::Core : std::enable_shared_from_this<NetServer::Core> {
+  Core(NetServerOptions Opts, AsyncHandler Handler)
+      : Opts(Opts), Handler(std::move(Handler)),
+        Pool(static_cast<size_t>(Opts.Threads > 0 ? Opts.Threads : 1)) {}
+
+  ~Core() {
+    if (WakeRead >= 0)
+      ::close(WakeRead);
+    if (WakeWrite >= 0)
+      ::close(WakeWrite);
+  }
+
+  /// One client connection. InFlight gates reading: while a request is
+  /// being handled the poll loop ignores the socket's input, enforcing
+  /// request→reply alternation per connection.
+  struct Conn {
+    Socket Sock;
+    FrameDecoder Decoder;
+    std::string Outbox;
+    bool InFlight = false;
+
+    explicit Conn(Socket S, size_t MaxFrameBytes)
+        : Sock(std::move(S)), Decoder(MaxFrameBytes) {}
+  };
+
+  NetServerOptions Opts;
+  AsyncHandler Handler;
+  Socket Listener;
+  int WakeRead = -1, WakeWrite = -1;
+  ThreadPool Pool;
+  std::thread Poller;
+
+  mutable std::mutex Mutex;
+  bool Stopping = false;
+  uint64_t NextConnId = 1;
+  std::map<uint64_t, std::unique_ptr<Conn>> Conns;
+
+  Status start(const NetAddress &Addr) {
+    CG_ASSIGN_OR_RETURN(Listener, Socket::listen(Addr));
+    int Pipe[2];
+    if (::pipe(Pipe) != 0)
+      return unavailable(std::string("pipe: ") + std::strerror(errno));
+    WakeRead = Pipe[0];
+    WakeWrite = Pipe[1];
+    // Both ends non-blocking: the poll loop drains the read end without
+    // hanging, and wake() never blocks on a full pipe.
+    ::fcntl(WakeRead, F_SETFL, O_NONBLOCK);
+    ::fcntl(WakeWrite, F_SETFL, O_NONBLOCK);
+    Poller = std::thread([Self = shared_from_this()] { Self->pollLoop(); });
+    return Status::ok();
+  }
+
+  void wake() {
+    char B = 1;
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    (void)!::write(WakeWrite, &B, 1);
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Stopping)
+        return;
+      Stopping = true;
+    }
+    wake();
+    if (Poller.joinable())
+      Poller.join();
+    // Drain handler tasks while we still hold a Core reference, so the
+    // last release never happens on a pool worker (which would make the
+    // Core destructor join the pool from inside it).
+    Pool.wait();
+    std::lock_guard<std::mutex> Lock(Mutex);
+    connectionsGauge().add(-static_cast<int64_t>(Conns.size()));
+    Conns.clear();
+    Listener.close();
+  }
+
+  void dropConn(uint64_t Id) {
+    if (Conns.erase(Id))
+      connectionsGauge().add(-1);
+  }
+
+  /// Queues \p Bytes as a reply frame on connection \p Id and re-arms it
+  /// for reading. Called from any thread (worker, gateway dispatcher).
+  void reply(uint64_t Id, std::string Bytes) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Stopping)
+        return;
+      auto It = Conns.find(Id);
+      if (It == Conns.end())
+        return; // Connection died while the handler ran.
+      It->second->Outbox += encodeFrame(Bytes);
+      It->second->InFlight = false;
+    }
+    wake();
+  }
+
+  /// Non-blocking drain of a connection's outbox. Caller holds Mutex.
+  /// False when the connection failed and must be dropped.
+  bool flushOutbox(Conn &C) {
+    while (!C.Outbox.empty()) {
+      ssize_t N = ::send(C.Sock.fd(), C.Outbox.data(), C.Outbox.size(),
+                         MSG_NOSIGNAL);
+      if (N > 0) {
+        C.Outbox.erase(0, static_cast<size_t>(N));
+        continue;
+      }
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return true; // Kernel buffer full; poll will retry on POLLOUT.
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Hands one decoded request to the handler on the pool. Caller holds
+  /// Mutex; the connection is already marked InFlight.
+  void dispatch(uint64_t Id, std::string Payload) {
+    requestsTotal().inc();
+    auto Done = std::make_shared<std::atomic<bool>>(false);
+    ReplyFn Send = [Self = shared_from_this(), Id, Done](std::string Bytes) {
+      if (Done->exchange(true))
+        return; // At-most-once reply.
+      Self->reply(Id, std::move(Bytes));
+    };
+    Pool.submit([Self = shared_from_this(), Payload = std::move(Payload),
+                 Send = std::move(Send)]() mutable {
+      Self->Handler(std::move(Payload), std::move(Send));
+    });
+  }
+
+  /// Reads whatever the socket has, feeds the decoder, and dispatches at
+  /// most one request. Caller holds Mutex. False = drop the connection.
+  bool pumpConn(uint64_t Id, Conn &C, bool SocketReadable) {
+    if (SocketReadable) {
+      char Buf[64 * 1024];
+      for (;;) {
+        ssize_t N = ::recv(C.Sock.fd(), Buf, sizeof(Buf), 0);
+        if (N > 0) {
+          C.Decoder.feed(Buf, static_cast<size_t>(N));
+          if (static_cast<size_t>(N) < sizeof(Buf))
+            break;
+          continue;
+        }
+        if (N == 0)
+          return false; // EOF.
+        if (errno == EINTR)
+          continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+          break;
+        return false;
+      }
+    }
+    if (C.InFlight)
+      return true; // Buffered bytes wait until the reply goes out.
+    std::string Payload;
+    switch (C.Decoder.next(Payload)) {
+    case FrameDecoder::Result::Frame:
+      C.InFlight = true;
+      dispatch(Id, std::move(Payload));
+      return true;
+    case FrameDecoder::Result::Error:
+      frameErrorsTotal(C.Decoder.errorKind()).inc();
+      CG_LOG_INFO_FOR("net", Id)
+          << "dropping connection: " << C.Decoder.errorMessage();
+      return false;
+    case FrameDecoder::Result::NeedMore:
+      return true;
+    }
+    return true;
+  }
+
+  void acceptPending() {
+    for (;;) {
+      StatusOr<Socket> Client = Listener.accept(/*TimeoutMs=*/0);
+      if (!Client.isOk())
+        return; // DeadlineExceeded = nothing pending; errors = try later.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Conns.size() >= Opts.MaxConnections) {
+        // Refuse by closing: the client sees connection loss and backs
+        // off through its reconnect policy.
+        continue;
+      }
+      acceptsTotal().inc();
+      connectionsGauge().add(1);
+      uint64_t Id = NextConnId++;
+      Conns.emplace(Id, std::make_unique<Conn>(std::move(*Client),
+                                               Opts.MaxFrameBytes));
+    }
+  }
+
+  void pollLoop() {
+    std::vector<struct pollfd> Fds;
+    std::vector<uint64_t> FdConn; // Parallel: Conns id per pollfd (0 = n/a).
+    for (;;) {
+      Fds.clear();
+      FdConn.clear();
+      Fds.push_back({WakeRead, POLLIN, 0});
+      FdConn.push_back(0);
+      Fds.push_back({Listener.fd(), POLLIN, 0});
+      FdConn.push_back(0);
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (Stopping)
+          return;
+        for (auto &[Id, C] : Conns) {
+          short Events = 0;
+          if (!C->InFlight)
+            Events |= POLLIN;
+          if (!C->Outbox.empty())
+            Events |= POLLOUT;
+          if (Events == 0)
+            continue;
+          Fds.push_back({C->Sock.fd(), Events, 0});
+          FdConn.push_back(Id);
+        }
+      }
+      int N = ::poll(Fds.data(), Fds.size(), /*timeout=*/1000);
+      if (N < 0 && errno != EINTR)
+        return;
+      if (Fds[0].revents & POLLIN) {
+        char Buf[256];
+        while (::read(WakeRead, Buf, sizeof(Buf)) > 0)
+          ; // Wake pipe is not O_NONBLOCK-critical: drain what's there.
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (Stopping)
+          return;
+      }
+      if (Fds[1].revents & POLLIN)
+        acceptPending();
+      std::lock_guard<std::mutex> Lock(Mutex);
+      for (size_t I = 2; I < Fds.size(); ++I) {
+        auto It = Conns.find(FdConn[I]);
+        if (It == Conns.end())
+          continue;
+        Conn &C = *It->second;
+        bool Alive = true;
+        if (Fds[I].revents & POLLOUT)
+          Alive = flushOutbox(C);
+        // Error/hangup funnels through the read path: recv drains any
+        // final bytes and then reports EOF or the socket error.
+        if (Alive)
+          Alive = pumpConn(FdConn[I], C,
+                           (Fds[I].revents &
+                            (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0);
+        if (!Alive)
+          dropConn(FdConn[I]);
+      }
+      // A reply may have re-armed a connection whose next request is
+      // already buffered; give every idle connection a readless pump so
+      // pipelined frames are not stranded until new bytes arrive.
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        uint64_t Id = It->first;
+        Conn &C = *It->second;
+        ++It;
+        if (!C.InFlight && C.Decoder.bufferedBytes() >= FrameHeaderBytes)
+          if (!pumpConn(Id, C, /*SocketReadable=*/false))
+            dropConn(Id);
+      }
+    }
+  }
+};
+
+NetServer::NetServer(std::shared_ptr<Core> C) : C(std::move(C)) {}
+
+NetServer::~NetServer() { C->stop(); }
+
+const NetAddress &NetServer::boundAddress() const {
+  return C->Listener.boundAddress();
+}
+
+size_t NetServer::connectionCount() const {
+  std::lock_guard<std::mutex> Lock(C->Mutex);
+  return C->Conns.size();
+}
+
+StatusOr<std::unique_ptr<NetServer>>
+NetServer::serve(const NetAddress &Addr, AsyncHandler Handler,
+                 NetServerOptions Opts) {
+  auto C = std::make_shared<Core>(Opts, std::move(Handler));
+  CG_RETURN_IF_ERROR(C->start(Addr));
+  return std::unique_ptr<NetServer>(new NetServer(std::move(C)));
+}
+
+StatusOr<std::unique_ptr<NetServer>>
+NetServer::serveSync(const NetAddress &Addr,
+                     std::function<std::string(const std::string &)> Handler,
+                     NetServerOptions Opts) {
+  return serve(
+      Addr,
+      [Handler = std::move(Handler)](std::string Req, ReplyFn Reply) {
+        Reply(Handler(Req));
+      },
+      Opts);
+}

@@ -1,0 +1,99 @@
+//===- net/NetServer.h - Poll-based frame server ----------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server half of the socket transport: accepts TCP / Unix-domain
+/// connections, reassembles request frames, and dispatches each payload to
+/// a handler on a small thread pool. One poll thread multiplexes every
+/// connection; handlers never block it.
+///
+/// Concurrency contract: at most one request per connection is in flight
+/// at a time (the connection stops being read until its reply is sent),
+/// which preserves the strict request→reply alternation the client
+/// transport assumes — while requests from different connections execute
+/// in parallel. The handler is asynchronous: it receives a ReplyFn and may
+/// complete on any thread (the gateway queues work and replies from its
+/// dispatchers); replying twice is a programming error and the second
+/// reply is dropped. If the connection died while the handler ran, the
+/// reply is discarded — the client's retry/idempotency machinery owns
+/// that case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_NET_NETSERVER_H
+#define COMPILER_GYM_NET_NETSERVER_H
+
+#include "net/Frame.h"
+#include "net/Socket.h"
+#include "util/Status.h"
+
+#include <functional>
+#include <memory>
+
+namespace compiler_gym {
+namespace net {
+
+struct NetServerOptions {
+  /// Worker threads running handlers (the poll thread is extra).
+  int Threads = 4;
+  /// Largest request frame accepted; larger (or damaged) frames drop the
+  /// connection with a cg_net_frame_errors_total tick.
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Cap on simultaneously connected clients; excess accepts are closed
+  /// immediately.
+  size_t MaxConnections = 1024;
+};
+
+/// Sends the reply payload for one request. Safe to call from any thread,
+/// at most once; calls after the first (or after server stop / connection
+/// death) are no-ops.
+using ReplyFn = std::function<void(std::string ReplyBytes)>;
+
+/// Request handler: \p RequestBytes is one decoded frame payload (an
+/// encoded RequestEnvelope). Runs on a worker thread.
+using AsyncHandler = std::function<void(std::string RequestBytes,
+                                        ReplyFn Reply)>;
+
+/// A listening frame server.
+class NetServer {
+public:
+  /// Binds \p Addr and starts serving \p Handler. TCP port 0 picks a free
+  /// port — read it back from boundAddress().
+  static StatusOr<std::unique_ptr<NetServer>>
+  serve(const NetAddress &Addr, AsyncHandler Handler,
+        NetServerOptions Opts = {});
+
+  /// Convenience for synchronous handlers (e.g. CompilerService::handle):
+  /// wraps \p Handler so the reply is sent when it returns.
+  static StatusOr<std::unique_ptr<NetServer>>
+  serveSync(const NetAddress &Addr,
+            std::function<std::string(const std::string &)> Handler,
+            NetServerOptions Opts = {});
+
+  ~NetServer(); ///< Stops accepting, closes connections, joins threads.
+
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// The bound listen address (real port for tcp:...:0).
+  const NetAddress &boundAddress() const;
+
+  /// Live connection count (tests and the cg_net_server_connections gauge).
+  size_t connectionCount() const;
+
+private:
+  struct Core;
+  explicit NetServer(std::shared_ptr<Core> C);
+
+  /// Shared with every in-flight ReplyFn: replies arriving after the
+  /// server object died still find a live Core and drop cleanly.
+  std::shared_ptr<Core> C;
+};
+
+} // namespace net
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_NET_NETSERVER_H

@@ -1,0 +1,277 @@
+//===- net/Socket.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace compiler_gym;
+using namespace compiler_gym::net;
+
+namespace {
+
+Status errnoError(const std::string &What) {
+  return unavailable(What + ": " + std::strerror(errno));
+}
+
+Status setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0)
+    return errnoError("fcntl(O_NONBLOCK)");
+  return Status::ok();
+}
+
+/// Waits for \p Events on \p Fd. Ok when ready; DeadlineExceeded on
+/// timeout; Unavailable on poll error or socket error/hangup.
+Status pollFor(int Fd, short Events, int TimeoutMs) {
+  struct pollfd P = {};
+  P.fd = Fd;
+  P.events = Events;
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errnoError("poll");
+    }
+    if (N == 0)
+      return deadlineExceeded("socket not ready within " +
+                              std::to_string(TimeoutMs) + "ms");
+    // POLLERR/POLLHUP still allow a final read to drain buffered data and
+    // observe EOF; let the caller's recv/send surface the condition.
+    return Status::ok();
+  }
+}
+
+StatusOr<struct sockaddr_in> tcpSockaddr(const NetAddress &Addr) {
+  struct sockaddr_in Sa = {};
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = htons(Addr.Port);
+  std::string Host = Addr.Host == "localhost" ? "127.0.0.1" : Addr.Host;
+  if (::inet_pton(AF_INET, Host.c_str(), &Sa.sin_addr) != 1)
+    return invalidArgument("not a numeric IPv4 address: '" + Addr.Host +
+                           "' (only numeric IPv4 and 'localhost' are "
+                           "supported)");
+  return Sa;
+}
+
+StatusOr<struct sockaddr_un> unixSockaddr(const NetAddress &Addr) {
+  struct sockaddr_un Sa = {};
+  Sa.sun_family = AF_UNIX;
+  if (Addr.Path.empty() || Addr.Path.size() >= sizeof(Sa.sun_path))
+    return invalidArgument("unix socket path empty or longer than " +
+                           std::to_string(sizeof(Sa.sun_path) - 1) +
+                           " bytes: '" + Addr.Path + "'");
+  std::memcpy(Sa.sun_path, Addr.Path.c_str(), Addr.Path.size() + 1);
+  return Sa;
+}
+
+} // namespace
+
+StatusOr<NetAddress> NetAddress::parse(const std::string &Spec) {
+  NetAddress Addr;
+  if (Spec.rfind("unix:", 0) == 0) {
+    Addr.Kind = Family::Unix;
+    Addr.Path = Spec.substr(5);
+    if (Addr.Path.empty())
+      return invalidArgument("empty unix socket path in '" + Spec + "'");
+    return Addr;
+  }
+  if (Spec.rfind("tcp:", 0) == 0) {
+    Addr.Kind = Family::Tcp;
+    std::string Rest = Spec.substr(4);
+    size_t Colon = Rest.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Rest.size())
+      return invalidArgument("expected tcp:<host>:<port> in '" + Spec + "'");
+    Addr.Host = Rest.substr(0, Colon);
+    std::string PortStr = Rest.substr(Colon + 1);
+    long Port = 0;
+    for (char C : PortStr) {
+      if (C < '0' || C > '9')
+        return invalidArgument("bad port '" + PortStr + "' in '" + Spec +
+                               "'");
+      Port = Port * 10 + (C - '0');
+      if (Port > 65535)
+        return invalidArgument("port out of range in '" + Spec + "'");
+    }
+    Addr.Port = static_cast<uint16_t>(Port);
+    return Addr;
+  }
+  return invalidArgument("address must start with tcp: or unix: — got '" +
+                         Spec + "'");
+}
+
+std::string NetAddress::str() const {
+  if (Kind == Family::Unix)
+    return "unix:" + Path;
+  return "tcp:" + Host + ":" + std::to_string(Port);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket &&Other) noexcept
+    : Fd(Other.Fd), Bound(std::move(Other.Bound)),
+      UnlinkOnClose(Other.UnlinkOnClose) {
+  Other.Fd = -1;
+  Other.UnlinkOnClose = false;
+}
+
+Socket &Socket::operator=(Socket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Bound = std::move(Other.Bound);
+    UnlinkOnClose = Other.UnlinkOnClose;
+    Other.Fd = -1;
+    Other.UnlinkOnClose = false;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (UnlinkOnClose && !Bound.Path.empty()) {
+    ::unlink(Bound.Path.c_str());
+    UnlinkOnClose = false;
+  }
+}
+
+StatusOr<Socket> Socket::connect(const NetAddress &Addr, int TimeoutMs) {
+  int Family = Addr.Kind == NetAddress::Family::Tcp ? AF_INET : AF_UNIX;
+  int Fd = ::socket(Family, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoError("socket");
+  Socket Sock(Fd);
+  CG_RETURN_IF_ERROR(setNonBlocking(Fd));
+
+  int Rc;
+  if (Addr.Kind == NetAddress::Family::Tcp) {
+    CG_ASSIGN_OR_RETURN(struct sockaddr_in Sa, tcpSockaddr(Addr));
+    // Step RPCs are small and latency-bound; never batch them.
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    Rc = ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Sa), sizeof(Sa));
+  } else {
+    CG_ASSIGN_OR_RETURN(struct sockaddr_un Sa, unixSockaddr(Addr));
+    Rc = ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Sa), sizeof(Sa));
+  }
+  if (Rc < 0 && errno != EINPROGRESS)
+    return errnoError("connect to " + Addr.str());
+  if (Rc < 0) {
+    // Non-blocking connect in flight: writability signals the outcome.
+    CG_RETURN_IF_ERROR(pollFor(Fd, POLLOUT, TimeoutMs));
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &Len) < 0)
+      return errnoError("getsockopt(SO_ERROR)");
+    if (Err != 0)
+      return unavailable("connect to " + Addr.str() + ": " +
+                         std::strerror(Err));
+  }
+  return std::move(Sock);
+}
+
+StatusOr<Socket> Socket::listen(const NetAddress &Addr, int Backlog) {
+  int Family = Addr.Kind == NetAddress::Family::Tcp ? AF_INET : AF_UNIX;
+  int Fd = ::socket(Family, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoError("socket");
+  Socket Sock(Fd);
+  CG_RETURN_IF_ERROR(setNonBlocking(Fd));
+  Sock.Bound = Addr;
+
+  if (Addr.Kind == NetAddress::Family::Tcp) {
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    CG_ASSIGN_OR_RETURN(struct sockaddr_in Sa, tcpSockaddr(Addr));
+    if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Sa), sizeof(Sa)) < 0)
+      return errnoError("bind " + Addr.str());
+    // Resolve a port-0 bind to the real port for boundAddress().
+    struct sockaddr_in Actual = {};
+    socklen_t Len = sizeof(Actual);
+    if (::getsockname(Fd, reinterpret_cast<struct sockaddr *>(&Actual),
+                      &Len) == 0)
+      Sock.Bound.Port = ntohs(Actual.sin_port);
+  } else {
+    CG_ASSIGN_OR_RETURN(struct sockaddr_un Sa, unixSockaddr(Addr));
+    ::unlink(Addr.Path.c_str()); // Stale socket from a dead server.
+    if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Sa), sizeof(Sa)) < 0)
+      return errnoError("bind " + Addr.str());
+    Sock.UnlinkOnClose = true;
+  }
+  if (::listen(Fd, Backlog) < 0)
+    return errnoError("listen " + Addr.str());
+  return std::move(Sock);
+}
+
+StatusOr<Socket> Socket::accept(int TimeoutMs) {
+  for (;;) {
+    int ClientFd = ::accept(Fd, nullptr, nullptr);
+    if (ClientFd >= 0) {
+      Socket Client(ClientFd);
+      CG_RETURN_IF_ERROR(setNonBlocking(ClientFd));
+      if (Bound.Kind == NetAddress::Family::Tcp) {
+        int One = 1;
+        ::setsockopt(ClientFd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      }
+      return std::move(Client);
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      return errnoError("accept");
+    CG_RETURN_IF_ERROR(pollFor(Fd, POLLIN, TimeoutMs));
+  }
+}
+
+StatusOr<std::string> Socket::readSome(size_t MaxBytes, int TimeoutMs) {
+  std::string Out;
+  Out.resize(MaxBytes);
+  for (;;) {
+    ssize_t N = ::recv(Fd, &Out[0], MaxBytes, 0);
+    if (N > 0) {
+      Out.resize(static_cast<size_t>(N));
+      return std::move(Out);
+    }
+    if (N == 0)
+      return std::string(); // Orderly EOF.
+    if (errno == EINTR)
+      continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      return errnoError("recv");
+    CG_RETURN_IF_ERROR(pollFor(Fd, POLLIN, TimeoutMs));
+  }
+}
+
+Status Socket::writeAll(const std::string &Data, int TimeoutMs) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+      return errnoError("send");
+    CG_RETURN_IF_ERROR(pollFor(Fd, POLLOUT, TimeoutMs));
+  }
+  return Status::ok();
+}

@@ -1,0 +1,102 @@
+//===- net/Socket.h - RAII sockets with poll timeouts -----------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX socket layer for the cross-process transport: address
+/// parsing ("tcp:host:port" / "unix:/path"), and an RAII, movable Socket
+/// wrapping a non-blocking fd with poll-based connect / accept / read /
+/// write timeouts. Status-based like the rest of the codebase — no
+/// exceptions, no silent partial writes. Everything above (framing,
+/// transport, server) treats this as the only place that touches errno.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_NET_SOCKET_H
+#define COMPILER_GYM_NET_SOCKET_H
+
+#include "util/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace compiler_gym {
+namespace net {
+
+/// A parsed endpoint. Two families: TCP over IPv4 ("tcp:127.0.0.1:4242",
+/// host "localhost" accepted as loopback shorthand; port 0 lets the OS
+/// pick and is resolved by Socket::listen) and Unix-domain stream sockets
+/// ("unix:/tmp/cg.sock").
+struct NetAddress {
+  enum class Family { Tcp, Unix };
+
+  Family Kind = Family::Tcp;
+  std::string Host; ///< Numeric IPv4 or "localhost" (TCP only).
+  uint16_t Port = 0;
+  std::string Path; ///< Filesystem path (Unix only).
+
+  /// Parses "tcp:<host>:<port>" or "unix:<path>".
+  static StatusOr<NetAddress> parse(const std::string &Spec);
+
+  /// Canonical spec string ("tcp:127.0.0.1:4242").
+  std::string str() const;
+};
+
+/// RAII non-blocking socket. Move-only; the destructor closes the fd (and
+/// unlinks the bound Unix socket path for listeners).
+class Socket {
+public:
+  Socket() = default;
+  ~Socket();
+  Socket(Socket &&Other) noexcept;
+  Socket &operator=(Socket &&Other) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  /// Dials \p Addr, waiting up to \p TimeoutMs for the connection to
+  /// establish. Unavailable on refusal/failure, DeadlineExceeded on
+  /// timeout.
+  static StatusOr<Socket> connect(const NetAddress &Addr, int TimeoutMs);
+
+  /// Binds and listens on \p Addr. For Unix sockets a stale path is
+  /// unlinked first; for TCP port 0 the bound address (with the OS-chosen
+  /// port) is available from boundAddress().
+  static StatusOr<Socket> listen(const NetAddress &Addr, int Backlog = 64);
+
+  /// Accepts one connection, waiting up to \p TimeoutMs (-1 = forever;
+  /// servers normally learn readiness from their own poll loop and pass 0).
+  StatusOr<Socket> accept(int TimeoutMs);
+
+  /// Reads whatever is available (at most \p MaxBytes), waiting up to
+  /// \p TimeoutMs for the first byte. Returns the bytes read; an empty
+  /// string means orderly EOF. DeadlineExceeded on timeout, Unavailable on
+  /// connection error.
+  StatusOr<std::string> readSome(size_t MaxBytes, int TimeoutMs);
+
+  /// Writes all of \p Data, waiting up to \p TimeoutMs for writability
+  /// whenever the kernel buffer fills. Short writes are resumed; SIGPIPE
+  /// is suppressed.
+  Status writeAll(const std::string &Data, int TimeoutMs);
+
+  /// The address this listener is bound to, with the real port filled in
+  /// (TCP port 0 resolution).
+  const NetAddress &boundAddress() const { return Bound; }
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+
+private:
+  explicit Socket(int Fd) : Fd(Fd) {}
+
+  int Fd = -1;
+  NetAddress Bound;
+  bool UnlinkOnClose = false; ///< Listener owns its Unix socket path.
+};
+
+} // namespace net
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_NET_SOCKET_H

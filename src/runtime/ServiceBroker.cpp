@@ -34,20 +34,29 @@ ServiceBroker::ServiceBroker(BrokerOptions Opts) : Opts(Opts) {
   if (this->Opts.EnableObservationCache)
     ObsCache = std::make_shared<ObservationCache>(this->Opts.Cache);
   Shards.reserve(N);
-  for (size_t I = 0; I < N; ++I) {
-    auto S = std::make_unique<Shard>();
-    S->Service = std::make_shared<service::CompilerService>(this->Opts.Faults);
-    if (ObsCache)
-      S->Service->setObservationCache(ObsCache);
-    // One dispatcher thread per shard: the process boundary of the paper's
-    // per-environment service, so shards execute requests concurrently.
-    std::shared_ptr<service::CompilerService> Service = S->Service;
-    S->Channel = std::make_shared<service::QueueTransport>(
-        [Service](const std::string &Bytes) { return Service->handle(Bytes); });
-    Shards.push_back(std::move(S));
-  }
+  for (size_t I = 0; I < N; ++I)
+    Shards.push_back(makeShard());
   if (this->Opts.MonitorIntervalMs > 0)
     Monitor = std::thread([this] { monitorLoop(); });
+}
+
+std::unique_ptr<ServiceBroker::Shard> ServiceBroker::makeShard() {
+  auto S = std::make_unique<Shard>();
+  S->Service = std::make_shared<service::CompilerService>(Opts.Faults);
+  if (ObsCache)
+    S->Service->setObservationCache(ObsCache);
+  // One dispatcher thread per shard: the process boundary of the paper's
+  // per-environment service, so shards execute requests concurrently.
+  std::shared_ptr<service::CompilerService> Service = S->Service;
+  S->Channel = std::make_shared<service::QueueTransport>(
+      [Service](const std::string &Bytes) { return Service->handle(Bytes); });
+  return S;
+}
+
+size_t ServiceBroker::addShard() {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
+  Shards.push_back(makeShard());
+  return Shards.size() - 1;
 }
 
 ServiceBroker::~ServiceBroker() {
@@ -61,6 +70,7 @@ ServiceBroker::~ServiceBroker() {
 }
 
 size_t ServiceBroker::acquireShard() {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
   // Least-loaded routing. Load changes under us are benign: the worst case
   // is a briefly imbalanced assignment, not an incorrect one.
   size_t Best = 0;
@@ -77,12 +87,14 @@ size_t ServiceBroker::acquireShard() {
 }
 
 void ServiceBroker::releaseShard(size_t Index) {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
   assert(Index < Shards.size() && "bad shard index");
   Shards[Index]->Load.fetch_sub(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<service::ServiceClient>
 ServiceBroker::makeClient(size_t Index) {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
   assert(Index < Shards.size() && "bad shard index");
   return std::make_shared<service::ServiceClient>(
       Shards[Index]->Service, Shards[Index]->Channel, Opts.Client);
@@ -90,28 +102,41 @@ ServiceBroker::makeClient(size_t Index) {
 
 std::shared_ptr<service::CompilerService>
 ServiceBroker::shardService(size_t Index) {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
   assert(Index < Shards.size() && "bad shard index");
   return Shards[Index]->Service;
 }
 
 std::shared_ptr<service::Transport>
 ServiceBroker::shardTransport(size_t Index) {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
   assert(Index < Shards.size() && "bad shard index");
   return Shards[Index]->Channel;
 }
 
 size_t ServiceBroker::shardLoad(size_t Index) const {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
   assert(Index < Shards.size() && "bad shard index");
   return Shards[Index]->Load.load(std::memory_order_relaxed);
 }
 
 size_t ServiceBroker::checkShards() {
+  // Snapshot the services, then probe without holding the structure lock:
+  // restart() resets session state and should not serialize against
+  // routing.
+  std::vector<std::shared_ptr<service::CompilerService>> Services;
+  {
+    std::lock_guard<std::mutex> Lock(ShardsMutex);
+    Services.reserve(Shards.size());
+    for (auto &S : Shards)
+      Services.push_back(S->Service);
+  }
   size_t Restarted = 0;
-  for (size_t I = 0; I < Shards.size(); ++I) {
-    if (!Shards[I]->Service->crashed())
+  for (size_t I = 0; I < Services.size(); ++I) {
+    if (!Services[I]->crashed())
       continue;
     CG_LOG_INFO_FOR("broker", 0) << "shard " << I << " crashed; restarting";
-    Shards[I]->Service->restart();
+    Services[I]->restart();
     ++Restarted;
   }
   if (Restarted) {

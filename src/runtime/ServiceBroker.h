@@ -57,7 +57,16 @@ public:
   ServiceBroker(const ServiceBroker &) = delete;
   ServiceBroker &operator=(const ServiceBroker &) = delete;
 
-  size_t numShards() const { return Shards.size(); }
+  size_t numShards() const {
+    std::lock_guard<std::mutex> Lock(ShardsMutex);
+    return Shards.size();
+  }
+
+  /// Adds one more shard to the fleet (gateway scale-out) and returns its
+  /// index. Existing shard indices stay valid: shards are only ever
+  /// appended, never removed — a drained shard just stops receiving new
+  /// sessions.
+  size_t addShard();
 
   /// Reserves the least-loaded shard and returns its index. Every acquire
   /// must be balanced by a release; EnvPool holds one lease per worker env
@@ -96,8 +105,12 @@ private:
   };
 
   void monitorLoop();
+  std::unique_ptr<Shard> makeShard();
 
   BrokerOptions Opts;
+  /// Guards the vector's structure (addShard appends concurrently with
+  /// routing); the shards themselves are internally synchronized.
+  mutable std::mutex ShardsMutex;
   std::vector<std::unique_ptr<Shard>> Shards;
   std::shared_ptr<ObservationCache> ObsCache;
   std::atomic<uint64_t> Restarts{0};

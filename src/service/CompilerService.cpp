@@ -191,7 +191,13 @@ std::string CompilerService::handleLocked(const RequestEnvelope &Req) {
     telemetry::SpanScope EncodeSpan("encode.reply", "service");
     ReplyBytes = encodeReply(Reply);
   }
-  if (Req.RequestId) {
+  // A session-loss reply is proof the op never executed, so at-most-once
+  // does not require pinning it; caching it would make a retry of the same
+  // RequestId replay the error even after the session was restored
+  // (gateway snapshot restore re-issues the op under its original id).
+  bool SessionLoss = Reply.Code == StatusCode::NotFound &&
+                     Reply.ErrorMessage.rfind("no session", 0) == 0;
+  if (Req.RequestId && !SessionLoss) {
     ServedReplies.emplace(Req.RequestId, ReplyBytes);
     ServedOrder.push_back(Req.RequestId);
     if (ServedOrder.size() > DedupWindow) {

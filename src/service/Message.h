@@ -220,6 +220,11 @@ struct RequestEnvelope {
   /// sampled trace active.
   uint64_t TraceId = 0;
   uint64_t SpanId = 0;
+  /// Multi-tenant credential (gateway/Gateway.h): remote clients present
+  /// their tenant token on every request; the gateway maps it to a tenant
+  /// for admission control, rate limiting and fair dispatch. Empty for
+  /// in-process transports, and ignored by CompilerService itself.
+  std::string AuthToken;
   StartSessionRequest Start;
   EndSessionRequest End;
   StepRequest Step;
@@ -229,6 +234,12 @@ struct RequestEnvelope {
 struct ReplyEnvelope {
   StatusCode Code = StatusCode::Ok;
   std::string ErrorMessage;
+  /// Typed backpressure (gateway): with Code == Unavailable, a nonzero
+  /// value tells the client how long to wait before retrying — the request
+  /// was rejected by flow control (full shard queue, rate limit, admission
+  /// cap), not lost. Clients honor it in their retry backoff instead of
+  /// treating the failure as a dead backend.
+  uint32_t RetryAfterMs = 0;
   StartSessionReply Start;
   StepReply Step;
   ForkReply Fork;

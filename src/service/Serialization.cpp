@@ -247,6 +247,7 @@ std::string service::encodeRequest(const RequestEnvelope &Req) {
   W.u64(Req.RequestId);
   W.u64(Req.TraceId);
   W.u64(Req.SpanId);
+  W.str(Req.AuthToken);
   switch (Req.Kind) {
   case RequestKind::StartSession:
     W.str(Req.Start.CompilerName);
@@ -283,7 +284,8 @@ StatusOr<RequestEnvelope> service::decodeRequest(const std::string &Bytes) {
       Kind > static_cast<uint32_t>(RequestKind::Heartbeat))
     return invalidArgument("malformed request envelope");
   Req.Kind = static_cast<RequestKind>(Kind);
-  if (!R.u64(Req.RequestId) || !R.u64(Req.TraceId) || !R.u64(Req.SpanId))
+  if (!R.u64(Req.RequestId) || !R.u64(Req.TraceId) || !R.u64(Req.SpanId) ||
+      !R.str(Req.AuthToken))
     return invalidArgument("malformed request envelope");
   bool Ok = true;
   switch (Req.Kind) {
@@ -322,6 +324,7 @@ std::string service::encodeReply(const ReplyEnvelope &Reply) {
   Writer W;
   W.u32(static_cast<uint32_t>(Reply.Code));
   W.str(Reply.ErrorMessage);
+  W.u32(Reply.RetryAfterMs);
   // Start.
   W.u64(Reply.Start.SessionId);
   putActionSpace(W, Reply.Start.Space);
@@ -351,7 +354,7 @@ StatusOr<ReplyEnvelope> service::decodeReply(const std::string &Bytes) {
       Code > static_cast<uint32_t>(StatusCode::Aborted))
     return invalidArgument("malformed reply envelope");
   Reply.Code = static_cast<StatusCode>(Code);
-  if (!R.str(Reply.ErrorMessage))
+  if (!R.str(Reply.ErrorMessage) || !R.u32(Reply.RetryAfterMs))
     return invalidArgument("truncated reply");
 
   uint32_t NumObsInfos;

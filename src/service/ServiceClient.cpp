@@ -44,6 +44,22 @@ Counter &restartsTotal() {
   return C;
 }
 
+Counter &reconnectsTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_client_reconnects_total", {},
+      "Retries that followed channel loss (Unavailable) — reconnect-shaped "
+      "failures, as opposed to deadline or garbled-reply retries");
+  return C;
+}
+
+Counter &backpressureRetriesTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_client_backpressure_retries_total", {},
+      "Retries that honored a typed retry-after hint from server-side flow "
+      "control (gateway admission/rate/queue limits)");
+  return C;
+}
+
 Counter &wireBytes(bool Sent) {
   static Counter &S = MetricsRegistry::global().counter(
       "cg_wire_bytes_total", {{"direction", "sent"}},
@@ -100,6 +116,10 @@ ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
       Opts(Opts) {}
 
 void ServiceClient::restartService() {
+  // Remote channels have no in-process backend handle; restarting the far
+  // end is the server fleet's job and this degrades to a no-op.
+  if (!Service)
+    return;
   ++RestartCount;
   restartsTotal().inc();
   Service->restart();
@@ -109,6 +129,7 @@ StatusOr<ReplyEnvelope> ServiceClient::call(RequestEnvelope &Req) {
   // Process-wide unique: several clients may share one service shard.
   static std::atomic<uint64_t> NextRequestId{1};
   Req.RequestId = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  Req.AuthToken = Opts.AuthToken;
   telemetry::SpanScope Span(
       telemetry::Tracer::global().enabled()
           ? std::string("rpc:") + requestKindName(Req.Kind)
@@ -125,15 +146,38 @@ StatusOr<ReplyEnvelope> ServiceClient::call(RequestEnvelope &Req) {
   return Reply;
 }
 
+int ServiceClient::backoffDelayMs(int Attempt, uint32_t RetryAfterHintMs) {
+  // min(cap, base * 2^(attempt-1)), computed without overflow for large
+  // attempt counts.
+  int64_t DelayMs = Opts.RetryBackoffMs > 0 ? Opts.RetryBackoffMs : 1;
+  for (int I = 1; I < Attempt && DelayMs < Opts.RetryBackoffMaxMs; ++I)
+    DelayMs *= 2;
+  if (DelayMs > Opts.RetryBackoffMaxMs)
+    DelayMs = Opts.RetryBackoffMaxMs;
+  // ±50% jitter de-synchronizes client fleets that failed in lockstep.
+  DelayMs = DelayMs / 2 + static_cast<int64_t>(BackoffJitter.bounded(
+                              static_cast<uint64_t>(DelayMs) + 1));
+  if (DelayMs < RetryAfterHintMs)
+    DelayMs = RetryAfterHintMs;
+  return static_cast<int>(DelayMs);
+}
+
 StatusOr<ReplyEnvelope> ServiceClient::callAttempts(RequestEnvelope &Req) {
   std::string Bytes = encodeRequest(Req);
   Status LastError = internalError("no attempt made");
+  // Flow-control rejections carry a typed retry-after hint; the next
+  // attempt honors it as a floor on the backoff delay, and if retries run
+  // out the decoded envelope (not a channel error) is what we return.
+  uint32_t RetryAfterHintMs = 0;
+  bool HaveTypedRejection = false;
+  ReplyEnvelope TypedRejection;
   for (int Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
     if (Attempt > 0) {
       ++RetryCount;
       retriesTotal().inc();
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(Opts.RetryBackoffMs));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          backoffDelayMs(Attempt, RetryAfterHintMs)));
+      RetryAfterHintMs = 0;
     }
     ++RpcCount;
     rpcAttemptsTotal().inc();
@@ -150,8 +194,12 @@ StatusOr<ReplyEnvelope> ServiceClient::callAttempts(RequestEnvelope &Req) {
       // Unavailable and dropped replies are transient; hangs surface as
       // DeadlineExceeded which we also retry (the request may simply have
       // been slow) before giving up.
-      if (LastError.code() == StatusCode::Unavailable ||
-          LastError.code() == StatusCode::DeadlineExceeded)
+      if (LastError.code() == StatusCode::Unavailable) {
+        ++ReconnectCount;
+        reconnectsTotal().inc();
+        continue;
+      }
+      if (LastError.code() == StatusCode::DeadlineExceeded)
         continue;
       return LastError;
     }
@@ -163,8 +211,26 @@ StatusOr<ReplyEnvelope> ServiceClient::callAttempts(RequestEnvelope &Req) {
           << "retrying garbled service reply";
       continue;
     }
+    if (Reply->Code == StatusCode::Unavailable && Reply->RetryAfterMs > 0 &&
+        Attempt < Opts.MaxRetries) {
+      // Typed backpressure: the server rejected the request by flow
+      // control, not because anything died. Retrying the same envelope
+      // (same RequestId — dedup-safe) after the hinted delay is correct;
+      // surfacing it would wrongly trigger restart-and-replay recovery.
+      backpressureRetriesTotal().inc();
+      RetryAfterHintMs = Reply->RetryAfterMs;
+      HaveTypedRejection = true;
+      TypedRejection = std::move(*Reply);
+      CG_LOG_INFO_FOR("client", Req.RequestId)
+          << "backpressure: retrying after " << RetryAfterHintMs << "ms";
+      continue;
+    }
     return Reply;
   }
+  // Out of retries. A typed rejection beats a channel error: callers see
+  // the server's Unavailable + message rather than a transport artifact.
+  if (HaveTypedRejection)
+    return TypedRejection;
   return LastError;
 }
 

@@ -29,13 +29,25 @@ namespace service {
 struct ClientOptions {
   int TimeoutMs = 10000;
   int MaxRetries = 2;      ///< For transient failures only.
+  /// Base retry delay. Retry N waits RetryBackoffMs * 2^(N-1), capped at
+  /// RetryBackoffMaxMs, with ±50% jitter — in-process channels recover in
+  /// microseconds, but a remote channel mid-reconnect (or a fleet of
+  /// clients retrying in lockstep) needs capped exponential backoff.
   int RetryBackoffMs = 2;
+  int RetryBackoffMaxMs = 250;
+  /// Tenant credential stamped on every request envelope. Empty for
+  /// in-process use; required by a multi-tenant gateway endpoint.
+  std::string AuthToken;
 };
 
 /// A connection to one compiler service.
 class ServiceClient {
 public:
-  /// Connects through an explicit transport (tests inject FlakyTransport).
+  /// Connects through an explicit transport (tests inject FlakyTransport;
+  /// remote clients pass a net::SocketTransport). \p Service may be null
+  /// for remote channels: there is no in-process backend to restart, so
+  /// restartService() becomes a no-op and recovery is the server fleet's
+  /// job (broker monitor / gateway).
   ServiceClient(std::shared_ptr<CompilerService> Service,
                 std::shared_ptr<Transport> Channel, ClientOptions Opts = {});
 
@@ -50,6 +62,7 @@ public:
   Status heartbeat();
 
   /// Relaunches the backend (used by the environment after crash/hang).
+  /// No-op on remote channels (null service handle).
   void restartService();
 
   /// Per-client telemetry for the robustness tests and Table II
@@ -58,6 +71,9 @@ public:
   uint64_t rpcCount() const { return RpcCount; }
   uint64_t retryCount() const { return RetryCount; }
   uint64_t restartCount() const { return RestartCount; }
+  /// Retries that followed a channel-loss (Unavailable) failure — the
+  /// reconnect-shaped subset of retryCount().
+  uint64_t reconnectCount() const { return ReconnectCount; }
   /// Serialized request/reply bytes through this client (wire accounting
   /// for the observation-delta benches: a delta reply shows up directly
   /// as fewer bytes received).
@@ -74,12 +90,19 @@ private:
   /// The retry loop proper (split out so call() can time it end-to-end).
   StatusOr<ReplyEnvelope> callAttempts(RequestEnvelope &Req);
 
+  /// Delay before retry \p Attempt: capped exponential backoff with ±50%
+  /// jitter, never less than \p RetryAfterHintMs (a typed backpressure
+  /// hint from the server).
+  int backoffDelayMs(int Attempt, uint32_t RetryAfterHintMs);
+
   std::shared_ptr<CompilerService> Service;
   std::shared_ptr<Transport> Channel;
   ClientOptions Opts;
+  Rng BackoffJitter{0xBACC0FF};
   uint64_t RpcCount = 0;
   uint64_t RetryCount = 0;
   uint64_t RestartCount = 0;
+  uint64_t ReconnectCount = 0;
   uint64_t WireBytesSent = 0;
   uint64_t WireBytesReceived = 0;
 };

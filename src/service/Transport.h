@@ -77,6 +77,13 @@ private:
 struct TransportFaults {
   double DropProbability = 0.0;    ///< Reply never arrives (client times out).
   double GarbageProbability = 0.0; ///< Reply is corrupted bytes.
+  /// The channel itself fails before the request is delivered — the socket
+  /// analogue of a connection reset. Surfaces as Unavailable, the
+  /// reconnect-shaped failure ServiceClient's backoff policy retries.
+  double DisconnectProbability = 0.0;
+  /// The reply is cut off mid-stream (a partial write on the peer): the
+  /// client receives a truncated buffer that fails to decode.
+  double PartialWriteProbability = 0.0;
   int ExtraLatencyMs = 0;          ///< Added to every call.
   uint64_t Seed = 0x5EED;
 };

@@ -56,6 +56,12 @@ void ThreadPool::workerLoop() {
       ++ActiveJobs;
     }
     Task();
+    // Release the job's captures before declaring it done: a waiter may own
+    // resources (e.g. this pool, transitively) through shared_ptrs held in
+    // the closure, and wait() returning must guarantee those references are
+    // gone — otherwise the last release can happen on this worker thread
+    // and a destructor ends up joining it.
+    Task = std::packaged_task<void()>();
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       --ActiveJobs;
