@@ -368,7 +368,16 @@ StatusOr<StepReply> CompilerEnv::callStepWithRecovery(StepRequest Req) {
   bool PhantomActions = false;
   for (int Round = 0; Round < 5; ++Round) {
     if (Round > 0) {
-      CG_RETURN_IF_ERROR(recover());
+      Status Recovered = recover();
+      if (!Recovered.isOk()) {
+        // Recovery itself can fail with a recoverable error (the restore
+        // or replay raced another fault): that burns a round, it does not
+        // abandon the RPC.
+        if (!isRecoverableFailure(Recovered))
+          return Recovered;
+        LastError = Recovered;
+        continue;
+      }
       Req.SessionId = SessionId; // Recovery created a fresh session.
     }
     PhantomActions = false;

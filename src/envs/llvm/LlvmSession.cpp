@@ -11,6 +11,7 @@
 #include "analysis/Inst2vec.h"
 #include "analysis/ProGraML.h"
 #include "analysis/Rewards.h"
+#include "fault/FaultRegistry.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Snapshot.h"
@@ -240,12 +241,42 @@ Status LlvmSession::applyAction(const Action &A, bool &EndOfEpisode,
     return outOfRange("action " + std::to_string(A.Index) +
                       " out of range [0, " +
                       std::to_string(ActionNames.size()) + ")");
-  CG_ASSIGN_OR_RETURN(bool Changed, PM->run(ActionNames[A.Index]));
-  if (Changed) {
+  // Cooperative cancellation: a token is attached only while an RPC with a
+  // deadline (or a watchdog abort) is in flight; the fault-free path costs
+  // a null check and two pointer stores.
+  const util::CancelToken *Tok = cancelToken();
+  if (Tok && Tok->poll())
+    return cancelRollback("action cancelled before execution");
+  PM->setCancelToken(Tok);
+  StatusOr<bool> R = PM->run(ActionNames[A.Index]);
+  PM->setCancelToken(nullptr);
+  if (!R.isOk()) {
+    // A deadline abort may have left a partially transformed module
+    // (FunctionPass stops between functions); revert to the last
+    // committed state so the cancelled request has no observable effect.
+    if (R.status().code() == StatusCode::DeadlineExceeded)
+      return cancelRollback(R.status().message());
+    return R.status();
+  }
+  if (*R) {
     ++ModEpoch;
     CachedStateKey.reset();
   }
   return Status::ok();
+}
+
+Status LlvmSession::cancelRollback(const std::string &Why) {
+  // The last stateKey() exposure published a snapshot (stateKey() does so
+  // for every new key), so restoring it is an O(#functions) share — no
+  // per-action defensive copies on the fault-free path. Before any
+  // exposure the initial state is the committed one: re-parse (a
+  // benchmark-cache hit).
+  if (!LastExposedKey || !restore(LastExposedKey)) {
+    Status Err;
+    Mod = BenchmarkCache::instance().parse(Bench, Err);
+    rebindModule();
+  }
+  return deadlineExceeded(Why);
 }
 
 Status LlvmSession::computeBaselines() {
@@ -391,12 +422,18 @@ uint64_t LlvmSession::stateKey() {
     ir::SnapshotStore::global().put(*CachedStateKey, Mod->share(),
                                     Bench.Uri);
   }
+  LastExposedKey = *CachedStateKey;
   return *CachedStateKey;
 }
 
 bool LlvmSession::restore(uint64_t StateKey) {
   if (!StateKey)
     return false;
+  // Chaos hook: error/crash rules simulate a lost or unreadable snapshot,
+  // pushing the recovering client onto the replay path.
+  if (fault::FaultAction F = CG_FAULT_POINT("snapshot.restore", cancelToken()))
+    if (F.isError() || F.isCrash() || F.isCorrupt())
+      return false;
   std::optional<ir::Snapshot> Snap = ir::SnapshotStore::global().get(StateKey);
   if (!Snap)
     return false;
@@ -405,6 +442,7 @@ bool LlvmSession::restore(uint64_t StateKey) {
   // The restored module is bit-identical to the state the key addresses;
   // skip re-printing it to recover the digest.
   CachedStateKey = StateKey;
+  LastExposedKey = StateKey;
   return true;
 }
 
@@ -428,6 +466,7 @@ StatusOr<std::unique_ptr<CompilationSession>> LlvmSession::fork() {
   }
   Clone->ModEpoch = ModEpoch;
   Clone->CachedStateKey = CachedStateKey;
+  Clone->LastExposedKey = LastExposedKey;
   Clone->ObsMemo = ObsMemo;
   Clone->NoiseGen = NoiseGen.split();
   Clone->OzInstructionCount = OzInstructionCount;

@@ -77,6 +77,11 @@ public:
 
 private:
   Status computeBaselines();
+  /// Cooperative-cancellation rollback: reverts the module to the last
+  /// state a client saw committed (the last stateKey() exposure, whose
+  /// snapshot the store retains) so no partial batch mutation escapes a
+  /// cancelled request, then returns DeadlineExceeded carrying \p Why.
+  Status cancelRollback(const std::string &Why);
   Status computeObservationUncached(int SpaceId,
                                     const service::ObservationSpaceInfo &Space,
                                     service::Observation &Out);
@@ -95,6 +100,11 @@ private:
   uint64_t ModEpoch = 0;
   /// Module state key, computed lazily once per epoch.
   std::optional<uint64_t> CachedStateKey;
+  /// The last state key handed out through stateKey()/restore(): the state
+  /// the client believes committed, and the rollback target when a
+  /// cancelled action must not leak partial mutations. 0 before the first
+  /// exposure (rollback then re-parses the benchmark).
+  uint64_t LastExposedKey = 0;
   /// Deterministic observations memoized for the current epoch:
   /// space id -> (epoch, observation).
   std::unordered_map<int, std::pair<uint64_t, service::Observation>> ObsMemo;

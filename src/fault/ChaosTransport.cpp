@@ -1,0 +1,43 @@
+//===- fault/ChaosTransport.cpp - Registry-driven flaky transport ---------===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/ChaosTransport.h"
+
+#include "fault/FaultRegistry.h"
+
+namespace compiler_gym {
+namespace fault {
+
+StatusOr<std::string>
+ChaosTransport::roundTrip(const std::string &RequestBytes, int TimeoutMs) {
+  FaultAction Req = CG_FAULT_POINT("transport.round_trip", nullptr);
+  if (Req.isError())
+    return Req.Error;
+  if (Req.isCrash())
+    return unavailable("injected transport disconnect");
+
+  StatusOr<std::string> Reply = Inner->roundTrip(RequestBytes, TimeoutMs);
+  if (!Reply.isOk())
+    return Reply;
+
+  FaultAction Resp = CG_FAULT_POINT("transport.reply", nullptr);
+  if (Resp.isError())
+    return Resp.Error;
+  if (Resp.isCrash())
+    return unavailable("injected transport disconnect (reply)");
+  if (Req.isCorrupt() || Resp.isCorrupt()) {
+    std::string Garbled = std::move(*Reply);
+    if (Garbled.size() > 1)
+      Garbled[Garbled.size() / 2] ^= 0x5A;
+    else
+      Garbled.clear();
+    return Garbled;
+  }
+  return Reply;
+}
+
+} // namespace fault
+} // namespace compiler_gym

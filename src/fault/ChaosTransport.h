@@ -1,0 +1,57 @@
+//===- fault/ChaosTransport.h - Registry-driven flaky transport -*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FlakyTransport generalized onto the fault registry: instead of a fixed
+/// per-transport probability table, ChaosTransport consults the named
+/// fault points "transport.round_trip" (request direction) and
+/// "transport.reply" (response direction) on every call, so one seeded
+/// FaultPlanSpec can coordinate network faults with service / gateway /
+/// snapshot faults in a single deterministic schedule.
+///
+/// Kind mapping at the request point:
+///   Error   — returned as-is (e.g. Unavailable = connection reset,
+///             DeadlineExceeded = reply dropped on the floor).
+///   Delay   — added latency (executed by the registry; cancellation-aware
+///             when the rule allows).
+///   Crash   — mapped to Unavailable ("peer vanished mid-call").
+///   Corrupt — the *reply* bytes are corrupted (flipped byte, or truncation
+///             when the reply is a single byte), exercising the client's
+///             garbled-reply retry path.
+///
+/// FlakyTransport itself is left untouched — its seeded draw streams are
+/// load-bearing for existing tests — and composes with this wrapper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_FAULT_CHAOSTRANSPORT_H
+#define COMPILER_GYM_FAULT_CHAOSTRANSPORT_H
+
+#include "service/Transport.h"
+
+#include <memory>
+
+namespace compiler_gym {
+namespace fault {
+
+/// Transport wrapper whose faults come from the global FaultRegistry.
+/// Pass-through (one relaxed load of overhead) when no plan is armed.
+class ChaosTransport : public service::Transport {
+public:
+  explicit ChaosTransport(std::shared_ptr<service::Transport> Inner)
+      : Inner(std::move(Inner)) {}
+
+  StatusOr<std::string> roundTrip(const std::string &RequestBytes,
+                                  int TimeoutMs) override;
+
+private:
+  std::shared_ptr<service::Transport> Inner;
+};
+
+} // namespace fault
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_FAULT_CHAOSTRANSPORT_H

@@ -1,0 +1,188 @@
+//===- fault/FaultRegistry.cpp - Deterministic fault injection ------------===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultRegistry.h"
+
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
+
+namespace compiler_gym {
+namespace fault {
+
+namespace {
+
+telemetry::Counter &injectedTotal(FaultKind K) {
+  // One series per kind; handles cached so the hot path never touches the
+  // registry mutex.
+  static telemetry::Counter &Crash = telemetry::MetricsRegistry::global().counter(
+      "cg_fault_injected_total", {{"kind", "crash"}},
+      "Faults fired by the chaos registry");
+  static telemetry::Counter &Delay = telemetry::MetricsRegistry::global().counter(
+      "cg_fault_injected_total", {{"kind", "delay"}},
+      "Faults fired by the chaos registry");
+  static telemetry::Counter &Error = telemetry::MetricsRegistry::global().counter(
+      "cg_fault_injected_total", {{"kind", "error"}},
+      "Faults fired by the chaos registry");
+  static telemetry::Counter &Corrupt =
+      telemetry::MetricsRegistry::global().counter(
+          "cg_fault_injected_total", {{"kind", "corrupt"}},
+          "Faults fired by the chaos registry");
+  switch (K) {
+  case FaultKind::Crash:
+    return Crash;
+  case FaultKind::Delay:
+    return Delay;
+  case FaultKind::Error:
+    return Error;
+  case FaultKind::Corrupt:
+    return Corrupt;
+  }
+  return Error;
+}
+
+/// Mixes the plan seed with the rule index so each rule owns an
+/// independent stream: re-seeding one rule can never perturb another.
+uint64_t ruleSeed(uint64_t PlanSeed, size_t Index) {
+  return PlanSeed ^ (0x9E3779B97F4A7C15ull * (Index + 1));
+}
+
+} // namespace
+
+const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Crash:
+    return "crash";
+  case FaultKind::Delay:
+    return "delay";
+  case FaultKind::Error:
+    return "error";
+  case FaultKind::Corrupt:
+    return "corrupt";
+  }
+  return "unknown";
+}
+
+FaultRegistry &FaultRegistry::global() {
+  static FaultRegistry *R = new FaultRegistry();
+  return *R;
+}
+
+void FaultRegistry::install(const FaultPlanSpec &Plan) {
+  // Pre-register the per-kind fire counters (PR 6 convention): a scrape
+  // taken before the first fault fires still shows the zero-valued series.
+  for (FaultKind K : {FaultKind::Crash, FaultKind::Delay, FaultKind::Error,
+                      FaultKind::Corrupt})
+    (void)injectedTotal(K);
+
+  std::lock_guard<std::mutex> Lock(M);
+  Rules.clear();
+  ByPoint.clear();
+  PointHits.clear();
+  PointFires.clear();
+  Rules.reserve(Plan.Rules.size());
+  for (size_t I = 0; I < Plan.Rules.size(); ++I) {
+    RuleState S;
+    S.Rule = Plan.Rules[I];
+    S.Draws.reseed(ruleSeed(Plan.Seed, I));
+    ByPoint[S.Rule.Point].push_back(Rules.size());
+    Rules.push_back(std::move(S));
+  }
+  Armed.store(!Rules.empty(), std::memory_order_release);
+}
+
+void FaultRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Armed.store(false, std::memory_order_release);
+  Rules.clear();
+  ByPoint.clear();
+}
+
+FaultAction FaultRegistry::evaluate(const char *Point,
+                                    const util::CancelToken *Cancel) {
+  FaultRule Fired;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Armed.load(std::memory_order_relaxed))
+      return {};
+    ++PointHits[Point];
+    auto It = ByPoint.find(Point);
+    if (It == ByPoint.end())
+      return {};
+    bool DidFire = false;
+    for (size_t Idx : It->second) {
+      RuleState &S = Rules[Idx];
+      ++S.Hits;
+      if (S.Hits <= S.Rule.AfterHits)
+        continue;
+      if (S.Rule.MaxFires && S.Fires >= S.Rule.MaxFires)
+        continue;
+      // Draw stability: degenerate probabilities consume no RNG draws, so
+      // a disabled (P <= 0) or always-on (P >= 1) rule never shifts the
+      // streams of probabilistic rules sharing the plan.
+      if (S.Rule.Probability <= 0.0)
+        continue;
+      if (S.Rule.Probability < 1.0 && !S.Draws.chance(S.Rule.Probability))
+        continue;
+      ++S.Fires;
+      ++PointFires[S.Rule.Point];
+      Fired = S.Rule;
+      DidFire = true;
+      break;
+    }
+    if (!DidFire)
+      return {};
+  }
+
+  injectedTotal(Fired.Kind).inc();
+  telemetry::SpanScope Span("fault." + std::string(faultKindName(Fired.Kind)),
+                            Point);
+
+  FaultAction A;
+  A.Fired = true;
+  A.Kind = Fired.Kind;
+  switch (Fired.Kind) {
+  case FaultKind::Delay:
+    // Executed in place, outside the registry mutex. CancelAware rules
+    // poll the site's token so an armed deadline cuts the stall short
+    // within one poll interval; CancelAware=false simulates a wedge that
+    // only the broker watchdog can clear.
+    util::cancellableSleepMs(Fired.CancelAware ? Cancel : nullptr,
+                             Fired.DelayMs);
+    break;
+  case FaultKind::Error:
+    A.Error = Status(Fired.Code, Fired.Message.empty()
+                                     ? std::string("injected fault at ") + Point
+                                     : Fired.Message);
+    break;
+  case FaultKind::Crash:
+  case FaultKind::Corrupt:
+    break;
+  }
+  return A;
+}
+
+uint64_t FaultRegistry::hits(const std::string &Point) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = PointHits.find(Point);
+  return It == PointHits.end() ? 0 : It->second;
+}
+
+uint64_t FaultRegistry::fires(const std::string &Point) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = PointFires.find(Point);
+  return It == PointFires.end() ? 0 : It->second;
+}
+
+uint64_t FaultRegistry::totalFires() const {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t N = 0;
+  for (const auto &KV : PointFires)
+    N += KV.second;
+  return N;
+}
+
+} // namespace fault
+} // namespace compiler_gym

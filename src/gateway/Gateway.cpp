@@ -20,8 +20,10 @@
 
 #include "gateway/Gateway.h"
 
+#include "fault/FaultRegistry.h"
 #include "service/Serialization.h"
 #include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
 #include "util/Logging.h"
 
 #include <algorithm>
@@ -95,6 +97,21 @@ Counter &migrationsTotal() {
   static Counter &C = MetricsRegistry::global().counter(
       "cg_gateway_migrations_total", {},
       "Sessions moved between shards by drainShard()");
+  return C;
+}
+
+Counter &shedExpiredTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_gateway_shed_expired_total", {},
+      "Queued ops shed at dequeue for exhausted/insufficient deadline "
+      "budget");
+  return C;
+}
+
+Counter &deadlineExceededGatewayTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_rpc_deadline_exceeded_total", {{"layer", "gateway"}},
+      "RPCs rejected for an expired deadline, by layer");
   return C;
 }
 
@@ -176,6 +193,11 @@ struct Job {
   /// StartSession/Fork reserved an admission slot that must be released
   /// if the op fails or is abandoned.
   bool HoldsAdmission = false;
+  /// Absolute deadline derived from the envelope's remaining-budget
+  /// DeadlineMs at intake; drives dequeue-time shedding and the backend
+  /// re-stamp.
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
 };
 
 struct ShardState {
@@ -191,6 +213,9 @@ struct ShardState {
   bool Stopping = false;
   size_t Cursor = 0;        ///< WRR: tenant currently being served.
   size_t ServedInBurst = 0; ///< Ops served from Cursor this turn.
+  /// EWMA of this shard's backend round-trip time, µs (0 until the first
+  /// sample). Relaxed: a stale read only mistunes one shed decision.
+  std::atomic<int64_t> EwmaUs{0};
   std::thread Dispatcher;
 };
 
@@ -205,6 +230,7 @@ struct Gateway::Impl {
     B.NumShards = std::max<size_t>(1, O.NumShards);
     B.Faults = O.ShardFaults;
     B.MonitorIntervalMs = O.MonitorIntervalMs;
+    B.StallWindowMs = O.StallWindowMs;
     return B;
   }
 
@@ -225,6 +251,7 @@ struct Gateway::Impl {
 
   std::atomic<uint64_t> Restores{0};
   std::atomic<uint64_t> Migrations{0};
+  std::atomic<uint64_t> Shed{0};
 
   /// Created last, torn down first: while it lives, onRequest may fire.
   std::unique_ptr<net::NetServer> Server;
@@ -232,6 +259,10 @@ struct Gateway::Impl {
   // -- Lifecycle -------------------------------------------------------------
 
   Status start() {
+    // Pre-register the robustness series so they scrape as zero before the
+    // first shed/expiry instead of being absent.
+    shedExpiredTotal();
+    deadlineExceededGatewayTotal();
     if (Opts.Tenants.empty()) {
       // Single-user mode: one implicit tenant matching the default empty
       // client token, with no limits.
@@ -426,6 +457,14 @@ struct Gateway::Impl {
     J.Env = std::move(*Req);
     J.Reply = std::move(Reply);
     J.Tenant = T;
+    if (J.Env.DeadlineMs > 0) {
+      // Convert the remaining-budget stamp to an absolute deadline at
+      // intake: queue wait then counts against the budget, which is what
+      // dequeue-time shedding and the backend re-stamp measure against.
+      J.HasDeadline = true;
+      J.Deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(J.Env.DeadlineMs);
+    }
     size_t QueueShard = 0;
 
     switch (J.Env.Kind) {
@@ -577,20 +616,105 @@ struct Gateway::Impl {
         S.ServedInBurst = 0;
       }
       Lock.unlock();
-      processJob(J);
+      if (!shedIfExpired(J, S))
+        processJob(J);
       Lock.lock();
     }
   }
 
-  /// One backend round trip: encode, send to \p Shard, decode.
+  /// Dequeue-time load shedding: a deadline-carrying op whose budget has
+  /// expired in the queue — or whose remainder is smaller than the shard's
+  /// observed backend service time — cannot succeed, so it is answered
+  /// typed right now instead of burning a doomed backend call. True =
+  /// shed (reply sent, admission refunded). EndSession is exempt:
+  /// teardown must run regardless of budget or the session would leak.
+  bool shedIfExpired(Job &J, ShardState &S) {
+    if (!J.HasDeadline || J.Env.Kind == RequestKind::EndSession)
+      return false;
+    int64_t RemainingUs =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            J.Deadline - std::chrono::steady_clock::now())
+            .count();
+    int64_t Ewma = S.EwmaUs.load(std::memory_order_relaxed);
+    bool Expired = RemainingUs <= 0;
+    if (!Expired && (Ewma == 0 || RemainingUs >= Ewma))
+      return false;
+    telemetry::SpanScope Span("gateway.shed", "gateway");
+    Shed.fetch_add(1, std::memory_order_relaxed);
+    shedExpiredTotal().inc();
+    if (J.HoldsAdmission)
+      releaseAdmission(J.Tenant);
+    if (Expired) {
+      deadlineExceededGatewayTotal().inc();
+      J.Reply(errorReply(
+          deadlineExceeded("deadline expired in gateway dispatch queue"),
+          0));
+    } else {
+      J.Reply(errorReply(
+          unavailable("remaining deadline budget (" +
+                      std::to_string(RemainingUs / 1000) +
+                      "ms) below shard " + std::to_string(S.Index) +
+                      " service time"),
+          Opts.QueueRetryAfterMs));
+    }
+    return true;
+  }
+
+  /// Re-stamps the outgoing envelope's DeadlineMs from the job's remaining
+  /// budget so the backend sees its *current* budget, not the stale intake
+  /// value. False = the budget is gone: a typed DeadlineExceeded reply was
+  /// sent and any admission reservation refunded.
+  bool restampDeadline(Job &J) {
+    if (!J.HasDeadline)
+      return true;
+    int64_t RemainingMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            J.Deadline - std::chrono::steady_clock::now())
+            .count();
+    if (RemainingMs <= 0) {
+      deadlineExceededGatewayTotal().inc();
+      if (J.HoldsAdmission)
+        releaseAdmission(J.Tenant);
+      J.Reply(errorReply(
+          deadlineExceeded("deadline expired before backend dispatch"), 0));
+      return false;
+    }
+    J.Env.DeadlineMs = static_cast<uint32_t>(RemainingMs);
+    return true;
+  }
+
+  /// One backend round trip: encode, send to \p Shard, decode. A non-zero
+  /// envelope deadline caps the transport timeout to the remaining budget;
+  /// the observed round-trip time feeds the shard's shedding EWMA.
   StatusOr<ReplyEnvelope> backendCall(size_t Shard,
                                       const RequestEnvelope &Env,
                                       std::string *RawOut = nullptr) {
+    // Chaos hook for the gateway→backend link (the in-process stand-in
+    // for a lost or flaky shard connection).
+    fault::FaultAction F = CG_FAULT_POINT("gateway.backend_call", nullptr);
+    if (F.isError())
+      return F.Error;
+    if (F.isCrash())
+      return unavailable("injected backend link failure");
+    int TimeoutMs = Opts.BackendTimeoutMs;
+    if (Env.DeadlineMs > 0)
+      TimeoutMs = std::min<int64_t>(TimeoutMs, Env.DeadlineMs);
     std::string Bytes = service::encodeRequest(Env);
+    auto CallStart = std::chrono::steady_clock::now();
     CG_ASSIGN_OR_RETURN(
         std::string Raw,
-        Broker.shardTransport(Shard)->roundTrip(Bytes,
-                                                Opts.BackendTimeoutMs));
+        Broker.shardTransport(Shard)->roundTrip(Bytes, TimeoutMs));
+    int64_t TookUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - CallStart)
+                         .count();
+    {
+      ShardState &S = shardQueue(Shard);
+      int64_t Old = S.EwmaUs.load(std::memory_order_relaxed);
+      S.EwmaUs.store(Old == 0 ? TookUs : (3 * Old + TookUs) / 4,
+                     std::memory_order_relaxed);
+    }
+    if (F.isCorrupt() && Raw.size() > 1)
+      Raw[Raw.size() / 2] ^= 0x5A;
     StatusOr<ReplyEnvelope> Reply = service::decodeReply(Raw);
     if (Reply.isOk() && RawOut)
       *RawOut = std::move(Raw);
@@ -619,6 +743,8 @@ struct Gateway::Impl {
   }
 
   void processStart(Job &J) {
+    if (!restampDeadline(J))
+      return;
     size_t Shard = reserveShard();
     if (Shard == SIZE_MAX) {
       releaseAdmission(J.Tenant);
@@ -685,6 +811,10 @@ struct Gateway::Impl {
       return;
     }
     for (int Round = 0; Round < 2; ++Round) {
+      // Budget may have shrunk waiting on the op lock or across the
+      // restore round; the backend must see what actually remains.
+      if (!restampDeadline(J))
+        return;
       J.Env.Step.SessionId = Entry.BackendId;
       std::string Raw;
       StatusOr<ReplyEnvelope> Reply =
@@ -724,6 +854,8 @@ struct Gateway::Impl {
       return;
     }
     for (int Round = 0; Round < 2; ++Round) {
+      if (!restampDeadline(J))
+        return;
       J.Env.Fork.SessionId = Entry.BackendId;
       size_t Shard = Entry.Shard.load(std::memory_order_relaxed);
       StatusOr<ReplyEnvelope> Reply = backendCall(Shard, J.Env);
@@ -760,6 +892,9 @@ struct Gateway::Impl {
       return;
     }
     J.Env.End.SessionId = Entry.BackendId;
+    // Teardown is never deadline-rejected (the session would leak on the
+    // backend); strip any client budget.
+    J.Env.DeadlineMs = 0;
     std::string Raw;
     StatusOr<ReplyEnvelope> Reply = backendCall(
         Entry.Shard.load(std::memory_order_relaxed), J.Env, &Raw);
@@ -906,6 +1041,10 @@ uint64_t Gateway::dispatchedFor(const std::string &TenantName) const {
 
 uint64_t Gateway::restores() const {
   return I->Restores.load(std::memory_order_relaxed);
+}
+
+uint64_t Gateway::shedExpired() const {
+  return I->Shed.load(std::memory_order_relaxed);
 }
 
 uint64_t Gateway::migrations() const {

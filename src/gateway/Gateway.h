@@ -19,7 +19,10 @@
 ///   4. queues the op on its session's shard (bounded queue — a full
 ///      queue is an explicit Unavailable + RetryAfterMs reply, never a
 ///      silent drop) where a per-shard dispatcher serves tenants by
-///      weighted round-robin;
+///      weighted round-robin. At dequeue time, deadline-carrying ops whose
+///      remaining budget has expired — or is smaller than the shard's
+///      observed (EWMA) backend service time — are shed with a typed reply
+///      instead of burning a backend call that cannot finish in time;
 ///   5. forwards the envelope to the backend with the session id rewritten
 ///      to the backend's — but the client's RequestId, TraceId and SpanId
 ///      preserved, so idempotent retry dedup and trace stitching work
@@ -86,12 +89,17 @@ struct GatewayOptions {
   /// rejections compute theirs from the bucket deficit instead.
   uint32_t QueueRetryAfterMs = 10;
   uint32_t AdmissionRetryAfterMs = 50;
-  /// Deadline for one backend RPC issued on behalf of a client op.
+  /// Deadline for one backend RPC issued on behalf of a client op. Ops
+  /// carrying a client deadline (RequestEnvelope::DeadlineMs) cap this
+  /// further to their remaining budget.
   int BackendTimeoutMs = 10000;
   /// Fault plan applied to every shard (robustness tests).
   service::FaultPlan ShardFaults;
   /// Broker monitor sweep interval (restarts crashed shards); 0 disables.
   int MonitorIntervalMs = 20;
+  /// Hung-shard watchdog stall window, passed through to the broker
+  /// (see BrokerOptions::StallWindowMs); 0 disables.
+  int StallWindowMs = 0;
   net::NetServerOptions Server;
 };
 
@@ -131,6 +139,9 @@ public:
   uint64_t dispatchedFor(const std::string &TenantName) const;
   /// Transparent snapshot restores performed after backend session loss.
   uint64_t restores() const;
+  /// Queued ops shed at dequeue time for exhausted/insufficient deadline
+  /// budget.
+  uint64_t shedExpired() const;
   /// Sessions moved by drainShard().
   uint64_t migrations() const;
   /// Ops sitting in dispatch queues right now, across all shards.

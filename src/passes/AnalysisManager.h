@@ -38,6 +38,7 @@
 #include "analysis/FeatureCache.h"
 #include "ir/Dominators.h"
 #include "ir/Module.h"
+#include "util/CancelToken.h"
 #include "util/Status.h"
 
 #include <cstdint>
@@ -122,6 +123,12 @@ struct PassResult {
   /// module pass written without explicit invalidation calls is
   /// conservatively correct rather than silently stale.
   bool InvalidationApplied = false;
+  /// True when the pass stopped early because the session's cancel token
+  /// fired (FunctionPass::run polls between functions). Work already done
+  /// is correctly committed/invalidated; the PassManager converts the flag
+  /// into DeadlineExceeded so the session can roll back to its last
+  /// committed state.
+  bool Cancelled = false;
 
   /// Convenience: \p IfChanged applies only when \p DidChange is true.
   static PassResult make(bool DidChange, PreservedAnalyses IfChanged) {
@@ -199,6 +206,17 @@ public:
   Status verifyCachedAnalyses(const ir::Module &M,
                               const std::string &PassName);
 
+  // -- Cooperative cancellation --------------------------------------------
+  /// The in-flight request's cancel token (or null), installed by the
+  /// PassManager for the duration of one pipeline run. FunctionPass::run
+  /// polls it between functions so a multi-function pass aborts within one
+  /// function's worth of work.
+  void setCancelToken(const util::CancelToken *Tok) { Cancel = Tok; }
+  const util::CancelToken *cancelToken() const { return Cancel; }
+  /// Null-safe liveness-proving poll: true when the running pipeline
+  /// should stop.
+  bool cancellationRequested() const { return Cancel && Cancel->poll(); }
+
   // -- Telemetry -----------------------------------------------------------
   struct Stats {
     uint64_t DomTreeHits = 0;
@@ -219,6 +237,7 @@ private:
   /// payload, awaiting cowReverted()/cowCommitted().
   std::unordered_map<const ir::Function *, Entry> CowStash;
   analysis::FeatureCache Features;
+  const util::CancelToken *Cancel = nullptr;
   Stats S;
 };
 

@@ -24,6 +24,14 @@ PassResult FunctionPass::run(ir::Module &M, AnalysisManager &AM) {
   // races, so the worst case is a redundant copy, never a shared mutation.
   PassResult Agg;
   for (size_t Idx = 0; Idx < M.functions().size(); ++Idx) {
+    // Cooperative cancellation between functions: work already done below
+    // is committed and invalidated per function, so stopping here leaves
+    // the module and analysis caches consistent — the session decides
+    // whether to keep or roll back the partial transform.
+    if (AM.cancellationRequested()) {
+      Agg.Cancelled = true;
+      break;
+    }
     ir::Function *F = M.functions()[Idx].get();
     if (F->empty())
       continue;

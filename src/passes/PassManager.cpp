@@ -6,6 +6,7 @@
 
 #include "passes/PassManager.h"
 
+#include "fault/FaultRegistry.h"
 #include "telemetry/MetricsRegistry.h"
 #include "telemetry/Trace.h"
 
@@ -44,6 +45,19 @@ Pass *PassManager::getPass(const std::string &Name) {
 }
 
 StatusOr<bool> PassManager::run(Pass &P) {
+  // Poll before starting a pass: a pipeline whose budget ran out stops on
+  // a pass boundary with the module untouched since the last completed
+  // pass. (The poll itself proves liveness to the hung-shard watchdog.)
+  if (Cancel && Cancel->poll())
+    return deadlineExceeded("pipeline cancelled before pass '" + P.name() +
+                            "'");
+  // Chaos hook: delay rules here simulate slow or spinning passes (the
+  // CancelAware=false variant is the watchdog acceptance test's wedge);
+  // error rules simulate a pass failing outright.
+  if (fault::FaultAction F = CG_FAULT_POINT("passes.run", Cancel)) {
+    if (F.isError())
+      return F.Error;
+  }
   telemetry::SpanScope Span(telemetry::Tracer::global().enabled()
                                 ? "pass:" + P.name()
                                 : std::string(),
@@ -58,6 +72,11 @@ StatusOr<bool> PassManager::run(Pass &P) {
     AM.invalidateAll(R.Preserved);
   if (VerifyPreservation)
     CG_RETURN_IF_ERROR(AM.verifyCachedAnalyses(M, P.name()));
+  // Cancelled mid-pass (between functions): bookkeeping above is still
+  // applied for the functions that did run, then the abort surfaces so the
+  // session can revert to its last committed state.
+  if (R.Cancelled)
+    return deadlineExceeded("pass '" + P.name() + "' cancelled mid-run");
   return R.Changed;
 }
 

@@ -60,6 +60,16 @@ public:
   /// session serves InstCount/Autophase observations from).
   AnalysisManager &analysisManager() { return AM; }
 
+  /// Installs (or clears, with null) the in-flight request's cancel token.
+  /// run()/runPipeline*() poll it before every pass and FunctionPass::run
+  /// polls it between functions; a fired token surfaces as a
+  /// DeadlineExceeded status with all completed work correctly committed,
+  /// letting the session roll back to its last committed state.
+  void setCancelToken(const util::CancelToken *Tok) {
+    Cancel = Tok;
+    AM.setCancelToken(Tok);
+  }
+
   /// After every pass run, recompute each analysis the pass claimed to
   /// preserve and fail the run on mismatch. Defaults to on in debug
   /// (!NDEBUG) builds; expensive, so Release builds leave it off.
@@ -80,6 +90,7 @@ private:
   ir::Module &M;
   AnalysisManager AM;
   std::unordered_map<std::string, std::unique_ptr<Pass>> Instances;
+  const util::CancelToken *Cancel = nullptr;
   bool VerifyPreservation;
   Stats St;
 };

@@ -7,6 +7,7 @@
 #include "runtime/ServiceBroker.h"
 
 #include "telemetry/MetricsRegistry.h"
+#include "telemetry/Trace.h"
 #include "util/Logging.h"
 
 #include <algorithm>
@@ -24,12 +25,20 @@ telemetry::Counter &shardRestartsTotal() {
   return C;
 }
 
+telemetry::Counter &hungRestartsTotal() {
+  static telemetry::Counter &C = telemetry::MetricsRegistry::global().counter(
+      "cg_broker_hung_restarts_total", {},
+      "Wedged service shards force-restarted by the watchdog");
+  return C;
+}
+
 } // namespace
 
 ServiceBroker::ServiceBroker(BrokerOptions Opts) : Opts(Opts) {
-  // Touch the restart counter so the series scrapes as zero before the
-  // first crash instead of being absent.
+  // Touch the restart counters so both series scrape as zero before the
+  // first crash/wedge instead of being absent.
   shardRestartsTotal();
+  hungRestartsTotal();
   size_t N = std::max<size_t>(1, Opts.NumShards);
   if (this->Opts.EnableObservationCache)
     ObsCache = std::make_shared<ObservationCache>(this->Opts.Cache);
@@ -50,6 +59,8 @@ std::unique_ptr<ServiceBroker::Shard> ServiceBroker::makeShard() {
   std::shared_ptr<service::CompilerService> Service = S->Service;
   S->Channel = std::make_shared<service::QueueTransport>(
       [Service](const std::string &Bytes) { return Service->handle(Bytes); });
+  S->WatchTicks = S->Service->progressTicks();
+  S->WatchSince = std::chrono::steady_clock::now();
   return S;
 }
 
@@ -121,29 +132,71 @@ size_t ServiceBroker::shardLoad(size_t Index) const {
 }
 
 size_t ServiceBroker::checkShards() {
-  // Snapshot the services, then probe without holding the structure lock:
-  // restart() resets session state and should not serialize against
-  // routing.
-  std::vector<std::shared_ptr<service::CompilerService>> Services;
+  // Phase 1 under the structure lock: run the hung-shard watchdog (which
+  // may replace shard slots) and snapshot the crashed services. Phase 2
+  // restarts the crashed ones unlocked: restart() resets session state and
+  // should not serialize against routing.
+  std::vector<std::shared_ptr<service::CompilerService>> Crashed;
+  size_t Hung = 0;
+  std::chrono::steady_clock::time_point Now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> Lock(ShardsMutex);
-    Services.reserve(Shards.size());
-    for (auto &S : Shards)
-      Services.push_back(S->Service);
+    for (size_t I = 0; I < Shards.size(); ++I) {
+      Shard &S = *Shards[I];
+      if (S.Service->crashed()) {
+        Crashed.push_back(S.Service);
+        S.WatchTicks = S.Service->progressTicks();
+        S.WatchSince = Now;
+        continue;
+      }
+      if (Opts.StallWindowMs <= 0)
+        continue;
+      uint64_t Ticks = S.Service->progressTicks();
+      if (!S.Service->busy() || Ticks != S.WatchTicks) {
+        S.WatchTicks = Ticks;
+        S.WatchSince = Now;
+        continue;
+      }
+      if (Now - S.WatchSince < std::chrono::milliseconds(Opts.StallWindowMs))
+        continue;
+      // Wedged: busy for a full stall window with a standing-still
+      // heartbeat. The stuck op owns the service mutex and the dispatcher
+      // thread, so an in-place restart would block behind it; poison the
+      // old service (abort flag for cancel-aware code, crashed so queued
+      // ops bounce Aborted) and swap a fresh service/transport into the
+      // slot. The retired pair goes to the graveyard — destroying the
+      // QueueTransport joins its wedged dispatcher, which must not stall
+      // the monitor.
+      telemetry::SpanScope WatchdogSpan("watchdog.force_restart", "broker");
+      CG_LOG_INFO_FOR("broker", 0)
+          << "shard " << I << " wedged (no heartbeat progress for "
+          << Opts.StallWindowMs << "ms); force-restarting";
+      S.Service->requestAbort();
+      S.Service->markCrashed();
+      std::unique_ptr<Shard> Fresh = makeShard();
+      Graveyard.emplace_back(std::move(S.Service), std::move(S.Channel));
+      S.Service = std::move(Fresh->Service);
+      S.Channel = std::move(Fresh->Channel);
+      S.WatchTicks = S.Service->progressTicks();
+      S.WatchSince = Now;
+      ++Hung;
+    }
   }
   size_t Restarted = 0;
-  for (size_t I = 0; I < Services.size(); ++I) {
-    if (!Services[I]->crashed())
-      continue;
-    CG_LOG_INFO_FOR("broker", 0) << "shard " << I << " crashed; restarting";
-    Services[I]->restart();
+  for (size_t I = 0; I < Crashed.size(); ++I) {
+    CG_LOG_INFO_FOR("broker", 0) << "crashed shard service; restarting";
+    Crashed[I]->restart();
     ++Restarted;
   }
   if (Restarted) {
     Restarts.fetch_add(Restarted, std::memory_order_relaxed);
     shardRestartsTotal().inc(Restarted);
   }
-  return Restarted;
+  if (Hung) {
+    HungRestarts.fetch_add(Hung, std::memory_order_relaxed);
+    hungRestartsTotal().inc(Hung);
+  }
+  return Restarted + Hung;
 }
 
 void ServiceBroker::monitorLoop() {

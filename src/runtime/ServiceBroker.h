@@ -17,6 +17,18 @@
 /// whole fleet. Hung shards surface as client-side DeadlineExceeded and are
 /// recovered by the same env-side path.
 ///
+/// Hung-shard watchdog (opt-in via StallWindowMs): every service publishes
+/// a relaxed-atomic progress heartbeat (bumped per completed RPC and per
+/// cancel-token poll inside pass execution). A shard that stays busy with
+/// a standing-still heartbeat for a full stall window is wedged — work
+/// that neither finishes nor polls — and cannot be restarted in place
+/// (the stuck op owns the service mutex and the dispatcher thread). The
+/// watchdog instead poisons the old service (abort + crashed, so queued
+/// ops bounce immediately) and swaps a fresh service/transport pair into
+/// the shard slot; the retired pair is parked until destruction so the
+/// stuck thread can drain. Sessions resume on the fresh shard from their
+/// last snapshot (gateway migration / env recovery), with zero replay.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMPILER_GYM_RUNTIME_SERVICEBROKER_H
@@ -26,6 +38,7 @@
 #include "service/ServiceClient.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <thread>
@@ -43,6 +56,13 @@ struct BrokerOptions {
   /// Monitor sweep interval; 0 disables the monitor thread (tests can
   /// drive sweeps manually via checkShards()).
   int MonitorIntervalMs = 20;
+  /// Hung-shard watchdog: a shard busy for this long with no heartbeat
+  /// progress is declared wedged and force-restarted by replacement.
+  /// 0 disables the watchdog (the default: legitimate non-polling work —
+  /// e.g. the FaultPlan hang tests — must not be misread as a wedge).
+  /// Size it to several times the longest honest pause between heartbeat
+  /// polls (pass boundaries / per-function polls), plus monitor jitter.
+  int StallWindowMs = 0;
   /// Share one ObservationCache across all shards.
   bool EnableObservationCache = true;
   ObservationCacheOptions Cache;
@@ -84,14 +104,21 @@ public:
 
   size_t shardLoad(size_t Index) const;
 
-  /// One monitor sweep: restarts every shard whose service crashed.
+  /// One monitor sweep: restarts every shard whose service crashed, and
+  /// (with StallWindowMs > 0) force-restarts wedged shards by replacement.
   /// Called periodically by the monitor thread; callable from tests.
-  /// Returns the number of shards restarted.
+  /// Returns the number of shards restarted (both kinds).
   size_t checkShards();
 
-  /// Total shard restarts performed by the broker (monitor + sweeps).
+  /// Crash restarts performed by the broker (monitor + sweeps); hung-shard
+  /// force-restarts are counted separately in hungRestarts().
   uint64_t shardRestarts() const {
     return Restarts.load(std::memory_order_relaxed);
+  }
+
+  /// Wedged shards force-restarted by the watchdog.
+  uint64_t hungRestarts() const {
+    return HungRestarts.load(std::memory_order_relaxed);
   }
 
   /// The shared observation cache; nullptr when disabled.
@@ -102,6 +129,10 @@ private:
     std::shared_ptr<service::CompilerService> Service;
     std::shared_ptr<service::Transport> Channel;
     std::atomic<size_t> Load{0};
+    /// Watchdog bookkeeping, guarded by ShardsMutex: the heartbeat value
+    /// last observed and when it last moved (or the shard was last idle).
+    uint64_t WatchTicks = 0;
+    std::chrono::steady_clock::time_point WatchSince{};
   };
 
   void monitorLoop();
@@ -112,8 +143,15 @@ private:
   /// routing); the shards themselves are internally synchronized.
   mutable std::mutex ShardsMutex;
   std::vector<std::unique_ptr<Shard>> Shards;
+  /// Wedged service/transport pairs retired by the watchdog: their
+  /// dispatcher threads are stuck inside the wedge, so destruction (which
+  /// joins them) is deferred until the broker itself is torn down.
+  std::vector<std::pair<std::shared_ptr<service::CompilerService>,
+                        std::shared_ptr<service::Transport>>>
+      Graveyard;
   std::shared_ptr<ObservationCache> ObsCache;
   std::atomic<uint64_t> Restarts{0};
+  std::atomic<uint64_t> HungRestarts{0};
 
   std::mutex MonitorMutex;
   std::condition_variable MonitorWake;

@@ -30,6 +30,7 @@
 #define COMPILER_GYM_SERVICE_COMPILATIONSESSION_H
 
 #include "service/Message.h"
+#include "util/CancelToken.h"
 
 #include <functional>
 #include <memory>
@@ -84,6 +85,22 @@ public:
     (void)StateKey;
     return false;
   }
+
+  /// Cooperative cancellation: the runtime attaches the request's token for
+  /// the duration of one RPC (and detaches it afterwards — the token is
+  /// stack-allocated in the RPC handler). Long-running backends poll it
+  /// between units of work and abort with the session left in its last
+  /// committed state; backends that never look at it simply run to
+  /// completion.
+  void setCancelToken(const util::CancelToken *Tok) { Cancel = Tok; }
+
+protected:
+  /// The token attached to the in-flight RPC, or null. Valid only while a
+  /// runtime call into this session is on the stack.
+  const util::CancelToken *cancelToken() const { return Cancel; }
+
+private:
+  const util::CancelToken *Cancel = nullptr;
 };
 
 using SessionFactory = std::function<std::unique_ptr<CompilationSession>()>;

@@ -6,6 +6,7 @@
 
 #include "service/CompilerService.h"
 
+#include "fault/FaultRegistry.h"
 #include "telemetry/MetricsRegistry.h"
 #include "telemetry/Trace.h"
 #include "util/Logging.h"
@@ -79,6 +80,14 @@ Histogram &rpcLatencyUs(RequestKind Kind) {
   return Heartbeat;
 }
 
+Counter &deadlineExceededServiceTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_rpc_deadline_exceeded_total", {{"layer", "service"}},
+      "RPCs abandoned at a layer because the remaining deadline budget ran "
+      "out");
+  return C;
+}
+
 Counter &dedupReplaysTotal() {
   static Counter &C = MetricsRegistry::global().counter(
       "cg_service_dedup_replays_total", {},
@@ -102,7 +111,11 @@ Counter &fullRepliesTotal() {
 
 } // namespace
 
-CompilerService::CompilerService(FaultPlan Plan) : Plan(Plan) {}
+CompilerService::CompilerService(FaultPlan Plan) : Plan(Plan) {
+  // Pre-register (PR 6 convention): the zero-valued series shows up on the
+  // first scrape, before any deadline is ever missed.
+  (void)deadlineExceededServiceTotal();
+}
 
 ObservationCacheBase::~ObservationCacheBase() = default;
 
@@ -112,7 +125,8 @@ void CompilerService::restart() {
   ServedReplies.clear();
   ServedOrder.clear();
   LastSent.clear();
-  Crashed = false;
+  Crashed.store(false, std::memory_order_relaxed);
+  AbortRequested.store(false, std::memory_order_relaxed);
   OpsHandled.store(0, std::memory_order_relaxed);
   CG_LOG_INFO_FOR("service", 0) << "compiler service restarted";
 }
@@ -126,11 +140,6 @@ void CompilerService::setObservationCache(
     std::shared_ptr<ObservationCacheBase> Cache) {
   std::lock_guard<std::mutex> Lock(Mutex);
   ObsCache = std::move(Cache);
-}
-
-bool CompilerService::crashed() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Crashed;
 }
 
 size_t CompilerService::numSessions() const {
@@ -156,18 +165,33 @@ std::string CompilerService::handle(const std::string &RequestBytes) {
           : std::string(),
       "service");
   Stopwatch Watch;
-  std::string ReplyBytes = handleLocked(*Req);
+  // The request's cancel token: deadline from the wire budget, abort from
+  // the watchdog's poisoning flag, and every poll bumps the liveness
+  // heartbeat the watchdog reads.
+  util::CancelToken Token;
+  if (Req->DeadlineMs)
+    Token.armDeadlineMs(Req->DeadlineMs);
+  Token.watchAbortFlag(&AbortRequested);
+  Token.attachProgressCounter(&ProgressTicks);
+  OpsStarted.fetch_add(1, std::memory_order_relaxed);
+  std::string ReplyBytes = handleLocked(*Req, Token);
+  OpsFinished.fetch_add(1, std::memory_order_relaxed);
+  ProgressTicks.fetch_add(1, std::memory_order_relaxed);
   rpcsTotal(Req->Kind).inc();
   rpcLatencyUs(Req->Kind).observeUs(Watch.elapsedUs());
   return ReplyBytes;
 }
 
-std::string CompilerService::handleLocked(const RequestEnvelope &Req) {
+std::string CompilerService::handleLocked(const RequestEnvelope &Req,
+                                          const util::CancelToken &Token) {
   ReplyEnvelope Reply;
   std::lock_guard<std::mutex> Lock(Mutex);
   // Retry of a request we already executed: replay the stored reply. This
   // is checked before the fault-plan op accounting — a dedup hit performs
-  // no compiler work.
+  // no compiler work. DeadlineExceeded replies are cached like any other
+  // executed result: the retry of a logical call only ever has *less*
+  // budget, so replaying the stored rejection is always correct, and it
+  // keeps a partially-applied batch from being applied twice.
   if (Req.RequestId) {
     auto Served = ServedReplies.find(Req.RequestId);
     if (Served != ServedReplies.end()) {
@@ -178,14 +202,42 @@ std::string CompilerService::handleLocked(const RequestEnvelope &Req) {
   uint64_t Op = OpsHandled.fetch_add(1, std::memory_order_relaxed) + 1;
   if (Plan.HangOnOp && Op == Plan.HangOnOp)
     std::this_thread::sleep_for(std::chrono::milliseconds(Plan.HangMs));
+  if (fault::FaultAction F = CG_FAULT_POINT("service.handle", &Token)) {
+    if (F.isCrash())
+      Crashed.store(true, std::memory_order_relaxed);
+    else if (F.isError()) {
+      // An injected pre-dispatch error is proof the op never executed, so
+      // (like session-loss replies) it is not pinned in the dedup cache: a
+      // retry of the same RequestId should re-execute, not replay it.
+      Reply.Code = F.Error.code();
+      Reply.ErrorMessage = F.Error.message();
+      return encodeReply(Reply);
+    }
+  }
   if (Plan.CrashAfterOps && Op > Plan.CrashAfterOps)
-    Crashed = true;
-  if (Crashed) {
+    Crashed.store(true, std::memory_order_relaxed);
+  if (Crashed.load(std::memory_order_relaxed)) {
     Reply.Code = StatusCode::Aborted;
     Reply.ErrorMessage = "compiler service crashed";
     return encodeReply(Reply);
   }
-  Reply = dispatch(Req);
+  if (Token.expired()) {
+    // Reject before doing any work: the client has already (or will have,
+    // by the time this reply crosses the queue) given up on this budget.
+    deadlineExceededServiceTotal().inc();
+    telemetry::SpanScope RejectSpan("deadline.reject", "service");
+    Reply.Code = StatusCode::DeadlineExceeded;
+    Reply.ErrorMessage = "deadline expired before dispatch (budget " +
+                         std::to_string(Req.DeadlineMs) + "ms)";
+  } else if (Token.aborted()) {
+    // Watchdog poisoning raced this op into the queue; bounce it like a
+    // crash so the client fails over immediately.
+    Reply.Code = StatusCode::Aborted;
+    Reply.ErrorMessage = "compiler service abort requested";
+    return encodeReply(Reply);
+  } else {
+    Reply = dispatch(Req, Token);
+  }
   std::string ReplyBytes;
   {
     telemetry::SpanScope EncodeSpan("encode.reply", "service");
@@ -208,7 +260,8 @@ std::string CompilerService::handleLocked(const RequestEnvelope &Req) {
   return ReplyBytes;
 }
 
-ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
+ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req,
+                                        const util::CancelToken &Token) {
   ReplyEnvelope Reply;
   auto fail = [&](const Status &S) {
     Reply.Code = S.code();
@@ -266,15 +319,35 @@ ReplyEnvelope CompilerService::dispatch(const RequestEnvelope &Req) {
       return fail(notFound("no session " +
                            std::to_string(Req.Step.SessionId)));
     CompilationSession &Session = *It->second;
+    // Attach the request's token for the duration of this RPC so the
+    // backend's long-running work (pass pipelines) can poll it; the token
+    // is stack-allocated in handle(), hence the unconditional detach.
+    Session.setCancelToken(&Token);
+    struct TokenDetach {
+      CompilationSession &S;
+      ~TokenDetach() { S.setCancelToken(nullptr); }
+    } Detach{Session};
     bool End = false, SpaceChanged = false;
     {
       // Batched execution (§III-B5): apply every action, observe once.
       telemetry::SpanScope ApplySpan("session.apply_actions", "service");
       for (const Action &A : Req.Step.Actions) {
+        if (fault::FaultAction F =
+                CG_FAULT_POINT("service.apply_actions", &Token)) {
+          if (F.isCrash()) {
+            Crashed.store(true, std::memory_order_relaxed);
+            return fail(abortedError("compiler service crashed"));
+          }
+          if (F.isError())
+            return fail(F.Error);
+        }
         bool StepEnd = false, StepChanged = false;
         if (Status S = Session.applyAction(A, StepEnd, StepChanged);
-            !S.isOk())
+            !S.isOk()) {
+          if (S.code() == StatusCode::DeadlineExceeded)
+            deadlineExceededServiceTotal().inc();
           return fail(S);
+        }
         End |= StepEnd;
         SpaceChanged |= StepChanged;
         if (End)

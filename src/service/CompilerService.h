@@ -70,25 +70,55 @@ public:
   /// sessions that expose a stateKey(). May be shared across services.
   void setObservationCache(std::shared_ptr<ObservationCacheBase> Cache);
 
-  bool crashed() const;
+  bool crashed() const { return Crashed.load(std::memory_order_relaxed); }
   size_t numSessions() const;
   uint64_t opsHandled() const {
     return OpsHandled.load(std::memory_order_relaxed);
   }
+
+  /// Liveness heartbeat for the broker's hung-shard watchdog: bumped once
+  /// per completed RPC and once per cancel-token poll inside long-running
+  /// work (pass pipelines, cancellation-aware injected delays). A shard
+  /// that is busy() but whose ticks stand still is wedged, not slow.
+  uint64_t progressTicks() const {
+    return ProgressTicks.load(std::memory_order_relaxed);
+  }
+  /// True while at least one RPC is inside handle(). Relaxed reads — the
+  /// watchdog tolerates momentary skew.
+  bool busy() const {
+    return OpsStarted.load(std::memory_order_relaxed) !=
+           OpsFinished.load(std::memory_order_relaxed);
+  }
+  /// Watchdog poisoning: asks in-flight work to stop at its next token
+  /// poll. Cleared by restart().
+  void requestAbort() { AbortRequested.store(true, std::memory_order_relaxed); }
+  /// Marks the service crashed without waiting for in-flight work — the
+  /// watchdog uses it to bounce every op still queued behind a wedge with
+  /// Aborted so clients fail over instead of waiting out their timeouts.
+  void markCrashed() { Crashed.store(true, std::memory_order_relaxed); }
   /// Observations answered as deltas instead of full payloads (telemetry
   /// for the wire-delta tests and benches).
   uint64_t deltaRepliesSent() const;
 
 private:
   /// The mutex-guarded request path (dedup window, fault plan, dispatch,
-  /// reply encoding); handle() wraps it with trace binding and telemetry.
-  std::string handleLocked(const RequestEnvelope &Req);
-  ReplyEnvelope dispatch(const RequestEnvelope &Req);
+  /// reply encoding); handle() wraps it with trace binding, the request's
+  /// cancel token, and telemetry.
+  std::string handleLocked(const RequestEnvelope &Req,
+                           const util::CancelToken &Token);
+  ReplyEnvelope dispatch(const RequestEnvelope &Req,
+                         const util::CancelToken &Token);
 
   FaultPlan Plan;
   mutable std::mutex Mutex;
-  bool Crashed = false;
-  /// Atomic: read by broker monitor threads without taking Mutex.
+  /// Atomics below: read by broker monitor threads without taking Mutex
+  /// (a watchdog that needed the Mutex would block behind the very wedge
+  /// it is trying to detect).
+  std::atomic<bool> Crashed{false};
+  std::atomic<bool> AbortRequested{false};
+  std::atomic<uint64_t> ProgressTicks{0};
+  std::atomic<uint64_t> OpsStarted{0};
+  std::atomic<uint64_t> OpsFinished{0};
   std::atomic<uint64_t> OpsHandled{0};
   uint64_t NextSessionId = 1;
   std::map<uint64_t, std::unique_ptr<CompilationSession>> Sessions;

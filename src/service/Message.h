@@ -220,6 +220,14 @@ struct RequestEnvelope {
   /// sampled trace active.
   uint64_t TraceId = 0;
   uint64_t SpanId = 0;
+  /// Remaining-budget deadline in milliseconds: how much of the caller's
+  /// per-call timeout is left when this envelope is encoded. The client
+  /// re-stamps it on every retry (budget minus elapsed attempts/backoff),
+  /// the gateway re-stamps it after queueing and sheds requests that can
+  /// no longer make it, and the service rejects already-expired requests
+  /// with DeadlineExceeded before doing work and arms a CancelToken from
+  /// it so pass pipelines abort mid-flight. 0 = no deadline.
+  uint32_t DeadlineMs = 0;
   /// Multi-tenant credential (gateway/Gateway.h): remote clients present
   /// their tenant token on every request; the gateway maps it to a tenant
   /// for admission control, rate limiting and fair dispatch. Empty for

@@ -247,6 +247,7 @@ std::string service::encodeRequest(const RequestEnvelope &Req) {
   W.u64(Req.RequestId);
   W.u64(Req.TraceId);
   W.u64(Req.SpanId);
+  W.u32(Req.DeadlineMs);
   W.str(Req.AuthToken);
   switch (Req.Kind) {
   case RequestKind::StartSession:
@@ -285,7 +286,7 @@ StatusOr<RequestEnvelope> service::decodeRequest(const std::string &Bytes) {
     return invalidArgument("malformed request envelope");
   Req.Kind = static_cast<RequestKind>(Kind);
   if (!R.u64(Req.RequestId) || !R.u64(Req.TraceId) || !R.u64(Req.SpanId) ||
-      !R.str(Req.AuthToken))
+      !R.u32(Req.DeadlineMs) || !R.str(Req.AuthToken))
     return invalidArgument("malformed request envelope");
   bool Ok = true;
   switch (Req.Kind) {

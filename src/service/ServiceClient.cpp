@@ -52,6 +52,14 @@ Counter &reconnectsTotal() {
   return C;
 }
 
+Counter &deadlineExceededClientTotal() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "cg_rpc_deadline_exceeded_total", {{"layer", "client"}},
+      "RPCs abandoned at a layer because the remaining deadline budget ran "
+      "out");
+  return C;
+}
+
 Counter &backpressureRetriesTotal() {
   static Counter &C = MetricsRegistry::global().counter(
       "cg_client_backpressure_retries_total", {},
@@ -104,7 +112,9 @@ Histogram &rpcLatencyUs(RequestKind Kind) {
 ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
                              std::shared_ptr<Transport> Channel,
                              ClientOptions Opts)
-    : Service(std::move(Service)), Channel(std::move(Channel)), Opts(Opts) {}
+    : Service(std::move(Service)), Channel(std::move(Channel)), Opts(Opts) {
+  (void)deadlineExceededClientTotal();
+}
 
 ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
                              ClientOptions Opts)
@@ -113,7 +123,9 @@ ServiceClient::ServiceClient(std::shared_ptr<CompilerService> Service,
           [Service](const std::string &Bytes) {
             return Service->handle(Bytes);
           })),
-      Opts(Opts) {}
+      Opts(Opts) {
+  (void)deadlineExceededClientTotal();
+}
 
 void ServiceClient::restartService() {
   // Remote channels have no in-process backend handle; restarting the far
@@ -163,7 +175,12 @@ int ServiceClient::backoffDelayMs(int Attempt, uint32_t RetryAfterHintMs) {
 }
 
 StatusOr<ReplyEnvelope> ServiceClient::callAttempts(RequestEnvelope &Req) {
-  std::string Bytes = encodeRequest(Req);
+  // With deadline propagation, TimeoutMs is an *overall* per-call budget:
+  // every attempt is stamped with (and waits no longer than) the budget
+  // still remaining, and backoff sleeps draw the budget down instead of
+  // extending the call. With it off, each attempt gets the full TimeoutMs
+  // and no deadline crosses the wire (legacy behavior).
+  Stopwatch Budget;
   Status LastError = internalError("no attempt made");
   // Flow-control rejections carry a typed retry-after hint; the next
   // attempt honors it as a floor on the backoff delay, and if retries run
@@ -171,20 +188,42 @@ StatusOr<ReplyEnvelope> ServiceClient::callAttempts(RequestEnvelope &Req) {
   uint32_t RetryAfterHintMs = 0;
   bool HaveTypedRejection = false;
   ReplyEnvelope TypedRejection;
+  bool BudgetExhausted = false;
+  bool Attempted = false;
   for (int Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
     if (Attempt > 0) {
+      int DelayMs = backoffDelayMs(Attempt, RetryAfterHintMs);
+      if (Opts.PropagateDeadline &&
+          Budget.elapsedMs() + DelayMs >= Opts.TimeoutMs) {
+        // Sleeping would burn the rest of the budget; give up now rather
+        // than stamp a zero deadline the service would just bounce.
+        BudgetExhausted = true;
+        break;
+      }
       ++RetryCount;
       retriesTotal().inc();
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          backoffDelayMs(Attempt, RetryAfterHintMs)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
       RetryAfterHintMs = 0;
     }
+    int AttemptTimeoutMs = Opts.TimeoutMs;
+    if (Opts.PropagateDeadline) {
+      int64_t RemainingMs =
+          Opts.TimeoutMs - static_cast<int64_t>(Budget.elapsedMs());
+      if (RemainingMs <= 0) {
+        BudgetExhausted = true;
+        break;
+      }
+      Req.DeadlineMs = static_cast<uint32_t>(RemainingMs);
+      AttemptTimeoutMs = static_cast<int>(RemainingMs);
+    }
+    std::string Bytes = encodeRequest(Req);
+    Attempted = true;
     ++RpcCount;
     rpcAttemptsTotal().inc();
     WireBytesSent += Bytes.size();
     wireBytes(true).inc(Bytes.size());
     StatusOr<std::string> ReplyBytes = Channel->roundTrip(Bytes,
-                                                          Opts.TimeoutMs);
+                                                          AttemptTimeoutMs);
     if (ReplyBytes.isOk()) {
       WireBytesReceived += ReplyBytes->size();
       wireBytes(false).inc(ReplyBytes->size());
@@ -229,8 +268,12 @@ StatusOr<ReplyEnvelope> ServiceClient::callAttempts(RequestEnvelope &Req) {
   }
   // Out of retries. A typed rejection beats a channel error: callers see
   // the server's Unavailable + message rather than a transport artifact.
+  if (BudgetExhausted)
+    deadlineExceededClientTotal().inc();
   if (HaveTypedRejection)
     return TypedRejection;
+  if (BudgetExhausted && !Attempted)
+    return deadlineExceeded("RPC budget exhausted before any attempt");
   return LastError;
 }
 

@@ -38,6 +38,14 @@ struct ClientOptions {
   /// Tenant credential stamped on every request envelope. Empty for
   /// in-process use; required by a multi-tenant gateway endpoint.
   std::string AuthToken;
+  /// Stamp RequestEnvelope::DeadlineMs with the call's remaining budget on
+  /// every attempt. TimeoutMs then acts as an *overall* per-call budget:
+  /// retries and backoff sleeps consume it rather than extending it, the
+  /// service rejects/cancels work that can no longer finish in time, and
+  /// the gateway sheds queued requests that would expire anyway. Disable
+  /// to get the legacy per-attempt timeout with no server-side deadline
+  /// (the deadline-overhead bench baseline).
+  bool PropagateDeadline = true;
 };
 
 /// A connection to one compiler service.

@@ -1,0 +1,145 @@
+//===- util/CancelToken.h - Cooperative cancellation ------------*- C++ -*-===//
+//
+// Part of the CompilerGym-C++ reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancellation token threaded from the RPC boundary down into
+/// pass execution. A token aggregates three independent stop signals:
+///
+///   - an explicit cancel() flag (tests, shutdown paths),
+///   - an absolute deadline armed from the request's remaining budget
+///     (RequestEnvelope::DeadlineMs), and
+///   - an external abort flag owned by someone else (the broker watchdog
+///     poisons a wedged CompilerService through its AbortRequested atomic).
+///
+/// Long-running work polls the token between natural units of progress
+/// (between passes, between functions inside a FunctionPass, between chunks
+/// of an injected delay). Every poll() optionally bumps a progress-tick
+/// counter, so the same polls that make cancellation prompt also feed the
+/// hung-shard watchdog's liveness heartbeat: code that polls can be
+/// cancelled by deadline and never needs a force-restart; code that cannot
+/// poll is exactly what the watchdog exists for.
+///
+/// Tokens are stack-allocated per request and passed down as a nullable
+/// `const CancelToken *`; a null pointer (or a token with no signal armed)
+/// makes every check a cheap early-out so the fault-free fast path pays at
+/// most a relaxed atomic load per poll site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPILER_GYM_UTIL_CANCELTOKEN_H
+#define COMPILER_GYM_UTIL_CANCELTOKEN_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <thread>
+
+namespace compiler_gym {
+namespace util {
+
+class CancelToken {
+  using Clock = std::chrono::steady_clock;
+
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Arms an absolute deadline \p BudgetMs from now (remaining-budget form,
+  /// matching RequestEnvelope::DeadlineMs).
+  void armDeadlineMs(uint32_t BudgetMs) {
+    Deadline = Clock::now() + std::chrono::milliseconds(BudgetMs);
+    HasDeadline = true;
+  }
+
+  /// Attaches an externally owned abort flag (e.g. the service's
+  /// watchdog-poisoned AbortRequested atomic). The flag must outlive the
+  /// token.
+  void watchAbortFlag(const std::atomic<bool> *Flag) { Abort = Flag; }
+
+  /// Attaches a progress-tick counter bumped once per poll(); the broker
+  /// watchdog reads it to distinguish "slow but alive" from "wedged".
+  void attachProgressCounter(std::atomic<uint64_t> *Ticks) { Progress = Ticks; }
+
+  /// Requests cancellation explicitly.
+  void cancel() { Cancelled.store(true, std::memory_order_relaxed); }
+
+  /// True when any stop signal is armed; lets hot paths skip clock reads
+  /// entirely when the request carried no deadline.
+  bool armed() const {
+    return HasDeadline || Abort != nullptr ||
+           Cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// The liveness-proving cancellation check: bumps the progress counter
+  /// (if attached) and returns true when the work should stop.
+  bool poll() const {
+    if (Progress)
+      Progress->fetch_add(1, std::memory_order_relaxed);
+    if (Cancelled.load(std::memory_order_relaxed))
+      return true;
+    if (Abort && Abort->load(std::memory_order_relaxed))
+      return true;
+    return HasDeadline && Clock::now() >= Deadline;
+  }
+
+  /// True when the armed deadline has passed (ignores flag signals).
+  bool expired() const { return HasDeadline && Clock::now() >= Deadline; }
+
+  /// True when the external abort flag (watchdog poisoning) fired.
+  bool aborted() const {
+    return (Abort && Abort->load(std::memory_order_relaxed)) ||
+           Cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Milliseconds of budget left, clamped at zero; max() when no deadline
+  /// is armed.
+  int64_t remainingMs() const {
+    if (!HasDeadline)
+      return std::numeric_limits<int64_t>::max();
+    auto Rem = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   Deadline - Clock::now())
+                   .count();
+    return Rem < 0 ? 0 : Rem;
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+  const std::atomic<bool> *Abort = nullptr;
+  std::atomic<uint64_t> *Progress = nullptr;
+  Clock::time_point Deadline{};
+  bool HasDeadline = false;
+};
+
+/// Sleeps up to \p TotalMs, polling \p Tok every \p PollIntervalMs so an
+/// armed token interrupts the sleep within one poll interval (the "no
+/// deadline overshoot beyond one poll interval" invariant). A null or
+/// unarmed token degrades to a single uninterruptible sleep. Returns true
+/// if the sleep was cut short by cancellation.
+inline bool cancellableSleepMs(const CancelToken *Tok, int TotalMs,
+                               int PollIntervalMs = 5) {
+  if (TotalMs <= 0)
+    return Tok && Tok->poll();
+  if (!Tok || !Tok->armed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(TotalMs));
+    return false;
+  }
+  int Slept = 0;
+  while (Slept < TotalMs) {
+    if (Tok->poll())
+      return true;
+    int Chunk = std::min(PollIntervalMs, TotalMs - Slept);
+    std::this_thread::sleep_for(std::chrono::milliseconds(Chunk));
+    Slept += Chunk;
+  }
+  return Tok->poll();
+}
+
+} // namespace util
+} // namespace compiler_gym
+
+#endif // COMPILER_GYM_UTIL_CANCELTOKEN_H

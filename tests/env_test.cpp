@@ -396,6 +396,33 @@ TEST(Env, EnvStateLegacyFiveFieldLineStillParses) {
   EXPECT_EQ(Restored->Actions, (std::vector<int>{4, 8, 15}));
 }
 
+TEST(Env, EnvStateRoundTripsAllSixFields) {
+  EnvState State;
+  State.EnvId = "llvm-v0";
+  State.BenchmarkUri = "benchmark://cbench-v1/crc32";
+  State.RewardSpace = "IrInstructionCount";
+  State.ObservationSpace = "Autophase";
+  State.Actions = {3, 1, 4, 1, 5};
+  State.CumulativeReward = -2.25;
+  auto Restored = EnvState::deserialize(State.serialize());
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_EQ(*Restored, State);
+  // An empty action history round-trips too (a fresh episode).
+  State.Actions.clear();
+  State.CumulativeReward = 0.0;
+  Restored = EnvState::deserialize(State.serialize());
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_EQ(*Restored, State);
+}
+
+TEST(Env, EnvStateRejectsMalformedLines) {
+  EXPECT_FALSE(EnvState::deserialize("only|three|fields").isOk());
+  EXPECT_FALSE(EnvState::deserialize(
+                   "llvm-v0|benchmark://x/y|IrInstructionCount|Autophase|1.0|"
+                   "x,y")
+                   .isOk());
+}
+
 TEST(Wrappers, TimeLimitEndsEpisode) {
   auto Env = makeLlvm();
   TimeLimit Limited(std::move(Env), 3);

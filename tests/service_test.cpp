@@ -283,12 +283,63 @@ TEST(FaultTolerance, HangsAreRetriedAsTimeouts) {
   Opts.Faults.HangMs = 100;
   Opts.Client.TimeoutMs = 40;
   Opts.Client.MaxRetries = 6;
+  // Legacy per-attempt timeouts: with deadline propagation the 40ms
+  // budget would be spent after one attempt (client retries would be
+  // refused and recovery would move up to the env layer instead).
+  Opts.Client.PropagateDeadline = false;
   auto Env = core::make("llvm-v0", Opts);
   ASSERT_TRUE(Env.isOk());
   ASSERT_TRUE((*Env)->reset().isOk());
   auto R = (*Env)->step(0);
   EXPECT_TRUE(R.isOk()) << R.status().toString();
   EXPECT_GE((*Env)->client().retryCount(), 1u);
+}
+
+namespace {
+
+/// Fails every RPC with a typed channel error while recording the
+/// DeadlineMs each attempt carried — the retry-budget accounting probe.
+class DeadlineRecordingTransport : public Transport {
+public:
+  StatusOr<std::string> roundTrip(const std::string &Bytes, int) override {
+    auto Req = decodeRequest(Bytes);
+    EXPECT_TRUE(Req.isOk());
+    if (Req.isOk())
+      Deadlines.push_back(Req->DeadlineMs);
+    return unavailable("injected channel failure");
+  }
+
+  std::vector<uint32_t> Deadlines;
+};
+
+} // namespace
+
+TEST(FaultTolerance, RetryBudgetShrinksAcrossAttemptsAndNeverWraps) {
+  auto T = std::make_shared<DeadlineRecordingTransport>();
+  ClientOptions Opts;
+  Opts.TimeoutMs = 60;
+  Opts.MaxRetries = 50;
+  Opts.RetryBackoffMs = 8;
+  Opts.RetryBackoffMaxMs = 16;
+  ServiceClient Client(nullptr, T, Opts);
+  Status S = Client.heartbeat();
+  ASSERT_FALSE(S.isOk());
+  const std::vector<uint32_t> &D = T->Deadlines;
+  // The failing channel was retried, but the 60ms budget stopped the
+  // attempts well short of MaxRetries.
+  ASSERT_GE(D.size(), 2u);
+  EXPECT_LT(D.size(), 10u);
+  // First attempt carries (nearly) the whole budget; every retry carries
+  // strictly less than its predecessor; and the stamp never exceeds the
+  // budget or wraps negative (DeadlineMs is unsigned — an elapsed time
+  // past the budget must clamp to expiry, not wrap to ~4 billion ms).
+  EXPECT_GE(D.front(), 50u);
+  for (size_t I = 0; I < D.size(); ++I) {
+    EXPECT_GT(D[I], 0u) << "attempt " << I;
+    EXPECT_LE(D[I], 60u) << "attempt " << I;
+    if (I)
+      EXPECT_LT(D[I], D[I - 1]) << "attempt " << I;
+  }
 }
 
 TEST(FaultTolerance, FlakyTransportIsSurvivable) {
